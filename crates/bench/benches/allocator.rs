@@ -1,0 +1,81 @@
+//! B6 — allocator behaviour under the §4.5 leak pressure.
+//!
+//! Measures the cost of the vulnerable size-mismatched release discipline
+//! versus proper placement delete, and the allocator's churn throughput —
+//! the fragmentation the leak induces is visible as the widening gap
+//! between the two disciplines.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use pnew_core::protect::PlacementPool;
+use pnew_core::student::StudentWorld;
+use pnew_core::AttackConfig;
+use pnew_corpus::workload;
+
+fn bench_release_disciplines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("release_discipline");
+    let world = StudentWorld::plain();
+    for (label, placement_delete) in [("leaky", false), ("placement-delete", true)] {
+        for rounds in [64u32, 512] {
+            group.bench_with_input(BenchmarkId::new(label, rounds), &rounds, |b, &rounds| {
+                b.iter_batched_ref(
+                    || world.machine(&AttackConfig::paper()),
+                    |m| {
+                        let pool = PlacementPool::new(placement_delete);
+                        for _ in 0..rounds {
+                            let st =
+                                pool.allocate_and_replace(m, world.grad, world.student).unwrap();
+                            pool.release(m, st).unwrap();
+                        }
+                        m.heap_stats().leaked_bytes
+                    },
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_alloc_churn(c: &mut Criterion) {
+    // Allocation/free churn with a realistic student-record workload.
+    let world = StudentWorld::plain();
+    let population = workload::student_population(7, 256);
+    c.bench_function("alloc_churn_256_students", |b| {
+        b.iter_batched_ref(
+            || world.machine(&AttackConfig::paper()),
+            |m| {
+                let mut live = Vec::new();
+                for s in &population {
+                    let class = if s.grad { world.grad } else { world.student };
+                    live.push(pnew_core::heap_new(m, class).unwrap());
+                    if live.len() > 32 {
+                        let victim = live.swap_remove(live.len() / 2);
+                        m.heap_free(victim.addr()).unwrap();
+                    }
+                }
+                for obj in live {
+                    m.heap_free(obj.addr()).unwrap();
+                }
+                m.heap_stats().total_allocs
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_release_disciplines, bench_alloc_churn
+}
+criterion_main!(benches);

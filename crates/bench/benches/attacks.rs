@@ -1,0 +1,71 @@
+//! B5 — attack-scenario throughput: end-to-end cost of each experiment
+//! under the paper configuration, plus the same scenario defended (the
+//! macro view of the protection overheads).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pnew_core::{AttackConfig, Defense};
+use pnew_corpus::scenarios;
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_scenarios");
+    let cfg = AttackConfig::paper();
+    for sc in scenarios() {
+        // The DoS and leak scenarios intentionally run to exhaustion;
+        // bench them separately below.
+        if matches!(sc.experiment, "E18" | "E19") {
+            continue;
+        }
+        group.bench_function(sc.experiment, |b| {
+            b.iter(|| (sc.run)(&cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_exhaustion_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attack_exhaustion");
+    group.sample_size(10);
+    let cfg = AttackConfig::paper();
+    for sc in scenarios() {
+        if !matches!(sc.experiment, "E18" | "E19") {
+            continue;
+        }
+        group.bench_function(sc.experiment, |b| {
+            b.iter(|| (sc.run)(&cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_defended_vs_vulnerable(c: &mut Criterion) {
+    // The macro cost of §5.1 correct coding on a representative scenario
+    // (Listing 11 — the flagship bss overflow).
+    let mut group = c.benchmark_group("defense_macro_cost");
+    for (label, cfg) in [
+        ("vulnerable", AttackConfig::paper()),
+        ("correct-coding", AttackConfig::with_defense(Defense::correct_coding())),
+        ("intercept", AttackConfig::with_defense(Defense::intercept())),
+    ] {
+        group.bench_with_input(BenchmarkId::new("listing-11", label), &cfg, |b, cfg| {
+            b.iter(|| pnew_core::attacks::bss_overflow::run(cfg).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_scenarios, bench_exhaustion_scenarios, bench_defended_vs_vulnerable
+}
+criterion_main!(benches);

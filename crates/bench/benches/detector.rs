@@ -1,0 +1,88 @@
+//! B4 — detector throughput: the placement-new analyzer vs the
+//! traditional baseline over the full corpus, and scaling with program
+//! size.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use pnew_corpus::{benign, listings, workload};
+use pnew_detector::{parse_program, pretty_program, Analyzer, BaselineChecker, Fixer, Program};
+
+fn whole_corpus() -> Vec<Program> {
+    let mut corpus = listings::vulnerable_corpus();
+    corpus.extend(benign::benign_corpus());
+    corpus
+}
+
+fn bench_corpus_scan(c: &mut Criterion) {
+    let corpus = whole_corpus();
+    let stmts: usize = corpus.iter().map(Program::stmt_count).sum();
+    let mut group = c.benchmark_group("detector_corpus_scan");
+    group.throughput(Throughput::Elements(stmts as u64));
+
+    let analyzer = Analyzer::new();
+    group.bench_function("analyzer", |b| {
+        b.iter(|| corpus.iter().filter(|p| analyzer.analyze(p).detected()).count());
+    });
+    let baseline = BaselineChecker::new();
+    group.bench_function("baseline", |b| {
+        b.iter(|| corpus.iter().filter(|p| baseline.analyze(p).detected()).count());
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Analyzer cost as generated programs grow (batches of generated
+    // safe programs as a proxy for codebase size).
+    let mut group = c.benchmark_group("detector_scaling");
+    for batch in [10usize, 50, 200] {
+        let programs: Vec<Program> = (0..batch as u64).map(workload::random_safe_program).collect();
+        let stmts: usize = programs.iter().map(Program::stmt_count).sum();
+        group.throughput(Throughput::Elements(stmts as u64));
+        let analyzer = Analyzer::new();
+        group.bench_with_input(BenchmarkId::new("analyzer", batch), &programs, |b, programs| {
+            b.iter(|| programs.iter().map(|p| analyzer.analyze(p).findings.len()).sum::<usize>());
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixer(c: &mut Criterion) {
+    let corpus = listings::vulnerable_corpus();
+    let fixer = Fixer::new();
+    c.bench_function("fixer_full_corpus", |b| {
+        b.iter(|| corpus.iter().map(|p| fixer.fix(p).1.len()).sum::<usize>());
+    });
+}
+
+fn bench_dsl(c: &mut Criterion) {
+    let corpus = whole_corpus();
+    let texts: Vec<String> = corpus.iter().map(pretty_program).collect();
+    let bytes: usize = texts.iter().map(String::len).sum();
+    let mut group = c.benchmark_group("dsl");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("pretty_full_corpus", |b| {
+        b.iter(|| corpus.iter().map(|p| pretty_program(p).len()).sum::<usize>());
+    });
+    group.bench_function("parse_full_corpus", |b| {
+        b.iter(|| {
+            texts.iter().map(|t| parse_program(t).expect("corpus parses").vars.len()).sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_corpus_scan, bench_scaling, bench_fixer, bench_dsl
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! B1 — placement-expression overhead: unchecked (the paper's vulnerable
+//! primitive) vs §5.1 checked vs §5.2 intercepted call sites.
+//!
+//! The interesting number is the *cost of the fix*: how much slower a
+//! size/alignment-checked placement is than the raw expression, per call,
+//! for objects and for arrays.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use pnew_core::student::StudentWorld;
+use pnew_core::{Arena, AttackConfig, PlacementMode};
+use pnew_memory::SegmentKind;
+use pnew_object::CxxType;
+use pnew_runtime::VarDecl;
+
+fn bench_object_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_object");
+    let world = StudentWorld::plain();
+    for mode in [PlacementMode::Unchecked, PlacementMode::Checked, PlacementMode::Intercepted] {
+        group.bench_function(mode.to_string(), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut m = world.machine(&AttackConfig::paper());
+                    let pool = m
+                        .define_global(
+                            "pool",
+                            VarDecl::Buffer { size: 64, align: 8 },
+                            SegmentKind::Bss,
+                        )
+                        .unwrap();
+                    (m, pool)
+                },
+                |(m, pool)| {
+                    let arena = Arena::new(*pool, 64);
+                    mode.place_object(m, arena, world.grad).unwrap()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_array_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement_array");
+    let world = StudentWorld::plain();
+    for mode in [PlacementMode::Unchecked, PlacementMode::Checked, PlacementMode::Intercepted] {
+        group.bench_function(mode.to_string(), |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut m = world.machine(&AttackConfig::paper());
+                    let pool =
+                        m.define_global("pool", VarDecl::char_buf(4096), SegmentKind::Bss).unwrap();
+                    (m, pool)
+                },
+                |(m, pool)| {
+                    let arena = Arena::new(*pool, 4096);
+                    mode.place_array(m, arena, CxxType::Char, 4096).unwrap()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_heap_fallback(c: &mut Criterion) {
+    // The §5.1 failure path: checked placement refuses and falls back to
+    // heap new.
+    let world = StudentWorld::plain();
+    c.bench_function("placement_checked_fallback_to_heap", |b| {
+        b.iter_batched_ref(
+            || {
+                let mut m = world.machine(&AttackConfig::paper());
+                let stud = m
+                    .define_global("stud", VarDecl::Class(world.student), SegmentKind::Bss)
+                    .unwrap();
+                (m, stud)
+            },
+            |(m, stud)| {
+                let arena = Arena::new(*stud, 16);
+                pnew_core::protect::place_or_heap(m, arena, world.grad).unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_object_placement, bench_array_placement, bench_heap_fallback
+}
+criterion_main!(benches);

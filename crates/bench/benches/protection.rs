@@ -1,0 +1,85 @@
+//! B2 — runtime-protection overhead: frame push/ret cycles under each
+//! stack-protection configuration, with and without the §5.2 shadow
+//! stack.
+//!
+//! Reproduces the shape of the classic StackGuard cost argument: the
+//! canary adds a constant per-call cost; the shadow stack adds another.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use pnew_core::student::StudentWorld;
+use pnew_core::AttackConfig;
+use pnew_runtime::{StackProtection, VarDecl};
+
+fn bench_call_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_cycle");
+    let world = StudentWorld::plain();
+    let configs = [
+        ("none", StackProtection::None, false),
+        ("frame-pointer", StackProtection::FramePointer, false),
+        ("stackguard", StackProtection::StackGuard, false),
+        ("stackguard+shadow", StackProtection::StackGuard, true),
+    ];
+    for (label, protection, shadow) in configs {
+        group.bench_function(label, |b| {
+            b.iter_batched_ref(
+                || {
+                    let mut cfg = AttackConfig::with_protection(protection);
+                    cfg.shadow_stack = shadow;
+                    world.machine(&cfg)
+                },
+                |m| {
+                    m.push_frame("addStudent", &[("stud", VarDecl::Class(world.student))]).unwrap();
+                    m.ret().unwrap()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_deep_call_chain(c: &mut Criterion) {
+    // 64 nested frames pushed and popped, the recursion-heavy shape.
+    let world = StudentWorld::plain();
+    let mut group = c.benchmark_group("deep_call_chain_64");
+    for (label, protection) in
+        [("none", StackProtection::None), ("stackguard", StackProtection::StackGuard)]
+    {
+        group.bench_function(label, |b| {
+            b.iter_batched_ref(
+                || world.machine(&AttackConfig::with_protection(protection)),
+                |m| {
+                    for i in 0..64 {
+                        m.push_frame(
+                            if i % 2 == 0 { "even" } else { "odd" },
+                            &[("n", VarDecl::Ty(pnew_object::CxxType::Int))],
+                        )
+                        .unwrap();
+                    }
+                    for _ in 0..64 {
+                        m.ret().unwrap();
+                    }
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_call_cycle, bench_deep_call_chain
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! B3 — sanitization overhead: arena reuse with and without the §5.1
+//! `memset` between tenants, across arena sizes.
+//!
+//! §5.1 worries about "efficiency sake" tempting programmers to skip or
+//! partially apply sanitization; this bench quantifies the full-arena
+//! memset cost the defense actually pays.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+
+use pnew_core::protect::ManagedArena;
+use pnew_core::student::StudentWorld;
+use pnew_core::{AttackConfig, PlacementMode};
+use pnew_memory::SegmentKind;
+use pnew_object::CxxType;
+use pnew_runtime::VarDecl;
+
+fn bench_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("arena_reuse");
+    let world = StudentWorld::plain();
+    for size in [64u32, 256, 1024, 4096, 16384] {
+        group.throughput(Throughput::Bytes(u64::from(size)));
+        for sanitize in [false, true] {
+            let label = if sanitize { "sanitized" } else { "raw" };
+            group.bench_with_input(BenchmarkId::new(label, size), &size, |b, &size| {
+                b.iter_batched_ref(
+                    || {
+                        let mut m = world.machine(&AttackConfig::paper());
+                        let pool = m
+                            .define_global(
+                                "pool",
+                                VarDecl::Buffer { size, align: 8 },
+                                SegmentKind::Bss,
+                            )
+                            .unwrap();
+                        let mut arena = ManagedArena::new(pool, size, sanitize);
+                        // First tenant so every measured placement is a
+                        // *reuse*.
+                        arena
+                            .place_array(&mut m, PlacementMode::Unchecked, CxxType::Char, size)
+                            .unwrap();
+                        (m, arena)
+                    },
+                    |(m, arena)| {
+                        arena.place_array(m, PlacementMode::Unchecked, CxxType::Char, size).unwrap()
+                    },
+                    BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_reuse
+}
+criterion_main!(benches);

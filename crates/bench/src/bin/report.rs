@@ -1,0 +1,22 @@
+//! Prints every experiment table of EXPERIMENTS.md from live runs.
+//!
+//! Usage: `cargo run -p pnew-bench --bin report [E<id>…]`
+//! With no arguments, all tables are printed.
+
+fn main() {
+    let mut filters: Vec<String> = std::env::args().skip(1).collect();
+    if filters.iter().any(|f| f == "--list") {
+        for table in pnew_bench::all_tables() {
+            println!("{:<8} {}", table.id, table.title);
+        }
+        return;
+    }
+    filters.retain(|f| !f.starts_with("--"));
+    for table in pnew_bench::all_tables() {
+        if filters.is_empty()
+            || filters.iter().any(|f| table.id.eq_ignore_ascii_case(f) || table.id.contains(f))
+        {
+            println!("{table}");
+        }
+    }
+}

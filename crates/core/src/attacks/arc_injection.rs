@@ -1,0 +1,112 @@
+//! E5 — arc injection / return-to-libc (§3.6.2).
+//!
+//! "The attacker can carry out an arc injection attack (same as
+//! return-to-libc attacks) by specifying the address of another method in
+//! the same code. For example, the address of a method that makes a system
+//! call in a privileged mode can be used."
+//!
+//! The scenario registers a privileged `system`-style entry plus benign
+//! application functions, mounts the Listing 13 selective overwrite with
+//! the privileged entry's address, and asserts that control reaches it
+//! with the canary intact. The attacker's "argument" (`/bin/sh`) is staged
+//! in the overflowed object's own bytes, as §3.6.2 describes for locals.
+
+use pnew_runtime::{ControlOutcome, FuncEffect, Privilege, RuntimeError, VarDecl};
+
+use crate::attacks::{note_ret, place_object_site, ssn_input_loop};
+use crate::protect::Arena;
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// Runs the arc-injection attack.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::ArcInjection);
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+
+    // The victim binary's own code: benign entries plus the juicy target.
+    m.register_function("validateStudent", Privilege::Normal);
+    m.register_function("logRequest", Privilege::Normal);
+    let system = m.register_function("system", Privilege::Privileged);
+    let system_addr = m.funcs().def(system).addr();
+
+    m.push_frame("main", &[("argbuf", VarDecl::char_buf(256))])?;
+    m.push_frame("addStudent", &[("stud", VarDecl::Class(world.student))])?;
+    let stud = m.local_addr("stud")?;
+    let ret_slot = m.frame()?.ret_slot();
+    let ssn_base = stud + m.size_of(world.student)?;
+    let ret_index = ret_slot.offset_from(ssn_base) as u32 / 4;
+
+    let arena = Arena::new(stud, m.size_of(world.student)?);
+    let gs = place_object_site(&mut m, config, arena, world.grad, &mut report)?;
+
+    // Stage the attacker "argument" inside the object's own bytes (the
+    // gpa/year fields the attacker also controls), then the selective
+    // return-address overwrite. `system` reads its argument from exactly
+    // those bytes when it runs.
+    gs.write_f64(&mut m, "gpa", f64::from_bits(u64::from_le_bytes(*b"/bin/sh\0")))?;
+    m.set_function_effects(system, vec![FuncEffect::SpawnShell { arg: gs.addr() }]);
+    report.note("staged \"/bin/sh\" in the object's gpa field bytes");
+    let script: Vec<i64> =
+        (0..3).map(|i| if i == ret_index { i64::from(system_addr.value()) } else { 0 }).collect();
+    m.input_mut().extend(script);
+    ssn_input_loop(&mut m, &gs)?;
+
+    let event = m.ret()?;
+    note_ret(&mut report, &event.outcome);
+    let privileged_reached = matches!(
+        &event.outcome,
+        ControlOutcome::Hijacked { privileged: true, name, .. } if name == "system"
+    );
+    report.succeeded = privileged_reached;
+    if privileged_reached {
+        // Control reached system(): run its effect and observe the impact.
+        m.invoke(system)?;
+        report.note(format!("shell ledger: {:?}", m.shells_spawned()));
+        report.measure("shells_spawned", m.shells_spawned().len() as f64);
+    }
+    report.measure("privileged_reached", f64::from(u8::from(privileged_reached)));
+    let _ = stud;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+    use pnew_runtime::StackProtection;
+
+    #[test]
+    fn reaches_system_under_stackguard_via_selective_overwrite() {
+        let r = run(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded, "{}", r.verdict());
+        assert_eq!(r.measurement("privileged_reached"), Some(1.0));
+        assert!(r.evidence.iter().any(|e| e.contains("/bin/sh")));
+    }
+
+    #[test]
+    fn reaches_system_without_protection() {
+        let r = run(&AttackConfig::with_protection(StackProtection::None)).unwrap();
+        assert!(r.succeeded);
+    }
+
+    #[test]
+    fn shadow_stack_stops_it() {
+        let mut cfg = AttackConfig::paper();
+        cfg.shadow_stack = true;
+        let r = run(&cfg).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.detected_by.as_deref(), Some("shadow stack"));
+    }
+
+    #[test]
+    fn checked_placement_blocks_it() {
+        let r = run(&AttackConfig::with_defense(Defense::correct_coding())).unwrap();
+        assert!(!r.succeeded);
+        assert!(r.blocked_by.is_some());
+    }
+}

@@ -1,0 +1,248 @@
+//! E14/E15 — the two-step array overflow (§4, Listings 19/20).
+//!
+//! "In the first step of the attack, the attacker modifies the variable
+//! that stores the size of the buffer to a value larger than the memory
+//! pool size by overflowing an object ... In the next step, the user
+//! passes in a maliciously crafted string to the buffer as it is done in
+//! case of traditional buffer overflow scenarios."
+//!
+//! ```c++
+//! bool sortAndAddUname(char *uname) {
+//!   char mem_pool[n_students*(UNAME_SIZE+1)];
+//!   int n_unames=0; Student stud; cin >> n_unames;
+//!   if (n_unames > n_students) return;       // the "secure" check
+//!   if (isGrad) {
+//!     GradStudent *st = new (&stud) GradStudent();  // step 1
+//!     // read st->ssn[] from std input
+//!   }
+//!   char *buf = new (mem_pool) char[n_unames*(UNAME_SIZE+1)];
+//!   strncpy(buf, uname, n_unames*(UNAME_SIZE+1));  // step 2
+//! }
+//! ```
+//!
+//! "The use of strncpy is perfectly secure when we ignore the object
+//! overflow scenario" — the copy length is bounds-checked against
+//! `n_unames`, but `n_unames` itself was just rewritten through the
+//! placed object's `ssn[]`.
+
+use pnew_memory::SegmentKind;
+use pnew_object::CxxType;
+use pnew_runtime::{Machine, Privilege, RuntimeError, VarDecl};
+
+use crate::attacks::{note_ret, place_array_site, place_object_site, ssn_input_loop};
+use crate::protect::Arena;
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// Per-username bytes (`UNAME_SIZE + 1`).
+pub const UNAME_BYTES: u32 = 9;
+/// Capacity of the pool in usernames (`n_students`).
+pub const N_STUDENTS: u32 = 8;
+/// The forged `n_unames` the attacker writes in step 1.
+pub const FORGED_N_UNAMES: u32 = 100;
+
+/// Pool size in bytes.
+const POOL: u32 = N_STUDENTS * UNAME_BYTES;
+
+/// Step 1: corrupt the stack local `n_unames` through the placed object.
+fn step_one(
+    m: &mut Machine,
+    config: &AttackConfig,
+    world: &StudentWorld,
+    report: &mut AttackReport,
+) -> Result<(), RuntimeError> {
+    let stud = m.local_addr("stud")?;
+    let n_unames = m.local_addr("n_unames")?;
+    let ssn_base = stud + m.size_of(world.student)?;
+    let idx = n_unames.offset_from(ssn_base) as u32 / 4;
+    report.note(format!("step 1: n_unames at {n_unames} = ssn[{idx}]"));
+
+    let arena = Arena::new(stud, m.size_of(world.student)?);
+    let st = place_object_site(m, config, arena, world.grad, report)?;
+    let script: Vec<i64> =
+        (0..3).map(|i| if i == idx { i64::from(FORGED_N_UNAMES) } else { 0 }).collect();
+    m.input_mut().extend(script);
+    ssn_input_loop(m, &st)?;
+    Ok(())
+}
+
+/// Builds the malicious `uname` payload: filler with the attacker's code
+/// address at `target_off` (no NUL bytes before it, so `strncpy` keeps
+/// copying).
+fn payload(len: u32, target_off: Option<u32>, target: u32) -> Vec<u8> {
+    let mut p = vec![b'A'; len as usize];
+    if let Some(off) = target_off {
+        let off = off as usize;
+        if off + 4 <= p.len() {
+            p[off..off + 4].copy_from_slice(&target.to_le_bytes());
+        }
+    }
+    p
+}
+
+/// E14: the stack variant (Listing 19) — the flooded `strncpy` runs over
+/// the pool into the canary/saved-FP/return-address words.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run_stack(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::ArrayTwoStepStack);
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+    m.register_function("logRequest", Privilege::Normal);
+    let system = m.register_function("system", Privilege::Privileged);
+    // Jump 4 bytes past the entry so the little-endian address bytes carry
+    // no NUL that would stop strncpy.
+    let target = m.funcs().def(system).addr() + 4;
+
+    // An outer frame stands in for main(), keeping the victim frame away
+    // from the very top of the stack.
+    m.push_frame("main", &[("argbuf", VarDecl::char_buf(4096))])?;
+    m.push_frame(
+        "sortAndAddUname",
+        &[
+            ("mem_pool", VarDecl::char_buf(POOL)),
+            ("n_unames", VarDecl::Ty(CxxType::Int)),
+            ("stud", VarDecl::Class(world.student)),
+        ],
+    )?;
+    let pool = m.local_addr("mem_pool")?;
+    let n_unames_addr = m.local_addr("n_unames")?;
+    let ret_slot = m.frame()?.ret_slot();
+
+    // cin >> n_unames; if (n_unames > n_students) return;  — passes.
+    m.input_mut().push(5i64);
+    let honest = m.cin_int()? as i32;
+    m.space_mut().write_i32(n_unames_addr, honest)?;
+    report.note(format!("honest n_unames = {honest} (≤ {N_STUDENTS}: check passes)"));
+
+    step_one(&mut m, config, &world, &mut report)?;
+    let n_now = m.space().read_i32(n_unames_addr)? as u32;
+    report.measure("n_unames_after_step1", f64::from(n_now));
+
+    // Step 2: char *buf = new (mem_pool) char[n_unames * UNAME_BYTES];
+    let copy_len = n_now.saturating_mul(UNAME_BYTES);
+    let arena = Arena::new(pool, POOL);
+    let buf = place_array_site(&mut m, config, arena, CxxType::Char, copy_len, &mut report)?;
+    let ret_off = (buf.addr() <= ret_slot && copy_len > 0)
+        .then(|| ret_slot.offset_from(buf.addr()) as u32)
+        .filter(|&off| off + 4 <= copy_len);
+    let uname = payload(copy_len, ret_off, target.value());
+    m.strncpy(buf.addr(), &uname, copy_len)?;
+    report.note(format!("step 2: strncpy of {copy_len} bytes into the {POOL}-byte pool at {pool}"));
+
+    let event = m.ret()?;
+    note_ret(&mut report, &event.outcome);
+    report.succeeded = event.outcome.is_hijack();
+    Ok(report)
+}
+
+/// E15: the bss variant (Listing 20) — the pool is global; the flood
+/// rewrites the globals declared after it (`n_staff`, and an
+/// authorization flag, reproducing §4.4's "authentication mechanisms can
+/// also be bypassed").
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run_bss(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::ArrayTwoStepBss);
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+
+    // char mem_pool[...]; int n_staff; int authenticated;  (globals)
+    let pool = m.define_global("mem_pool", VarDecl::char_buf(POOL), SegmentKind::Bss)?;
+    let n_staff = m.define_global("n_staff", VarDecl::Ty(CxxType::Int), SegmentKind::Bss)?;
+    let auth = m.define_global("authenticated", VarDecl::Ty(CxxType::Int), SegmentKind::Bss)?;
+    m.space_mut().write_i32(n_staff, 12)?;
+    m.space_mut().write_i32(auth, 0)?;
+
+    m.push_frame(
+        "sortAndAddUname",
+        &[("n_unames", VarDecl::Ty(CxxType::Int)), ("stud", VarDecl::Class(world.student))],
+    )?;
+    let n_unames_addr = m.local_addr("n_unames")?;
+    m.input_mut().push(5i64);
+    let honest = m.cin_int()? as i32;
+    m.space_mut().write_i32(n_unames_addr, honest)?;
+
+    step_one(&mut m, config, &world, &mut report)?;
+    let n_now = m.space().read_i32(n_unames_addr)? as u32;
+    report.measure("n_unames_after_step1", f64::from(n_now));
+
+    let copy_len = n_now.saturating_mul(UNAME_BYTES);
+    let arena = Arena::new(pool, POOL);
+    let buf = place_array_site(&mut m, config, arena, CxxType::Char, copy_len, &mut report)?;
+    // The flood sets every overwritten word to 0x41414141 — enough to
+    // corrupt the staff count and flip the auth flag to non-zero.
+    let uname = payload(copy_len, None, 0);
+    m.strncpy(buf.addr(), &uname, copy_len)?;
+
+    let staff_after = m.space().read_i32(n_staff)?;
+    let auth_after = m.space().read_i32(auth)?;
+    report.note(format!("n_staff before: 12, after: {staff_after:#x}"));
+    report.note(format!("authenticated before: 0, after: {auth_after:#x} (bypass)"));
+    report.measure("n_staff_after", f64::from(staff_after));
+    report.measure("auth_after", f64::from(auth_after));
+    report.succeeded = staff_after != 12 && auth_after != 0;
+    m.ret()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+    use pnew_runtime::StackProtection;
+
+    #[test]
+    fn stack_variant_detected_by_stackguard() {
+        // The contiguous strncpy flood cannot skip the canary word (unlike
+        // the selective ssn overwrite), so StackGuard catches it.
+        let r = run_stack(&AttackConfig::paper()).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.detected_by.as_deref(), Some("stackguard"));
+        assert_eq!(r.measurement("n_unames_after_step1"), Some(f64::from(FORGED_N_UNAMES)));
+    }
+
+    #[test]
+    fn stack_variant_hijacks_without_protection() {
+        for p in [StackProtection::None, StackProtection::FramePointer] {
+            let r = run_stack(&AttackConfig::with_protection(p)).unwrap();
+            assert!(r.succeeded, "under {p}: {}", r.verdict());
+        }
+    }
+
+    #[test]
+    fn bss_variant_bypasses_authentication() {
+        let r = run_bss(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded, "{}", r.verdict());
+        assert_eq!(r.measurement("auth_after"), Some(f64::from(0x4141_4141i32)));
+    }
+
+    #[test]
+    fn checked_placement_blocks_both_steps() {
+        for f in [run_stack, run_bss] {
+            let r = f(&AttackConfig::with_defense(Defense::correct_coding())).unwrap();
+            assert!(!r.succeeded);
+            assert!(r.blocked_by.is_some());
+            // Step 1 already fails: n_unames is never corrupted.
+            assert_eq!(r.measurement("n_unames_after_step1"), Some(5.0));
+        }
+    }
+
+    #[test]
+    fn interceptor_blocks_the_bss_flood_but_not_the_stack_flood() {
+        let cfg = AttackConfig::with_defense(Defense::intercept());
+        // bss: pool is a known global → step 2 blocked.
+        let r = run_bss(&cfg).unwrap();
+        assert!(!r.succeeded);
+        // stack: both arenas invisible → attack proceeds (and is then a
+        // StackGuard question; disable it to see the hijack).
+        let mut cfg2 = cfg;
+        cfg2.protection = StackProtection::None;
+        let r = run_stack(&cfg2).unwrap();
+        assert!(r.succeeded);
+    }
+}

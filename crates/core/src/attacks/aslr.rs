@@ -1,0 +1,252 @@
+//! E24 — ASLR ablation.
+//!
+//! The paper's platform (Ubuntu 10.04 in its default 32-bit setup of the
+//! experiments) gives the attacker a *known* memory layout: every attack
+//! that redirects control supplies an **absolute** address (`&system`,
+//! the shellcode address). This experiment asks the natural follow-on
+//! question: which of the placement-new attacks survive address-space
+//! layout randomization?
+//!
+//! The attacker's knowledge is modeled honestly: addresses are computed
+//! on a *reference* machine with the paper's fixed layout, then replayed
+//! against machines whose segments were slid by seeded ASLR. Two attack
+//! families are measured:
+//!
+//! * **control-flow** (the Listing 13 selective overwrite): needs the
+//!   absolute address of the target code — collapses to crashes under
+//!   ASLR;
+//! * **data-only** (the Listing 14 counter overwrite): the overflow is
+//!   *relative* (object adjacency) and the payload is a plain value —
+//!   completely unaffected by ASLR.
+//!
+//! That contrast is the classic result: ASLR stops the control-flow half
+//! of the catalogue and none of the data-only half.
+
+use pnew_memory::SegmentKind;
+use pnew_object::LayoutPolicy;
+use pnew_runtime::{
+    ControlOutcome, MachineBuilder, Privilege, RuntimeError, StackProtection, VarDecl,
+};
+
+use crate::placement::placement_new;
+use crate::student::StudentWorld;
+
+/// Aggregate outcome of an ASLR trial batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AslrOutcome {
+    /// Number of trials run.
+    pub trials: u32,
+    /// Trials where the attack achieved its goal.
+    pub successes: u32,
+    /// Trials that crashed the victim (control landed nowhere useful).
+    pub crashes: u32,
+    /// Trials caught by a protection mechanism.
+    pub detected: u32,
+}
+
+impl AslrOutcome {
+    /// Success rate in `[0, 1]`.
+    pub fn success_rate(&self) -> f64 {
+        f64::from(self.successes) / f64::from(self.trials.max(1))
+    }
+}
+
+fn machine_for(world: &StudentWorld, aslr: Option<u64>) -> pnew_runtime::Machine {
+    let mut b =
+        MachineBuilder::new().policy(LayoutPolicy::paper()).protection(StackProtection::StackGuard);
+    if let Some(seed) = aslr {
+        b = b.aslr(seed);
+    }
+    b.build(world.registry.clone())
+}
+
+/// The attacker's intelligence: `&system` read off the fixed reference
+/// layout (what an exploit hardcodes).
+fn assumed_system_addr(world: &StudentWorld) -> u32 {
+    let mut reference = machine_for(world, None);
+    let id = reference.register_function("system", Privilege::Privileged);
+    reference.funcs().def(id).addr().value()
+}
+
+/// Runs `trials` control-flow attacks (Listing 13 selective overwrite with
+/// a hardcoded `&system`) against fresh machines; with `aslr` each machine
+/// gets a different seeded slide.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn control_flow_trials(trials: u32, aslr: bool) -> Result<AslrOutcome, RuntimeError> {
+    let world = StudentWorld::plain();
+    let assumed = assumed_system_addr(&world);
+    let mut outcome = AslrOutcome { trials, ..AslrOutcome::default() };
+
+    for t in 0..trials {
+        let mut m = machine_for(&world, aslr.then_some(u64::from(t) + 1));
+        m.register_function("system", Privilege::Privileged);
+        m.push_frame("main", &[("argbuf", VarDecl::char_buf(256))])?;
+        m.push_frame("addStudent", &[("stud", VarDecl::Class(world.student))])?;
+        let stud = m.local_addr("stud")?;
+        let ret_slot = m.frame()?.ret_slot();
+        // The *relative* geometry is layout-knowledge the attacker always
+        // has (it comes from the class definitions, not the load address).
+        let ret_index = ret_slot.offset_from(stud + 16) / 4;
+
+        let gs = placement_new(&mut m, stud, world.grad)?;
+        for i in 0..3u32 {
+            if u64::from(i) == ret_index {
+                gs.write_elem_i32(&mut m, "ssn", i, assumed as i32)?;
+            }
+        }
+        match m.ret()?.outcome {
+            ControlOutcome::Hijacked { name, .. } if name == "system" => outcome.successes += 1,
+            ControlOutcome::CanaryDetected { .. } | ControlOutcome::ShadowStackDetected { .. } => {
+                outcome.detected += 1;
+            }
+            ControlOutcome::Return => {}
+            _ => outcome.crashes += 1,
+        }
+    }
+    Ok(outcome)
+}
+
+/// Runs `trials` data-only attacks (Listing 14: the adjacent counter is
+/// overwritten with a *value*, not an address) under the same regimes.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn data_only_trials(trials: u32, aslr: bool) -> Result<AslrOutcome, RuntimeError> {
+    let world = StudentWorld::plain();
+    let mut outcome = AslrOutcome { trials, ..AslrOutcome::default() };
+
+    for t in 0..trials {
+        let mut m = machine_for(&world, aslr.then_some(u64::from(t) + 1));
+        let stud1 = m.define_global("stud1", VarDecl::Class(world.student), SegmentKind::Bss)?;
+        let count = m.define_global(
+            "noOfStudents",
+            VarDecl::Ty(pnew_object::CxxType::Int),
+            SegmentKind::Bss,
+        )?;
+        m.space_mut().write_i32(count, 0)?;
+        let st = placement_new(&mut m, stud1, world.grad)?;
+        st.write_elem_i32(&mut m, "ssn", 0, 50_000)?;
+        if m.space().read_i32(count)? == 50_000 {
+            outcome.successes += 1;
+        } else {
+            outcome.crashes += 1;
+        }
+    }
+    Ok(outcome)
+}
+
+/// Runs `trials` leak-assisted control-flow attacks under ASLR: the
+/// attacker first uses the §4.3 information leak to read a code pointer
+/// the victim keeps next to the reused pool, derives `&system` from the
+/// *relative* distance between functions (a property of the binary, not
+/// of the load address), and only then mounts the Listing 13 overwrite.
+/// This is the canonical "info leak defeats ASLR" chain, built entirely
+/// from the paper's own primitives.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn leak_assisted_trials(trials: u32) -> Result<AslrOutcome, RuntimeError> {
+    let world = StudentWorld::plain();
+
+    // Attacker intelligence that ASLR does NOT hide: the distance between
+    // two functions inside the binary (read off any copy of it).
+    let delta = {
+        let mut reference = machine_for(&world, None);
+        let log = reference.register_function("logRequest", Privilege::Normal);
+        let system = reference.register_function("system", Privilege::Privileged);
+        reference.funcs().def(system).addr().value() as i64
+            - reference.funcs().def(log).addr().value() as i64
+    };
+
+    let mut outcome = AslrOutcome { trials, ..AslrOutcome::default() };
+    for t in 0..trials {
+        let mut m = machine_for(&world, Some(u64::from(t) + 1));
+        let log = m.register_function("logRequest", Privilege::Normal);
+        let log_addr = m.funcs().def(log).addr();
+        m.register_function("system", Privilege::Privileged);
+
+        // The victim keeps a dispatch pointer right next to its reusable
+        // pool — the §4.3 leak ships both out together.
+        let pool =
+            m.define_global("mem_pool", VarDecl::Buffer { size: 64, align: 8 }, SegmentKind::Bss)?;
+        let handler = m.define_global(
+            "log_handler",
+            VarDecl::Ty(pnew_object::CxxType::ptr(pnew_object::CxxType::Char)),
+            SegmentKind::Bss,
+        )?;
+        m.space_mut().write_ptr(handler, log_addr)?;
+
+        // Step 1 — the information leak: store(userdata) reads past the
+        // short user string and ships the neighbouring pointer bytes.
+        let leaked_bytes = m.space().read_vec(pool, 64 + 8)?;
+        let off = handler.offset_from(pool) as usize;
+        let leaked_handler =
+            u32::from_le_bytes(leaked_bytes[off..off + 4].try_into().expect("4 bytes"));
+
+        // Step 2 — derive &system and mount the Listing 13 overwrite.
+        let derived_system = (i64::from(leaked_handler) + delta) as u32;
+        m.push_frame("main", &[("argbuf", VarDecl::char_buf(256))])?;
+        m.push_frame("addStudent", &[("stud", VarDecl::Class(world.student))])?;
+        let stud = m.local_addr("stud")?;
+        let ret_index = m.frame()?.ret_slot().offset_from(stud + 16) / 4;
+        let gs = placement_new(&mut m, stud, world.grad)?;
+        gs.write_elem_i32(&mut m, "ssn", ret_index as u32, derived_system as i32)?;
+
+        match m.ret()?.outcome {
+            ControlOutcome::Hijacked { name, .. } if name == "system" => outcome.successes += 1,
+            ControlOutcome::CanaryDetected { .. } => outcome.detected += 1,
+            ControlOutcome::Return => {}
+            _ => outcome.crashes += 1,
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TRIALS: u32 = 32;
+
+    #[test]
+    fn control_flow_attacks_need_the_fixed_layout() {
+        let fixed = control_flow_trials(TRIALS, false).unwrap();
+        assert_eq!(fixed.successes, TRIALS, "{fixed:?}");
+        assert_eq!(fixed.success_rate(), 1.0);
+
+        let randomized = control_flow_trials(TRIALS, true).unwrap();
+        assert_eq!(randomized.successes, 0, "{randomized:?}");
+        // The wrong absolute address lands nowhere useful: crashes.
+        assert_eq!(randomized.crashes, TRIALS);
+    }
+
+    #[test]
+    fn data_only_attacks_are_aslr_immune() {
+        let fixed = data_only_trials(TRIALS, false).unwrap();
+        let randomized = data_only_trials(TRIALS, true).unwrap();
+        assert_eq!(fixed.successes, TRIALS);
+        assert_eq!(randomized.successes, TRIALS, "{randomized:?}");
+    }
+
+    #[test]
+    fn an_info_leak_defeats_aslr() {
+        // The blind attack fails under ASLR; the leak-assisted chain is
+        // back to 100%.
+        let blind = control_flow_trials(TRIALS, true).unwrap();
+        let assisted = leak_assisted_trials(TRIALS).unwrap();
+        assert_eq!(blind.successes, 0);
+        assert_eq!(assisted.successes, TRIALS, "{assisted:?}");
+    }
+
+    #[test]
+    fn outcome_rates() {
+        let o = AslrOutcome { trials: 4, successes: 1, crashes: 3, detected: 0 };
+        assert_eq!(o.success_rate(), 0.25);
+        assert_eq!(AslrOutcome::default().success_rate(), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! E1 — data/bss object overflow (§3.5, Listing 11).
+//!
+//! ```c++
+//! Student stud1, stud2;
+//! bool addStudent (bool isGradStudent) {
+//!   GradStudent *st;
+//!   if (isGradStudent) {
+//!     st = new (&stud1) GradStudent(gpa,...);   // ssn[] overlaps stud2
+//!     st->setSSN(...);                          // user input
+//!   } else {
+//!     new (&stud2) Student(gpa,...);            // user input
+//!   }
+//! }
+//! addStudent(false);
+//! addStudent(true);  // attack: overwrites "gpa" of stud2
+//! ```
+//!
+//! `stud1` and `stud2` are uninitialized globals, adjacent in the bss.
+//! Placing a `GradStudent` at `&stud1` puts `ssn[0..3]` at
+//! `stud1 + 16..28`, i.e. over `stud2.gpa` (8 bytes) and `stud2.year`.
+//! Success predicate: `stud2.gpa` changes without ever being assigned
+//! through `stud2`.
+
+use pnew_memory::SegmentKind;
+use pnew_runtime::{RuntimeError, VarDecl};
+
+use crate::attacks::{place_object_site, ssn_input_loop};
+use crate::placement::placement_new;
+use crate::protect::Arena;
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// The honest `gpa` a benign `addStudent(false)` stores into `stud2`.
+pub const HONEST_GPA: f64 = 3.5;
+
+/// Runs Listing 11.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems, never on attack outcomes.
+pub fn run(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::BssOverflow);
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+
+    // Student stud1, stud2;  (bss: uninitialized globals, adjacent)
+    let stud1 = m.define_global("stud1", VarDecl::Class(world.student), SegmentKind::Bss)?;
+    let stud2 = m.define_global("stud2", VarDecl::Class(world.student), SegmentKind::Bss)?;
+    report.note(format!("stud1 at {stud1}, stud2 at {stud2} (bss, adjacent)"));
+
+    // Attacker input: three SSN words. The first two are the raw little-
+    // endian halves of an IEEE double, so the overwritten gpa decodes to a
+    // "meaningful" value — §3's point that overflows can be meaningful.
+    let forged_gpa: f64 = 4.0;
+    let bits = forged_gpa.to_bits();
+    m.input_mut().extend([
+        (bits & 0xffff_ffff) as i64,
+        (bits >> 32) as i64,
+        2025i64, // lands on stud2.year
+    ]);
+
+    // addStudent(false): benign placement of a Student at &stud2.
+    let st2 = placement_new(&mut m, stud2, world.student)?;
+    st2.write_f64(&mut m, "gpa", HONEST_GPA)?;
+    st2.write_i32(&mut m, "year", 2008)?;
+    st2.write_i32(&mut m, "semester", 2)?;
+    let gpa_before = st2.read_f64(&mut m, "gpa")?;
+    report.note(format!("stud2.gpa before attack: {gpa_before}"));
+
+    // addStudent(true): the vulnerable placement at &stud1.
+    let arena = Arena::new(stud1, m.size_of(world.student)?);
+    let st1 = place_object_site(&mut m, config, arena, world.grad, &mut report)?;
+    st1.write_f64(&mut m, "gpa", 4.0)?;
+    ssn_input_loop(&mut m, &st1)?; // st->setSSN(user input)
+
+    let gpa_after = st2.read_f64(&mut m, "gpa")?;
+    let year_after = st2.read_i32(&mut m, "year")?;
+    report.note(format!(
+        "stud2.gpa after attack: {gpa_after}, stud2.year after attack: {year_after}"
+    ));
+    report.measure("gpa_before", gpa_before);
+    report.measure("gpa_after", gpa_after);
+    report.succeeded = gpa_after != gpa_before;
+    if report.succeeded {
+        report.note(format!(
+            "attack wrote attacker-chosen gpa {gpa_after} into stud2 via stud1's ssn[]"
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+
+    #[test]
+    fn paper_config_succeeds_with_meaningful_value() {
+        let r = run(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded);
+        assert_eq!(r.measurement("gpa_before"), Some(HONEST_GPA));
+        assert_eq!(r.measurement("gpa_after"), Some(4.0));
+        assert!(r.blocked_by.is_none());
+        assert!(r.detected_by.is_none());
+    }
+
+    #[test]
+    fn checked_placement_blocks() {
+        let r = run(&AttackConfig::with_defense(Defense::correct_coding())).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.blocked_by.as_deref(), Some("checked placement"));
+        assert_eq!(r.measurement("gpa_after"), Some(HONEST_GPA));
+    }
+
+    #[test]
+    fn interceptor_sees_the_global_arena_and_blocks() {
+        let r = run(&AttackConfig::with_defense(Defense::intercept())).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.blocked_by.as_deref(), Some("library interceptor"));
+    }
+
+    #[test]
+    fn stackguard_is_irrelevant_to_bss_overflows() {
+        // Canaries protect the stack; the bss attack succeeds regardless.
+        let mut cfg = AttackConfig::paper();
+        cfg.protection = pnew_runtime::StackProtection::StackGuard;
+        assert!(run(&cfg).unwrap().succeeded);
+        cfg.protection = pnew_runtime::StackProtection::None;
+        assert!(run(&cfg).unwrap().succeeded);
+    }
+}

@@ -1,0 +1,116 @@
+//! E6 — code injection (§3.6.2).
+//!
+//! "If the size of an instance of GradStudent is large enough to overwrite
+//! the return address, and the size of all local variables in
+//! `addStudent()` is enough to inject shell code, then the attacker can
+//! set the values of `ssn[]` and other variables (e.g., `stud`) so that
+//! the function would return to execute the supplied shell code."
+//!
+//! The attacker writes shellcode bytes into the overflowed object's own
+//! field bytes (`stud` *is* attacker-controlled storage) and points the
+//! return address at them. Whether the "shellcode" runs is decided by the
+//! stack's execute permission: on the NX stack of the paper's platform the
+//! return faults; with an executable stack
+//! ([`AttackConfig::executable_stack`]) the injected code executes.
+
+use pnew_runtime::{ControlOutcome, FaultReason, RuntimeError, VarDecl};
+
+use crate::attacks::{note_ret, place_object_site, ssn_input_loop};
+use crate::protect::Arena;
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// A recognizable stand-in for shellcode (x86 `nop` sled + `int 0x80`
+/// flavoured bytes); the simulator never decodes it, only the execute
+/// permission matters.
+pub const SHELLCODE: [u8; 16] = [
+    0x90, 0x90, 0x90, 0x90, 0x31, 0xc0, 0x50, 0x68, 0x2f, 0x2f, 0x73, 0x68, 0xcd, 0x80, 0x90, 0x90,
+];
+
+/// Runs the code-injection attack.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::CodeInjection);
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+
+    m.push_frame("main", &[("argbuf", VarDecl::char_buf(256))])?;
+    m.push_frame("addStudent", &[("stud", VarDecl::Class(world.student))])?;
+    let stud = m.local_addr("stud")?;
+    let ret_slot = m.frame()?.ret_slot();
+    let ssn_base = stud + m.size_of(world.student)?;
+    let ret_index = ret_slot.offset_from(ssn_base) as u32 / 4;
+
+    let arena = Arena::new(stud, m.size_of(world.student)?);
+    let gs = place_object_site(&mut m, config, arena, world.grad, &mut report)?;
+
+    // Inject the shellcode through the object's own fields: the attacker
+    // controls gpa/year/semester, whose bytes are the first 16 of stud.
+    let payload_target = gs.addr();
+    m.space_mut().write_bytes(payload_target, &SHELLCODE)?;
+    report.note(format!("16 shellcode bytes staged at {payload_target} (inside stud)"));
+
+    // Selective overwrite pointing the return address at the shellcode.
+    let script: Vec<i64> = (0..3)
+        .map(|i| if i == ret_index { i64::from(payload_target.value()) } else { 0 })
+        .collect();
+    m.input_mut().extend(script);
+    ssn_input_loop(&mut m, &gs)?;
+
+    let event = m.ret()?;
+    note_ret(&mut report, &event.outcome);
+    report.succeeded = matches!(event.outcome, ControlOutcome::ShellCode { .. });
+    report.measure(
+        "nx_fault",
+        f64::from(u8::from(matches!(
+            event.outcome,
+            ControlOutcome::Fault { reason: FaultReason::NxViolation, .. }
+        ))),
+    );
+    report.measure("stack_executable", f64::from(u8::from(config.executable_stack)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+
+    #[test]
+    fn nx_stack_faults_the_injected_code() {
+        let r = run(&AttackConfig::paper()).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.measurement("nx_fault"), Some(1.0));
+    }
+
+    #[test]
+    fn executable_stack_runs_the_injected_code() {
+        let mut cfg = AttackConfig::paper();
+        cfg.executable_stack = true;
+        let r = run(&cfg).unwrap();
+        assert!(r.succeeded, "{}", r.verdict());
+        assert!(r.evidence.iter().any(|e| e.contains("injected code executed")));
+    }
+
+    #[test]
+    fn shadow_stack_stops_it_even_on_executable_stacks() {
+        let mut cfg = AttackConfig::paper();
+        cfg.executable_stack = true;
+        cfg.shadow_stack = true;
+        let r = run(&cfg).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.detected_by.as_deref(), Some("shadow stack"));
+    }
+
+    #[test]
+    fn checked_placement_blocks_it() {
+        let mut cfg = AttackConfig::with_defense(Defense::correct_coding());
+        cfg.executable_stack = true;
+        let r = run(&cfg).unwrap();
+        assert!(!r.succeeded);
+        assert!(r.blocked_by.is_some());
+    }
+}

@@ -1,0 +1,239 @@
+//! E18 — denial of service through overflow (§4.4).
+//!
+//! "By modifying `n` to a non-positive value, or a very large positive
+//! value, the loop can be controlled such that either it is never taken
+//! or is iterated for a long time ... if the resources are
+//! allocated/locked inside the loop, the attacker may crash the program
+//! \[or\] effect memory leakage."
+//!
+//! The scenario reuses the Listing 15 geometry (the loop bound `n` sits
+//! one padded word above the placed object) and measures three runs:
+//!
+//! 1. **baseline** — honest `n = 5`: the service loop runs 5 times;
+//! 2. **starvation** — forged `n = 0`: the loop never runs (requests
+//!    silently dropped);
+//! 3. **flooding** — forged huge `n`: each iteration allocates a request
+//!    buffer; the loop is driven until the heap allocator fails, crashing
+//!    the program — the resource-exhaustion DoS;
+//! 4. **descriptor exhaustion** — each iteration opens a log file and
+//!    never closes it ("opening maximum number of files");
+//! 5. **self-deadlock** — a single-request handler (honest bound 1) holds
+//!    the database lock for its one pass; the corrupted bound makes the
+//!    body re-enter and re-acquire it ("deadlocks (trying to lock the
+//!    same resource multiple times)").
+
+use pnew_object::CxxType;
+use pnew_runtime::{Machine, RuntimeError, VarDecl};
+
+use crate::attacks::{place_object_site, ssn_input_loop};
+use crate::protect::Arena;
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// Heap bytes allocated per loop iteration in the flooding run.
+pub const REQUEST_BYTES: u32 = 1024;
+/// Hard cap on simulated iterations (keeps the flood bounded in time).
+pub const ITERATION_CAP: u32 = 1_000_000;
+
+/// What the service loop does with each "request".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoopWork {
+    /// Pure computation.
+    Nothing,
+    /// Allocate a request buffer (heap pressure).
+    Allocate,
+    /// Open a per-request log file and leak the descriptor.
+    OpenFile,
+    /// Acquire the (non-reentrant) database lock without releasing it.
+    TakeLock,
+}
+
+/// How a flooded run died, if it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoopDeath {
+    Survived,
+    HeapExhausted,
+    FdExhausted,
+    Deadlock,
+}
+
+/// One run of the victim function with a forged (or honest) loop bound;
+/// returns `(n_after, iterations, how_it_died)`.
+fn victim_run(
+    m: &mut Machine,
+    config: &AttackConfig,
+    world: &StudentWorld,
+    honest_n: i32,
+    forged_n: Option<i32>,
+    work: LoopWork,
+    report: &mut AttackReport,
+) -> Result<(i32, u32, LoopDeath), RuntimeError> {
+    m.push_frame(
+        "serveRequests",
+        &[("n", VarDecl::Ty(CxxType::Int)), ("stud", VarDecl::Class(world.student))],
+    )?;
+    let n_addr = m.local_addr("n")?;
+    m.space_mut().write_i32(n_addr, honest_n)?;
+    let stud = m.local_addr("stud")?;
+
+    if let Some(forged) = forged_n {
+        let arena = Arena::new(stud, m.size_of(world.student)?);
+        let gs = place_object_site(m, config, arena, world.grad, report)?;
+        // ssn[0] lands in the padding, ssn[1] on n (§3.7.2); a forged 0
+        // must still be *written*, so the input loop writes sentinel
+        // positives into the padding and the machine writes n directly
+        // through ssn[1]'s alias when the forgery is non-positive.
+        if forged > 0 {
+            m.input_mut().extend([1i64, i64::from(forged), 0]);
+            ssn_input_loop(m, &gs)?;
+        } else {
+            // The listings' guard `if (dssn > 0)` skips non-positive input,
+            // so a starvation attacker sends the bound through a different
+            // field write (e.g. the copy constructor path): model it as a
+            // direct ssn[1] store.
+            gs.write_elem_i32(m, "ssn", 1, forged)?;
+        }
+    }
+
+    let n = m.space().read_i32(n_addr)?;
+    let mut iterations = 0u32;
+    let mut death = LoopDeath::Survived;
+    let mut i = 0i32;
+    while i < n && iterations < ITERATION_CAP {
+        iterations += 1;
+        match work {
+            LoopWork::Nothing => {}
+            LoopWork::Allocate => match m.heap_alloc(REQUEST_BYTES) {
+                Ok(_) => {}
+                Err(RuntimeError::HeapExhausted { .. }) => {
+                    death = LoopDeath::HeapExhausted;
+                    break;
+                }
+                Err(e) => return Err(e),
+            },
+            LoopWork::OpenFile => {
+                // A per-request log file, never closed: the §4.4 leak.
+                if m.resources_mut().open().is_err() {
+                    death = LoopDeath::FdExhausted;
+                    break;
+                }
+            }
+            LoopWork::TakeLock => {
+                // The body assumes it runs once per request; the corrupted
+                // bound makes it re-enter.
+                if m.resources_mut().lock("students.db").is_err() {
+                    death = LoopDeath::Deadlock;
+                    break;
+                }
+            }
+        }
+        i += 1;
+    }
+    m.ret()?;
+    Ok((n, iterations, death))
+}
+
+/// Runs the three DoS measurements.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::DosLoop);
+    let world = StudentWorld::plain();
+
+    // Baseline: honest service.
+    let mut m = world.machine(config);
+    let (n, iters, _) =
+        victim_run(&mut m, config, &world, 5, None, LoopWork::Nothing, &mut report)?;
+    report.measure("baseline_n", f64::from(n));
+    report.measure("baseline_iterations", f64::from(iters));
+
+    // Starvation: n forged to 0 — the service loop never runs.
+    let mut m = world.machine(config);
+    let (n0, iters0, _) =
+        victim_run(&mut m, config, &world, 5, Some(0), LoopWork::Nothing, &mut report)?;
+    report.measure("starved_n", f64::from(n0));
+    report.measure("starved_iterations", f64::from(iters0));
+    report.note(format!("starvation: n forged to {n0}, loop ran {iters0} times"));
+
+    // Flooding: n forged huge; each iteration allocates, until the heap
+    // dies.
+    let mut m = world.machine(config);
+    let (nbig, itersbig, death) =
+        victim_run(&mut m, config, &world, 5, Some(i32::MAX), LoopWork::Allocate, &mut report)?;
+    let heap_exhausted = death == LoopDeath::HeapExhausted;
+    report.measure("flooded_n", f64::from(nbig));
+    report.measure("flooded_iterations", f64::from(itersbig));
+    report.measure("heap_exhausted", f64::from(u8::from(heap_exhausted)));
+    report.note(format!(
+        "flooding: n forged to {nbig}; {itersbig} iterations allocated {} KiB before {}",
+        u64::from(itersbig) * u64::from(REQUEST_BYTES) / 1024,
+        if heap_exhausted { "the heap was exhausted (program crashes)" } else { "the cap" }
+    ));
+
+    // Descriptor exhaustion: each iteration opens a log file ("opening
+    // maximum number of files").
+    let mut m = world.machine(config);
+    let (_, fd_iters, fd_death) =
+        victim_run(&mut m, config, &world, 5, Some(i32::MAX), LoopWork::OpenFile, &mut report)?;
+    let fd_exhausted = fd_death == LoopDeath::FdExhausted;
+    report.measure("fd_exhausted", f64::from(u8::from(fd_exhausted)));
+    report.measure("fds_opened", f64::from(m.resources().peak_open()));
+    if fd_exhausted {
+        report.note(format!(
+            "descriptor exhaustion after {fd_iters} iterations ({} open files: limit {})",
+            m.resources().peak_open(),
+            m.resources().fd_limit()
+        ));
+    }
+
+    // Self-deadlock: the lock in the loop body is re-acquired on the
+    // second (attacker-enabled) iteration.
+    let mut m = world.machine(config);
+    let (_, lock_iters, lock_death) =
+        victim_run(&mut m, config, &world, 1, Some(i32::MAX), LoopWork::TakeLock, &mut report)?;
+    let deadlocked = lock_death == LoopDeath::Deadlock;
+    report.measure("deadlocked", f64::from(u8::from(deadlocked)));
+    if deadlocked {
+        report.note(format!("deadlock on iteration {lock_iters}: \"students.db\" acquired twice"));
+    }
+
+    // The DoS succeeded if any corruption actually landed.
+    report.succeeded = (iters0 == 0 && n0 == 0) || heap_exhausted || fd_exhausted || deadlocked;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+
+    #[test]
+    fn starves_and_floods_the_service_loop() {
+        let r = run(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded);
+        assert_eq!(r.measurement("baseline_iterations"), Some(5.0));
+        assert_eq!(r.measurement("starved_iterations"), Some(0.0));
+        assert_eq!(r.measurement("heap_exhausted"), Some(1.0));
+        // The flood allocated until the 1 MiB heap died: ~1000 iterations.
+        let flooded = r.measurement("flooded_iterations").unwrap();
+        assert!(flooded > 500.0 && flooded < 1100.0, "flooded = {flooded}");
+        // §4.4's other vectors: the descriptor table (ulimit 1024) dies,
+        // and the second loop iteration self-deadlocks.
+        assert_eq!(r.measurement("fd_exhausted"), Some(1.0));
+        assert_eq!(r.measurement("fds_opened"), Some(1024.0));
+        assert_eq!(r.measurement("deadlocked"), Some(1.0));
+        assert!(r.evidence.iter().any(|e| e.contains("deadlock on iteration 2")));
+    }
+
+    #[test]
+    fn checked_placement_keeps_the_service_honest() {
+        let r = run(&AttackConfig::with_defense(Defense::correct_coding())).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.measurement("starved_iterations"), Some(5.0));
+        assert_eq!(r.measurement("heap_exhausted"), Some(0.0));
+        assert_eq!(r.measurement("fd_exhausted"), Some(0.0));
+        assert_eq!(r.measurement("deadlocked"), Some(0.0));
+    }
+}

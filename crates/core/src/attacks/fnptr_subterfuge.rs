@@ -1,0 +1,99 @@
+//! E12 — function pointer subterfuge (§3.9, Listing 17).
+//!
+//! ```c++
+//! void addStudent(bool isGradStudent) {
+//!   bool (*createStudentAccount)(char *uid) = NULL;
+//!   Student stud;
+//!   ...
+//!   if (createStudentAccount != NULL) createStudentAccount(...);
+//! }
+//! ```
+//!
+//! The NULL function pointer is a local declared before `stud`; the
+//! object overflow rewrites it, and the guard `!= NULL` — meant to keep
+//! the call dead — now *enables* it: "such an attack also enables
+//! invocation of a method that was not supposed to be called in a given
+//! context."
+
+use pnew_object::CxxType;
+use pnew_runtime::{DispatchOutcome, Privilege, RuntimeError, VarDecl};
+
+use crate::attacks::{place_object_site, ssn_input_loop};
+use crate::protect::Arena;
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// Runs Listing 17.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::FnPtrSubterfuge);
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+    let target = m.register_function("grantAccount", Privilege::Privileged);
+    let target_addr = m.funcs().def(target).addr();
+
+    // bool (*createStudentAccount)(char*) = NULL; Student stud;
+    m.push_frame(
+        "addStudent",
+        &[
+            ("createStudentAccount", VarDecl::Ty(CxxType::ptr(CxxType::Char))),
+            ("stud", VarDecl::Class(world.student)),
+        ],
+    )?;
+    let fnptr = m.local_addr("createStudentAccount")?;
+    m.space_mut().write_ptr(fnptr, pnew_memory::VirtAddr::NULL)?;
+    let stud = m.local_addr("stud")?;
+    let ssn_base = stud + m.size_of(world.student)?;
+    let fn_index = fnptr.offset_from(ssn_base) as u32 / 4;
+    report.note(format!("function pointer at {fnptr} = ssn[{fn_index}] of the placed object"));
+
+    let arena = Arena::new(stud, m.size_of(world.student)?);
+    let gs = place_object_site(&mut m, config, arena, world.grad, &mut report)?;
+
+    let script: Vec<i64> =
+        (0..3).map(|i| if i == fn_index { i64::from(target_addr.value()) } else { 0 }).collect();
+    m.input_mut().extend(script);
+    ssn_input_loop(&mut m, &gs)?;
+
+    // if (createStudentAccount != NULL) createStudentAccount(...);
+    let value = m.space().read_ptr(fnptr)?;
+    if value.is_null() {
+        report.note("pointer still NULL: the guarded call stays dead");
+        report.succeeded = false;
+    } else {
+        let outcome = m.call_function_pointer(value, None);
+        report.note(format!("guard passed; call through pointer: {outcome}"));
+        report.succeeded = matches!(&outcome, DispatchOutcome::Hijacked { privileged: true, .. });
+    }
+    m.ret()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+
+    #[test]
+    fn null_pointer_becomes_a_live_privileged_call() {
+        let r = run(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded, "{}", r.verdict());
+        assert!(r.evidence.iter().any(|e| e.contains("guard passed")));
+    }
+
+    #[test]
+    fn checked_placement_keeps_the_pointer_null() {
+        let r = run(&AttackConfig::with_defense(Defense::correct_coding())).unwrap();
+        assert!(!r.succeeded);
+        assert!(r.evidence.iter().any(|e| e.contains("still NULL")));
+    }
+
+    #[test]
+    fn interceptor_misses_the_stack_arena() {
+        let r = run(&AttackConfig::with_defense(Defense::intercept())).unwrap();
+        assert!(r.succeeded);
+    }
+}

@@ -1,0 +1,85 @@
+//! E7 — modification of data/bss variables (§3.7.1, Listing 14).
+//!
+//! ```c++
+//! Student stud1; int noOfStudents = 0;
+//! bool addStudent(bool isGradStudent) {
+//!   GradStudent *st;
+//!   if (isGradStudent) {
+//!     st = new (&stud1) GradStudent(gpa,...); st->setSSN(...);
+//!   } ...
+//! }
+//! addStudent(true);  // attack: overwrites "noOfStudents"
+//! ```
+//!
+//! `noOfStudents` is declared right after `stud1`, so `ssn[0]` (at
+//! `stud1 + 16`) aliases it. Success predicate: `noOfStudents` takes the
+//! attacker's value. §4.4 builds its DoS on exactly this overwrite.
+
+use pnew_memory::SegmentKind;
+use pnew_object::CxxType;
+use pnew_runtime::{RuntimeError, VarDecl};
+
+use crate::attacks::{place_object_site, ssn_input_loop};
+use crate::protect::Arena;
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// The attacker's replacement for `noOfStudents`.
+pub const FORGED_COUNT: i32 = 50_000;
+
+/// Runs Listing 14.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::GlobalVarMod);
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+
+    // Student stud1; int noOfStudents = 0;  (initialized → data segment)
+    let stud1 = m.define_global("stud1", VarDecl::Class(world.student), SegmentKind::Data)?;
+    let count = m.define_global("noOfStudents", VarDecl::Ty(CxxType::Int), SegmentKind::Data)?;
+    m.space_mut().write_i32(count, 0)?;
+    report.note(format!(
+        "stud1 at {stud1}, noOfStudents at {count} (= stud1 + {})",
+        count.offset_from(stud1)
+    ));
+
+    let before = m.space().read_i32(count)?;
+    let arena = Arena::new(stud1, m.size_of(world.student)?);
+    let st = place_object_site(&mut m, config, arena, world.grad, &mut report)?;
+
+    m.input_mut().extend([i64::from(FORGED_COUNT), 0i64, 0i64]);
+    ssn_input_loop(&mut m, &st)?;
+
+    let after = m.space().read_i32(count)?;
+    report.note(format!("noOfStudents before: {before}, after: {after}"));
+    report.measure("count_before", f64::from(before));
+    report.measure("count_after", f64::from(after));
+    report.succeeded = after == FORGED_COUNT;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+
+    #[test]
+    fn overwrites_the_counter() {
+        let r = run(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded);
+        assert_eq!(r.measurement("count_before"), Some(0.0));
+        assert_eq!(r.measurement("count_after"), Some(f64::from(FORGED_COUNT)));
+    }
+
+    #[test]
+    fn blocked_by_checked_placement_and_interceptor() {
+        for d in [Defense::correct_coding(), Defense::intercept()] {
+            let r = run(&AttackConfig::with_defense(d)).unwrap();
+            assert!(!r.succeeded, "defense {} should block", d.label());
+            assert_eq!(r.measurement("count_after"), Some(0.0));
+        }
+    }
+}

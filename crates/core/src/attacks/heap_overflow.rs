@@ -1,0 +1,223 @@
+//! E2 — heap overflow (§3.5.1, Listing 12).
+//!
+//! ```c++
+//! Student *stud; char *name;
+//! int main() {
+//!   GradStudent *st = new (stud) GradStudent();
+//!   name = new char[16];
+//!   strncpy(name, "abcdefghijklmno\0", 16);
+//!   cout << "Before Attack: Name:" << setw(16) << name << endl;
+//!   cin >> st->ssn[0]; cin >> st->ssn[1]; cin >> st->ssn[2];
+//!   cout << "After Attack: Name:" << setw(16) << name << endl;
+//! }
+//! ```
+//!
+//! `stud`'s 16-byte heap block is immediately followed by the `name`
+//! allocation; `ssn[0..3]` land at `stud + 16..28`, clobbering the
+//! allocator header of `name` (bytes 16..24 past `stud`) and then
+//! `name[0..4]` itself. Success predicate: the printed name changes.
+//! The corrupted allocator header is reported as additional evidence — it
+//! is exactly how real heap-metadata attacks begin, and §3.5.1 notes the
+//! overflow "can further make the program more vulnerable to attacks that
+//! can be carried out using heap overflows".
+
+use pnew_object::CxxType;
+use pnew_runtime::{RuntimeError, BLOCK_MAGIC, HEADER_SIZE};
+
+use crate::attacks::place_object_site;
+use crate::placement::{heap_new, heap_new_array};
+use crate::protect::Arena;
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// Runs Listing 12.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::HeapOverflow);
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+
+    // Student *stud = new Student();  (the listing's placement target)
+    let stud = heap_new(&mut m, world.student)?;
+    // name = new char[16];
+    let name = heap_new_array(&mut m, CxxType::Char, 16)?;
+    m.strncpy(name.addr(), b"abcdefghijklmno\0", 16)?;
+    let before = m.space().read_cstr(name.addr(), 16)?;
+    m.print(format!("Before Attack: Name:{before}"));
+    report.note(format!(
+        "stud block at {}, name block at {} ({} bytes apart incl. header)",
+        stud.addr(),
+        name.addr(),
+        name.addr().offset_from(stud.addr())
+    ));
+
+    // GradStudent *st = new (stud) GradStudent();
+    let arena = Arena::new(stud.addr(), m.size_of(world.student)?);
+    let st = place_object_site(&mut m, config, arena, world.grad, &mut report)?;
+
+    // cin >> st->ssn[0..3]: attacker picks bytes that spell a new name
+    // prefix ("HACK") after traversing the 8-byte allocator header.
+    m.input_mut().extend([
+        0x1111_1111i64,                          // ssn[0]: name's header size field
+        0x2222_2222i64,                          // ssn[1]: name's header magic
+        i64::from(i32::from_le_bytes(*b"HACK")), // ssn[2]: name[0..4]
+    ]);
+    for i in 0..3 {
+        let v = m.cin_int()? as i32;
+        st.write_elem_i32(&mut m, "ssn", i, v)?;
+    }
+
+    let after = m.space().read_cstr(name.addr(), 16)?;
+    m.print(format!("After Attack: Name:{after}"));
+    report.note(format!("name before: {before:?}, after: {after:?}"));
+    report.succeeded = after != before;
+    report.measure("name_bytes_changed", f64::from(u32::from(after != before) * 4));
+
+    // Collateral: the allocator notices its clobbered header on free.
+    if report.succeeded {
+        match m.heap_free(name.addr()) {
+            Err(RuntimeError::HeapCorruption { addr }) => {
+                report.note(format!("free(name) aborts: heap block header at {addr} corrupted"));
+                report.measure("heap_metadata_corrupted", 1.0);
+            }
+            _ => report.measure("heap_metadata_corrupted", 0.0),
+        }
+    }
+    Ok(report)
+}
+
+/// Outcome of the E26 heap-metadata attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetadataAttackOutcome {
+    /// The trusting allocator handed out a block overlapping the live
+    /// victim.
+    pub overlap_achieved: bool,
+    /// The victim's content was rewritten through the overlapping block.
+    pub victim_overwritten: bool,
+    /// The hardened (checking) allocator aborted the same free instead.
+    pub hardened_detects: bool,
+}
+
+/// E26 — heap-metadata exploitation (§3.5.1's "more vulnerable to attacks
+/// that can be carried out using heap overflows", following the w00w00
+/// tutorial the paper cites in §6).
+///
+/// The placement-new overflow of Listing 12 rewrites the *allocator
+/// header* of the next block. Against a classic header-trusting allocator
+/// the forged size poisons the free list on `free`, the next allocation
+/// overlaps a still-live victim, and an innocent write through the new
+/// buffer rewrites the victim — a full data-corruption primitive built
+/// from one header. A hardened allocator (the default) aborts at `free`
+/// instead.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run_metadata_attack(config: &AttackConfig) -> Result<MetadataAttackOutcome, RuntimeError> {
+    let world = StudentWorld::plain();
+
+    // --- classic (trusting) allocator ---------------------------------
+    let mut m = world.machine(config);
+    m.set_heap_trust_headers(true);
+
+    // Block layout: [stud][request][victim].
+    let stud = heap_new(&mut m, world.student)?;
+    let request = heap_new_array(&mut m, CxxType::Char, 16)?;
+    let victim = heap_new_array(&mut m, CxxType::Char, 16)?;
+    m.strncpy(victim.addr(), b"role=user\0", 16)?;
+
+    // Listing 12's overflow, aimed at the *header* of `request`: the
+    // placed GradStudent's ssn[0..2] land on size, magic, and data.
+    let student_size = m.size_of(world.student)?;
+    let st = place_object_site(
+        &mut m,
+        config,
+        Arena::new(stud.addr(), student_size),
+        world.grad,
+        &mut AttackReport::new(AttackKind::HeapOverflow),
+    )?;
+    let forged_len = 2 * (16 + HEADER_SIZE); // covers request AND victim
+    st.write_elem_i32(&mut m, "ssn", 0, forged_len as i32)?;
+    st.write_elem_i32(&mut m, "ssn", 1, BLOCK_MAGIC as i32)?;
+
+    // The program legitimately frees its request buffer…
+    let mut overlap_achieved = false;
+    let mut victim_overwritten = false;
+    if m.heap_free(request.addr()).is_ok() {
+        // …and services the next request with a bigger buffer.
+        let c = m.heap_alloc(forged_len - HEADER_SIZE)?;
+        overlap_achieved = c <= victim.addr() && victim.addr() < c + (forged_len - HEADER_SIZE);
+        // An innocent fill of the new buffer silently rewrites the victim.
+        m.strncpy(c, &[b'A'; 63], forged_len - HEADER_SIZE)?;
+        victim_overwritten = m.space().read_cstr(victim.addr(), 16)? != "role=user";
+    }
+
+    // --- hardened (checking) allocator --------------------------------
+    let mut m = world.machine(config);
+    let stud = heap_new(&mut m, world.student)?;
+    let request = heap_new_array(&mut m, CxxType::Char, 16)?;
+    let _victim = heap_new_array(&mut m, CxxType::Char, 16)?;
+    let student_size = m.size_of(world.student)?;
+    let st = place_object_site(
+        &mut m,
+        config,
+        Arena::new(stud.addr(), student_size),
+        world.grad,
+        &mut AttackReport::new(AttackKind::HeapOverflow),
+    )?;
+    st.write_elem_i32(&mut m, "ssn", 0, forged_len as i32)?;
+    st.write_elem_i32(&mut m, "ssn", 1, BLOCK_MAGIC as i32)?;
+    let hardened_detects =
+        matches!(m.heap_free(request.addr()), Err(RuntimeError::HeapCorruption { .. }));
+
+    Ok(MetadataAttackOutcome { overlap_achieved, victim_overwritten, hardened_detects })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+
+    #[test]
+    fn paper_config_changes_the_printed_name() {
+        let r = run(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded);
+        assert!(r.evidence.iter().any(|e| e.contains("HACK")));
+        assert_eq!(r.measurement("heap_metadata_corrupted"), Some(1.0));
+    }
+
+    #[test]
+    fn checked_placement_blocks() {
+        let r = run(&AttackConfig::with_defense(Defense::correct_coding())).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.blocked_by.as_deref(), Some("checked placement"));
+    }
+
+    #[test]
+    fn metadata_attack_overlaps_and_rewrites_under_the_classic_allocator() {
+        let o = run_metadata_attack(&AttackConfig::paper()).unwrap();
+        assert!(o.overlap_achieved);
+        assert!(o.victim_overwritten);
+        assert!(o.hardened_detects);
+    }
+
+    #[test]
+    fn metadata_attack_needs_the_placement_overflow() {
+        // With §5.1 checked placement the header is never reachable.
+        let o =
+            run_metadata_attack(&AttackConfig::with_defense(Defense::correct_coding())).unwrap();
+        assert!(!o.overlap_achieved);
+        assert!(!o.victim_overwritten);
+        assert!(!o.hardened_detects); // nothing was corrupted to detect
+    }
+
+    #[test]
+    fn interceptor_sees_heap_blocks_and_blocks() {
+        let r = run(&AttackConfig::with_defense(Defense::intercept())).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.blocked_by.as_deref(), Some("library interceptor"));
+    }
+}

@@ -1,0 +1,302 @@
+//! E16/E17 — information leakage (§4.3, Listings 21/22).
+//!
+//! "Information leak can occur when a smaller object is allocated in the
+//! memory pool, where a larger object was allocated earlier. The
+//! placement new operator facilitates carrying out such operations,
+//! without however sanitizing the bits of the memory pool."
+//!
+//! * [`run_array`] (Listing 21): a password file is read into `mem_pool`;
+//!   a user-supplied string is then placed over the pool; `store()` ships
+//!   the pool contents onward — including every password byte past the
+//!   short user string.
+//! * [`run_object`] (Listing 22): a `GradStudent` (with SSN) is created;
+//!   a `Student` is later placed over it; the `ssn[]` words survive past
+//!   `sizeof(Student)` and leave with the stored object.
+//!
+//! The §5.1 sanitization defense (`memset` before reuse) is applied when
+//! [`Defense::sanitize_reuse`](crate::Defense) is set.
+
+use pnew_memory::SegmentKind;
+use pnew_object::CxxType;
+use pnew_runtime::{Machine, RuntimeError, VarDecl};
+
+use crate::placement::heap_new;
+use crate::protect::{ManagedArena, PlacementError};
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// Size of the shared memory pool (`SIZE` in Listing 21).
+pub const POOL_SIZE: u32 = 192;
+/// Cap on the user string (`MAX_USERDATA ≤ SIZE`).
+pub const MAX_USERDATA: u32 = 192;
+
+/// Deterministic synthetic password file (stands in for `/etc/shadow`;
+/// see DESIGN.md substitutions).
+pub fn password_file(seed: u64) -> Vec<u8> {
+    let users = ["root", "alice", "bob", "carol", "daemon"];
+    let mut out = Vec::new();
+    let mut state = seed | 1;
+    for (i, u) in users.iter().enumerate() {
+        let mut hash = String::new();
+        for _ in 0..16 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            hash.push(char::from(b'a' + ((state >> 33) % 26) as u8));
+        }
+        out.extend_from_slice(format!("{u}:$1${hash}:{}:0:\n", 1000 + i).as_bytes());
+    }
+    out.truncate(POOL_SIZE as usize);
+    out
+}
+
+/// Counts how many bytes of `secret` are recoverable verbatim from
+/// `observed` at the same offsets.
+fn recoverable_bytes(observed: &[u8], secret: &[u8]) -> u32 {
+    observed.iter().zip(secret.iter()).filter(|(a, b)| a == b && **a != 0).count() as u32
+}
+
+/// E16: information leakage via arrays (Listing 21).
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run_array(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::InfoLeakArray);
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+
+    // char mem_pool[SIZE];
+    let pool = m.define_global(
+        "mem_pool",
+        VarDecl::Buffer { size: POOL_SIZE, align: 8 },
+        SegmentKind::Bss,
+    )?;
+    let mut arena = ManagedArena::new(pool, POOL_SIZE, config.defense.sanitize_reuse);
+
+    // Tenant 1: mmap/read the password file into the pool.
+    arena
+        .place_array(&mut m, config.defense.placement, CxxType::Char, POOL_SIZE)
+        .map_err(unwrap_placement)?;
+    let secret = password_file(config.seed);
+    m.mmap_file(pool, &secret)?;
+    report.note(format!("password file ({} bytes) read into mem_pool at {pool}", secret.len()));
+
+    // Tenant 2: userdata = new (mem_pool) char[MAX_USERDATA]; user sends a
+    // short string.
+    let user_string = b"guest\0";
+    arena
+        .place_array(&mut m, config.defense.placement, CxxType::Char, MAX_USERDATA)
+        .map_err(unwrap_placement)?;
+    m.strncpy(pool, user_string, user_string.len() as u32)?;
+
+    // store(userdata): the program ships MAX_USERDATA bytes onward.
+    let stored = m.space().read_vec(pool, MAX_USERDATA)?;
+    let leaked = recoverable_bytes(&stored[user_string.len()..], &secret[user_string.len()..]);
+    report.measure("leaked_bytes", f64::from(leaked));
+    report.measure("secret_bytes", f64::from(secret.len() as u32));
+    report.succeeded = leaked > 0;
+    if report.succeeded {
+        let sample = String::from_utf8_lossy(&stored[user_string.len()..user_string.len() + 24])
+            .into_owned();
+        report.note(format!("stored buffer carries password residue: {sample:?}…"));
+    } else {
+        report.blocked_by = Some("memory sanitization".to_owned());
+        report.note("arena sanitized between tenants: no residue in the stored buffer");
+    }
+    Ok(report)
+}
+
+/// E17: information leakage via objects (Listing 22).
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run_object(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::InfoLeakObject);
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+
+    // gst = new GradStudent(); // contains SSN
+    let gst = heap_new(&mut m, world.grad)?;
+    let ssn = [123i32, 45, 6789];
+    for (i, v) in ssn.iter().enumerate() {
+        gst.write_elem_i32(&mut m, "ssn", i as u32, *v)?;
+    }
+    report.note(format!("GradStudent at {} holds SSN {:?}", gst.addr(), ssn));
+
+    // Student *st = new (gst) Student(); // does not clean SSN
+    let grad_size = m.size_of(world.grad)?;
+    let mut arena = ManagedArena::new(gst.addr(), grad_size, config.defense.sanitize_reuse);
+    arena.tick_first_tenant(); // the GradStudent was tenant 1
+    arena
+        .place_object(&mut m, config.defense.placement, world.student)
+        .map_err(unwrap_placement)?;
+
+    // store(st): ships sizeof-GradStudent bytes starting at the arena.
+    let student_size = m.size_of(world.student)?;
+    let stored = m.space().read_vec(gst.addr(), grad_size)?;
+    let mut recovered = Vec::new();
+    for i in 0..3usize {
+        let off = student_size as usize + i * 4;
+        recovered.push(i32::from_le_bytes(stored[off..off + 4].try_into().unwrap()));
+    }
+    let leaked = recovered == ssn;
+    report.note(format!("bytes past sizeof(Student) decode to {recovered:?}"));
+    report.measure(
+        "ssn_words_leaked",
+        f64::from(
+            recovered.iter().zip(ssn.iter()).filter(|(a, b)| a == b && **a != 0).count() as u32
+        ),
+    );
+    report.succeeded = leaked;
+    if !leaked && config.defense.sanitize_reuse {
+        report.blocked_by = Some("memory sanitization".to_owned());
+    }
+    Ok(report)
+}
+
+/// Outcome of the E25 partial-sanitization experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaddingLeakOutcome {
+    /// `sizeof` of the placed class.
+    pub object_size: u32,
+    /// Bytes covered by leaf fields (what field-wise sanitization clears).
+    pub field_bytes: u32,
+    /// Padding bytes (holes + tail) inside the object footprint.
+    pub padding_bytes: u32,
+    /// Secret bytes recoverable after field-only sanitization.
+    pub leaked_after_partial: u32,
+    /// Secret bytes recoverable after full-arena sanitization.
+    pub leaked_after_full: u32,
+}
+
+/// E25 — the §5.1 partial-sanitization hazard: "The bytes used for
+/// padding might contain data from A."
+///
+/// A secret-filled arena is reused for a class with alignment holes
+/// (`char; double; char`). The "efficient" field-wise memset clears only
+/// the leaf fields; the experiment counts the secret bytes that survive
+/// in the holes and tail, and contrasts with the correct full-arena
+/// memset.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run_padding_leak(config: &AttackConfig) -> Result<PaddingLeakOutcome, RuntimeError> {
+    use crate::protect::sanitize_fields_only;
+
+    let mut reg = pnew_object::ClassRegistry::new();
+    let holey = reg
+        .class("SessionRecord")
+        .field("tag", CxxType::Char)
+        .field("balance", CxxType::Double)
+        .field("flag", CxxType::Char)
+        .register();
+    let build = || {
+        pnew_runtime::MachineBuilder::new()
+            .policy(config.policy)
+            .seed(config.seed)
+            .build(reg.clone())
+    };
+
+    let mut m = build();
+    let size = m.size_of(holey)?;
+    let layout = m.layout(holey)?;
+    let field_bytes: u32 =
+        layout.slots().iter().filter(|s| s.ty().as_class().is_none()).map(|s| s.size()).sum();
+
+    let measure = |m: &Machine, pool: pnew_memory::VirtAddr| -> Result<u32, RuntimeError> {
+        let bytes = m.space().read_vec(pool, size)?;
+        Ok(bytes.iter().filter(|&&b| b == 0xAA).count() as u32)
+    };
+
+    // Partial (field-wise) sanitization.
+    let pool =
+        m.define_global("session_pool", VarDecl::Buffer { size, align: 8 }, SegmentKind::Bss)?;
+    m.mmap_file(pool, &vec![0xAA; size as usize])?; // the previous tenant's secret
+    sanitize_fields_only(&mut m, pool, holey)?;
+    let leaked_after_partial = measure(&m, pool)?;
+
+    // Full sanitization.
+    let mut m = build();
+    let pool =
+        m.define_global("session_pool", VarDecl::Buffer { size, align: 8 }, SegmentKind::Bss)?;
+    m.mmap_file(pool, &vec![0xAA; size as usize])?;
+    m.memset(pool, 0, size)?;
+    let leaked_after_full = measure(&m, pool)?;
+
+    Ok(PaddingLeakOutcome {
+        object_size: size,
+        field_bytes,
+        padding_bytes: size - field_bytes,
+        leaked_after_partial,
+        leaked_after_full,
+    })
+}
+
+/// The placement sites in these listings place *smaller-or-equal* tenants,
+/// so no defense ever refuses them; treat a refusal as a wiring bug.
+fn unwrap_placement(e: PlacementError) -> RuntimeError {
+    match e {
+        PlacementError::Runtime(r) => r,
+        other => panic!("placement unexpectedly refused in info-leak scenario: {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+
+    #[test]
+    fn password_residue_leaks_without_sanitization() {
+        let r = run_array(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded);
+        let leaked = r.measurement("leaked_bytes").unwrap();
+        assert!(leaked > 100.0, "expected large residue, got {leaked}");
+        assert!(r.evidence.iter().any(|e| e.contains("residue")));
+    }
+
+    #[test]
+    fn sanitization_stops_the_array_leak() {
+        let r = run_array(&AttackConfig::with_defense(Defense::correct_coding())).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.measurement("leaked_bytes"), Some(0.0));
+        assert_eq!(r.blocked_by.as_deref(), Some("memory sanitization"));
+    }
+
+    #[test]
+    fn ssn_leaks_through_object_reuse() {
+        let r = run_object(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded);
+        assert_eq!(r.measurement("ssn_words_leaked"), Some(3.0));
+    }
+
+    #[test]
+    fn sanitization_stops_the_object_leak() {
+        let r = run_object(&AttackConfig::with_defense(Defense::correct_coding())).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.measurement("ssn_words_leaked"), Some(0.0));
+    }
+
+    #[test]
+    fn padding_leak_matches_the_layout_arithmetic() {
+        let o = run_padding_leak(&AttackConfig::paper()).unwrap();
+        // char + double + char under the paper policy: 24 bytes, 10 of
+        // them fields, 14 padding.
+        assert_eq!(o.object_size, 24);
+        assert_eq!(o.field_bytes, 10);
+        assert_eq!(o.padding_bytes, 14);
+        // Exactly the padding bytes survive the "efficient" sanitization.
+        assert_eq!(o.leaked_after_partial, 14);
+        assert_eq!(o.leaked_after_full, 0);
+    }
+
+    #[test]
+    fn password_file_is_deterministic_and_seed_sensitive() {
+        assert_eq!(password_file(1), password_file(1));
+        assert_ne!(password_file(1), password_file(2));
+        let f = password_file(7);
+        assert!(f.starts_with(b"root:$1$"));
+        assert!(f.len() <= POOL_SIZE as usize);
+    }
+}

@@ -1,0 +1,126 @@
+//! E1b — internal object overflow (§3.4, Listing 10).
+//!
+//! ```c++
+//! class MobilePlayer {
+//!   Student stud1, stud2; int n;
+//!   void addStudentPlayer(Student *stptr) {
+//!     GradStudent *st = new (&stud1) GradStudent(stptr);
+//!     ++n; [...] }
+//! };
+//! ```
+//!
+//! "In an internal overflow, the object overflow overwrites memory
+//! locations that are internal to that object. … Internal overflows have
+//! the capability to modify internal states of an object."
+//!
+//! Placing a `GradStudent` at `&this->stud1` puts `ssn[0..3]` over
+//! `this->stud2.gpa` and `this->stud2.year` — every corrupted byte stays
+//! **inside** the `MobilePlayer` footprint, which the scenario verifies
+//! from the write trace. Success predicate: `stud2.gpa` (internal state)
+//! changes and no write escapes the object.
+
+use pnew_memory::SegmentKind;
+use pnew_runtime::{RuntimeError, VarDecl};
+
+use crate::attacks::place_object_site;
+use crate::protect::Arena;
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// Runs Listing 10.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::InternalOverflow);
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+
+    // A MobilePlayer instance (the `this` object).
+    let player =
+        m.define_global("player", VarDecl::Class(world.mobile_player), SegmentKind::Bss)?;
+    let player_size = m.size_of(world.mobile_player)?;
+    let stud1 = m.field_addr(world.mobile_player, player, "stud1")?;
+    let stud2_gpa = m.field_addr(world.mobile_player, player, "stud2.gpa")?;
+    let n_addr = m.field_addr(world.mobile_player, player, "n")?;
+    m.space_mut().write_f64(stud2_gpa, 2.8)?;
+    m.space_mut().write_i32(n_addr, 1)?;
+    report.note(format!(
+        "MobilePlayer at {player} ({player_size} bytes); this->stud1 at {stud1}, this->stud2.gpa at {stud2_gpa}"
+    ));
+
+    let gpa_before = m.space().read_f64(stud2_gpa)?;
+    m.space_mut().trace_mut().clear();
+
+    // addStudentPlayer: place a GradStudent at &this->stud1.
+    let arena = Arena::new(stud1, m.size_of(world.student)?);
+    let st = place_object_site(&mut m, config, arena, world.grad, &mut report)?;
+
+    // Listing 10 copy-constructs from the received record
+    // (`GradStudent(stptr)`): every ssn word is written unconditionally,
+    // with attacker-chosen values that decode to a forged 4.0 GPA.
+    let forged = 4.0f64.to_bits();
+    st.write_elem_i32(&mut m, "ssn", 0, (forged & 0xffff_ffff) as i32)?;
+    st.write_elem_i32(&mut m, "ssn", 1, (forged >> 32) as i32)?;
+    st.write_elem_i32(&mut m, "ssn", 2, 2026)?;
+
+    let gpa_after = m.space().read_f64(stud2_gpa)?;
+    report.measure("gpa_before", gpa_before);
+    report.measure("gpa_after", gpa_after);
+    report.note(format!("this->stud2.gpa before: {gpa_before}, after: {gpa_after}"));
+
+    // The defining property of §3.4: every attack write stays inside the
+    // MobilePlayer object.
+    let writes: Vec<_> = m.space().trace().iter().copied().collect();
+    let internal =
+        writes.iter().all(|w| w.addr >= player && w.addr + w.len <= player + player_size);
+    let escaped = writes
+        .iter()
+        .filter(|w| !(w.addr >= player && w.addr + w.len <= player + player_size))
+        .count();
+    report.measure("writes_escaping_object", escaped as f64);
+    if internal {
+        report.note(
+            "all overflow writes landed inside the MobilePlayer footprint: internal overflow",
+        );
+    }
+
+    report.succeeded = gpa_after != gpa_before && internal;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+
+    #[test]
+    fn modifies_internal_state_without_escaping() {
+        let r = run(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded, "{}", r.verdict());
+        assert_eq!(r.measurement("gpa_after"), Some(4.0));
+        assert_eq!(r.measurement("writes_escaping_object"), Some(0.0));
+        assert!(r.evidence.iter().any(|e| e.contains("internal overflow")));
+    }
+
+    #[test]
+    fn checked_placement_blocks_it() {
+        let r = run(&AttackConfig::with_defense(Defense::correct_coding())).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.measurement("gpa_after"), Some(2.8));
+    }
+
+    #[test]
+    fn interceptor_sees_the_containing_global() {
+        // &this->stud1 is an *interior* pointer into the MobilePlayer
+        // global; a library interceptor resolves the containing region and
+        // has 40 − 0 = 40 bytes… but the remaining room from stud1 (offset
+        // 0) is the whole object, so a 32-byte GradStudent FITS the
+        // region even though it overflows the 16-byte member. The
+        // interceptor is structurally blind to member boundaries — another
+        // §5.2 residual exposure, asserted here.
+        let r = run(&AttackConfig::with_defense(Defense::intercept())).unwrap();
+        assert!(r.succeeded);
+    }
+}

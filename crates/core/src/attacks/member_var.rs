@@ -1,0 +1,97 @@
+//! E9 — modification of member variables of other objects
+//! (§3.8.1, Listing 16).
+//!
+//! ```c++
+//! void addStudent(bool isGradStudent) {
+//!   Student first = Student(3.9, 2008, 2);
+//!   Student stud;
+//!   if (isGradStudent) {
+//!     GradStudent *gs = new (&stud) GradStudent();
+//!     cin >> gs->ssn[0]; // overwrites first.gpa
+//!     cin >> gs->ssn[1];
+//!   }
+//! }
+//! ```
+//!
+//! `first` is declared before `stud`, so it sits just above it in the
+//! frame; `ssn[0]`/`ssn[1]` alias the two halves of `first.gpa`. Success
+//! predicate: `first.gpa` is no longer 3.9.
+
+use pnew_runtime::{RuntimeError, VarDecl};
+
+use crate::attacks::place_object_site;
+use crate::protect::Arena;
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// Runs Listing 16.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::MemberVarMod);
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+
+    m.push_frame(
+        "addStudent",
+        &[("first", VarDecl::Class(world.student)), ("stud", VarDecl::Class(world.student))],
+    )?;
+    let first = m.local_addr("first")?;
+    let stud = m.local_addr("stud")?;
+
+    // Student first = Student(3.9, 2008, 2);
+    let gpa_off = m.layout(world.student)?.offset_of("gpa")?;
+    let year_off = m.layout(world.student)?.offset_of("year")?;
+    let sem_off = m.layout(world.student)?.offset_of("semester")?;
+    m.space_mut().write_f64(first + gpa_off, 3.9)?;
+    m.space_mut().write_i32(first + year_off, 2008)?;
+    m.space_mut().write_i32(first + sem_off, 2)?;
+    report.note(format!("first at {first}, stud at {stud}; first.gpa at {}", first + gpa_off));
+
+    let arena = Arena::new(stud, m.size_of(world.student)?);
+    let gs = place_object_site(&mut m, config, arena, world.grad, &mut report)?;
+
+    // Attacker forges a perfect 4.0 through the two ssn words.
+    let forged = 4.0f64.to_bits();
+    m.input_mut().extend([(forged & 0xffff_ffff) as i64, (forged >> 32) as i64]);
+    for i in 0..2 {
+        let v = m.cin_int()? as i32;
+        gs.write_elem_i32(&mut m, "ssn", i, v)?;
+    }
+
+    let gpa_after = m.space().read_f64(first + gpa_off)?;
+    report.note(format!("first.gpa before: 3.9, after: {gpa_after}"));
+    report.measure("gpa_after", gpa_after);
+    report.succeeded = gpa_after != 3.9;
+    m.ret()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+
+    #[test]
+    fn forges_a_perfect_gpa() {
+        let r = run(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded);
+        assert_eq!(r.measurement("gpa_after"), Some(4.0));
+    }
+
+    #[test]
+    fn blocked_by_checked_placement() {
+        let r = run(&AttackConfig::with_defense(Defense::correct_coding())).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.measurement("gpa_after"), Some(3.9));
+    }
+
+    #[test]
+    fn canary_never_notices_intra_frame_overwrites() {
+        // The overflow stays below the canary: StackGuard sees nothing.
+        let r = run(&AttackConfig::paper()).unwrap();
+        assert_eq!(r.detected_by, None);
+    }
+}

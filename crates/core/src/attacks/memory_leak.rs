@@ -1,0 +1,131 @@
+//! E19 — memory leaks (§4.5, Listing 23).
+//!
+//! ```c++
+//! GradStudent *stud = NULL;
+//! void addStudent() {
+//!   for (int i=0; i<n_students; i+=2) {
+//!     stud = new GradStudent(); [...]
+//!     Student st = new (stud) Student();
+//!     stud = null; [...] // free memory of st.
+//!   }
+//! }
+//! ```
+//!
+//! "The amount of memory released from `st` is of the size of an instance
+//! of `Student`, while the amount of memory allocated was for an instance
+//! of `GradStudent`. The amount of memory leaked per iteration is the
+//! difference in the size." With placement delete (§5.1) the whole block
+//! is returned and nothing leaks. The scenario also drives the leak until
+//! allocation fails, the crash §4.5 warns about ("an attacker may exploit
+//! certain conditions of the system in order to hasten the process of
+//! such leakage thus crashing the system").
+
+use pnew_runtime::{MachineBuilder, RuntimeError};
+
+use crate::protect::PlacementPool;
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// Iterations of the measured leak loop (`n_students`).
+pub const MEASURED_ITERATIONS: u32 = 100;
+/// Cap for the drive-to-exhaustion phase (well past the exhaustion point
+/// of the scaled 64 KiB heap under the vulnerable discipline).
+const EXHAUSTION_CAP: u32 = 100_000;
+
+/// Runs Listing 23.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::MemoryLeak);
+    let world = StudentWorld::plain();
+    // A scaled-down heap (64 KiB) keeps the drive-to-exhaustion phase
+    // bounded; the per-iteration leak rate — the paper's measurement — is
+    // independent of the heap size.
+    let mut m = MachineBuilder::new()
+        .policy(config.policy)
+        .protection(config.protection)
+        .shadow_stack(config.shadow_stack)
+        .executable_stack(config.executable_stack)
+        .seed(config.seed)
+        .heap_size(64 * 1024)
+        .build(world.registry.clone());
+    let pool = PlacementPool::new(config.defense.placement_delete);
+
+    let grad_size = m.size_of(world.grad)?;
+    let student_size = m.size_of(world.student)?;
+    report.note(format!(
+        "sizeof(GradStudent) = {grad_size}, sizeof(Student) = {student_size}: expected leak {} bytes/iteration",
+        grad_size - student_size
+    ));
+
+    // The measured loop.
+    for _ in 0..MEASURED_ITERATIONS {
+        let st = pool.allocate_and_replace(&mut m, world.grad, world.student)?;
+        pool.release(&mut m, st)?;
+    }
+    let leaked = m.heap_stats().leaked_bytes;
+    let per_iter = leaked as f64 / f64::from(MEASURED_ITERATIONS);
+    report.measure("leaked_bytes", leaked as f64);
+    report.measure("leak_per_iteration", per_iter);
+    report.note(format!(
+        "after {MEASURED_ITERATIONS} iterations: {leaked} bytes leaked ({per_iter} per iteration)"
+    ));
+
+    // Drive the leak to allocator death (the DoS).
+    let mut crashed_after = None;
+    for i in 0..EXHAUSTION_CAP {
+        match pool.allocate_and_replace(&mut m, world.grad, world.student) {
+            Ok(st) => pool.release(&mut m, st)?,
+            Err(RuntimeError::HeapExhausted { .. }) => {
+                crashed_after = Some(i);
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    match crashed_after {
+        Some(i) => {
+            report.note(format!(
+                "heap exhausted after {} further iterations: allocation fails, program crashes",
+                i
+            ));
+            report.measure("iterations_to_exhaustion", f64::from(MEASURED_ITERATIONS + i));
+        }
+        None => {
+            report.note("heap never exhausted: no cumulative leak");
+            report.measure("iterations_to_exhaustion", f64::INFINITY);
+        }
+    }
+
+    report.succeeded = leaked > 0;
+    if !report.succeeded && config.defense.placement_delete {
+        report.blocked_by = Some("placement delete".to_owned());
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+
+    #[test]
+    fn leaks_the_size_difference_per_iteration_and_crashes() {
+        let r = run(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded);
+        // 32 - 16 = 16 bytes per iteration, exactly as §4.5 predicts.
+        assert_eq!(r.measurement("leak_per_iteration"), Some(16.0));
+        assert!(r.measurement("iterations_to_exhaustion").unwrap().is_finite());
+    }
+
+    #[test]
+    fn placement_delete_stops_the_leak() {
+        let r = run(&AttackConfig::with_defense(Defense::correct_coding())).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.measurement("leaked_bytes"), Some(0.0));
+        assert_eq!(r.blocked_by.as_deref(), Some("placement delete"));
+        assert!(r.measurement("iterations_to_exhaustion").unwrap().is_infinite());
+    }
+}

@@ -1,0 +1,138 @@
+//! E8 — overwriting local variables on the stack (§3.7.2, Listing 15),
+//! including the paper's alignment analysis.
+//!
+//! ```c++
+//! void addStudent (bool isGradStudent) {
+//!   int n = 5; Student stud;
+//!   if (isGradStudent) {
+//!     GradStudent *gs = new (&stud) GradStudent();
+//!     [...]
+//!   }
+//!   for (int i = 0; i < n; i++) { [...] }
+//! }
+//! ```
+//!
+//! "It is necessary to note that the memory for `n` is allocated with a
+//! 4-byte alignment. `ssn[0]` does not overwrite `n`, but `ssn[1]`
+//! overwrites `n` because `stud` as an instance of `Student` does not end
+//! exactly at the 4-byte alignment; it leaves 4 bytes for padding, which
+//! is occupied by `ssn[0]`."
+//!
+//! Success predicate: `n` takes the value written through `ssn[1]` while
+//! `ssn[0]` lands in padding, and the `for` loop runs the attacker-chosen
+//! number of iterations.
+
+use pnew_object::CxxType;
+use pnew_runtime::{RuntimeError, VarDecl};
+
+use crate::attacks::{place_object_site, ssn_input_loop};
+use crate::protect::Arena;
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// The attacker's replacement for the loop bound `n` (the honest value
+/// is 5).
+pub const FORGED_N: i32 = 42;
+
+/// Runs Listing 15.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::StackLocalMod);
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+
+    // int n = 5; Student stud;  (declaration order fixes the geometry)
+    m.push_frame(
+        "addStudent",
+        &[("n", VarDecl::Ty(CxxType::Int)), ("stud", VarDecl::Class(world.student))],
+    )?;
+    let n_addr = m.local_addr("n")?;
+    m.space_mut().write_i32(n_addr, 5)?;
+    let stud = m.local_addr("stud")?;
+    let stud_end = stud + m.size_of(world.student)?;
+    let padding = n_addr.offset_from(stud_end) as u32;
+    report.note(format!(
+        "stud ends at {stud_end}, n at {n_addr}: {padding} bytes of alignment padding between"
+    ));
+    report.measure("padding_bytes", f64::from(padding));
+
+    let arena = Arena::new(stud, m.size_of(world.student)?);
+    let gs = place_object_site(&mut m, config, arena, world.grad, &mut report)?;
+
+    // ssn[0] → padding, ssn[1] → n, ssn[2] → beyond (skipped).
+    m.input_mut().extend([0x5150_5150i64, i64::from(FORGED_N), 0i64]);
+    ssn_input_loop(&mut m, &gs)?;
+
+    let n_after = m.space().read_i32(n_addr)?;
+    report.note(format!("n before: 5, after: {n_after}"));
+    report.measure("n_after", f64::from(n_after));
+
+    // for (int i = 0; i < n; i++): count the iterations actually run.
+    let mut iterations = 0u32;
+    let mut i = 0i32;
+    while i < n_after && iterations < 1_000_000 {
+        iterations += 1;
+        i += 1;
+    }
+    report.measure("loop_iterations", f64::from(iterations));
+    report.succeeded = n_after == FORGED_N;
+
+    if padding > 0 {
+        // Verify the paper's claim literally: ssn[0]'s value is sitting in
+        // the padding bytes, not in n.
+        let pad_val = m.space().read_i32(stud_end)?;
+        report.note(format!(
+            "ssn[0] value 0x{pad_val:08x} rests in the padding at {stud_end}; n was hit by ssn[1]"
+        ));
+    }
+    m.ret()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+    use pnew_object::LayoutPolicy;
+
+    #[test]
+    fn ssn1_overwrites_n_and_ssn0_lands_in_padding() {
+        let r = run(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded);
+        assert_eq!(r.measurement("padding_bytes"), Some(4.0));
+        assert_eq!(r.measurement("n_after"), Some(f64::from(FORGED_N)));
+        assert_eq!(r.measurement("loop_iterations"), Some(f64::from(FORGED_N)));
+        assert!(r.evidence.iter().any(|e| e.contains("padding")));
+    }
+
+    #[test]
+    fn i386_abi_alignment_removes_the_padding() {
+        // Ablation: with 4-byte double alignment Student aligns to 4, the
+        // frame packs tight, and ssn[0] hits n directly — so the forged
+        // value (sent through ssn[1]) misses and the attack fails as
+        // scripted. The paper's §3.7.2 note is exactly about this
+        // sensitivity.
+        let mut cfg = AttackConfig::paper();
+        cfg.policy = LayoutPolicy::i386_abi();
+        let r = run(&cfg).unwrap();
+        assert_eq!(r.measurement("padding_bytes"), Some(0.0));
+        assert!(!r.succeeded);
+    }
+
+    #[test]
+    fn blocked_by_checked_placement() {
+        let r = run(&AttackConfig::with_defense(Defense::correct_coding())).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.measurement("n_after"), Some(5.0));
+        assert_eq!(r.measurement("loop_iterations"), Some(5.0));
+    }
+
+    #[test]
+    fn interceptor_misses_stack_arenas() {
+        let r = run(&AttackConfig::with_defense(Defense::intercept())).unwrap();
+        assert!(r.succeeded);
+    }
+}

@@ -1,0 +1,271 @@
+//! E3/E4 — stack overflow and return-address modification
+//! (§3.6.1, Listing 13; selective canary bypass per §5.2).
+//!
+//! ```c++
+//! void addStudent (bool isGradStudent) {
+//!   Student stud;
+//!   if (isGradStudent) {
+//!     GradStudent *gs = new (&stud) GradStudent();
+//!     int i=-1, dssn=0;
+//!     while (++i < 3) { cin >> dssn; if (dssn>0) gs->ssn[i]=dssn; }
+//!   }
+//! }
+//! ```
+//!
+//! With `stud` the only local, `ssn[i]` lands on (low to high) the canary,
+//! the saved frame pointer and the return address — or directly on the
+//! return address when those are absent, exactly the word arithmetic the
+//! paper spells out.
+//!
+//! * [`run_naive`] supplies three positive values: every word is
+//!   overwritten, so gcc's StackGuard detects the smash — the paper's
+//!   "our attempts at stack-smashing were detected" result.
+//! * [`run_selective`] supplies non-positive values for the slots before
+//!   the return address: "We then carried out experiments to see whether
+//!   we could selectively overwrite the return addresses, and avoid
+//!   modification of the canary. We succeeded, and StackGuard could not
+//!   detect it."
+
+use pnew_runtime::{Machine, Privilege, RuntimeError, VarDecl};
+
+use crate::attacks::{note_ret, place_object_site, ssn_input_loop};
+use crate::placement::ObjRef;
+use crate::protect::Arena;
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// Sets up the Listing 13 frame and placement; returns the placed object
+/// and the attacker's replacement return target.
+fn setup(
+    config: &AttackConfig,
+    report: &mut AttackReport,
+) -> Result<(Machine, ObjRef, u32, i64), RuntimeError> {
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+    let evil = m.register_function("system", Privilege::Privileged);
+    let evil_addr = m.funcs().def(evil).addr();
+
+    // main() calls addStudent(): the outer frame keeps the victim frame
+    // away from the very top of the stack, as in a real process.
+    m.push_frame("main", &[("argbuf", VarDecl::char_buf(256))])?;
+    m.push_frame("addStudent", &[("stud", VarDecl::Class(world.student))])?;
+    let stud = m.local_addr("stud")?;
+    let ret_slot = m.frame()?.ret_slot();
+    // Which ssn index aliases the return address: 0 with no protection,
+    // 1 with a saved FP, 2 under StackGuard (§3.6.1's exact words).
+    let ssn_base = stud + m.size_of(world.student)?;
+    let ret_index = ret_slot.offset_from(ssn_base) as u32 / 4;
+    report.note(format!(
+        "frame: stud at {stud}, ssn[] from {ssn_base}, return address at {ret_slot} (= ssn[{ret_index}])"
+    ));
+
+    let arena = Arena::new(stud, m.size_of(world.student)?);
+    let gs = place_object_site(&mut m, config, arena, world.grad, report)?;
+    Ok((m, gs, ret_index, i64::from(evil_addr.value())))
+}
+
+fn finish(mut m: Machine, mut report: AttackReport) -> Result<AttackReport, RuntimeError> {
+    let event = m.ret()?;
+    note_ret(&mut report, &event.outcome);
+    report
+        .measure("canary_intact", event.canary_intact.map_or(f64::NAN, |b| f64::from(u8::from(b))));
+    report.succeeded = event.outcome.is_hijack();
+    Ok(report)
+}
+
+/// E3: the naive smash — all three `ssn` words positive, canary clobbered.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run_naive(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::StackSmash);
+    let (mut m, gs, _, evil) = setup(config, &mut report)?;
+    // Three positive inputs: whatever protection words exist are smashed.
+    m.input_mut().extend([evil, evil, evil]);
+    ssn_input_loop(&mut m, &gs)?;
+    finish(m, report)
+}
+
+/// E4: the selective overwrite — non-positive inputs skip every word
+/// before the return address, defeating StackGuard.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run_selective(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::CanaryBypass);
+    let (mut m, gs, ret_index, evil) = setup(config, &mut report)?;
+    // "This can be achieved in this case by supplying non-positive values
+    // for first two iterations of the while loop. The third one would be
+    // supplied with the new return address."
+    let script: Vec<i64> = (0..3).map(|i| if i == ret_index { evil } else { -1 }).collect();
+    report.note(format!("attacker input script: {script:?}"));
+    m.input_mut().extend(script);
+    ssn_input_loop(&mut m, &gs)?;
+    finish(m, report)
+}
+
+/// E4b: the canary-replay bypass — the *other* classic way around
+/// StackGuard, built from the paper's own §4.3 leak primitive.
+///
+/// A helper call leaves its canary word in stale stack memory below the
+/// stack pointer; an unsanitized stack-arena reuse (the Listing 21
+/// pattern, on the stack) echoes those bytes to the attacker, who then
+/// mounts the *naive* smash but writes the canary's own value back over
+/// it. The check at `ret` compares values, not writes — it passes.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run_canary_replay(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::CanaryBypass);
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+    let evil = m.register_function("system", Privilege::Privileged);
+    let evil_addr = m.funcs().def(evil).addr();
+
+    m.push_frame("main", &[("argbuf", VarDecl::char_buf(256))])?;
+
+    // Step 1 — the leak: a helper runs and returns; its canary word stays
+    // in stale stack memory. The service then echoes a stale buffer from
+    // that region (unsanitized reuse, §4.3) and the attacker reads the
+    // canary out of it.
+    m.push_frame("logRequest", &[("scratch", VarDecl::char_buf(64))])?;
+    let helper_canary_slot = m.frame()?.canary_slot();
+    m.ret()?;
+    let leaked_canary = match helper_canary_slot {
+        Some(slot) => {
+            let v = m.space().read_u32(slot)?;
+            report
+                .note(format!("stale helper frame echoed; canary 0x{v:08x} recovered from {slot}"));
+            Some(v)
+        }
+        None => None, // no canary on this platform: nothing to replay
+    };
+
+    // Step 2 — the naive smash, but replaying the leaked canary over
+    // itself.
+    m.push_frame("addStudent", &[("stud", VarDecl::Class(world.student))])?;
+    let stud = m.local_addr("stud")?;
+    let arena = Arena::new(stud, m.size_of(world.student)?);
+    let gs = place_object_site(&mut m, config, arena, world.grad, &mut report)?;
+
+    // Copy-constructed writes (Listing 6 semantics): unconditional stores.
+    let fill = |i: u32| -> i32 {
+        match (i, leaked_canary) {
+            (0, Some(c)) => c as i32, // the replayed canary
+            _ if i == 2 || leaked_canary.is_none() && i == 0 => {
+                evil_addr.value() as i32 // return address slot
+            }
+            _ => 0x4141_4141, // saved FP: garbage is fine
+        }
+    };
+    for i in 0..3 {
+        gs.write_elem_i32(&mut m, "ssn", i, fill(i))?;
+    }
+
+    let event = m.ret()?;
+    note_ret(&mut report, &event.outcome);
+    report
+        .measure("canary_intact", event.canary_intact.map_or(f64::NAN, |b| f64::from(u8::from(b))));
+    report.succeeded = event.outcome.is_hijack();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+    use pnew_runtime::StackProtection;
+
+    #[test]
+    fn naive_smash_is_detected_by_stackguard() {
+        // The paper: "our attempts at stack-smashing were detected by the
+        // code that was compiled by gcc, and the program was terminated."
+        let r = run_naive(&AttackConfig::paper()).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.detected_by.as_deref(), Some("stackguard"));
+        assert_eq!(r.measurement("canary_intact"), Some(0.0));
+    }
+
+    #[test]
+    fn naive_smash_succeeds_without_protection() {
+        let r = run_naive(&AttackConfig::with_protection(StackProtection::None)).unwrap();
+        assert!(r.succeeded);
+        assert!(r.evidence.iter().any(|e| e.contains("ssn[0]")));
+    }
+
+    #[test]
+    fn naive_smash_succeeds_with_fp_only() {
+        let r = run_naive(&AttackConfig::with_protection(StackProtection::FramePointer)).unwrap();
+        assert!(r.succeeded);
+        // "If the frame pointer is saved, then ssn[1] would overwrite the
+        // return address."
+        assert!(r.evidence.iter().any(|e| e.contains("ssn[1]")));
+    }
+
+    #[test]
+    fn selective_overwrite_defeats_stackguard() {
+        // The paper's §5.2 experiment: canary untouched, hijack succeeds.
+        let r = run_selective(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded, "{}", r.verdict());
+        assert_eq!(r.detected_by, None);
+        assert_eq!(r.measurement("canary_intact"), Some(1.0));
+        assert!(r.evidence.iter().any(|e| e.contains("ssn[2]")));
+    }
+
+    #[test]
+    fn canary_replay_defeats_stackguard_with_every_word_overwritten() {
+        // Unlike the selective overwrite, every protection word IS written
+        // — the canary just gets its own value back.
+        let r = run_canary_replay(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded, "{}", r.verdict());
+        assert_eq!(r.measurement("canary_intact"), Some(1.0));
+        assert!(r.evidence.iter().any(|e| e.contains("recovered")));
+    }
+
+    #[test]
+    fn canary_replay_without_a_canary_still_hijacks() {
+        let r = run_canary_replay(&AttackConfig::with_protection(StackProtection::None)).unwrap();
+        assert!(r.succeeded);
+    }
+
+    #[test]
+    fn shadow_stack_stops_the_canary_replay() {
+        let mut cfg = AttackConfig::paper();
+        cfg.shadow_stack = true;
+        let r = run_canary_replay(&cfg).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.detected_by.as_deref(), Some("shadow stack"));
+    }
+
+    #[test]
+    fn shadow_stack_stops_the_selective_overwrite() {
+        let mut cfg = AttackConfig::paper();
+        cfg.shadow_stack = true;
+        let r = run_selective(&cfg).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.detected_by.as_deref(), Some("shadow stack"));
+    }
+
+    #[test]
+    fn checked_placement_blocks_both_variants() {
+        let cfg = AttackConfig::with_defense(Defense::correct_coding());
+        let r = run_naive(&cfg).unwrap();
+        assert!(!r.succeeded);
+        assert_eq!(r.blocked_by.as_deref(), Some("checked placement"));
+        let r = run_selective(&cfg).unwrap();
+        assert!(!r.succeeded);
+    }
+
+    #[test]
+    fn interceptor_is_blind_to_stack_arenas() {
+        // §5.2's caveat reproduced: the library cannot bound a stack local,
+        // so the bypass still works under interception.
+        let cfg = AttackConfig::with_defense(Defense::intercept());
+        let r = run_selective(&cfg).unwrap();
+        assert!(r.succeeded);
+        assert_eq!(r.blocked_by, None);
+    }
+}

@@ -1,0 +1,99 @@
+//! E13 — variable pointer subterfuge (§3.10, Listing 18).
+//!
+//! ```c++
+//! Student stud; char *name;
+//! int main() {
+//!   GradStudent *st; name = new char[16];
+//!   st = new (&stud) GradStudent();
+//!   cin >> st->ssn[0]; // overwrites ptr name
+//!   cin >> st->ssn[1]; cin >> st->ssn[2];
+//! }
+//! ```
+//!
+//! The globals `stud` and `name` are adjacent, so `ssn[0]` rewrites the
+//! pointer itself. "The pointer subterfuge makes the variable point to an
+//! arbitrary location, and causes the program to crash or use an
+//! attacker specified value at another location." The scenario redirects
+//! `name` at a security-relevant global (`is_admin`) and lets the
+//! program's next innocent write through `name` flip it.
+
+use pnew_memory::SegmentKind;
+use pnew_object::CxxType;
+use pnew_runtime::{RuntimeError, VarDecl};
+
+use crate::attacks::{place_object_site, ssn_input_loop};
+use crate::placement::heap_new_array;
+use crate::protect::Arena;
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// Runs Listing 18.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::VarPtrSubterfuge);
+    let world = StudentWorld::plain();
+    let mut m = world.machine(config);
+
+    // Student stud; char *name;  (bss, adjacent)
+    let stud = m.define_global("stud", VarDecl::Class(world.student), SegmentKind::Bss)?;
+    let name_ptr =
+        m.define_global("name", VarDecl::Ty(CxxType::ptr(CxxType::Char)), SegmentKind::Bss)?;
+    // A victim the attacker wants written: an authorization flag elsewhere
+    // in the data segment.
+    let is_admin = m.define_global("is_admin", VarDecl::Ty(CxxType::Int), SegmentKind::Data)?;
+    m.space_mut().write_i32(is_admin, 0)?;
+
+    // name = new char[16];
+    let buf = heap_new_array(&mut m, CxxType::Char, 16)?;
+    m.space_mut().write_ptr(name_ptr, buf.addr())?;
+    report.note(format!(
+        "stud at {stud}, name pointer at {name_ptr} (= stud + {}), heap buffer at {}",
+        name_ptr.offset_from(stud),
+        buf.addr()
+    ));
+
+    // st = new (&stud) GradStudent();
+    let arena = Arena::new(stud, m.size_of(world.student)?);
+    let st = place_object_site(&mut m, config, arena, world.grad, &mut report)?;
+
+    // ssn[0] overwrites the pointer: point it at is_admin.
+    m.input_mut().extend([i64::from(is_admin.value()), 0i64, 0i64]);
+    ssn_input_loop(&mut m, &st)?;
+
+    // The program later writes user data "into name" — an innocent write
+    // that now lands wherever the attacker aimed.
+    let name_now = m.space().read_ptr(name_ptr)?;
+    report.note(format!("name now points at {name_now}"));
+    m.strncpy(name_now, &1i32.to_le_bytes(), 4)?;
+
+    let admin_after = m.space().read_i32(is_admin)?;
+    report.note(format!("is_admin before: 0, after: {admin_after}"));
+    report.measure("is_admin_after", f64::from(admin_after));
+    report.succeeded = admin_after != 0;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+
+    #[test]
+    fn redirected_pointer_flips_the_admin_flag() {
+        let r = run(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded, "{}", r.verdict());
+        assert_eq!(r.measurement("is_admin_after"), Some(1.0));
+    }
+
+    #[test]
+    fn blocked_by_checked_placement_and_interceptor() {
+        for d in [Defense::correct_coding(), Defense::intercept()] {
+            let r = run(&AttackConfig::with_defense(d)).unwrap();
+            assert!(!r.succeeded, "defense {} should block", d.label());
+            assert_eq!(r.measurement("is_admin_after"), Some(0.0));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! E10/E11 — virtual table pointer subterfuge (§3.8.2).
+//!
+//! With `virtual char* getInfo()` added to both classes, the vptr is the
+//! first word of every instance; "any overflow that can overwrite an
+//! object can in fact overwrite the virtual table pointer. ... Such an
+//! overflow allows the attacker to invoke arbitrary methods as
+//! implementations of `virtual char* getInfo()` or even crash the program
+//! by supplying an invalid address."
+//!
+//! [`run_bss`] mounts the subterfuge through the Listing 11/12 bss
+//! geometry (stud1's `ssn[]` overwrites stud2's vptr); [`run_stack`]
+//! through the Listing 16 frame geometry (`first.__vptr`). Both build a
+//! fake vtable out of bytes the attacker already controls — the
+//! overflowed `ssn` words themselves — whose slot 0 points at the
+//! privileged `system` entry. [`run_crash`] supplies an invalid vptr
+//! instead, reproducing the crash variant.
+
+use pnew_memory::SegmentKind;
+use pnew_runtime::{DispatchOutcome, Privilege, RuntimeError, VarDecl};
+
+use crate::attacks::place_object_site;
+use crate::protect::Arena;
+use crate::report::{AttackConfig, AttackKind, AttackReport};
+use crate::student::StudentWorld;
+
+/// E10: vptr subterfuge via data/bss overflow.
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run_bss(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::VptrSubterfuge);
+    let world = StudentWorld::with_virtuals();
+    let mut m = world.machine(config);
+    let system = m.register_function("system", Privilege::Privileged);
+    let system_addr = m.funcs().def(system).addr();
+
+    // Student stud1, stud2; (virtual variant: 24 bytes each, vptr first)
+    let stud1 = m.define_global("stud1", VarDecl::Class(world.student), SegmentKind::Bss)?;
+    let stud2 = m.define_global("stud2", VarDecl::Class(world.student), SegmentKind::Bss)?;
+    crate::placement_new(&mut m, stud2, world.student)?; // benign construct
+    report.note(format!("stud2.__vptr at {stud2} (offset 0, §3.8.2)"));
+
+    let student_size = m.size_of(world.student)?;
+    let arena = Arena::new(stud1, student_size);
+    let gs = place_object_site(&mut m, config, arena, world.grad, &mut report)?;
+
+    // ssn[0] lands on stud2.__vptr; ssn[1] lands on stud2+4, which the
+    // attacker uses as the fake vtable body: slot 0 = &system.
+    let fake_table = stud2 + 4;
+    m.input_mut().extend([
+        i64::from(fake_table.value()),  // ssn[0] → stud2.__vptr
+        i64::from(system_addr.value()), // ssn[1] → fake slot 0
+        0i64,
+    ]);
+    crate::attacks::ssn_input_loop(&mut m, &gs)?;
+    report.note(format!(
+        "forged vptr {} pointing at fake vtable (slot 0 = system at {system_addr})",
+        fake_table
+    ));
+
+    // The program later calls stud2->getInfo().
+    let outcome = m.virtual_call(stud2, world.student, "getInfo")?;
+    report.note(format!("virtual dispatch: {outcome}"));
+    report.succeeded = matches!(
+        &outcome,
+        DispatchOutcome::Hijacked { privileged: true, name, .. } if name == "system"
+    );
+    Ok(report)
+}
+
+/// E11: vptr subterfuge via stack overflow (the Listing 16 frame with
+/// virtual classes: `gs->ssn[]` overwrites `first.__vptr`).
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run_stack(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::VptrSubterfuge);
+    let world = StudentWorld::with_virtuals();
+    let mut m = world.machine(config);
+    let system = m.register_function("system", Privilege::Privileged);
+    let system_addr = m.funcs().def(system).addr();
+
+    m.push_frame(
+        "addStudent",
+        &[("first", VarDecl::Class(world.student)), ("stud", VarDecl::Class(world.student))],
+    )?;
+    let first = m.local_addr("first")?;
+    let stud = m.local_addr("stud")?;
+    crate::placement_new(&mut m, first, world.student)?; // construct first
+
+    let student_size = m.size_of(world.student)?;
+    let arena = Arena::new(stud, student_size);
+    let gs = place_object_site(&mut m, config, arena, world.grad, &mut report)?;
+    report.note(format!("first.__vptr at {first}; ssn[] of *gs starts at {}", stud + student_size));
+
+    let fake_table = first + 4;
+    m.input_mut().extend([i64::from(fake_table.value()), i64::from(system_addr.value()), 0i64]);
+    crate::attacks::ssn_input_loop(&mut m, &gs)?;
+
+    let outcome = m.virtual_call(first, world.student, "getInfo")?;
+    report.note(format!("virtual dispatch: {outcome}"));
+    report.succeeded = matches!(
+        &outcome,
+        DispatchOutcome::Hijacked { privileged: true, name, .. } if name == "system"
+    );
+    m.ret()?;
+    Ok(report)
+}
+
+/// The crash variant: an invalid vptr makes the dispatch fault —
+/// "or even crash the program by supplying an invalid address as the
+/// value of `*__vptr`".
+///
+/// # Errors
+///
+/// Fails only on scenario wiring problems.
+pub fn run_crash(config: &AttackConfig) -> Result<AttackReport, RuntimeError> {
+    let mut report = AttackReport::new(AttackKind::VptrSubterfuge);
+    let world = StudentWorld::with_virtuals();
+    let mut m = world.machine(config);
+
+    let stud1 = m.define_global("stud1", VarDecl::Class(world.student), SegmentKind::Bss)?;
+    let stud2 = m.define_global("stud2", VarDecl::Class(world.student), SegmentKind::Bss)?;
+    crate::placement_new(&mut m, stud2, world.student)?;
+
+    let arena = Arena::new(stud1, m.size_of(world.student)?);
+    let gs = place_object_site(&mut m, config, arena, world.grad, &mut report)?;
+    m.input_mut().extend([0x44i64, 0i64, 0i64]); // invalid vptr 0x44
+    crate::attacks::ssn_input_loop(&mut m, &gs)?;
+
+    let outcome = m.virtual_call(stud2, world.student, "getInfo")?;
+    report.note(format!("virtual dispatch: {outcome}"));
+    // "Success" for the crash variant = the program faults instead of
+    // dispatching (a denial of service in itself).
+    report.succeeded = matches!(outcome, DispatchOutcome::Fault { .. });
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Defense;
+
+    #[test]
+    fn bss_subterfuge_reaches_system() {
+        let r = run_bss(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded, "{}", r.verdict());
+        assert!(r.evidence.iter().any(|e| e.contains("forged vptr")));
+    }
+
+    #[test]
+    fn stack_subterfuge_reaches_system() {
+        let r = run_stack(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded, "{}", r.verdict());
+    }
+
+    #[test]
+    fn invalid_vptr_crashes_the_dispatch() {
+        let r = run_crash(&AttackConfig::paper()).unwrap();
+        assert!(r.succeeded);
+        assert!(r.evidence.iter().any(|e| e.contains("fault")));
+    }
+
+    #[test]
+    fn checked_placement_blocks_all_variants() {
+        let cfg = AttackConfig::with_defense(Defense::correct_coding());
+        assert!(!run_bss(&cfg).unwrap().succeeded);
+        assert!(!run_stack(&cfg).unwrap().succeeded);
+        assert!(!run_crash(&cfg).unwrap().succeeded);
+    }
+
+    #[test]
+    fn interceptor_blocks_bss_but_not_stack() {
+        let cfg = AttackConfig::with_defense(Defense::intercept());
+        assert!(!run_bss(&cfg).unwrap().succeeded);
+        assert!(run_stack(&cfg).unwrap().succeeded);
+    }
+
+    #[test]
+    fn dispatch_is_valid_without_the_attack() {
+        // Sanity: an untouched stud2 dispatches to Student::getInfo.
+        let world = StudentWorld::with_virtuals();
+        let mut m = world.machine_default();
+        let stud2 =
+            m.define_global("stud2", VarDecl::Class(world.student), SegmentKind::Bss).unwrap();
+        crate::placement_new(&mut m, stud2, world.student).unwrap();
+        let out = m.virtual_call(stud2, world.student, "getInfo").unwrap();
+        assert!(matches!(out, DispatchOutcome::Valid { name, .. } if name == "Student::getInfo"));
+    }
+}

@@ -1,0 +1,55 @@
+//! Placement-new buffer-overflow attacks and protections — the primary
+//! contribution of *"A New Class of Buffer Overflow Attacks"* (Kundu &
+//! Bertino, ICDCS 2011), reproduced on a simulated C++ runtime.
+//!
+//! The crate has four layers:
+//!
+//! * [`placement`](crate::placement_new) — the §2 primitive, faithful to
+//!   its lack of bounds/type/alignment checking, plus the serialized-object
+//!   copy construction of §3.2;
+//! * [`student`] — the `Student`/`GradStudent`/`MobilePlayer` class family
+//!   every listing uses;
+//! * [`attacks`] — one runnable scenario per attack in the paper
+//!   (Listings 11–23 and the §3.6/§3.8/§4.4 variants), each producing an
+//!   [`AttackReport`] with the paper's own success predicate;
+//! * [`protect`] — the §5 defenses: checked placement with heap fallback,
+//!   arena sanitization, placement delete, and libsafe-style interception
+//!   (StackGuard and the shadow stack are machine-level switches in
+//!   [`pnew_runtime`]).
+//!
+//! # Examples
+//!
+//! Run the paper's flagship demonstration — Listing 11's bss object
+//! overflow — and watch `stud2.gpa` change without `stud2` ever being
+//! written through its own name:
+//!
+//! ```
+//! use pnew_core::attacks::bss_overflow;
+//! use pnew_core::report::AttackConfig;
+//!
+//! # fn main() -> Result<(), pnew_runtime::RuntimeError> {
+//! let report = bss_overflow::run(&AttackConfig::paper())?;
+//! assert!(report.succeeded);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+mod placement;
+pub mod protect;
+pub mod report;
+pub mod student;
+pub mod taxonomy;
+
+pub use placement::{
+    heap_new, heap_new_array, placement_new, placement_new_array, placement_new_copy, ArrayRef,
+    ObjRef,
+};
+pub use protect::{Arena, PlacementError, PlacementMode};
+pub use report::{AttackConfig, AttackKind, AttackReport, Defense};
+
+/// Crate-wide result alias (runtime errors dominate scenario code).
+pub type Result<T, E = pnew_runtime::RuntimeError> = std::result::Result<T, E>;

@@ -1,0 +1,408 @@
+//! The placement-new expression — the paper's §2 primitive, faithful to
+//! its (lack of) checking.
+//!
+//! ```c++
+//! void *operator new (size_t, void *p) throw() { return p; }
+//! void *operator new[] (size_t, void *p) throw() { return p; }
+//! ```
+//!
+//! [`placement_new`] and [`placement_new_array`] perform **no bounds
+//! checking, no type checking, and no alignment checking** (§2.5): they
+//! construct an object/array image at whatever non-null address they are
+//! given. Every attack in this crate is built on that silence. The checked
+//! counterparts prescribed by §5.1 live in [`crate::protect`].
+
+use pnew_memory::VirtAddr;
+use pnew_object::{ClassId, CxxType};
+use pnew_runtime::{Machine, RuntimeError};
+
+/// A typed reference to an object placed in simulated memory.
+///
+/// Mirrors the `T *obj = new (addr) T(...)` result: an address plus the
+/// static type the program believes lives there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObjRef {
+    addr: VirtAddr,
+    class: ClassId,
+}
+
+impl ObjRef {
+    /// The object base address.
+    pub fn addr(&self) -> VirtAddr {
+        self.addr
+    }
+
+    /// The static class of the reference.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// Address of a field (`&obj->path`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path does not resolve.
+    pub fn field_addr(&self, machine: &mut Machine, path: &str) -> Result<VirtAddr, RuntimeError> {
+        machine.field_addr(self.class, self.addr, path)
+    }
+
+    /// Address of an array element (`&obj->path[index]`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path does not resolve or the index is out of bounds.
+    pub fn element_addr(
+        &self,
+        machine: &mut Machine,
+        path: &str,
+        index: u32,
+    ) -> Result<VirtAddr, RuntimeError> {
+        machine.element_addr(self.class, self.addr, path, index)
+    }
+
+    /// Writes an `int` field (`obj->path = value`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path does not resolve or memory faults.
+    pub fn write_i32(
+        &self,
+        machine: &mut Machine,
+        path: &str,
+        value: i32,
+    ) -> Result<(), RuntimeError> {
+        let a = self.field_addr(machine, path)?;
+        machine.space_mut().write_i32(a, value)?;
+        Ok(())
+    }
+
+    /// Reads an `int` field.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path does not resolve or memory faults.
+    pub fn read_i32(&self, machine: &mut Machine, path: &str) -> Result<i32, RuntimeError> {
+        let a = self.field_addr(machine, path)?;
+        Ok(machine.space().read_i32(a)?)
+    }
+
+    /// Writes a `double` field.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path does not resolve or memory faults.
+    pub fn write_f64(
+        &self,
+        machine: &mut Machine,
+        path: &str,
+        value: f64,
+    ) -> Result<(), RuntimeError> {
+        let a = self.field_addr(machine, path)?;
+        machine.space_mut().write_f64(a, value)?;
+        Ok(())
+    }
+
+    /// Reads a `double` field.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path does not resolve or memory faults.
+    pub fn read_f64(&self, machine: &mut Machine, path: &str) -> Result<f64, RuntimeError> {
+        let a = self.field_addr(machine, path)?;
+        Ok(machine.space().read_f64(a)?)
+    }
+
+    /// Writes `obj->path[index] = value` for an `int` array field — the
+    /// `st->setSSN(...)` of the listings. **No bounds check beyond the
+    /// declared array length**: the declared length is what the victim
+    /// program itself uses, and writing `ssn[0..3]` through an overflowed
+    /// placement is exactly the attack.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path/index does not resolve or memory faults.
+    pub fn write_elem_i32(
+        &self,
+        machine: &mut Machine,
+        path: &str,
+        index: u32,
+        value: i32,
+    ) -> Result<(), RuntimeError> {
+        let a = self.element_addr(machine, path, index)?;
+        machine.space_mut().write_i32(a, value)?;
+        Ok(())
+    }
+
+    /// Reads `obj->path[index]` for an `int` array field.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path/index does not resolve or memory faults.
+    pub fn read_elem_i32(
+        &self,
+        machine: &mut Machine,
+        path: &str,
+        index: u32,
+    ) -> Result<i32, RuntimeError> {
+        let a = self.element_addr(machine, path, index)?;
+        Ok(machine.space().read_i32(a)?)
+    }
+}
+
+/// A reference to an array placed in simulated memory
+/// (`new (addr) char[n]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayRef {
+    addr: VirtAddr,
+    elem: CxxType,
+    len: u32,
+}
+
+impl ArrayRef {
+    /// Base address of the array.
+    pub fn addr(&self) -> VirtAddr {
+        self.addr
+    }
+
+    /// Element type.
+    pub fn elem(&self) -> &CxxType {
+        &self.elem
+    }
+
+    /// Declared element count.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// `true` when the declared length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Size in bytes the program believes the array occupies.
+    pub fn byte_len(&self, machine: &Machine) -> u32 {
+        self.elem.scalar_size(&machine.policy()).expect("array element is scalar") * self.len
+    }
+}
+
+/// The placement-new expression for single objects:
+/// `T *obj = new (addr) T()`.
+///
+/// Performs the compiler-generated part of construction (vtable pointers)
+/// and **nothing else** — no bounds, type, or alignment checks (§2.5).
+///
+/// # Errors
+///
+/// Fails only as the real expression would: on a null address (undefined
+/// behaviour the runtime refuses) or a hardware-level memory fault while
+/// writing the vptr. Overflowing a smaller arena is *not* an error.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_core::{placement_new, student::StudentWorld};
+/// use pnew_memory::SegmentKind;
+/// use pnew_runtime::VarDecl;
+///
+/// # fn main() -> Result<(), pnew_runtime::RuntimeError> {
+/// let world = StudentWorld::plain();
+/// let mut m = world.machine_default();
+/// // Student stud; GradStudent *st = new (&stud) GradStudent();
+/// let stud = m.define_global("stud", VarDecl::Class(world.student), SegmentKind::Bss)?;
+/// let st = placement_new(&mut m, stud, world.grad)?;
+/// assert_eq!(st.addr(), stud); // placed exactly at &stud, 16 bytes short
+/// # Ok(())
+/// # }
+/// ```
+pub fn placement_new(
+    machine: &mut Machine,
+    addr: VirtAddr,
+    class: ClassId,
+) -> Result<ObjRef, RuntimeError> {
+    if addr.is_null() {
+        return Err(RuntimeError::NullPlacement);
+    }
+    machine.construct(addr, class)?;
+    Ok(ObjRef { addr, class })
+}
+
+/// The placement-new expression for arrays:
+/// `char *buf = new (addr) char[n]`.
+///
+/// # Errors
+///
+/// Fails on a null address. The length is *not* checked against anything —
+/// that is the point.
+pub fn placement_new_array(
+    machine: &mut Machine,
+    addr: VirtAddr,
+    elem: CxxType,
+    len: u32,
+) -> Result<ArrayRef, RuntimeError> {
+    let _ = machine; // arrays of scalars need no construction
+    if addr.is_null() {
+        return Err(RuntimeError::NullPlacement);
+    }
+    Ok(ArrayRef { addr, elem, len })
+}
+
+/// Placement construction from a serialized object (§3.2, Listing 7):
+/// `T *t = new (addr) T(remoteobj)` with a deep-copying constructor.
+///
+/// The *entire* payload is copied to `addr` — the receiving constructor
+/// trusts the sender's framing — and then the vtable pointers of the
+/// *placed class* are restored, as a real constructor would after member
+/// initialization. Payload bytes beyond `sizeof(class)` remain in memory:
+/// the object overflow via remote object.
+///
+/// # Errors
+///
+/// Fails on a null address or a memory fault (e.g. payload so large it
+/// leaves the segment — the simulated segfault).
+pub fn placement_new_copy(
+    machine: &mut Machine,
+    addr: VirtAddr,
+    class: ClassId,
+    payload: &[u8],
+) -> Result<ObjRef, RuntimeError> {
+    if addr.is_null() {
+        return Err(RuntimeError::NullPlacement);
+    }
+    machine.space_mut().write_bytes(addr, payload)?;
+    machine.construct(addr, class)?;
+    Ok(ObjRef { addr, class })
+}
+
+/// The ordinary (non-placement) heap `new`: allocates and constructs.
+///
+/// # Errors
+///
+/// Fails when the heap is exhausted.
+pub fn heap_new(machine: &mut Machine, class: ClassId) -> Result<ObjRef, RuntimeError> {
+    let size = machine.size_of(class)?;
+    let addr = machine.heap_alloc(size)?;
+    machine.construct(addr, class)?;
+    Ok(ObjRef { addr, class })
+}
+
+/// The ordinary heap `new[]` for scalar arrays.
+///
+/// # Errors
+///
+/// Fails when the heap is exhausted.
+pub fn heap_new_array(
+    machine: &mut Machine,
+    elem: CxxType,
+    len: u32,
+) -> Result<ArrayRef, RuntimeError> {
+    let esize = elem.scalar_size(&machine.policy()).expect("scalar element");
+    let addr = machine.heap_alloc(esize * len)?;
+    Ok(ArrayRef { addr, elem, len })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::student::StudentWorld;
+    use pnew_memory::SegmentKind;
+    use pnew_runtime::VarDecl;
+
+    #[test]
+    fn placement_at_null_is_refused() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        assert!(matches!(
+            placement_new(&mut m, VirtAddr::NULL, world.student),
+            Err(RuntimeError::NullPlacement)
+        ));
+        assert!(matches!(
+            placement_new_array(&mut m, VirtAddr::NULL, CxxType::Char, 4),
+            Err(RuntimeError::NullPlacement)
+        ));
+        assert!(matches!(
+            placement_new_copy(&mut m, VirtAddr::NULL, world.student, &[]),
+            Err(RuntimeError::NullPlacement)
+        ));
+    }
+
+    #[test]
+    fn placement_performs_no_size_check() {
+        // char c; int *b = new (&c) int;  — §2.5 item 1.
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let c = m.define_global("c", VarDecl::Ty(CxxType::Char), SegmentKind::Bss).unwrap();
+        // Placing a 32-byte GradStudent at a 1-byte char succeeds silently.
+        let gs = placement_new(&mut m, c, world.grad).unwrap();
+        assert_eq!(gs.addr(), c);
+    }
+
+    #[test]
+    fn placement_of_polymorphic_class_writes_vptr() {
+        let world = StudentWorld::with_virtuals();
+        let mut m = world.machine_default();
+        let stud =
+            m.define_global("stud", VarDecl::Class(world.student), SegmentKind::Bss).unwrap();
+        placement_new(&mut m, stud, world.grad).unwrap();
+        let vptr = m.space().read_ptr(stud).unwrap();
+        assert_eq!(Some(vptr), m.vtable_addr(world.grad));
+    }
+
+    #[test]
+    fn obj_ref_field_access() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let stud =
+            m.define_global("stud", VarDecl::Class(world.student), SegmentKind::Bss).unwrap();
+        let st = placement_new(&mut m, stud, world.grad).unwrap();
+        st.write_f64(&mut m, "gpa", 4.0).unwrap();
+        st.write_i32(&mut m, "year", 2009).unwrap();
+        st.write_elem_i32(&mut m, "ssn", 2, 777).unwrap();
+        assert_eq!(st.read_f64(&mut m, "gpa").unwrap(), 4.0);
+        assert_eq!(st.read_i32(&mut m, "year").unwrap(), 2009);
+        assert_eq!(st.read_elem_i32(&mut m, "ssn", 2).unwrap(), 777);
+        assert_eq!(st.element_addr(&mut m, "ssn", 0).unwrap(), stud + 16);
+        assert_eq!(st.class(), world.grad);
+    }
+
+    #[test]
+    fn array_ref_geometry() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let pool = m.define_global("pool", VarDecl::char_buf(64), SegmentKind::Bss).unwrap();
+        let arr = placement_new_array(&mut m, pool, CxxType::Char, 128).unwrap();
+        assert_eq!(arr.addr(), pool);
+        assert_eq!(arr.len(), 128);
+        assert!(!arr.is_empty());
+        // The array *claims* 128 bytes over a 64-byte pool — no complaint.
+        assert_eq!(arr.byte_len(&m), 128);
+    }
+
+    #[test]
+    fn copy_placement_writes_past_the_arena() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let stud =
+            m.define_global("stud", VarDecl::Class(world.student), SegmentKind::Bss).unwrap();
+        let neighbour = m.define_global("n", VarDecl::Ty(CxxType::Int), SegmentKind::Bss).unwrap();
+        // Payload of 24 bytes over a 16-byte Student arena.
+        let payload = [0x41u8; 24];
+        placement_new_copy(&mut m, stud, world.student, &payload).unwrap();
+        assert_eq!(
+            m.space().read_u32(neighbour).unwrap(),
+            0x4141_4141,
+            "the deep copy clobbered the neighbour"
+        );
+    }
+
+    #[test]
+    fn heap_new_allocates_and_constructs() {
+        let world = StudentWorld::with_virtuals();
+        let mut m = world.machine_default();
+        let st = heap_new(&mut m, world.grad).unwrap();
+        assert!(m.heap().is_live(st.addr()));
+        let vptr = m.space().read_ptr(st.addr()).unwrap();
+        assert_eq!(Some(vptr), m.vtable_addr(world.grad));
+        let arr = heap_new_array(&mut m, CxxType::Char, 16).unwrap();
+        assert_eq!(m.heap().payload_size(arr.addr()), Some(16));
+    }
+}

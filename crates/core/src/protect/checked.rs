@@ -1,0 +1,188 @@
+//! §5.1 "correct coding": size- and alignment-checked placement.
+//!
+//! > "At each point, where placement new is used, it has to be enforced
+//! > that the size of the new object or array B being placed in a memory
+//! > arena of another object/array A should never be larger than the
+//! > object or array A. If the size checking fails, then the memory
+//! > allocated to A should be freed, and the non-placement new expression
+//! > should be used to create B. In order to determine the size of
+//! > objects, `sizeof()` should be used."
+
+use pnew_object::{ClassId, CxxType};
+use pnew_runtime::Machine;
+
+use crate::placement::{self, ArrayRef, ObjRef};
+use crate::protect::{Arena, PlacementError};
+
+/// Size/alignment-checked `new (arena) T()`.
+///
+/// Uses the simulated `sizeof()` ([`Machine::size_of`]), which includes
+/// compiler-added members like the vptr — exactly why §5.1 tells
+/// programmers not to estimate sizes by hand.
+///
+/// # Errors
+///
+/// Returns [`PlacementError::SizeExceedsArena`] when `sizeof(class)`
+/// exceeds the arena, [`PlacementError::Misaligned`] when the arena base
+/// violates the class alignment, and propagates runtime faults.
+pub fn checked_placement_new(
+    machine: &mut Machine,
+    arena: Arena,
+    class: ClassId,
+) -> Result<ObjRef, PlacementError> {
+    let layout = machine.layout(class)?;
+    if layout.size() > arena.size {
+        return Err(PlacementError::SizeExceedsArena { placed: layout.size(), arena: arena.size });
+    }
+    if !arena.addr.is_aligned(layout.align()) {
+        return Err(PlacementError::Misaligned { addr: arena.addr, required: layout.align() });
+    }
+    Ok(placement::placement_new(machine, arena.addr, class)?)
+}
+
+/// Size/alignment-checked `new (arena) T[len]`.
+///
+/// # Errors
+///
+/// Same conditions as [`checked_placement_new`].
+pub fn checked_placement_new_array(
+    machine: &mut Machine,
+    arena: Arena,
+    elem: CxxType,
+    len: u32,
+) -> Result<ArrayRef, PlacementError> {
+    let policy = machine.policy();
+    let esize = elem.scalar_size(&policy).expect("scalar element");
+    let ealign = elem.scalar_align(&policy).expect("scalar element");
+    let total = esize
+        .checked_mul(len)
+        .ok_or(PlacementError::SizeExceedsArena { placed: u32::MAX, arena: arena.size })?;
+    if total > arena.size {
+        return Err(PlacementError::SizeExceedsArena { placed: total, arena: arena.size });
+    }
+    if !arena.addr.is_aligned(ealign) {
+        return Err(PlacementError::Misaligned { addr: arena.addr, required: ealign });
+    }
+    Ok(placement::placement_new_array(machine, arena.addr, elem, len)?)
+}
+
+/// The full §5.1 recipe: try checked placement, and on a size failure fall
+/// back to the non-placement `new` on the heap. Returns the object and
+/// whether the fallback fired.
+///
+/// # Errors
+///
+/// Propagates alignment failures and runtime faults (including heap
+/// exhaustion during the fallback).
+pub fn place_or_heap(
+    machine: &mut Machine,
+    arena: Arena,
+    class: ClassId,
+) -> Result<(ObjRef, bool), PlacementError> {
+    match checked_placement_new(machine, arena, class) {
+        Ok(obj) => Ok((obj, false)),
+        Err(PlacementError::SizeExceedsArena { .. }) => {
+            let obj = placement::heap_new(machine, class)?;
+            Ok((obj, true))
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::student::StudentWorld;
+    use pnew_memory::SegmentKind;
+    use pnew_runtime::VarDecl;
+
+    fn bss_student(world: &StudentWorld, m: &mut Machine) -> Arena {
+        let addr =
+            m.define_global("stud", VarDecl::Class(world.student), SegmentKind::Bss).unwrap();
+        Arena::new(addr, 16)
+    }
+
+    #[test]
+    fn same_size_placement_is_allowed() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let arena = bss_student(&world, &mut m);
+        let obj = checked_placement_new(&mut m, arena, world.student).unwrap();
+        assert_eq!(obj.addr(), arena.addr);
+    }
+
+    #[test]
+    fn oversized_placement_is_refused() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let arena = bss_student(&world, &mut m);
+        let err = checked_placement_new(&mut m, arena, world.grad).unwrap_err();
+        assert_eq!(err, PlacementError::SizeExceedsArena { placed: 32, arena: 16 });
+    }
+
+    #[test]
+    fn sizeof_check_counts_the_vptr() {
+        // A virtual Student (24 bytes) no longer fits a 16-byte arena even
+        // though its *declared fields* would — the §5.1 sizeof() point.
+        let world = StudentWorld::with_virtuals();
+        let mut m = world.machine_default();
+        let pool = m
+            .define_global("pool", VarDecl::Buffer { size: 16, align: 8 }, SegmentKind::Bss)
+            .unwrap();
+        let err = checked_placement_new(&mut m, Arena::new(pool, 16), world.student).unwrap_err();
+        assert_eq!(err, PlacementError::SizeExceedsArena { placed: 24, arena: 16 });
+    }
+
+    #[test]
+    fn misalignment_is_refused() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let pool = m.define_global("pool", VarDecl::char_buf(64), SegmentKind::Bss).unwrap();
+        // Student needs 8-byte alignment; pool+1 violates it.
+        let err =
+            checked_placement_new(&mut m, Arena::new(pool + 1, 32), world.student).unwrap_err();
+        assert!(matches!(err, PlacementError::Misaligned { required: 8, .. }));
+    }
+
+    #[test]
+    fn checked_array_placement() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let pool = m.define_global("pool", VarDecl::char_buf(64), SegmentKind::Bss).unwrap();
+        let arena = Arena::new(pool, 64);
+        assert!(checked_placement_new_array(&mut m, arena, CxxType::Char, 64).is_ok());
+        let err = checked_placement_new_array(&mut m, arena, CxxType::Char, 65).unwrap_err();
+        assert_eq!(err, PlacementError::SizeExceedsArena { placed: 65, arena: 64 });
+        // Int array alignment check.
+        let err = checked_placement_new_array(&mut m, Arena::new(pool + 2, 32), CxxType::Int, 4)
+            .unwrap_err();
+        assert!(matches!(err, PlacementError::Misaligned { required: 4, .. }));
+    }
+
+    #[test]
+    fn array_length_overflow_is_caught() {
+        // n * sizeof(elem) overflowing u32 must not wrap into a "fits".
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let pool = m.define_global("pool", VarDecl::char_buf(64), SegmentKind::Bss).unwrap();
+        let err =
+            checked_placement_new_array(&mut m, Arena::new(pool, 64), CxxType::Int, 0x4000_0001)
+                .unwrap_err();
+        assert!(matches!(err, PlacementError::SizeExceedsArena { .. }));
+    }
+
+    #[test]
+    fn fallback_to_heap_on_size_failure() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let arena = bss_student(&world, &mut m);
+        let (obj, fell_back) = place_or_heap(&mut m, arena, world.grad).unwrap();
+        assert!(fell_back);
+        assert_ne!(obj.addr(), arena.addr);
+        assert!(m.heap().is_live(obj.addr()));
+
+        let (obj, fell_back) = place_or_heap(&mut m, arena, world.student).unwrap();
+        assert!(!fell_back);
+        assert_eq!(obj.addr(), arena.addr);
+    }
+}

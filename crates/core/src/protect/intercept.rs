@@ -1,0 +1,139 @@
+//! §5.2 library interception for legacy software.
+//!
+//! > "Library-based protection approaches such as using libsafe and
+//! > libverify would not require recompilation of software ... and can be
+//! > updated appropriately to intercept dynamic invocations to placement
+//! > new and carry out bounds checking. However, ... bounds checking may
+//! > not be as easy here because placement new just operates on an
+//! > address, not on a lexically declared array."
+//!
+//! The interceptor wraps every placement call and bounds-checks it against
+//! whatever region metadata a *library* can recover without recompiling
+//! the program: live heap blocks (from allocator metadata) and globals
+//! (from the symbol table). It is honestly **blind to stack locals** — a
+//! library has no per-frame size information — so stack-arena placements
+//! pass through unchecked. The protection-matrix experiment (E20) shows
+//! exactly that residual exposure.
+
+use pnew_memory::VirtAddr;
+use pnew_object::{ClassId, CxxType};
+use pnew_runtime::Machine;
+
+use crate::placement::{self, ArrayRef, ObjRef};
+use crate::protect::PlacementError;
+
+/// Bytes available from `addr` to the end of its containing known region,
+/// or `None` when the interceptor has no metadata for the address.
+fn known_remaining(machine: &Machine, addr: VirtAddr) -> Option<u32> {
+    let (start, len) =
+        machine.known_heap_block(addr).or_else(|| machine.known_global_region(addr))?;
+    Some(len - addr.offset_from(start) as u32)
+}
+
+/// Intercepted `new (addr) T()`.
+///
+/// # Errors
+///
+/// Returns [`PlacementError::SizeExceedsArena`] when metadata proves the
+/// placement oversized; passes the call through (checking nothing) when no
+/// metadata covers `addr`.
+pub fn intercepted_placement_new(
+    machine: &mut Machine,
+    addr: VirtAddr,
+    class: ClassId,
+) -> Result<ObjRef, PlacementError> {
+    let size = machine.size_of(class)?;
+    if let Some(remaining) = known_remaining(machine, addr) {
+        if size > remaining {
+            return Err(PlacementError::SizeExceedsArena { placed: size, arena: remaining });
+        }
+    }
+    Ok(placement::placement_new(machine, addr, class)?)
+}
+
+/// Intercepted `new (addr) T[len]`.
+///
+/// # Errors
+///
+/// Same conditions as [`intercepted_placement_new`].
+pub fn intercepted_placement_new_array(
+    machine: &mut Machine,
+    addr: VirtAddr,
+    elem: CxxType,
+    len: u32,
+) -> Result<ArrayRef, PlacementError> {
+    let esize = elem.scalar_size(&machine.policy()).expect("scalar element");
+    let total = esize
+        .checked_mul(len)
+        .ok_or(PlacementError::SizeExceedsArena { placed: u32::MAX, arena: 0 })?;
+    if let Some(remaining) = known_remaining(machine, addr) {
+        if total > remaining {
+            return Err(PlacementError::SizeExceedsArena { placed: total, arena: remaining });
+        }
+    }
+    Ok(placement::placement_new_array(machine, addr, elem, len)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::student::StudentWorld;
+    use pnew_memory::SegmentKind;
+    use pnew_runtime::VarDecl;
+
+    #[test]
+    fn global_arena_placements_are_checked() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let stud =
+            m.define_global("stud", VarDecl::Class(world.student), SegmentKind::Bss).unwrap();
+        // The interceptor sees the 16-byte global and blocks the
+        // 32-byte GradStudent.
+        let err = intercepted_placement_new(&mut m, stud, world.grad).unwrap_err();
+        assert_eq!(err, PlacementError::SizeExceedsArena { placed: 32, arena: 16 });
+        // Same-size placement passes.
+        assert!(intercepted_placement_new(&mut m, stud, world.student).is_ok());
+    }
+
+    #[test]
+    fn heap_arena_placements_are_checked() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let block = m.heap_alloc(16).unwrap();
+        let err = intercepted_placement_new(&mut m, block, world.grad).unwrap_err();
+        assert!(matches!(err, PlacementError::SizeExceedsArena { placed: 32, .. }));
+    }
+
+    #[test]
+    fn interior_pointers_use_remaining_length() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let pool = m.define_global("pool", VarDecl::char_buf(64), SegmentKind::Bss).unwrap();
+        // 48 bytes remain at pool+16: a 64-byte array is refused there.
+        let err =
+            intercepted_placement_new_array(&mut m, pool + 16, CxxType::Char, 64).unwrap_err();
+        assert_eq!(err, PlacementError::SizeExceedsArena { placed: 64, arena: 48 });
+        assert!(intercepted_placement_new_array(&mut m, pool + 16, CxxType::Char, 48).is_ok());
+    }
+
+    #[test]
+    fn stack_locals_are_invisible_to_the_library() {
+        // The §5.2 caveat: no metadata for stack arenas, so the oversized
+        // placement sails through.
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        m.push_frame("addStudent", &[("stud", VarDecl::Class(world.student))]).unwrap();
+        let stud = m.local_addr("stud").unwrap();
+        assert!(intercepted_placement_new(&mut m, stud, world.grad).is_ok());
+    }
+
+    #[test]
+    fn freed_heap_blocks_lose_metadata() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let block = m.heap_alloc(16).unwrap();
+        m.heap_free(block).unwrap();
+        // No metadata -> passes through (and is, genuinely, dangerous).
+        assert!(intercepted_placement_new(&mut m, block, world.grad).is_ok());
+    }
+}

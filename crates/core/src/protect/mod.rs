@@ -1,0 +1,240 @@
+//! Protection techniques from §5 of the paper.
+//!
+//! §5.1 (modifiable software, "correct coding"):
+//! * size-checked placement at every call site, with a heap fallback —
+//!   [`checked_placement_new`] / [`place_or_heap`];
+//! * memory sanitization before arena reuse — [`ManagedArena`];
+//! * placement delete / pool discipline against leaks —
+//!   [`placement_delete`] / [`PlacementPool`].
+//!
+//! §5.2 (legacy software):
+//! * a libsafe-style library interceptor that bounds-checks placement
+//!   calls from metadata it can recover (heap blocks, globals) and is
+//!   honestly blind where no metadata exists (stack locals) —
+//!   [`intercepted_placement_new`];
+//! * the return-address (shadow) stack is a machine-level switch:
+//!   [`pnew_runtime::MachineBuilder::shadow_stack`];
+//! * gcc StackGuard is likewise machine-level:
+//!   [`pnew_runtime::StackProtection::StackGuard`].
+
+mod checked;
+mod intercept;
+mod pool;
+mod sanitize;
+
+pub use checked::{checked_placement_new, checked_placement_new_array, place_or_heap};
+pub use intercept::{intercepted_placement_new, intercepted_placement_new_array};
+pub use pool::{placement_delete, PlacementPool};
+pub use sanitize::{sanitize_fields_only, ManagedArena};
+
+use std::error::Error;
+use std::fmt;
+
+use pnew_memory::VirtAddr;
+use pnew_object::{ClassId, CxxType};
+use pnew_runtime::{Machine, RuntimeError};
+
+use crate::placement::{ArrayRef, ObjRef};
+
+/// A memory arena a program intends to place into: the address plus the
+/// size the *program* knows it has (`sizeof` of the old object, the
+/// declared pool length, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arena {
+    /// Base address of the arena.
+    pub addr: VirtAddr,
+    /// The arena size known at the call site, in bytes.
+    pub size: u32,
+}
+
+impl Arena {
+    /// Creates an arena descriptor.
+    pub fn new(addr: VirtAddr, size: u32) -> Self {
+        Arena { addr, size }
+    }
+}
+
+impl fmt::Display for Arena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}; {} bytes]", self.addr, self.size)
+    }
+}
+
+/// Why a defended placement call site refused the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlacementError {
+    /// The object/array being placed is larger than the arena — the §5.1
+    /// check that the vulnerable listings omit.
+    SizeExceedsArena {
+        /// Bytes the placement needs.
+        placed: u32,
+        /// Bytes the arena has.
+        arena: u32,
+    },
+    /// The arena address does not satisfy the placed type's alignment
+    /// (§2 issue 2).
+    Misaligned {
+        /// The arena address.
+        addr: VirtAddr,
+        /// Alignment the type requires.
+        required: u32,
+    },
+    /// An underlying runtime failure (null address, memory fault, heap
+    /// exhaustion in the fallback).
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::SizeExceedsArena { placed, arena } => {
+                write!(f, "placement of {placed} bytes exceeds the {arena}-byte arena")
+            }
+            PlacementError::Misaligned { addr, required } => {
+                write!(f, "arena {addr} violates the required {required}-byte alignment")
+            }
+            PlacementError::Runtime(e) => write!(f, "placement failed: {e}"),
+        }
+    }
+}
+
+impl Error for PlacementError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PlacementError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for PlacementError {
+    fn from(e: RuntimeError) -> Self {
+        PlacementError::Runtime(e)
+    }
+}
+
+/// How placement call sites behave in the victim program — the axis of
+/// the protection-matrix experiment (E20).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlacementMode {
+    /// The paper's vulnerable call sites: raw placement new.
+    #[default]
+    Unchecked,
+    /// §5.1 correct coding: every site checks `sizeof` against the arena.
+    Checked,
+    /// §5.2 library interception: checks only where metadata exists.
+    Intercepted,
+}
+
+impl PlacementMode {
+    /// Places an object under this mode.
+    ///
+    /// # Errors
+    ///
+    /// [`Unchecked`](Self::Unchecked) fails only on runtime faults; the
+    /// defended modes also fail with [`PlacementError::SizeExceedsArena`] /
+    /// [`PlacementError::Misaligned`] when their checks fire.
+    pub fn place_object(
+        self,
+        machine: &mut Machine,
+        arena: Arena,
+        class: ClassId,
+    ) -> Result<ObjRef, PlacementError> {
+        match self {
+            PlacementMode::Unchecked => {
+                Ok(crate::placement::placement_new(machine, arena.addr, class)?)
+            }
+            PlacementMode::Checked => checked_placement_new(machine, arena, class),
+            PlacementMode::Intercepted => intercepted_placement_new(machine, arena.addr, class),
+        }
+    }
+
+    /// Places a scalar array under this mode.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`place_object`](Self::place_object).
+    pub fn place_array(
+        self,
+        machine: &mut Machine,
+        arena: Arena,
+        elem: CxxType,
+        len: u32,
+    ) -> Result<ArrayRef, PlacementError> {
+        match self {
+            PlacementMode::Unchecked => {
+                Ok(crate::placement::placement_new_array(machine, arena.addr, elem, len)?)
+            }
+            PlacementMode::Checked => checked_placement_new_array(machine, arena, elem, len),
+            PlacementMode::Intercepted => {
+                intercepted_placement_new_array(machine, arena.addr, elem, len)
+            }
+        }
+    }
+
+    /// The defense name used in `blocked_by` fields and tables.
+    pub fn defense_name(self) -> &'static str {
+        match self {
+            PlacementMode::Unchecked => "none",
+            PlacementMode::Checked => "checked placement",
+            PlacementMode::Intercepted => "library interceptor",
+        }
+    }
+}
+
+impl fmt::Display for PlacementMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementMode::Unchecked => f.write_str("unchecked"),
+            PlacementMode::Checked => f.write_str("checked"),
+            PlacementMode::Intercepted => f.write_str("intercepted"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::student::StudentWorld;
+    use pnew_memory::SegmentKind;
+    use pnew_runtime::VarDecl;
+
+    #[test]
+    fn mode_dispatch_unchecked_allows_overflow() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let stud =
+            m.define_global("stud", VarDecl::Class(world.student), SegmentKind::Bss).unwrap();
+        let arena = Arena::new(stud, 16);
+        assert!(PlacementMode::Unchecked.place_object(&mut m, arena, world.grad).is_ok());
+    }
+
+    #[test]
+    fn mode_dispatch_checked_blocks_overflow() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let stud =
+            m.define_global("stud", VarDecl::Class(world.student), SegmentKind::Bss).unwrap();
+        let arena = Arena::new(stud, 16);
+        let err = PlacementMode::Checked.place_object(&mut m, arena, world.grad).unwrap_err();
+        assert_eq!(err, PlacementError::SizeExceedsArena { placed: 32, arena: 16 });
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = PlacementError::SizeExceedsArena { placed: 32, arena: 16 };
+        assert!(e.to_string().contains("exceeds"));
+        let e = PlacementError::Misaligned { addr: VirtAddr::new(3), required: 8 };
+        assert!(e.to_string().contains("alignment"));
+        let e = PlacementError::from(RuntimeError::NullPlacement);
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn names_and_labels() {
+        assert_eq!(PlacementMode::Checked.defense_name(), "checked placement");
+        assert_eq!(PlacementMode::Unchecked.to_string(), "unchecked");
+        assert_eq!(PlacementMode::default(), PlacementMode::Unchecked);
+        assert_eq!(Arena::new(VirtAddr::new(0x10), 16).to_string(), "[0x00000010; 16 bytes]");
+    }
+}

@@ -1,0 +1,123 @@
+//! §5.1 memory-leak defenses: placement delete and pool discipline.
+//!
+//! C++ has no built-in "placement delete" expression; §4.5 notes that the
+//! recommendation to define one is "rarely followed", and §5.1 prescribes
+//! either defining it or nulling pool pointers only after the full arena
+//! is released. [`placement_delete`] is the correct release (it returns
+//! the *whole* underlying block, whatever smaller type now lives in it);
+//! [`PlacementPool`] packages the discipline for the leak experiment.
+
+use pnew_memory::VirtAddr;
+use pnew_object::ClassId;
+use pnew_runtime::{Machine, RuntimeError};
+
+use crate::placement::{self, ObjRef};
+
+/// A correct placement delete: releases the **entire** heap block backing
+/// `addr`, regardless of the (possibly smaller) type placed there last —
+/// the fix for the Listing 23 leak.
+///
+/// # Errors
+///
+/// Fails on invalid frees and corrupted block headers.
+pub fn placement_delete(machine: &mut Machine, addr: VirtAddr) -> Result<(), RuntimeError> {
+    machine.heap_free(addr)
+}
+
+/// A heap-backed pool that hands out arenas for placement and tracks the
+/// release discipline. With `use_placement_delete` false it releases via
+/// the size of the *placed* type, reproducing the §4.5 leak; with it true
+/// it releases full blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlacementPool {
+    use_placement_delete: bool,
+}
+
+impl PlacementPool {
+    /// Creates a pool with the given release discipline.
+    pub fn new(use_placement_delete: bool) -> Self {
+        PlacementPool { use_placement_delete }
+    }
+
+    /// Allocates a block sized for `alloc_class` and places `place_class`
+    /// into it (the Listing 23 iteration body: `new GradStudent()` then
+    /// `new (stud) Student()`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the heap is exhausted.
+    pub fn allocate_and_replace(
+        &self,
+        machine: &mut Machine,
+        alloc_class: ClassId,
+        place_class: ClassId,
+    ) -> Result<ObjRef, RuntimeError> {
+        let big = placement::heap_new(machine, alloc_class)?;
+        placement::placement_new(machine, big.addr(), place_class)
+    }
+
+    /// Releases an arena occupied by `placed_class`, honouring (or not)
+    /// placement delete.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid frees and corrupted block headers.
+    pub fn release(&self, machine: &mut Machine, obj: ObjRef) -> Result<(), RuntimeError> {
+        if self.use_placement_delete {
+            placement_delete(machine, obj.addr())
+        } else {
+            // The vulnerable release: `delete st` through the smaller type.
+            let size = machine.size_of(obj.class())?;
+            machine.heap_free_sized(obj.addr(), size)
+        }
+    }
+
+    /// `true` when the pool releases full blocks.
+    pub fn uses_placement_delete(&self) -> bool {
+        self.use_placement_delete
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::student::StudentWorld;
+
+    #[test]
+    fn vulnerable_discipline_leaks_the_size_difference() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let pool = PlacementPool::new(false);
+        assert!(!pool.uses_placement_delete());
+        for i in 1..=20u64 {
+            let st = pool.allocate_and_replace(&mut m, world.grad, world.student).unwrap();
+            pool.release(&mut m, st).unwrap();
+            // sizeof(GradStudent) - sizeof(Student) = 32 - 16 = 16 per round.
+            assert_eq!(m.heap_stats().leaked_bytes, 16 * i);
+        }
+    }
+
+    #[test]
+    fn placement_delete_leaks_nothing() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let pool = PlacementPool::new(true);
+        for _ in 0..20 {
+            let st = pool.allocate_and_replace(&mut m, world.grad, world.student).unwrap();
+            pool.release(&mut m, st).unwrap();
+        }
+        assert_eq!(m.heap_stats().leaked_bytes, 0);
+        assert_eq!(m.heap_stats().live_blocks, 0);
+    }
+
+    #[test]
+    fn direct_placement_delete_releases_whole_block() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let big = placement::heap_new(&mut m, world.grad).unwrap();
+        let small = placement::placement_new(&mut m, big.addr(), world.student).unwrap();
+        placement_delete(&mut m, small.addr()).unwrap();
+        assert_eq!(m.heap_stats().live_blocks, 0);
+        assert_eq!(m.heap_stats().leaked_bytes, 0);
+    }
+}

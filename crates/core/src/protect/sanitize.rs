@@ -1,0 +1,232 @@
+//! §5.1 memory sanitization against information leaks.
+//!
+//! > "Before a memory arena allocated to pointer A is allocated to another
+//! > pointer B, `memset()` or its other variants should be used to set the
+//! > memory to uniform bit patterns."
+//!
+//! [`ManagedArena`] owns one arena through its reuse lifecycle and applies
+//! (or deliberately skips) the memset between tenants, which is the single
+//! switch the information-leak experiments (E16/E17) flip.
+
+use pnew_memory::VirtAddr;
+use pnew_object::{ClassId, CxxType};
+use pnew_runtime::{Machine, RuntimeError};
+
+use crate::placement::{ArrayRef, ObjRef};
+use crate::protect::{Arena, PlacementError, PlacementMode};
+
+/// An arena that is reused for successive tenants, optionally sanitized
+/// between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManagedArena {
+    arena: Arena,
+    sanitize_on_reuse: bool,
+    tenants: u32,
+}
+
+impl ManagedArena {
+    /// Wraps an arena. With `sanitize_on_reuse` false this reproduces the
+    /// vulnerable reuse of Listings 21/22.
+    pub fn new(addr: VirtAddr, size: u32, sanitize_on_reuse: bool) -> Self {
+        ManagedArena { arena: Arena::new(addr, size), sanitize_on_reuse, tenants: 0 }
+    }
+
+    /// The underlying arena descriptor.
+    pub fn arena(&self) -> Arena {
+        self.arena
+    }
+
+    /// How many tenants have been placed so far.
+    pub fn tenants(&self) -> u32 {
+        self.tenants
+    }
+
+    /// `true` if the arena sanitizes between tenants.
+    pub fn sanitizes(&self) -> bool {
+        self.sanitize_on_reuse
+    }
+
+    /// Marks the arena as already holding one tenant — used when the first
+    /// tenant was created by ordinary `new` rather than through the arena
+    /// (the Listing 22 flow, where the arena *is* a heap object).
+    pub fn tick_first_tenant(&mut self) {
+        self.tenants += 1;
+    }
+
+    fn pre_place(&mut self, machine: &mut Machine) -> Result<(), RuntimeError> {
+        if self.sanitize_on_reuse && self.tenants > 0 {
+            machine.memset(self.arena.addr, 0, self.arena.size)?;
+        }
+        self.tenants += 1;
+        Ok(())
+    }
+
+    /// Places an object as the next tenant, sanitizing first if configured
+    /// and this is a reuse.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the placement mode's checks and runtime faults.
+    pub fn place_object(
+        &mut self,
+        machine: &mut Machine,
+        mode: PlacementMode,
+        class: ClassId,
+    ) -> Result<ObjRef, PlacementError> {
+        self.pre_place(machine)?;
+        mode.place_object(machine, self.arena, class)
+    }
+
+    /// Places a scalar array as the next tenant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the placement mode's checks and runtime faults.
+    pub fn place_array(
+        &mut self,
+        machine: &mut Machine,
+        mode: PlacementMode,
+        elem: CxxType,
+        len: u32,
+    ) -> Result<ArrayRef, PlacementError> {
+        self.pre_place(machine)?;
+        mode.place_array(machine, self.arena, elem, len)
+    }
+}
+
+/// §5.1's tempting-but-hazardous optimization: sanitize only the bytes
+/// the incoming tenant's *fields* will occupy, skipping alignment padding
+/// and the tail.
+///
+/// > "For efficiency sake, the programmer might be tempted to sanitize
+/// > not the whole memory but only the chunk of memory … This would get
+/// > complicated, when memory alignments are taken into account. … The
+/// > bytes used for padding might contain data from A."
+///
+/// Provided so the E25 experiment can measure exactly that hazard; the
+/// correct API is plain full-arena sanitization ([`ManagedArena`]).
+///
+/// # Errors
+///
+/// Propagates layout and memory faults.
+pub fn sanitize_fields_only(
+    machine: &mut Machine,
+    arena_addr: VirtAddr,
+    class: ClassId,
+) -> Result<(), RuntimeError> {
+    let layout = machine.layout(class)?;
+    let ptr = machine.ptr_size();
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    for slot in layout.slots() {
+        // Class-typed composite slots cover their own internal padding;
+        // the "efficient" programmer zeroes leaf fields only.
+        if slot.ty().as_class().is_some() {
+            continue;
+        }
+        ranges.push((slot.offset(), slot.size()));
+    }
+    for v in layout.vptr_slots() {
+        ranges.push((v.offset, ptr));
+    }
+    for (offset, size) in ranges {
+        machine.memset(arena_addr + offset, 0, size)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::student::StudentWorld;
+    use pnew_memory::SegmentKind;
+    use pnew_runtime::VarDecl;
+
+    fn pool(m: &mut Machine) -> VirtAddr {
+        m.define_global("mem_pool", VarDecl::Buffer { size: 64, align: 8 }, SegmentKind::Bss)
+            .unwrap()
+    }
+
+    #[test]
+    fn first_tenant_is_never_sanitized() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let p = pool(&mut m);
+        m.mmap_file(p, b"secret-password-data").unwrap();
+        let mut arena = ManagedArena::new(p, 64, true);
+        arena.place_array(&mut m, PlacementMode::Unchecked, CxxType::Char, 8).unwrap();
+        // First placement: contents untouched (nothing to hide yet — the
+        // data *is* the tenant's input in the Listing 21 flow).
+        assert_eq!(m.space().read_cstr(p, 6).unwrap(), "secret");
+        assert_eq!(arena.tenants(), 1);
+    }
+
+    #[test]
+    fn reuse_with_sanitize_clears_residue() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let p = pool(&mut m);
+        let mut arena = ManagedArena::new(p, 64, true);
+        arena.place_array(&mut m, PlacementMode::Unchecked, CxxType::Char, 64).unwrap();
+        m.mmap_file(p, b"root:x:0:0:hashed").unwrap();
+        arena.place_array(&mut m, PlacementMode::Unchecked, CxxType::Char, 16).unwrap();
+        // Every byte of the arena is zero now.
+        assert_eq!(m.space().read_vec(p, 64).unwrap(), vec![0u8; 64]);
+        assert!(arena.sanitizes());
+    }
+
+    #[test]
+    fn reuse_without_sanitize_keeps_residue() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let p = pool(&mut m);
+        let mut arena = ManagedArena::new(p, 64, false);
+        arena.place_array(&mut m, PlacementMode::Unchecked, CxxType::Char, 64).unwrap();
+        m.mmap_file(p, b"root:x:0:0:hashed").unwrap();
+        arena.place_array(&mut m, PlacementMode::Unchecked, CxxType::Char, 16).unwrap();
+        // The password bytes survive past the new, smaller tenant.
+        assert_eq!(m.space().read_cstr(p, 17).unwrap(), "root:x:0:0:hashed");
+    }
+
+    #[test]
+    fn field_only_sanitization_misses_the_padding() {
+        // The §5.1 hazard in miniature: a class with alignment holes.
+        let mut reg = pnew_object::ClassRegistry::new();
+        let holey = reg
+            .class("Holey")
+            .field("tag", CxxType::Char)
+            .field("gpa", CxxType::Double)
+            .field("flag", CxxType::Char)
+            .register();
+        let mut m = pnew_runtime::MachineBuilder::new().build(reg);
+        let pool = m
+            .define_global(
+                "pool",
+                pnew_runtime::VarDecl::Buffer { size: 24, align: 8 },
+                pnew_memory::SegmentKind::Bss,
+            )
+            .unwrap();
+        m.mmap_file(pool, &[0xAA; 24]).unwrap();
+
+        sanitize_fields_only(&mut m, pool, holey).unwrap();
+        let bytes = m.space().read_vec(pool, 24).unwrap();
+        // Fields zeroed: tag@0, gpa@8..16, flag@16.
+        assert_eq!(bytes[0], 0);
+        assert_eq!(&bytes[8..17], &[0u8; 9]);
+        // Padding holes keep the previous tenant's bytes.
+        assert_eq!(&bytes[1..8], &[0xAA; 7]);
+        assert_eq!(&bytes[17..24], &[0xAA; 7]);
+    }
+
+    #[test]
+    fn object_reuse_sanitization() {
+        let world = StudentWorld::plain();
+        let mut m = world.machine_default();
+        let p = pool(&mut m);
+        let mut arena = ManagedArena::new(p, 64, true);
+        let gst = arena.place_object(&mut m, PlacementMode::Unchecked, world.grad).unwrap();
+        gst.write_elem_i32(&mut m, "ssn", 0, 123_456_789).unwrap();
+        arena.place_object(&mut m, PlacementMode::Unchecked, world.student).unwrap();
+        // The SSN residue beyond sizeof(Student) is gone.
+        assert_eq!(m.space().read_i32(p + 16).unwrap(), 0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Attack configuration and reporting.
+//!
+//! Every scenario in [`crate::attacks`] runs under an [`AttackConfig`]
+//! (platform knobs + active defenses) and produces an [`AttackReport`]
+//! recording the paper's own success predicate for that attack, the
+//! evidence, and any numbers the experiment tables need.
+
+use std::fmt;
+
+use pnew_object::LayoutPolicy;
+use pnew_runtime::StackProtection;
+
+use crate::protect::PlacementMode;
+
+/// The attack classes of the paper, one per experiment family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// E1 — §3.5 Listing 11: bss object overflow.
+    BssOverflow,
+    /// E1b — §3.4 Listing 10: internal overflow inside `MobilePlayer`.
+    InternalOverflow,
+    /// E2 — §3.5.1 Listing 12: heap overflow into a neighbouring block.
+    HeapOverflow,
+    /// E3 — §3.6.1 Listing 13: return-address overwrite (naive).
+    StackSmash,
+    /// E4 — §3.6.1/§5.2: selective overwrite that skips the canary.
+    CanaryBypass,
+    /// E5 — §3.6.2: arc injection / return-to-libc.
+    ArcInjection,
+    /// E6 — §3.6.2: code injection into stack locals.
+    CodeInjection,
+    /// E7 — §3.7.1 Listing 14: global variable modification.
+    GlobalVarMod,
+    /// E8 — §3.7.2 Listing 15: stack local modification (with padding).
+    StackLocalMod,
+    /// E9 — §3.8.1 Listing 16: member-variable modification.
+    MemberVarMod,
+    /// E10/E11 — §3.8.2: vtable-pointer subterfuge.
+    VptrSubterfuge,
+    /// E12 — §3.9 Listing 17: function-pointer subterfuge.
+    FnPtrSubterfuge,
+    /// E13 — §3.10 Listing 18: variable-pointer subterfuge.
+    VarPtrSubterfuge,
+    /// E14 — §4.1 Listing 19: two-step array overflow on the stack.
+    ArrayTwoStepStack,
+    /// E15 — §4.2 Listing 20: two-step array overflow in bss.
+    ArrayTwoStepBss,
+    /// E16 — §4.3 Listing 21: information leak through array reuse.
+    InfoLeakArray,
+    /// E17 — §4.3 Listing 22: information leak through object reuse.
+    InfoLeakObject,
+    /// E18 — §4.4: denial of service via loop-bound corruption.
+    DosLoop,
+    /// E19 — §4.5 Listing 23: memory leak via size-mismatched release.
+    MemoryLeak,
+}
+
+impl AttackKind {
+    /// All kinds, in experiment order.
+    pub const ALL: [AttackKind; 19] = [
+        AttackKind::BssOverflow,
+        AttackKind::InternalOverflow,
+        AttackKind::HeapOverflow,
+        AttackKind::StackSmash,
+        AttackKind::CanaryBypass,
+        AttackKind::ArcInjection,
+        AttackKind::CodeInjection,
+        AttackKind::GlobalVarMod,
+        AttackKind::StackLocalMod,
+        AttackKind::MemberVarMod,
+        AttackKind::VptrSubterfuge,
+        AttackKind::FnPtrSubterfuge,
+        AttackKind::VarPtrSubterfuge,
+        AttackKind::ArrayTwoStepStack,
+        AttackKind::ArrayTwoStepBss,
+        AttackKind::InfoLeakArray,
+        AttackKind::InfoLeakObject,
+        AttackKind::DosLoop,
+        AttackKind::MemoryLeak,
+    ];
+
+    /// Stable short name (used in tables and bench ids).
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::BssOverflow => "bss-overflow",
+            AttackKind::InternalOverflow => "internal-overflow",
+            AttackKind::HeapOverflow => "heap-overflow",
+            AttackKind::StackSmash => "stack-smash",
+            AttackKind::CanaryBypass => "canary-bypass",
+            AttackKind::ArcInjection => "arc-injection",
+            AttackKind::CodeInjection => "code-injection",
+            AttackKind::GlobalVarMod => "global-var-mod",
+            AttackKind::StackLocalMod => "stack-local-mod",
+            AttackKind::MemberVarMod => "member-var-mod",
+            AttackKind::VptrSubterfuge => "vptr-subterfuge",
+            AttackKind::FnPtrSubterfuge => "fnptr-subterfuge",
+            AttackKind::VarPtrSubterfuge => "varptr-subterfuge",
+            AttackKind::ArrayTwoStepStack => "array-two-step-stack",
+            AttackKind::ArrayTwoStepBss => "array-two-step-bss",
+            AttackKind::InfoLeakArray => "info-leak-array",
+            AttackKind::InfoLeakObject => "info-leak-object",
+            AttackKind::DosLoop => "dos-loop",
+            AttackKind::MemoryLeak => "memory-leak",
+        }
+    }
+
+    /// The paper section/listing the attack reproduces.
+    pub fn paper_ref(self) -> &'static str {
+        match self {
+            AttackKind::BssOverflow => "§3.5, Listing 11",
+            AttackKind::InternalOverflow => "§3.4, Listing 10",
+            AttackKind::HeapOverflow => "§3.5.1, Listing 12",
+            AttackKind::StackSmash => "§3.6.1, Listing 13",
+            AttackKind::CanaryBypass => "§3.6.1/§5.2, Listing 13",
+            AttackKind::ArcInjection => "§3.6.2",
+            AttackKind::CodeInjection => "§3.6.2",
+            AttackKind::GlobalVarMod => "§3.7.1, Listing 14",
+            AttackKind::StackLocalMod => "§3.7.2, Listing 15",
+            AttackKind::MemberVarMod => "§3.8.1, Listing 16",
+            AttackKind::VptrSubterfuge => "§3.8.2",
+            AttackKind::FnPtrSubterfuge => "§3.9, Listing 17",
+            AttackKind::VarPtrSubterfuge => "§3.10, Listing 18",
+            AttackKind::ArrayTwoStepStack => "§4.1, Listing 19",
+            AttackKind::ArrayTwoStepBss => "§4.2, Listing 20",
+            AttackKind::InfoLeakArray => "§4.3, Listing 21",
+            AttackKind::InfoLeakObject => "§4.3, Listing 22",
+            AttackKind::DosLoop => "§4.4",
+            AttackKind::MemoryLeak => "§4.5, Listing 23",
+        }
+    }
+}
+
+impl fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which §5 defenses are active in the victim program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Defense {
+    /// How placement-new call sites behave.
+    pub placement: PlacementMode,
+    /// Sanitize arenas (memset 0) before reuse (§5.1 information-leak
+    /// defense).
+    pub sanitize_reuse: bool,
+    /// Release placement-allocated pool blocks with a proper placement
+    /// delete (§5.1 memory-leak defense).
+    pub placement_delete: bool,
+}
+
+impl Defense {
+    /// No defenses: the vulnerable programs exactly as listed in the paper.
+    pub fn none() -> Self {
+        Defense {
+            placement: PlacementMode::Unchecked,
+            sanitize_reuse: false,
+            placement_delete: false,
+        }
+    }
+
+    /// §5.1 "correct coding": checked placement, sanitized reuse, placement
+    /// delete.
+    pub fn correct_coding() -> Self {
+        Defense { placement: PlacementMode::Checked, sanitize_reuse: true, placement_delete: true }
+    }
+
+    /// §5.2 legacy-software route: a libsafe-style library interceptor
+    /// (sees heap blocks and globals, blind to stack locals), no source
+    /// changes.
+    pub fn intercept() -> Self {
+        Defense {
+            placement: PlacementMode::Intercepted,
+            sanitize_reuse: false,
+            placement_delete: false,
+        }
+    }
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        if *self == Defense::none() {
+            "none".to_owned()
+        } else if *self == Defense::correct_coding() {
+            "correct-coding".to_owned()
+        } else if *self == Defense::intercept() {
+            "intercept".to_owned()
+        } else {
+            format!(
+                "{}{}{}",
+                self.placement,
+                if self.sanitize_reuse { "+sanitize" } else { "" },
+                if self.placement_delete { "+pdelete" } else { "" }
+            )
+        }
+    }
+}
+
+impl Default for Defense {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Platform and defense configuration for one scenario run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackConfig {
+    /// Compiler stack protection (canary / frame pointer).
+    pub protection: StackProtection,
+    /// §5.2 return-address stack.
+    pub shadow_stack: bool,
+    /// Pre-NX executable stack (needed for code injection to *run*).
+    pub executable_stack: bool,
+    /// Layout policy (data model, double alignment).
+    pub policy: LayoutPolicy,
+    /// RNG seed (canary value, workloads).
+    pub seed: u64,
+    /// Active defenses in the victim program.
+    pub defense: Defense,
+}
+
+impl AttackConfig {
+    /// The paper's platform with the vulnerable (undefended) programs.
+    pub fn paper() -> Self {
+        AttackConfig {
+            protection: StackProtection::StackGuard,
+            shadow_stack: false,
+            executable_stack: false,
+            policy: LayoutPolicy::paper(),
+            seed: 0x1cdc_2011,
+            defense: Defense::none(),
+        }
+    }
+
+    /// Same platform with a different defense.
+    pub fn with_defense(defense: Defense) -> Self {
+        AttackConfig { defense, ..Self::paper() }
+    }
+
+    /// Same platform with a different stack protection.
+    pub fn with_protection(protection: StackProtection) -> Self {
+        AttackConfig { protection, ..Self::paper() }
+    }
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// The result of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackReport {
+    /// Which attack ran.
+    pub kind: AttackKind,
+    /// Whether the attack achieved its paper-defined predicate.
+    pub succeeded: bool,
+    /// Defense that refused the vulnerable operation, if any
+    /// (e.g. `"checked placement"`).
+    pub blocked_by: Option<String>,
+    /// Runtime mechanism that detected the attack after the fact, if any
+    /// (e.g. `"stackguard"`).
+    pub detected_by: Option<String>,
+    /// Human-readable evidence lines (before/after values, addresses).
+    pub evidence: Vec<String>,
+    /// Named measurements for the experiment tables.
+    pub measurements: Vec<(String, f64)>,
+}
+
+impl AttackReport {
+    /// Starts an unsuccessful, evidence-free report for `kind`.
+    pub fn new(kind: AttackKind) -> Self {
+        AttackReport {
+            kind,
+            succeeded: false,
+            blocked_by: None,
+            detected_by: None,
+            evidence: Vec::new(),
+            measurements: Vec::new(),
+        }
+    }
+
+    /// Records an evidence line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.evidence.push(line.into());
+    }
+
+    /// Records a named measurement.
+    pub fn measure(&mut self, name: impl Into<String>, value: f64) {
+        self.measurements.push((name.into(), value));
+    }
+
+    /// Looks a measurement up by name.
+    pub fn measurement(&self, name: &str) -> Option<f64> {
+        self.measurements.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// One-line verdict for tables.
+    pub fn verdict(&self) -> String {
+        if self.succeeded {
+            "SUCCEEDS".to_owned()
+        } else if let Some(d) = &self.detected_by {
+            format!("DETECTED by {d}")
+        } else if let Some(b) = &self.blocked_by {
+            format!("BLOCKED by {b}")
+        } else {
+            "FAILS".to_owned()
+        }
+    }
+}
+
+impl fmt::Display for AttackReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] {} — {}", self.kind, self.kind.paper_ref(), self.verdict())?;
+        for e in &self.evidence {
+            writeln!(f, "  {e}")?;
+        }
+        for (name, value) in &self.measurements {
+            writeln!(f, "  {name} = {value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_complete_and_named() {
+        assert_eq!(AttackKind::ALL.len(), 19);
+        for k in AttackKind::ALL {
+            assert!(!k.name().is_empty());
+            assert!(k.paper_ref().contains('§'));
+        }
+        assert_eq!(AttackKind::StackSmash.to_string(), "stack-smash");
+    }
+
+    #[test]
+    fn defense_labels() {
+        assert_eq!(Defense::none().label(), "none");
+        assert_eq!(Defense::correct_coding().label(), "correct-coding");
+        assert_eq!(Defense::intercept().label(), "intercept");
+        let mixed = Defense { sanitize_reuse: true, ..Defense::none() };
+        assert!(mixed.label().contains("sanitize"));
+        assert_eq!(Defense::default(), Defense::none());
+    }
+
+    #[test]
+    fn config_constructors() {
+        let c = AttackConfig::paper();
+        assert_eq!(c.protection, StackProtection::StackGuard);
+        assert!(!c.shadow_stack);
+        let c = AttackConfig::with_protection(StackProtection::None);
+        assert_eq!(c.protection, StackProtection::None);
+        let c = AttackConfig::with_defense(Defense::correct_coding());
+        assert_eq!(c.defense, Defense::correct_coding());
+        assert_eq!(AttackConfig::default(), AttackConfig::paper());
+    }
+
+    #[test]
+    fn report_accumulates() {
+        let mut r = AttackReport::new(AttackKind::BssOverflow);
+        assert_eq!(r.verdict(), "FAILS");
+        r.note("gpa before: 4.0");
+        r.measure("victim_delta", 1.0);
+        r.succeeded = true;
+        assert_eq!(r.verdict(), "SUCCEEDS");
+        assert_eq!(r.measurement("victim_delta"), Some(1.0));
+        assert_eq!(r.measurement("nope"), None);
+        let text = r.to_string();
+        assert!(text.contains("bss-overflow"));
+        assert!(text.contains("gpa before"));
+    }
+
+    #[test]
+    fn verdict_priorities() {
+        let mut r = AttackReport::new(AttackKind::StackSmash);
+        r.detected_by = Some("stackguard".into());
+        assert!(r.verdict().contains("DETECTED"));
+        let mut r = AttackReport::new(AttackKind::StackSmash);
+        r.blocked_by = Some("checked placement".into());
+        assert!(r.verdict().contains("BLOCKED"));
+    }
+}

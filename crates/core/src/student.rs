@@ -1,0 +1,154 @@
+//! The paper's running example: `Student`, `GradStudent`, `MobilePlayer`.
+//!
+//! Listing 1 defines the class pair every attack reuses:
+//!
+//! ```c++
+//! class Student {
+//!   public: Student(): gpa(0.0), year(0), semester(0) { }
+//!   private: double gpa; int year, semester;
+//! };
+//! class GradStudent : public Student {
+//!   public: GradStudent(double sgpa, int yr, int sem) {...}
+//!   private: int ssn[3];
+//! };
+//! ```
+//!
+//! Under the paper's platform `sizeof(Student) == 16` and
+//! `sizeof(GradStudent) == 32` (28 rounded to alignment), with `ssn[]`
+//! starting exactly at offset 16 — so placing a `GradStudent` at a
+//! `Student` arena makes `ssn[0..3]` alias whatever lives in the 16 bytes
+//! past the arena. §3.8.2 adds `virtual char* getInfo()` to both classes,
+//! which prepends a vtable pointer. Listing 10 defines `MobilePlayer` with
+//! two embedded `Student`s for the internal-overflow case.
+
+use pnew_object::{ClassId, ClassRegistry, CxxType};
+use pnew_runtime::{Machine, MachineBuilder};
+
+use crate::report::AttackConfig;
+
+/// The registered class family of the running example.
+#[derive(Debug, Clone)]
+pub struct StudentWorld {
+    /// The registry holding the classes (pass to [`MachineBuilder::build`]).
+    pub registry: ClassRegistry,
+    /// `Student` (the smaller superclass).
+    pub student: ClassId,
+    /// `GradStudent` (the larger subclass with `ssn[3]`).
+    pub grad: ClassId,
+    /// `MobilePlayer` (Listing 10: two embedded `Student`s and a count).
+    pub mobile_player: ClassId,
+    /// Whether the classes carry `virtual char* getInfo()`.
+    pub virtuals: bool,
+}
+
+impl StudentWorld {
+    /// Builds the non-virtual variant (Listing 1).
+    pub fn plain() -> Self {
+        Self::build(false)
+    }
+
+    /// Builds the §3.8.2 variant with `virtual char* getInfo()` on both
+    /// classes.
+    pub fn with_virtuals() -> Self {
+        Self::build(true)
+    }
+
+    fn build(virtuals: bool) -> Self {
+        let mut registry = ClassRegistry::new();
+        let mut student = registry
+            .class("Student")
+            .field("gpa", CxxType::Double)
+            .field("year", CxxType::Int)
+            .field("semester", CxxType::Int);
+        if virtuals {
+            student = student.virtual_method("getInfo");
+        }
+        let student = student.register();
+
+        let mut grad = registry
+            .class("GradStudent")
+            .base(student)
+            .field("ssn", CxxType::array(CxxType::Int, 3));
+        if virtuals {
+            grad = grad.virtual_method("getInfo");
+        }
+        let grad = grad.register();
+
+        let mobile_player = registry
+            .class("MobilePlayer")
+            .field("stud1", CxxType::Class(student))
+            .field("stud2", CxxType::Class(student))
+            .field("n", CxxType::Int)
+            .register();
+
+        StudentWorld { registry, student, grad, mobile_player, virtuals }
+    }
+
+    /// Builds a machine for this world from an attack configuration.
+    pub fn machine(&self, config: &AttackConfig) -> Machine {
+        MachineBuilder::new()
+            .policy(config.policy)
+            .protection(config.protection)
+            .shadow_stack(config.shadow_stack)
+            .executable_stack(config.executable_stack)
+            .seed(config.seed)
+            .build(self.registry.clone())
+    }
+
+    /// Builds a machine with all-default (paper platform) settings.
+    pub fn machine_default(&self) -> Machine {
+        self.machine(&AttackConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnew_object::LayoutPolicy;
+
+    #[test]
+    fn plain_sizes_match_the_paper() {
+        let w = StudentWorld::plain();
+        let p = LayoutPolicy::paper();
+        assert_eq!(w.registry.size_of(w.student, &p).unwrap(), 16);
+        assert_eq!(w.registry.size_of(w.grad, &p).unwrap(), 32);
+        assert_eq!(w.registry.size_of(w.mobile_player, &p).unwrap(), 40);
+        assert!(!w.virtuals);
+        assert!(!w.registry.is_polymorphic(w.student));
+    }
+
+    #[test]
+    fn virtual_sizes_grow_by_the_vptr() {
+        let w = StudentWorld::with_virtuals();
+        let p = LayoutPolicy::paper();
+        assert_eq!(w.registry.size_of(w.student, &p).unwrap(), 24);
+        assert_eq!(w.registry.size_of(w.grad, &p).unwrap(), 40);
+        assert!(w.virtuals);
+        assert!(w.registry.is_polymorphic(w.grad));
+        // ssn still starts exactly at sizeof(Student).
+        let gl = w.registry.layout(w.grad, &p).unwrap();
+        assert_eq!(gl.offset_of("ssn").unwrap(), 24);
+    }
+
+    #[test]
+    fn machines_honour_the_config() {
+        let w = StudentWorld::plain();
+        let cfg = AttackConfig {
+            protection: pnew_runtime::StackProtection::None,
+            shadow_stack: true,
+            ..AttackConfig::default()
+        };
+        let m = w.machine(&cfg);
+        assert_eq!(m.protection(), pnew_runtime::StackProtection::None);
+    }
+
+    #[test]
+    fn getinfo_vtables_materialized() {
+        let w = StudentWorld::with_virtuals();
+        let m = w.machine_default();
+        assert!(m.vtable_addr(w.student).is_some());
+        assert!(m.vtable_addr(w.grad).is_some());
+        assert!(m.funcs().by_name("Student::getInfo").is_some());
+        assert!(m.funcs().by_name("GradStudent::getInfo").is_some());
+    }
+}

@@ -1,0 +1,306 @@
+//! Classification of the attacks under the buffer-overflow taxonomy the
+//! paper aligns itself with (§6).
+//!
+//! §6 cites Bishop et al.'s precondition framework: *executable* buffer
+//! overflows ("an attacker is able to place some instructions in memory
+//! and get them executed in the control flow of the process") versus
+//! *data* buffer overflows, and notes that "the overflow schemes using
+//! placement new that we have presented in this paper support such
+//! preconditions". This module makes that support explicit: every
+//! [`AttackKind`] is classified by overflow class, target memory region,
+//! corruption target, and the preconditions it needs, and the
+//! classification is queryable (used by the experiment report and tested
+//! for consistency with the runtime behaviour).
+
+use std::fmt;
+
+use crate::report::AttackKind;
+
+/// Bishop-style top-level overflow class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OverflowClass {
+    /// Control flow is (or can be) diverted to attacker-chosen code.
+    Executable,
+    /// Only data is corrupted or disclosed; control flow stays intact.
+    Data,
+    /// No overflow at all — resource-lifecycle abuse (the §4.5 leak).
+    Resource,
+}
+
+impl fmt::Display for OverflowClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OverflowClass::Executable => f.write_str("executable"),
+            OverflowClass::Data => f.write_str("data"),
+            OverflowClass::Resource => f.write_str("resource"),
+        }
+    }
+}
+
+/// Memory region the overflow lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetRegion {
+    /// The call stack.
+    Stack,
+    /// The heap.
+    Heap,
+    /// Initialized or uninitialized globals (data/bss).
+    DataBss,
+}
+
+impl fmt::Display for TargetRegion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetRegion::Stack => f.write_str("stack"),
+            TargetRegion::Heap => f.write_str("heap"),
+            TargetRegion::DataBss => f.write_str("data/bss"),
+        }
+    }
+}
+
+/// What the overflow corrupts or abuses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptionTarget {
+    /// The saved return address.
+    ReturnAddress,
+    /// A plain variable (loop bound, counter, flag).
+    Variable,
+    /// Member variables of a neighbouring object.
+    ObjectState,
+    /// A vtable pointer.
+    VTablePointer,
+    /// A function pointer.
+    FunctionPointer,
+    /// A data pointer.
+    DataPointer,
+    /// Nothing is corrupted; stale bytes are *disclosed*.
+    Disclosure,
+    /// Allocator state (stranded blocks).
+    AllocatorState,
+}
+
+impl fmt::Display for CorruptionTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CorruptionTarget::ReturnAddress => "return address",
+            CorruptionTarget::Variable => "variable",
+            CorruptionTarget::ObjectState => "object state",
+            CorruptionTarget::VTablePointer => "vtable pointer",
+            CorruptionTarget::FunctionPointer => "function pointer",
+            CorruptionTarget::DataPointer => "data pointer",
+            CorruptionTarget::Disclosure => "disclosure",
+            CorruptionTarget::AllocatorState => "allocator state",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Preconditions an attack needs, in the spirit of the Bishop et al.
+/// framework cited in §6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Preconditions {
+    /// A placement-new call site with no size check (every attack in the
+    /// paper needs this one — it *is* the new class).
+    pub unchecked_placement: bool,
+    /// Attacker influence over the values written through the placed
+    /// object (`cin`, serialized objects).
+    pub attacker_values: bool,
+    /// A second, traditional copy step (the §4 two-step methodology).
+    pub two_step: bool,
+    /// An executable region for injected code (defeated by NX).
+    pub executable_region: bool,
+    /// Reuse of an arena without sanitization.
+    pub unsanitized_reuse: bool,
+}
+
+/// Full classification of one attack kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classification {
+    /// The attack.
+    pub kind: AttackKind,
+    /// Executable vs data vs resource.
+    pub class: OverflowClass,
+    /// Where the overflow lands.
+    pub region: TargetRegion,
+    /// What it corrupts.
+    pub target: CorruptionTarget,
+    /// What it needs.
+    pub preconditions: Preconditions,
+}
+
+impl fmt::Display for Classification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} overflow on the {} corrupting {}",
+            self.kind, self.class, self.region, self.target
+        )
+    }
+}
+
+/// Classifies an attack kind.
+pub fn classify(kind: AttackKind) -> Classification {
+    use AttackKind as K;
+    use CorruptionTarget as T;
+    use OverflowClass as C;
+    use TargetRegion as R;
+
+    let base = Preconditions {
+        unchecked_placement: true,
+        attacker_values: true,
+        two_step: false,
+        executable_region: false,
+        unsanitized_reuse: false,
+    };
+    let (class, region, target, preconditions) = match kind {
+        K::BssOverflow => (C::Data, R::DataBss, T::ObjectState, base),
+        K::InternalOverflow => (C::Data, R::DataBss, T::ObjectState, base),
+        K::HeapOverflow => (C::Data, R::Heap, T::ObjectState, base),
+        K::StackSmash | K::CanaryBypass => (C::Executable, R::Stack, T::ReturnAddress, base),
+        K::ArcInjection => (C::Executable, R::Stack, T::ReturnAddress, base),
+        K::CodeInjection => (
+            C::Executable,
+            R::Stack,
+            T::ReturnAddress,
+            Preconditions { executable_region: true, ..base },
+        ),
+        K::GlobalVarMod => (C::Data, R::DataBss, T::Variable, base),
+        K::StackLocalMod => (C::Data, R::Stack, T::Variable, base),
+        K::MemberVarMod => (C::Data, R::Stack, T::ObjectState, base),
+        K::VptrSubterfuge => (C::Executable, R::DataBss, T::VTablePointer, base),
+        K::FnPtrSubterfuge => (C::Executable, R::Stack, T::FunctionPointer, base),
+        K::VarPtrSubterfuge => (C::Data, R::DataBss, T::DataPointer, base),
+        K::ArrayTwoStepStack => {
+            (C::Executable, R::Stack, T::ReturnAddress, Preconditions { two_step: true, ..base })
+        }
+        K::ArrayTwoStepBss => {
+            (C::Data, R::DataBss, T::Variable, Preconditions { two_step: true, ..base })
+        }
+        K::InfoLeakArray | K::InfoLeakObject => (
+            C::Data,
+            if kind == K::InfoLeakObject { R::Heap } else { R::DataBss },
+            T::Disclosure,
+            Preconditions { unsanitized_reuse: true, attacker_values: false, ..base },
+        ),
+        K::DosLoop => (C::Data, R::Stack, T::Variable, base),
+        K::MemoryLeak => (
+            C::Resource,
+            R::Heap,
+            T::AllocatorState,
+            Preconditions { attacker_values: false, ..base },
+        ),
+    };
+    Classification { kind, class, region, target, preconditions }
+}
+
+/// The full classification table, in experiment order.
+pub fn classification_table() -> Vec<Classification> {
+    AttackKind::ALL.iter().map(|&k| classify(k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_is_classified() {
+        let table = classification_table();
+        assert_eq!(table.len(), AttackKind::ALL.len());
+        for c in &table {
+            // §1: every attack in the paper rides the unchecked placement.
+            assert!(c.preconditions.unchecked_placement, "{}", c.kind);
+        }
+    }
+
+    #[test]
+    fn executable_class_matches_hijacking_attacks() {
+        for c in classification_table() {
+            let hijacks = matches!(
+                c.kind,
+                AttackKind::StackSmash
+                    | AttackKind::CanaryBypass
+                    | AttackKind::ArcInjection
+                    | AttackKind::CodeInjection
+                    | AttackKind::VptrSubterfuge
+                    | AttackKind::FnPtrSubterfuge
+                    | AttackKind::ArrayTwoStepStack
+            );
+            assert_eq!(c.class == OverflowClass::Executable, hijacks, "{} misclassified", c.kind);
+        }
+    }
+
+    #[test]
+    fn only_code_injection_needs_an_executable_region() {
+        for c in classification_table() {
+            assert_eq!(
+                c.preconditions.executable_region,
+                c.kind == AttackKind::CodeInjection,
+                "{}",
+                c.kind
+            );
+        }
+    }
+
+    #[test]
+    fn two_step_flags_match_section_4() {
+        for c in classification_table() {
+            let two_step =
+                matches!(c.kind, AttackKind::ArrayTwoStepStack | AttackKind::ArrayTwoStepBss);
+            assert_eq!(c.preconditions.two_step, two_step, "{}", c.kind);
+        }
+    }
+
+    #[test]
+    fn leaks_need_reuse_not_values() {
+        for kind in [AttackKind::InfoLeakArray, AttackKind::InfoLeakObject] {
+            let c = classify(kind);
+            assert!(c.preconditions.unsanitized_reuse);
+            assert!(!c.preconditions.attacker_values);
+            assert_eq!(c.target, CorruptionTarget::Disclosure);
+        }
+    }
+
+    #[test]
+    fn classification_matches_runtime_behaviour() {
+        // Cross-check against live runs: executable-class attacks produce
+        // hijack/shellcode evidence; data-class attacks never do.
+        use crate::attacks::catalogue;
+        use crate::report::AttackConfig;
+        use pnew_runtime::StackProtection;
+
+        let mut cfg = AttackConfig::with_protection(StackProtection::None);
+        cfg.executable_stack = true; // give every attack its best platform
+        for (kind, run) in catalogue() {
+            let report = run(&cfg).unwrap();
+            if !report.succeeded {
+                continue;
+            }
+            let c = classify(kind);
+            let saw_control_transfer = report.evidence.iter().any(|e| {
+                e.contains("control transferred")
+                    || e.contains("hijacked")
+                    || e.contains("injected code executed")
+            });
+            match c.class {
+                OverflowClass::Executable => assert!(
+                    saw_control_transfer,
+                    "{kind}: executable class but no control-transfer evidence: {report}"
+                ),
+                OverflowClass::Data | OverflowClass::Resource => assert!(
+                    !saw_control_transfer,
+                    "{kind}: data/resource class but control was transferred: {report}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn displays() {
+        let c = classify(AttackKind::StackSmash);
+        let text = c.to_string();
+        assert!(text.contains("executable overflow on the stack"));
+        assert_eq!(OverflowClass::Resource.to_string(), "resource");
+        assert_eq!(TargetRegion::DataBss.to_string(), "data/bss");
+        assert_eq!(CorruptionTarget::VTablePointer.to_string(), "vtable pointer");
+    }
+}

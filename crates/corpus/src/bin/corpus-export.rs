@@ -1,0 +1,33 @@
+//! Exports the whole IR corpus as `.pnx` files for use with `pncheck`.
+//!
+//! ```text
+//! usage: corpus-export <output-dir>
+//! ```
+
+use std::process::ExitCode;
+
+use pnew_corpus::{benign, listings};
+use pnew_detector::pretty_program;
+
+fn main() -> ExitCode {
+    let Some(dir) = std::env::args().nth(1) else {
+        eprintln!("usage: corpus-export <output-dir>");
+        return ExitCode::from(2);
+    };
+    let dir = std::path::PathBuf::from(dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("corpus-export: {}: {e}", dir.display());
+        return ExitCode::from(2);
+    }
+    let mut n = 0usize;
+    for prog in listings::vulnerable_corpus().into_iter().chain(benign::benign_corpus()) {
+        let path = dir.join(format!("{}.pnx", prog.name));
+        if let Err(e) = std::fs::write(&path, pretty_program(&prog)) {
+            eprintln!("corpus-export: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        n += 1;
+    }
+    println!("wrote {n} programs to {}", dir.display());
+    ExitCode::SUCCESS
+}

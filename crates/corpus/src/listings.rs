@@ -1,0 +1,545 @@
+//! The paper's listings, encoded in the detector IR.
+//!
+//! Every listing of *Kundu & Bertino (ICDCS 2011)* that contains a
+//! vulnerability is transcribed here as an analyzable program. Class
+//! sizes are computed by the real layout engine
+//! ([`pnew_object`]) under the paper's platform policy, so the analyzer
+//! reasons about the same `sizeof` values the attacks exploit.
+//!
+//! Listings 1–3 define the running example and the benign illustrative
+//! uses; Listing 2's bounded copy lives in the benign corpus
+//! ([`crate::benign`]).
+
+use pnew_detector::{CmpOp, Expr, Program, ProgramBuilder, Ty};
+use pnew_object::{ClassRegistry, CxxType, LayoutPolicy};
+
+/// Computed `sizeof` values of the running-example classes under the
+/// paper's platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StudentSizes {
+    /// `sizeof(Student)`.
+    pub student: u32,
+    /// `sizeof(GradStudent)`.
+    pub grad: u32,
+}
+
+/// Computes the class sizes with the real layout engine.
+pub fn student_sizes(virtuals: bool) -> StudentSizes {
+    let mut reg = ClassRegistry::new();
+    let mut student = reg
+        .class("Student")
+        .field("gpa", CxxType::Double)
+        .field("year", CxxType::Int)
+        .field("semester", CxxType::Int);
+    if virtuals {
+        student = student.virtual_method("getInfo");
+    }
+    let student = student.register();
+    let mut grad =
+        reg.class("GradStudent").base(student).field("ssn", CxxType::array(CxxType::Int, 3));
+    if virtuals {
+        grad = grad.virtual_method("getInfo");
+    }
+    let grad = grad.register();
+    let policy = LayoutPolicy::paper();
+    StudentSizes {
+        student: reg.size_of(student, &policy).expect("layout"),
+        grad: reg.size_of(grad, &policy).expect("layout"),
+    }
+}
+
+/// Registers Student/GradStudent on an IR program with engine-computed
+/// sizes.
+fn students(p: &mut ProgramBuilder, virtuals: bool) {
+    let s = student_sizes(virtuals);
+    p.class("Student", s.student, None, virtuals);
+    p.class("GradStudent", s.grad, Some("Student"), virtuals);
+}
+
+/// Listing 1/4 — object overflow via construction:
+/// `GradStudent *gs = new (&s) GradStudent(4.0, 2009, 1);`
+pub fn listing_04() -> Program {
+    let mut p = ProgramBuilder::new("listing-04-construction");
+    students(&mut p, false);
+    let mut f = p.function("main");
+    let stud = f.local("stud", Ty::Class("Student".into()));
+    let gs = f.local("gs", Ty::Ptr);
+    f.placement_new(gs, Expr::addr_of(stud), "GradStudent");
+    f.finish();
+    p.build()
+}
+
+/// Listing 3 — a `string` object placed over a small char pool.
+pub fn listing_03() -> Program {
+    let mut p = ProgramBuilder::new("listing-03-string-object");
+    // A (simplified) std::string footprint larger than the pool.
+    p.class("string", 24, None, false);
+    let pool = {
+        let pb = &mut p;
+        pb.global("uname_buf", Ty::CharArray(Some(16)))
+    };
+    let mut f = p.function("checkUname");
+    let s = f.local("str", Ty::Ptr);
+    f.placement_new(s, Expr::addr_of(pool), "string");
+    f.finish();
+    p.build()
+}
+
+/// Listing 5 — array placement whose count comes from a malicious
+/// service.
+pub fn listing_05() -> Program {
+    let mut p = ProgramBuilder::new("listing-05-remote-count");
+    students(&mut p, false);
+    let pool = p.global("st_pool", Ty::CharArray(Some(64)));
+    let mut f = p.function("main");
+    let n = f.local("n", Ty::Int);
+    let names = f.local("stnames", Ty::Ptr);
+    f.read_input(n); // service.getNames() length, maliciously changed
+    f.placement_new_array(names, Expr::addr_of(pool), 4, Expr::Var(n));
+    f.finish();
+    p.build()
+}
+
+/// Listing 6 — copy of tainted fields into a placed object.
+pub fn listing_06() -> Program {
+    let mut p = ProgramBuilder::new("listing-06-copy-fields");
+    students(&mut p, false);
+    let stud = p.global("stud", Ty::Class("Student".into()));
+    let mut f = p.function("addStudent");
+    let remote = f.param("remoteobj", Ty::Ptr, true);
+    let st = f.local("st", Ty::Ptr);
+    f.placement_new_with(st, Expr::addr_of(stud), "GradStudent", vec![Expr::Var(remote)]);
+    f.finish();
+    p.build()
+}
+
+/// Listing 7 — copy constructor from a received object.
+pub fn listing_07() -> Program {
+    let mut p = ProgramBuilder::new("listing-07-copy-ctor");
+    students(&mut p, false);
+    let stud = p.global("stud", Ty::Class("Student".into()));
+    let mut f = p.function("addStudent");
+    let remote = f.param("remoteobj", Ty::Ptr, true);
+    let st = f.local("st", Ty::Ptr);
+    f.placement_new_with(st, Expr::addr_of(stud), "GradStudent", vec![Expr::Var(remote)]);
+    f.finish();
+    p.build()
+}
+
+/// Listing 8 — indirect construction through an intermediate object.
+pub fn listing_08() -> Program {
+    let mut p = ProgramBuilder::new("listing-08-indirect");
+    students(&mut p, false);
+    p.class("Someclass", 48, None, false);
+    let stud = p.global("stud", Ty::Class("Student".into()));
+    let mut f = p.function("addStudent");
+    let remote = f.param("remoteobj", Ty::Ptr, true);
+    let obj2 = f.local("obj2", Ty::Ptr);
+    let st = f.local("st", Ty::Ptr);
+    f.heap_new(obj2, "Someclass");
+    f.assign(obj2, Expr::Var(remote)); // dataflow path remote -> obj2
+    f.placement_new_with(st, Expr::addr_of(stud), "GradStudent", vec![Expr::Var(obj2)]);
+    f.finish();
+    p.build()
+}
+
+/// §3.3 — the inter-procedural variant of Listing 8: the tainted count
+/// travels through a direct call into a helper whose own parameter is
+/// untainted.
+pub fn listing_08_interprocedural() -> Program {
+    let mut p = ProgramBuilder::new("listing-08b-interprocedural");
+    students(&mut p, false);
+    let pool = p.global("st_pool", Ty::CharArray(Some(64)));
+    let mut helper = p.function("placeNames");
+    let count = helper.param("count", Ty::Int, false);
+    let names = helper.local("stnames", Ty::Ptr);
+    helper.placement_new_array(names, Expr::addr_of(pool), 4, Expr::Var(count));
+    helper.finish();
+    let mut main = p.function("main");
+    let n = main.local("n", Ty::Int);
+    main.read_input(n); // service.getNames() length
+    main.call("placeNames", vec![Expr::Var(n)]);
+    main.finish();
+    p.build()
+}
+
+/// Listing 9 — `A obj2 = B()` where `sizeof(B) > sizeof(A)`.
+pub fn listing_09() -> Program {
+    let mut p = ProgramBuilder::new("listing-09-aggregate-copy");
+    p.class("A", 16, None, false);
+    p.class("B", 40, Some("A"), false);
+    let mut f = p.function("main");
+    let a = f.local("obj2", Ty::Class("A".into()));
+    let b = f.local("b", Ty::Ptr);
+    f.placement_new(b, Expr::addr_of(a), "B");
+    f.finish();
+    p.build()
+}
+
+/// Listing 10 — internal overflow inside `MobilePlayer`.
+pub fn listing_10() -> Program {
+    let mut p = ProgramBuilder::new("listing-10-internal");
+    students(&mut p, false);
+    let mut f = p.function("MobilePlayer::addStudentPlayer");
+    let stptr = f.param("stptr", Ty::Ptr, true);
+    let stud1 = f.local("stud1", Ty::Class("Student".into()));
+    let st = f.local("st", Ty::Ptr);
+    f.placement_new_with(st, Expr::addr_of(stud1), "GradStudent", vec![Expr::Var(stptr)]);
+    f.finish();
+    p.build()
+}
+
+/// Listing 11 — data/bss overflow: `stud1`'s `ssn[]` reaches `stud2`.
+pub fn listing_11() -> Program {
+    let mut p = ProgramBuilder::new("listing-11-bss");
+    students(&mut p, false);
+    let stud1 = p.global("stud1", Ty::Class("Student".into()));
+    let _stud2 = p.global("stud2", Ty::Class("Student".into()));
+    let mut f = p.function("addStudent");
+    let st = f.local("st", Ty::Ptr);
+    let ssn0 = f.local("ssn0", Ty::Int);
+    f.read_input(ssn0);
+    f.placement_new(st, Expr::addr_of(stud1), "GradStudent");
+    f.field_store(st, "ssn", Expr::Var(ssn0));
+    f.finish();
+    p.build()
+}
+
+/// Listing 12 — heap overflow: the placed object overruns into the
+/// neighbouring `name` allocation.
+pub fn listing_12() -> Program {
+    let mut p = ProgramBuilder::new("listing-12-heap");
+    students(&mut p, false);
+    let mut f = p.function("main");
+    let stud = f.local("stud", Ty::Ptr);
+    let name = f.local("name", Ty::Ptr);
+    let st = f.local("st", Ty::Ptr);
+    let ssn0 = f.local("ssn0", Ty::Int);
+    f.heap_new(stud, "Student");
+    f.heap_new_array(name, Expr::Const(16));
+    f.placement_new(st, Expr::Var(stud), "GradStudent");
+    f.read_input(ssn0);
+    f.field_store(st, "ssn", Expr::Var(ssn0));
+    f.finish();
+    p.build()
+}
+
+/// Listing 13 — stack overflow: return-address modification.
+pub fn listing_13() -> Program {
+    let mut p = ProgramBuilder::new("listing-13-stack");
+    students(&mut p, false);
+    let mut f = p.function("addStudent");
+    let stud = f.local("stud", Ty::Class("Student".into()));
+    let gs = f.local("gs", Ty::Ptr);
+    let dssn = f.local("dssn", Ty::Int);
+    f.placement_new(gs, Expr::addr_of(stud), "GradStudent");
+    f.while_start(Expr::Var(dssn), CmpOp::Lt, Expr::Const(3));
+    f.read_input(dssn);
+    f.if_start(Expr::Var(dssn), CmpOp::Gt, Expr::Const(0));
+    f.field_store(gs, "ssn", Expr::Var(dssn));
+    f.end_if();
+    f.end_while();
+    f.finish();
+    p.build()
+}
+
+/// Listing 14 — modification of data/bss variables (`noOfStudents`).
+pub fn listing_14() -> Program {
+    let mut p = ProgramBuilder::new("listing-14-globals");
+    students(&mut p, false);
+    let stud1 = p.global("stud1", Ty::Class("Student".into()));
+    let _count = p.global("noOfStudents", Ty::Int);
+    let mut f = p.function("addStudent");
+    let st = f.local("st", Ty::Ptr);
+    let ssn0 = f.local("ssn0", Ty::Int);
+    f.read_input(ssn0);
+    f.placement_new(st, Expr::addr_of(stud1), "GradStudent");
+    f.field_store(st, "ssn", Expr::Var(ssn0));
+    f.finish();
+    p.build()
+}
+
+/// Listing 15 — overwriting stack locals (`n`, with padding analysis).
+pub fn listing_15() -> Program {
+    let mut p = ProgramBuilder::new("listing-15-stack-local");
+    students(&mut p, false);
+    let mut f = p.function("addStudent");
+    let n = f.local("n", Ty::Int);
+    let stud = f.local("stud", Ty::Class("Student".into()));
+    let gs = f.local("gs", Ty::Ptr);
+    f.assign(n, Expr::Const(5));
+    f.placement_new(gs, Expr::addr_of(stud), "GradStudent");
+    f.finish();
+    p.build()
+}
+
+/// Listing 16 — overwriting member variables of a neighbouring object.
+pub fn listing_16() -> Program {
+    let mut p = ProgramBuilder::new("listing-16-member");
+    students(&mut p, false);
+    let mut f = p.function("addStudent");
+    let _first = f.local("first", Ty::Class("Student".into()));
+    let stud = f.local("stud", Ty::Class("Student".into()));
+    let gs = f.local("gs", Ty::Ptr);
+    let ssn0 = f.local("ssn0", Ty::Int);
+    f.placement_new(gs, Expr::addr_of(stud), "GradStudent");
+    f.read_input(ssn0);
+    f.field_store(gs, "ssn", Expr::Var(ssn0));
+    f.finish();
+    p.build()
+}
+
+/// §3.8.2 — vptr subterfuge (virtual classes; the oversized placement can
+/// reach an adjacent object's vtable pointer).
+pub fn listing_vptr() -> Program {
+    let mut p = ProgramBuilder::new("listing-vptr-subterfuge");
+    students(&mut p, true);
+    let stud1 = p.global("stud1", Ty::Class("Student".into()));
+    let stud2 = p.global("stud2", Ty::Class("Student".into()));
+    let mut f = p.function("main");
+    let st = f.local("st", Ty::Ptr);
+    let ssn0 = f.local("ssn0", Ty::Int);
+    f.read_input(ssn0);
+    f.placement_new(st, Expr::addr_of(stud1), "GradStudent");
+    f.field_store(st, "ssn", Expr::Var(ssn0));
+    f.virtual_call(stud2, "getInfo");
+    f.finish();
+    p.build()
+}
+
+/// Listing 17 — function pointer subterfuge.
+pub fn listing_17() -> Program {
+    let mut p = ProgramBuilder::new("listing-17-fnptr");
+    students(&mut p, false);
+    let mut f = p.function("addStudent");
+    let fnptr = f.local("createStudentAccount", Ty::Ptr);
+    let stud = f.local("stud", Ty::Class("Student".into()));
+    let gs = f.local("gs", Ty::Ptr);
+    f.null_assign(fnptr);
+    f.placement_new(gs, Expr::addr_of(stud), "GradStudent");
+    f.call_ptr(fnptr);
+    f.finish();
+    p.build()
+}
+
+/// Listing 18 — variable pointer subterfuge.
+pub fn listing_18() -> Program {
+    let mut p = ProgramBuilder::new("listing-18-varptr");
+    students(&mut p, false);
+    let stud = p.global("stud", Ty::Class("Student".into()));
+    let name = p.global("name", Ty::Ptr);
+    let mut f = p.function("main");
+    let st = f.local("st", Ty::Ptr);
+    let ssn0 = f.local("ssn0", Ty::Int);
+    f.heap_new_array(name, Expr::Const(16));
+    f.placement_new(st, Expr::addr_of(stud), "GradStudent");
+    f.read_input(ssn0);
+    f.field_store(st, "ssn", Expr::Var(ssn0));
+    f.finish();
+    p.build()
+}
+
+/// Listing 19 — the two-step array overflow on the stack.
+pub fn listing_19() -> Program {
+    let mut p = ProgramBuilder::new("listing-19-two-step-stack");
+    students(&mut p, false);
+    let mut f = p.function("sortAndAddUname");
+    let uname = f.param("uname", Ty::Ptr, true);
+    let pool = f.local("mem_pool", Ty::CharArray(Some(72)));
+    let n_unames = f.local("n_unames", Ty::Int);
+    let stud = f.local("stud", Ty::Class("Student".into()));
+    let st = f.local("st", Ty::Ptr);
+    let buf = f.local("buf", Ty::Ptr);
+    f.read_input(n_unames);
+    f.if_start(Expr::Var(n_unames), CmpOp::Gt, Expr::Const(8));
+    f.ret();
+    f.end_if();
+    f.placement_new(st, Expr::addr_of(stud), "GradStudent"); // step 1
+    f.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(n_unames));
+    f.strncpy(buf, Expr::Var(uname), Expr::mul(Expr::Var(n_unames), Expr::Const(9)));
+    f.finish();
+    p.build()
+}
+
+/// Listing 20 — the two-step overflow with a bss pool.
+pub fn listing_20() -> Program {
+    let mut p = ProgramBuilder::new("listing-20-two-step-bss");
+    students(&mut p, false);
+    let pool = p.global("mem_pool", Ty::CharArray(Some(72)));
+    let _n_staff = p.global("n_staff", Ty::Int);
+    let mut f = p.function("sortAndAddUname");
+    let uname = f.param("uname", Ty::Ptr, true);
+    let n_unames = f.local("n_unames", Ty::Int);
+    let stud = f.local("stud", Ty::Class("Student".into()));
+    let st = f.local("st", Ty::Ptr);
+    let buf = f.local("buf", Ty::Ptr);
+    f.read_input(n_unames);
+    f.placement_new(st, Expr::addr_of(stud), "GradStudent");
+    f.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(n_unames));
+    f.strncpy(buf, Expr::Var(uname), Expr::mul(Expr::Var(n_unames), Expr::Const(9)));
+    f.finish();
+    p.build()
+}
+
+/// Listing 21 — information leakage via array reuse over a password file.
+pub fn listing_21() -> Program {
+    let mut p = ProgramBuilder::new("listing-21-info-leak-array");
+    let pool = p.global("mem_pool", Ty::CharArray(Some(192)));
+    let mut f = p.function("main");
+    let userdata = f.local("userdata", Ty::Ptr);
+    f.read_secret(pool); // mmap/read the password file
+    f.placement_new_array(userdata, Expr::addr_of(pool), 1, Expr::Const(192));
+    f.output(userdata); // store(userdata)
+    f.finish();
+    p.build()
+}
+
+/// Listing 22 — information leakage via object reuse (SSN residue).
+pub fn listing_22() -> Program {
+    let mut p = ProgramBuilder::new("listing-22-info-leak-object");
+    students(&mut p, false);
+    let mut f = p.function("main");
+    let gst = f.local("gst", Ty::Ptr);
+    let st = f.local("st", Ty::Ptr);
+    f.heap_new(gst, "GradStudent");
+    f.placement_new(st, Expr::Var(gst), "Student");
+    f.output(st);
+    f.finish();
+    p.build()
+}
+
+/// Listing 23 — memory leak: released through the smaller type in a loop.
+pub fn listing_23() -> Program {
+    let mut p = ProgramBuilder::new("listing-23-memory-leak");
+    students(&mut p, false);
+    let mut f = p.function("addStudent");
+    let i = f.local("i", Ty::Int);
+    let stud = f.local("stud", Ty::Ptr);
+    let st = f.local("st", Ty::Ptr);
+    f.assign(i, Expr::Const(0));
+    f.while_start(Expr::Var(i), CmpOp::Lt, Expr::Const(100));
+    f.heap_new(stud, "GradStudent");
+    f.placement_new(st, Expr::Var(stud), "Student");
+    f.delete(st, Some("Student"));
+    f.null_assign(stud);
+    f.assign(i, Expr::add(Expr::Var(i), Expr::Const(2)));
+    f.end_while();
+    f.finish();
+    p.build()
+}
+
+/// §2.5 item 1 — `char c; int *b = new (&c) int;` (the degenerate
+/// scalar-arena placement; encoded as a class of size 4 placed over a
+/// char).
+pub fn listing_scalar_arena() -> Program {
+    let mut p = ProgramBuilder::new("listing-scalar-arena");
+    p.class("int_box", 4, None, false);
+    let mut f = p.function("main");
+    let c = f.local("c", Ty::Char);
+    let b = f.local("b", Ty::Ptr);
+    f.placement_new(b, Expr::addr_of(c), "int_box");
+    f.finish();
+    p.build()
+}
+
+/// §5.1 — a placement whose arena is an untracked pointer (bounds
+/// unknowable), the honest-limitation case.
+pub fn listing_unknown_bounds() -> Program {
+    let mut p = ProgramBuilder::new("listing-unknown-bounds");
+    students(&mut p, false);
+    let mut f = p.function("place_somewhere");
+    let dest = f.param("dest", Ty::Ptr, false);
+    let st = f.local("st", Ty::Ptr);
+    f.placement_new(st, Expr::Var(dest), "GradStudent");
+    f.finish();
+    p.build()
+}
+
+/// The full vulnerable corpus, in paper order.
+pub fn vulnerable_corpus() -> Vec<Program> {
+    vec![
+        listing_03(),
+        listing_04(),
+        listing_05(),
+        listing_06(),
+        listing_07(),
+        listing_08(),
+        listing_08_interprocedural(),
+        listing_09(),
+        listing_10(),
+        listing_11(),
+        listing_12(),
+        listing_13(),
+        listing_14(),
+        listing_15(),
+        listing_16(),
+        listing_vptr(),
+        listing_17(),
+        listing_18(),
+        listing_19(),
+        listing_20(),
+        listing_21(),
+        listing_22(),
+        listing_23(),
+        listing_scalar_arena(),
+        listing_unknown_bounds(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnew_detector::{Analyzer, Severity};
+
+    #[test]
+    fn sizes_come_from_the_layout_engine() {
+        let plain = student_sizes(false);
+        assert_eq!(plain.student, 16);
+        assert_eq!(plain.grad, 32);
+        let virt = student_sizes(true);
+        assert_eq!(virt.student, 24);
+        assert_eq!(virt.grad, 40);
+    }
+
+    #[test]
+    fn corpus_has_all_listings() {
+        let corpus = vulnerable_corpus();
+        assert_eq!(corpus.len(), 25);
+        // Unique names.
+        let mut names: Vec<&str> = corpus.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 25);
+    }
+
+    #[test]
+    fn analyzer_detects_every_listing_except_the_honest_unknowns() {
+        let analyzer = Analyzer::new();
+        for prog in vulnerable_corpus() {
+            let report = analyzer.analyze(&prog);
+            if prog.name == "listing-unknown-bounds" {
+                // §5.1: here the tool can only warn.
+                assert!(report.detected(), "{} should at least warn", prog.name);
+                assert!(
+                    !report.detected_at(Severity::Warning),
+                    "{} has unknowable bounds",
+                    prog.name
+                );
+            } else {
+                assert!(
+                    report.detected_at(Severity::Warning),
+                    "{}: expected a warning-or-better finding, got: {report}",
+                    prog.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_program_is_nonempty() {
+        for prog in vulnerable_corpus() {
+            assert!(prog.stmt_count() > 0, "{} is empty", prog.name);
+            assert!(!prog.functions.is_empty());
+        }
+    }
+}

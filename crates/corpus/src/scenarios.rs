@@ -1,0 +1,193 @@
+//! Runnable-scenario index: paper listing → machine attack.
+//!
+//! The runnable transcriptions of the listings live in
+//! [`pnew_core::attacks`]; this module maps them to listing/experiment ids
+//! so harnesses (the experiment report, benches, integration tests) can
+//! iterate the corpus uniformly.
+
+use pnew_core::attacks::{self, AttackFn};
+use pnew_core::AttackKind;
+
+/// One runnable corpus entry.
+#[derive(Clone)]
+pub struct Scenario {
+    /// Experiment id from DESIGN.md (`E1`…`E19`).
+    pub experiment: &'static str,
+    /// The listing(s) or section reproduced.
+    pub listing: &'static str,
+    /// The attack kind.
+    pub kind: AttackKind,
+    /// The runner.
+    pub run: AttackFn,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("experiment", &self.experiment)
+            .field("listing", &self.listing)
+            .field("kind", &self.kind)
+            .finish_non_exhaustive()
+    }
+}
+
+/// All runnable scenarios, in experiment order.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            experiment: "E1",
+            listing: "Listing 11",
+            kind: AttackKind::BssOverflow,
+            run: attacks::bss_overflow::run,
+        },
+        Scenario {
+            experiment: "E1b",
+            listing: "Listing 10 (§3.4 internal overflow)",
+            kind: AttackKind::InternalOverflow,
+            run: attacks::internal_overflow::run,
+        },
+        Scenario {
+            experiment: "E2",
+            listing: "Listing 12",
+            kind: AttackKind::HeapOverflow,
+            run: attacks::heap_overflow::run,
+        },
+        Scenario {
+            experiment: "E3",
+            listing: "Listing 13",
+            kind: AttackKind::StackSmash,
+            run: attacks::stack_smash::run_naive,
+        },
+        Scenario {
+            experiment: "E4",
+            listing: "Listing 13 (§5.2 selective)",
+            kind: AttackKind::CanaryBypass,
+            run: attacks::stack_smash::run_selective,
+        },
+        Scenario {
+            experiment: "E5",
+            listing: "§3.6.2 (arc injection)",
+            kind: AttackKind::ArcInjection,
+            run: attacks::arc_injection::run,
+        },
+        Scenario {
+            experiment: "E6",
+            listing: "§3.6.2 (code injection)",
+            kind: AttackKind::CodeInjection,
+            run: attacks::code_injection::run,
+        },
+        Scenario {
+            experiment: "E7",
+            listing: "Listing 14",
+            kind: AttackKind::GlobalVarMod,
+            run: attacks::global_var::run,
+        },
+        Scenario {
+            experiment: "E8",
+            listing: "Listing 15",
+            kind: AttackKind::StackLocalMod,
+            run: attacks::stack_local::run,
+        },
+        Scenario {
+            experiment: "E9",
+            listing: "Listing 16",
+            kind: AttackKind::MemberVarMod,
+            run: attacks::member_var::run,
+        },
+        Scenario {
+            experiment: "E10",
+            listing: "§3.8.2 (via data/bss)",
+            kind: AttackKind::VptrSubterfuge,
+            run: attacks::vptr_subterfuge::run_bss,
+        },
+        Scenario {
+            experiment: "E11",
+            listing: "§3.8.2 (via stack)",
+            kind: AttackKind::VptrSubterfuge,
+            run: attacks::vptr_subterfuge::run_stack,
+        },
+        Scenario {
+            experiment: "E12",
+            listing: "Listing 17",
+            kind: AttackKind::FnPtrSubterfuge,
+            run: attacks::fnptr_subterfuge::run,
+        },
+        Scenario {
+            experiment: "E13",
+            listing: "Listing 18",
+            kind: AttackKind::VarPtrSubterfuge,
+            run: attacks::varptr_subterfuge::run,
+        },
+        Scenario {
+            experiment: "E14",
+            listing: "Listing 19",
+            kind: AttackKind::ArrayTwoStepStack,
+            run: attacks::array_two_step::run_stack,
+        },
+        Scenario {
+            experiment: "E15",
+            listing: "Listing 20",
+            kind: AttackKind::ArrayTwoStepBss,
+            run: attacks::array_two_step::run_bss,
+        },
+        Scenario {
+            experiment: "E16",
+            listing: "Listing 21",
+            kind: AttackKind::InfoLeakArray,
+            run: attacks::info_leak::run_array,
+        },
+        Scenario {
+            experiment: "E17",
+            listing: "Listing 22",
+            kind: AttackKind::InfoLeakObject,
+            run: attacks::info_leak::run_object,
+        },
+        Scenario {
+            experiment: "E18",
+            listing: "§4.4",
+            kind: AttackKind::DosLoop,
+            run: attacks::dos_loop::run,
+        },
+        Scenario {
+            experiment: "E19",
+            listing: "Listing 23",
+            kind: AttackKind::MemoryLeak,
+            run: attacks::memory_leak::run,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnew_core::AttackConfig;
+
+    #[test]
+    fn experiments_are_unique_and_ordered() {
+        let s = scenarios();
+        assert_eq!(s.len(), 20);
+        assert_eq!(s[0].experiment, "E1");
+        assert_eq!(s[1].experiment, "E1b");
+        assert_eq!(s[19].experiment, "E19");
+        let mut ids: Vec<&str> = s.iter().map(|x| x.experiment).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    fn every_scenario_runs_under_the_paper_config() {
+        for sc in scenarios() {
+            let report = (sc.run)(&AttackConfig::paper())
+                .unwrap_or_else(|e| panic!("{} failed to run: {e}", sc.experiment));
+            assert_eq!(report.kind, sc.kind, "{}", sc.experiment);
+        }
+    }
+
+    #[test]
+    fn debug_impl_is_informative() {
+        let s = &scenarios()[0];
+        let text = format!("{s:?}");
+        assert!(text.contains("E1"));
+        assert!(text.contains("Listing 11"));
+    }
+}

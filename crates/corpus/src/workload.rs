@@ -1,0 +1,227 @@
+//! Seeded workload generators.
+//!
+//! Everything here is deterministic in the seed, so experiments and
+//! benches are exactly reproducible. The generators cover:
+//!
+//! * attacker input scripts (fuzz the `ssn[]` word values);
+//! * student populations (for allocation-pressure benches);
+//! * random *safe* and *vulnerable* IR programs, used by property tests
+//!   to probe detector soundness (safe programs must stay below Warning)
+//!   and sensitivity (each generated vulnerable program must be flagged).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pnew_detector::{Expr, Program, ProgramBuilder, Ty};
+
+use crate::listings::student_sizes;
+
+/// A generated attacker script: three `ssn` words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsnScript {
+    /// The three values fed to `cin`.
+    pub words: [i64; 3],
+}
+
+/// Generates `count` random ssn scripts (values span negative, zero and
+/// positive, so the `dssn > 0` guard is exercised in every combination).
+pub fn ssn_scripts(seed: u64, count: usize) -> Vec<SsnScript> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| SsnScript {
+            words: [
+                rng.gen_range(-1000..1_000_000),
+                rng.gen_range(-1000..1_000_000),
+                rng.gen_range(-1000..1_000_000),
+            ],
+        })
+        .collect()
+}
+
+/// One synthetic student record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudentRecord {
+    /// GPA in `[0, 4]`.
+    pub gpa: f64,
+    /// Enrollment year.
+    pub year: i32,
+    /// Semester.
+    pub semester: i32,
+    /// Whether the record is a graduate student (has an SSN).
+    pub grad: bool,
+    /// SSN words for graduate students.
+    pub ssn: [i32; 3],
+}
+
+/// Generates a deterministic student population.
+pub fn student_population(seed: u64, count: usize) -> Vec<StudentRecord> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5757_5757);
+    (0..count)
+        .map(|_| {
+            let grad = rng.gen_bool(0.4);
+            StudentRecord {
+                gpa: f64::from(rng.gen_range(0..=400)) / 100.0,
+                year: rng.gen_range(1990..=2011),
+                semester: rng.gen_range(1..=2),
+                grad,
+                ssn: if grad {
+                    [rng.gen_range(100..999), rng.gen_range(10..99), rng.gen_range(1000..9999)]
+                } else {
+                    [0; 3]
+                },
+            }
+        })
+        .collect()
+}
+
+/// Generates a random **safe** program: every placement provably fits its
+/// arena, every copy is bounded, reuse is sanitized. The detector must not
+/// report anything at `Warning` severity or above.
+pub fn random_safe_program(seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xbe9a_11fe);
+    let sizes = student_sizes(false);
+    let mut p = ProgramBuilder::new(&format!("gen-safe-{seed}"));
+    p.class("Student", sizes.student, None, false);
+    p.class("GradStudent", sizes.grad, Some("Student"), false);
+
+    let n_pools = rng.gen_range(1..4usize);
+    let pools: Vec<_> = (0..n_pools)
+        .map(|i| {
+            let size = rng.gen_range(sizes.grad..256);
+            (p.global(&format!("pool{i}"), Ty::CharArray(Some(size))), size)
+        })
+        .collect();
+
+    let mut f = p.function("main");
+    let n_ops = rng.gen_range(1..8usize);
+    for i in 0..n_ops {
+        let (pool, pool_size) = pools[rng.gen_range(0..pools.len())];
+        match rng.gen_range(0..4u8) {
+            0 => {
+                let v = f.local(&format!("obj{i}"), Ty::Ptr);
+                let class = if rng.gen_bool(0.5) { "Student" } else { "GradStudent" };
+                f.placement_new(v, Expr::addr_of(pool), class);
+            }
+            1 => {
+                let v = f.local(&format!("arr{i}"), Ty::Ptr);
+                let len = rng.gen_range(1..=pool_size);
+                f.placement_new_array(v, Expr::addr_of(pool), 1, Expr::Const(i64::from(len)));
+            }
+            2 => {
+                let v = f.local(&format!("buf{i}"), Ty::Ptr);
+                let len = rng.gen_range(1..=pool_size);
+                f.placement_new_array(v, Expr::addr_of(pool), 1, Expr::Const(i64::from(len)));
+                let src = f.local(&format!("src{i}"), Ty::Ptr);
+                f.strncpy(v, Expr::Var(src), Expr::Const(i64::from(len)));
+            }
+            _ => {
+                // Sanitized reuse.
+                let v = f.local(&format!("reuse{i}"), Ty::Ptr);
+                f.read_secret(pool);
+                f.memset(pool, Expr::Const(i64::from(pool_size)));
+                f.placement_new_array(v, Expr::addr_of(pool), 1, Expr::Const(1));
+                f.output(v);
+            }
+        }
+    }
+    f.finish();
+    p.build()
+}
+
+/// Generates a random **vulnerable** program containing at least one
+/// seeded placement-new defect; the detector must flag it at `Warning` or
+/// above.
+pub fn random_vulnerable_program(seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0bad_cafe);
+    let sizes = student_sizes(false);
+    let mut p = ProgramBuilder::new(&format!("gen-vuln-{seed}"));
+    p.class("Student", sizes.student, None, false);
+    p.class("GradStudent", sizes.grad, Some("Student"), false);
+
+    let mut f = p.function("main");
+    match rng.gen_range(0..4u8) {
+        0 => {
+            // Oversized object placement.
+            let stud = f.local("stud", Ty::Class("Student".into()));
+            let st = f.local("st", Ty::Ptr);
+            f.placement_new(st, Expr::addr_of(stud), "GradStudent");
+        }
+        1 => {
+            // Oversized constant array placement.
+            let pool = f.local("pool", Ty::CharArray(Some(rng.gen_range(8..64))));
+            let buf = f.local("buf", Ty::Ptr);
+            f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Const(512));
+        }
+        2 => {
+            // Tainted placement count.
+            let pool = f.local("pool", Ty::CharArray(Some(64)));
+            let n = f.local("n", Ty::Int);
+            let buf = f.local("buf", Ty::Ptr);
+            f.read_input(n);
+            f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Var(n));
+        }
+        _ => {
+            // Size-mismatched release.
+            let stud = f.local("stud", Ty::Ptr);
+            let st = f.local("st", Ty::Ptr);
+            f.heap_new(stud, "GradStudent");
+            f.placement_new(st, Expr::Var(stud), "Student");
+            f.delete(st, Some("Student"));
+        }
+    }
+    f.finish();
+    p.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnew_detector::{Analyzer, Severity};
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(ssn_scripts(7, 5), ssn_scripts(7, 5));
+        assert_ne!(ssn_scripts(7, 5), ssn_scripts(8, 5));
+        assert_eq!(student_population(3, 10), student_population(3, 10));
+        assert_eq!(random_safe_program(1), random_safe_program(1));
+        assert_eq!(random_vulnerable_program(1), random_vulnerable_program(1));
+    }
+
+    #[test]
+    fn population_respects_invariants() {
+        for s in student_population(11, 200) {
+            assert!((0.0..=4.0).contains(&s.gpa));
+            assert!((1990..=2011).contains(&s.year));
+            if !s.grad {
+                assert_eq!(s.ssn, [0; 3]);
+            }
+        }
+    }
+
+    #[test]
+    fn safe_programs_stay_quiet_across_seeds() {
+        let analyzer = Analyzer::new();
+        for seed in 0..50 {
+            let prog = random_safe_program(seed);
+            let report = analyzer.analyze(&prog);
+            assert!(
+                !report.detected_at(Severity::Warning),
+                "seed {seed}: false positive: {report}"
+            );
+        }
+    }
+
+    #[test]
+    fn vulnerable_programs_are_flagged_across_seeds() {
+        let analyzer = Analyzer::new();
+        for seed in 0..50 {
+            let prog = random_vulnerable_program(seed);
+            let report = analyzer.analyze(&prog);
+            assert!(
+                report.detected_at(Severity::Warning),
+                "seed {seed}: missed defect in {}",
+                prog.name
+            );
+        }
+    }
+}

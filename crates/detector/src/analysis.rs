@@ -1,0 +1,1292 @@
+//! The placement-new vulnerability analyzer.
+//!
+//! A forward abstract interpretation over the IR, combining:
+//!
+//! * **constant propagation** — so buffer sizes like
+//!   `n_students * (UNAME_SIZE+1)` evaluate;
+//! * **region inference** — every pointer is tracked to the storage it
+//!   aliases (a declared variable or a heap allocation), giving the arena
+//!   size at each placement site where one is statically knowable. Where
+//!   it is not (bare address arithmetic, lost aliases), the analyzer says
+//!   so honestly — §5.1's observation that "static analysis of programs
+//!   may not always succeed in precisely determining the size of the
+//!   buffer" is part of the design, reported as
+//!   [`FindingKind::UnknownBoundsPlacement`];
+//! * **taint tracking** — sources are `cin`, received/serialized objects
+//!   and tainted parameters; placement counts, copy lengths and
+//!   constructor arguments are checked for influence (§3.2, §4);
+//! * **arena lifecycle state** — secrets read into regions, tenant sizes,
+//!   sanitization, and release discipline, powering the information-leak
+//!   (§4.3) and memory-leak (§4.5) checks.
+//!
+//! Branches are analyzed on cloned states and merged conservatively
+//! (constants must agree, taint unions, region knowledge degrades to
+//! unknown on disagreement); loop bodies are analyzed once against the
+//! merged entry state, which is sufficient for the corpus shapes and errs
+//! toward reporting.
+
+use std::collections::HashMap;
+
+use crate::findings::{Finding, FindingKind, Report, Severity};
+use crate::ir::{Expr, Op, Program, Scope, Stmt, Ty, VarId};
+
+/// Where a pointer may point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum RegionId {
+    /// The storage of a declared variable.
+    Var(VarId),
+    /// A heap allocation, identified by its allocation-site ordinal.
+    Heap(u32),
+}
+
+/// Lifecycle state of a region.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct RegionState {
+    /// Allocation size, if known (heap regions).
+    alloc_size: Option<u64>,
+    /// Class the heap block was allocated for.
+    alloc_class: Option<String>,
+    /// Size of the last tenant placed (declared size for var regions).
+    last_tenant_size: Option<u64>,
+    /// Secret bytes were read into the region.
+    has_secret: bool,
+    /// A reuse left residue (smaller tenant or unsanitized secret);
+    /// the site line of the offending placement.
+    residue_at: Option<crate::ir::Site>,
+    /// The heap block was released.
+    freed: bool,
+    /// The region is a pool buffer whose placement count was tainted.
+    tainted_pool: bool,
+}
+
+/// Per-function dataflow state.
+#[derive(Debug, Clone, Default)]
+struct State {
+    consts: HashMap<VarId, i64>,
+    /// Upper bounds established by guards (`if (n > 8) return;` ⇒ n ≤ 8).
+    upper: HashMap<VarId, i64>,
+    tainted: HashMap<VarId, bool>,
+    points_to: HashMap<VarId, RegionId>,
+    regions: HashMap<RegionId, RegionState>,
+    /// Site of the first *proven* oversized placement: past it, every
+    /// variable in memory may have been rewritten, so constants and
+    /// guard-established bounds are no longer trustworthy — this is how
+    /// the analyzer keeps seeing the §4 two-step attack through the
+    /// victim's own (defeated) bounds check.
+    clobbered_at: Option<crate::ir::Site>,
+}
+
+impl State {
+    fn is_tainted(&self, v: VarId) -> bool {
+        self.tainted.get(&v).copied().unwrap_or(false)
+    }
+
+    fn taint(&mut self, v: VarId, t: bool) {
+        if t {
+            self.tainted.insert(v, true);
+        }
+    }
+
+    fn expr_tainted(&self, e: &Expr) -> bool {
+        e.reads().iter().any(|v| self.is_tainted(*v))
+    }
+
+    fn region_mut(&mut self, id: RegionId) -> &mut RegionState {
+        self.regions.entry(id).or_default()
+    }
+
+    /// A proven overflow happened: forget every value-level fact.
+    fn clobber(&mut self, site: &crate::ir::Site) {
+        self.consts.clear();
+        self.upper.clear();
+        if self.clobbered_at.is_none() {
+            self.clobbered_at = Some(site.clone());
+        }
+    }
+
+    /// Conservative merge of two branch states.
+    fn merge(mut self, other: State) -> State {
+        self.consts.retain(|k, v| other.consts.get(k) == Some(v));
+        // A bound survives a merge only if both branches have one; the
+        // weaker (larger) bound wins.
+        let other_upper = other.upper;
+        self.upper = self
+            .upper
+            .into_iter()
+            .filter_map(|(k, v)| other_upper.get(&k).map(|o| (k, v.max(*o))))
+            .collect();
+        if self.clobbered_at.is_none() {
+            self.clobbered_at = other.clobbered_at;
+        }
+        for (k, t) in other.tainted {
+            if t {
+                self.tainted.insert(k, true);
+            }
+        }
+        self.points_to.retain(|k, v| other.points_to.get(k) == Some(v));
+        for (id, o) in other.regions {
+            match self.regions.get_mut(&id) {
+                Some(s) => {
+                    s.has_secret |= o.has_secret;
+                    s.tainted_pool |= o.tainted_pool;
+                    if s.residue_at.is_none() {
+                        s.residue_at = o.residue_at;
+                    }
+                    s.freed &= o.freed;
+                    if s.last_tenant_size != o.last_tenant_size {
+                        s.last_tenant_size = None;
+                    }
+                }
+                None => {
+                    self.regions.insert(id, o);
+                }
+            }
+        }
+        self
+    }
+}
+
+/// Configuration of the analyzer: a reporting threshold and per-check
+/// switches, the knobs a real tool exposes for triage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyzerConfig {
+    /// Findings below this severity are not reported.
+    pub min_severity: Severity,
+    /// Finding kinds that are switched off entirely.
+    pub disabled: Vec<FindingKind>,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig { min_severity: Severity::Info, disabled: Vec::new() }
+    }
+}
+
+/// The analyzer. Stateless between programs; create once and reuse.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_detector::{Analyzer, Expr, FindingKind, ProgramBuilder, Ty};
+///
+/// let mut p = ProgramBuilder::new("listing-4");
+/// p.class("Student", 16, None, false);
+/// p.class("GradStudent", 32, Some("Student"), false);
+/// let mut f = p.function("main");
+/// let stud = f.local("stud", Ty::Class("Student".into()));
+/// let st = f.local("st", Ty::Ptr);
+/// f.placement_new(st, Expr::addr_of(stud), "GradStudent");
+/// f.finish();
+///
+/// let report = Analyzer::new().analyze(&p.build());
+/// assert_eq!(report.of_kind(FindingKind::OversizedPlacement).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    config: AnalyzerConfig,
+}
+
+impl Analyzer {
+    /// Creates an analyzer with the default configuration (report
+    /// everything).
+    pub fn new() -> Self {
+        Analyzer::default()
+    }
+
+    /// Creates an analyzer with an explicit configuration.
+    pub fn with_config(config: AnalyzerConfig) -> Self {
+        Analyzer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Analyzes a whole program.
+    ///
+    /// Every function is analyzed as an entry point; direct calls
+    /// ([`Stmt::Call`]) are additionally analyzed *inline* with the
+    /// caller's argument facts bound to the callee's parameters — the
+    /// §3.3 inter-procedural data-flow path. Findings are deduplicated by
+    /// `(kind, site)` so a callee flagged both standalone and inline is
+    /// reported once.
+    pub fn analyze(&self, program: &Program) -> Report {
+        let mut report = Report::new(&program.name);
+        for f in &program.functions {
+            let mut state = init_state(program, f);
+            self.walk(program, &f.body, &mut state, &mut report, 0);
+        }
+        report.findings.retain(|f| {
+            f.severity >= self.config.min_severity && !self.config.disabled.contains(&f.kind)
+        });
+        report
+    }
+
+    fn walk(&self, p: &Program, body: &[Stmt], state: &mut State, report: &mut Report, depth: u32) {
+        for stmt in body {
+            self.step(p, stmt, state, report, depth);
+        }
+    }
+
+    fn eval(&self, p: &Program, e: &Expr, state: &State) -> Option<i64> {
+        match e {
+            Expr::Const(c) => Some(*c),
+            Expr::SizeOf(class) => p.sizeof(class).map(|s| s as i64),
+            Expr::Var(v) => state.consts.get(v).copied(),
+            Expr::BinOp(op, a, b) => {
+                let a = self.eval(p, a, state)?;
+                let b = self.eval(p, b, state)?;
+                Some(match op {
+                    Op::Add => a.checked_add(b)?,
+                    Op::Sub => a.checked_sub(b)?,
+                    Op::Mul => a.checked_mul(b)?,
+                })
+            }
+            Expr::AddrOf(_) | Expr::Field(_, _) => None,
+        }
+    }
+
+    /// Largest value an expression can take, using constants and
+    /// guard-established upper bounds (monotone operators only).
+    fn eval_upper(&self, p: &Program, e: &Expr, state: &State) -> Option<i64> {
+        match e {
+            Expr::Const(c) => Some(*c),
+            Expr::SizeOf(class) => p.sizeof(class).map(|s| s as i64),
+            Expr::Var(v) => state.consts.get(v).copied().or_else(|| state.upper.get(v).copied()),
+            Expr::BinOp(op, a, b) => {
+                let a = self.eval_upper(p, a, state)?;
+                let b = self.eval_upper(p, b, state)?;
+                if a < 0 || b < 0 {
+                    return None;
+                }
+                match op {
+                    Op::Add => a.checked_add(b),
+                    Op::Mul => a.checked_mul(b),
+                    Op::Sub => None, // needs a lower bound of b
+                }
+            }
+            Expr::AddrOf(_) | Expr::Field(_, _) => None,
+        }
+    }
+
+    /// Applies the refinement a satisfied comparison gives (`v ≤ c` forms
+    /// only), unless memory has already been clobbered.
+    fn refine(&self, cond: &crate::ir::Cond, holds: bool, state: &mut State) {
+        use crate::ir::CmpOp;
+        if state.clobbered_at.is_some() {
+            return;
+        }
+        let (Expr::Var(v), Expr::Const(c)) = (&cond.lhs, &cond.rhs) else {
+            return;
+        };
+        let bound = match (cond.op, holds) {
+            (CmpOp::Le, true) | (CmpOp::Gt, false) => Some(*c),
+            (CmpOp::Lt, true) | (CmpOp::Ge, false) => Some(*c - 1),
+            (CmpOp::Eq, true) => Some(*c),
+            _ => None,
+        };
+        if let Some(b) = bound {
+            let entry = state.upper.entry(*v).or_insert(b);
+            *entry = (*entry).min(b);
+        }
+    }
+
+    /// Resolves an arena expression to a region, if trackable.
+    fn region_of_expr(&self, p: &Program, e: &Expr, state: &State) -> Option<RegionId> {
+        match e {
+            Expr::AddrOf(v) => Some(RegionId::Var(*v)),
+            // A pointer-valued variable denotes whatever it points to (or
+            // nothing trackable); an array/object variable decays to its
+            // own storage.
+            Expr::Var(v) => match p.var(*v).ty {
+                Ty::Ptr => state.points_to.get(v).copied(),
+                _ => Some(RegionId::Var(*v)),
+            },
+            _ => None,
+        }
+    }
+
+    /// Region a *buffer-valued variable* denotes (arrays decay, pointers
+    /// follow points-to).
+    fn region_of_var(&self, p: &Program, v: VarId, state: &State) -> Option<RegionId> {
+        match p.var(v).ty {
+            Ty::Ptr => state.points_to.get(&v).copied(),
+            _ => Some(RegionId::Var(v)),
+        }
+    }
+
+    fn region_size(&self, p: &Program, id: RegionId, state: &State) -> Option<u64> {
+        match id {
+            RegionId::Var(v) => p.var(v).ty.declared_size(&p.classes),
+            RegionId::Heap(_) => state.regions.get(&id).and_then(|r| r.alloc_size),
+        }
+    }
+
+    fn region_class(&self, p: &Program, id: RegionId, state: &State) -> Option<String> {
+        match id {
+            RegionId::Var(v) => match &p.var(v).ty {
+                Ty::Class(name) => Some(name.clone()),
+                _ => None,
+            },
+            RegionId::Heap(_) => state.regions.get(&id).and_then(|r| r.alloc_class.clone()),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn step(&self, p: &Program, stmt: &Stmt, state: &mut State, report: &mut Report, depth: u32) {
+        match stmt {
+            Stmt::Assign { dst, src, .. } => {
+                // A plain overwrite replaces the value entirely: taint is
+                // recomputed, not accumulated (clamping a tainted count to
+                // a constant sanitizes it).
+                state.tainted.insert(*dst, state.expr_tainted(src));
+                match self.eval(p, src, state) {
+                    Some(v) => {
+                        state.consts.insert(*dst, v);
+                    }
+                    None => {
+                        state.consts.remove(dst);
+                    }
+                }
+                if matches!(p.var(*dst).ty, Ty::Ptr) {
+                    match self.region_of_expr(p, src, state) {
+                        Some(r) => {
+                            state.points_to.insert(*dst, r);
+                        }
+                        None => {
+                            state.points_to.remove(dst);
+                        }
+                    }
+                }
+            }
+            Stmt::FieldStore { obj, src, .. } => {
+                state.taint(*obj, state.expr_tainted(src));
+            }
+            Stmt::ReadInput { dst, .. } => {
+                state.taint(*dst, true);
+                state.consts.remove(dst);
+            }
+            Stmt::RecvObject { dst, .. } => {
+                state.taint(*dst, true);
+                state.consts.remove(dst);
+                state.points_to.remove(dst);
+            }
+            Stmt::HeapNew { site, dst, class, count } => {
+                let id = RegionId::Heap(site.line);
+                let alloc_size = match (class, count) {
+                    (Some(c), _) => p.sizeof(c),
+                    (None, Some(n)) => self.eval(p, n, state).and_then(|v| u64::try_from(v).ok()),
+                    (None, None) => None,
+                };
+                let region = state.region_mut(id);
+                *region = RegionState {
+                    alloc_size,
+                    alloc_class: class.clone(),
+                    last_tenant_size: alloc_size,
+                    ..RegionState::default()
+                };
+                state.points_to.insert(*dst, id);
+            }
+            Stmt::PlacementNew { site, dst, arena, class, args } => {
+                let placed = p.sizeof(class);
+                let region = self.region_of_expr(p, arena, state);
+                let arena_size = region.and_then(|r| self.region_size(p, r, state));
+
+                match (placed, arena_size) {
+                    (Some(placed), Some(arena_sz)) if placed > arena_sz => {
+                        let arena_class = region
+                            .and_then(|r| self.region_class(p, r, state))
+                            .unwrap_or_else(|| "buffer".to_owned());
+                        emit(report, Finding {
+                            kind: FindingKind::OversizedPlacement,
+                            severity: Severity::Error,
+                            site: site.clone(),
+                            message: format!(
+                                "placing {class} ({placed} bytes) into a {arena_sz}-byte arena of {arena_class} overflows by {} bytes",
+                                placed - arena_sz
+                            ),
+                        });
+                        let poly_placed = p.classes.get(class).is_some_and(|c| c.polymorphic);
+                        let poly_nearby = p.classes.values().any(|c| c.polymorphic);
+                        if poly_placed || poly_nearby {
+                            emit(report, Finding {
+                                kind: FindingKind::VptrClobber,
+                                severity: Severity::Error,
+                                site: site.clone(),
+                                message: format!(
+                                    "the {} overflowed bytes can reach a vtable pointer of an adjacent polymorphic object (§3.8.2)",
+                                    placed - arena_sz
+                                ),
+                            });
+                        }
+                        state.clobber(site);
+                    }
+                    (_, None) => {
+                        emit(report, Finding {
+                            kind: FindingKind::UnknownBoundsPlacement,
+                            severity: Severity::Info,
+                            site: site.clone(),
+                            message: format!(
+                                "cannot infer the arena size for this placement of {class}; manual review required (§5.1)"
+                            ),
+                        });
+                    }
+                    _ => {}
+                }
+
+                if args.iter().any(|a| state.expr_tainted(a)) {
+                    emit(report, Finding {
+                        kind: FindingKind::TaintedPlacementSize,
+                        severity: Severity::Warning,
+                        site: site.clone(),
+                        message: format!(
+                            "{class} is constructed from untrusted data; a remote object can drive the overflow (§3.2)"
+                        ),
+                    });
+                }
+
+                // Lifecycle: a smaller tenant over a larger one, or any
+                // reuse over secrets, leaves residue.
+                if let (Some(region_id), Some(placed)) = (region, placed) {
+                    let rs = state.region_mut(region_id);
+                    let shrunk = rs.last_tenant_size.is_some_and(|prev| placed < prev);
+                    if (shrunk || rs.has_secret) && rs.residue_at.is_none() {
+                        rs.residue_at = Some(site.clone());
+                    }
+                    rs.last_tenant_size = Some(placed);
+                    state.points_to.insert(*dst, region_id);
+                } else if let Some(region_id) = region {
+                    state.points_to.insert(*dst, region_id);
+                }
+            }
+            Stmt::PlacementNewArray { site, dst, arena, elem_size, count } => {
+                let region = self.region_of_expr(p, arena, state);
+                let arena_size = region.and_then(|r| self.region_size(p, r, state));
+                let total = self
+                    .eval(p, count, state)
+                    .and_then(|n| u64::try_from(n).ok())
+                    .map(|n| n * u64::from(*elem_size));
+                let count_tainted = state.expr_tainted(count);
+
+                match (total, arena_size) {
+                    (Some(total), Some(arena_sz)) if total > arena_sz => {
+                        emit(report, Finding {
+                            kind: FindingKind::OversizedPlacement,
+                            severity: Severity::Error,
+                            site: site.clone(),
+                            message: format!(
+                                "placing a {total}-byte array into a {arena_sz}-byte arena overflows by {} bytes",
+                                total - arena_sz
+                            ),
+                        });
+                        state.clobber(site);
+                    }
+                    (_, None) => {
+                        emit(
+                            report,
+                            Finding {
+                                kind: FindingKind::UnknownBoundsPlacement,
+                                severity: Severity::Info,
+                                site: site.clone(),
+                                message:
+                                    "cannot infer the arena size for this array placement (§5.1)"
+                                        .to_owned(),
+                            },
+                        );
+                    }
+                    _ => {}
+                }
+                // A guard that bounds the count below the arena size makes
+                // the tainted length safe — *unless* an earlier proven
+                // overflow may have rewritten the bounded variable.
+                let bound_total = self
+                    .eval_upper(p, count, state)
+                    .and_then(|b| u64::try_from(b).ok())
+                    .and_then(|b| b.checked_mul(u64::from(*elem_size)));
+                let bound_covers =
+                    matches!((bound_total, arena_size), (Some(b), Some(a)) if b <= a);
+                if count_tainted && !bound_covers {
+                    let mut message =
+                        "array placement length is influenced by untrusted input (§4 step 1)"
+                            .to_owned();
+                    if let Some(clobber) = &state.clobbered_at {
+                        message.push_str(&format!(
+                            "; the bounds check is void because the oversized placement at {clobber} can rewrite the checked variable"
+                        ));
+                    }
+                    emit(
+                        report,
+                        Finding {
+                            kind: FindingKind::TaintedPlacementSize,
+                            severity: Severity::Warning,
+                            site: site.clone(),
+                            message,
+                        },
+                    );
+                }
+                if let Some(region_id) = region {
+                    let secret_residue = {
+                        let rs = state.region_mut(region_id);
+                        if rs.has_secret && rs.residue_at.is_none() {
+                            rs.residue_at = Some(site.clone());
+                        }
+                        rs.tainted_pool |= count_tainted;
+                        rs.has_secret
+                    };
+                    let _ = secret_residue;
+                    state.points_to.insert(*dst, region_id);
+                }
+            }
+            Stmt::Strncpy { site, dst, src, len } => {
+                let len_tainted = state.expr_tainted(len);
+                let src_tainted = state.expr_tainted(src);
+                let region = self.region_of_var(p, *dst, state);
+                let dst_size = region.and_then(|r| self.region_size(p, r, state));
+                let len_val = self.eval(p, len, state).and_then(|v| u64::try_from(v).ok());
+
+                if let (Some(len_val), Some(dst_size)) = (len_val, dst_size) {
+                    if len_val > dst_size {
+                        emit(
+                            report,
+                            Finding {
+                                kind: FindingKind::ClassicOverflow,
+                                severity: Severity::Error,
+                                site: site.clone(),
+                                message: format!(
+                                    "strncpy of {len_val} bytes into a {dst_size}-byte buffer"
+                                ),
+                            },
+                        );
+                    }
+                }
+                let pool_tainted =
+                    region.and_then(|r| state.regions.get(&r)).is_some_and(|r| r.tainted_pool);
+                let len_bound = self.eval_upper(p, len, state).and_then(|b| u64::try_from(b).ok());
+                let bound_covers = matches!((len_bound, dst_size), (Some(b), Some(d)) if b <= d);
+                if (len_tainted || pool_tainted) && src_tainted && !bound_covers {
+                    emit(report, Finding {
+                        kind: FindingKind::TaintedCopyThroughPool,
+                        severity: Severity::Warning,
+                        site: site.clone(),
+                        message:
+                            "untrusted data copied with an untrusted length through a pool-placed buffer — the §4 two-step overflow"
+                                .to_owned(),
+                    });
+                }
+            }
+            Stmt::Memset { dst, .. } => {
+                if let Some(r) = self.region_of_var(p, *dst, state) {
+                    let rs = state.region_mut(r);
+                    rs.has_secret = false;
+                    rs.residue_at = None;
+                    // A zeroed arena has no previous tenant to leak: a
+                    // smaller next tenant leaves only zeros behind.
+                    rs.last_tenant_size = Some(0);
+                }
+            }
+            Stmt::ReadSecret { dst, .. } => {
+                if let Some(r) = self.region_of_var(p, *dst, state) {
+                    state.region_mut(r).has_secret = true;
+                }
+            }
+            Stmt::Output { site, src, .. } => {
+                if let Some(r) = self.region_of_var(p, *src, state) {
+                    let rs = state.region_mut(r).clone();
+                    if let Some(origin) = rs.residue_at {
+                        emit(report, Finding {
+                            kind: FindingKind::UnsanitizedArenaReuse,
+                            severity: Severity::Error,
+                            site: site.clone(),
+                            message: format!(
+                                "buffer shipped out still carries residue from before the placement at {origin} (no memset between tenants, §4.3)"
+                            ),
+                        });
+                    }
+                }
+            }
+            Stmt::Delete { site, ptr, as_class } => {
+                if let Some(r @ RegionId::Heap(_)) = state.points_to.get(ptr).copied() {
+                    let (alloc_size, alloc_class) = {
+                        let rs = state.region_mut(r);
+                        rs.freed = true;
+                        (rs.alloc_size, rs.alloc_class.clone())
+                    };
+                    if let (Some(cls), Some(alloc)) = (as_class, alloc_size) {
+                        if let Some(released) = p.sizeof(cls) {
+                            if released < alloc {
+                                emit(report, Finding {
+                                    kind: FindingKind::PlacementLeak,
+                                    severity: Severity::Error,
+                                    site: site.clone(),
+                                    message: format!(
+                                        "block allocated for {} ({alloc} bytes) released as {cls} ({released} bytes): {} bytes leak per iteration (§4.5)",
+                                        alloc_class.as_deref().unwrap_or("an array"),
+                                        alloc - released
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            Stmt::NullAssign { site, ptr } => {
+                if let Some(r @ RegionId::Heap(_)) = state.points_to.get(ptr).copied() {
+                    let freed = state.regions.get(&r).is_some_and(|rs| rs.freed);
+                    if !freed {
+                        emit(report, Finding {
+                            kind: FindingKind::PlacementLeak,
+                            severity: Severity::Warning,
+                            site: site.clone(),
+                            message:
+                                "pointer to a live placement arena nulled without releasing the block (§4.5)"
+                                    .to_owned(),
+                        });
+                    }
+                }
+                state.points_to.remove(ptr);
+            }
+            Stmt::VirtualCall { .. } | Stmt::CallPtr { .. } | Stmt::Return { .. } => {}
+            Stmt::If { cond, then_body, else_body, .. } => {
+                let mut then_state = state.clone();
+                let mut else_state = state.clone();
+                self.refine(cond, true, &mut then_state);
+                self.refine(cond, false, &mut else_state);
+                self.walk(p, then_body, &mut then_state, report, depth);
+                self.walk(p, else_body, &mut else_state, report, depth);
+                let then_returns = matches!(then_body.last(), Some(Stmt::Return { .. }));
+                let else_returns = matches!(else_body.last(), Some(Stmt::Return { .. }));
+                // A branch ending in `return` contributes nothing to the
+                // fall-through state — this is what lets the guard
+                // `if (n > max) return;` establish n ≤ max afterwards.
+                *state = match (then_returns, else_returns) {
+                    (true, false) => else_state,
+                    (false, true) => then_state,
+                    _ => then_state.merge(else_state),
+                };
+            }
+            Stmt::While { body, .. } => {
+                let mut body_state = state.clone();
+                self.walk(p, body, &mut body_state, report, depth);
+                *state = state.clone().merge(body_state);
+            }
+            Stmt::Call { func, args, .. } => {
+                self.analyze_call(p, func, args, state, report, depth);
+            }
+        }
+    }
+}
+
+/// Maximum inline call depth for inter-procedural analysis.
+const MAX_CALL_DEPTH: u32 = 4;
+
+/// Appends a finding unless an identical `(kind, site)` is already
+/// reported (a callee analyzed standalone and inline, a loop body walked
+/// twice, …).
+fn emit(report: &mut Report, finding: Finding) {
+    let dup = report.findings.iter().any(|f| f.kind == finding.kind && f.site == finding.site);
+    if !dup {
+        report.findings.push(finding);
+    }
+}
+
+/// Entry-point state for a function: parameter taint and declared-storage
+/// region sizes for globals and the function's own variables.
+fn init_state(program: &Program, f: &crate::ir::Function) -> State {
+    let mut state = State::default();
+    for var in &program.vars {
+        let is_mine = f.vars.contains(&var.id);
+        let in_scope = matches!(var.scope, Scope::Global) || is_mine;
+        if !in_scope {
+            continue;
+        }
+        if let Scope::Param { tainted } = var.scope {
+            state.taint(var.id, tainted);
+        }
+        if !matches!(var.ty, Ty::Ptr) {
+            let size = var.ty.declared_size(&program.classes);
+            let region = state.region_mut(RegionId::Var(var.id));
+            region.last_tenant_size = size;
+        }
+    }
+    state
+}
+
+impl Analyzer {
+    /// Inline analysis of a direct call: bind the caller's argument facts
+    /// to the callee's parameters, walk the callee, and merge
+    /// global/heap region effects back into the caller.
+    fn analyze_call(
+        &self,
+        p: &Program,
+        func: &str,
+        args: &[Expr],
+        state: &mut State,
+        report: &mut Report,
+        depth: u32,
+    ) {
+        let Some(callee) = p.functions.iter().find(|f| f.name == func) else {
+            return; // external/opaque call: no effect modeled
+        };
+        if depth >= MAX_CALL_DEPTH {
+            return; // recursion cut-off
+        }
+        let mut callee_state = init_state(p, callee);
+        // Shared globals carry their caller-visible lifecycle state in.
+        for (&id, rs) in &state.regions {
+            let is_global = match id {
+                RegionId::Var(v) => matches!(p.var(v).scope, Scope::Global),
+                RegionId::Heap(_) => true,
+            };
+            if is_global {
+                callee_state.regions.insert(id, rs.clone());
+            }
+        }
+        if state.clobbered_at.is_some() {
+            callee_state.clobbered_at = state.clobbered_at.clone();
+        }
+        // Bind arguments to parameters, in declaration order.
+        let params: Vec<VarId> = callee
+            .vars
+            .iter()
+            .copied()
+            .filter(|&v| matches!(p.var(v).scope, Scope::Param { .. }))
+            .collect();
+        for (param, arg) in params.iter().zip(args) {
+            callee_state.tainted.insert(*param, state.expr_tainted(arg));
+            if let Some(v) = self.eval(p, arg, state) {
+                callee_state.consts.insert(*param, v);
+            }
+            if matches!(p.var(*param).ty, Ty::Ptr) {
+                if let Some(r) = self.region_of_expr(p, arg, state) {
+                    callee_state.points_to.insert(*param, r);
+                }
+            }
+        }
+        self.walk(p, &callee.body, &mut callee_state, report, depth + 1);
+        // Merge global/heap region effects back into the caller.
+        for (id, rs) in callee_state.regions {
+            let is_global = match id {
+                RegionId::Var(v) => matches!(p.var(v).scope, Scope::Global),
+                RegionId::Heap(_) => true,
+            };
+            if !is_global {
+                continue;
+            }
+            let dst = state.region_mut(id);
+            dst.has_secret |= rs.has_secret;
+            dst.tainted_pool |= rs.tainted_pool;
+            if dst.residue_at.is_none() {
+                dst.residue_at = rs.residue_at;
+            }
+            dst.freed |= rs.freed;
+            if dst.last_tenant_size != rs.last_tenant_size {
+                dst.last_tenant_size = None;
+            }
+        }
+        if state.clobbered_at.is_none() {
+            state.clobbered_at = callee_state.clobbered_at;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ir::CmpOp;
+
+    fn students(p: &mut ProgramBuilder) {
+        p.class("Student", 16, None, false);
+        p.class("GradStudent", 32, Some("Student"), false);
+    }
+
+    #[test]
+    fn oversized_placement_is_proved() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("main");
+        let stud = f.local("stud", Ty::Class("Student".into()));
+        let st = f.local("st", Ty::Ptr);
+        f.placement_new(st, Expr::addr_of(stud), "GradStudent");
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        let found = r.of_kind(FindingKind::OversizedPlacement);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].severity, Severity::Error);
+        assert!(found[0].message.contains("overflows by 16 bytes"));
+    }
+
+    #[test]
+    fn equal_size_placement_is_clean() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("main");
+        let stud = f.local("stud", Ty::Class("Student".into()));
+        let st = f.local("st", Ty::Ptr);
+        f.placement_new(st, Expr::addr_of(stud), "Student");
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert!(!r.detected());
+    }
+
+    #[test]
+    fn alias_through_pointer_is_tracked() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("main");
+        let stud = f.local("stud", Ty::Class("Student".into()));
+        let alias = f.local("alias", Ty::Ptr);
+        let st = f.local("st", Ty::Ptr);
+        f.assign(alias, Expr::addr_of(stud));
+        f.placement_new(st, Expr::Var(alias), "GradStudent");
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert_eq!(r.of_kind(FindingKind::OversizedPlacement).len(), 1);
+    }
+
+    #[test]
+    fn unknown_bounds_yield_an_info_warning() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("main");
+        let ptr = f.param("somewhere", Ty::Ptr, false);
+        let st = f.local("st", Ty::Ptr);
+        f.placement_new(st, Expr::Var(ptr), "GradStudent");
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        let found = r.of_kind(FindingKind::UnknownBoundsPlacement);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].severity, Severity::Info);
+        assert!(!r.detected_at(Severity::Warning));
+    }
+
+    #[test]
+    fn tainted_array_count_detected() {
+        // Listing 5: n comes from a malicious service.
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let pool = p.global("st", Ty::CharArray(Some(64)));
+        let mut f = p.function("main");
+        let n = f.local("n", Ty::Int);
+        let names = f.local("stnames", Ty::Ptr);
+        f.read_input(n);
+        f.placement_new_array(names, Expr::addr_of(pool), 4, Expr::Var(n));
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert_eq!(r.of_kind(FindingKind::TaintedPlacementSize).len(), 1);
+    }
+
+    #[test]
+    fn constant_sizes_evaluate_through_arithmetic() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let pool = p.global("pool", Ty::CharArray(Some(72)));
+        let mut f = p.function("main");
+        let n = f.local("n", Ty::Int);
+        let buf = f.local("buf", Ty::Ptr);
+        f.assign(n, Expr::Const(100));
+        f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::mul(Expr::Var(n), Expr::Const(9)));
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        let found = r.of_kind(FindingKind::OversizedPlacement);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("900-byte array"));
+    }
+
+    #[test]
+    fn two_step_pattern_detected_through_the_defeated_guard() {
+        // The full Listing 19 shape: tainted n, a real bounds check, but
+        // an oversized object placement in between that can rewrite the
+        // checked variable — the analyzer must keep flagging.
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("sortAndAddUname");
+        let uname = f.param("uname", Ty::Ptr, true);
+        let pool = f.local("mem_pool", Ty::CharArray(Some(72)));
+        let n = f.local("n_unames", Ty::Int);
+        let stud = f.local("stud", Ty::Class("Student".into()));
+        let st = f.local("st", Ty::Ptr);
+        let buf = f.local("buf", Ty::Ptr);
+        f.read_input(n);
+        f.if_start(Expr::Var(n), CmpOp::Gt, Expr::Const(8));
+        f.ret();
+        f.end_if();
+        f.placement_new(st, Expr::addr_of(stud), "GradStudent"); // step 1
+        f.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(n));
+        f.strncpy(buf, Expr::Var(uname), Expr::mul(Expr::Var(n), Expr::Const(9)));
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        let tainted = r.of_kind(FindingKind::TaintedPlacementSize);
+        assert_eq!(tainted.len(), 1);
+        assert!(tainted[0].message.contains("bounds check is void"), "{}", tainted[0].message);
+        assert!(!r.of_kind(FindingKind::TaintedCopyThroughPool).is_empty());
+    }
+
+    #[test]
+    fn intact_guard_suppresses_the_tainted_count() {
+        // Same program without the step-1 overflow: the guard genuinely
+        // bounds n (n ≤ 8, 8·9 = 72 ≤ 72), so the tainted length is safe.
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("sortAndAddUname");
+        let uname = f.param("uname", Ty::Ptr, true);
+        let pool = f.local("mem_pool", Ty::CharArray(Some(72)));
+        let n = f.local("n_unames", Ty::Int);
+        let buf = f.local("buf", Ty::Ptr);
+        f.read_input(n);
+        f.if_start(Expr::Var(n), CmpOp::Gt, Expr::Const(8));
+        f.ret();
+        f.end_if();
+        f.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(n));
+        f.strncpy(buf, Expr::Var(uname), Expr::mul(Expr::Var(n), Expr::Const(9)));
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert!(!r.detected_at(Severity::Warning), "{r}");
+    }
+
+    #[test]
+    fn insufficient_guard_still_flags() {
+        // A guard that bounds n too loosely (n ≤ 100, 100·9 > 72).
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("f");
+        let uname = f.param("uname", Ty::Ptr, true);
+        let pool = f.local("mem_pool", Ty::CharArray(Some(72)));
+        let n = f.local("n", Ty::Int);
+        let buf = f.local("buf", Ty::Ptr);
+        f.read_input(n);
+        f.if_start(Expr::Var(n), CmpOp::Gt, Expr::Const(100));
+        f.ret();
+        f.end_if();
+        f.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(n));
+        f.strncpy(buf, Expr::Var(uname), Expr::mul(Expr::Var(n), Expr::Const(9)));
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert!(!r.of_kind(FindingKind::TaintedPlacementSize).is_empty());
+    }
+
+    #[test]
+    fn unsanitized_reuse_detected_and_memset_clears_it() {
+        for sanitize in [false, true] {
+            let mut p = ProgramBuilder::new("t");
+            students(&mut p);
+            let pool = p.global("mem_pool", Ty::CharArray(Some(128)));
+            let mut f = p.function("main");
+            let user = f.local("userdata", Ty::Ptr);
+            f.read_secret(pool);
+            if sanitize {
+                f.memset(pool, Expr::Const(128));
+            }
+            f.placement_new_array(user, Expr::addr_of(pool), 1, Expr::Const(128));
+            f.output(user);
+            f.finish();
+            let r = Analyzer::new().analyze(&p.build());
+            let found = r.of_kind(FindingKind::UnsanitizedArenaReuse);
+            assert_eq!(found.len(), usize::from(!sanitize), "sanitize={sanitize}");
+        }
+    }
+
+    #[test]
+    fn smaller_object_reuse_is_residue() {
+        // Listing 22: GradStudent then Student placed over it, stored out.
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("main");
+        let gst = f.local("gst", Ty::Ptr);
+        let st = f.local("st", Ty::Ptr);
+        f.heap_new(gst, "GradStudent");
+        f.placement_new(st, Expr::Var(gst), "Student");
+        f.output(st);
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert_eq!(r.of_kind(FindingKind::UnsanitizedArenaReuse).len(), 1);
+    }
+
+    #[test]
+    fn placement_leak_detected() {
+        // Listing 23: allocated as GradStudent, released as Student.
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("addStudent");
+        let stud = f.local("stud", Ty::Ptr);
+        let st = f.local("st", Ty::Ptr);
+        f.heap_new(stud, "GradStudent");
+        f.placement_new(st, Expr::Var(stud), "Student");
+        f.delete(st, Some("Student"));
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        let found = r.of_kind(FindingKind::PlacementLeak);
+        assert_eq!(found.len(), 1);
+        assert!(found[0].message.contains("16 bytes leak"));
+    }
+
+    #[test]
+    fn null_without_free_warns() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("f");
+        let stud = f.local("stud", Ty::Ptr);
+        f.heap_new(stud, "GradStudent");
+        f.null_assign(stud);
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        let found = r.of_kind(FindingKind::PlacementLeak);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn proper_delete_is_clean() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("f");
+        let stud = f.local("stud", Ty::Ptr);
+        let st = f.local("st", Ty::Ptr);
+        f.heap_new(stud, "GradStudent");
+        f.placement_new(st, Expr::Var(stud), "Student");
+        f.delete(st, Some("GradStudent")); // placement delete: full block
+        f.null_assign(stud);
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert!(r.of_kind(FindingKind::PlacementLeak).is_empty());
+        // The smaller-tenant residue is never shipped out: no leak finding.
+        assert!(r.of_kind(FindingKind::UnsanitizedArenaReuse).is_empty());
+    }
+
+    #[test]
+    fn vptr_clobber_reported_for_polymorphic_worlds() {
+        let mut p = ProgramBuilder::new("t");
+        p.class("Student", 24, None, true);
+        p.class("GradStudent", 40, Some("Student"), true);
+        let mut f = p.function("main");
+        let stud = f.local("stud", Ty::Class("Student".into()));
+        let st = f.local("st", Ty::Ptr);
+        f.placement_new(st, Expr::addr_of(stud), "GradStudent");
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert_eq!(r.of_kind(FindingKind::VptrClobber).len(), 1);
+    }
+
+    #[test]
+    fn tainted_constructor_args_detected() {
+        // Listing 7: copy constructor from a received object.
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let stud = p.global("stud", Ty::Class("Student".into()));
+        let mut f = p.function("addStudent");
+        let remote = f.param("remoteobj", Ty::Ptr, true);
+        let st = f.local("st", Ty::Ptr);
+        f.placement_new_with(st, Expr::addr_of(stud), "Student", vec![Expr::Var(remote)]);
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert_eq!(r.of_kind(FindingKind::TaintedPlacementSize).len(), 1);
+    }
+
+    #[test]
+    fn overwriting_with_a_constant_sanitizes() {
+        // read n (tainted), then n = 8: the later placement is clean.
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let pool = p.global("pool", Ty::CharArray(Some(72)));
+        let mut f = p.function("main");
+        let n = f.local("n", Ty::Int);
+        let buf = f.local("buf", Ty::Ptr);
+        f.read_input(n);
+        f.assign(n, Expr::Const(8));
+        f.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(n));
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert!(!r.detected());
+    }
+
+    #[test]
+    fn config_filters_severity_and_kinds() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("main");
+        let dest = f.param("dest", Ty::Ptr, false); // unknown bounds → Info
+        let stud = f.local("stud", Ty::Class("Student".into()));
+        let st = f.local("st", Ty::Ptr);
+        f.placement_new(st, Expr::Var(dest), "GradStudent");
+        f.placement_new(st, Expr::addr_of(stud), "GradStudent"); // Error
+        f.finish();
+        let program = p.build();
+
+        let all = Analyzer::new().analyze(&program);
+        assert_eq!(all.findings.len(), 2);
+
+        let errors_only = Analyzer::with_config(AnalyzerConfig {
+            min_severity: Severity::Error,
+            disabled: Vec::new(),
+        })
+        .analyze(&program);
+        assert_eq!(errors_only.findings.len(), 1);
+        assert!(errors_only.of_kind(FindingKind::UnknownBoundsPlacement).is_empty());
+
+        let oversized_off = Analyzer::with_config(AnalyzerConfig {
+            min_severity: Severity::Info,
+            disabled: vec![FindingKind::OversizedPlacement],
+        })
+        .analyze(&program);
+        assert!(oversized_off.of_kind(FindingKind::OversizedPlacement).is_empty());
+        assert_eq!(oversized_off.findings.len(), 1);
+    }
+
+    #[test]
+    fn interprocedural_taint_flows_through_calls() {
+        // The callee is clean standalone (its parameter is untainted);
+        // only the caller's tainted argument makes it vulnerable — the
+        // §3.3 inter-procedural path.
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let pool = p.global("pool", Ty::CharArray(Some(72)));
+        let mut helper = p.function("place_names");
+        let count = helper.param("count", Ty::Int, false);
+        let buf = helper.local("buf", Ty::Ptr);
+        helper.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(count));
+        helper.finish();
+        let mut main = p.function("main");
+        let n = main.local("n", Ty::Int);
+        main.read_input(n);
+        main.call("place_names", vec![Expr::Var(n)]);
+        main.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        let found = r.of_kind(FindingKind::TaintedPlacementSize);
+        assert_eq!(found.len(), 1, "{r}");
+        assert_eq!(found[0].site.function, "place_names");
+    }
+
+    #[test]
+    fn interprocedural_constants_prove_overflows() {
+        // A constant argument large enough to overflow, visible only
+        // through the call.
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let pool = p.global("pool", Ty::CharArray(Some(72)));
+        let mut helper = p.function("place_names");
+        let count = helper.param("count", Ty::Int, false);
+        let buf = helper.local("buf", Ty::Ptr);
+        helper.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(count));
+        helper.finish();
+        let mut main = p.function("main");
+        main.call("place_names", vec![Expr::Const(100)]);
+        main.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert_eq!(r.of_kind(FindingKind::OversizedPlacement).len(), 1, "{r}");
+    }
+
+    #[test]
+    fn safe_constant_calls_are_clean() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let pool = p.global("pool", Ty::CharArray(Some(72)));
+        let mut helper = p.function("place_names");
+        let count = helper.param("count", Ty::Int, false);
+        let buf = helper.local("buf", Ty::Ptr);
+        helper.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(count));
+        helper.finish();
+        let mut main = p.function("main");
+        main.call("place_names", vec![Expr::Const(8)]);
+        main.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert!(!r.detected_at(Severity::Warning), "{r}");
+    }
+
+    #[test]
+    fn duplicate_findings_are_merged() {
+        // A callee vulnerable on its own, called from main: one finding,
+        // not two.
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut helper = p.function("helper");
+        let stud = helper.local("stud", Ty::Class("Student".into()));
+        let st = helper.local("st", Ty::Ptr);
+        helper.placement_new(st, Expr::addr_of(stud), "GradStudent");
+        helper.finish();
+        let mut main = p.function("main");
+        main.call("helper", vec![]);
+        main.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert_eq!(r.of_kind(FindingKind::OversizedPlacement).len(), 1, "{r}");
+    }
+
+    #[test]
+    fn recursion_terminates() {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("spin");
+        let x = f.local("x", Ty::Int);
+        f.assign(x, Expr::Const(1));
+        f.call("spin", vec![]);
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert!(!r.detected());
+    }
+
+    #[test]
+    fn secret_state_crosses_calls() {
+        // read_secret happens in one function, the leaky reuse in another.
+        let mut p = ProgramBuilder::new("t");
+        let pool = p.global("mem_pool", Ty::CharArray(Some(128)));
+        let mut load = p.function("load_passwords");
+        load.read_secret(pool);
+        load.finish();
+        let mut serve = p.function("serve");
+        let user = serve.local("userdata", Ty::Ptr);
+        serve.placement_new_array(user, Expr::addr_of(pool), 1, Expr::Const(128));
+        serve.output(user);
+        serve.finish();
+        let mut main = p.function("main");
+        main.call("load_passwords", vec![]);
+        main.call("serve", vec![]);
+        main.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert_eq!(r.of_kind(FindingKind::UnsanitizedArenaReuse).len(), 1, "{r}");
+    }
+
+    #[test]
+    fn branch_merge_keeps_agreeing_constants() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let pool = p.global("pool", Ty::CharArray(Some(72)));
+        let mut f = p.function("main");
+        let n = f.local("n", Ty::Int);
+        let flag = f.local("flag", Ty::Int);
+        let buf = f.local("buf", Ty::Ptr);
+        f.read_input(flag);
+        f.if_start(Expr::Var(flag), CmpOp::Gt, Expr::Const(0));
+        f.assign(n, Expr::Const(200));
+        f.else_branch();
+        f.assign(n, Expr::Const(200));
+        f.end_if();
+        f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Var(n));
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        // 200 > 72 in both branches: the proof survives the merge.
+        assert_eq!(r.of_kind(FindingKind::OversizedPlacement).len(), 1);
+    }
+
+    #[test]
+    fn disagreeing_branches_degrade_gracefully() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let pool = p.global("pool", Ty::CharArray(Some(72)));
+        let mut f = p.function("main");
+        let n = f.local("n", Ty::Int);
+        let flag = f.local("flag", Ty::Int);
+        let buf = f.local("buf", Ty::Ptr);
+        f.read_input(flag);
+        f.if_start(Expr::Var(flag), CmpOp::Gt, Expr::Const(0));
+        f.assign(n, Expr::Const(8));
+        f.else_branch();
+        f.assign(n, Expr::Const(200));
+        f.end_if();
+        f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Var(n));
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        // No proof either way — and n is not tainted, so nothing at
+        // Warning+. (A bounds check in only one branch is exactly the kind
+        // of case §5.1 says static analysis struggles with.)
+        assert!(!r.detected_at(Severity::Warning));
+    }
+}

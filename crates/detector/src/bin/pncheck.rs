@@ -1,0 +1,125 @@
+//! `pncheck` — the placement-new vulnerability checker as a CLI.
+//!
+//! ```text
+//! usage: pncheck [OPTIONS] FILE.pnx...
+//!        pncheck [OPTIONS] -              (read one program from stdin)
+//!
+//!   --baseline              run the traditional-tools baseline instead
+//!   --fix                   print the automatically remediated program
+//!   --min-severity LEVEL    report only findings at LEVEL or above
+//!                           (info|warning|error; default info)
+//!   --disable KIND          switch one finding kind off (repeatable)
+//! ```
+//!
+//! Exit status: 0 when no warning-level findings, 1 when any program has
+//! them, 2 on usage/parse errors.
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+use pnew_detector::{
+    parse_program, Analyzer, AnalyzerConfig, BaselineChecker, FindingKind, Fixer, Severity,
+};
+
+const USAGE: &str =
+    "usage: pncheck [--baseline] [--fix] [--min-severity LEVEL] [--disable KIND]... FILE.pnx... | -";
+
+fn main() -> ExitCode {
+    let mut baseline = false;
+    let mut fix = false;
+    let mut config = AnalyzerConfig::default();
+    let mut paths = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = true,
+            "--fix" => fix = true,
+            "--min-severity" => {
+                let Some(level) = args.next() else {
+                    eprintln!("pncheck: --min-severity needs a value");
+                    return ExitCode::from(2);
+                };
+                match level.parse::<Severity>() {
+                    Ok(s) => config.min_severity = s,
+                    Err(e) => {
+                        eprintln!("pncheck: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--disable" => {
+                let Some(kind) = args.next() else {
+                    eprintln!("pncheck: --disable needs a finding kind");
+                    return ExitCode::from(2);
+                };
+                match FindingKind::from_name(&kind) {
+                    Some(k) => config.disabled.push(k),
+                    None => {
+                        eprintln!("pncheck: unknown finding kind {kind:?}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut any_findings = false;
+    for path in &paths {
+        let source = if path == "-" {
+            let mut s = String::new();
+            if std::io::stdin().read_to_string(&mut s).is_err() {
+                eprintln!("pncheck: cannot read stdin");
+                return ExitCode::from(2);
+            }
+            s
+        } else {
+            match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("pncheck: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        };
+        let program = match parse_program(&source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("pncheck: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = if baseline {
+            BaselineChecker::new().analyze(&program)
+        } else {
+            Analyzer::with_config(config.clone()).analyze(&program)
+        };
+        print!("{report}");
+        for finding in &report.findings {
+            println!("    hint: {}", finding.kind.suggestion());
+        }
+        if report.detected_at(Severity::Warning) {
+            any_findings = true;
+        }
+        if fix {
+            let (fixed, fixes) = Fixer::new().fix(&program);
+            for f in &fixes {
+                eprintln!("fix: {f}");
+            }
+            print!("{}", pnew_detector::pretty_program(&fixed));
+        }
+    }
+    if any_findings {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,424 @@
+//! Fluent construction of IR programs.
+//!
+//! Corpus programs are written with this builder, which auto-assigns
+//! variable ids and statement sites.
+
+use std::collections::HashMap;
+
+use crate::ir::{
+    ClassInfo, CmpOp, Cond, Expr, Function, Program, Scope, Site, Stmt, Ty, VarId, VarInfo,
+};
+
+/// Builds a [`Program`].
+///
+/// # Examples
+///
+/// ```
+/// use pnew_detector::{Expr, ProgramBuilder, Ty};
+///
+/// let mut p = ProgramBuilder::new("listing-4");
+/// p.class("Student", 16, None, false);
+/// p.class("GradStudent", 32, Some("Student"), false);
+/// let program = {
+///     let mut f = p.function("main");
+///     let stud = f.local("stud", Ty::Class("Student".into()));
+///     let st = f.local("st", Ty::Ptr);
+///     f.placement_new(st, Expr::addr_of(stud), "GradStudent");
+///     f.finish();
+///     p.build()
+/// };
+/// assert_eq!(program.functions.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    classes: HashMap<String, ClassInfo>,
+    vars: Vec<VarInfo>,
+    functions: Vec<Function>,
+}
+
+impl ProgramBuilder {
+    /// Starts a program.
+    pub fn new(name: &str) -> Self {
+        ProgramBuilder {
+            name: name.to_owned(),
+            classes: HashMap::new(),
+            vars: Vec::new(),
+            functions: Vec::new(),
+        }
+    }
+
+    /// Declares a class with its `sizeof`, base and polymorphism flag.
+    pub fn class(&mut self, name: &str, size: u32, base: Option<&str>, polymorphic: bool) {
+        self.classes.insert(
+            name.to_owned(),
+            ClassInfo { name: name.to_owned(), size, base: base.map(str::to_owned), polymorphic },
+        );
+    }
+
+    /// Declares a global variable.
+    pub fn global(&mut self, name: &str, ty: Ty) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarInfo { id, name: name.to_owned(), ty, scope: Scope::Global });
+        id
+    }
+
+    /// Starts a function body.
+    pub fn function(&mut self, name: &str) -> FunctionBuilder<'_> {
+        FunctionBuilder {
+            program: self,
+            name: name.to_owned(),
+            vars: Vec::new(),
+            body_stack: vec![Vec::new()],
+            else_open: Vec::new(),
+            next_line: 1,
+        }
+    }
+
+    /// Finishes the program.
+    pub fn build(self) -> Program {
+        Program {
+            name: self.name,
+            classes: self.classes,
+            vars: self.vars,
+            functions: self.functions,
+        }
+    }
+}
+
+/// Builds one function; statements go to the innermost open block.
+#[derive(Debug)]
+pub struct FunctionBuilder<'p> {
+    program: &'p mut ProgramBuilder,
+    name: String,
+    vars: Vec<VarId>,
+    body_stack: Vec<Vec<Stmt>>,
+    else_open: Vec<bool>,
+    next_line: u32,
+}
+
+impl FunctionBuilder<'_> {
+    fn site(&mut self) -> Site {
+        let line = self.next_line;
+        self.next_line += 1;
+        Site { function: self.name.clone(), line }
+    }
+
+    fn push(&mut self, stmt: Stmt) {
+        self.body_stack.last_mut().expect("an open block always exists").push(stmt);
+    }
+
+    fn declare(&mut self, name: &str, ty: Ty, scope: Scope) -> VarId {
+        let id = VarId(self.program.vars.len() as u32);
+        self.program.vars.push(VarInfo { id, name: name.to_owned(), ty, scope });
+        self.vars.push(id);
+        id
+    }
+
+    /// Declares a parameter; tainted parameters model untrusted inputs
+    /// (`char *uname` from the network).
+    pub fn param(&mut self, name: &str, ty: Ty, tainted: bool) -> VarId {
+        self.declare(name, ty, Scope::Param { tainted })
+    }
+
+    /// Declares a local.
+    pub fn local(&mut self, name: &str, ty: Ty) -> VarId {
+        self.declare(name, ty, Scope::Local)
+    }
+
+    /// `dst = src;`
+    pub fn assign(&mut self, dst: VarId, src: Expr) {
+        let site = self.site();
+        self.push(Stmt::Assign { site, dst, src });
+    }
+
+    /// `obj.field = src;`
+    pub fn field_store(&mut self, obj: VarId, field: &str, src: Expr) {
+        let site = self.site();
+        self.push(Stmt::FieldStore { site, obj, field: field.to_owned(), src });
+    }
+
+    /// `cin >> dst;`
+    pub fn read_input(&mut self, dst: VarId) {
+        let site = self.site();
+        self.push(Stmt::ReadInput { site, dst });
+    }
+
+    /// `dst = service.recv<Class>();`
+    pub fn recv_object(&mut self, dst: VarId, class: &str) {
+        let site = self.site();
+        self.push(Stmt::RecvObject { site, dst, class: class.to_owned() });
+    }
+
+    /// `dst = new Class();`
+    pub fn heap_new(&mut self, dst: VarId, class: &str) {
+        let site = self.site();
+        self.push(Stmt::HeapNew { site, dst, class: Some(class.to_owned()), count: None });
+    }
+
+    /// `dst = new char[count];`
+    pub fn heap_new_array(&mut self, dst: VarId, count: Expr) {
+        let site = self.site();
+        self.push(Stmt::HeapNew { site, dst, class: None, count: Some(count) });
+    }
+
+    /// `dst = new (arena) Class();`
+    pub fn placement_new(&mut self, dst: VarId, arena: Expr, class: &str) {
+        self.placement_new_with(dst, arena, class, Vec::new());
+    }
+
+    /// `dst = new (arena) Class(args…);` — e.g. a copy constructor taking
+    /// a received object.
+    pub fn placement_new_with(&mut self, dst: VarId, arena: Expr, class: &str, args: Vec<Expr>) {
+        let site = self.site();
+        self.push(Stmt::PlacementNew { site, dst, arena, class: class.to_owned(), args });
+    }
+
+    /// `dst = new (arena) char[count * elem_size];`
+    pub fn placement_new_array(&mut self, dst: VarId, arena: Expr, elem_size: u32, count: Expr) {
+        let site = self.site();
+        self.push(Stmt::PlacementNewArray { site, dst, arena, elem_size, count });
+    }
+
+    /// `strncpy(dst, src, len);`
+    pub fn strncpy(&mut self, dst: VarId, src: Expr, len: Expr) {
+        let site = self.site();
+        self.push(Stmt::Strncpy { site, dst, src, len });
+    }
+
+    /// `memset(dst, 0, len);`
+    pub fn memset(&mut self, dst: VarId, len: Expr) {
+        let site = self.site();
+        self.push(Stmt::Memset { site, dst, len });
+    }
+
+    /// Reads secret bytes (password file) into `dst`.
+    pub fn read_secret(&mut self, dst: VarId) {
+        let site = self.site();
+        self.push(Stmt::ReadSecret { site, dst });
+    }
+
+    /// Ships `src` to the outside world.
+    pub fn output(&mut self, src: VarId) {
+        let site = self.site();
+        self.push(Stmt::Output { site, src });
+    }
+
+    /// `delete ptr;` (optionally typed `delete (Class*)ptr`).
+    pub fn delete(&mut self, ptr: VarId, as_class: Option<&str>) {
+        let site = self.site();
+        self.push(Stmt::Delete { site, ptr, as_class: as_class.map(str::to_owned) });
+    }
+
+    /// `ptr = NULL;`
+    pub fn null_assign(&mut self, ptr: VarId) {
+        let site = self.site();
+        self.push(Stmt::NullAssign { site, ptr });
+    }
+
+    /// `obj->method()` via the vtable.
+    pub fn virtual_call(&mut self, obj: VarId, method: &str) {
+        let site = self.site();
+        self.push(Stmt::VirtualCall { site, obj, method: method.to_owned() });
+    }
+
+    /// Call through a function pointer.
+    pub fn call_ptr(&mut self, ptr: VarId) {
+        let site = self.site();
+        self.push(Stmt::CallPtr { site, ptr });
+    }
+
+    /// `return;`
+    pub fn ret(&mut self) {
+        let site = self.site();
+        self.push(Stmt::Return { site });
+    }
+
+    /// `call f(args…);` — a direct call to another function defined in
+    /// the same program.
+    pub fn call(&mut self, func: &str, args: Vec<Expr>) {
+        let site = self.site();
+        self.push(Stmt::Call { site, func: func.to_owned(), args });
+    }
+
+    /// Opens `if (lhs op rhs) { … }`; close with [`end_if`](Self::end_if)
+    /// (optionally after [`else_branch`](Self::else_branch)).
+    pub fn if_start(&mut self, lhs: Expr, op: CmpOp, rhs: Expr) {
+        let site = self.site();
+        // Park the If header in the current block with empty bodies; its
+        // bodies are filled when the block closes.
+        self.push(Stmt::If {
+            site,
+            cond: Cond { lhs, op, rhs },
+            then_body: Vec::new(),
+            else_body: Vec::new(),
+        });
+        self.body_stack.push(Vec::new());
+        self.else_open.push(false);
+    }
+
+    /// Switches from the then-branch to the else-branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no `if` is open.
+    pub fn else_branch(&mut self) {
+        let then_body = self.body_stack.pop().expect("open then-branch");
+        let parent = self.body_stack.last_mut().expect("parent block");
+        match parent.last_mut() {
+            Some(Stmt::If { then_body: t, .. }) => *t = then_body,
+            _ => panic!("else_branch without a matching if_start"),
+        }
+        *self.else_open.last_mut().expect("open if") = true;
+        self.body_stack.push(Vec::new());
+    }
+
+    /// Closes the innermost `if`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no `if` is open.
+    pub fn end_if(&mut self) {
+        let branch = self.body_stack.pop().expect("open branch");
+        let in_else = self.else_open.pop().expect("open if");
+        let parent = self.body_stack.last_mut().expect("parent block");
+        match parent.last_mut() {
+            Some(Stmt::If { then_body, else_body, .. }) => {
+                if in_else {
+                    *else_body = branch;
+                } else {
+                    *then_body = branch;
+                }
+            }
+            _ => panic!("end_if without a matching if_start"),
+        }
+    }
+
+    /// Opens `while (lhs op rhs) { … }`; close with
+    /// [`end_while`](Self::end_while).
+    pub fn while_start(&mut self, lhs: Expr, op: CmpOp, rhs: Expr) {
+        let site = self.site();
+        self.push(Stmt::While { site, cond: Cond { lhs, op, rhs }, body: Vec::new() });
+        self.body_stack.push(Vec::new());
+    }
+
+    /// Closes the innermost `while`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no `while` is open.
+    pub fn end_while(&mut self) {
+        let body = self.body_stack.pop().expect("open loop body");
+        let parent = self.body_stack.last_mut().expect("parent block");
+        match parent.last_mut() {
+            Some(Stmt::While { body: b, .. }) => *b = body,
+            _ => panic!("end_while without a matching while_start"),
+        }
+    }
+
+    /// Finishes the function and registers it on the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a block is still open.
+    pub fn finish(self) {
+        assert_eq!(self.body_stack.len(), 1, "unclosed if/while block in {}", self.name);
+        let body = self.body_stack.into_iter().next().expect("root block");
+        self.program.functions.push(Function { name: self.name, vars: self.vars, body });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_listing_4_shape() {
+        let mut p = ProgramBuilder::new("t");
+        p.class("Student", 16, None, false);
+        p.class("GradStudent", 32, Some("Student"), false);
+        let mut f = p.function("main");
+        let stud = f.local("stud", Ty::Class("Student".into()));
+        let st = f.local("st", Ty::Ptr);
+        f.placement_new(st, Expr::addr_of(stud), "GradStudent");
+        f.finish();
+        let prog = p.build();
+        assert_eq!(prog.vars.len(), 2);
+        assert_eq!(prog.functions[0].body.len(), 1);
+        assert_eq!(prog.stmt_count(), 1);
+        assert_eq!(prog.functions[0].body[0].site().line, 1);
+    }
+
+    #[test]
+    fn nested_blocks() {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("f");
+        let n = f.local("n", Ty::Int);
+        f.read_input(n);
+        f.if_start(Expr::Var(n), CmpOp::Gt, Expr::Const(0));
+        f.assign(n, Expr::Const(1));
+        f.else_branch();
+        f.assign(n, Expr::Const(2));
+        f.end_if();
+        f.while_start(Expr::Var(n), CmpOp::Lt, Expr::Const(10));
+        f.assign(n, Expr::add(Expr::Var(n), Expr::Const(1)));
+        f.end_while();
+        f.finish();
+        let prog = p.build();
+        let body = &prog.functions[0].body;
+        assert_eq!(body.len(), 3); // read, if, while
+        match &body[1] {
+            Stmt::If { then_body, else_body, .. } => {
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+        match &body[2] {
+            Stmt::While { body, .. } => assert_eq!(body.len(), 1),
+            other => panic!("expected While, got {other:?}"),
+        }
+        assert_eq!(prog.stmt_count(), 6);
+    }
+
+    #[test]
+    fn if_without_else() {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("f");
+        let n = f.local("n", Ty::Int);
+        f.if_start(Expr::Var(n), CmpOp::Eq, Expr::Const(0));
+        f.assign(n, Expr::Const(5));
+        f.end_if();
+        f.finish();
+        let prog = p.build();
+        match &prog.functions[0].body[0] {
+            Stmt::If { then_body, else_body, .. } => {
+                assert_eq!(then_body.len(), 1);
+                assert!(else_body.is_empty());
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unclosed_block_panics() {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("f");
+        let n = f.local("n", Ty::Int);
+        f.if_start(Expr::Var(n), CmpOp::Eq, Expr::Const(0));
+        f.finish();
+    }
+
+    #[test]
+    fn params_carry_taint_flags() {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("f");
+        let uname = f.param("uname", Ty::Ptr, true);
+        let clean = f.param("cfg", Ty::Ptr, false);
+        f.finish();
+        let prog = p.build();
+        assert_eq!(prog.var(uname).scope, Scope::Param { tainted: true });
+        assert_eq!(prog.var(clean).scope, Scope::Param { tainted: false });
+    }
+}

@@ -1,0 +1,534 @@
+//! Automatic remediation — the second half of the paper's §7 tool
+//! ("…and automatically addressing these vulnerabilities").
+//!
+//! The [`Fixer`] takes a program, runs the [`Analyzer`], and rewrites the
+//! IR so that every finding is remediated with the §5.1 prescription for
+//! its class:
+//!
+//! | finding | rewrite |
+//! |---|---|
+//! | oversized placement (proof) | the §5.1 fallback, resolved statically: replace with non-placement `new` |
+//! | tainted object placement (remote copy-ctor) | same fallback — the arena can never be trusted to fit |
+//! | tainted array count | insert the missing bounds check: `if (count > arena/elem) return;` |
+//! | unsanitized arena reuse | insert `memset(arena, 0, size)` before every arena placement |
+//! | size-mismatched `delete` | retype as a placement delete (releases the whole block) |
+//! | pointer nulled over a live block | insert the missing `delete` first |
+//!
+//! Unknown-bounds placements (`Info`) are left alone — §5.1 is explicit
+//! that no tool can size a bare address; they remain flagged for human
+//! review. The contract, asserted over the whole corpus in the tests: a
+//! fixed program re-analyzes with **no warning-or-better findings**, and
+//! fixing an already-clean program changes nothing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::analysis::Analyzer;
+use crate::findings::{FindingKind, Severity};
+use crate::ir::{CmpOp, Cond, Expr, Function, Program, Site, Stmt, Ty, VarId};
+
+/// One remediation applied by the fixer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedFix {
+    /// The site that was rewritten (or that the insertion precedes).
+    pub site: Site,
+    /// The finding class that triggered the fix.
+    pub kind: FindingKind,
+    /// What was done, in words.
+    pub description: String,
+}
+
+impl fmt::Display for AppliedFix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [{}] {}", self.site, self.kind, self.description)
+    }
+}
+
+/// Reassigns statement sites in builder order (pre-order walk).
+fn renumber(body: &mut [Stmt], function: &str, next: &mut u32) {
+    for stmt in body {
+        let site = Site { function: function.to_owned(), line: *next };
+        *next += 1;
+        match stmt {
+            Stmt::Assign { site: s, .. }
+            | Stmt::FieldStore { site: s, .. }
+            | Stmt::ReadInput { site: s, .. }
+            | Stmt::RecvObject { site: s, .. }
+            | Stmt::HeapNew { site: s, .. }
+            | Stmt::PlacementNew { site: s, .. }
+            | Stmt::PlacementNewArray { site: s, .. }
+            | Stmt::Strncpy { site: s, .. }
+            | Stmt::Memset { site: s, .. }
+            | Stmt::ReadSecret { site: s, .. }
+            | Stmt::Output { site: s, .. }
+            | Stmt::Delete { site: s, .. }
+            | Stmt::NullAssign { site: s, .. }
+            | Stmt::VirtualCall { site: s, .. }
+            | Stmt::CallPtr { site: s, .. }
+            | Stmt::Call { site: s, .. }
+            | Stmt::Return { site: s } => *s = site,
+            Stmt::If { site: s, then_body, else_body, .. } => {
+                *s = site;
+                renumber(then_body, function, next);
+                renumber(else_body, function, next);
+            }
+            Stmt::While { site: s, body, .. } => {
+                *s = site;
+                renumber(body, function, next);
+            }
+        }
+    }
+}
+
+/// The automatic remediation pass.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_detector::{Analyzer, Expr, Fixer, ProgramBuilder, Severity, Ty};
+///
+/// // Listing 4: the oversized placement…
+/// let mut p = ProgramBuilder::new("listing-4");
+/// p.class("Student", 16, None, false);
+/// p.class("GradStudent", 32, Some("Student"), false);
+/// let mut f = p.function("main");
+/// let stud = f.local("stud", Ty::Class("Student".into()));
+/// let st = f.local("st", Ty::Ptr);
+/// f.placement_new(st, Expr::addr_of(stud), "GradStudent");
+/// f.finish();
+/// let program = p.build();
+///
+/// // …is rewritten to the §5.1 heap fallback and re-analyzes clean.
+/// let (fixed, fixes) = Fixer::new().fix(&program);
+/// assert_eq!(fixes.len(), 1);
+/// assert!(!Analyzer::new().analyze(&fixed).detected_at(Severity::Warning));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fixer;
+
+impl Fixer {
+    /// Creates a fixer.
+    pub fn new() -> Self {
+        Fixer
+    }
+
+    /// Analyzes and rewrites `program`; returns the remediated program and
+    /// the list of applied fixes (empty when the program was clean).
+    pub fn fix(&self, program: &Program) -> (Program, Vec<AppliedFix>) {
+        let report = Analyzer::new().analyze(program);
+        let mut by_site: HashMap<Site, Vec<FindingKind>> = HashMap::new();
+        for finding in &report.findings {
+            if finding.severity >= Severity::Warning {
+                by_site.entry(finding.site.clone()).or_default().push(finding.kind);
+            }
+        }
+        let sanitize_everywhere =
+            report.findings.iter().any(|f| f.kind == FindingKind::UnsanitizedArenaReuse);
+
+        let mut fixes = Vec::new();
+        let mut fixed = program.clone();
+        fixed.functions = program
+            .functions
+            .iter()
+            .map(|f| {
+                let mut body =
+                    self.rewrite_body(program, &f.body, &by_site, sanitize_everywhere, &mut fixes);
+                // Canonical site numbering (pre-order, as the builder
+                // assigns it), so the fixed program is indistinguishable
+                // from one authored directly — and round-trips through the
+                // surface syntax.
+                let mut next = 1u32;
+                renumber(&mut body, &f.name, &mut next);
+                Function { name: f.name.clone(), vars: f.vars.clone(), body }
+            })
+            .collect();
+        (fixed, fixes)
+    }
+
+    fn rewrite_body(
+        &self,
+        p: &Program,
+        body: &[Stmt],
+        by_site: &HashMap<Site, Vec<FindingKind>>,
+        sanitize: bool,
+        fixes: &mut Vec<AppliedFix>,
+    ) -> Vec<Stmt> {
+        let mut out = Vec::with_capacity(body.len());
+        for stmt in body {
+            self.rewrite_stmt(p, stmt, by_site, sanitize, fixes, &mut out);
+        }
+        out
+    }
+
+    /// Best-effort static size of an arena expression (declared storage
+    /// only; the fixer does not re-run region inference).
+    fn arena_info(&self, p: &Program, arena: &Expr) -> Option<(VarId, u64)> {
+        match arena {
+            Expr::AddrOf(v) | Expr::Var(v) => {
+                let size = p.var(*v).ty.declared_size(&p.classes)?;
+                Some((*v, size))
+            }
+            _ => None,
+        }
+    }
+
+    /// The variable a `memset` should target for this arena expression.
+    fn arena_var(&self, arena: &Expr) -> Option<VarId> {
+        match arena {
+            Expr::AddrOf(v) | Expr::Var(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn rewrite_stmt(
+        &self,
+        p: &Program,
+        stmt: &Stmt,
+        by_site: &HashMap<Site, Vec<FindingKind>>,
+        sanitize: bool,
+        fixes: &mut Vec<AppliedFix>,
+        out: &mut Vec<Stmt>,
+    ) {
+        let kinds = by_site.get(stmt.site()).map(Vec::as_slice).unwrap_or(&[]);
+        match stmt {
+            Stmt::PlacementNew { site, dst, arena, class, .. } => {
+                if sanitize {
+                    self.insert_memset(p, site, arena, fixes, out);
+                }
+                let oversized = kinds.contains(&FindingKind::OversizedPlacement);
+                let tainted = kinds.contains(&FindingKind::TaintedPlacementSize);
+                if oversized || tainted {
+                    fixes.push(AppliedFix {
+                        site: site.clone(),
+                        kind: if oversized {
+                            FindingKind::OversizedPlacement
+                        } else {
+                            FindingKind::TaintedPlacementSize
+                        },
+                        description: format!(
+                            "replaced `new (arena) {class}()` with the §5.1 fallback `new {class}()` (the arena can never fit it)"
+                        ),
+                    });
+                    out.push(Stmt::HeapNew {
+                        site: site.clone(),
+                        dst: *dst,
+                        class: Some(class.clone()),
+                        count: None,
+                    });
+                } else {
+                    out.push(stmt.clone());
+                }
+            }
+            Stmt::PlacementNewArray { site, dst, arena, elem_size, count } => {
+                if sanitize {
+                    self.insert_memset(p, site, arena, fixes, out);
+                }
+                if kinds.contains(&FindingKind::OversizedPlacement) {
+                    // Constant-size proof: the pool can never hold it.
+                    fixes.push(AppliedFix {
+                        site: site.clone(),
+                        kind: FindingKind::OversizedPlacement,
+                        description:
+                            "replaced the pool placement with heap `new[]` (the pool can never fit the array)"
+                                .to_owned(),
+                    });
+                    out.push(Stmt::HeapNew {
+                        site: site.clone(),
+                        dst: *dst,
+                        class: None,
+                        count: Some(Expr::mul(count.clone(), Expr::Const(i64::from(*elem_size)))),
+                    });
+                    return;
+                }
+                if kinds.contains(&FindingKind::TaintedPlacementSize) {
+                    match (self.arena_info(p, arena), count) {
+                        (Some((_, arena_size)), Expr::Var(v)) if *elem_size > 0 => {
+                            let max = arena_size / u64::from(*elem_size);
+                            fixes.push(AppliedFix {
+                                site: site.clone(),
+                                kind: FindingKind::TaintedPlacementSize,
+                                description: format!(
+                                    "inserted the missing §5.1 bounds check `if ({} > {max}) return;`",
+                                    p.var(*v).name
+                                ),
+                            });
+                            out.push(Stmt::If {
+                                site: site.clone(),
+                                cond: Cond {
+                                    lhs: Expr::Var(*v),
+                                    op: CmpOp::Gt,
+                                    rhs: Expr::Const(max as i64),
+                                },
+                                then_body: vec![Stmt::Return { site: site.clone() }],
+                                else_body: Vec::new(),
+                            });
+                            out.push(stmt.clone());
+                        }
+                        _ => {
+                            // No static bound to check against: fall back
+                            // to a heap array, which sizes itself.
+                            fixes.push(AppliedFix {
+                                site: site.clone(),
+                                kind: FindingKind::TaintedPlacementSize,
+                                description:
+                                    "replaced the unboundable pool placement with heap `new[]`"
+                                        .to_owned(),
+                            });
+                            out.push(Stmt::HeapNew {
+                                site: site.clone(),
+                                dst: *dst,
+                                class: None,
+                                count: Some(count.clone()),
+                            });
+                        }
+                    }
+                    return;
+                }
+                out.push(stmt.clone());
+            }
+            Stmt::Delete { site, ptr, as_class } => {
+                if kinds.contains(&FindingKind::PlacementLeak) && as_class.is_some() {
+                    fixes.push(AppliedFix {
+                        site: site.clone(),
+                        kind: FindingKind::PlacementLeak,
+                        description: format!(
+                            "retyped `delete ({}*)` as a placement delete that releases the whole block (§5.1)",
+                            as_class.as_deref().unwrap_or("?")
+                        ),
+                    });
+                    out.push(Stmt::Delete { site: site.clone(), ptr: *ptr, as_class: None });
+                } else {
+                    out.push(stmt.clone());
+                }
+            }
+            Stmt::NullAssign { site, ptr } => {
+                if kinds.contains(&FindingKind::PlacementLeak) {
+                    fixes.push(AppliedFix {
+                        site: site.clone(),
+                        kind: FindingKind::PlacementLeak,
+                        description:
+                            "inserted the missing release before nulling the last pointer (§5.1)"
+                                .to_owned(),
+                    });
+                    out.push(Stmt::Delete { site: site.clone(), ptr: *ptr, as_class: None });
+                }
+                out.push(stmt.clone());
+            }
+            Stmt::If { site, cond, then_body, else_body } => {
+                out.push(Stmt::If {
+                    site: site.clone(),
+                    cond: cond.clone(),
+                    then_body: self.rewrite_body(p, then_body, by_site, sanitize, fixes),
+                    else_body: self.rewrite_body(p, else_body, by_site, sanitize, fixes),
+                });
+            }
+            Stmt::While { site, cond, body } => {
+                out.push(Stmt::While {
+                    site: site.clone(),
+                    cond: cond.clone(),
+                    body: self.rewrite_body(p, body, by_site, sanitize, fixes),
+                });
+            }
+            other => out.push(other.clone()),
+        }
+    }
+
+    fn insert_memset(
+        &self,
+        p: &Program,
+        site: &Site,
+        arena: &Expr,
+        fixes: &mut Vec<AppliedFix>,
+        out: &mut Vec<Stmt>,
+    ) {
+        let Some(dst) = self.arena_var(arena) else {
+            return;
+        };
+        // Sanitizing a pointer-typed class variable means zeroing the
+        // pointee; the runtime length comes from allocator metadata, so
+        // the IR length is the declared size where one exists.
+        let len = self
+            .arena_info(p, arena)
+            .map_or(Expr::SizeOf("<runtime block size>".to_owned()), |(_, size)| {
+                Expr::Const(size as i64)
+            });
+        if matches!(p.var(dst).ty, Ty::Int | Ty::Double | Ty::Char) {
+            return; // scalars are not reused pools
+        }
+        fixes.push(AppliedFix {
+            site: site.clone(),
+            kind: FindingKind::UnsanitizedArenaReuse,
+            description: format!(
+                "inserted `memset({}, 0, …)` before the placement (§5.1 sanitization)",
+                p.var(dst).name
+            ),
+        });
+        out.push(Stmt::Memset { site: site.clone(), dst, len });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::Analyzer;
+
+    fn students(p: &mut ProgramBuilder) {
+        p.class("Student", 16, None, false);
+        p.class("GradStudent", 32, Some("Student"), false);
+    }
+
+    fn assert_clean_after_fix(program: &Program) -> Vec<AppliedFix> {
+        let (fixed, fixes) = Fixer::new().fix(program);
+        let after = Analyzer::new().analyze(&fixed);
+        assert!(
+            !after.detected_at(Severity::Warning),
+            "{}: residual findings after fixing: {after}",
+            program.name
+        );
+        fixes
+    }
+
+    #[test]
+    fn oversized_placement_becomes_heap_new() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("main");
+        let stud = f.local("stud", Ty::Class("Student".into()));
+        let st = f.local("st", Ty::Ptr);
+        f.placement_new(st, Expr::addr_of(stud), "GradStudent");
+        f.finish();
+        let program = p.build();
+        let fixes = assert_clean_after_fix(&program);
+        assert_eq!(fixes.len(), 1);
+        assert!(fixes[0].description.contains("fallback"));
+        let (fixed, _) = Fixer::new().fix(&program);
+        assert!(matches!(fixed.functions[0].body[0], Stmt::HeapNew { class: Some(_), .. }));
+    }
+
+    #[test]
+    fn tainted_count_gets_the_missing_guard() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let pool = p.global("pool", Ty::CharArray(Some(72)));
+        let mut f = p.function("main");
+        let n = f.local("n", Ty::Int);
+        let buf = f.local("buf", Ty::Ptr);
+        f.read_input(n);
+        f.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(n));
+        f.finish();
+        let program = p.build();
+        let fixes = assert_clean_after_fix(&program);
+        assert!(fixes.iter().any(|x| x.description.contains("bounds check")));
+        let (fixed, _) = Fixer::new().fix(&program);
+        // read, inserted guard, placement
+        assert_eq!(fixed.functions[0].body.len(), 3);
+        assert!(matches!(fixed.functions[0].body[1], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn leaky_delete_is_retyped() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("f");
+        let stud = f.local("stud", Ty::Ptr);
+        let st = f.local("st", Ty::Ptr);
+        f.heap_new(stud, "GradStudent");
+        f.placement_new(st, Expr::Var(stud), "Student");
+        f.delete(st, Some("Student"));
+        f.finish();
+        let program = p.build();
+        let fixes = assert_clean_after_fix(&program);
+        assert!(fixes.iter().any(|x| x.kind == FindingKind::PlacementLeak));
+    }
+
+    #[test]
+    fn null_without_free_gains_a_delete() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("f");
+        let stud = f.local("stud", Ty::Ptr);
+        f.heap_new(stud, "GradStudent");
+        f.null_assign(stud);
+        f.finish();
+        let (fixed, fixes) = Fixer::new().fix(&p.build());
+        assert_eq!(fixes.len(), 1);
+        // heap_new, inserted delete, null_assign
+        assert!(matches!(fixed.functions[0].body[1], Stmt::Delete { as_class: None, .. }));
+        assert!(!Analyzer::new().analyze(&fixed).detected_at(Severity::Warning));
+    }
+
+    #[test]
+    fn unsanitized_reuse_gains_memsets() {
+        let mut p = ProgramBuilder::new("t");
+        let pool = p.global("mem_pool", Ty::CharArray(Some(192)));
+        let mut f = p.function("main");
+        let user = f.local("userdata", Ty::Ptr);
+        f.read_secret(pool);
+        f.placement_new_array(user, Expr::addr_of(pool), 1, Expr::Const(192));
+        f.output(user);
+        f.finish();
+        let program = p.build();
+        let fixes = assert_clean_after_fix(&program);
+        assert!(fixes.iter().any(|x| x.description.contains("memset")));
+    }
+
+    #[test]
+    fn clean_programs_are_untouched() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("main");
+        let stud = f.local("stud", Ty::Class("Student".into()));
+        let st = f.local("st", Ty::Ptr);
+        f.placement_new(st, Expr::addr_of(stud), "Student");
+        f.finish();
+        let program = p.build();
+        let (fixed, fixes) = Fixer::new().fix(&program);
+        assert!(fixes.is_empty());
+        assert_eq!(fixed, program);
+    }
+
+    #[test]
+    fn fixing_is_idempotent() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("main");
+        let stud = f.local("stud", Ty::Class("Student".into()));
+        let st = f.local("st", Ty::Ptr);
+        f.placement_new(st, Expr::addr_of(stud), "GradStudent");
+        f.finish();
+        let (once, fixes1) = Fixer::new().fix(&p.build());
+        let (twice, fixes2) = Fixer::new().fix(&once);
+        assert!(!fixes1.is_empty());
+        assert!(fixes2.is_empty());
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn fixes_inside_control_flow() {
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("f");
+        let flag = f.local("flag", Ty::Int);
+        let stud = f.local("stud", Ty::Class("Student".into()));
+        let st = f.local("st", Ty::Ptr);
+        f.read_input(flag);
+        f.if_start(Expr::Var(flag), CmpOp::Gt, Expr::Const(0));
+        f.placement_new(st, Expr::addr_of(stud), "GradStudent");
+        f.end_if();
+        f.finish();
+        let fixes = assert_clean_after_fix(&p.build());
+        assert_eq!(fixes.len(), 1);
+    }
+
+    #[test]
+    fn applied_fix_displays() {
+        let fix = AppliedFix {
+            site: Site { function: "main".into(), line: 3 },
+            kind: FindingKind::OversizedPlacement,
+            description: "did a thing".into(),
+        };
+        assert_eq!(fix.to_string(), "main:3: [oversized-placement] did a thing");
+    }
+}

@@ -1,0 +1,900 @@
+//! Parser for the `.pnx` surface syntax.
+//!
+//! The inverse of [`pretty`](crate::pretty_program): parses the textual
+//! form back into an IR [`Program`], so the detector works as a
+//! command-line tool over source files (`pncheck`). The grammar is the
+//! C++-like subset the corpus uses; see the module docs of
+//! [`pretty`](crate::pretty) for a sample.
+//!
+//! Round-trip guarantee (tested over the whole corpus and with proptest):
+//! `parse(pretty(p)) == p`.
+//!
+//! Statement keywords (`local`, `read`, `read_secret`, `recv`, `output`,
+//! `delete`, `vcall`, `call`, `callptr`, `return`, `strncpy`, `memset`,
+//! `if`, `else`, `while`, `new`, `bytes`, `array`, `null`, `sizeof`) are
+//! reserved: a variable with one of those names at the start of a
+//! statement is parsed as the keyword form.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::builder::{FunctionBuilder, ProgramBuilder};
+use crate::ir::{CmpOp, Expr, Program, Ty, VarId};
+
+/// A parse failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Source line of the failure.
+    pub line: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Sym(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Sym(s) => write!(f, "`{s}`"),
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn lex(src: &str, start_line: u32) -> PResult<Vec<(Tok, u32)>> {
+    let mut toks = Vec::new();
+    let mut line = start_line;
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut s = String::new();
+            while i < chars.len() {
+                let c = chars[i];
+                if is_ident_char(c) {
+                    s.push(c);
+                    i += 1;
+                } else if c == ':'
+                    && chars.get(i + 1) == Some(&':')
+                    && chars.get(i + 2).copied().is_some_and(is_ident_start)
+                {
+                    s.push_str("::");
+                    i += 2;
+                } else {
+                    break;
+                }
+            }
+            toks.push((Tok::Ident(s), line));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut v: i64 = 0;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                v = v
+                    .checked_mul(10)
+                    .and_then(|v| v.checked_add((chars[i] as u8 - b'0') as i64))
+                    .ok_or_else(|| ParseError {
+                    line,
+                    message: "integer literal overflows i64".to_owned(),
+                })?;
+                i += 1;
+            }
+            toks.push((Tok::Int(v), line));
+            continue;
+        }
+        let two: Option<&'static str> = match (c, chars.get(i + 1)) {
+            ('<', Some('=')) => Some("<="),
+            ('>', Some('=')) => Some(">="),
+            ('=', Some('=')) => Some("=="),
+            ('!', Some('=')) => Some("!="),
+            _ => None,
+        };
+        if let Some(sym) = two {
+            toks.push((Tok::Sym(sym), line));
+            i += 2;
+            continue;
+        }
+        let one: Option<&'static str> = match c {
+            '(' => Some("("),
+            ')' => Some(")"),
+            '{' => Some("{"),
+            '}' => Some("}"),
+            '[' => Some("["),
+            ']' => Some("]"),
+            ';' => Some(";"),
+            ':' => Some(":"),
+            ',' => Some(","),
+            '.' => Some("."),
+            '=' => Some("="),
+            '<' => Some("<"),
+            '>' => Some(">"),
+            '+' => Some("+"),
+            '-' => Some("-"),
+            '*' => Some("*"),
+            '&' => Some("&"),
+            '?' => Some("?"),
+            _ => None,
+        };
+        match one {
+            Some(sym) => {
+                toks.push((Tok::Sym(sym), line));
+                i += 1;
+            }
+            None => {
+                return Err(ParseError { line, message: format!("unexpected character {c:?}") })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> u32 {
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map_or(1, |(_, l)| *l)
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError { line: self.line(), message: message.into() })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    fn next(&mut self) -> PResult<Tok> {
+        match self.toks.get(self.pos) {
+            Some((t, _)) => {
+                self.pos += 1;
+                Ok(t.clone())
+            }
+            None => self.err("unexpected end of input"),
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> PResult<()> {
+        match self.next()? {
+            Tok::Sym(s) if s == sym => Ok(()),
+            other => self.err(format!("expected `{sym}`, found {other}")),
+        }
+    }
+
+    fn expect_ident(&mut self) -> PResult<String> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected an identifier, found {other}")),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> PResult<()> {
+        match self.next()? {
+            Tok::Ident(s) if s == kw => Ok(()),
+            other => self.err(format!("expected `{kw}`, found {other}")),
+        }
+    }
+
+    fn expect_int(&mut self) -> PResult<i64> {
+        match self.next()? {
+            Tok::Int(v) => Ok(v),
+            other => self.err(format!("expected an integer, found {other}")),
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.at_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Variable scope during parsing.
+struct Names {
+    map: HashMap<String, VarId>,
+}
+
+impl Names {
+    fn resolve(&self, p: &Parser, name: &str) -> PResult<VarId> {
+        self.map.get(name).copied().ok_or_else(|| ParseError {
+            line: p.line(),
+            message: format!("unknown variable `{name}`"),
+        })
+    }
+}
+
+/// Parses a `.pnx` source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line on any syntax or
+/// name-resolution failure.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_detector::{parse_program, Analyzer};
+///
+/// let program = parse_program(
+///     "program demo;\n\
+///      class Student size 16;\n\
+///      class GradStudent size 32 : Student;\n\
+///      fn main() {\n\
+///          local stud: Student;\n\
+///          local st: ptr;\n\
+///          st = new (&stud) GradStudent();\n\
+///      }\n",
+/// ).unwrap();
+/// assert!(Analyzer::new().analyze(&program).detected());
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    // The program name may contain characters the lexer rejects ('-'),
+    // so the header is scanned textually first.
+    let mut header_lines = 0u32;
+    let mut rest = src;
+    let mut name = None;
+    while name.is_none() {
+        if rest.is_empty() {
+            break;
+        }
+        let nl = rest.find('\n').map_or(rest.len(), |i| i + 1);
+        let (line, tail) = rest.split_at(nl);
+        let trimmed = line.trim();
+        header_lines += 1;
+        rest = tail;
+        if trimmed.is_empty() || trimmed.starts_with("//") {
+            continue;
+        }
+        let Some(n) = trimmed.strip_prefix("program ") else {
+            return Err(ParseError {
+                line: header_lines,
+                message: "expected `program <name>;` header".to_owned(),
+            });
+        };
+        let Some(n) = n.trim().strip_suffix(';') else {
+            return Err(ParseError {
+                line: header_lines,
+                message: "the program header must end with `;`".to_owned(),
+            });
+        };
+        name = Some(n.trim().to_owned());
+    }
+    let Some(name) = name else {
+        return Err(ParseError { line: 1, message: "empty source".to_owned() });
+    };
+
+    let toks = lex(rest, header_lines + 1)?;
+    let mut parser = Parser { toks, pos: 0 };
+    let mut builder = ProgramBuilder::new(&name);
+    let mut globals = Names { map: HashMap::new() };
+
+    while parser.peek().is_some() {
+        if parser.eat_keyword("class") {
+            parse_class(&mut parser, &mut builder)?;
+        } else if parser.eat_keyword("global") {
+            let gname = parser.expect_ident()?;
+            parser.expect_sym(":")?;
+            let ty = parse_ty(&mut parser)?;
+            parser.expect_sym(";")?;
+            let id = builder.global(&gname, ty);
+            globals.map.insert(gname, id);
+        } else if parser.eat_keyword("fn") {
+            parse_function(&mut parser, &mut builder, &globals)?;
+        } else {
+            return parser.err("expected `class`, `global`, or `fn`");
+        }
+    }
+    Ok(builder.build())
+}
+
+fn parse_class(p: &mut Parser, b: &mut ProgramBuilder) -> PResult<()> {
+    let name = p.expect_ident()?;
+    p.expect_keyword("size")?;
+    let size = p.expect_int()?;
+    let size = u32::try_from(size)
+        .map_err(|_| ParseError { line: p.line(), message: "class size must fit u32".into() })?;
+    let base = if p.eat_sym(":") { Some(p.expect_ident()?) } else { None };
+    let polymorphic = p.eat_keyword("polymorphic");
+    p.expect_sym(";")?;
+    b.class(&name, size, base.as_deref(), polymorphic);
+    Ok(())
+}
+
+fn parse_ty(p: &mut Parser) -> PResult<Ty> {
+    let name = p.expect_ident()?;
+    Ok(match name.as_str() {
+        "int" => Ty::Int,
+        "double" => Ty::Double,
+        "ptr" => Ty::Ptr,
+        "char" => {
+            if p.eat_sym("[") {
+                let len = if p.eat_sym("?") {
+                    None
+                } else {
+                    let v = p.expect_int()?;
+                    Some(u32::try_from(v).map_err(|_| ParseError {
+                        line: p.line(),
+                        message: "array length must fit u32".into(),
+                    })?)
+                };
+                p.expect_sym("]")?;
+                Ty::CharArray(len)
+            } else {
+                Ty::Char
+            }
+        }
+        _ => Ty::Class(name),
+    })
+}
+
+fn parse_function(p: &mut Parser, b: &mut ProgramBuilder, globals: &Names) -> PResult<()> {
+    let fname = p.expect_ident()?;
+    p.expect_sym("(")?;
+    let mut f = b.function(&fname);
+    let mut names = Names { map: globals.map.clone() };
+    if !p.eat_sym(")") {
+        loop {
+            let pname = p.expect_ident()?;
+            p.expect_sym(":")?;
+            let ty = parse_ty(p)?;
+            let tainted = p.eat_keyword("tainted");
+            let id = f.param(&pname, ty, tainted);
+            names.map.insert(pname, id);
+            if p.eat_sym(")") {
+                break;
+            }
+            p.expect_sym(",")?;
+        }
+    }
+    p.expect_sym("{")?;
+    parse_block(p, &mut f, &mut names, true)?;
+    f.finish();
+    Ok(())
+}
+
+/// Parses statements until the closing `}` (consumed). `allow_locals`
+/// permits `local` declarations (top level of a function only).
+fn parse_block(
+    p: &mut Parser,
+    f: &mut FunctionBuilder<'_>,
+    names: &mut Names,
+    allow_locals: bool,
+) -> PResult<()> {
+    loop {
+        if p.eat_sym("}") {
+            return Ok(());
+        }
+        if p.peek().is_none() {
+            return p.err("unexpected end of input inside a block");
+        }
+        parse_stmt(p, f, names, allow_locals)?;
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_stmt(
+    p: &mut Parser,
+    f: &mut FunctionBuilder<'_>,
+    names: &mut Names,
+    allow_locals: bool,
+) -> PResult<()> {
+    if p.eat_keyword("local") {
+        if !allow_locals {
+            return p.err("`local` declarations are only allowed at function top level");
+        }
+        let lname = p.expect_ident()?;
+        p.expect_sym(":")?;
+        let ty = parse_ty(p)?;
+        p.expect_sym(";")?;
+        let id = f.local(&lname, ty);
+        names.map.insert(lname, id);
+        return Ok(());
+    }
+    if p.eat_keyword("read") {
+        let v = resolve_next(p, names)?;
+        p.expect_sym(";")?;
+        f.read_input(v);
+        return Ok(());
+    }
+    if p.eat_keyword("read_secret") {
+        let v = resolve_next(p, names)?;
+        p.expect_sym(";")?;
+        f.read_secret(v);
+        return Ok(());
+    }
+    if p.eat_keyword("recv") {
+        let v = resolve_next(p, names)?;
+        p.expect_sym(":")?;
+        let class = p.expect_ident()?;
+        p.expect_sym(";")?;
+        f.recv_object(v, &class);
+        return Ok(());
+    }
+    if p.eat_keyword("output") {
+        let v = resolve_next(p, names)?;
+        p.expect_sym(";")?;
+        f.output(v);
+        return Ok(());
+    }
+    if p.eat_keyword("delete") {
+        if p.eat_sym("(") {
+            let class = p.expect_ident()?;
+            p.expect_sym("*")?;
+            p.expect_sym(")")?;
+            let v = resolve_next(p, names)?;
+            p.expect_sym(";")?;
+            f.delete(v, Some(&class));
+        } else {
+            let v = resolve_next(p, names)?;
+            p.expect_sym(";")?;
+            f.delete(v, None);
+        }
+        return Ok(());
+    }
+    if p.eat_keyword("vcall") {
+        let v = resolve_next(p, names)?;
+        p.expect_sym(".")?;
+        let method = p.expect_ident()?;
+        p.expect_sym("(")?;
+        p.expect_sym(")")?;
+        p.expect_sym(";")?;
+        f.virtual_call(v, &method);
+        return Ok(());
+    }
+    if p.eat_keyword("call") {
+        let func = p.expect_ident()?;
+        p.expect_sym("(")?;
+        let mut args = Vec::new();
+        if !p.eat_sym(")") {
+            loop {
+                args.push(parse_expr(p, names)?);
+                if p.eat_sym(")") {
+                    break;
+                }
+                p.expect_sym(",")?;
+            }
+        }
+        p.expect_sym(";")?;
+        f.call(&func, args);
+        return Ok(());
+    }
+    if p.eat_keyword("callptr") {
+        let v = resolve_next(p, names)?;
+        p.expect_sym(";")?;
+        f.call_ptr(v);
+        return Ok(());
+    }
+    if p.eat_keyword("return") {
+        p.expect_sym(";")?;
+        f.ret();
+        return Ok(());
+    }
+    if p.eat_keyword("strncpy") {
+        p.expect_sym("(")?;
+        let dst = resolve_next(p, names)?;
+        p.expect_sym(",")?;
+        let src = parse_expr(p, names)?;
+        p.expect_sym(",")?;
+        let len = parse_expr(p, names)?;
+        p.expect_sym(")")?;
+        p.expect_sym(";")?;
+        f.strncpy(dst, src, len);
+        return Ok(());
+    }
+    if p.eat_keyword("memset") {
+        p.expect_sym("(")?;
+        let dst = resolve_next(p, names)?;
+        p.expect_sym(",")?;
+        let len = parse_expr(p, names)?;
+        p.expect_sym(")")?;
+        p.expect_sym(";")?;
+        f.memset(dst, len);
+        return Ok(());
+    }
+    if p.eat_keyword("if") {
+        p.expect_sym("(")?;
+        let (lhs, op, rhs) = parse_cond(p, names)?;
+        p.expect_sym(")")?;
+        p.expect_sym("{")?;
+        f.if_start(lhs, op, rhs);
+        parse_block(p, f, names, false)?;
+        if p.eat_keyword("else") {
+            p.expect_sym("{")?;
+            f.else_branch();
+            parse_block(p, f, names, false)?;
+        }
+        f.end_if();
+        return Ok(());
+    }
+    if p.eat_keyword("while") {
+        p.expect_sym("(")?;
+        let (lhs, op, rhs) = parse_cond(p, names)?;
+        p.expect_sym(")")?;
+        p.expect_sym("{")?;
+        f.while_start(lhs, op, rhs);
+        parse_block(p, f, names, false)?;
+        f.end_while();
+        return Ok(());
+    }
+
+    // Assignment forms: `x = …;` or `x.field = …;`
+    let target = p.expect_ident()?;
+    let target_id = names.resolve(p, &target)?;
+    if p.eat_sym(".") {
+        let field = p.expect_ident()?;
+        p.expect_sym("=")?;
+        let src = parse_expr(p, names)?;
+        p.expect_sym(";")?;
+        f.field_store(target_id, &field, src);
+        return Ok(());
+    }
+    p.expect_sym("=")?;
+    if p.eat_keyword("null") {
+        p.expect_sym(";")?;
+        f.null_assign(target_id);
+        return Ok(());
+    }
+    if p.eat_keyword("new") {
+        if p.eat_sym("(") {
+            // Placement form.
+            let arena = parse_expr(p, names)?;
+            p.expect_sym(")")?;
+            if p.eat_keyword("array") {
+                p.expect_sym("[")?;
+                let elem = p.expect_int()?;
+                let elem = u32::try_from(elem).map_err(|_| ParseError {
+                    line: p.line(),
+                    message: "element size must fit u32".into(),
+                })?;
+                p.expect_sym(";")?;
+                let count = parse_expr(p, names)?;
+                p.expect_sym("]")?;
+                p.expect_sym(";")?;
+                f.placement_new_array(target_id, arena, elem, count);
+            } else {
+                let class = p.expect_ident()?;
+                p.expect_sym("(")?;
+                let mut args = Vec::new();
+                if !p.eat_sym(")") {
+                    loop {
+                        args.push(parse_expr(p, names)?);
+                        if p.eat_sym(")") {
+                            break;
+                        }
+                        p.expect_sym(",")?;
+                    }
+                }
+                p.expect_sym(";")?;
+                f.placement_new_with(target_id, arena, &class, args);
+            }
+        } else if p.eat_keyword("bytes") {
+            p.expect_sym("[")?;
+            let count = parse_expr(p, names)?;
+            p.expect_sym("]")?;
+            p.expect_sym(";")?;
+            f.heap_new_array(target_id, count);
+        } else {
+            let class = p.expect_ident()?;
+            p.expect_sym("(")?;
+            p.expect_sym(")")?;
+            p.expect_sym(";")?;
+            f.heap_new(target_id, &class);
+        }
+        return Ok(());
+    }
+    let src = parse_expr(p, names)?;
+    p.expect_sym(";")?;
+    f.assign(target_id, src);
+    Ok(())
+}
+
+fn resolve_next(p: &mut Parser, names: &Names) -> PResult<VarId> {
+    let name = p.expect_ident()?;
+    names.resolve(p, &name)
+}
+
+fn parse_cond(p: &mut Parser, names: &Names) -> PResult<(Expr, CmpOp, Expr)> {
+    let lhs = parse_expr(p, names)?;
+    let op = match p.next()? {
+        Tok::Sym("<") => CmpOp::Lt,
+        Tok::Sym("<=") => CmpOp::Le,
+        Tok::Sym(">") => CmpOp::Gt,
+        Tok::Sym(">=") => CmpOp::Ge,
+        Tok::Sym("==") => CmpOp::Eq,
+        Tok::Sym("!=") => CmpOp::Ne,
+        other => return p.err(format!("expected a comparison operator, found {other}")),
+    };
+    let rhs = parse_expr(p, names)?;
+    Ok((lhs, op, rhs))
+}
+
+fn parse_expr(p: &mut Parser, names: &Names) -> PResult<Expr> {
+    let mut lhs = parse_term(p, names)?;
+    loop {
+        if p.eat_sym("+") {
+            let rhs = parse_term(p, names)?;
+            lhs = Expr::add(lhs, rhs);
+        } else if p.eat_sym("-") {
+            let rhs = parse_term(p, names)?;
+            lhs = Expr::BinOp(crate::ir::Op::Sub, Box::new(lhs), Box::new(rhs));
+        } else {
+            return Ok(lhs);
+        }
+    }
+}
+
+fn parse_term(p: &mut Parser, names: &Names) -> PResult<Expr> {
+    let mut lhs = parse_factor(p, names)?;
+    while p.eat_sym("*") {
+        let rhs = parse_factor(p, names)?;
+        lhs = Expr::mul(lhs, rhs);
+    }
+    Ok(lhs)
+}
+
+fn parse_factor(p: &mut Parser, names: &Names) -> PResult<Expr> {
+    if p.eat_sym("(") {
+        let e = parse_expr(p, names)?;
+        p.expect_sym(")")?;
+        return Ok(e);
+    }
+    if p.eat_sym("-") {
+        let v = p.expect_int()?;
+        return Ok(Expr::Const(-v));
+    }
+    if p.eat_sym("&") {
+        let v = resolve_next(p, names)?;
+        return Ok(Expr::AddrOf(v));
+    }
+    match p.peek() {
+        Some(Tok::Int(_)) => {
+            let v = p.expect_int()?;
+            Ok(Expr::Const(v))
+        }
+        Some(Tok::Ident(s)) if s == "sizeof" => {
+            p.pos += 1;
+            p.expect_sym("(")?;
+            let class = p.expect_ident()?;
+            p.expect_sym(")")?;
+            Ok(Expr::SizeOf(class))
+        }
+        Some(Tok::Ident(_)) => {
+            let name = p.expect_ident()?;
+            let id = names.resolve(p, &name)?;
+            if matches!(p.peek(), Some(Tok::Sym("."))) && matches!(p.peek2(), Some(Tok::Ident(_))) {
+                p.pos += 1;
+                let field = p.expect_ident()?;
+                Ok(Expr::Field(id, field))
+            } else {
+                Ok(Expr::Var(id))
+            }
+        }
+        other => {
+            let msg = other.map_or_else(
+                || "unexpected end of input in expression".to_owned(),
+                |t| format!("unexpected token {t} in expression"),
+            );
+            p.err(msg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::pretty;
+    use crate::{Analyzer, FindingKind};
+
+    #[test]
+    fn parses_the_doc_example() {
+        let program = parse_program(
+            "program demo;\n\
+             class Student size 16;\n\
+             class GradStudent size 32 : Student;\n\
+             fn main() {\n\
+                 local stud: Student;\n\
+                 local st: ptr;\n\
+                 st = new (&stud) GradStudent();\n\
+             }\n",
+        )
+        .unwrap();
+        assert_eq!(program.name, "demo");
+        assert_eq!(program.classes.len(), 2);
+        let report = Analyzer::new().analyze(&program);
+        assert_eq!(report.of_kind(FindingKind::OversizedPlacement).len(), 1);
+    }
+
+    #[test]
+    fn round_trips_a_rich_program() {
+        let src = "\
+program rich-demo-01;
+
+class Student size 16;
+class GradStudent size 32 : Student;
+class Poly size 24 polymorphic;
+
+global pool: char[72];
+global count: int;
+
+fn sortAndAddUname(uname: ptr tainted, cfg: ptr) {
+    local n: int;
+    local stud: Student;
+    local st: ptr;
+    local buf: ptr;
+    read n;
+    if (n > 8) {
+        return;
+    } else {
+        n = (n + 1);
+    }
+    st = new (&stud) GradStudent(uname);
+    buf = new (&pool) array[9; n];
+    strncpy(buf, uname, (n * 9));
+    while (n != 0) {
+        n = (n - 1);
+    }
+    delete (Student*) st;
+    st = null;
+}
+
+fn Helper::run() {
+    local q: ptr;
+    q = new GradStudent();
+    q = new bytes[64];
+    read_secret q;
+    memset(q, 64);
+    recv q: Student;
+    output q;
+    vcall q.getInfo();
+    callptr q;
+    q.field = sizeof(Poly);
+}
+";
+        let program = parse_program(src).unwrap();
+        let printed = pretty(&program);
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(program, reparsed, "parse∘pretty must be the identity");
+    }
+
+    #[test]
+    fn program_names_may_contain_dashes() {
+        let p = parse_program("program listing-04-construction;\nfn f() {\n}\n").unwrap();
+        assert_eq!(p.name, "listing-04-construction");
+    }
+
+    #[test]
+    fn function_names_may_contain_double_colons() {
+        let p = parse_program("program t;\nfn MobilePlayer::addStudentPlayer() {\n}\n").unwrap();
+        assert_eq!(p.functions[0].name, "MobilePlayer::addStudentPlayer");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let p = parse_program(
+            "// leading comment\n\nprogram t;\n// about f\nfn f() {\n    // body comment\n    return;\n}\n",
+        )
+        .unwrap();
+        assert_eq!(p.functions[0].body.len(), 1);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_program("program t;\nfn f() {\n    bogus!;\n}\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("line 3"));
+
+        let err = parse_program("not a header\n").unwrap_err();
+        assert!(err.message.contains("program"));
+    }
+
+    #[test]
+    fn unknown_variables_are_rejected() {
+        let err = parse_program("program t;\nfn f() {\n    x = 1;\n}\n").unwrap_err();
+        assert!(err.message.contains("unknown variable `x`"));
+    }
+
+    #[test]
+    fn locals_are_rejected_inside_blocks() {
+        let err = parse_program(
+            "program t;\nfn f() {\n    local n: int;\n    if (n > 0) {\n        local m: int;\n    }\n}\n",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("top level"));
+    }
+
+    #[test]
+    fn negative_literals_and_subtraction() {
+        let p = parse_program(
+            "program t;\nfn f() {\n    local x: int;\n    x = -5;\n    x = (x - -3);\n}\n",
+        )
+        .unwrap();
+        let report = Analyzer::new().analyze(&p);
+        assert!(!report.detected());
+    }
+
+    #[test]
+    fn char_array_types() {
+        let p = parse_program(
+            "program t;\nglobal a: char[16];\nglobal b: char[?];\nglobal c: char;\nfn f() {\n}\n",
+        )
+        .unwrap();
+        assert_eq!(p.vars[0].ty, Ty::CharArray(Some(16)));
+        assert_eq!(p.vars[1].ty, Ty::CharArray(None));
+        assert_eq!(p.vars[2].ty, Ty::Char);
+    }
+
+    #[test]
+    fn shadowing_params_resolve_locally() {
+        let p =
+            parse_program("program t;\nglobal n: int;\nfn f(n: int tainted) {\n    read n;\n}\n")
+                .unwrap();
+        // The read targets the param (id 1), not the global (id 0).
+        match &p.functions[0].body[0] {
+            crate::ir::Stmt::ReadInput { dst, .. } => assert_eq!(dst.index(), 1),
+            other => panic!("unexpected stmt {other:?}"),
+        }
+    }
+}

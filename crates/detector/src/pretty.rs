@@ -1,0 +1,342 @@
+//! Pretty-printer: renders IR programs in the `.pnx` surface syntax.
+//!
+//! The printed form is the detector's on-disk format (see
+//! [`parse`](crate::parse_program)): `parse(pretty(p)) == p` for every
+//! well-formed program, a property the corpus tests assert over all 40+
+//! programs and proptest asserts over generated ones.
+//!
+//! ```text
+//! program listing-04-construction;
+//!
+//! class Student size 16;
+//! class GradStudent size 32 : Student;
+//!
+//! global pool: char[72];
+//!
+//! fn main(uname: ptr tainted) {
+//!     local stud: Student;
+//!     local st: ptr;
+//!     st = new (&stud) GradStudent();
+//! }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::ir::{CmpOp, Cond, Expr, Op, Program, Scope, Stmt, Ty, VarId};
+
+/// Renders a program in the `.pnx` surface syntax.
+pub fn pretty(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {};", program.name);
+
+    let mut classes: Vec<_> = program.classes.values().collect();
+    classes.sort_by(|a, b| a.name.cmp(&b.name));
+    if !classes.is_empty() {
+        out.push('\n');
+    }
+    for c in classes {
+        let _ = write!(out, "class {} size {}", c.name, c.size);
+        if let Some(base) = &c.base {
+            let _ = write!(out, " : {base}");
+        }
+        if c.polymorphic {
+            out.push_str(" polymorphic");
+        }
+        out.push_str(";\n");
+    }
+
+    let globals: Vec<_> = program.vars.iter().filter(|v| v.scope == Scope::Global).collect();
+    if !globals.is_empty() {
+        out.push('\n');
+    }
+    for g in &globals {
+        let _ = writeln!(out, "global {}: {};", g.name, ty(&g.ty));
+    }
+
+    for f in &program.functions {
+        out.push('\n');
+        let params: Vec<String> = f
+            .vars
+            .iter()
+            .filter_map(|&id| {
+                let v = program.var(id);
+                match v.scope {
+                    Scope::Param { tainted } => Some(format!(
+                        "{}: {}{}",
+                        v.name,
+                        ty(&v.ty),
+                        if tainted { " tainted" } else { "" }
+                    )),
+                    _ => None,
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "fn {}({}) {{", f.name, params.join(", "));
+        for &id in &f.vars {
+            let v = program.var(id);
+            if v.scope == Scope::Local {
+                let _ = writeln!(out, "    local {}: {};", v.name, ty(&v.ty));
+            }
+        }
+        for stmt in &f.body {
+            write_stmt(&mut out, program, stmt, 1);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn ty(t: &Ty) -> String {
+    match t {
+        Ty::Int => "int".to_owned(),
+        Ty::Char => "char".to_owned(),
+        Ty::Double => "double".to_owned(),
+        Ty::Ptr => "ptr".to_owned(),
+        Ty::CharArray(Some(n)) => format!("char[{n}]"),
+        Ty::CharArray(None) => "char[?]".to_owned(),
+        Ty::Class(name) => name.clone(),
+    }
+}
+
+fn var(program: &Program, v: VarId) -> String {
+    program.var(v).name.clone()
+}
+
+fn expr(program: &Program, e: &Expr) -> String {
+    match e {
+        Expr::Const(c) => c.to_string(),
+        Expr::Var(v) => var(program, *v),
+        Expr::SizeOf(c) => format!("sizeof({c})"),
+        Expr::AddrOf(v) => format!("&{}", var(program, *v)),
+        Expr::Field(v, f) => format!("{}.{f}", var(program, *v)),
+        Expr::BinOp(op, a, b) => {
+            let sym = match op {
+                Op::Add => "+",
+                Op::Sub => "-",
+                Op::Mul => "*",
+            };
+            format!("({} {sym} {})", expr(program, a), expr(program, b))
+        }
+    }
+}
+
+fn cmp(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+        CmpOp::Eq => "==",
+        CmpOp::Ne => "!=",
+    }
+}
+
+fn cond(program: &Program, c: &Cond) -> String {
+    format!("{} {} {}", expr(program, &c.lhs), cmp(c.op), expr(program, &c.rhs))
+}
+
+fn write_stmt(out: &mut String, p: &Program, stmt: &Stmt, depth: usize) {
+    let pad = "    ".repeat(depth);
+    match stmt {
+        Stmt::Assign { dst, src, .. } => {
+            let _ = writeln!(out, "{pad}{} = {};", var(p, *dst), expr(p, src));
+        }
+        Stmt::FieldStore { obj, field, src, .. } => {
+            let _ = writeln!(out, "{pad}{}.{field} = {};", var(p, *obj), expr(p, src));
+        }
+        Stmt::ReadInput { dst, .. } => {
+            let _ = writeln!(out, "{pad}read {};", var(p, *dst));
+        }
+        Stmt::RecvObject { dst, class, .. } => {
+            let _ = writeln!(out, "{pad}recv {}: {class};", var(p, *dst));
+        }
+        Stmt::HeapNew { dst, class: Some(class), .. } => {
+            let _ = writeln!(out, "{pad}{} = new {class}();", var(p, *dst));
+        }
+        Stmt::HeapNew { dst, class: None, count, .. } => {
+            let count = count.as_ref().map_or_else(String::new, |c| expr(p, c));
+            let _ = writeln!(out, "{pad}{} = new bytes[{count}];", var(p, *dst));
+        }
+        Stmt::PlacementNew { dst, arena, class, args, .. } => {
+            let args: Vec<String> = args.iter().map(|a| expr(p, a)).collect();
+            let _ = writeln!(
+                out,
+                "{pad}{} = new ({}) {class}({});",
+                var(p, *dst),
+                expr(p, arena),
+                args.join(", ")
+            );
+        }
+        Stmt::PlacementNewArray { dst, arena, elem_size, count, .. } => {
+            let _ = writeln!(
+                out,
+                "{pad}{} = new ({}) array[{elem_size}; {}];",
+                var(p, *dst),
+                expr(p, arena),
+                expr(p, count)
+            );
+        }
+        Stmt::Strncpy { dst, src, len, .. } => {
+            let _ = writeln!(
+                out,
+                "{pad}strncpy({}, {}, {});",
+                var(p, *dst),
+                expr(p, src),
+                expr(p, len)
+            );
+        }
+        Stmt::Memset { dst, len, .. } => {
+            let _ = writeln!(out, "{pad}memset({}, {});", var(p, *dst), expr(p, len));
+        }
+        Stmt::ReadSecret { dst, .. } => {
+            let _ = writeln!(out, "{pad}read_secret {};", var(p, *dst));
+        }
+        Stmt::Output { src, .. } => {
+            let _ = writeln!(out, "{pad}output {};", var(p, *src));
+        }
+        Stmt::Delete { ptr, as_class: Some(class), .. } => {
+            let _ = writeln!(out, "{pad}delete ({class}*) {};", var(p, *ptr));
+        }
+        Stmt::Delete { ptr, as_class: None, .. } => {
+            let _ = writeln!(out, "{pad}delete {};", var(p, *ptr));
+        }
+        Stmt::NullAssign { ptr, .. } => {
+            let _ = writeln!(out, "{pad}{} = null;", var(p, *ptr));
+        }
+        Stmt::VirtualCall { obj, method, .. } => {
+            let _ = writeln!(out, "{pad}vcall {}.{method}();", var(p, *obj));
+        }
+        Stmt::CallPtr { ptr, .. } => {
+            let _ = writeln!(out, "{pad}callptr {};", var(p, *ptr));
+        }
+        Stmt::Return { .. } => {
+            let _ = writeln!(out, "{pad}return;");
+        }
+        Stmt::Call { func, args, .. } => {
+            let args: Vec<String> = args.iter().map(|a| expr(p, a)).collect();
+            let _ = writeln!(out, "{pad}call {func}({});", args.join(", "));
+        }
+        Stmt::If { cond: c, then_body, else_body, .. } => {
+            let _ = writeln!(out, "{pad}if ({}) {{", cond(p, c));
+            for s in then_body {
+                write_stmt(out, p, s, depth + 1);
+            }
+            if else_body.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in else_body {
+                    write_stmt(out, p, s, depth + 1);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        Stmt::While { cond: c, body, .. } => {
+            let _ = writeln!(out, "{pad}while ({}) {{", cond(p, c));
+            for s in body {
+                write_stmt(out, p, s, depth + 1);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn prints_the_canonical_shape() {
+        let mut p = ProgramBuilder::new("demo");
+        p.class("Student", 16, None, false);
+        p.class("GradStudent", 32, Some("Student"), true);
+        let pool = p.global("pool", Ty::CharArray(Some(72)));
+        let mut f = p.function("main");
+        let uname = f.param("uname", Ty::Ptr, true);
+        let n = f.local("n", Ty::Int);
+        let buf = f.local("buf", Ty::Ptr);
+        f.read_input(n);
+        f.if_start(Expr::Var(n), CmpOp::Gt, Expr::Const(8));
+        f.ret();
+        f.end_if();
+        f.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(n));
+        f.strncpy(buf, Expr::Var(uname), Expr::mul(Expr::Var(n), Expr::Const(9)));
+        f.finish();
+        let text = pretty(&p.build());
+
+        assert!(text.contains("program demo;"));
+        assert!(text.contains("class GradStudent size 32 : Student polymorphic;"));
+        assert!(text.contains("global pool: char[72];"));
+        assert!(text.contains("fn main(uname: ptr tainted) {"));
+        assert!(text.contains("    local n: int;"));
+        assert!(text.contains("    if (n > 8) {"));
+        assert!(text.contains("        return;"));
+        assert!(text.contains("    buf = new (&pool) array[9; n];"));
+        assert!(text.contains("    strncpy(buf, uname, (n * 9));"));
+    }
+
+    #[test]
+    fn prints_every_statement_form() {
+        let mut p = ProgramBuilder::new("all");
+        p.class("C", 8, None, false);
+        let g = p.global("g", Ty::Class("C".into()));
+        let mut f = p.function("f");
+        let x = f.local("x", Ty::Int);
+        let q = f.local("q", Ty::Ptr);
+        f.assign(x, Expr::add(Expr::Const(-1), Expr::SizeOf("C".into())));
+        f.field_store(q, "fld", Expr::Field(q, "other".to_owned()));
+        f.recv_object(q, "C");
+        f.heap_new(q, "C");
+        f.heap_new_array(q, Expr::Const(4));
+        f.placement_new_with(q, Expr::addr_of(g), "C", vec![Expr::Var(x)]);
+        f.memset(q, Expr::Const(8));
+        f.read_secret(q);
+        f.output(q);
+        f.delete(q, Some("C"));
+        f.delete(q, None);
+        f.null_assign(q);
+        f.virtual_call(q, "m");
+        f.call_ptr(q);
+        f.while_start(Expr::Var(x), CmpOp::Ne, Expr::Const(0));
+        f.assign(x, Expr::BinOp(Op::Sub, Box::new(Expr::Var(x)), Box::new(Expr::Const(1))));
+        f.end_while();
+        f.finish();
+        let text = pretty(&p.build());
+        for needle in [
+            "x = (-1 + sizeof(C));",
+            "q.fld = q.other;",
+            "recv q: C;",
+            "q = new C();",
+            "q = new bytes[4];",
+            "q = new (&g) C(x);",
+            "memset(q, 8);",
+            "read_secret q;",
+            "output q;",
+            "delete (C*) q;",
+            "delete q;",
+            "q = null;",
+            "vcall q.m();",
+            "callptr q;",
+            "while (x != 0) {",
+            "x = (x - 1);",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn else_branches_render() {
+        let mut p = ProgramBuilder::new("e");
+        let mut f = p.function("f");
+        let x = f.local("x", Ty::Int);
+        f.if_start(Expr::Var(x), CmpOp::Eq, Expr::Const(0));
+        f.assign(x, Expr::Const(1));
+        f.else_branch();
+        f.assign(x, Expr::Const(2));
+        f.end_if();
+        f.finish();
+        let text = pretty(&p.build());
+        assert!(text.contains("} else {"));
+    }
+}

@@ -1,0 +1,131 @@
+//! End-to-end tests of the `pncheck` command-line tool.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const PNCHECK: &str = env!("CARGO_BIN_EXE_pncheck");
+
+const VULNERABLE: &str = "\
+program cli-demo;
+class Student size 16;
+class GradStudent size 32 : Student;
+fn main() {
+    local stud: Student;
+    local st: ptr;
+    st = new (&stud) GradStudent();
+}
+";
+
+const CLEAN: &str = "\
+program cli-clean;
+class Student size 16;
+fn main() {
+    local stud: Student;
+    local st: ptr;
+    st = new (&stud) Student();
+}
+";
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, i32) {
+    let mut child = Command::new(PNCHECK)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("pncheck spawns");
+    // The child may exit before reading stdin (flag errors): a broken
+    // pipe here is fine.
+    let _ = child.stdin.as_mut().expect("stdin piped").write_all(stdin.as_bytes());
+    let out = child.wait_with_output().expect("pncheck runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn flags_the_vulnerable_program_with_exit_one() {
+    let (stdout, _, code) = run_with_stdin(&["-"], VULNERABLE);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("oversized-placement"), "{stdout}");
+    assert!(stdout.contains("overflows by 16 bytes"), "{stdout}");
+    assert!(stdout.contains("hint: check sizeof()"), "{stdout}");
+}
+
+#[test]
+fn passes_the_clean_program_with_exit_zero() {
+    let (stdout, _, code) = run_with_stdin(&["-"], CLEAN);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn baseline_mode_is_blind_to_placement_new() {
+    let (stdout, _, code) = run_with_stdin(&["--baseline", "-"], VULNERABLE);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn fix_mode_prints_a_clean_program() {
+    let (stdout, stderr, code) = run_with_stdin(&["--fix", "-"], VULNERABLE);
+    assert_eq!(code, 1); // findings were present before the fix
+    assert!(stderr.contains("fallback"), "{stderr}");
+    // The fixed program replaces the placement with heap new…
+    assert!(stdout.contains("st = new GradStudent();"), "{stdout}");
+    // …and feeding it back through pncheck is clean.
+    let fixed_src = stdout
+        .split_once("program cli-demo;")
+        .map(|(_, rest)| format!("program cli-demo;{rest}"))
+        .expect("fixed program printed");
+    let (stdout2, _, code2) = run_with_stdin(&["-"], &fixed_src);
+    assert_eq!(code2, 0, "{stdout2}");
+}
+
+#[test]
+fn parse_errors_exit_two() {
+    let (_, stderr, code) = run_with_stdin(&["-"], "this is not a program");
+    assert_eq!(code, 2);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn missing_file_exits_two() {
+    let out = Command::new(PNCHECK)
+        .arg("/nonexistent/definitely-missing.pnx")
+        .output()
+        .expect("pncheck runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = Command::new(PNCHECK).output().expect("pncheck runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn min_severity_filters_findings() {
+    // The vulnerable program has only an Error finding: min-severity error
+    // keeps it; disabling the kind drops it.
+    let (stdout, _, code) = run_with_stdin(&["--min-severity", "error", "-"], VULNERABLE);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("oversized-placement"), "{stdout}");
+
+    let (stdout, _, code) = run_with_stdin(&["--disable", "oversized-placement", "-"], VULNERABLE);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("0 finding(s)"), "{stdout}");
+}
+
+#[test]
+fn bad_flag_values_exit_two() {
+    let (_, stderr, code) = run_with_stdin(&["--min-severity", "loud", "-"], CLEAN);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown severity"), "{stderr}");
+    let (_, stderr, code) = run_with_stdin(&["--disable", "bogus-kind", "-"], CLEAN);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown finding kind"), "{stderr}");
+}

@@ -1,0 +1,323 @@
+//! Virtual addresses and data models.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use crate::MemoryError;
+
+/// A virtual address in the simulated process image.
+///
+/// Addresses are 32-bit, matching the ILP32 environment the paper evaluated
+/// on (Ubuntu 10.04 / gcc 4.4.3 on x86). The wrapper makes address
+/// arithmetic explicit and overflow-checked: the paper's attacks rely on
+/// *valid* adjacent addresses, not on integer wraparound, so wraparound is
+/// reported as an error rather than silently wrapping.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_memory::VirtAddr;
+///
+/// let a = VirtAddr::new(0x1000);
+/// assert_eq!((a + 8).value(), 0x1008);
+/// assert_eq!(a.align_up(16), VirtAddr::new(0x1000));
+/// assert_eq!(VirtAddr::new(0x1001).align_up(16), VirtAddr::new(0x1010));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u32);
+
+impl VirtAddr {
+    /// The null address. Placement new at null is undefined in the paper's
+    /// model ("the address must be a non-null one"); the runtime rejects it.
+    pub const NULL: VirtAddr = VirtAddr(0);
+
+    /// Creates an address from its raw 32-bit value.
+    pub const fn new(value: u32) -> Self {
+        VirtAddr(value)
+    }
+
+    /// Returns the raw 32-bit value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if this is the null address.
+    pub const fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition of a byte offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::AddressOverflow`] if the result does not fit in
+    /// the 32-bit address space.
+    pub fn checked_add(self, offset: u64) -> Result<Self, MemoryError> {
+        let wide = u64::from(self.0) + offset;
+        u32::try_from(wide)
+            .map(VirtAddr)
+            .map_err(|_| MemoryError::AddressOverflow { base: self, offset })
+    }
+
+    /// Checked subtraction of a byte offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::AddressOverflow`] if the result would be
+    /// negative.
+    pub fn checked_sub(self, offset: u64) -> Result<Self, MemoryError> {
+        u32::try_from(offset)
+            .ok()
+            .and_then(|off| self.0.checked_sub(off))
+            .map(VirtAddr)
+            .ok_or(MemoryError::AddressOverflow { base: self, offset })
+    }
+
+    /// Rounds the address up to the next multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn align_up(self, align: u32) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        VirtAddr((self.0 + align - 1) & !(align - 1))
+    }
+
+    /// Rounds the address down to the previous multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn align_down(self, align: u32) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        VirtAddr(self.0 & !(align - 1))
+    }
+
+    /// Returns `true` if the address is a multiple of `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn is_aligned(self, align: u32) -> bool {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.0 & (align - 1) == 0
+    }
+
+    /// Byte distance from `other` to `self` (`self - other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self`; callers compare addresses first.
+    pub fn offset_from(self, other: VirtAddr) -> u64 {
+        assert!(other <= self, "offset_from: {other} is above {self}",);
+        u64::from(self.0 - other.0)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:08x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u32> for VirtAddr {
+    fn from(value: u32) -> Self {
+        VirtAddr(value)
+    }
+}
+
+impl From<VirtAddr> for u32 {
+    fn from(addr: VirtAddr) -> Self {
+        addr.0
+    }
+}
+
+impl From<VirtAddr> for u64 {
+    fn from(addr: VirtAddr) -> Self {
+        u64::from(addr.0)
+    }
+}
+
+impl Add<u32> for VirtAddr {
+    type Output = VirtAddr;
+
+    /// Unchecked-feel addition for ergonomic address math in tests and
+    /// layout code.
+    ///
+    /// # Panics
+    ///
+    /// Panics on address-space overflow; use [`VirtAddr::checked_add`] where
+    /// the offset is attacker-influenced.
+    fn add(self, rhs: u32) -> VirtAddr {
+        VirtAddr(self.0.checked_add(rhs).expect("address overflow"))
+    }
+}
+
+impl AddAssign<u32> for VirtAddr {
+    fn add_assign(&mut self, rhs: u32) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<u32> for VirtAddr {
+    type Output = VirtAddr;
+
+    /// # Panics
+    ///
+    /// Panics on underflow below address 0.
+    fn sub(self, rhs: u32) -> VirtAddr {
+        VirtAddr(self.0.checked_sub(rhs).expect("address underflow"))
+    }
+}
+
+/// The C data model of the simulated platform.
+///
+/// The paper's layout arguments assume ILP32 ("4 bytes in Ubuntu Linux" for
+/// `int`, pointers and the StackGuard canary). [`DataModel::Lp64`] is
+/// provided for the layout-ablation experiment (E22), where pointer-sized
+/// slots double and the overflow lands on different victim words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataModel {
+    /// `int` = `long` = pointer = 4 bytes (x86-32, the paper's platform).
+    #[default]
+    Ilp32,
+    /// `int` = 4, `long` = pointer = 8 bytes (x86-64, for the ablation).
+    Lp64,
+}
+
+impl DataModel {
+    /// Size in bytes of a pointer (and of the saved return address, saved
+    /// frame pointer and canary word).
+    pub const fn pointer_size(self) -> u32 {
+        match self {
+            DataModel::Ilp32 => 4,
+            DataModel::Lp64 => 8,
+        }
+    }
+
+    /// Size in bytes of `long`.
+    pub const fn long_size(self) -> u32 {
+        match self {
+            DataModel::Ilp32 => 4,
+            DataModel::Lp64 => 8,
+        }
+    }
+
+    /// Alignment of `double` inside a struct.
+    ///
+    /// The i386 System V ABI aligns `double` struct members to 4 bytes,
+    /// while x86-64 aligns them to 8. The paper's §3.7.2 padding argument
+    /// is sensitive to this; the ablation experiment varies it.
+    pub const fn double_align(self) -> u32 {
+        match self {
+            DataModel::Ilp32 => 4,
+            DataModel::Lp64 => 8,
+        }
+    }
+}
+
+impl fmt::Display for DataModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataModel::Ilp32 => f.write_str("ILP32"),
+            DataModel::Lp64 => f.write_str("LP64"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_hex() {
+        assert_eq!(VirtAddr::new(0xdead).to_string(), "0x0000dead");
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        let a = VirtAddr::new(u32::MAX - 3);
+        assert!(a.checked_add(3).is_ok());
+        assert!(a.checked_add(4).is_err());
+    }
+
+    #[test]
+    fn checked_sub_detects_underflow() {
+        let a = VirtAddr::new(4);
+        assert_eq!(a.checked_sub(4).unwrap(), VirtAddr::NULL);
+        assert!(a.checked_sub(5).is_err());
+    }
+
+    #[test]
+    fn alignment_round_trips() {
+        let a = VirtAddr::new(0x1003);
+        assert_eq!(a.align_up(8).value(), 0x1008);
+        assert_eq!(a.align_down(8).value(), 0x1000);
+        assert!(a.align_up(8).is_aligned(8));
+        assert!(!a.is_aligned(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn align_rejects_non_power_of_two() {
+        VirtAddr::new(0).align_up(3);
+    }
+
+    #[test]
+    fn offset_from_measures_distance() {
+        let base = VirtAddr::new(0x1000);
+        assert_eq!((base + 24).offset_from(base), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset_from")]
+    fn offset_from_panics_when_reversed() {
+        VirtAddr::new(0).offset_from(VirtAddr::new(1));
+    }
+
+    #[test]
+    fn data_model_sizes_match_the_paper() {
+        // "the size of each of the addresses (frame pointer) and the canary
+        // is same as the size of an int (4 bytes in Ubuntu Linux)" — §3.6.1.
+        assert_eq!(DataModel::Ilp32.pointer_size(), 4);
+        assert_eq!(DataModel::Lp64.pointer_size(), 8);
+        assert_eq!(DataModel::Ilp32.double_align(), 4);
+        assert_eq!(DataModel::Lp64.double_align(), 8);
+    }
+
+    #[test]
+    fn null_is_null() {
+        assert!(VirtAddr::NULL.is_null());
+        assert!(!VirtAddr::new(1).is_null());
+        assert_eq!(VirtAddr::default(), VirtAddr::NULL);
+    }
+
+    #[test]
+    fn conversions() {
+        let a: VirtAddr = 7u32.into();
+        assert_eq!(u32::from(a), 7);
+        assert_eq!(u64::from(a), 7);
+        assert_eq!(format!("{a:x}"), "7");
+        assert_eq!(format!("{a:X}"), "7");
+    }
+
+    #[test]
+    fn operator_add_sub() {
+        let mut a = VirtAddr::new(16);
+        a += 16;
+        assert_eq!(a, VirtAddr::new(32));
+        assert_eq!(a - 8, VirtAddr::new(24));
+    }
+}

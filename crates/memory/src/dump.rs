@@ -1,0 +1,239 @@
+//! Memory forensics: hexdumps and snapshot diffing.
+//!
+//! The experiments don't just assert that an overflow happened — they
+//! *show* it. [`hexdump`] renders a region in the classic
+//! offset/hex/ASCII format, and a [`Snapshot`] captures a region so that
+//! after an attack the exact changed bytes can be listed ([`Snapshot::diff`]),
+//! grouped into contiguous runs.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::{AddressSpace, Result, VirtAddr};
+
+/// Renders `len` bytes at `addr` as a classic 16-byte-per-row hexdump.
+///
+/// # Errors
+///
+/// Fails if any byte of the range is unreadable.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_memory::{dump::hexdump, AddressSpace, SegmentKind};
+///
+/// # fn main() -> Result<(), pnew_memory::MemoryError> {
+/// let mut space = AddressSpace::ilp32();
+/// let p = space.segment(SegmentKind::Data).base();
+/// space.write_bytes(p, b"placement new")?;
+/// let text = hexdump(&space, p, 16)?;
+/// assert!(text.contains("70 6c 61 63"));       // "plac"
+/// assert!(text.contains("|placement new"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn hexdump(space: &AddressSpace, addr: VirtAddr, len: u32) -> Result<String> {
+    let bytes = space.read_vec(addr, len)?;
+    let mut out = String::new();
+    for (row, chunk) in bytes.chunks(16).enumerate() {
+        let base = addr + (row as u32) * 16;
+        let _ = write!(out, "{base}  ");
+        for i in 0..16 {
+            match chunk.get(i) {
+                Some(b) => {
+                    let _ = write!(out, "{b:02x} ");
+                }
+                None => out.push_str("   "),
+            }
+            if i == 7 {
+                out.push(' ');
+            }
+        }
+        out.push_str(" |");
+        for b in chunk {
+            out.push(if (0x20..0x7f).contains(b) { *b as char } else { '.' });
+        }
+        out.push_str("|\n");
+    }
+    Ok(out)
+}
+
+/// One contiguous run of changed bytes between a snapshot and the live
+/// memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRange {
+    /// First changed byte.
+    pub addr: VirtAddr,
+    /// Bytes at capture time.
+    pub before: Vec<u8>,
+    /// Bytes now.
+    pub after: Vec<u8>,
+}
+
+impl DiffRange {
+    /// Length of the changed run.
+    pub fn len(&self) -> u32 {
+        self.before.len() as u32
+    }
+
+    /// `true` if the run is empty (never produced by `diff`).
+    pub fn is_empty(&self) -> bool {
+        self.before.is_empty()
+    }
+}
+
+impl fmt::Display for DiffRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} bytes): {} -> {}",
+            self.addr,
+            self.len(),
+            hex(&self.before),
+            hex(&self.after)
+        )
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect::<Vec<_>>().join(" ")
+}
+
+/// A captured copy of a memory range, for before/after comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    base: VirtAddr,
+    bytes: Vec<u8>,
+}
+
+impl Snapshot {
+    /// Captures `len` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is unreadable.
+    pub fn capture(space: &AddressSpace, addr: VirtAddr, len: u32) -> Result<Snapshot> {
+        Ok(Snapshot { base: addr, bytes: space.read_vec(addr, len)? })
+    }
+
+    /// Base address of the captured range.
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// Length of the captured range.
+    pub fn len(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// `true` if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Compares the snapshot against the live memory and returns the
+    /// changed runs, in address order.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is no longer readable.
+    pub fn diff(&self, space: &AddressSpace) -> Result<Vec<DiffRange>> {
+        let now = space.read_vec(self.base, self.len())?;
+        let mut runs = Vec::new();
+        let mut i = 0usize;
+        while i < now.len() {
+            if now[i] == self.bytes[i] {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < now.len() && now[i] != self.bytes[i] {
+                i += 1;
+            }
+            runs.push(DiffRange {
+                addr: self.base + start as u32,
+                before: self.bytes[start..i].to_vec(),
+                after: now[start..i].to_vec(),
+            });
+        }
+        Ok(runs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SegmentKind;
+
+    fn space_with(bytes: &[u8]) -> (AddressSpace, VirtAddr) {
+        let mut s = AddressSpace::ilp32();
+        let p = s.segment(SegmentKind::Data).base();
+        s.write_bytes(p, bytes).unwrap();
+        (s, p)
+    }
+
+    #[test]
+    fn hexdump_rows_and_ascii() {
+        let (s, p) = space_with(b"Hello, placement new world!!\x01\x02");
+        let text = hexdump(&s, p, 32).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with(&p.to_string()));
+        assert!(lines[0].contains("48 65 6c 6c 6f")); // Hello
+        assert!(lines[0].contains("|Hello, placement|"));
+        assert!(lines[1].contains('.')); // non-printables dotted
+    }
+
+    #[test]
+    fn hexdump_partial_final_row_is_padded() {
+        let (s, p) = space_with(b"abc");
+        let text = hexdump(&s, p, 3).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("|abc|"));
+    }
+
+    #[test]
+    fn snapshot_diff_empty_when_unchanged() {
+        let (s, p) = space_with(&[1, 2, 3, 4]);
+        let snap = Snapshot::capture(&s, p, 4).unwrap();
+        assert_eq!(snap.len(), 4);
+        assert!(!snap.is_empty());
+        assert_eq!(snap.base(), p);
+        assert!(snap.diff(&s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn snapshot_diff_groups_contiguous_runs() {
+        let (mut s, p) = space_with(&[0u8; 32]);
+        let snap = Snapshot::capture(&s, p, 32).unwrap();
+        // Two separate changed runs.
+        s.write_bytes(p + 4, &[0xaa, 0xbb]).unwrap();
+        s.write_u32(p + 16, 0xdead_beef).unwrap();
+        let runs = snap.diff(&s).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].addr, p + 4);
+        assert_eq!(runs[0].after, vec![0xaa, 0xbb]);
+        assert_eq!(runs[0].before, vec![0, 0]);
+        assert_eq!(runs[1].addr, p + 16);
+        assert_eq!(runs[1].len(), 4);
+        assert!(!runs[1].is_empty());
+    }
+
+    #[test]
+    fn diff_display_shows_hex() {
+        let (mut s, p) = space_with(&[0u8; 8]);
+        let snap = Snapshot::capture(&s, p, 8).unwrap();
+        s.write_u8(p, 0x41).unwrap();
+        let runs = snap.diff(&s).unwrap();
+        let text = runs[0].to_string();
+        assert!(text.contains("00 -> 41"), "{text}");
+    }
+
+    #[test]
+    fn writing_same_value_is_not_a_diff() {
+        let (mut s, p) = space_with(&[7u8; 8]);
+        let snap = Snapshot::capture(&s, p, 8).unwrap();
+        s.write_u8(p + 2, 7).unwrap(); // same byte
+        assert!(snap.diff(&s).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Error type for memory operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{Perms, SegmentKind, VirtAddr};
+
+/// An error raised by the simulated memory subsystem.
+///
+/// These correspond to the faults real hardware/OS would raise — the
+/// simulated equivalents of a segmentation fault. Note that overflowing
+/// *within* a mapped, writable segment is **not** an error: that silence is
+/// exactly the vulnerability the reproduced paper studies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemoryError {
+    /// The access touched an address not covered by any segment.
+    Unmapped {
+        /// First faulting address.
+        addr: VirtAddr,
+        /// Length of the attempted access in bytes.
+        len: u64,
+    },
+    /// The access crossed from one segment past its end.
+    OutOfSegment {
+        /// Segment in which the access started.
+        segment: SegmentKind,
+        /// Start of the attempted access.
+        addr: VirtAddr,
+        /// Length of the attempted access in bytes.
+        len: u64,
+    },
+    /// The segment does not grant the required permission.
+    PermissionDenied {
+        /// Segment that was accessed.
+        segment: SegmentKind,
+        /// Faulting address.
+        addr: VirtAddr,
+        /// Permission that was required.
+        required: Perms,
+        /// Permissions the segment grants.
+        granted: Perms,
+    },
+    /// Address arithmetic left the 32-bit address space.
+    AddressOverflow {
+        /// Base address of the computation.
+        base: VirtAddr,
+        /// Offset that was applied.
+        offset: u64,
+    },
+    /// A scalar access required alignment the address does not satisfy.
+    Misaligned {
+        /// Faulting address.
+        addr: VirtAddr,
+        /// Required alignment in bytes.
+        align: u32,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::Unmapped { addr, len } => {
+                write!(f, "unmapped access of {len} bytes at {addr}")
+            }
+            MemoryError::OutOfSegment { segment, addr, len } => write!(
+                f,
+                "access of {len} bytes at {addr} runs past the end of the {segment} segment"
+            ),
+            MemoryError::PermissionDenied { segment, addr, required, granted } => write!(
+                f,
+                "{segment} segment at {addr} grants {granted} but the access requires {required}"
+            ),
+            MemoryError::AddressOverflow { base, offset } => {
+                write!(f, "address computation {base} + {offset} overflows the address space")
+            }
+            MemoryError::Misaligned { addr, align } => {
+                write!(f, "address {addr} is not {align}-byte aligned")
+            }
+        }
+    }
+}
+
+impl Error for MemoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_specific() {
+        let e = MemoryError::Unmapped { addr: VirtAddr::new(0x10), len: 4 };
+        assert_eq!(e.to_string(), "unmapped access of 4 bytes at 0x00000010");
+
+        let e = MemoryError::OutOfSegment {
+            segment: SegmentKind::Stack,
+            addr: VirtAddr::new(0x20),
+            len: 8,
+        };
+        assert!(e.to_string().contains("stack segment"));
+
+        let e = MemoryError::PermissionDenied {
+            segment: SegmentKind::Text,
+            addr: VirtAddr::new(0x30),
+            required: Perms::WRITE,
+            granted: Perms::READ_EXEC,
+        };
+        assert!(e.to_string().contains("requires -w-"));
+
+        let e = MemoryError::AddressOverflow { base: VirtAddr::new(1), offset: 2 };
+        assert!(e.to_string().contains("overflows"));
+
+        let e = MemoryError::Misaligned { addr: VirtAddr::new(3), align: 4 };
+        assert!(e.to_string().contains("4-byte aligned"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<MemoryError>();
+    }
+}

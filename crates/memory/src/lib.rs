@@ -1,0 +1,52 @@
+//! Simulated byte-addressable process address space.
+//!
+//! This crate provides the lowest substrate of the reproduction of
+//! *"A New Class of Buffer Overflow Attacks"* (Kundu & Bertino, ICDCS 2011):
+//! a deterministic, inspectable model of the memory image of a C++ process
+//! on the platform the paper evaluated (Ubuntu 10.04, gcc 4.4.3, ILP32).
+//!
+//! The address space is organized into ELF-style [`Segment`]s
+//! (text, rodata, data, bss, heap, stack) with read/write/execute
+//! [`Perms`]. Scalar accessors use little-endian encoding, matching x86.
+//! Every write is recorded in a [`WriteTrace`] so experiments can show
+//! exactly which victim words an overflow touched.
+//!
+//! Nothing in this crate performs bounds checking *between objects*: that is
+//! precisely the property the paper exploits. The only checks enforced here
+//! are the ones real hardware enforces — segment bounds (a "segfault") and
+//! page permissions.
+//!
+//! # Examples
+//!
+//! ```
+//! use pnew_memory::{AddressSpace, SegmentKind};
+//!
+//! # fn main() -> Result<(), pnew_memory::MemoryError> {
+//! let mut space = AddressSpace::ilp32();
+//! let bss = space.segment(SegmentKind::Bss).base();
+//! space.write_u32(bss, 0xdead_beef)?;
+//! assert_eq!(space.read_u32(bss)?, 0xdead_beef);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+pub mod dump;
+mod error;
+mod perms;
+mod segment;
+mod space;
+mod trace;
+
+pub use addr::{DataModel, VirtAddr};
+pub use error::MemoryError;
+pub use perms::Perms;
+pub use segment::{Segment, SegmentKind};
+pub use space::{AddressSpace, AddressSpaceBuilder};
+pub use trace::{WriteRecord, WriteTrace};
+
+/// Crate-wide result alias for memory operations.
+pub type Result<T, E = MemoryError> = std::result::Result<T, E>;

@@ -1,0 +1,119 @@
+//! Segment permissions.
+
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+/// Page-level permissions of a [`Segment`](crate::Segment), in the spirit of
+/// `r`/`w`/`x` bits in `/proc/<pid>/maps`.
+///
+/// The executable bit is what the paper's §3.6.2 code-injection discussion
+/// turns on: with an executable stack the injected shellcode runs, with an
+/// NX stack the return into the stack faults.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_memory::Perms;
+///
+/// let rw = Perms::READ | Perms::WRITE;
+/// assert!(rw.allows(Perms::READ));
+/// assert!(!rw.allows(Perms::EXEC));
+/// assert_eq!(rw.to_string(), "rw-");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms(u8);
+
+impl Perms {
+    /// No access.
+    pub const NONE: Perms = Perms(0);
+    /// Read access.
+    pub const READ: Perms = Perms(1);
+    /// Write access.
+    pub const WRITE: Perms = Perms(2);
+    /// Execute access.
+    pub const EXEC: Perms = Perms(4);
+    /// Read + write (data, bss, heap, NX stack).
+    pub const READ_WRITE: Perms = Perms(1 | 2);
+    /// Read + execute (text).
+    pub const READ_EXEC: Perms = Perms(1 | 4);
+    /// Read + write + execute (a pre-NX executable stack).
+    pub const ALL: Perms = Perms(1 | 2 | 4);
+
+    /// Returns `true` if every permission in `required` is granted.
+    pub const fn allows(self, required: Perms) -> bool {
+        self.0 & required.0 == required.0
+    }
+
+    /// Returns `true` if the write bit is granted.
+    pub const fn writable(self) -> bool {
+        self.allows(Perms::WRITE)
+    }
+
+    /// Returns `true` if the execute bit is granted.
+    pub const fn executable(self) -> bool {
+        self.allows(Perms::EXEC)
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Perms {
+    fn bitor_assign(&mut self, rhs: Perms) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}{}",
+            if self.allows(Perms::READ) { 'r' } else { '-' },
+            if self.allows(Perms::WRITE) { 'w' } else { '-' },
+            if self.allows(Perms::EXEC) { 'x' } else { '-' },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combination_and_query() {
+        let p = Perms::READ | Perms::EXEC;
+        assert_eq!(p, Perms::READ_EXEC);
+        assert!(p.allows(Perms::READ));
+        assert!(p.allows(Perms::EXEC));
+        assert!(p.executable());
+        assert!(!p.writable());
+        assert!(!p.allows(Perms::READ_WRITE));
+    }
+
+    #[test]
+    fn or_assign() {
+        let mut p = Perms::READ;
+        p |= Perms::WRITE;
+        assert_eq!(p, Perms::READ_WRITE);
+    }
+
+    #[test]
+    fn display_matches_proc_maps_style() {
+        assert_eq!(Perms::NONE.to_string(), "---");
+        assert_eq!(Perms::ALL.to_string(), "rwx");
+        assert_eq!(Perms::READ_EXEC.to_string(), "r-x");
+        assert_eq!(Perms::default().to_string(), "---");
+    }
+
+    #[test]
+    fn none_allows_only_none() {
+        assert!(Perms::NONE.allows(Perms::NONE));
+        assert!(!Perms::NONE.allows(Perms::READ));
+    }
+}

@@ -1,0 +1,197 @@
+//! ELF-style memory segments.
+
+use std::fmt;
+
+use crate::{Perms, VirtAddr};
+
+/// The kind of a [`Segment`], following the ELF process image the paper's
+/// §3.5 references (text, then data/bss, heap growing up, stack on top).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SegmentKind {
+    /// Executable code (function entry points live here).
+    Text,
+    /// Read-only data; vtables are materialized here.
+    Rodata,
+    /// Initialized globals.
+    Data,
+    /// Uninitialized globals — where Listing 11 allocates `stud1`/`stud2`.
+    Bss,
+    /// The dynamic heap, managed by the runtime allocator.
+    Heap,
+    /// The call stack, growing downward.
+    Stack,
+}
+
+impl SegmentKind {
+    /// All kinds in ascending address order of the standard process image.
+    pub const ALL: [SegmentKind; 6] = [
+        SegmentKind::Text,
+        SegmentKind::Rodata,
+        SegmentKind::Data,
+        SegmentKind::Bss,
+        SegmentKind::Heap,
+        SegmentKind::Stack,
+    ];
+
+    /// The default permissions a loader would grant the segment.
+    ///
+    /// The stack defaults to NX (`rw-`); the code-injection experiment
+    /// remaps it `rwx` to model a pre-NX system.
+    pub const fn default_perms(self) -> Perms {
+        match self {
+            SegmentKind::Text => Perms::READ_EXEC,
+            SegmentKind::Rodata => Perms::READ,
+            SegmentKind::Data | SegmentKind::Bss | SegmentKind::Heap | SegmentKind::Stack => {
+                Perms::READ_WRITE
+            }
+        }
+    }
+}
+
+impl fmt::Display for SegmentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SegmentKind::Text => "text",
+            SegmentKind::Rodata => "rodata",
+            SegmentKind::Data => "data",
+            SegmentKind::Bss => "bss",
+            SegmentKind::Heap => "heap",
+            SegmentKind::Stack => "stack",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A contiguous, mapped region of the simulated address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    kind: SegmentKind,
+    base: VirtAddr,
+    size: u32,
+    perms: Perms,
+}
+
+impl Segment {
+    /// Creates a segment covering `[base, base + size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range leaves the 32-bit address space or is empty.
+    pub fn new(kind: SegmentKind, base: VirtAddr, size: u32, perms: Perms) -> Self {
+        assert!(size > 0, "segment {kind} must not be empty");
+        assert!(
+            base.value().checked_add(size - 1).is_some(),
+            "segment {kind} leaves the address space"
+        );
+        Segment { kind, base, size, perms }
+    }
+
+    /// The segment kind.
+    pub fn kind(&self) -> SegmentKind {
+        self.kind
+    }
+
+    /// Lowest address of the segment.
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// One past the highest address of the segment.
+    pub fn end(&self) -> VirtAddr {
+        VirtAddr::new(self.base.value() + self.size)
+    }
+
+    /// The permissions currently granted.
+    pub fn perms(&self) -> Perms {
+        self.perms
+    }
+
+    /// Replaces the permissions (the simulated `mprotect`).
+    pub fn set_perms(&mut self, perms: Perms) {
+        self.perms = perms;
+    }
+
+    /// Returns `true` if `addr` lies inside the segment.
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+
+    /// Returns `true` if the whole `len`-byte range starting at `addr` lies
+    /// inside the segment.
+    pub fn contains_range(&self, addr: VirtAddr, len: u64) -> bool {
+        if !self.contains(addr) {
+            return len == 0 && addr == self.end();
+        }
+        let available = u64::from(self.end().value()) - u64::from(addr.value());
+        len <= available
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{} {} {}", self.base, self.end(), self.perms, self.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg() -> Segment {
+        Segment::new(SegmentKind::Heap, VirtAddr::new(0x1000), 0x100, Perms::READ_WRITE)
+    }
+
+    #[test]
+    fn range_queries() {
+        let s = seg();
+        assert!(s.contains(VirtAddr::new(0x1000)));
+        assert!(s.contains(VirtAddr::new(0x10ff)));
+        assert!(!s.contains(VirtAddr::new(0x1100)));
+        assert!(s.contains_range(VirtAddr::new(0x1000), 0x100));
+        assert!(!s.contains_range(VirtAddr::new(0x1001), 0x100));
+        assert!(s.contains_range(VirtAddr::new(0x10ff), 1));
+    }
+
+    #[test]
+    fn empty_range_at_end_is_contained() {
+        let s = seg();
+        assert!(s.contains_range(s.end(), 0));
+        assert!(!s.contains_range(s.end(), 1));
+    }
+
+    #[test]
+    fn display_reads_like_proc_maps() {
+        assert_eq!(seg().to_string(), "0x00001000-0x00001100 rw- heap");
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_segment_rejected() {
+        Segment::new(SegmentKind::Data, VirtAddr::new(0), 0, Perms::NONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the address space")]
+    fn oversized_segment_rejected() {
+        Segment::new(SegmentKind::Data, VirtAddr::new(u32::MAX), 2, Perms::NONE);
+    }
+
+    #[test]
+    fn default_perms_model_nx() {
+        assert!(!SegmentKind::Stack.default_perms().executable());
+        assert!(SegmentKind::Text.default_perms().executable());
+        assert!(!SegmentKind::Rodata.default_perms().writable());
+    }
+
+    #[test]
+    fn set_perms_remaps() {
+        let mut s = seg();
+        s.set_perms(Perms::ALL);
+        assert!(s.perms().executable());
+    }
+}

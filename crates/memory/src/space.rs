@@ -1,0 +1,651 @@
+//! The simulated process address space.
+
+use std::fmt;
+
+use crate::{DataModel, MemoryError, Perms, Result, Segment, SegmentKind, VirtAddr, WriteTrace};
+
+/// Backing storage for one segment.
+#[derive(Debug, Clone)]
+struct Mapping {
+    segment: Segment,
+    bytes: Vec<u8>,
+}
+
+/// The memory image of a simulated C++ process.
+///
+/// Segments follow the classic 32-bit Linux ELF layout the paper references:
+/// text at the bottom, rodata/data/bss above it, heap growing up from the
+/// bss, and the stack just below `0xc000_0000` growing down.
+///
+/// Accessors enforce exactly what hardware enforces — mapping and
+/// permissions — and nothing more. Adjacent objects inside a writable
+/// segment have **no** protection from each other; that is the property
+/// placement-new attacks exploit.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_memory::{AddressSpace, SegmentKind};
+///
+/// # fn main() -> Result<(), pnew_memory::MemoryError> {
+/// let mut space = AddressSpace::ilp32();
+/// let p = space.segment(SegmentKind::Data).base();
+/// space.write_f64(p, 3.9)?;          // Student::gpa
+/// space.write_i32(p + 8, 2008)?;     // Student::year
+/// assert_eq!(space.read_f64(p)?, 3.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    mappings: Vec<Mapping>,
+    model: DataModel,
+    trace: WriteTrace,
+    /// When true, scalar accessors require natural alignment (off by
+    /// default: x86 tolerates unaligned scalar access, and the paper's
+    /// platform is x86).
+    strict_alignment: bool,
+}
+
+impl AddressSpace {
+    /// Creates the standard ILP32 process image used throughout the
+    /// reproduction (the paper's platform).
+    pub fn ilp32() -> Self {
+        AddressSpaceBuilder::new(DataModel::Ilp32).build()
+    }
+
+    /// Creates an LP64-model image for the layout-ablation experiment.
+    /// Addresses remain 32-bit; only type sizes/alignments change.
+    pub fn lp64() -> Self {
+        AddressSpaceBuilder::new(DataModel::Lp64).build()
+    }
+
+    /// The data model (type sizes) of this image.
+    pub fn data_model(&self) -> DataModel {
+        self.model
+    }
+
+    /// Returns the segment of the given kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image was built without that segment (the provided
+    /// builders always map all six).
+    pub fn segment(&self, kind: SegmentKind) -> &Segment {
+        &self
+            .mappings
+            .iter()
+            .find(|m| m.segment.kind() == kind)
+            .unwrap_or_else(|| panic!("segment {kind} is not mapped"))
+            .segment
+    }
+
+    /// Changes the permissions of a segment (the simulated `mprotect`),
+    /// e.g. making the stack executable for the code-injection experiment.
+    pub fn set_segment_perms(&mut self, kind: SegmentKind, perms: Perms) {
+        let m = self
+            .mappings
+            .iter_mut()
+            .find(|m| m.segment.kind() == kind)
+            .unwrap_or_else(|| panic!("segment {kind} is not mapped"));
+        m.segment.set_perms(perms);
+    }
+
+    /// Returns the segment containing `addr`, if any.
+    pub fn segment_containing(&self, addr: VirtAddr) -> Option<&Segment> {
+        self.mappings.iter().map(|m| &m.segment).find(|s| s.contains(addr))
+    }
+
+    /// The write trace.
+    pub fn trace(&self) -> &WriteTrace {
+        &self.trace
+    }
+
+    /// Mutable access to the write trace (to clear or disable it).
+    pub fn trace_mut(&mut self) -> &mut WriteTrace {
+        &mut self.trace
+    }
+
+    /// Enables strict natural-alignment checking on scalar accessors.
+    ///
+    /// Off by default: the paper's platform (x86) tolerates unaligned
+    /// access. The alignment-ablation experiment turns it on to model
+    /// alignment-faulting architectures.
+    pub fn set_strict_alignment(&mut self, strict: bool) {
+        self.strict_alignment = strict;
+    }
+
+    fn mapping_for(&self, addr: VirtAddr, len: u64, required: Perms) -> Result<&Mapping> {
+        let m = self
+            .mappings
+            .iter()
+            .find(|m| m.segment.contains(addr))
+            .ok_or(MemoryError::Unmapped { addr, len })?;
+        if !m.segment.contains_range(addr, len) {
+            return Err(MemoryError::OutOfSegment { segment: m.segment.kind(), addr, len });
+        }
+        if !m.segment.perms().allows(required) {
+            return Err(MemoryError::PermissionDenied {
+                segment: m.segment.kind(),
+                addr,
+                required,
+                granted: m.segment.perms(),
+            });
+        }
+        Ok(m)
+    }
+
+    fn mapping_for_mut(
+        &mut self,
+        addr: VirtAddr,
+        len: u64,
+        required: Perms,
+    ) -> Result<&mut Mapping> {
+        // Validate with the shared lookup first to keep the error paths in
+        // one place, then re-find mutably.
+        self.mapping_for(addr, len, required)?;
+        Ok(self.mappings.iter_mut().find(|m| m.segment.contains(addr)).expect("validated above"))
+    }
+
+    fn check_alignment(&self, addr: VirtAddr, align: u32) -> Result<()> {
+        if self.strict_alignment && !addr.is_aligned(align) {
+            return Err(MemoryError::Misaligned { addr, align });
+        }
+        Ok(())
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is unmapped, crosses a segment end, or the
+    /// segment is not readable.
+    pub fn read_bytes(&self, addr: VirtAddr, buf: &mut [u8]) -> Result<()> {
+        let m = self.mapping_for(addr, buf.len() as u64, Perms::READ)?;
+        let off = addr.offset_from(m.segment.base()) as usize;
+        buf.copy_from_slice(&m.bytes[off..off + buf.len()]);
+        Ok(())
+    }
+
+    /// Reads `len` bytes starting at `addr` into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`read_bytes`](Self::read_bytes).
+    pub fn read_vec(&self, addr: VirtAddr, len: u32) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len as usize];
+        self.read_bytes(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Writes `bytes` starting at `addr` and records the write in the trace.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is unmapped, crosses a segment end, or the
+    /// segment is not writable. **Succeeds silently** when the write merely
+    /// overflows one object into the next — the vulnerability under study.
+    pub fn write_bytes(&mut self, addr: VirtAddr, bytes: &[u8]) -> Result<()> {
+        let m = self.mapping_for_mut(addr, bytes.len() as u64, Perms::WRITE)?;
+        let off = addr.offset_from(m.segment.base()) as usize;
+        m.bytes[off..off + bytes.len()].copy_from_slice(bytes);
+        self.trace.record(addr, bytes.len() as u32);
+        Ok(())
+    }
+
+    /// Fills `len` bytes starting at `addr` with `value` (the simulated
+    /// `memset`, used by the §5.1 sanitization defense).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`write_bytes`](Self::write_bytes).
+    pub fn fill(&mut self, addr: VirtAddr, value: u8, len: u32) -> Result<()> {
+        let m = self.mapping_for_mut(addr, u64::from(len), Perms::WRITE)?;
+        let off = addr.offset_from(m.segment.base()) as usize;
+        m.bytes[off..off + len as usize].fill(value);
+        self.trace.record(addr, len);
+        Ok(())
+    }
+
+    /// Copies `len` bytes from `src` to `dst` (the simulated `memcpy`).
+    ///
+    /// # Errors
+    ///
+    /// Fails under the same conditions as a read of `src` plus a write of
+    /// `dst`.
+    pub fn copy(&mut self, dst: VirtAddr, src: VirtAddr, len: u32) -> Result<()> {
+        let data = self.read_vec(src, len)?;
+        self.write_bytes(dst, &data)
+    }
+
+    /// Checks that an instruction fetch at `addr` would be permitted and
+    /// returns the containing segment kind.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` is unmapped or the segment lacks execute permission
+    /// (the NX fault of §3.6.2).
+    pub fn check_exec(&self, addr: VirtAddr) -> Result<SegmentKind> {
+        let m = self.mapping_for(addr, 1, Perms::EXEC)?;
+        Ok(m.segment.kind())
+    }
+}
+
+/// Scalar accessors. All encodings are little-endian (x86).
+macro_rules! scalar_access {
+    ($read:ident, $write:ident, $ty:ty, $len:expr, $doc:expr) => {
+        #[doc = concat!("Reads a little-endian `", stringify!($ty), "` (", $doc, ").")]
+        ///
+        /// # Errors
+        ///
+        /// Fails on unmapped/unreadable ranges, and on misalignment when
+        /// strict alignment is enabled.
+        pub fn $read(&self, addr: VirtAddr) -> Result<$ty> {
+            self.check_alignment(addr, $len)?;
+            let mut buf = [0u8; $len];
+            self.read_bytes(addr, &mut buf)?;
+            Ok(<$ty>::from_le_bytes(buf))
+        }
+
+        #[doc = concat!("Writes a little-endian `", stringify!($ty), "` (", $doc, ").")]
+        ///
+        /// # Errors
+        ///
+        /// Fails on unmapped/unwritable ranges, and on misalignment when
+        /// strict alignment is enabled.
+        pub fn $write(&mut self, addr: VirtAddr, value: $ty) -> Result<()> {
+            self.check_alignment(addr, $len)?;
+            self.write_bytes(addr, &value.to_le_bytes())
+        }
+    };
+}
+
+impl AddressSpace {
+    scalar_access!(read_u8, write_u8, u8, 1, "a C `char`");
+    scalar_access!(read_u16, write_u16, u16, 2, "a C `short`");
+    scalar_access!(read_u32, write_u32, u32, 4, "a C `unsigned int`");
+    scalar_access!(read_u64, write_u64, u64, 8, "a C `unsigned long long`");
+    scalar_access!(read_i32, write_i32, i32, 4, "a C `int`");
+    scalar_access!(read_i64, write_i64, i64, 8, "a C `long long`");
+    scalar_access!(read_f64, write_f64, f64, 8, "a C `double`");
+
+    /// Reads a pointer-sized value according to the data model.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the sized scalar reads.
+    pub fn read_ptr(&self, addr: VirtAddr) -> Result<VirtAddr> {
+        match self.model.pointer_size() {
+            4 => Ok(VirtAddr::new(self.read_u32(addr)?)),
+            _ => {
+                // LP64 pointers occupy 8 bytes but the simulated address
+                // space is 32-bit wide; the upper half must be zero.
+                let wide = self.read_u64(addr)?;
+                Ok(VirtAddr::new(wide as u32))
+            }
+        }
+    }
+
+    /// Writes a pointer-sized value according to the data model.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the sized scalar writes.
+    pub fn write_ptr(&mut self, addr: VirtAddr, value: VirtAddr) -> Result<()> {
+        match self.model.pointer_size() {
+            4 => self.write_u32(addr, value.value()),
+            _ => self.write_u64(addr, u64::from(value.value())),
+        }
+    }
+
+    /// Reads a NUL-terminated C string of at most `max` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any byte of the scan is unreadable.
+    pub fn read_cstr(&self, addr: VirtAddr, max: u32) -> Result<String> {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let b = self.read_u8(addr.checked_add(u64::from(i))?)?;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        Ok(String::from_utf8_lossy(&out).into_owned())
+    }
+}
+
+impl fmt::Display for AddressSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "address space ({})", self.model)?;
+        for m in &self.mappings {
+            writeln!(f, "  {}", m.segment)?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for non-default process images.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_memory::{AddressSpaceBuilder, DataModel, SegmentKind};
+///
+/// let space = AddressSpaceBuilder::new(DataModel::Ilp32)
+///     .segment_size(SegmentKind::Heap, 4096)
+///     .build();
+/// assert_eq!(space.segment(SegmentKind::Heap).size(), 4096);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpaceBuilder {
+    model: DataModel,
+    sizes: [(SegmentKind, u32); 6],
+    trace_capacity: usize,
+    aslr_seed: Option<u64>,
+}
+
+impl AddressSpaceBuilder {
+    /// Default segment sizes (bytes) of the standard image.
+    const DEFAULT_SIZES: [(SegmentKind, u32); 6] = [
+        (SegmentKind::Text, 0x1_0000),
+        (SegmentKind::Rodata, 0x1_0000),
+        (SegmentKind::Data, 0x1_0000),
+        (SegmentKind::Bss, 0x1_0000),
+        (SegmentKind::Heap, 0x10_0000),
+        (SegmentKind::Stack, 0x10_0000),
+    ];
+
+    /// Base address of the text segment in the standard 32-bit Linux image.
+    const TEXT_BASE: u32 = 0x0804_8000;
+
+    /// Top of the stack in the standard 32-bit Linux image.
+    const STACK_TOP: u32 = 0xc000_0000;
+
+    /// Starts a builder for the given data model.
+    pub fn new(model: DataModel) -> Self {
+        AddressSpaceBuilder {
+            model,
+            sizes: Self::DEFAULT_SIZES,
+            trace_capacity: WriteTrace::DEFAULT_CAPACITY,
+            aslr_seed: None,
+        }
+    }
+
+    /// Enables address-space layout randomization: segment bases and the
+    /// stack top are slid by seeded page-granular amounts (up to ~8 MiB),
+    /// as a mainline Linux loader would. The paper's platform predates
+    /// default ASLR; this switch powers the E24 ablation.
+    pub fn aslr(mut self, seed: u64) -> Self {
+        self.aslr_seed = Some(seed);
+        self
+    }
+
+    /// Overrides the size of one segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero or not 16-byte aligned.
+    pub fn segment_size(mut self, kind: SegmentKind, size: u32) -> Self {
+        assert!(
+            size > 0 && size.is_multiple_of(16),
+            "segment size must be a positive multiple of 16"
+        );
+        for slot in &mut self.sizes {
+            if slot.0 == kind {
+                slot.1 = size;
+            }
+        }
+        self
+    }
+
+    /// Overrides the bound on retained write-trace records.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Builds the address space.
+    pub fn build(&self) -> AddressSpace {
+        // Page-granular slides from a small deterministic generator
+        // (splitmix64), so the memory crate stays dependency-free.
+        let mut rng_state = self.aslr_seed.unwrap_or(0);
+        let mut slide_pages = |max_pages: u64| -> u32 {
+            if self.aslr_seed.is_none() {
+                return 0;
+            }
+            rng_state = rng_state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = rng_state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            ((z % max_pages) as u32) * 0x1000
+        };
+
+        let mut mappings = Vec::with_capacity(6);
+        let mut cursor = VirtAddr::new(Self::TEXT_BASE) + slide_pages(0x800);
+        for (kind, size) in self.sizes {
+            let (base, sz) = if kind == SegmentKind::Stack {
+                (VirtAddr::new(Self::STACK_TOP - size) - slide_pages(0x800), size)
+            } else {
+                let b = cursor + slide_pages(0x100);
+                cursor = (b + size).align_up(0x1000);
+                (b, size)
+            };
+            // Leave an unmapped guard gap between heap and stack implicitly:
+            // the heap region ends far below the stack base.
+            let segment = Segment::new(kind, base, sz, kind.default_perms());
+            mappings.push(Mapping { segment, bytes: vec![0u8; sz as usize] });
+        }
+        AddressSpace {
+            mappings,
+            model: self.model,
+            trace: WriteTrace::with_capacity(self.trace_capacity),
+            strict_alignment: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_image_has_all_segments_in_order() {
+        let space = AddressSpace::ilp32();
+        let mut prev_end = VirtAddr::NULL;
+        for kind in SegmentKind::ALL {
+            let s = space.segment(kind);
+            assert!(s.base() >= prev_end, "{kind} overlaps previous segment");
+            prev_end = s.end();
+        }
+        assert_eq!(space.segment(SegmentKind::Text).base().value(), 0x0804_8000);
+        assert_eq!(space.segment(SegmentKind::Stack).end().value(), 0xc000_0000);
+    }
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut s = AddressSpace::ilp32();
+        let p = s.segment(SegmentKind::Data).base();
+        s.write_u8(p, 0xab).unwrap();
+        assert_eq!(s.read_u8(p).unwrap(), 0xab);
+        s.write_u16(p, 0xbeef).unwrap();
+        assert_eq!(s.read_u16(p).unwrap(), 0xbeef);
+        s.write_u32(p, 0xdead_beef).unwrap();
+        assert_eq!(s.read_u32(p).unwrap(), 0xdead_beef);
+        s.write_u64(p, 0x0123_4567_89ab_cdef).unwrap();
+        assert_eq!(s.read_u64(p).unwrap(), 0x0123_4567_89ab_cdef);
+        s.write_i32(p, -2009).unwrap();
+        assert_eq!(s.read_i32(p).unwrap(), -2009);
+        s.write_i64(p, i64::MIN + 1).unwrap();
+        assert_eq!(s.read_i64(p).unwrap(), i64::MIN + 1);
+        s.write_f64(p, 4.0).unwrap();
+        assert_eq!(s.read_f64(p).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn little_endian_encoding() {
+        let mut s = AddressSpace::ilp32();
+        let p = s.segment(SegmentKind::Data).base();
+        s.write_u32(p, 0x0403_0201).unwrap();
+        assert_eq!(s.read_vec(p, 4).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pointer_width_follows_data_model() {
+        let mut s32 = AddressSpace::ilp32();
+        let p = s32.segment(SegmentKind::Data).base();
+        s32.write_ptr(p, VirtAddr::new(0x1234)).unwrap();
+        assert_eq!(s32.read_u32(p).unwrap(), 0x1234);
+
+        let mut s64 = AddressSpace::lp64();
+        let p = s64.segment(SegmentKind::Data).base();
+        s64.write_ptr(p, VirtAddr::new(0x1234)).unwrap();
+        assert_eq!(s64.read_u64(p).unwrap(), 0x1234);
+        assert_eq!(s64.read_ptr(p).unwrap(), VirtAddr::new(0x1234));
+    }
+
+    #[test]
+    fn unmapped_access_faults() {
+        let s = AddressSpace::ilp32();
+        let gap = VirtAddr::new(0x5000_0000); // between heap and stack
+        assert!(matches!(s.read_u32(gap), Err(MemoryError::Unmapped { .. })));
+    }
+
+    #[test]
+    fn cross_segment_access_faults() {
+        let mut s = AddressSpace::ilp32();
+        let data = s.segment(SegmentKind::Data);
+        let last = data.end() - 2;
+        assert!(matches!(
+            s.write_u32(last, 1),
+            Err(MemoryError::OutOfSegment { segment: SegmentKind::Data, .. })
+        ));
+    }
+
+    #[test]
+    fn rodata_rejects_writes_text_rejects_reads_ok() {
+        let mut s = AddressSpace::ilp32();
+        let ro = s.segment(SegmentKind::Rodata).base();
+        assert!(matches!(s.write_u8(ro, 1), Err(MemoryError::PermissionDenied { .. })));
+        // text is readable
+        let tx = s.segment(SegmentKind::Text).base();
+        assert!(s.read_u8(tx).is_ok());
+    }
+
+    #[test]
+    fn nx_stack_rejects_exec_until_remapped() {
+        let mut s = AddressSpace::ilp32();
+        let sp = s.segment(SegmentKind::Stack).base();
+        assert!(matches!(s.check_exec(sp), Err(MemoryError::PermissionDenied { .. })));
+        s.set_segment_perms(SegmentKind::Stack, Perms::ALL);
+        assert_eq!(s.check_exec(sp).unwrap(), SegmentKind::Stack);
+    }
+
+    #[test]
+    fn adjacent_overflow_is_silent() {
+        // The core property of the paper: a write that overflows one
+        // object into its neighbour within a segment succeeds.
+        let mut s = AddressSpace::ilp32();
+        let bss = s.segment(SegmentKind::Bss).base();
+        // "object" A at bss..bss+16, "object" B at bss+16..bss+32
+        s.write_bytes(bss, &[0xaa; 24]).unwrap(); // 8 bytes into B
+        assert_eq!(s.read_u64(bss + 16).unwrap(), 0xaaaa_aaaa_aaaa_aaaa);
+    }
+
+    #[test]
+    fn fill_and_copy() {
+        let mut s = AddressSpace::ilp32();
+        let p = s.segment(SegmentKind::Heap).base();
+        s.fill(p, 0x41, 16).unwrap();
+        s.copy(p + 16, p, 16).unwrap();
+        assert_eq!(s.read_vec(p + 16, 16).unwrap(), vec![0x41; 16]);
+    }
+
+    #[test]
+    fn cstr_reads_to_nul_or_max() {
+        let mut s = AddressSpace::ilp32();
+        let p = s.segment(SegmentKind::Heap).base();
+        s.write_bytes(p, b"abc\0def").unwrap();
+        assert_eq!(s.read_cstr(p, 16).unwrap(), "abc");
+        assert_eq!(s.read_cstr(p, 2).unwrap(), "ab");
+    }
+
+    #[test]
+    fn trace_records_writes() {
+        let mut s = AddressSpace::ilp32();
+        let p = s.segment(SegmentKind::Bss).base();
+        s.trace_mut().clear();
+        s.write_u32(p, 1).unwrap();
+        s.write_u32(p + 8, 2).unwrap();
+        assert_eq!(s.trace().total_writes(), 2);
+        assert_eq!(s.trace().writes_to(p + 8, 4).len(), 1);
+    }
+
+    #[test]
+    fn strict_alignment_faults_unaligned() {
+        let mut s = AddressSpace::ilp32();
+        let p = s.segment(SegmentKind::Data).base();
+        assert!(s.read_u32(p + 1).is_ok());
+        s.set_strict_alignment(true);
+        assert!(matches!(s.read_u32(p + 1), Err(MemoryError::Misaligned { align: 4, .. })));
+        assert!(matches!(s.write_f64(p + 4, 1.0), Err(MemoryError::Misaligned { align: 8, .. })));
+    }
+
+    #[test]
+    fn aslr_slides_are_seeded_and_page_aligned() {
+        let a = AddressSpaceBuilder::new(DataModel::Ilp32).aslr(1).build();
+        let b = AddressSpaceBuilder::new(DataModel::Ilp32).aslr(1).build();
+        let c = AddressSpaceBuilder::new(DataModel::Ilp32).aslr(2).build();
+        let plain = AddressSpace::ilp32();
+        for kind in SegmentKind::ALL {
+            assert_eq!(a.segment(kind).base(), b.segment(kind).base(), "{kind}");
+            assert!(a.segment(kind).base().is_aligned(0x1000) || kind == SegmentKind::Stack);
+        }
+        // Different seeds move at least some segments; ASLR differs from
+        // the fixed layout.
+        assert_ne!(a.segment(SegmentKind::Text).base(), plain.segment(SegmentKind::Text).base());
+        assert_ne!(
+            (a.segment(SegmentKind::Stack).base(), a.segment(SegmentKind::Heap).base()),
+            (c.segment(SegmentKind::Stack).base(), c.segment(SegmentKind::Heap).base())
+        );
+        // Segments still do not overlap and stay ordered below the stack.
+        let mut prev_end = VirtAddr::NULL;
+        for kind in SegmentKind::ALL {
+            let s = a.segment(kind);
+            assert!(s.base() >= prev_end, "{kind} overlaps");
+            prev_end = s.end();
+        }
+    }
+
+    #[test]
+    fn builder_overrides_sizes() {
+        let s = AddressSpaceBuilder::new(DataModel::Ilp32)
+            .segment_size(SegmentKind::Heap, 4096)
+            .segment_size(SegmentKind::Stack, 8192)
+            .build();
+        assert_eq!(s.segment(SegmentKind::Heap).size(), 4096);
+        assert_eq!(s.segment(SegmentKind::Stack).size(), 8192);
+        assert_eq!(s.segment(SegmentKind::Stack).end().value(), 0xc000_0000);
+    }
+
+    #[test]
+    fn segment_containing_finds_the_right_segment() {
+        let s = AddressSpace::ilp32();
+        let heap = s.segment(SegmentKind::Heap);
+        assert_eq!(
+            s.segment_containing(heap.base() + 10).map(|x| x.kind()),
+            Some(SegmentKind::Heap)
+        );
+        assert_eq!(s.segment_containing(VirtAddr::new(0x100)), None);
+    }
+
+    #[test]
+    fn display_lists_segments() {
+        let s = AddressSpace::ilp32();
+        let text = s.to_string();
+        assert!(text.contains("stack"));
+        assert!(text.contains("ILP32"));
+    }
+}

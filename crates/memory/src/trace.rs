@@ -1,0 +1,195 @@
+//! Write tracing.
+//!
+//! Experiments in the reproduction need to *show* which victim words an
+//! overflow touched (e.g. "`ssn[1]` overwrote `n`", §3.7.2). The address
+//! space therefore records every write in a [`WriteTrace`] that scenarios
+//! can query and reset.
+
+use std::fmt;
+
+use crate::VirtAddr;
+
+/// A single recorded write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRecord {
+    /// First byte written.
+    pub addr: VirtAddr,
+    /// Number of bytes written.
+    pub len: u32,
+    /// Monotonic sequence number (0 = first write since the last clear).
+    pub seq: u64,
+}
+
+impl WriteRecord {
+    /// Returns `true` if the write overlaps `[addr, addr + len)`.
+    pub fn overlaps(&self, addr: VirtAddr, len: u32) -> bool {
+        let a0 = u64::from(self.addr.value());
+        let a1 = a0 + u64::from(self.len);
+        let b0 = u64::from(addr.value());
+        let b1 = b0 + u64::from(len);
+        a0 < b1 && b0 < a1
+    }
+}
+
+impl fmt::Display for WriteRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} write {} bytes at {}", self.seq, self.len, self.addr)
+    }
+}
+
+/// An append-only log of writes to an
+/// [`AddressSpace`](crate::AddressSpace).
+///
+/// The trace is bounded: once `capacity` records are stored, older records
+/// are discarded (attack scenarios are short; the bound exists so the DoS
+/// experiments with billions of iterations do not exhaust host memory).
+#[derive(Debug, Clone)]
+pub struct WriteTrace {
+    records: std::collections::VecDeque<WriteRecord>,
+    capacity: usize,
+    next_seq: u64,
+    enabled: bool,
+}
+
+impl WriteTrace {
+    /// Default bound on retained records.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates a trace retaining at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        WriteTrace {
+            records: std::collections::VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            next_seq: 0,
+            enabled: true,
+        }
+    }
+
+    /// Creates a trace with [`WriteTrace::DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Records a write. No-op while the trace is disabled.
+    pub fn record(&mut self, addr: VirtAddr, len: u32) {
+        if !self.enabled {
+            return;
+        }
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(WriteRecord { addr, len, seq: self.next_seq });
+        self.next_seq += 1;
+    }
+
+    /// Total writes observed since the last [`clear`](Self::clear),
+    /// including records that were evicted by the capacity bound.
+    pub fn total_writes(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Iterates over the retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &WriteRecord> {
+        self.records.iter()
+    }
+
+    /// Records that overlap the `len` bytes at `addr` — "who wrote to the
+    /// victim?".
+    pub fn writes_to(&self, addr: VirtAddr, len: u32) -> Vec<WriteRecord> {
+        self.iter().filter(|r| r.overlaps(addr, len)).copied().collect()
+    }
+
+    /// Discards all records and resets the sequence counter.
+    pub fn clear(&mut self) {
+        self.records.clear();
+        self.next_seq = 0;
+    }
+
+    /// Enables or disables recording (e.g. during bulk scenario setup).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Returns `true` if recording is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+impl Default for WriteTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = WriteTrace::new();
+        t.record(VirtAddr::new(0x10), 4);
+        t.record(VirtAddr::new(0x14), 4);
+        let seqs: Vec<u64> = t.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1]);
+        assert_eq!(t.total_writes(), 2);
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let r = WriteRecord { addr: VirtAddr::new(0x10), len: 4, seq: 0 };
+        assert!(r.overlaps(VirtAddr::new(0x12), 1));
+        assert!(r.overlaps(VirtAddr::new(0x0e), 4));
+        assert!(!r.overlaps(VirtAddr::new(0x14), 4));
+        assert!(!r.overlaps(VirtAddr::new(0x0c), 4));
+    }
+
+    #[test]
+    fn writes_to_filters_victims() {
+        let mut t = WriteTrace::new();
+        t.record(VirtAddr::new(0x10), 4); // misses victim
+        t.record(VirtAddr::new(0x20), 4); // hits victim
+        let hits = t.writes_to(VirtAddr::new(0x20), 4);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].seq, 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_but_counts_all() {
+        let mut t = WriteTrace::with_capacity(2);
+        for i in 0..5u32 {
+            t.record(VirtAddr::new(i * 4), 4);
+        }
+        assert_eq!(t.iter().count(), 2);
+        assert_eq!(t.total_writes(), 5);
+        assert_eq!(t.iter().next().unwrap().seq, 3);
+    }
+
+    #[test]
+    fn disable_suppresses_recording() {
+        let mut t = WriteTrace::new();
+        t.set_enabled(false);
+        assert!(!t.is_enabled());
+        t.record(VirtAddr::new(0), 4);
+        assert_eq!(t.total_writes(), 0);
+        t.set_enabled(true);
+        t.record(VirtAddr::new(0), 4);
+        assert_eq!(t.total_writes(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = WriteTrace::new();
+        t.record(VirtAddr::new(0), 1);
+        t.clear();
+        assert_eq!(t.total_writes(), 0);
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn display() {
+        let r = WriteRecord { addr: VirtAddr::new(0x10), len: 4, seq: 7 };
+        assert_eq!(r.to_string(), "#7 write 4 bytes at 0x00000010");
+    }
+}

@@ -1,0 +1,373 @@
+//! Class definitions and the registry.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::layout::{LayoutError, LayoutPolicy, ObjectLayout};
+use crate::types::CxxType;
+use crate::vtable::VTable;
+
+/// Identifier of a class registered in a [`ClassRegistry`].
+///
+/// Ids are handed out in registration order, and a class may only reference
+/// classes registered before it (as bases or field types). That ordering
+/// makes the class graph acyclic by construction, which keeps layout
+/// computation total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(u32);
+
+impl ClassId {
+    /// Creates an id from a raw index (mainly for tests and serialization).
+    pub const fn from_index(index: u32) -> Self {
+        ClassId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "class#{}", self.0)
+    }
+}
+
+/// A field declaration inside a class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    name: String,
+    ty: CxxType,
+}
+
+impl FieldDef {
+    /// The field name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The field type.
+    pub fn ty(&self) -> &CxxType {
+        &self.ty
+    }
+}
+
+/// A registered class definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDef {
+    id: ClassId,
+    name: String,
+    bases: Vec<ClassId>,
+    fields: Vec<FieldDef>,
+    /// Names of virtual methods *declared or overridden* by this class, in
+    /// declaration order.
+    virtual_methods: Vec<String>,
+}
+
+impl ClassDef {
+    /// The class id.
+    pub fn id(&self) -> ClassId {
+        self.id
+    }
+
+    /// The class name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Direct base classes, in declaration order.
+    pub fn bases(&self) -> &[ClassId] {
+        &self.bases
+    }
+
+    /// Fields declared by this class (not including inherited ones).
+    pub fn fields(&self) -> &[FieldDef] {
+        &self.fields
+    }
+
+    /// Virtual methods declared or overridden by this class.
+    pub fn virtual_methods(&self) -> &[String] {
+        &self.virtual_methods
+    }
+}
+
+/// Interns class definitions and computes layouts and vtables.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_object::{ClassRegistry, CxxType};
+///
+/// let mut reg = ClassRegistry::new();
+/// let student = reg
+///     .class("Student")
+///     .field("gpa", CxxType::Double)
+///     .register();
+/// assert_eq!(reg.def(student).name(), "Student");
+/// assert_eq!(reg.by_name("Student"), Some(student));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ClassRegistry {
+    classes: Vec<ClassDef>,
+    by_name: HashMap<String, ClassId>,
+}
+
+impl ClassRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts defining a class with the given name.
+    ///
+    /// # Panics
+    ///
+    /// The terminal [`ClassBuilder::register`] panics if the name is already
+    /// taken.
+    pub fn class(&mut self, name: &str) -> ClassBuilder<'_> {
+        ClassBuilder {
+            registry: self,
+            name: name.to_owned(),
+            bases: Vec::new(),
+            fields: Vec::new(),
+            virtual_methods: Vec::new(),
+        }
+    }
+
+    /// Looks a class up by name.
+    pub fn by_name(&self, name: &str) -> Option<ClassId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Returns the definition of a class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this registry.
+    pub fn def(&self, id: ClassId) -> &ClassDef {
+        &self.classes[id.0 as usize]
+    }
+
+    /// Number of registered classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Returns `true` if no classes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Iterates over all class definitions in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &ClassDef> {
+        self.classes.iter()
+    }
+
+    /// Returns `true` if the class has (or inherits) virtual methods and
+    /// therefore carries vtable pointer(s).
+    pub fn is_polymorphic(&self, id: ClassId) -> bool {
+        let def = self.def(id);
+        !def.virtual_methods.is_empty() || def.bases.iter().any(|&b| self.is_polymorphic(b))
+    }
+
+    /// Computes the object layout of `id` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if a field path or class reference cannot be
+    /// resolved (not expected for registry-built classes).
+    pub fn layout(&self, id: ClassId, policy: &LayoutPolicy) -> Result<ObjectLayout, LayoutError> {
+        ObjectLayout::compute(self, id, policy)
+    }
+
+    /// Computes the virtual table of `id`: inherited slots first (primary
+    /// base order), overridden in place, then slots introduced by `id`.
+    pub fn vtable(&self, id: ClassId) -> VTable {
+        VTable::compute(self, id)
+    }
+
+    /// Size of an instance under `policy` — the simulated `sizeof()`.
+    ///
+    /// The paper's §5.1 prescribes `sizeof()` over manual estimation
+    /// precisely because the compiler inserts hidden members (the vptr);
+    /// this method is that operator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LayoutError`] from layout computation.
+    pub fn size_of(&self, id: ClassId, policy: &LayoutPolicy) -> Result<u32, LayoutError> {
+        Ok(self.layout(id, policy)?.size())
+    }
+}
+
+/// Builder returned by [`ClassRegistry::class`].
+#[derive(Debug)]
+pub struct ClassBuilder<'r> {
+    registry: &'r mut ClassRegistry,
+    name: String,
+    bases: Vec<ClassId>,
+    fields: Vec<FieldDef>,
+    virtual_methods: Vec<String>,
+}
+
+impl ClassBuilder<'_> {
+    /// Adds a base class. The first base is the primary base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is not already registered (which also rules out
+    /// inheritance cycles).
+    pub fn base(mut self, base: ClassId) -> Self {
+        assert!(
+            (base.0 as usize) < self.registry.classes.len(),
+            "base {base} must be registered before its subclass"
+        );
+        self.bases.push(base);
+        self
+    }
+
+    /// Adds a field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a class-typed field references an unregistered class or if
+    /// the field name repeats within this class.
+    pub fn field(mut self, name: &str, ty: CxxType) -> Self {
+        if let Some(cid) = ty.as_class() {
+            assert!(
+                (cid.0 as usize) < self.registry.classes.len(),
+                "field {name}: class {cid} must be registered first"
+            );
+        }
+        assert!(self.fields.iter().all(|f| f.name != name), "duplicate field name {name}");
+        self.fields.push(FieldDef { name: name.to_owned(), ty });
+        self
+    }
+
+    /// Declares (or overrides) a virtual method by name.
+    pub fn virtual_method(mut self, name: &str) -> Self {
+        if !self.virtual_methods.iter().any(|m| m == name) {
+            self.virtual_methods.push(name.to_owned());
+        }
+        self
+    }
+
+    /// Registers the class and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class name is already registered.
+    pub fn register(self) -> ClassId {
+        assert!(
+            !self.registry.by_name.contains_key(&self.name),
+            "class {} is already registered",
+            self.name
+        );
+        let id = ClassId(self.registry.classes.len() as u32);
+        self.registry.by_name.insert(self.name.clone(), id);
+        self.registry.classes.push(ClassDef {
+            id,
+            name: self.name,
+            bases: self.bases,
+            fields: self.fields,
+            virtual_methods: self.virtual_methods,
+        });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn student_pair(reg: &mut ClassRegistry) -> (ClassId, ClassId) {
+        let s = reg
+            .class("Student")
+            .field("gpa", CxxType::Double)
+            .field("year", CxxType::Int)
+            .field("semester", CxxType::Int)
+            .register();
+        let g = reg
+            .class("GradStudent")
+            .base(s)
+            .field("ssn", CxxType::array(CxxType::Int, 3))
+            .register();
+        (s, g)
+    }
+
+    #[test]
+    fn registration_and_lookup() {
+        let mut reg = ClassRegistry::new();
+        let (s, g) = student_pair(&mut reg);
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_empty());
+        assert_eq!(reg.by_name("Student"), Some(s));
+        assert_eq!(reg.by_name("GradStudent"), Some(g));
+        assert_eq!(reg.by_name("Nope"), None);
+        assert_eq!(reg.def(g).bases(), &[s]);
+        assert_eq!(reg.def(g).fields().len(), 1);
+        assert_eq!(reg.def(g).fields()[0].name(), "ssn");
+        assert_eq!(reg.iter().count(), 2);
+    }
+
+    #[test]
+    fn polymorphism_is_inherited() {
+        let mut reg = ClassRegistry::new();
+        let s =
+            reg.class("Student").field("gpa", CxxType::Double).virtual_method("getInfo").register();
+        let g = reg.class("GradStudent").base(s).register();
+        let plain = reg.class("Plain").field("x", CxxType::Int).register();
+        assert!(reg.is_polymorphic(s));
+        assert!(reg.is_polymorphic(g));
+        assert!(!reg.is_polymorphic(plain));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_names_rejected() {
+        let mut reg = ClassRegistry::new();
+        reg.class("A").register();
+        reg.class("A").register();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate field name")]
+    fn duplicate_fields_rejected() {
+        let mut reg = ClassRegistry::new();
+        reg.class("A").field("x", CxxType::Int).field("x", CxxType::Int).register();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be registered before")]
+    fn forward_base_reference_rejected() {
+        let mut reg = ClassRegistry::new();
+        reg.class("A").base(ClassId::from_index(5)).register();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be registered first")]
+    fn forward_field_class_rejected() {
+        let mut reg = ClassRegistry::new();
+        reg.class("A").field("f", CxxType::Class(ClassId::from_index(9))).register();
+    }
+
+    #[test]
+    fn virtual_method_dedup() {
+        let mut reg = ClassRegistry::new();
+        let a = reg.class("A").virtual_method("getInfo").virtual_method("getInfo").register();
+        assert_eq!(reg.def(a).virtual_methods().len(), 1);
+    }
+
+    #[test]
+    fn sizeof_counts_hidden_members() {
+        // §5.1: "Compilers often add member variables such as the virtual
+        // table pointer to a class, which influences the size of objects."
+        let mut reg = ClassRegistry::new();
+        let plain = reg.class("Plain").field("x", CxxType::Int).register();
+        let poly = reg.class("Poly").field("x", CxxType::Int).virtual_method("m").register();
+        let policy = LayoutPolicy::paper();
+        assert_eq!(reg.size_of(plain, &policy).unwrap(), 4);
+        assert_eq!(reg.size_of(poly, &policy).unwrap(), 8); // vptr + x
+    }
+}

@@ -1,0 +1,732 @@
+//! Object layout computation.
+//!
+//! The engine follows the shape of the Itanium C++ ABI as gcc implements it
+//! on the paper's platform, restricted to the constructs the paper uses:
+//!
+//! * the vtable pointer is the **first entry** of a polymorphic object
+//!   ("The C++ compiler adds a pointer to the virtual table `*__vptr` in
+//!   each instance as the *first entry*" — §3.8.2);
+//! * base subobjects come before the derived class's own fields, so a
+//!   subclass's extra members sit **past the end** of the superclass
+//!   footprint (`ssn[]` at offset `sizeof(Student)` — the geometry every
+//!   attack in §3 relies on);
+//! * fields are placed in declaration order at their natural alignment,
+//!   with tail padding up to the object alignment;
+//! * under multiple inheritance, polymorphic non-primary bases keep their
+//!   own vtable pointer inside their subobject ("In case of multiple
+//!   inheritance, there are more than one vtable pointers in a given
+//!   instance" — §3.8.2).
+//!
+//! Simplifications relative to the full ABI (documented in DESIGN.md): no
+//! virtual bases, no empty-base-optimization, and a non-polymorphic primary
+//! base of a polymorphic class is placed after the new vptr rather than
+//! fused with it. None of the paper's programs exercise those corners.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::class::{ClassId, ClassRegistry};
+use crate::types::CxxType;
+use pnew_memory::DataModel;
+
+/// Layout rules of the simulated platform.
+///
+/// [`LayoutPolicy::paper`] reproduces the environment of the paper's
+/// experiments (Ubuntu 10.04 / gcc 4.4.3 / x86): ILP32 type sizes, with
+/// `double` (and objects containing one) aligned to 8 bytes — the alignment
+/// gcc gives stack objects on that platform and the value that makes the
+/// §3.7.2 padding observation come out exactly as printed. The strict i386
+/// struct ABI value (4) is available via [`with_double_align`] for the
+/// layout-ablation experiment E22.
+///
+/// [`with_double_align`]: LayoutPolicy::with_double_align
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayoutPolicy {
+    model: DataModel,
+    double_align: u32,
+}
+
+impl LayoutPolicy {
+    /// The paper's platform: ILP32 with 8-byte-aligned doubles.
+    pub fn paper() -> Self {
+        LayoutPolicy { model: DataModel::Ilp32, double_align: 8 }
+    }
+
+    /// Strict i386 System V struct ABI: ILP32 with 4-byte-aligned doubles.
+    pub fn i386_abi() -> Self {
+        LayoutPolicy { model: DataModel::Ilp32, double_align: 4 }
+    }
+
+    /// x86-64 (LP64) rules, for the ablation experiment.
+    pub fn lp64() -> Self {
+        LayoutPolicy { model: DataModel::Lp64, double_align: 8 }
+    }
+
+    /// Overrides the in-struct alignment of `double`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn with_double_align(mut self, align: u32) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.double_align = align;
+        self
+    }
+
+    /// The data model.
+    pub fn model(&self) -> DataModel {
+        self.model
+    }
+
+    /// In-struct alignment of `double`.
+    pub fn double_align(&self) -> u32 {
+        self.double_align
+    }
+
+    /// Size of a pointer (and of the vptr slot).
+    pub fn pointer_size(&self) -> u32 {
+        self.model.pointer_size()
+    }
+}
+
+impl Default for LayoutPolicy {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl fmt::Display for LayoutPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (double align {})", self.model, self.double_align)
+    }
+}
+
+/// Error from layout computation or field-path resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A field path did not resolve in the layout.
+    UnknownField {
+        /// Name of the class whose layout was queried.
+        class: String,
+        /// The path that failed to resolve.
+        path: String,
+    },
+    /// An index like `ssn[7]` exceeded the array bound.
+    IndexOutOfBounds {
+        /// The path containing the index.
+        path: String,
+        /// The offending index.
+        index: u32,
+        /// The array length.
+        len: u32,
+    },
+    /// Indexing was applied to a non-array field.
+    NotAnArray {
+        /// The path that was indexed.
+        path: String,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::UnknownField { class, path } => {
+                write!(f, "class {class} has no field at path {path:?}")
+            }
+            LayoutError::IndexOutOfBounds { path, index, len } => {
+                write!(f, "index {index} in {path:?} exceeds array length {len}")
+            }
+            LayoutError::NotAnArray { path } => {
+                write!(f, "field {path:?} is not an array")
+            }
+        }
+    }
+}
+
+impl Error for LayoutError {}
+
+/// One addressable field in a computed layout, including fields inherited
+/// from bases and fields of embedded class-typed members (flattened with
+/// dotted paths such as `stud1.gpa`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldSlot {
+    path: String,
+    offset: u32,
+    size: u32,
+    align: u32,
+    ty: CxxType,
+}
+
+impl FieldSlot {
+    /// Dotted path of the field from the object base.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Byte offset from the object base.
+    pub fn offset(&self) -> u32 {
+        self.offset
+    }
+
+    /// Size of the field in bytes.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Alignment of the field in bytes.
+    pub fn align(&self) -> u32 {
+        self.align
+    }
+
+    /// The field type.
+    pub fn ty(&self) -> &CxxType {
+        &self.ty
+    }
+}
+
+/// A vtable-pointer slot inside an instance: its offset and the class whose
+/// vtable the slot holds after correct construction. For the object's own
+/// (and inherited-primary) vptr this is the most-derived class; for an
+/// embedded polymorphic member it is the member's class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VptrSlot {
+    /// Byte offset of the slot from the object base.
+    pub offset: u32,
+    /// Class whose vtable address belongs in the slot.
+    pub table_class: ClassId,
+}
+
+/// The computed memory layout of a class instance.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_object::{ClassRegistry, CxxType, LayoutPolicy};
+///
+/// let mut reg = ClassRegistry::new();
+/// let student = reg
+///     .class("Student")
+///     .field("gpa", CxxType::Double)
+///     .field("year", CxxType::Int)
+///     .field("semester", CxxType::Int)
+///     .virtual_method("getInfo")
+///     .register();
+/// let layout = reg.layout(student, &LayoutPolicy::paper()).unwrap();
+/// // vptr first (§3.8.2), then gpa at the next 8-aligned offset.
+/// assert_eq!(layout.vptr_offsets(), &[0]);
+/// assert_eq!(layout.offset_of("gpa").unwrap(), 8);
+/// assert_eq!(layout.size(), 24);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectLayout {
+    class: ClassId,
+    class_name: String,
+    size: u32,
+    align: u32,
+    vptr_slots: Vec<VptrSlot>,
+    slots: Vec<FieldSlot>,
+    base_offsets: Vec<(ClassId, u32)>,
+    payload_end: u32,
+}
+
+impl ObjectLayout {
+    /// Computes the layout of `id` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for registry-built classes; the `Result` is
+    /// kept for forward compatibility with richer type graphs.
+    pub fn compute(
+        reg: &ClassRegistry,
+        id: ClassId,
+        policy: &LayoutPolicy,
+    ) -> Result<ObjectLayout, LayoutError> {
+        let def = reg.def(id);
+        let ptr = policy.pointer_size();
+        let polymorphic = reg.is_polymorphic(id);
+        let primary_is_polymorphic = def.bases().first().is_some_and(|&b| reg.is_polymorphic(b));
+
+        let mut offset: u32 = 0;
+        let mut align: u32 = 1;
+        let mut vptr_slots: Vec<VptrSlot> = Vec::new();
+        let mut slots: Vec<FieldSlot> = Vec::new();
+        let mut base_offsets = Vec::new();
+
+        if polymorphic && !primary_is_polymorphic {
+            vptr_slots.push(VptrSlot { offset: 0, table_class: id });
+            offset = ptr;
+            align = align.max(ptr);
+        }
+
+        for &base in def.bases() {
+            let bl = ObjectLayout::compute(reg, base, policy)?;
+            let boff = next_offset(offset, bl.align);
+            align = align.max(bl.align);
+            for v in &bl.vptr_slots {
+                // A slot that held the base's own vtable now holds the
+                // derived class's; embedded-member slots keep their class.
+                let table_class = if v.table_class == base { id } else { v.table_class };
+                vptr_slots.push(VptrSlot { offset: boff + v.offset, table_class });
+            }
+            for s in &bl.slots {
+                slots.push(FieldSlot {
+                    path: s.path.clone(),
+                    offset: boff + s.offset,
+                    size: s.size,
+                    align: s.align,
+                    ty: s.ty.clone(),
+                });
+            }
+            base_offsets.push((base, boff));
+            offset = boff + bl.size;
+        }
+
+        for f in def.fields() {
+            let (fsize, falign, sub) = match f.ty().as_class() {
+                Some(cid) => {
+                    let sl = ObjectLayout::compute(reg, cid, policy)?;
+                    (sl.size, sl.align, Some(sl))
+                }
+                None => (
+                    f.ty().scalar_size(policy).expect("non-class type has scalar size"),
+                    f.ty().scalar_align(policy).expect("non-class type has scalar align"),
+                    None,
+                ),
+            };
+            let foff = next_offset(offset, falign);
+            align = align.max(falign);
+            slots.push(FieldSlot {
+                path: f.name().to_owned(),
+                offset: foff,
+                size: fsize,
+                align: falign,
+                ty: f.ty().clone(),
+            });
+            if let Some(sl) = sub {
+                for v in &sl.vptr_slots {
+                    // Embedded members keep their own vptr; record it so
+                    // experiments can target e.g. `stud1.__vptr`.
+                    vptr_slots
+                        .push(VptrSlot { offset: foff + v.offset, table_class: v.table_class });
+                }
+                for s in &sl.slots {
+                    slots.push(FieldSlot {
+                        path: format!("{}.{}", f.name(), s.path),
+                        offset: foff + s.offset,
+                        size: s.size,
+                        align: s.align,
+                        ty: s.ty.clone(),
+                    });
+                }
+            }
+            offset = foff + fsize;
+        }
+
+        let size = next_offset(offset, align).max(1); // empty class: size 1
+
+        Ok(ObjectLayout {
+            class: id,
+            class_name: def.name().to_owned(),
+            size,
+            align,
+            vptr_slots,
+            slots,
+            base_offsets,
+            payload_end: offset,
+        })
+    }
+
+    /// The class this layout describes.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The class name.
+    pub fn class_name(&self) -> &str {
+        &self.class_name
+    }
+
+    /// Total instance size including tail padding — `sizeof()`.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Instance alignment.
+    pub fn align(&self) -> u32 {
+        self.align
+    }
+
+    /// All vtable-pointer slots in the instance (empty when the class is
+    /// not polymorphic; more than one under multiple inheritance or for
+    /// embedded polymorphic members).
+    pub fn vptr_slots(&self) -> &[VptrSlot] {
+        &self.vptr_slots
+    }
+
+    /// Offsets of all vtable pointers in the instance.
+    pub fn vptr_offsets(&self) -> Vec<u32> {
+        self.vptr_slots.iter().map(|v| v.offset).collect()
+    }
+
+    /// Offset of the primary vtable pointer, if polymorphic. Always 0 for
+    /// directly polymorphic classes — the §3.8.2 "first entry".
+    pub fn primary_vptr_offset(&self) -> Option<u32> {
+        self.vptr_slots.first().map(|v| v.offset)
+    }
+
+    /// All addressable field slots (inherited, own, and embedded), in
+    /// address order within each declaration group.
+    pub fn slots(&self) -> &[FieldSlot] {
+        &self.slots
+    }
+
+    /// Direct base subobject offsets in declaration order.
+    pub fn base_offsets(&self) -> &[(ClassId, u32)] {
+        &self.base_offsets
+    }
+
+    /// Resolves a field path to its slot.
+    ///
+    /// Paths use dots for embedded members (`stud1.gpa`). Array elements are
+    /// addressed with [`element_offset`](Self::element_offset).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::UnknownField`] if no slot has this path.
+    pub fn field(&self, path: &str) -> Result<&FieldSlot, LayoutError> {
+        self.slots.iter().find(|s| s.path == path).ok_or_else(|| LayoutError::UnknownField {
+            class: self.class_name.clone(),
+            path: path.to_owned(),
+        })
+    }
+
+    /// Offset of a field path from the object base.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::UnknownField`] if the path does not resolve.
+    pub fn offset_of(&self, path: &str) -> Result<u32, LayoutError> {
+        Ok(self.field(path)?.offset())
+    }
+
+    /// Offset of `path[index]` for an array-typed field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::NotAnArray`] if the field is not an array, or
+    /// [`LayoutError::IndexOutOfBounds`] if `index` exceeds the bound —
+    /// note that the *attacks* never use this method; they compute raw
+    /// addresses exactly as the exploited programs do.
+    pub fn element_offset(
+        &self,
+        path: &str,
+        index: u32,
+        policy: &LayoutPolicy,
+    ) -> Result<u32, LayoutError> {
+        let slot = self.field(path)?;
+        match slot.ty() {
+            CxxType::Array(elem, n) => {
+                if index >= *n {
+                    return Err(LayoutError::IndexOutOfBounds {
+                        path: path.to_owned(),
+                        index,
+                        len: *n,
+                    });
+                }
+                let esize = elem
+                    .scalar_size(policy)
+                    .expect("array of class not supported in element_offset");
+                Ok(slot.offset() + esize * index)
+            }
+            _ => Err(LayoutError::NotAnArray { path: path.to_owned() }),
+        }
+    }
+
+    /// Bytes of tail padding between the last member end and `size()`.
+    pub fn tail_padding(&self) -> u32 {
+        self.size - self.payload_end
+    }
+}
+
+impl fmt::Display for ObjectLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "class {} (size {}, align {})", self.class_name, self.size, self.align)?;
+        for v in &self.vptr_slots {
+            writeln!(f, "  +{:<4} __vptr -> vtable of {}", v.offset, v.table_class)?;
+        }
+        for s in &self.slots {
+            writeln!(f, "  +{:<4} {} : {} ({} bytes)", s.offset, s.path, s.ty, s.size)?;
+        }
+        Ok(())
+    }
+}
+
+/// First offset at or after `offset` aligned to `align`.
+fn next_offset(offset: u32, align: u32) -> u32 {
+    (offset + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Registers the paper's running example (Listing 1), non-virtual.
+    fn running_example(reg: &mut ClassRegistry) -> (ClassId, ClassId) {
+        let s = reg
+            .class("Student")
+            .field("gpa", CxxType::Double)
+            .field("year", CxxType::Int)
+            .field("semester", CxxType::Int)
+            .register();
+        let g = reg
+            .class("GradStudent")
+            .base(s)
+            .field("ssn", CxxType::array(CxxType::Int, 3))
+            .register();
+        (s, g)
+    }
+
+    /// Registers the virtual variant from §3.8.2.
+    fn virtual_example(reg: &mut ClassRegistry) -> (ClassId, ClassId) {
+        let s = reg
+            .class("Student")
+            .field("gpa", CxxType::Double)
+            .field("year", CxxType::Int)
+            .field("semester", CxxType::Int)
+            .virtual_method("getInfo")
+            .register();
+        let g = reg
+            .class("GradStudent")
+            .base(s)
+            .field("ssn", CxxType::array(CxxType::Int, 3))
+            .virtual_method("getInfo")
+            .register();
+        (s, g)
+    }
+
+    #[test]
+    fn student_layout_matches_the_paper() {
+        let mut reg = ClassRegistry::new();
+        let (s, g) = running_example(&mut reg);
+        let p = LayoutPolicy::paper();
+        let sl = reg.layout(s, &p).unwrap();
+        assert_eq!(sl.size(), 16);
+        assert_eq!(sl.align(), 8);
+        assert_eq!(sl.offset_of("gpa").unwrap(), 0);
+        assert_eq!(sl.offset_of("year").unwrap(), 8);
+        assert_eq!(sl.offset_of("semester").unwrap(), 12);
+        assert!(sl.vptr_offsets().is_empty());
+        assert!(sl.vptr_slots().is_empty());
+
+        let gl = reg.layout(g, &p).unwrap();
+        // ssn[] begins exactly at sizeof(Student): the adjacency every
+        // §3 attack exploits.
+        assert_eq!(gl.offset_of("ssn").unwrap(), 16);
+        assert_eq!(gl.size(), 32); // 28 rounded up to align 8
+        assert_eq!(gl.tail_padding(), 4);
+        // Inherited fields resolve at their base offsets.
+        assert_eq!(gl.offset_of("gpa").unwrap(), 0);
+        assert_eq!(gl.base_offsets(), &[(s, 0)]);
+    }
+
+    #[test]
+    fn ssn_element_offsets() {
+        let mut reg = ClassRegistry::new();
+        let (_, g) = running_example(&mut reg);
+        let p = LayoutPolicy::paper();
+        let gl = reg.layout(g, &p).unwrap();
+        assert_eq!(gl.element_offset("ssn", 0, &p).unwrap(), 16);
+        assert_eq!(gl.element_offset("ssn", 1, &p).unwrap(), 20);
+        assert_eq!(gl.element_offset("ssn", 2, &p).unwrap(), 24);
+        assert!(matches!(
+            gl.element_offset("ssn", 3, &p),
+            Err(LayoutError::IndexOutOfBounds { len: 3, .. })
+        ));
+        assert!(matches!(gl.element_offset("gpa", 0, &p), Err(LayoutError::NotAnArray { .. })));
+    }
+
+    #[test]
+    fn vptr_is_first_entry() {
+        // §3.8.2: "The memory location at the 0'th offset inside an
+        // instance of Student or GradStudent contains *__vptr."
+        let mut reg = ClassRegistry::new();
+        let (s, g) = virtual_example(&mut reg);
+        let p = LayoutPolicy::paper();
+        let sl = reg.layout(s, &p).unwrap();
+        assert_eq!(sl.primary_vptr_offset(), Some(0));
+        assert_eq!(sl.offset_of("gpa").unwrap(), 8); // vptr 0..4, pad 4..8
+        assert_eq!(sl.size(), 24);
+
+        let gl = reg.layout(g, &p).unwrap();
+        assert_eq!(gl.primary_vptr_offset(), Some(0)); // shared with base
+        assert_eq!(gl.vptr_offsets(), &[0]);
+        assert_eq!(gl.offset_of("ssn").unwrap(), 24);
+        assert_eq!(gl.size(), 40); // 24 + 12 → 36 → pad to 40
+    }
+
+    #[test]
+    fn i386_abi_packs_doubles_tighter() {
+        let mut reg = ClassRegistry::new();
+        let (s, g) = virtual_example(&mut reg);
+        let p = LayoutPolicy::i386_abi();
+        let sl = reg.layout(s, &p).unwrap();
+        assert_eq!(sl.offset_of("gpa").unwrap(), 4); // no pad after vptr
+        assert_eq!(sl.size(), 20);
+        assert_eq!(sl.align(), 4);
+        let gl = reg.layout(g, &p).unwrap();
+        assert_eq!(gl.offset_of("ssn").unwrap(), 20);
+        assert_eq!(gl.size(), 32);
+    }
+
+    #[test]
+    fn lp64_doubles_pointer_slots() {
+        let mut reg = ClassRegistry::new();
+        let (s, _) = virtual_example(&mut reg);
+        let p = LayoutPolicy::lp64();
+        let sl = reg.layout(s, &p).unwrap();
+        assert_eq!(sl.offset_of("gpa").unwrap(), 8); // 8-byte vptr
+        assert_eq!(sl.size(), 24);
+    }
+
+    #[test]
+    fn multiple_inheritance_has_multiple_vptrs() {
+        // §3.8.2: "In case of multiple inheritance, there are more than one
+        // vtable pointers in a given instance."
+        let mut reg = ClassRegistry::new();
+        let a = reg.class("A").field("ax", CxxType::Int).virtual_method("fa").register();
+        let b = reg.class("B").field("bx", CxxType::Int).virtual_method("fb").register();
+        let c = reg.class("C").base(a).base(b).field("cx", CxxType::Int).register();
+        let p = LayoutPolicy::paper();
+        let cl = reg.layout(c, &p).unwrap();
+        assert_eq!(cl.vptr_offsets().len(), 2);
+        assert_eq!(cl.vptr_offsets()[0], 0);
+        assert_eq!(cl.vptr_offsets()[1], 8); // B subobject at 8
+        assert_eq!(cl.offset_of("ax").unwrap(), 4);
+        assert_eq!(cl.offset_of("bx").unwrap(), 12);
+        assert_eq!(cl.offset_of("cx").unwrap(), 16);
+        assert_eq!(cl.size(), 20);
+    }
+
+    #[test]
+    fn embedded_members_flatten_with_dotted_paths() {
+        // Listing 10's MobilePlayer: internal overflow targets live at
+        // dotted paths.
+        let mut reg = ClassRegistry::new();
+        let (s, _) = running_example(&mut reg);
+        let mp = reg
+            .class("MobilePlayer")
+            .field("stud1", CxxType::Class(s))
+            .field("stud2", CxxType::Class(s))
+            .field("n", CxxType::Int)
+            .register();
+        let p = LayoutPolicy::paper();
+        let l = reg.layout(mp, &p).unwrap();
+        assert_eq!(l.offset_of("stud1").unwrap(), 0);
+        assert_eq!(l.offset_of("stud1.gpa").unwrap(), 0);
+        assert_eq!(l.offset_of("stud2").unwrap(), 16);
+        assert_eq!(l.offset_of("stud2.gpa").unwrap(), 16);
+        assert_eq!(l.offset_of("stud2.semester").unwrap(), 28);
+        assert_eq!(l.offset_of("n").unwrap(), 32);
+        assert_eq!(l.size(), 40); // 36 padded to 8
+    }
+
+    #[test]
+    fn vptr_slot_table_classes() {
+        // The derived object's (inherited) vptr slot holds the *derived*
+        // vtable; an embedded member's slot holds the member's own.
+        let mut reg = ClassRegistry::new();
+        let (s, g) = virtual_example(&mut reg);
+        let holder = reg.class("Holder").field("stud", CxxType::Class(s)).register();
+        let p = LayoutPolicy::paper();
+        let gl = reg.layout(g, &p).unwrap();
+        assert_eq!(gl.vptr_slots()[0].table_class, g);
+        let hl = reg.layout(holder, &p).unwrap();
+        assert_eq!(hl.vptr_slots()[0].table_class, s);
+    }
+
+    #[test]
+    fn embedded_polymorphic_member_contributes_vptr() {
+        let mut reg = ClassRegistry::new();
+        let (s, _) = virtual_example(&mut reg);
+        let holder = reg
+            .class("Holder")
+            .field("tag", CxxType::Int)
+            .field("stud", CxxType::Class(s))
+            .register();
+        let l = reg.layout(holder, &LayoutPolicy::paper()).unwrap();
+        assert_eq!(l.offset_of("stud").unwrap(), 8);
+        assert_eq!(l.vptr_offsets(), &[8]); // stud.__vptr
+        assert!(l.primary_vptr_offset() == Some(8));
+    }
+
+    #[test]
+    fn empty_class_has_size_one() {
+        let mut reg = ClassRegistry::new();
+        let e = reg.class("Empty").register();
+        let l = reg.layout(e, &LayoutPolicy::paper()).unwrap();
+        assert_eq!(l.size(), 1);
+        assert_eq!(l.align(), 1);
+    }
+
+    #[test]
+    fn polymorphic_empty_class_is_just_a_vptr() {
+        let mut reg = ClassRegistry::new();
+        let e = reg.class("Iface").virtual_method("f").register();
+        let l = reg.layout(e, &LayoutPolicy::paper()).unwrap();
+        assert_eq!(l.size(), 4);
+        assert_eq!(l.vptr_offsets(), &[0]);
+    }
+
+    #[test]
+    fn unknown_field_errors_name_the_class() {
+        let mut reg = ClassRegistry::new();
+        let (s, _) = running_example(&mut reg);
+        let l = reg.layout(s, &LayoutPolicy::paper()).unwrap();
+        let err = l.offset_of("ssn").unwrap_err();
+        assert_eq!(err.to_string(), "class Student has no field at path \"ssn\"");
+    }
+
+    #[test]
+    fn display_dumps_the_layout() {
+        let mut reg = ClassRegistry::new();
+        let (_, g) = virtual_example(&mut reg);
+        let text = reg.layout(g, &LayoutPolicy::paper()).unwrap().to_string();
+        assert!(text.contains("__vptr"));
+        assert!(text.contains("ssn"));
+        assert!(text.contains("size 40"));
+    }
+
+    #[test]
+    fn char_fields_pack_without_padding() {
+        let mut reg = ClassRegistry::new();
+        let c = reg
+            .class("Packed")
+            .field("a", CxxType::Char)
+            .field("b", CxxType::Char)
+            .field("c", CxxType::Short)
+            .field("d", CxxType::Int)
+            .register();
+        let l = reg.layout(c, &LayoutPolicy::paper()).unwrap();
+        assert_eq!(l.offset_of("a").unwrap(), 0);
+        assert_eq!(l.offset_of("b").unwrap(), 1);
+        assert_eq!(l.offset_of("c").unwrap(), 2);
+        assert_eq!(l.offset_of("d").unwrap(), 4);
+        assert_eq!(l.size(), 8);
+    }
+
+    #[test]
+    fn padding_holes_from_alignment() {
+        let mut reg = ClassRegistry::new();
+        let c = reg
+            .class("Holey")
+            .field("a", CxxType::Char)
+            .field("d", CxxType::Double)
+            .field("b", CxxType::Char)
+            .register();
+        let l = reg.layout(c, &LayoutPolicy::paper()).unwrap();
+        assert_eq!(l.offset_of("d").unwrap(), 8); // 7-byte hole after a
+        assert_eq!(l.offset_of("b").unwrap(), 16);
+        assert_eq!(l.size(), 24); // tail pad to 8
+        assert_eq!(l.tail_padding(), 7);
+    }
+}

@@ -1,0 +1,66 @@
+//! C++ object model: classes, layout, vtables, and the serialized-object
+//! wire format.
+//!
+//! This crate models the parts of the C++ object system that the
+//! placement-new attacks of *Kundu & Bertino (ICDCS 2011)* depend on:
+//!
+//! * class definitions with single and multiple inheritance and virtual
+//!   methods ([`ClassBuilder`], [`ClassRegistry`]);
+//! * a deterministic, Itanium-ABI-style [`ObjectLayout`] engine — vtable
+//!   pointer(s) first, base subobjects, then fields in declaration order
+//!   with natural alignment and tail padding ([`LayoutPolicy`]);
+//! * virtual tables ([`VTable`]) mapping method slots to implementations,
+//!   ready to be materialized into a rodata segment by the runtime;
+//! * the [`wire`] format for serialized objects, whose headers are
+//!   attacker-forgeable by construction (the §3.2 remote-object vector).
+//!
+//! Everything is computed, never measured from the host: the whole point of
+//! the reproduction is that the layouts match the ILP32/gcc platform the
+//! paper reasons about, not whatever the Rust compiler would do.
+//!
+//! # Examples
+//!
+//! Build the paper's running example and check the §3 size relation
+//! `sizeof(GradStudent) > sizeof(Student)`:
+//!
+//! ```
+//! use pnew_object::{ClassRegistry, CxxType, LayoutPolicy};
+//!
+//! let mut reg = ClassRegistry::new();
+//! let student = reg
+//!     .class("Student")
+//!     .field("gpa", CxxType::Double)
+//!     .field("year", CxxType::Int)
+//!     .field("semester", CxxType::Int)
+//!     .register();
+//! let grad = reg
+//!     .class("GradStudent")
+//!     .base(student)
+//!     .field("ssn", CxxType::array(CxxType::Int, 3))
+//!     .register();
+//!
+//! let policy = LayoutPolicy::paper();
+//! let s = reg.layout(student, &policy).unwrap();
+//! let g = reg.layout(grad, &policy).unwrap();
+//! assert_eq!(s.size(), 16);
+//! assert_eq!(g.size(), 32);              // 16 + ssn[3] + tail padding
+//! assert_eq!(g.offset_of("ssn").unwrap(), 16);
+//! assert!(g.size() > s.size());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod class;
+mod layout;
+mod types;
+mod vtable;
+pub mod wire;
+
+pub use class::{ClassBuilder, ClassDef, ClassId, ClassRegistry, FieldDef};
+pub use layout::{FieldSlot, LayoutError, LayoutPolicy, ObjectLayout, VptrSlot};
+pub use types::CxxType;
+pub use vtable::{MethodSlot, VTable};
+
+/// Crate-wide result alias for layout operations.
+pub type Result<T, E = LayoutError> = std::result::Result<T, E>;

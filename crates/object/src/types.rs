@@ -1,0 +1,183 @@
+//! The C++ type vocabulary used by class definitions.
+
+use std::fmt;
+
+use crate::class::ClassId;
+
+/// A C++ type as used in field declarations and placement expressions.
+///
+/// Sizes and alignments are functions of the
+/// [`LayoutPolicy`](crate::LayoutPolicy), not of the host: the reproduction
+/// targets the ILP32 platform of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_object::{CxxType, LayoutPolicy};
+///
+/// let policy = LayoutPolicy::paper();
+/// assert_eq!(CxxType::Int.scalar_size(&policy), Some(4));
+/// assert_eq!(CxxType::array(CxxType::Int, 3).scalar_size(&policy), Some(12));
+/// assert_eq!(CxxType::ptr(CxxType::Char).scalar_size(&policy), Some(4));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CxxType {
+    /// `bool` (1 byte).
+    Bool,
+    /// `char` (1 byte).
+    Char,
+    /// `short` (2 bytes).
+    Short,
+    /// `int` (4 bytes) — the unit of the paper's overflow arithmetic.
+    Int,
+    /// `unsigned int` (4 bytes).
+    UInt,
+    /// `long` (model-dependent).
+    Long,
+    /// `float` (4 bytes).
+    Float,
+    /// `double` (8 bytes; alignment is policy-dependent, see §3.7.2).
+    Double,
+    /// A data pointer `T*` (or a function pointer — same size on the
+    /// platforms modeled).
+    Ptr(Box<CxxType>),
+    /// A fixed-size array `T[n]`.
+    Array(Box<CxxType>, u32),
+    /// An instance of a registered class.
+    Class(ClassId),
+}
+
+impl CxxType {
+    /// Convenience constructor for `T*`.
+    pub fn ptr(pointee: CxxType) -> Self {
+        CxxType::Ptr(Box::new(pointee))
+    }
+
+    /// Convenience constructor for `T[n]`.
+    pub fn array(elem: CxxType, n: u32) -> Self {
+        CxxType::Array(Box::new(elem), n)
+    }
+
+    /// Size in bytes for non-class types; `None` for class types (which
+    /// need a registry to lay out).
+    pub fn scalar_size(&self, policy: &crate::LayoutPolicy) -> Option<u32> {
+        match self {
+            CxxType::Bool | CxxType::Char => Some(1),
+            CxxType::Short => Some(2),
+            CxxType::Int | CxxType::UInt | CxxType::Float => Some(4),
+            CxxType::Long => Some(policy.model().long_size()),
+            CxxType::Double => Some(8),
+            CxxType::Ptr(_) => Some(policy.model().pointer_size()),
+            CxxType::Array(elem, n) => elem.scalar_size(policy).map(|s| s * n),
+            CxxType::Class(_) => None,
+        }
+    }
+
+    /// Alignment in bytes for non-class types; `None` for class types.
+    pub fn scalar_align(&self, policy: &crate::LayoutPolicy) -> Option<u32> {
+        match self {
+            CxxType::Bool | CxxType::Char => Some(1),
+            CxxType::Short => Some(2),
+            CxxType::Int | CxxType::UInt | CxxType::Float => Some(4),
+            CxxType::Long => Some(policy.model().long_size()),
+            CxxType::Double => Some(policy.double_align()),
+            CxxType::Ptr(_) => Some(policy.model().pointer_size()),
+            CxxType::Array(elem, _) => elem.scalar_align(policy),
+            CxxType::Class(_) => None,
+        }
+    }
+
+    /// Returns the class id if this is a class type.
+    pub fn as_class(&self) -> Option<ClassId> {
+        match self {
+            CxxType::Class(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for pointer types (data or function).
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, CxxType::Ptr(_))
+    }
+}
+
+impl fmt::Display for CxxType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CxxType::Bool => f.write_str("bool"),
+            CxxType::Char => f.write_str("char"),
+            CxxType::Short => f.write_str("short"),
+            CxxType::Int => f.write_str("int"),
+            CxxType::UInt => f.write_str("unsigned int"),
+            CxxType::Long => f.write_str("long"),
+            CxxType::Float => f.write_str("float"),
+            CxxType::Double => f.write_str("double"),
+            CxxType::Ptr(p) => write!(f, "{p}*"),
+            CxxType::Array(elem, n) => write!(f, "{elem}[{n}]"),
+            CxxType::Class(id) => write!(f, "class#{}", id.index()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayoutPolicy;
+
+    #[test]
+    fn ilp32_sizes_match_the_paper() {
+        let p = LayoutPolicy::paper();
+        assert_eq!(CxxType::Int.scalar_size(&p), Some(4));
+        assert_eq!(CxxType::ptr(CxxType::Char).scalar_size(&p), Some(4));
+        assert_eq!(CxxType::Double.scalar_size(&p), Some(8));
+        assert_eq!(CxxType::Long.scalar_size(&p), Some(4));
+        assert_eq!(CxxType::Bool.scalar_size(&p), Some(1));
+        assert_eq!(CxxType::Short.scalar_size(&p), Some(2));
+        assert_eq!(CxxType::Float.scalar_size(&p), Some(4));
+    }
+
+    #[test]
+    fn lp64_widens_pointers_and_longs() {
+        let p = LayoutPolicy::lp64();
+        assert_eq!(CxxType::ptr(CxxType::Int).scalar_size(&p), Some(8));
+        assert_eq!(CxxType::Long.scalar_size(&p), Some(8));
+        assert_eq!(CxxType::Int.scalar_size(&p), Some(4));
+    }
+
+    #[test]
+    fn arrays_multiply() {
+        let p = LayoutPolicy::paper();
+        let ssn = CxxType::array(CxxType::Int, 3);
+        assert_eq!(ssn.scalar_size(&p), Some(12));
+        assert_eq!(ssn.scalar_align(&p), Some(4));
+        let grid = CxxType::array(CxxType::array(CxxType::Char, 8), 4);
+        assert_eq!(grid.scalar_size(&p), Some(32));
+        assert_eq!(grid.scalar_align(&p), Some(1));
+    }
+
+    #[test]
+    fn class_types_have_no_scalar_size() {
+        let p = LayoutPolicy::paper();
+        let c = CxxType::Class(ClassId::from_index(0));
+        assert_eq!(c.scalar_size(&p), None);
+        assert_eq!(c.scalar_align(&p), None);
+        assert_eq!(c.as_class(), Some(ClassId::from_index(0)));
+        assert!(!c.is_pointer());
+    }
+
+    #[test]
+    fn double_alignment_is_policy_dependent() {
+        assert_eq!(CxxType::Double.scalar_align(&LayoutPolicy::paper()), Some(8));
+        assert_eq!(
+            CxxType::Double.scalar_align(&LayoutPolicy::paper().with_double_align(4)),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn display_is_cxx_like() {
+        assert_eq!(CxxType::ptr(CxxType::Char).to_string(), "char*");
+        assert_eq!(CxxType::array(CxxType::Int, 3).to_string(), "int[3]");
+        assert_eq!(CxxType::UInt.to_string(), "unsigned int");
+    }
+}

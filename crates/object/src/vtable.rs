@@ -1,0 +1,192 @@
+//! Virtual tables.
+//!
+//! "Virtual tables (vtables) ... are used to carry out dynamic dispatching
+//! of invocation of virtual functions. The compiler creates a vtable and
+//! adds a pointer to this table in each instance of each class." — §3.8.2.
+//!
+//! A [`VTable`] is the *logical* table: an ordered list of method slots,
+//! each resolved to the class providing the implementation. The runtime
+//! materializes it into the rodata segment as an array of function
+//! addresses, and stores the table's address into each instance's vptr.
+//!
+//! Simplification: under multiple inheritance a single merged table is
+//! computed per class (real gcc emits one per subobject). The secondary
+//! vptr *slots inside objects* are still modeled by
+//! [`ObjectLayout::vptr_offsets`](crate::ObjectLayout::vptr_offsets), which
+//! is what the paper's attack narrative needs.
+
+use std::fmt;
+
+use crate::class::{ClassId, ClassRegistry};
+
+/// One virtual-method slot in a vtable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSlot {
+    name: String,
+    impl_class: ClassId,
+}
+
+impl MethodSlot {
+    /// The method name (e.g. `getInfo`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The class whose implementation this slot dispatches to.
+    pub fn impl_class(&self) -> ClassId {
+        self.impl_class
+    }
+}
+
+/// The logical virtual table of a class.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_object::{ClassRegistry, CxxType};
+///
+/// let mut reg = ClassRegistry::new();
+/// let student = reg
+///     .class("Student")
+///     .virtual_method("getInfo")
+///     .register();
+/// let grad = reg
+///     .class("GradStudent")
+///     .base(student)
+///     .virtual_method("getInfo")
+///     .register();
+///
+/// // Student's table points at Student::getInfo, GradStudent's at its
+/// // local override — exactly the §3.8.2 description.
+/// assert_eq!(reg.vtable(student).slots()[0].impl_class(), student);
+/// assert_eq!(reg.vtable(grad).slots()[0].impl_class(), grad);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VTable {
+    class: ClassId,
+    slots: Vec<MethodSlot>,
+}
+
+impl VTable {
+    /// Computes the vtable of `id`: base slots first (in base declaration
+    /// order), overridden in place, then slots newly introduced by `id`.
+    pub fn compute(reg: &ClassRegistry, id: ClassId) -> VTable {
+        let mut slots: Vec<MethodSlot> = Vec::new();
+        collect(reg, id, &mut slots);
+        VTable { class: id, slots }
+    }
+
+    /// The class this table belongs to.
+    pub fn class(&self) -> ClassId {
+        self.class
+    }
+
+    /// The method slots in dispatch order.
+    pub fn slots(&self) -> &[MethodSlot] {
+        &self.slots
+    }
+
+    /// Index of the slot for `method`, if the class has it.
+    pub fn slot_index(&self, method: &str) -> Option<usize> {
+        self.slots.iter().position(|s| s.name == method)
+    }
+
+    /// Returns `true` if the table has no slots (non-polymorphic class).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+impl fmt::Display for VTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "vtable for {}", self.class)?;
+        for (i, s) in self.slots.iter().enumerate() {
+            writeln!(f, "  [{i}] {} -> {}", s.name, s.impl_class)?;
+        }
+        Ok(())
+    }
+}
+
+fn collect(reg: &ClassRegistry, id: ClassId, slots: &mut Vec<MethodSlot>) {
+    let def = reg.def(id);
+    for &base in def.bases() {
+        collect(reg, base, slots);
+    }
+    for m in def.virtual_methods() {
+        if let Some(slot) = slots.iter_mut().find(|s| &s.name == m) {
+            slot.impl_class = id; // override
+        } else {
+            slots.push(MethodSlot { name: m.clone(), impl_class: id });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::CxxType;
+
+    #[test]
+    fn override_replaces_in_place() {
+        let mut reg = ClassRegistry::new();
+        let a = reg.class("A").virtual_method("f").virtual_method("g").register();
+        let b = reg.class("B").base(a).virtual_method("g").virtual_method("h").register();
+        let vt = reg.vtable(b);
+        assert_eq!(vt.len(), 3);
+        assert_eq!(vt.slots()[0].name(), "f");
+        assert_eq!(vt.slots()[0].impl_class(), a);
+        assert_eq!(vt.slots()[1].name(), "g");
+        assert_eq!(vt.slots()[1].impl_class(), b);
+        assert_eq!(vt.slots()[2].name(), "h");
+        assert_eq!(vt.slots()[2].impl_class(), b);
+        assert_eq!(vt.slot_index("g"), Some(1));
+        assert_eq!(vt.slot_index("nope"), None);
+        assert_eq!(vt.class(), b);
+    }
+
+    #[test]
+    fn non_polymorphic_class_has_empty_table() {
+        let mut reg = ClassRegistry::new();
+        let p = reg.class("P").field("x", CxxType::Int).register();
+        let vt = reg.vtable(p);
+        assert!(vt.is_empty());
+        assert_eq!(vt.len(), 0);
+    }
+
+    #[test]
+    fn deep_chain_keeps_slot_order() {
+        let mut reg = ClassRegistry::new();
+        let a = reg.class("A").virtual_method("f").register();
+        let b = reg.class("B").base(a).virtual_method("g").register();
+        let c = reg.class("C").base(b).virtual_method("f").register();
+        let vt = reg.vtable(c);
+        assert_eq!(vt.slot_index("f"), Some(0)); // slot order stable
+        assert_eq!(vt.slots()[0].impl_class(), c);
+        assert_eq!(vt.slots()[1].impl_class(), b);
+    }
+
+    #[test]
+    fn multiple_inheritance_merges_tables() {
+        let mut reg = ClassRegistry::new();
+        let a = reg.class("A").virtual_method("fa").register();
+        let b = reg.class("B").virtual_method("fb").register();
+        let c = reg.class("C").base(a).base(b).virtual_method("fb").register();
+        let vt = reg.vtable(c);
+        assert_eq!(vt.len(), 2);
+        assert_eq!(vt.slot_index("fa"), Some(0));
+        assert_eq!(vt.slots()[1].impl_class(), c);
+    }
+
+    #[test]
+    fn display_lists_slots() {
+        let mut reg = ClassRegistry::new();
+        let a = reg.class("A").virtual_method("f").register();
+        let text = reg.vtable(a).to_string();
+        assert!(text.contains("[0] f"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Serialized-object wire format.
+//!
+//! §2.1(4) and §3.2 of the paper describe programs that receive serialized
+//! objects from untrusted peers (web services, AJAX/JSON clients, mobile
+//! objects) and "place" them into pre-allocated arenas with placement new.
+//! The receiving program trusts the *header* of the serialized object —
+//! its claimed class and element count — which is exactly what a malicious
+//! peer forges.
+//!
+//! This module implements that transport. The format is deliberately
+//! simple and deliberately attacker-forgeable: a [`WireObject`] can be
+//! [`forged`](WireObject::with_count) to claim any count and carry any
+//! payload, and the decoder performs only *syntactic* validation (the
+//! semantic size check is precisely what vulnerable receivers omit).
+//!
+//! Layout of the encoded form (all integers little-endian):
+//!
+//! ```text
+//! [u16 name_len][name bytes][u32 count][u32 payload_len][payload bytes]
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use pnew_object::wire::WireObject;
+//!
+//! // An honest GradStudent record…
+//! let honest = WireObject::new("GradStudent", vec![0u8; 32]);
+//! // …and a forged one claiming 1000 elements with an oversized payload.
+//! let forged = WireObject::new("GradStudent", vec![0x41; 256]).with_count(1000);
+//!
+//! let bytes = forged.encode();
+//! let back = WireObject::decode(&bytes).unwrap();
+//! assert_eq!(back.count(), 1000);
+//! assert_eq!(back.payload().len(), 256);
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+/// Error from decoding a wire object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the structure was complete.
+    Truncated {
+        /// Bytes that were needed.
+        needed: usize,
+        /// Bytes that were available.
+        available: usize,
+    },
+    /// The class-name bytes were not valid UTF-8.
+    BadName,
+    /// Trailing bytes followed the payload.
+    TrailingBytes {
+        /// Number of unexpected trailing bytes.
+        extra: usize,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, available } => {
+                write!(f, "wire object truncated: needed {needed} bytes, had {available}")
+            }
+            WireError::BadName => f.write_str("wire object class name is not valid utf-8"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "wire object followed by {extra} unexpected trailing bytes")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// A serialized object in transit between programs.
+///
+/// The `count` header is the number of elements/records the sender *claims*
+/// the payload holds; nothing ties it to `payload().len()`. Receivers that
+/// size placement-new allocations from `count` without checking it against
+/// the destination arena reproduce the Listing 5 vulnerability.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireObject {
+    class_name: String,
+    count: u32,
+    payload: Vec<u8>,
+}
+
+impl WireObject {
+    /// Creates a wire object with `count` = 1.
+    pub fn new(class_name: &str, payload: Vec<u8>) -> Self {
+        WireObject { class_name: class_name.to_owned(), count: 1, payload }
+    }
+
+    /// Returns the object with a different claimed element count — the
+    /// attacker's forgery primitive ("n: length of received names[]:
+    /// maliciously changed", Listing 5).
+    pub fn with_count(mut self, count: u32) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// The claimed class name.
+    pub fn class_name(&self) -> &str {
+        &self.class_name
+    }
+
+    /// The claimed element count.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// The raw payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Length of the encoded form in bytes.
+    pub fn encoded_len(&self) -> usize {
+        2 + self.class_name.len() + 4 + 4 + self.payload.len()
+    }
+
+    /// Encodes to the wire representation.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        let name = self.class_name.as_bytes();
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Decodes a wire representation.
+    ///
+    /// Only syntactic validation is performed: the claimed `count` is *not*
+    /// checked against the payload length, mirroring the trust-the-protocol
+    /// behaviour of the vulnerable receivers in §3.2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncation, malformed names, or trailing
+    /// bytes.
+    pub fn decode(bytes: &[u8]) -> Result<WireObject, WireError> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<std::ops::Range<usize>, WireError> {
+            if *pos + n > bytes.len() {
+                return Err(WireError::Truncated { needed: *pos + n, available: bytes.len() });
+            }
+            let r = *pos..*pos + n;
+            *pos += n;
+            Ok(r)
+        };
+
+        let name_len = u16::from_le_bytes(bytes[take(&mut pos, 2)?].try_into().unwrap()) as usize;
+        let name_range = take(&mut pos, name_len)?;
+        let class_name =
+            std::str::from_utf8(&bytes[name_range]).map_err(|_| WireError::BadName)?.to_owned();
+        let count = u32::from_le_bytes(bytes[take(&mut pos, 4)?].try_into().unwrap());
+        let payload_len =
+            u32::from_le_bytes(bytes[take(&mut pos, 4)?].try_into().unwrap()) as usize;
+        let payload = bytes[take(&mut pos, payload_len)?].to_vec();
+        if pos != bytes.len() {
+            return Err(WireError::TrailingBytes { extra: bytes.len() - pos });
+        }
+        Ok(WireObject { class_name, count, payload })
+    }
+}
+
+impl fmt::Display for WireObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "wire {} (count {}, {} payload bytes)",
+            self.class_name,
+            self.count,
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let obj = WireObject::new("GradStudent", vec![1, 2, 3, 4]).with_count(7);
+        let back = WireObject::decode(&obj.encode()).unwrap();
+        assert_eq!(back, obj);
+        assert_eq!(back.class_name(), "GradStudent");
+        assert_eq!(back.count(), 7);
+        assert_eq!(back.payload(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let obj = WireObject::new("Student", Vec::new());
+        assert_eq!(WireObject::decode(&obj.encode()).unwrap(), obj);
+    }
+
+    #[test]
+    fn forged_count_is_not_checked_against_payload() {
+        // The decoder must accept the forgery: that is the §3.2 threat.
+        let forged = WireObject::new("Student", vec![0u8; 8]).with_count(1_000_000);
+        let back = WireObject::decode(&forged.encode()).unwrap();
+        assert_eq!(back.count(), 1_000_000);
+        assert_eq!(back.payload().len(), 8);
+    }
+
+    #[test]
+    fn truncation_detected_at_every_boundary() {
+        let full = WireObject::new("Student", vec![9; 16]).encode();
+        for cut in [0, 1, 3, 8, full.len() - 1] {
+            assert!(
+                matches!(WireObject::decode(&full[..cut]), Err(WireError::Truncated { .. })),
+                "cut at {cut} should be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut bytes = WireObject::new("S", vec![1]).encode();
+        bytes.push(0xff);
+        assert_eq!(WireObject::decode(&bytes), Err(WireError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn bad_utf8_name_detected() {
+        let mut bytes = vec![2, 0, 0xff, 0xfe]; // name_len=2, invalid bytes
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(WireObject::decode(&bytes), Err(WireError::BadName));
+    }
+
+    #[test]
+    fn encoded_len_matches() {
+        let obj = WireObject::new("GradStudent", vec![0; 10]);
+        assert_eq!(obj.encode().len(), obj.encoded_len());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let obj = WireObject::new("Student", vec![0; 3]).with_count(2);
+        assert_eq!(obj.to_string(), "wire Student (count 2, 3 payload bytes)");
+    }
+
+    #[test]
+    fn errors_have_messages() {
+        assert!(WireError::Truncated { needed: 4, available: 1 }.to_string().contains("needed 4"));
+        assert!(WireError::BadName.to_string().contains("utf-8"));
+    }
+}

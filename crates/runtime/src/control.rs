@@ -1,0 +1,262 @@
+//! Control-flow outcomes observed by the simulated machine.
+
+use std::fmt;
+
+use pnew_memory::{SegmentKind, VirtAddr};
+
+use crate::func::FuncId;
+
+/// Why a control transfer faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultReason {
+    /// Target address is not mapped.
+    Unmapped,
+    /// Target segment is not executable (the NX defeat of §3.6.2
+    /// code injection).
+    NxViolation,
+    /// The pointer that should have been followed could not be read.
+    BadPointer,
+}
+
+impl fmt::Display for FaultReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultReason::Unmapped => f.write_str("unmapped target"),
+            FaultReason::NxViolation => f.write_str("nx violation"),
+            FaultReason::BadPointer => f.write_str("bad pointer"),
+        }
+    }
+}
+
+/// The observable result of a function return.
+///
+/// This is the reproduction's substitute for "the attacker's code runs":
+/// instead of executing real machine code, the machine classifies where
+/// control *would* go. Attack success predicates in the experiment suite
+/// are written against these variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlOutcome {
+    /// The return address was intact; control returns to the caller.
+    Return,
+    /// StackGuard found the canary modified and aborted the program
+    /// (`*** stack smashing detected ***`).
+    CanaryDetected {
+        /// Canary value written at function entry.
+        expected: u32,
+        /// Value found at return.
+        found: u32,
+    },
+    /// The §5.2 return-address (shadow) stack found a mismatch and aborted.
+    ShadowStackDetected {
+        /// Return address recorded at call time.
+        expected: VirtAddr,
+        /// Address found in the frame at return.
+        found: VirtAddr,
+    },
+    /// Control transferred to a registered function other than the caller —
+    /// arc injection / return-to-libc (§3.6.2).
+    Hijacked {
+        /// The function reached.
+        func: FuncId,
+        /// Its name (e.g. `system`).
+        name: String,
+        /// Whether the function is marked privileged.
+        privileged: bool,
+        /// The raw overwritten return address.
+        target: VirtAddr,
+    },
+    /// Control transferred into attacker-written bytes in an executable
+    /// segment — code injection succeeded (§3.6.2).
+    ShellCode {
+        /// Entry address of the injected code.
+        addr: VirtAddr,
+        /// Segment the code lives in (stack for classic smashing).
+        segment: SegmentKind,
+    },
+    /// The transfer faulted; the program crashes.
+    Fault {
+        /// Target address.
+        addr: VirtAddr,
+        /// Why it faulted.
+        reason: FaultReason,
+    },
+}
+
+impl ControlOutcome {
+    /// `true` if the attacker diverted control (hijack or shellcode).
+    pub fn is_hijack(&self) -> bool {
+        matches!(self, ControlOutcome::Hijacked { .. } | ControlOutcome::ShellCode { .. })
+    }
+
+    /// `true` if a protection mechanism stopped the program.
+    pub fn is_detected(&self) -> bool {
+        matches!(
+            self,
+            ControlOutcome::CanaryDetected { .. } | ControlOutcome::ShadowStackDetected { .. }
+        )
+    }
+
+    /// `true` for an ordinary, unhijacked return.
+    pub fn is_normal(&self) -> bool {
+        matches!(self, ControlOutcome::Return)
+    }
+}
+
+impl fmt::Display for ControlOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlOutcome::Return => f.write_str("normal return"),
+            ControlOutcome::CanaryDetected { .. } => {
+                f.write_str("*** stack smashing detected ***: terminated")
+            }
+            ControlOutcome::ShadowStackDetected { .. } => {
+                f.write_str("shadow stack mismatch: terminated")
+            }
+            ControlOutcome::Hijacked { name, privileged, target, .. } => write!(
+                f,
+                "control hijacked to {name}{} at {target}",
+                if *privileged { " [privileged]" } else { "" }
+            ),
+            ControlOutcome::ShellCode { addr, segment } => {
+                write!(f, "shellcode executed at {addr} ({segment} segment)")
+            }
+            ControlOutcome::Fault { addr, reason } => {
+                write!(f, "fault at {addr}: {reason}")
+            }
+        }
+    }
+}
+
+/// Full report of a `ret` — the outcome plus the integrity of the frame
+/// metadata, which the experiments print.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetEvent {
+    /// Where control went.
+    pub outcome: ControlOutcome,
+    /// Canary integrity (`None` when StackGuard is off).
+    pub canary_intact: Option<bool>,
+    /// Saved-frame-pointer integrity (`None` when frame pointers are not
+    /// saved).
+    pub fp_intact: Option<bool>,
+}
+
+impl RetEvent {
+    /// Shorthand for `outcome.is_hijack()`.
+    pub fn is_hijack(&self) -> bool {
+        self.outcome.is_hijack()
+    }
+}
+
+/// The observable result of a call through a pointer — virtual dispatch
+/// (§3.8.2) or a C function pointer (§3.9).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DispatchOutcome {
+    /// Dispatch reached the implementation the type system intended.
+    Valid {
+        /// The function invoked.
+        func: FuncId,
+        /// Its name (e.g. `GradStudent::getInfo`).
+        name: String,
+    },
+    /// Dispatch reached some *other* registered function — subterfuge
+    /// succeeded.
+    Hijacked {
+        /// The function reached.
+        func: FuncId,
+        /// Its name.
+        name: String,
+        /// Whether it is privileged.
+        privileged: bool,
+    },
+    /// Dispatch faulted (invalid vptr / table / target), crashing the
+    /// program — the paper's "or even crash the program by supplying an
+    /// invalid address".
+    Fault {
+        /// The address that could not be followed.
+        addr: VirtAddr,
+        /// Why it faulted.
+        reason: FaultReason,
+    },
+}
+
+impl DispatchOutcome {
+    /// `true` if the attacker diverted the dispatch.
+    pub fn is_hijack(&self) -> bool {
+        matches!(self, DispatchOutcome::Hijacked { .. })
+    }
+}
+
+impl fmt::Display for DispatchOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DispatchOutcome::Valid { name, .. } => write!(f, "dispatched to {name}"),
+            DispatchOutcome::Hijacked { name, privileged, .. } => write!(
+                f,
+                "dispatch hijacked to {name}{}",
+                if *privileged { " [privileged]" } else { "" }
+            ),
+            DispatchOutcome::Fault { addr, reason } => {
+                write!(f, "dispatch fault at {addr}: {reason}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates() {
+        assert!(ControlOutcome::Return.is_normal());
+        assert!(!ControlOutcome::Return.is_hijack());
+        let hij = ControlOutcome::Hijacked {
+            func: FuncId::from_index(0),
+            name: "system".into(),
+            privileged: true,
+            target: VirtAddr::new(0x8048100),
+        };
+        assert!(hij.is_hijack());
+        assert!(!hij.is_detected());
+        let det = ControlOutcome::CanaryDetected { expected: 1, found: 2 };
+        assert!(det.is_detected());
+        assert!(!det.is_hijack());
+        let sc = ControlOutcome::ShellCode { addr: VirtAddr::new(8), segment: SegmentKind::Stack };
+        assert!(sc.is_hijack());
+    }
+
+    #[test]
+    fn displays() {
+        let det = ControlOutcome::CanaryDetected { expected: 1, found: 2 };
+        assert!(det.to_string().contains("stack smashing detected"));
+        let f = ControlOutcome::Fault { addr: VirtAddr::new(4), reason: FaultReason::NxViolation };
+        assert!(f.to_string().contains("nx violation"));
+        let d = DispatchOutcome::Fault { addr: VirtAddr::new(4), reason: FaultReason::Unmapped };
+        assert!(d.to_string().contains("unmapped"));
+    }
+
+    #[test]
+    fn ret_event_shorthand() {
+        let e = RetEvent {
+            outcome: ControlOutcome::ShellCode {
+                addr: VirtAddr::new(1),
+                segment: SegmentKind::Stack,
+            },
+            canary_intact: Some(true),
+            fp_intact: None,
+        };
+        assert!(e.is_hijack());
+    }
+
+    #[test]
+    fn dispatch_predicates() {
+        let v = DispatchOutcome::Valid { func: FuncId::from_index(1), name: "f".into() };
+        assert!(!v.is_hijack());
+        let h = DispatchOutcome::Hijacked {
+            func: FuncId::from_index(2),
+            name: "g".into(),
+            privileged: false,
+        };
+        assert!(h.is_hijack());
+    }
+}

@@ -1,0 +1,168 @@
+//! Runtime error type.
+
+use std::error::Error;
+use std::fmt;
+
+use pnew_memory::{MemoryError, VirtAddr};
+use pnew_object::LayoutError;
+
+/// An error raised by the simulated machine.
+///
+/// These are *host-level* failures (bad scenario wiring, exhausted
+/// resources), not attack outcomes: a successful overflow is reported
+/// through [`ControlOutcome`](crate::ControlOutcome), never as an error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A memory access faulted (simulated segfault).
+    Memory(MemoryError),
+    /// Layout computation or field resolution failed.
+    Layout(LayoutError),
+    /// A named global was not defined.
+    UnknownGlobal {
+        /// The name that was looked up.
+        name: String,
+    },
+    /// A named local was not found in the current frame.
+    UnknownLocal {
+        /// The name that was looked up.
+        name: String,
+    },
+    /// `ret` or a local lookup was attempted with no active frame.
+    NoActiveFrame,
+    /// The scripted attacker input ran out of tokens.
+    InputExhausted {
+        /// What the program tried to read (`int`, `double`, `string`).
+        wanted: &'static str,
+    },
+    /// The scripted input had the wrong token type.
+    InputTypeMismatch {
+        /// What the program tried to read.
+        wanted: &'static str,
+        /// What the script provided.
+        found: &'static str,
+    },
+    /// No function with this name is registered.
+    UnknownFunction {
+        /// The name that was looked up.
+        name: String,
+    },
+    /// The heap cannot satisfy an allocation.
+    HeapExhausted {
+        /// Requested size in bytes.
+        requested: u32,
+        /// Largest free block available.
+        largest_free: u32,
+    },
+    /// `free` was called on an address that is not a live allocation.
+    InvalidFree {
+        /// The address passed to `free`.
+        addr: VirtAddr,
+    },
+    /// The heap allocator found its block header corrupted — collateral
+    /// damage of a heap overflow.
+    HeapCorruption {
+        /// Address of the damaged block.
+        addr: VirtAddr,
+    },
+    /// Pushing a frame would run the stack into its guard.
+    StackExhausted {
+        /// Bytes the frame needed.
+        needed: u32,
+    },
+    /// Placement new at the null address ("the address must be a non-null
+    /// one", §2).
+    NullPlacement,
+    /// A segment ran out of room for globals.
+    SegmentFull {
+        /// Which segment.
+        segment: &'static str,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Memory(e) => write!(f, "memory fault: {e}"),
+            RuntimeError::Layout(e) => write!(f, "layout error: {e}"),
+            RuntimeError::UnknownGlobal { name } => write!(f, "unknown global {name:?}"),
+            RuntimeError::UnknownLocal { name } => write!(f, "unknown local {name:?}"),
+            RuntimeError::NoActiveFrame => f.write_str("no active stack frame"),
+            RuntimeError::InputExhausted { wanted } => {
+                write!(f, "attacker input exhausted while reading {wanted}")
+            }
+            RuntimeError::InputTypeMismatch { wanted, found } => {
+                write!(f, "attacker input mismatch: wanted {wanted}, found {found}")
+            }
+            RuntimeError::UnknownFunction { name } => write!(f, "unknown function {name:?}"),
+            RuntimeError::HeapExhausted { requested, largest_free } => write!(
+                f,
+                "heap exhausted: requested {requested} bytes, largest free block {largest_free}"
+            ),
+            RuntimeError::InvalidFree { addr } => {
+                write!(f, "free of {addr} which is not a live allocation")
+            }
+            RuntimeError::HeapCorruption { addr } => {
+                write!(f, "heap block header at {addr} is corrupted")
+            }
+            RuntimeError::StackExhausted { needed } => {
+                write!(f, "stack exhausted: frame needs {needed} bytes")
+            }
+            RuntimeError::NullPlacement => f.write_str("placement new at the null address"),
+            RuntimeError::SegmentFull { segment } => {
+                write!(f, "{segment} segment has no room for more globals")
+            }
+        }
+    }
+}
+
+impl Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RuntimeError::Memory(e) => Some(e),
+            RuntimeError::Layout(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemoryError> for RuntimeError {
+    fn from(e: MemoryError) -> Self {
+        RuntimeError::Memory(e)
+    }
+}
+
+impl From<LayoutError> for RuntimeError {
+    fn from(e: LayoutError) -> Self {
+        RuntimeError::Layout(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = RuntimeError::InputExhausted { wanted: "int" };
+        assert_eq!(e.to_string(), "attacker input exhausted while reading int");
+        let e = RuntimeError::HeapExhausted { requested: 64, largest_free: 16 };
+        assert!(e.to_string().contains("64"));
+        assert!(RuntimeError::NoActiveFrame.to_string().contains("frame"));
+        assert!(RuntimeError::NullPlacement.to_string().contains("null"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        let m = MemoryError::Unmapped { addr: VirtAddr::new(4), len: 1 };
+        let e = RuntimeError::from(m.clone());
+        assert_eq!(e, RuntimeError::Memory(m));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&RuntimeError::NoActiveFrame).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<RuntimeError>();
+    }
+}

@@ -1,0 +1,397 @@
+//! Stack frames.
+//!
+//! Frame geometry is the load-bearing detail of the paper's §3.6:
+//!
+//! > "the return address of `addStudent()` is being overwritten by
+//! > `ssn[0]` (If the frame pointer is saved, then `ssn[1]` would
+//! > overwrite the return address.) If the system employs canaries (such
+//! > as the StackGuard in gcc) ... then `ssn[2]` overwrites the return
+//! > address."
+//!
+//! The planner reproduces that geometry exactly: above the locals sit (low
+//! to high) the optional canary, the optional saved frame pointer, and the
+//! return address, each one pointer wide; locals are allocated top-down in
+//! declaration order at their natural alignment. The metadata block is
+//! anchored at an 8-byte boundary, which is also what makes the §3.7.2
+//! padding observation (`ssn[0]` lands in padding, `ssn[1]` on `n`) come
+//! out as printed.
+
+use std::fmt;
+
+use pnew_memory::VirtAddr;
+
+/// Stack-protection configuration of the simulated compiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StackProtection {
+    /// No saved frame pointer, no canary (`-fomit-frame-pointer`,
+    /// no protector): the return address sits directly above the locals.
+    None,
+    /// Frame pointer saved, no canary: `[locals][saved FP][ret]`.
+    FramePointer,
+    /// gcc StackGuard: `[locals][canary][saved FP][ret]`.
+    #[default]
+    StackGuard,
+}
+
+impl StackProtection {
+    /// `true` if a canary word is placed.
+    pub fn has_canary(self) -> bool {
+        matches!(self, StackProtection::StackGuard)
+    }
+
+    /// `true` if the frame pointer is saved.
+    pub fn has_frame_pointer(self) -> bool {
+        matches!(self, StackProtection::FramePointer | StackProtection::StackGuard)
+    }
+}
+
+impl fmt::Display for StackProtection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StackProtection::None => f.write_str("none"),
+            StackProtection::FramePointer => f.write_str("frame pointer"),
+            StackProtection::StackGuard => f.write_str("stackguard"),
+        }
+    }
+}
+
+/// A local variable slot in a planned frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Local {
+    name: String,
+    addr: VirtAddr,
+    size: u32,
+    align: u32,
+}
+
+impl Local {
+    /// The declared name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The slot address.
+    pub fn addr(&self) -> VirtAddr {
+        self.addr
+    }
+
+    /// The slot size in bytes.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The slot alignment.
+    pub fn align(&self) -> u32 {
+        self.align
+    }
+
+    /// One past the last byte of the slot.
+    pub fn end(&self) -> VirtAddr {
+        self.addr + self.size
+    }
+}
+
+/// A planned (and, once pushed, live) stack frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    function: String,
+    locals: Vec<Local>,
+    ret_slot: VirtAddr,
+    fp_slot: Option<VirtAddr>,
+    canary_slot: Option<VirtAddr>,
+    return_target: VirtAddr,
+    canary_value: Option<u32>,
+    saved_fp_value: u32,
+    entry_sp: VirtAddr,
+    sp: VirtAddr,
+}
+
+impl Frame {
+    /// Plans a frame below `sp`.
+    ///
+    /// `locals` are `(name, size, align)` in declaration order; the first
+    /// declared local receives the highest address, exactly as the paper's
+    /// examples assume.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an alignment is not a power of two.
+    pub fn plan(
+        function: &str,
+        sp: VirtAddr,
+        ptr_size: u32,
+        protection: StackProtection,
+        locals: &[(String, u32, u32)],
+    ) -> Frame {
+        let meta_words =
+            1 + u32::from(protection.has_frame_pointer()) + u32::from(protection.has_canary());
+        let meta_size = ptr_size * meta_words;
+        // Anchor the metadata block so its lowest word is 8-aligned: this is
+        // the invariant that reproduces the paper's slot arithmetic.
+        let lowest_meta = (sp - meta_size).align_down(8);
+        let ret_slot = lowest_meta + meta_size - ptr_size;
+        let (canary_slot, fp_slot) = match protection {
+            StackProtection::None => (None, None),
+            StackProtection::FramePointer => (None, Some(lowest_meta)),
+            StackProtection::StackGuard => (Some(lowest_meta), Some(lowest_meta + ptr_size)),
+        };
+
+        let mut cursor = lowest_meta;
+        let mut planned = Vec::with_capacity(locals.len());
+        for (name, size, align) in locals {
+            cursor = (cursor - *size).align_down(*align);
+            planned.push(Local { name: name.clone(), addr: cursor, size: *size, align: *align });
+        }
+        let new_sp = cursor.align_down(16);
+
+        Frame {
+            function: function.to_owned(),
+            locals: planned,
+            ret_slot,
+            fp_slot,
+            canary_slot,
+            return_target: VirtAddr::NULL,
+            canary_value: None,
+            saved_fp_value: 0,
+            entry_sp: sp,
+            sp: new_sp,
+        }
+    }
+
+    /// The function name.
+    pub fn function(&self) -> &str {
+        &self.function
+    }
+
+    /// All locals in declaration order.
+    pub fn locals(&self) -> &[Local] {
+        &self.locals
+    }
+
+    /// Looks a local up by name.
+    pub fn local(&self, name: &str) -> Option<&Local> {
+        self.locals.iter().find(|l| l.name == name)
+    }
+
+    /// Address of the return-address slot.
+    pub fn ret_slot(&self) -> VirtAddr {
+        self.ret_slot
+    }
+
+    /// Address of the saved-frame-pointer slot, if saved.
+    pub fn fp_slot(&self) -> Option<VirtAddr> {
+        self.fp_slot
+    }
+
+    /// Address of the canary slot, if StackGuard is active.
+    pub fn canary_slot(&self) -> Option<VirtAddr> {
+        self.canary_slot
+    }
+
+    /// The legitimate return target recorded at call time.
+    pub fn return_target(&self) -> VirtAddr {
+        self.return_target
+    }
+
+    /// The canary value written at entry, if any.
+    pub fn canary_value(&self) -> Option<u32> {
+        self.canary_value
+    }
+
+    /// The frame-pointer value written at entry.
+    pub fn saved_fp_value(&self) -> u32 {
+        self.saved_fp_value
+    }
+
+    /// Stack pointer before this frame was pushed.
+    pub fn entry_sp(&self) -> VirtAddr {
+        self.entry_sp
+    }
+
+    /// Stack pointer while this frame is live.
+    pub fn sp(&self) -> VirtAddr {
+        self.sp
+    }
+
+    /// Bytes this frame occupies.
+    pub fn size(&self) -> u32 {
+        self.entry_sp.offset_from(self.sp) as u32
+    }
+
+    /// Records the values written at entry (used by the machine).
+    pub(crate) fn record_entry(
+        &mut self,
+        return_target: VirtAddr,
+        canary_value: Option<u32>,
+        saved_fp_value: u32,
+    ) {
+        self.return_target = return_target;
+        self.canary_value = canary_value;
+        self.saved_fp_value = saved_fp_value;
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "frame {} (sp {})", self.function, self.sp)?;
+        writeln!(f, "  {} ret", self.ret_slot)?;
+        if let Some(fp) = self.fp_slot {
+            writeln!(f, "  {fp} saved fp")?;
+        }
+        if let Some(c) = self.canary_slot {
+            writeln!(f, "  {c} canary")?;
+        }
+        for l in &self.locals {
+            writeln!(f, "  {} {} ({} bytes, align {})", l.addr, l.name, l.size, l.align)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SP: VirtAddr = VirtAddr::new(0xc000_0000);
+
+    fn student_local(name: &str) -> (String, u32, u32) {
+        (name.to_owned(), 16, 8) // sizeof/alignof(Student) under the paper policy
+    }
+
+    #[test]
+    fn listing_13_geometry_under_stackguard() {
+        // [stud][canary][fp][ret]: ssn[i] = stud+16+4i hits canary, fp, ret.
+        let f =
+            Frame::plan("addStudent", SP, 4, StackProtection::StackGuard, &[student_local("stud")]);
+        let stud = f.local("stud").unwrap();
+        let canary = f.canary_slot().unwrap();
+        let fp = f.fp_slot().unwrap();
+        assert_eq!(stud.end(), canary);
+        assert_eq!(canary + 4, fp);
+        assert_eq!(fp + 4, f.ret_slot());
+        assert!(canary.is_aligned(8));
+    }
+
+    #[test]
+    fn listing_13_geometry_without_protection() {
+        // ssn[0] overwrites the return address directly.
+        let f = Frame::plan("addStudent", SP, 4, StackProtection::None, &[student_local("stud")]);
+        let stud = f.local("stud").unwrap();
+        assert_eq!(f.canary_slot(), None);
+        assert_eq!(f.fp_slot(), None);
+        assert_eq!(stud.end(), f.ret_slot());
+    }
+
+    #[test]
+    fn listing_13_geometry_with_frame_pointer() {
+        // "If the frame pointer is saved, then ssn[1] would overwrite the
+        // return address."
+        let f = Frame::plan(
+            "addStudent",
+            SP,
+            4,
+            StackProtection::FramePointer,
+            &[student_local("stud")],
+        );
+        let stud = f.local("stud").unwrap();
+        assert_eq!(stud.end(), f.fp_slot().unwrap());
+        assert_eq!(stud.end() + 4, f.ret_slot());
+    }
+
+    #[test]
+    fn listing_15_padding_between_stud_and_n() {
+        // §3.7.2: "ssn[0] does not overwrite n, but ssn[1] overwrites n
+        // because stud ... leaves 4 bytes for padding".
+        let f = Frame::plan(
+            "addStudent",
+            SP,
+            4,
+            StackProtection::StackGuard,
+            &[("n".to_owned(), 4, 4), student_local("stud")],
+        );
+        let n = f.local("n").unwrap();
+        let stud = f.local("stud").unwrap();
+        assert_eq!(n.addr().offset_from(stud.end()), 4); // 4 bytes of padding
+        assert_eq!(stud.end() + 4, n.addr()); // ssn[1] hits n
+        assert!(stud.addr().is_aligned(8));
+    }
+
+    #[test]
+    fn listing_16_first_sits_right_above_stud() {
+        // Student first; Student stud: no padding (both 8-aligned, size 16),
+        // so gs->ssn[0] at stud+16 hits first.gpa at offset 0 of `first`.
+        let f = Frame::plan(
+            "addStudent",
+            SP,
+            4,
+            StackProtection::StackGuard,
+            &[("first".to_owned(), 16, 8), student_local("stud")],
+        );
+        let first = f.local("first").unwrap();
+        let stud = f.local("stud").unwrap();
+        assert_eq!(stud.end(), first.addr());
+    }
+
+    #[test]
+    fn declaration_order_maps_to_descending_addresses() {
+        let f = Frame::plan(
+            "f",
+            SP,
+            4,
+            StackProtection::None,
+            &[("a".to_owned(), 4, 4), ("b".to_owned(), 4, 4), ("c".to_owned(), 4, 4)],
+        );
+        let (a, b, c) = (
+            f.local("a").unwrap().addr(),
+            f.local("b").unwrap().addr(),
+            f.local("c").unwrap().addr(),
+        );
+        assert!(a > b && b > c);
+        assert_eq!(a.offset_from(b), 4);
+    }
+
+    #[test]
+    fn sp_is_16_aligned_and_below_all_locals() {
+        let f = Frame::plan("f", SP, 4, StackProtection::StackGuard, &[("buf".to_owned(), 100, 1)]);
+        assert!(f.sp().is_aligned(16));
+        assert!(f.sp() <= f.local("buf").unwrap().addr());
+        assert!(f.size() >= 100);
+        assert_eq!(f.entry_sp(), SP);
+    }
+
+    #[test]
+    fn lp64_metadata_words_are_wider() {
+        let f = Frame::plan("f", SP, 8, StackProtection::StackGuard, &[student_local("stud")]);
+        let canary = f.canary_slot().unwrap();
+        assert_eq!(f.fp_slot().unwrap().offset_from(canary), 8);
+        assert_eq!(f.ret_slot().offset_from(canary), 16);
+    }
+
+    #[test]
+    fn unknown_local_is_none() {
+        let f = Frame::plan("f", SP, 4, StackProtection::None, &[]);
+        assert!(f.local("nope").is_none());
+        assert!(f.locals().is_empty());
+    }
+
+    #[test]
+    fn protection_queries() {
+        assert!(!StackProtection::None.has_canary());
+        assert!(!StackProtection::None.has_frame_pointer());
+        assert!(!StackProtection::FramePointer.has_canary());
+        assert!(StackProtection::FramePointer.has_frame_pointer());
+        assert!(StackProtection::StackGuard.has_canary());
+        assert!(StackProtection::StackGuard.has_frame_pointer());
+        assert_eq!(StackProtection::StackGuard.to_string(), "stackguard");
+    }
+
+    #[test]
+    fn display_dumps_slots() {
+        let f =
+            Frame::plan("addStudent", SP, 4, StackProtection::StackGuard, &[student_local("stud")]);
+        let text = f.to_string();
+        assert!(text.contains("ret"));
+        assert!(text.contains("canary"));
+        assert!(text.contains("stud"));
+    }
+}

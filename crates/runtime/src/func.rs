@@ -1,0 +1,270 @@
+//! The function table: registered code entry points in the text segment.
+//!
+//! The reproduction does not execute machine code; it registers *named
+//! functions at text-segment addresses* so that control transfers can be
+//! classified. Arc injection (§3.6.2) succeeds when a corrupted return
+//! address or pointer lands on the entry of some registered function —
+//! the interesting case being a [`Privilege::Privileged`] entry such as
+//! `system`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pnew_memory::VirtAddr;
+
+/// A data-driven side effect a registered function performs when invoked
+/// (via a legitimate call *or* a hijack). Effects make attack impact
+/// observable: reaching `system` actually "spawns a shell" in the
+/// machine's ledger instead of merely being classified.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FuncEffect {
+    /// Appends a line to the program output.
+    Print(String),
+    /// Writes an `int` to an address (e.g. sets a privilege flag).
+    WriteI32 {
+        /// Destination address.
+        addr: VirtAddr,
+        /// Value stored.
+        value: i32,
+    },
+    /// Spawns a shell with the NUL-terminated command found at `arg`
+    /// (recorded in the machine's shell ledger, never executed for real).
+    SpawnShell {
+        /// Address of the command string.
+        arg: VirtAddr,
+    },
+}
+
+/// Identifier of a registered function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FuncId(u32);
+
+impl FuncId {
+    /// Creates an id from a raw index (tests, serialization).
+    pub const fn from_index(index: u32) -> Self {
+        FuncId(index)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// Privilege marker for a function — whether reaching it gives the
+/// attacker elevated capability (the `system`-in-privileged-mode target of
+/// §3.6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Privilege {
+    /// Ordinary application code.
+    #[default]
+    Normal,
+    /// Security-sensitive code (spawns shells, writes accounts, …).
+    Privileged,
+}
+
+/// A registered function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDef {
+    id: FuncId,
+    name: String,
+    addr: VirtAddr,
+    privilege: Privilege,
+}
+
+impl FuncDef {
+    /// The function id.
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// The function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The text-segment entry address.
+    pub fn addr(&self) -> VirtAddr {
+        self.addr
+    }
+
+    /// The privilege marker.
+    pub fn privilege(&self) -> Privilege {
+        self.privilege
+    }
+
+    /// `true` if the function is privileged.
+    pub fn is_privileged(&self) -> bool {
+        self.privilege == Privilege::Privileged
+    }
+}
+
+/// Registry of functions laid out in the text segment.
+///
+/// Functions are spaced [`FuncTable::ENTRY_SPAN`] bytes apart starting at
+/// `text_base + FIRST_OFFSET`; a control transfer anywhere inside a span
+/// resolves to that function (jumping into a function body still executes
+/// it, just not from the top).
+#[derive(Debug, Clone)]
+pub struct FuncTable {
+    text_base: VirtAddr,
+    text_size: u32,
+    funcs: Vec<FuncDef>,
+    by_name: HashMap<String, FuncId>,
+}
+
+impl FuncTable {
+    /// Bytes reserved per function body.
+    pub const ENTRY_SPAN: u32 = 0x40;
+    /// Offset of the first function above the text base (the gap holds the
+    /// synthetic call-site addresses used as legitimate return targets).
+    pub const FIRST_OFFSET: u32 = 0x100;
+
+    /// Creates a table over a text segment at `text_base` of `text_size`
+    /// bytes.
+    pub fn new(text_base: VirtAddr, text_size: u32) -> Self {
+        FuncTable { text_base, text_size, funcs: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// Registers a function and returns its id. Re-registering a name
+    /// returns the existing id (privilege is not changed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the text segment has no room for another entry.
+    pub fn register(&mut self, name: &str, privilege: Privilege) -> FuncId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let index = self.funcs.len() as u32;
+        let offset = Self::FIRST_OFFSET + index * Self::ENTRY_SPAN;
+        assert!(
+            offset + Self::ENTRY_SPAN <= self.text_size,
+            "text segment full: cannot register {name}"
+        );
+        let id = FuncId(index);
+        let def = FuncDef { id, name: name.to_owned(), addr: self.text_base + offset, privilege };
+        self.by_name.insert(name.to_owned(), id);
+        self.funcs.push(def);
+        id
+    }
+
+    /// Looks a function up by name.
+    pub fn by_name(&self, name: &str) -> Option<&FuncDef> {
+        self.by_name.get(name).map(|&id| &self.funcs[id.0 as usize])
+    }
+
+    /// Returns the definition for an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this table.
+    pub fn def(&self, id: FuncId) -> &FuncDef {
+        &self.funcs[id.0 as usize]
+    }
+
+    /// Resolves a code address to the function whose span contains it.
+    pub fn resolve(&self, addr: VirtAddr) -> Option<&FuncDef> {
+        if addr < self.text_base + Self::FIRST_OFFSET {
+            return None;
+        }
+        let rel = addr.offset_from(self.text_base) as u32 - Self::FIRST_OFFSET;
+        let index = (rel / Self::ENTRY_SPAN) as usize;
+        self.funcs.get(index).filter(|d| addr >= d.addr && addr < d.addr + Self::ENTRY_SPAN)
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// `true` if no functions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Iterates over all registered functions.
+    pub fn iter(&self) -> impl Iterator<Item = &FuncDef> {
+        self.funcs.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FuncTable {
+        FuncTable::new(VirtAddr::new(0x0804_8000), 0x1_0000)
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let mut t = table();
+        let f = t.register("system", Privilege::Privileged);
+        let g = t.register("getInfo", Privilege::Normal);
+        assert_ne!(f, g);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+
+        let fd = t.def(f);
+        assert_eq!(fd.name(), "system");
+        assert!(fd.is_privileged());
+        assert_eq!(fd.addr(), VirtAddr::new(0x0804_8100));
+        assert_eq!(t.def(g).addr(), VirtAddr::new(0x0804_8140));
+
+        // Entry and mid-body addresses resolve; addresses outside do not.
+        assert_eq!(t.resolve(fd.addr()).unwrap().id(), f);
+        assert_eq!(t.resolve(fd.addr() + 0x3f).unwrap().id(), f);
+        assert_eq!(t.resolve(VirtAddr::new(0x0804_8140)).unwrap().id(), g);
+        assert_eq!(t.resolve(VirtAddr::new(0x0804_8000)), None);
+        assert_eq!(t.resolve(VirtAddr::new(0x0804_8180)), None);
+    }
+
+    #[test]
+    fn reregistration_returns_existing_id() {
+        let mut t = table();
+        let a = t.register("f", Privilege::Normal);
+        let b = t.register("f", Privilege::Privileged);
+        assert_eq!(a, b);
+        assert!(!t.def(a).is_privileged()); // privilege unchanged
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mut t = table();
+        t.register("f", Privilege::Normal);
+        assert!(t.by_name("f").is_some());
+        assert!(t.by_name("g").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "text segment full")]
+    fn full_table_panics() {
+        let mut t = FuncTable::new(VirtAddr::new(0x1000), 0x180); // room for 2
+        t.register("a", Privilege::Normal);
+        t.register("b", Privilege::Normal);
+        t.register("c", Privilege::Normal);
+    }
+
+    #[test]
+    fn iter_lists_in_order() {
+        let mut t = table();
+        t.register("a", Privilege::Normal);
+        t.register("b", Privilege::Normal);
+        let names: Vec<_> = t.iter().map(|d| d.name().to_owned()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn func_id_display() {
+        assert_eq!(FuncId::from_index(3).to_string(), "fn#3");
+        assert_eq!(FuncId::from_index(3).index(), 3);
+    }
+}

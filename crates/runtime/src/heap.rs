@@ -1,0 +1,475 @@
+//! The heap allocator.
+//!
+//! A first-fit free-list allocator over the heap segment, with 8-byte
+//! in-memory block headers. Headers live *in the simulated memory*, so a
+//! heap overflow that runs past an allocation clobbers the next header —
+//! the classic heap-metadata collateral the paper's Listing 12 rides on —
+//! and is detected (as [`RuntimeError::HeapCorruption`]) only when the
+//! damaged block is eventually freed.
+//!
+//! The allocator also provides [`free_sized`](HeapAllocator::free_sized),
+//! the size-mismatched release that produces the §4.5 memory leak
+//! ("the amount of memory leaked per iteration is the difference in the
+//! size").
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pnew_memory::{AddressSpace, VirtAddr};
+
+use crate::error::RuntimeError;
+
+/// Magic value stored in every live block header. Public because an
+/// in-world attacker would read it out of the binary — forging it is part
+/// of the classic heap-metadata attack (E26).
+pub const BLOCK_MAGIC: u32 = 0xa110_c8ed;
+
+/// Header bytes preceding every allocation.
+pub const HEADER_SIZE: u32 = 8;
+
+/// Allocation granularity.
+const GRAIN: u32 = 8;
+
+/// Counters describing allocator state — the §4.5 leak experiment reads
+/// these directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HeapStats {
+    /// Successful allocations.
+    pub total_allocs: u64,
+    /// Successful frees (including sized frees).
+    pub total_frees: u64,
+    /// Currently live blocks.
+    pub live_blocks: u64,
+    /// Payload bytes in live blocks.
+    pub live_bytes: u64,
+    /// Bytes stranded by size-mismatched frees — never reusable.
+    pub leaked_bytes: u64,
+    /// High-water mark of `live_bytes`.
+    pub peak_live_bytes: u64,
+    /// Allocations that failed for lack of space.
+    pub failed_allocs: u64,
+}
+
+impl fmt::Display for HeapStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "heap: {} live blocks ({} bytes), {} leaked bytes, {} allocs / {} frees, peak {}",
+            self.live_blocks,
+            self.live_bytes,
+            self.leaked_bytes,
+            self.total_allocs,
+            self.total_frees,
+            self.peak_live_bytes
+        )
+    }
+}
+
+/// First-fit free-list allocator over the heap segment.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_memory::{AddressSpace, SegmentKind};
+/// use pnew_runtime::HeapAllocator;
+///
+/// # fn main() -> Result<(), pnew_runtime::RuntimeError> {
+/// let mut space = AddressSpace::ilp32();
+/// let mut heap = HeapAllocator::for_space(&space);
+/// let a = heap.alloc(&mut space, 16)?;
+/// let b = heap.alloc(&mut space, 16)?;
+/// assert!(b > a);
+/// heap.free(&mut space, a)?;
+/// heap.free(&mut space, b)?;
+/// assert_eq!(heap.stats().live_blocks, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeapAllocator {
+    base: VirtAddr,
+    size: u32,
+    /// Free ranges `(start, len)`, sorted by start, coalesced.
+    free_list: Vec<(VirtAddr, u32)>,
+    /// Live data address → reserved length (header included).
+    blocks: HashMap<VirtAddr, u32>,
+    stats: HeapStats,
+    /// Classic-allocator mode: `free` trusts the *in-memory* block header
+    /// (like dlmalloc-era allocators) instead of cross-checking it against
+    /// host-side truth. Corrupted headers then poison the free list — the
+    /// w00w00-style exploitation path of E26. Off by default.
+    trust_headers: bool,
+}
+
+impl HeapAllocator {
+    /// Creates an allocator over `[base, base + size)`.
+    pub fn new(base: VirtAddr, size: u32) -> Self {
+        HeapAllocator {
+            base,
+            size,
+            free_list: vec![(base, size)],
+            blocks: HashMap::new(),
+            stats: HeapStats::default(),
+            trust_headers: false,
+        }
+    }
+
+    /// Switches between the checking allocator (default: corrupted headers
+    /// abort the program at `free`, like a hardened allocator) and the
+    /// classic header-trusting one (corrupted headers silently poison the
+    /// free list).
+    pub fn set_trust_headers(&mut self, trust: bool) {
+        self.trust_headers = trust;
+    }
+
+    /// Creates an allocator covering the heap segment of `space`.
+    pub fn for_space(space: &AddressSpace) -> Self {
+        let seg = space.segment(pnew_memory::SegmentKind::Heap);
+        Self::new(seg.base(), seg.size())
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Size of the largest free range.
+    pub fn largest_free(&self) -> u32 {
+        self.free_list.iter().map(|&(_, len)| len).max().unwrap_or(0)
+    }
+
+    /// Total free bytes (including header overhead to come).
+    pub fn total_free(&self) -> u32 {
+        self.free_list.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Reserved length (header included) for a payload of `size` bytes.
+    fn reserved_len(size: u32) -> u32 {
+        HEADER_SIZE + size.max(1).div_ceil(GRAIN) * GRAIN
+    }
+
+    /// Allocates `size` payload bytes; returns the payload address
+    /// (8-aligned, preceded by the block header).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::HeapExhausted`] when no free range fits, and
+    /// propagates memory faults from header writes.
+    pub fn alloc(&mut self, space: &mut AddressSpace, size: u32) -> Result<VirtAddr, RuntimeError> {
+        let need = Self::reserved_len(size);
+        let slot = self.free_list.iter().position(|&(_, len)| len >= need);
+        let Some(i) = slot else {
+            self.stats.failed_allocs += 1;
+            return Err(RuntimeError::HeapExhausted {
+                requested: size,
+                largest_free: self.largest_free().saturating_sub(HEADER_SIZE),
+            });
+        };
+        let (start, len) = self.free_list[i];
+        if len == need {
+            self.free_list.remove(i);
+        } else {
+            self.free_list[i] = (start + need, len - need);
+        }
+        let data = start + HEADER_SIZE;
+        space.write_u32(start, need)?;
+        space.write_u32(start + 4, BLOCK_MAGIC)?;
+        self.blocks.insert(data, need);
+        self.stats.total_allocs += 1;
+        self.stats.live_blocks += 1;
+        self.stats.live_bytes += u64::from(need - HEADER_SIZE);
+        self.stats.peak_live_bytes = self.stats.peak_live_bytes.max(self.stats.live_bytes);
+        Ok(data)
+    }
+
+    /// Frees a whole block previously returned by
+    /// [`alloc`](Self::alloc).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidFree`] for unknown addresses and
+    /// [`RuntimeError::HeapCorruption`] when the block header was
+    /// overwritten (e.g. by a neighbouring overflow).
+    pub fn free(&mut self, space: &mut AddressSpace, data: VirtAddr) -> Result<(), RuntimeError> {
+        let need =
+            self.blocks.get(&data).copied().ok_or(RuntimeError::InvalidFree { addr: data })?;
+        let released = if self.trust_headers {
+            // The classic allocator believes whatever the header says, as
+            // long as it looks like a block (magic intact — which an
+            // attacker can forge).
+            let header = data - HEADER_SIZE;
+            if space.read_u32(header + 4)? != BLOCK_MAGIC {
+                return Err(RuntimeError::HeapCorruption { addr: header });
+            }
+            space.read_u32(header)?
+        } else {
+            self.check_header(space, data, need)?;
+            need
+        };
+        self.blocks.remove(&data);
+        self.insert_free(data - HEADER_SIZE, released);
+        self.stats.total_frees += 1;
+        self.stats.live_blocks -= 1;
+        self.stats.live_bytes -= u64::from(need - HEADER_SIZE);
+        Ok(())
+    }
+
+    /// Frees only the first `size` payload bytes of a block, stranding the
+    /// rest — the §4.5 size-mismatched pool release (`delete` through a
+    /// `Student*` of memory allocated for a `GradStudent`).
+    ///
+    /// The stranded tail is accounted in [`HeapStats::leaked_bytes`] and is
+    /// never returned to the free list.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`free`](Self::free).
+    pub fn free_sized(
+        &mut self,
+        space: &mut AddressSpace,
+        data: VirtAddr,
+        size: u32,
+    ) -> Result<(), RuntimeError> {
+        let need =
+            self.blocks.get(&data).copied().ok_or(RuntimeError::InvalidFree { addr: data })?;
+        self.check_header(space, data, need)?;
+        let released = Self::reserved_len(size).min(need);
+        self.blocks.remove(&data);
+        self.insert_free(data - HEADER_SIZE, released);
+        self.stats.total_frees += 1;
+        self.stats.live_blocks -= 1;
+        self.stats.live_bytes -= u64::from(need - HEADER_SIZE);
+        self.stats.leaked_bytes += u64::from(need - released);
+        Ok(())
+    }
+
+    fn check_header(
+        &self,
+        space: &AddressSpace,
+        data: VirtAddr,
+        need: u32,
+    ) -> Result<(), RuntimeError> {
+        let header = data - HEADER_SIZE;
+        let size_ok = space.read_u32(header)? == need;
+        let magic_ok = space.read_u32(header + 4)? == BLOCK_MAGIC;
+        if size_ok && magic_ok {
+            Ok(())
+        } else {
+            Err(RuntimeError::HeapCorruption { addr: header })
+        }
+    }
+
+    fn insert_free(&mut self, start: VirtAddr, len: u32) {
+        let pos = self.free_list.partition_point(|&(s, _)| s <= start);
+        self.free_list.insert(pos, (start, len));
+        // Coalesce with the right neighbour, then the left.
+        if pos + 1 < self.free_list.len() {
+            let (s, l) = self.free_list[pos];
+            let (ns, nl) = self.free_list[pos + 1];
+            if s + l == ns {
+                self.free_list[pos] = (s, l + nl);
+                self.free_list.remove(pos + 1);
+            }
+        }
+        if pos > 0 {
+            let (ps, pl) = self.free_list[pos - 1];
+            let (s, l) = self.free_list[pos];
+            if ps + pl == s {
+                self.free_list[pos - 1] = (ps, pl + l);
+                self.free_list.remove(pos);
+            }
+        }
+    }
+
+    /// The live block containing `addr`, as `(payload_start, payload_len)`.
+    ///
+    /// This is the metadata a libsafe-style interceptor (§5.2) can recover
+    /// for heap pointers.
+    pub fn block_containing(&self, addr: VirtAddr) -> Option<(VirtAddr, u32)> {
+        self.blocks.iter().find_map(|(&data, &need)| {
+            let len = need - HEADER_SIZE;
+            (addr >= data && addr < data + len).then_some((data, len))
+        })
+    }
+
+    /// `true` if `data` is a live allocation.
+    pub fn is_live(&self, data: VirtAddr) -> bool {
+        self.blocks.contains_key(&data)
+    }
+
+    /// Payload size of a live allocation, if any.
+    pub fn payload_size(&self, data: VirtAddr) -> Option<u32> {
+        self.blocks.get(&data).map(|need| need - HEADER_SIZE)
+    }
+
+    /// Base of the managed region.
+    pub fn base(&self) -> VirtAddr {
+        self.base
+    }
+
+    /// Size of the managed region.
+    pub fn region_size(&self) -> u32 {
+        self.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnew_memory::SegmentKind;
+
+    fn setup() -> (AddressSpace, HeapAllocator) {
+        let space = AddressSpace::ilp32();
+        let heap = HeapAllocator::for_space(&space);
+        (space, heap)
+    }
+
+    #[test]
+    fn sequential_allocations_are_adjacent() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 16).unwrap();
+        let b = heap.alloc(&mut space, 16).unwrap();
+        // 16 payload + 8 header
+        assert_eq!(b.offset_from(a), 24);
+        assert_eq!(heap.payload_size(a), Some(16));
+        assert!(heap.is_live(a));
+    }
+
+    #[test]
+    fn rounding_to_grain() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 1).unwrap();
+        let b = heap.alloc(&mut space, 1).unwrap();
+        assert_eq!(b.offset_from(a), 16); // 8 payload grain + 8 header
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 32).unwrap();
+        heap.free(&mut space, a).unwrap();
+        let b = heap.alloc(&mut space, 32).unwrap();
+        assert_eq!(a, b); // first-fit reuses the hole
+        assert_eq!(heap.stats().total_allocs, 2);
+        assert_eq!(heap.stats().total_frees, 1);
+    }
+
+    #[test]
+    fn coalescing_rebuilds_large_blocks() {
+        let (mut space, mut heap) = setup();
+        let initial_largest = heap.largest_free();
+        let a = heap.alloc(&mut space, 16).unwrap();
+        let b = heap.alloc(&mut space, 16).unwrap();
+        let c = heap.alloc(&mut space, 16).unwrap();
+        heap.free(&mut space, a).unwrap();
+        heap.free(&mut space, c).unwrap();
+        heap.free(&mut space, b).unwrap(); // middle last: both merges fire
+        assert_eq!(heap.largest_free(), initial_largest);
+        assert_eq!(heap.free_list.len(), 1);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 8).unwrap();
+        heap.free(&mut space, a).unwrap();
+        assert!(matches!(heap.free(&mut space, a), Err(RuntimeError::InvalidFree { .. })));
+    }
+
+    #[test]
+    fn header_corruption_detected_on_free() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 16).unwrap();
+        let b = heap.alloc(&mut space, 16).unwrap();
+        // Overflow a into b's header (the Listing 12 geometry).
+        space.write_bytes(a, &[0x41; 20]).unwrap();
+        assert!(matches!(heap.free(&mut space, b), Err(RuntimeError::HeapCorruption { .. })));
+        // a's own header is intact.
+        heap.free(&mut space, a).unwrap();
+    }
+
+    #[test]
+    fn exhaustion_reports_largest_free() {
+        let mut space = AddressSpace::ilp32();
+        let seg = space.segment(SegmentKind::Heap);
+        let mut heap = HeapAllocator::new(seg.base(), 64);
+        let _a = heap.alloc(&mut space, 40).unwrap();
+        let err = heap.alloc(&mut space, 40).unwrap_err();
+        assert!(matches!(err, RuntimeError::HeapExhausted { requested: 40, .. }));
+        assert_eq!(heap.stats().failed_allocs, 1);
+    }
+
+    #[test]
+    fn trusting_allocator_swallows_forged_sizes() {
+        // Forge a neighbour's header to cover the block after it: the
+        // trusting free poisons the free list, and the next allocation
+        // overlaps the live victim.
+        let (mut space, mut heap) = setup();
+        heap.set_trust_headers(true);
+        let a = heap.alloc(&mut space, 16).unwrap();
+        let victim = heap.alloc(&mut space, 16).unwrap();
+        // Attacker rewrites a's header: size now covers both blocks.
+        space.write_u32(a - HEADER_SIZE, 48).unwrap();
+        space.write_u32(a - HEADER_SIZE + 4, BLOCK_MAGIC).unwrap();
+        heap.free(&mut space, a).unwrap(); // silently accepted
+        let c = heap.alloc(&mut space, 40).unwrap();
+        // The new block overlaps the still-live victim.
+        assert!(c <= victim && victim < c + 40);
+        assert!(heap.is_live(victim));
+    }
+
+    #[test]
+    fn checking_allocator_rejects_the_same_forgery() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 16).unwrap();
+        let _victim = heap.alloc(&mut space, 16).unwrap();
+        space.write_u32(a - HEADER_SIZE, 48).unwrap();
+        assert!(matches!(heap.free(&mut space, a), Err(RuntimeError::HeapCorruption { .. })));
+    }
+
+    #[test]
+    fn sized_free_leaks_the_difference() {
+        // §4.5: allocate a GradStudent (32 bytes), release as a Student
+        // (16 bytes): 16 bytes leak per iteration.
+        let (mut space, mut heap) = setup();
+        let mut expected_leak = 0u64;
+        for _ in 0..10 {
+            let p = heap.alloc(&mut space, 32).unwrap();
+            heap.free_sized(&mut space, p, 16).unwrap();
+            expected_leak += 16;
+            assert_eq!(heap.stats().leaked_bytes, expected_leak);
+        }
+        assert_eq!(heap.stats().live_blocks, 0);
+        // The leaked tails are really unusable: free space dropped.
+        assert!(heap.total_free() < heap.region_size());
+        assert_eq!(u64::from(heap.region_size() - heap.total_free()), expected_leak);
+    }
+
+    #[test]
+    fn block_containing_finds_interior_addresses() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 32).unwrap();
+        assert_eq!(heap.block_containing(a), Some((a, 32)));
+        assert_eq!(heap.block_containing(a + 31), Some((a, 32)));
+        assert_eq!(heap.block_containing(a + 32), None);
+        heap.free(&mut space, a).unwrap();
+        assert_eq!(heap.block_containing(a), None);
+    }
+
+    #[test]
+    fn stats_track_peak() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 100).unwrap();
+        let peak = heap.stats().peak_live_bytes;
+        heap.free(&mut space, a).unwrap();
+        assert_eq!(heap.stats().live_bytes, 0);
+        assert_eq!(heap.stats().peak_live_bytes, peak);
+        assert!(peak >= 100);
+    }
+
+    #[test]
+    fn display_stats() {
+        let (_, heap) = setup();
+        assert!(heap.stats().to_string().contains("live blocks"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Scripted attacker input.
+//!
+//! The paper's attacks are driven by values the victim reads with
+//! `cin >>` or receives from files/sockets. [`InputStream`] is the
+//! deterministic stand-in: a queue of typed tokens prepared by the attack
+//! scenario ("user input: ssn[0], ssn[1], ssn[2]").
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::error::RuntimeError;
+
+/// One token of scripted input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputToken {
+    /// An integer (what `cin >> int_var` consumes).
+    Int(i64),
+    /// A floating-point value (`cin >> double_var`).
+    Double(f64),
+    /// A string / byte payload (usernames, shell commands, …).
+    Str(String),
+}
+
+impl InputToken {
+    fn kind(&self) -> &'static str {
+        match self {
+            InputToken::Int(_) => "int",
+            InputToken::Double(_) => "double",
+            InputToken::Str(_) => "string",
+        }
+    }
+}
+
+impl fmt::Display for InputToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InputToken::Int(v) => write!(f, "{v}"),
+            InputToken::Double(v) => write!(f, "{v}"),
+            InputToken::Str(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for InputToken {
+    fn from(v: i64) -> Self {
+        InputToken::Int(v)
+    }
+}
+
+impl From<i32> for InputToken {
+    fn from(v: i32) -> Self {
+        InputToken::Int(i64::from(v))
+    }
+}
+
+impl From<u32> for InputToken {
+    fn from(v: u32) -> Self {
+        InputToken::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for InputToken {
+    fn from(v: f64) -> Self {
+        InputToken::Double(v)
+    }
+}
+
+impl From<&str> for InputToken {
+    fn from(v: &str) -> Self {
+        InputToken::Str(v.to_owned())
+    }
+}
+
+impl From<String> for InputToken {
+    fn from(v: String) -> Self {
+        InputToken::Str(v)
+    }
+}
+
+/// A queue of attacker-chosen input tokens.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_runtime::InputStream;
+///
+/// let mut input = InputStream::new();
+/// input.push(0x0804_8100u32);      // the attacker's replacement address
+/// input.push(-1);                  // non-positive: skipped by the victim
+/// assert_eq!(input.remaining(), 2);
+/// assert_eq!(input.next_int().unwrap(), 0x0804_8100);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InputStream {
+    tokens: VecDeque<InputToken>,
+    consumed: usize,
+}
+
+impl InputStream {
+    /// Creates an empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one token.
+    pub fn push(&mut self, token: impl Into<InputToken>) {
+        self.tokens.push_back(token.into());
+    }
+
+    /// Appends several tokens.
+    pub fn extend<I, T>(&mut self, tokens: I)
+    where
+        I: IntoIterator<Item = T>,
+        T: Into<InputToken>,
+    {
+        for t in tokens {
+            self.push(t);
+        }
+    }
+
+    /// Number of unconsumed tokens.
+    pub fn remaining(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Number of tokens consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// `true` if no tokens remain.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Reads an integer token (the simulated `cin >> i`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream is exhausted or the next token is not an
+    /// integer.
+    pub fn next_int(&mut self) -> Result<i64, RuntimeError> {
+        match self.tokens.pop_front() {
+            Some(InputToken::Int(v)) => {
+                self.consumed += 1;
+                Ok(v)
+            }
+            Some(other) => {
+                let found = other.kind();
+                self.tokens.push_front(other);
+                Err(RuntimeError::InputTypeMismatch { wanted: "int", found })
+            }
+            None => Err(RuntimeError::InputExhausted { wanted: "int" }),
+        }
+    }
+
+    /// Reads a floating-point token (the simulated `cin >> d`).
+    ///
+    /// Integer tokens are accepted and widened, as `cin` would parse them.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream is exhausted or the next token is a string.
+    pub fn next_double(&mut self) -> Result<f64, RuntimeError> {
+        match self.tokens.pop_front() {
+            Some(InputToken::Double(v)) => {
+                self.consumed += 1;
+                Ok(v)
+            }
+            Some(InputToken::Int(v)) => {
+                self.consumed += 1;
+                Ok(v as f64)
+            }
+            Some(other) => {
+                let found = other.kind();
+                self.tokens.push_front(other);
+                Err(RuntimeError::InputTypeMismatch { wanted: "double", found })
+            }
+            None => Err(RuntimeError::InputExhausted { wanted: "double" }),
+        }
+    }
+
+    /// Reads a string token (usernames, payloads).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stream is exhausted or the next token is not a string.
+    pub fn next_str(&mut self) -> Result<String, RuntimeError> {
+        match self.tokens.pop_front() {
+            Some(InputToken::Str(s)) => {
+                self.consumed += 1;
+                Ok(s)
+            }
+            Some(other) => {
+                let found = other.kind();
+                self.tokens.push_front(other);
+                Err(RuntimeError::InputTypeMismatch { wanted: "string", found })
+            }
+            None => Err(RuntimeError::InputExhausted { wanted: "string" }),
+        }
+    }
+}
+
+impl<T: Into<InputToken>> FromIterator<T> for InputStream {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = InputStream::new();
+        s.extend(iter);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_counters() {
+        let mut s: InputStream = [1i64, 2, 3].into_iter().collect();
+        assert_eq!(s.remaining(), 3);
+        assert_eq!(s.next_int().unwrap(), 1);
+        assert_eq!(s.next_int().unwrap(), 2);
+        assert_eq!(s.consumed(), 2);
+        assert_eq!(s.remaining(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn exhaustion_is_an_error() {
+        let mut s = InputStream::new();
+        assert!(matches!(s.next_int(), Err(RuntimeError::InputExhausted { wanted: "int" })));
+        assert!(matches!(s.next_str(), Err(RuntimeError::InputExhausted { wanted: "string" })));
+    }
+
+    #[test]
+    fn type_mismatch_preserves_the_token() {
+        let mut s = InputStream::new();
+        s.push("hello");
+        assert!(matches!(
+            s.next_int(),
+            Err(RuntimeError::InputTypeMismatch { wanted: "int", found: "string" })
+        ));
+        // token still there
+        assert_eq!(s.next_str().unwrap(), "hello");
+    }
+
+    #[test]
+    fn double_accepts_int_tokens() {
+        let mut s = InputStream::new();
+        s.push(4.0f64);
+        s.push(2009);
+        assert_eq!(s.next_double().unwrap(), 4.0);
+        assert_eq!(s.next_double().unwrap(), 2009.0);
+    }
+
+    #[test]
+    fn mixed_script_for_listing_13() {
+        // Selective-overwrite script: two non-positive ints, then the
+        // attacker's address.
+        let mut s = InputStream::new();
+        s.extend([-1i64, 0, 0x0804_8100]);
+        assert_eq!(s.next_int().unwrap(), -1);
+        assert_eq!(s.next_int().unwrap(), 0);
+        assert_eq!(s.next_int().unwrap(), 0x0804_8100);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn token_display_and_kinds() {
+        assert_eq!(InputToken::from(5).to_string(), "5");
+        assert_eq!(InputToken::from(1.5).to_string(), "1.5");
+        assert_eq!(InputToken::from("x").to_string(), "\"x\"");
+    }
+}

@@ -1,0 +1,75 @@
+//! Simulated C++ machine: call frames, StackGuard canaries, heap
+//! allocator, function table, virtual dispatch, and libc-level operations.
+//!
+//! This crate is the execution substrate for the reproduction of
+//! *"A New Class of Buffer Overflow Attacks"* (Kundu & Bertino, ICDCS
+//! 2011). A [`Machine`] bundles:
+//!
+//! * the [`pnew_memory::AddressSpace`] process image;
+//! * a [`pnew_object::ClassRegistry`] with vtables materialized into
+//!   rodata;
+//! * a call stack whose [`Frame`] geometry reproduces the paper's §3.6
+//!   slot arithmetic (locals, then optional canary, optional saved frame
+//!   pointer, return address);
+//! * a first-fit [`HeapAllocator`] with in-memory block headers;
+//! * a [`FuncTable`] of named text-segment entry points (including
+//!   privileged ones like `system`) so control transfers can be
+//!   classified;
+//! * a scripted attacker [`InputStream`] (the `cin >>` of the listings).
+//!
+//! Attack outcomes are values, not crashes: [`ControlOutcome`] for
+//! returns, [`DispatchOutcome`] for virtual/function-pointer calls.
+//!
+//! # Examples
+//!
+//! The paper's naive stack smash, detected by StackGuard:
+//!
+//! ```
+//! use pnew_object::{ClassRegistry, CxxType};
+//! use pnew_runtime::{ControlOutcome, Machine, VarDecl};
+//!
+//! # fn main() -> Result<(), pnew_runtime::RuntimeError> {
+//! let mut reg = ClassRegistry::new();
+//! let student = reg
+//!     .class("Student")
+//!     .field("gpa", CxxType::Double)
+//!     .field("year", CxxType::Int)
+//!     .field("semester", CxxType::Int)
+//!     .register();
+//!
+//! let mut machine = Machine::with_registry(reg);
+//! machine.push_frame("addStudent", &[("stud", VarDecl::Class(student))])?;
+//! let stud = machine.local_addr("stud")?;
+//! // Overflow the object: ssn[0..3] land on canary, saved FP, ret.
+//! for i in 0..3 {
+//!     machine.space_mut().write_u32(stud + 16 + 4 * i, 0xdeadbeef)?;
+//! }
+//! let event = machine.ret()?;
+//! assert!(matches!(event.outcome, ControlOutcome::CanaryDetected { .. }));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod control;
+mod error;
+mod frame;
+mod func;
+mod heap;
+mod input;
+mod machine;
+mod resources;
+
+pub use control::{ControlOutcome, DispatchOutcome, FaultReason, RetEvent};
+pub use error::RuntimeError;
+pub use frame::{Frame, Local, StackProtection};
+pub use func::{FuncDef, FuncEffect, FuncId, FuncTable, Privilege};
+pub use heap::{HeapAllocator, HeapStats, BLOCK_MAGIC, HEADER_SIZE};
+pub use input::{InputStream, InputToken};
+pub use machine::{Machine, MachineBuilder, VarDecl};
+pub use resources::{Fd, ResourceFailure, ResourceTable};
+
+/// Crate-wide result alias for machine operations.
+pub type Result<T, E = RuntimeError> = std::result::Result<T, E>;

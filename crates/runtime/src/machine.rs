@@ -1,0 +1,1398 @@
+//! The simulated C++ machine.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pnew_memory::{AddressSpace, AddressSpaceBuilder, MemoryError, Perms, SegmentKind, VirtAddr};
+use pnew_object::{ClassId, ClassRegistry, CxxType, LayoutPolicy, ObjectLayout};
+
+use crate::control::{ControlOutcome, DispatchOutcome, FaultReason, RetEvent};
+use crate::error::RuntimeError;
+use crate::frame::{Frame, StackProtection};
+use crate::func::{FuncEffect, FuncId, FuncTable, Privilege};
+use crate::heap::HeapAllocator;
+use crate::input::InputStream;
+use crate::resources::ResourceTable;
+
+/// Declaration of a stack local or global variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VarDecl {
+    /// A scalar/array/pointer-typed variable.
+    Ty(CxxType),
+    /// An instance of a registered class.
+    Class(ClassId),
+    /// A raw buffer (e.g. `char mem_pool[N]`) with explicit alignment.
+    Buffer {
+        /// Size in bytes.
+        size: u32,
+        /// Alignment (power of two).
+        align: u32,
+    },
+}
+
+impl VarDecl {
+    /// Shorthand for a class instance declaration.
+    pub fn class(id: ClassId) -> Self {
+        VarDecl::Class(id)
+    }
+
+    /// Shorthand for a `char buf[n]` declaration.
+    pub fn char_buf(n: u32) -> Self {
+        VarDecl::Buffer { size: n, align: 1 }
+    }
+}
+
+impl From<CxxType> for VarDecl {
+    fn from(ty: CxxType) -> Self {
+        VarDecl::Ty(ty)
+    }
+}
+
+/// A defined global variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct GlobalVar {
+    addr: VirtAddr,
+    size: u32,
+    decl: VarDecl,
+}
+
+/// Configures and builds a [`Machine`].
+///
+/// Defaults reproduce the paper's platform: ILP32 layout, gcc StackGuard
+/// active, NX stack, no shadow stack.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_object::ClassRegistry;
+/// use pnew_runtime::{MachineBuilder, StackProtection};
+///
+/// let machine = MachineBuilder::new()
+///     .protection(StackProtection::None)
+///     .seed(7)
+///     .build(ClassRegistry::new());
+/// assert_eq!(machine.protection(), StackProtection::None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    policy: LayoutPolicy,
+    protection: StackProtection,
+    shadow_stack: bool,
+    executable_stack: bool,
+    seed: u64,
+    aslr_seed: Option<u64>,
+    heap_size: Option<u32>,
+    stack_size: Option<u32>,
+}
+
+impl MachineBuilder {
+    /// Starts a builder with the paper-platform defaults.
+    pub fn new() -> Self {
+        MachineBuilder {
+            policy: LayoutPolicy::paper(),
+            protection: StackProtection::StackGuard,
+            shadow_stack: false,
+            executable_stack: false,
+            seed: 0x1cdc_2011,
+            aslr_seed: None,
+            heap_size: None,
+            stack_size: None,
+        }
+    }
+
+    /// Enables seeded ASLR on the process image (the E24 ablation; the
+    /// paper's platform has none).
+    pub fn aslr(mut self, seed: u64) -> Self {
+        self.aslr_seed = Some(seed);
+        self
+    }
+
+    /// Sets the layout policy (data model / double alignment).
+    pub fn policy(mut self, policy: LayoutPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the stack-protection configuration.
+    pub fn protection(mut self, protection: StackProtection) -> Self {
+        self.protection = protection;
+        self
+    }
+
+    /// Enables the §5.2 return-address (shadow) stack.
+    pub fn shadow_stack(mut self, enabled: bool) -> Self {
+        self.shadow_stack = enabled;
+        self
+    }
+
+    /// Makes the stack executable (pre-NX system, for code injection).
+    pub fn executable_stack(mut self, enabled: bool) -> Self {
+        self.executable_stack = enabled;
+        self
+    }
+
+    /// Seeds the canary RNG (determinism for tests and benches).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the heap segment size.
+    pub fn heap_size(mut self, size: u32) -> Self {
+        self.heap_size = Some(size);
+        self
+    }
+
+    /// Overrides the stack segment size.
+    pub fn stack_size(mut self, size: u32) -> Self {
+        self.stack_size = Some(size);
+        self
+    }
+
+    /// Builds the machine, materializing vtables for every polymorphic
+    /// class in `registry`.
+    pub fn build(self, registry: ClassRegistry) -> Machine {
+        let mut space_builder = AddressSpaceBuilder::new(self.policy.model());
+        if let Some(aslr) = self.aslr_seed {
+            space_builder = space_builder.aslr(aslr);
+        }
+        if let Some(h) = self.heap_size {
+            space_builder = space_builder.segment_size(SegmentKind::Heap, h);
+        }
+        if let Some(s) = self.stack_size {
+            space_builder = space_builder.segment_size(SegmentKind::Stack, s);
+        }
+        let mut space = space_builder.build();
+        if self.executable_stack {
+            space.set_segment_perms(SegmentKind::Stack, Perms::ALL);
+        }
+
+        let text = space.segment(SegmentKind::Text);
+        let funcs = FuncTable::new(text.base(), text.size());
+        let return_site = text.base() + 0x20;
+        let heap = HeapAllocator::for_space(&space);
+        let sp = space.segment(SegmentKind::Stack).end();
+        let data_cursor = space.segment(SegmentKind::Data).base();
+        let bss_cursor = space.segment(SegmentKind::Bss).base();
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // gcc-style canary: random, with a NUL "terminator" byte.
+        let canary = rng.gen::<u32>() & 0xffff_ff00;
+
+        let mut machine = Machine {
+            space,
+            registry,
+            policy: self.policy,
+            funcs,
+            heap,
+            input: InputStream::new(),
+            output: Vec::new(),
+            protection: self.protection,
+            shadow: if self.shadow_stack { Some(Vec::new()) } else { None },
+            frames: Vec::new(),
+            sp,
+            canary,
+            return_site,
+            vtables: HashMap::new(),
+            vtable_class_by_addr: HashMap::new(),
+            globals: HashMap::new(),
+            data_cursor,
+            bss_cursor,
+            layout_cache: HashMap::new(),
+            effects: HashMap::new(),
+            shells: Vec::new(),
+            resources: ResourceTable::new(),
+            rng,
+        };
+        machine.materialize_vtables();
+        machine
+    }
+}
+
+impl Default for MachineBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The simulated C++ process: address space, object system, call stack,
+/// heap, function table, and scripted I/O.
+///
+/// A `Machine` is the substrate every attack scenario runs on. It enforces
+/// what the real platform enforces (segment bounds, permissions, canaries
+/// when enabled) and nothing more.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    space: AddressSpace,
+    registry: ClassRegistry,
+    policy: LayoutPolicy,
+    funcs: FuncTable,
+    heap: HeapAllocator,
+    input: InputStream,
+    output: Vec<String>,
+    protection: StackProtection,
+    shadow: Option<Vec<VirtAddr>>,
+    frames: Vec<Frame>,
+    sp: VirtAddr,
+    canary: u32,
+    return_site: VirtAddr,
+    vtables: HashMap<ClassId, VirtAddr>,
+    vtable_class_by_addr: HashMap<VirtAddr, ClassId>,
+    globals: HashMap<String, GlobalVar>,
+    data_cursor: VirtAddr,
+    bss_cursor: VirtAddr,
+    layout_cache: HashMap<ClassId, Arc<ObjectLayout>>,
+    effects: HashMap<FuncId, Vec<FuncEffect>>,
+    shells: Vec<String>,
+    resources: ResourceTable,
+    rng: StdRng,
+}
+
+impl Machine {
+    /// Builds a machine with all defaults over `registry`.
+    pub fn with_registry(registry: ClassRegistry) -> Self {
+        MachineBuilder::new().build(registry)
+    }
+
+    // ----- accessors ------------------------------------------------------
+
+    /// The address space.
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Mutable address space (raw scenario writes).
+    pub fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
+    /// The class registry.
+    pub fn registry(&self) -> &ClassRegistry {
+        &self.registry
+    }
+
+    /// The layout policy.
+    pub fn policy(&self) -> LayoutPolicy {
+        self.policy
+    }
+
+    /// The function table.
+    pub fn funcs(&self) -> &FuncTable {
+        &self.funcs
+    }
+
+    /// The stack-protection configuration.
+    pub fn protection(&self) -> StackProtection {
+        self.protection
+    }
+
+    /// The process canary value (StackGuard).
+    pub fn canary(&self) -> u32 {
+        self.canary
+    }
+
+    /// Scripted input stream.
+    pub fn input_mut(&mut self) -> &mut InputStream {
+        &mut self.input
+    }
+
+    /// Heap statistics.
+    pub fn heap_stats(&self) -> crate::heap::HeapStats {
+        self.heap.stats()
+    }
+
+    /// The heap allocator (read-only view).
+    pub fn heap(&self) -> &HeapAllocator {
+        &self.heap
+    }
+
+    /// Pointer size under the current policy.
+    pub fn ptr_size(&self) -> u32 {
+        self.policy.pointer_size()
+    }
+
+    /// The legitimate return-site address frames are linked to.
+    pub fn return_site(&self) -> VirtAddr {
+        self.return_site
+    }
+
+    // ----- output ---------------------------------------------------------
+
+    /// Appends a line to the program output (the simulated `cout`).
+    pub fn print(&mut self, line: impl Into<String>) {
+        self.output.push(line.into());
+    }
+
+    /// Program output so far.
+    pub fn output(&self) -> &[String] {
+        &self.output
+    }
+
+    /// Takes and clears the program output.
+    pub fn take_output(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.output)
+    }
+
+    // ----- input ----------------------------------------------------------
+
+    /// The simulated `cin >> (int)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the scripted input is exhausted or mistyped.
+    pub fn cin_int(&mut self) -> Result<i64, RuntimeError> {
+        self.input.next_int()
+    }
+
+    /// The simulated `cin >> (double)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the scripted input is exhausted or mistyped.
+    pub fn cin_double(&mut self) -> Result<f64, RuntimeError> {
+        self.input.next_double()
+    }
+
+    /// The simulated `cin >> (string)`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the scripted input is exhausted or mistyped.
+    pub fn cin_str(&mut self) -> Result<String, RuntimeError> {
+        self.input.next_str()
+    }
+
+    // ----- layouts & classes ----------------------------------------------
+
+    /// Computed (cached) layout of a class under the machine policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout-computation failures.
+    pub fn layout(&mut self, class: ClassId) -> Result<Arc<ObjectLayout>, RuntimeError> {
+        if let Some(l) = self.layout_cache.get(&class) {
+            return Ok(Arc::clone(l));
+        }
+        let l = Arc::new(self.registry.layout(class, &self.policy)?);
+        self.layout_cache.insert(class, Arc::clone(&l));
+        Ok(l)
+    }
+
+    /// The simulated `sizeof()` on a class.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout-computation failures.
+    pub fn size_of(&mut self, class: ClassId) -> Result<u32, RuntimeError> {
+        Ok(self.layout(class)?.size())
+    }
+
+    /// Size and alignment of a variable declaration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layout-computation failures for class declarations.
+    pub fn decl_size(&mut self, decl: &VarDecl) -> Result<(u32, u32), RuntimeError> {
+        match decl {
+            VarDecl::Ty(ty) => {
+                let size = ty.scalar_size(&self.policy).expect("scalar decl");
+                let align = ty.scalar_align(&self.policy).expect("scalar decl");
+                Ok((size, align))
+            }
+            VarDecl::Class(id) => {
+                let l = self.layout(*id)?;
+                Ok((l.size(), l.align()))
+            }
+            VarDecl::Buffer { size, align } => Ok((*size, *align)),
+        }
+    }
+
+    // ----- functions ------------------------------------------------------
+
+    /// Registers (or finds) a function; returns its id.
+    pub fn register_function(&mut self, name: &str, privilege: Privilege) -> FuncId {
+        self.funcs.register(name, privilege)
+    }
+
+    /// Attaches side effects to a registered function; they run whenever
+    /// the function is [`invoke`](Self::invoke)d — legitimately or through
+    /// a hijacked transfer.
+    pub fn set_function_effects(&mut self, id: FuncId, effects: Vec<FuncEffect>) {
+        self.effects.insert(id, effects);
+    }
+
+    /// Invokes a registered function's effects (the observable part of
+    /// "control reached this code").
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory faults from effect writes/reads.
+    pub fn invoke(&mut self, id: FuncId) -> Result<(), RuntimeError> {
+        let effects = self.effects.get(&id).cloned().unwrap_or_default();
+        for effect in effects {
+            match effect {
+                FuncEffect::Print(line) => self.print(line),
+                FuncEffect::WriteI32 { addr, value } => {
+                    self.space.write_i32(addr, value)?;
+                }
+                FuncEffect::SpawnShell { arg } => {
+                    let cmd = self.space.read_cstr(arg, 64)?;
+                    self.print(format!("$ {cmd}"));
+                    self.shells.push(cmd);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Commands "executed" by [`FuncEffect::SpawnShell`] so far — the
+    /// attack-impact ledger.
+    pub fn shells_spawned(&self) -> &[String] {
+        &self.shells
+    }
+
+    /// Address of a registered function.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the function is unknown.
+    pub fn function_addr(&self, name: &str) -> Result<VirtAddr, RuntimeError> {
+        self.funcs
+            .by_name(name)
+            .map(|d| d.addr())
+            .ok_or_else(|| RuntimeError::UnknownFunction { name: name.to_owned() })
+    }
+
+    // ----- vtables --------------------------------------------------------
+
+    fn materialize_vtables(&mut self) {
+        // Plan: one table per polymorphic class, laid out in rodata after a
+        // small gap, each slot a pointer to `Impl::method`.
+        let rodata = self.space.segment(SegmentKind::Rodata);
+        let mut cursor = rodata.base() + 0x40;
+        let ptr = self.ptr_size();
+
+        let ids: Vec<ClassId> = self.registry.iter().map(|d| d.id()).collect();
+        let mut writes: Vec<(ClassId, VirtAddr, Vec<VirtAddr>)> = Vec::new();
+        for id in ids {
+            let vt = self.registry.vtable(id);
+            if vt.is_empty() {
+                continue;
+            }
+            let mut entries = Vec::with_capacity(vt.len());
+            for slot in vt.slots() {
+                let impl_name =
+                    format!("{}::{}", self.registry.def(slot.impl_class()).name(), slot.name());
+                let fid = self.funcs.register(&impl_name, Privilege::Normal);
+                entries.push(self.funcs.def(fid).addr());
+            }
+            writes.push((id, cursor, entries));
+            cursor = (cursor + vt.len() as u32 * ptr).align_up(8);
+        }
+
+        // Loader step: rodata is briefly writable while tables are emitted.
+        self.space.set_segment_perms(SegmentKind::Rodata, Perms::READ_WRITE);
+        for (id, addr, entries) in writes {
+            for (i, e) in entries.iter().enumerate() {
+                self.space.write_ptr(addr + i as u32 * ptr, *e).expect("rodata vtable write");
+            }
+            self.vtables.insert(id, addr);
+            self.vtable_class_by_addr.insert(addr, id);
+        }
+        self.space.set_segment_perms(SegmentKind::Rodata, Perms::READ);
+        self.space.trace_mut().clear();
+    }
+
+    /// Address of the materialized vtable of `class`, if polymorphic.
+    pub fn vtable_addr(&self, class: ClassId) -> Option<VirtAddr> {
+        self.vtables.get(&class).copied()
+    }
+
+    // ----- globals ---------------------------------------------------------
+
+    /// Defines a global variable in the data or bss segment, in declaration
+    /// order (adjacency is what the §3.5/§3.7 attacks exploit).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the segment is full or the declaration cannot be sized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segment` is not [`SegmentKind::Data`] or
+    /// [`SegmentKind::Bss`], or if the name is already defined.
+    pub fn define_global(
+        &mut self,
+        name: &str,
+        decl: VarDecl,
+        segment: SegmentKind,
+    ) -> Result<VirtAddr, RuntimeError> {
+        assert!(
+            matches!(segment, SegmentKind::Data | SegmentKind::Bss),
+            "globals live in data or bss"
+        );
+        assert!(!self.globals.contains_key(name), "global {name} is already defined");
+        let (size, align) = self.decl_size(&decl)?;
+        let (cursor, seg_name) = match segment {
+            SegmentKind::Data => (&mut self.data_cursor, "data"),
+            _ => (&mut self.bss_cursor, "bss"),
+        };
+        let addr = cursor.align_up(align);
+        let end = addr.checked_add(u64::from(size))?;
+        if end > self.space.segment(segment).end() {
+            return Err(RuntimeError::SegmentFull { segment: seg_name });
+        }
+        *cursor = end;
+        self.globals.insert(name.to_owned(), GlobalVar { addr, size, decl });
+        Ok(addr)
+    }
+
+    /// Address of a defined global.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the global is unknown.
+    pub fn global(&self, name: &str) -> Result<VirtAddr, RuntimeError> {
+        self.globals
+            .get(name)
+            .map(|g| g.addr)
+            .ok_or_else(|| RuntimeError::UnknownGlobal { name: name.to_owned() })
+    }
+
+    /// Size of a defined global.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the global is unknown.
+    pub fn global_size(&self, name: &str) -> Result<u32, RuntimeError> {
+        self.globals
+            .get(name)
+            .map(|g| g.size)
+            .ok_or_else(|| RuntimeError::UnknownGlobal { name: name.to_owned() })
+    }
+
+    // ----- heap -------------------------------------------------------------
+
+    /// The simulated non-placement `new` / `new[]`: heap allocation.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the heap is exhausted.
+    pub fn heap_alloc(&mut self, size: u32) -> Result<VirtAddr, RuntimeError> {
+        self.heap.alloc(&mut self.space, size)
+    }
+
+    /// The simulated `delete` of a whole allocation.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid frees and corrupted headers.
+    pub fn heap_free(&mut self, addr: VirtAddr) -> Result<(), RuntimeError> {
+        self.heap.free(&mut self.space, addr)
+    }
+
+    /// Switches the allocator between hardened (default) and classic
+    /// header-trusting behaviour (see
+    /// [`HeapAllocator::set_trust_headers`]).
+    pub fn set_heap_trust_headers(&mut self, trust: bool) {
+        self.heap.set_trust_headers(trust);
+    }
+
+    /// Size-mismatched release (§4.5): frees only `size` bytes of the
+    /// block, stranding the rest.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid frees and corrupted headers.
+    pub fn heap_free_sized(&mut self, addr: VirtAddr, size: u32) -> Result<(), RuntimeError> {
+        self.heap.free_sized(&mut self.space, addr, size)
+    }
+
+    // ----- stack ------------------------------------------------------------
+
+    /// Pushes a stack frame for `function` with the given locals (in
+    /// declaration order), writing return address, saved frame pointer and
+    /// canary as configured.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stack would overflow its segment or a declaration
+    /// cannot be sized.
+    pub fn push_frame(
+        &mut self,
+        function: &str,
+        locals: &[(&str, VarDecl)],
+    ) -> Result<(), RuntimeError> {
+        let mut resolved = Vec::with_capacity(locals.len());
+        for (name, decl) in locals {
+            let (size, align) = self.decl_size(decl)?;
+            resolved.push(((*name).to_owned(), size, align));
+        }
+        let mut frame = Frame::plan(function, self.sp, self.ptr_size(), self.protection, &resolved);
+        let stack_base = self.space.segment(SegmentKind::Stack).base();
+        if frame.sp() < stack_base + 64 {
+            return Err(RuntimeError::StackExhausted { needed: frame.size() });
+        }
+
+        let fp_value = frame.entry_sp().value();
+        self.space.write_ptr(frame.ret_slot(), self.return_site)?;
+        if let Some(fp) = frame.fp_slot() {
+            self.space.write_u32(fp, fp_value)?;
+        }
+        let canary_value = if let Some(c) = frame.canary_slot() {
+            self.space.write_u32(c, self.canary)?;
+            Some(self.canary)
+        } else {
+            None
+        };
+        frame.record_entry(self.return_site, canary_value, fp_value);
+        if let Some(shadow) = &mut self.shadow {
+            shadow.push(self.return_site);
+        }
+        self.sp = frame.sp();
+        self.frames.push(frame);
+        Ok(())
+    }
+
+    /// The current (innermost) frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no frame is active.
+    pub fn frame(&self) -> Result<&Frame, RuntimeError> {
+        self.frames.last().ok_or(RuntimeError::NoActiveFrame)
+    }
+
+    /// Address of a local in the current frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no frame is active or the local is unknown.
+    pub fn local_addr(&self, name: &str) -> Result<VirtAddr, RuntimeError> {
+        let frame = self.frame()?;
+        frame
+            .local(name)
+            .map(|l| l.addr())
+            .ok_or_else(|| RuntimeError::UnknownLocal { name: name.to_owned() })
+    }
+
+    /// Returns from the current frame, performing the canary check (if
+    /// StackGuard is on), the shadow-stack check (if enabled), and
+    /// classifying where control goes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no frame is active or frame metadata cannot be read.
+    pub fn ret(&mut self) -> Result<RetEvent, RuntimeError> {
+        let frame = self.frames.pop().ok_or(RuntimeError::NoActiveFrame)?;
+        self.sp = frame.entry_sp();
+        let shadow_expected = self.shadow.as_mut().and_then(|s| s.pop());
+
+        let canary_intact = match (frame.canary_slot(), frame.canary_value()) {
+            (Some(slot), Some(value)) => Some(self.space.read_u32(slot)? == value),
+            _ => None,
+        };
+        let fp_intact = match frame.fp_slot() {
+            Some(slot) => Some(self.space.read_u32(slot)? == frame.saved_fp_value()),
+            None => None,
+        };
+
+        if canary_intact == Some(false) {
+            let found = self.space.read_u32(frame.canary_slot().expect("canary slot"))?;
+            self.print("*** stack smashing detected ***: terminated");
+            return Ok(RetEvent {
+                outcome: ControlOutcome::CanaryDetected {
+                    expected: frame.canary_value().expect("canary value"),
+                    found,
+                },
+                canary_intact,
+                fp_intact,
+            });
+        }
+
+        let target = self.space.read_ptr(frame.ret_slot())?;
+
+        if let Some(expected) = shadow_expected {
+            if target != expected {
+                self.print("return address stack mismatch: terminated");
+                return Ok(RetEvent {
+                    outcome: ControlOutcome::ShadowStackDetected { expected, found: target },
+                    canary_intact,
+                    fp_intact,
+                });
+            }
+        }
+
+        let outcome = if target == frame.return_target() {
+            ControlOutcome::Return
+        } else {
+            self.classify_code_target(target)
+        };
+        Ok(RetEvent { outcome, canary_intact, fp_intact })
+    }
+
+    /// Classifies a control transfer to `target` (used by `ret` and by the
+    /// pointer-subterfuge scenarios).
+    pub fn classify_code_target(&self, target: VirtAddr) -> ControlOutcome {
+        if let Some(def) = self.funcs.resolve(target) {
+            return ControlOutcome::Hijacked {
+                func: def.id(),
+                name: def.name().to_owned(),
+                privileged: def.is_privileged(),
+                target,
+            };
+        }
+        match self.space.check_exec(target) {
+            Ok(segment) => ControlOutcome::ShellCode { addr: target, segment },
+            Err(MemoryError::PermissionDenied { .. }) => {
+                ControlOutcome::Fault { addr: target, reason: FaultReason::NxViolation }
+            }
+            Err(_) => ControlOutcome::Fault { addr: target, reason: FaultReason::Unmapped },
+        }
+    }
+
+    // ----- objects ----------------------------------------------------------
+
+    /// Writes the compiler-generated part of construction: every vtable
+    /// pointer of `class` at `addr`. Field initialization is up to the
+    /// scenario (as in the paper's constructors).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object memory cannot be written.
+    pub fn construct(&mut self, addr: VirtAddr, class: ClassId) -> Result<(), RuntimeError> {
+        let layout = self.layout(class)?;
+        for slot in layout.vptr_slots() {
+            let table = self
+                .vtables
+                .get(&slot.table_class)
+                .copied()
+                .expect("polymorphic class has a materialized vtable");
+            self.space.write_ptr(addr + slot.offset, table)?;
+        }
+        Ok(())
+    }
+
+    /// Address of `path` inside an instance of `class` based at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path does not resolve.
+    pub fn field_addr(
+        &mut self,
+        class: ClassId,
+        base: VirtAddr,
+        path: &str,
+    ) -> Result<VirtAddr, RuntimeError> {
+        let layout = self.layout(class)?;
+        Ok(base + layout.offset_of(path)?)
+    }
+
+    /// Address of `path[index]` inside an instance of `class` at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path does not resolve or the index is out of bounds.
+    pub fn element_addr(
+        &mut self,
+        class: ClassId,
+        base: VirtAddr,
+        path: &str,
+        index: u32,
+    ) -> Result<VirtAddr, RuntimeError> {
+        let layout = self.layout(class)?;
+        let policy = self.policy;
+        Ok(base + layout.element_offset(path, index, &policy)?)
+    }
+
+    /// Performs a virtual call `obj->method()` where `obj` statically has
+    /// type `class`, following the in-object vptr like the generated code
+    /// would (§3.8.2).
+    ///
+    /// # Errors
+    ///
+    /// Fails only on scenario errors (unknown method); attacker-induced
+    /// bad pointers are reported as [`DispatchOutcome::Fault`].
+    pub fn virtual_call(
+        &mut self,
+        obj: VirtAddr,
+        class: ClassId,
+        method: &str,
+    ) -> Result<DispatchOutcome, RuntimeError> {
+        let layout = self.layout(class)?;
+        let Some(voff) = layout.primary_vptr_offset() else {
+            return Err(RuntimeError::UnknownFunction {
+                name: format!("{}::{method}", layout.class_name()),
+            });
+        };
+        let vt = self.registry.vtable(class);
+        let Some(slot_idx) = vt.slot_index(method) else {
+            return Err(RuntimeError::UnknownFunction {
+                name: format!("{}::{method}", layout.class_name()),
+            });
+        };
+        let ptr = self.ptr_size();
+
+        let vptr = match self.space.read_ptr(obj + voff) {
+            Ok(p) => p,
+            Err(_) => {
+                return Ok(DispatchOutcome::Fault {
+                    addr: obj + voff,
+                    reason: FaultReason::BadPointer,
+                })
+            }
+        };
+        let slot_addr = match vptr.checked_add(u64::from(slot_idx as u32 * ptr)) {
+            Ok(a) => a,
+            Err(_) => {
+                return Ok(DispatchOutcome::Fault { addr: vptr, reason: FaultReason::BadPointer })
+            }
+        };
+        let fn_addr = match self.space.read_ptr(slot_addr) {
+            Ok(a) => a,
+            Err(_) => {
+                return Ok(DispatchOutcome::Fault {
+                    addr: slot_addr,
+                    reason: FaultReason::BadPointer,
+                })
+            }
+        };
+
+        let legit = self.vtable_class_by_addr.get(&vptr).copied();
+        match self.funcs.resolve(fn_addr) {
+            Some(def) => {
+                if let Some(dynamic_class) = legit {
+                    let dyn_vt = self.registry.vtable(dynamic_class);
+                    let expected = dyn_vt.slots().get(slot_idx).map(|s| {
+                        format!("{}::{}", self.registry.def(s.impl_class()).name(), s.name())
+                    });
+                    if expected.as_deref() == Some(def.name()) {
+                        return Ok(DispatchOutcome::Valid {
+                            func: def.id(),
+                            name: def.name().to_owned(),
+                        });
+                    }
+                }
+                Ok(DispatchOutcome::Hijacked {
+                    func: def.id(),
+                    name: def.name().to_owned(),
+                    privileged: def.is_privileged(),
+                })
+            }
+            None => match self.space.check_exec(fn_addr) {
+                Ok(_) => {
+                    Ok(DispatchOutcome::Fault { addr: fn_addr, reason: FaultReason::BadPointer })
+                }
+                Err(MemoryError::PermissionDenied { .. }) => {
+                    Ok(DispatchOutcome::Fault { addr: fn_addr, reason: FaultReason::NxViolation })
+                }
+                Err(_) => {
+                    Ok(DispatchOutcome::Fault { addr: fn_addr, reason: FaultReason::Unmapped })
+                }
+            },
+        }
+    }
+
+    /// Calls through a C function pointer holding `target`, expecting the
+    /// function named `expected` (§3.9). `None` for `expected` means the
+    /// pointer was supposed to stay NULL/unused.
+    pub fn call_function_pointer(
+        &self,
+        target: VirtAddr,
+        expected: Option<&str>,
+    ) -> DispatchOutcome {
+        match self.funcs.resolve(target) {
+            Some(def) if Some(def.name()) == expected => {
+                DispatchOutcome::Valid { func: def.id(), name: def.name().to_owned() }
+            }
+            Some(def) => DispatchOutcome::Hijacked {
+                func: def.id(),
+                name: def.name().to_owned(),
+                privileged: def.is_privileged(),
+            },
+            None => match self.space.check_exec(target) {
+                Ok(_) => DispatchOutcome::Fault { addr: target, reason: FaultReason::BadPointer },
+                Err(MemoryError::PermissionDenied { .. }) => {
+                    DispatchOutcome::Fault { addr: target, reason: FaultReason::NxViolation }
+                }
+                Err(_) => DispatchOutcome::Fault { addr: target, reason: FaultReason::Unmapped },
+            },
+        }
+    }
+
+    // ----- libc -------------------------------------------------------------
+
+    /// The simulated `strncpy(dst, src, n)`: copies at most `n` bytes of
+    /// `src`, stopping at (and including) its NUL, then zero-fills up to
+    /// `n` — faithful to the C semantics the paper's Listings 2/19 use.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the destination range is unwritable — but, like the real
+    /// thing, succeeds silently when `n` merely overruns the logical
+    /// buffer inside a segment.
+    pub fn strncpy(&mut self, dst: VirtAddr, src: &[u8], n: u32) -> Result<(), RuntimeError> {
+        let mut buf = vec![0u8; n as usize];
+        let copy_len =
+            src.iter().position(|&b| b == 0).map_or(src.len(), |nul| nul + 1).min(n as usize);
+        buf[..copy_len].copy_from_slice(&src[..copy_len]);
+        self.space.write_bytes(dst, &buf)?;
+        Ok(())
+    }
+
+    /// The simulated `memset`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is unwritable.
+    pub fn memset(&mut self, dst: VirtAddr, value: u8, len: u32) -> Result<(), RuntimeError> {
+        self.space.fill(dst, value, len)?;
+        Ok(())
+    }
+
+    /// The simulated `memcpy`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if either range faults.
+    pub fn memcpy(&mut self, dst: VirtAddr, src: VirtAddr, len: u32) -> Result<(), RuntimeError> {
+        self.space.copy(dst, src, len)?;
+        Ok(())
+    }
+
+    /// Maps file contents at `addr` (the simulated `mmap`/`read` of e.g.
+    /// the password file in Listing 21).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the range is unwritable.
+    pub fn mmap_file(&mut self, addr: VirtAddr, contents: &[u8]) -> Result<(), RuntimeError> {
+        self.space.write_bytes(addr, contents)?;
+        Ok(())
+    }
+
+    /// Fresh random value from the machine RNG (deterministic per seed).
+    pub fn random_u32(&mut self) -> u32 {
+        self.rng.gen()
+    }
+
+    // ----- OS resources (the §4.4 exhaustion/deadlock vectors) -------------
+
+    /// The process resource table (descriptors, locks).
+    pub fn resources(&self) -> &ResourceTable {
+        &self.resources
+    }
+
+    /// Mutable resource table (opening files, taking locks).
+    pub fn resources_mut(&mut self) -> &mut ResourceTable {
+        &mut self.resources
+    }
+
+    // ----- region metadata (for runtime interception, §5.2) ----------------
+
+    /// The live heap block containing `addr`, as `(start, len)` — what a
+    /// library interceptor can learn about a heap pointer.
+    pub fn known_heap_block(&self, addr: VirtAddr) -> Option<(VirtAddr, u32)> {
+        self.heap.block_containing(addr)
+    }
+
+    /// The defined global containing `addr`, as `(start, len)` — what a
+    /// library interceptor can learn from the symbol table.
+    pub fn known_global_region(&self, addr: VirtAddr) -> Option<(VirtAddr, u32)> {
+        self.globals
+            .values()
+            .find_map(|g| (addr >= g.addr && addr < g.addr + g.size).then_some((g.addr, g.size)))
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.space)?;
+        writeln!(f, "  frames: {}, sp {}", self.frames.len(), self.sp)?;
+        writeln!(f, "  protection: {}", self.protection)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pnew_object::CxxType;
+
+    fn student_registry() -> (ClassRegistry, ClassId, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let s = reg
+            .class("Student")
+            .field("gpa", CxxType::Double)
+            .field("year", CxxType::Int)
+            .field("semester", CxxType::Int)
+            .register();
+        let g = reg
+            .class("GradStudent")
+            .base(s)
+            .field("ssn", CxxType::array(CxxType::Int, 3))
+            .register();
+        (reg, s, g)
+    }
+
+    fn virtual_registry() -> (ClassRegistry, ClassId, ClassId) {
+        let mut reg = ClassRegistry::new();
+        let s = reg
+            .class("Student")
+            .field("gpa", CxxType::Double)
+            .field("year", CxxType::Int)
+            .field("semester", CxxType::Int)
+            .virtual_method("getInfo")
+            .register();
+        let g = reg
+            .class("GradStudent")
+            .base(s)
+            .field("ssn", CxxType::array(CxxType::Int, 3))
+            .virtual_method("getInfo")
+            .register();
+        (reg, s, g)
+    }
+
+    #[test]
+    fn globals_are_adjacent_in_declaration_order() {
+        let (reg, s, _) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        let a = m.define_global("stud1", VarDecl::Class(s), SegmentKind::Bss).unwrap();
+        let b = m.define_global("stud2", VarDecl::Class(s), SegmentKind::Bss).unwrap();
+        assert_eq!(b.offset_from(a), 16);
+        assert_eq!(m.global("stud1").unwrap(), a);
+        assert_eq!(m.global_size("stud2").unwrap(), 16);
+        assert!(m.global("nope").is_err());
+    }
+
+    #[test]
+    fn global_alignment_respected() {
+        let (reg, s, _) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        m.define_global("c", VarDecl::Ty(CxxType::Char), SegmentKind::Bss).unwrap();
+        let stud = m.define_global("stud", VarDecl::Class(s), SegmentKind::Bss).unwrap();
+        assert!(stud.is_aligned(8));
+    }
+
+    #[test]
+    fn frame_lifecycle_normal_return() {
+        let (reg, s, _) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        m.push_frame("addStudent", &[("stud", VarDecl::Class(s))]).unwrap();
+        let stud = m.local_addr("stud").unwrap();
+        assert!(stud.is_aligned(8));
+        let ev = m.ret().unwrap();
+        assert_eq!(ev.outcome, ControlOutcome::Return);
+        assert_eq!(ev.canary_intact, Some(true));
+        assert_eq!(ev.fp_intact, Some(true));
+        assert!(m.frame().is_err());
+    }
+
+    #[test]
+    fn smash_detected_by_canary() {
+        let (reg, s, g) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        m.push_frame("addStudent", &[("stud", VarDecl::Class(s))]).unwrap();
+        let stud = m.local_addr("stud").unwrap();
+        // Naive smash: write through ssn[0..2] = canary, fp, ret.
+        let _ = g;
+        for i in 0..3u32 {
+            m.space_mut().write_u32(stud + 16 + 4 * i, 0xdead_beef).unwrap();
+        }
+        let ev = m.ret().unwrap();
+        assert!(matches!(ev.outcome, ControlOutcome::CanaryDetected { .. }));
+        assert_eq!(ev.canary_intact, Some(false));
+        assert!(m.output().iter().any(|l| l.contains("stack smashing")));
+    }
+
+    #[test]
+    fn selective_overwrite_bypasses_canary() {
+        // The paper's §5.2 experiment: skip the canary and FP words, only
+        // rewrite the return address.
+        let (reg, s, _) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        let target = m.register_function("system", Privilege::Privileged);
+        let target_addr = m.funcs().def(target).addr();
+        m.push_frame("addStudent", &[("stud", VarDecl::Class(s))]).unwrap();
+        let ret_slot = m.frame().unwrap().ret_slot();
+        m.space_mut().write_ptr(ret_slot, target_addr).unwrap();
+        let ev = m.ret().unwrap();
+        assert_eq!(ev.canary_intact, Some(true));
+        match ev.outcome {
+            ControlOutcome::Hijacked { name, privileged, .. } => {
+                assert_eq!(name, "system");
+                assert!(privileged);
+            }
+            other => panic!("expected hijack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shadow_stack_detects_what_canary_missed() {
+        let (reg, s, _) = student_registry();
+        let mut m = MachineBuilder::new().shadow_stack(true).build(reg);
+        m.register_function("system", Privilege::Privileged);
+        let target_addr = m.function_addr("system").unwrap();
+        m.push_frame("addStudent", &[("stud", VarDecl::Class(s))]).unwrap();
+        let ret_slot = m.frame().unwrap().ret_slot();
+        m.space_mut().write_ptr(ret_slot, target_addr).unwrap();
+        let ev = m.ret().unwrap();
+        assert!(matches!(ev.outcome, ControlOutcome::ShadowStackDetected { .. }));
+    }
+
+    #[test]
+    fn ret_into_nx_stack_faults_but_exec_stack_runs_shellcode() {
+        let (reg, s, _) = student_registry();
+        // NX stack (default): fault.
+        let mut m = MachineBuilder::new().protection(StackProtection::None).build(reg.clone());
+        m.push_frame("f", &[("stud", VarDecl::Class(s))]).unwrap();
+        let stud = m.local_addr("stud").unwrap();
+        let ret_slot = m.frame().unwrap().ret_slot();
+        m.space_mut().write_ptr(ret_slot, stud).unwrap();
+        let ev = m.ret().unwrap();
+        assert!(matches!(
+            ev.outcome,
+            ControlOutcome::Fault { reason: FaultReason::NxViolation, .. }
+        ));
+
+        // Executable stack: shellcode.
+        let mut m = MachineBuilder::new()
+            .protection(StackProtection::None)
+            .executable_stack(true)
+            .build(reg);
+        m.push_frame("f", &[("stud", VarDecl::Class(s))]).unwrap();
+        let stud = m.local_addr("stud").unwrap();
+        let ret_slot = m.frame().unwrap().ret_slot();
+        m.space_mut().write_ptr(ret_slot, stud).unwrap();
+        let ev = m.ret().unwrap();
+        assert!(matches!(
+            ev.outcome,
+            ControlOutcome::ShellCode { segment: SegmentKind::Stack, .. }
+        ));
+    }
+
+    #[test]
+    fn nested_frames_restore_sp() {
+        let (reg, s, _) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        let sp0 = m.sp;
+        m.push_frame("outer", &[("stud", VarDecl::Class(s))]).unwrap();
+        let sp1 = m.sp;
+        m.push_frame("inner", &[("n", VarDecl::Ty(CxxType::Int))]).unwrap();
+        assert!(m.sp < sp1);
+        assert!(m.ret().unwrap().outcome.is_normal());
+        assert_eq!(m.sp, sp1);
+        assert!(m.ret().unwrap().outcome.is_normal());
+        assert_eq!(m.sp, sp0);
+    }
+
+    #[test]
+    fn stack_exhaustion_detected() {
+        let (reg, _, _) = student_registry();
+        let mut m = MachineBuilder::new().stack_size(4096).build(reg);
+        let r = m.push_frame("f", &[("big", VarDecl::char_buf(8192))]);
+        assert!(matches!(r, Err(RuntimeError::StackExhausted { .. })));
+    }
+
+    #[test]
+    fn construct_writes_vptr_and_dispatch_works() {
+        let (reg, s, g) = virtual_registry();
+        let mut m = Machine::with_registry(reg);
+        let obj = m.define_global("stud", VarDecl::Class(g), SegmentKind::Bss).unwrap();
+        m.construct(obj, g).unwrap();
+        let vptr = m.space().read_ptr(obj).unwrap();
+        assert_eq!(Some(vptr), m.vtable_addr(g));
+        // Static type Student, dynamic type GradStudent: dispatches to the
+        // override.
+        let out = m.virtual_call(obj, s, "getInfo").unwrap();
+        assert_eq!(
+            out,
+            DispatchOutcome::Valid {
+                func: m.funcs().by_name("GradStudent::getInfo").unwrap().id(),
+                name: "GradStudent::getInfo".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn clobbered_vptr_hijacks_or_crashes_dispatch() {
+        let (reg, s, _) = virtual_registry();
+        let mut m = Machine::with_registry(reg);
+        let sys = m.register_function("system", Privilege::Privileged);
+        let sys_addr = m.funcs().def(sys).addr();
+        let obj = m.define_global("stud", VarDecl::Class(s), SegmentKind::Bss).unwrap();
+        m.construct(obj, s).unwrap();
+
+        // Fake vtable in attacker-controlled bss memory pointing at system().
+        let fake = m.define_global("fake_vt", VarDecl::char_buf(8), SegmentKind::Bss).unwrap();
+        m.space_mut().write_ptr(fake, sys_addr).unwrap();
+        m.space_mut().write_ptr(obj, fake).unwrap(); // vptr subterfuge
+        let out = m.virtual_call(obj, s, "getInfo").unwrap();
+        assert!(matches!(out, DispatchOutcome::Hijacked { privileged: true, .. }));
+
+        // Invalid vptr: crash.
+        m.space_mut().write_ptr(obj, VirtAddr::new(0x44)).unwrap();
+        let out = m.virtual_call(obj, s, "getInfo").unwrap();
+        assert!(matches!(out, DispatchOutcome::Fault { .. }));
+    }
+
+    #[test]
+    fn function_pointer_classification() {
+        let (reg, _, _) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        m.register_function("createStudentAccount", Privilege::Normal);
+        m.register_function("system", Privilege::Privileged);
+        let good = m.function_addr("createStudentAccount").unwrap();
+        let evil = m.function_addr("system").unwrap();
+
+        assert!(matches!(
+            m.call_function_pointer(good, Some("createStudentAccount")),
+            DispatchOutcome::Valid { .. }
+        ));
+        assert!(matches!(
+            m.call_function_pointer(evil, Some("createStudentAccount")),
+            DispatchOutcome::Hijacked { privileged: true, .. }
+        ));
+        assert!(matches!(
+            m.call_function_pointer(VirtAddr::new(0x10), Some("x")),
+            DispatchOutcome::Fault { .. }
+        ));
+    }
+
+    #[test]
+    fn strncpy_is_faithful_to_c() {
+        let (reg, _, _) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        let p = m.define_global("buf", VarDecl::char_buf(16), SegmentKind::Data).unwrap();
+        m.space_mut().fill(p, 0xff, 16).unwrap();
+        // Short source: NUL-padded to n.
+        m.strncpy(p, b"ab\0", 8).unwrap();
+        assert_eq!(m.space().read_vec(p, 8).unwrap(), b"ab\0\0\0\0\0\0");
+        // Long source: truncated, NOT NUL-terminated.
+        m.strncpy(p, b"abcdefgh", 4).unwrap();
+        assert_eq!(m.space().read_vec(p, 4).unwrap(), b"abcd");
+        assert_eq!(m.space().read_u8(p + 4).unwrap(), 0); // from previous pad
+    }
+
+    #[test]
+    fn cin_reads_scripted_tokens() {
+        let (reg, _, _) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        m.input_mut().extend([111i64, 222]);
+        m.input_mut().push(4.0f64);
+        m.input_mut().push("alice");
+        assert_eq!(m.cin_int().unwrap(), 111);
+        assert_eq!(m.cin_int().unwrap(), 222);
+        assert_eq!(m.cin_double().unwrap(), 4.0);
+        assert_eq!(m.cin_str().unwrap(), "alice");
+        assert!(m.cin_int().is_err());
+    }
+
+    #[test]
+    fn output_capture() {
+        let (reg, _, _) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        m.print("Before Attack: Name:abcdefghijklmno");
+        assert_eq!(m.output().len(), 1);
+        let lines = m.take_output();
+        assert_eq!(lines.len(), 1);
+        assert!(m.output().is_empty());
+    }
+
+    #[test]
+    fn canary_is_deterministic_per_seed_and_has_nul_byte() {
+        let (reg, _, _) = student_registry();
+        let m1 = MachineBuilder::new().seed(42).build(reg.clone());
+        let m2 = MachineBuilder::new().seed(42).build(reg.clone());
+        let m3 = MachineBuilder::new().seed(43).build(reg);
+        assert_eq!(m1.canary(), m2.canary());
+        assert_ne!(m1.canary(), m3.canary());
+        assert_eq!(m1.canary() & 0xff, 0); // terminator byte
+    }
+
+    #[test]
+    fn field_and_element_addresses() {
+        let (reg, _, g) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        let obj = m.define_global("gs", VarDecl::Class(g), SegmentKind::Bss).unwrap();
+        assert_eq!(m.field_addr(g, obj, "gpa").unwrap(), obj);
+        assert_eq!(m.field_addr(g, obj, "ssn").unwrap(), obj + 16);
+        assert_eq!(m.element_addr(g, obj, "ssn", 2).unwrap(), obj + 24);
+        assert!(m.element_addr(g, obj, "ssn", 3).is_err());
+    }
+
+    #[test]
+    fn heap_wrappers() {
+        let (reg, _, _) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        let p = m.heap_alloc(32).unwrap();
+        assert_eq!(m.heap_stats().live_blocks, 1);
+        m.heap_free_sized(p, 16).unwrap();
+        assert_eq!(m.heap_stats().leaked_bytes, 16);
+        assert!(m.heap_free(p).is_err());
+        assert!(m.heap().payload_size(p).is_none());
+    }
+
+    #[test]
+    fn mmap_file_writes_contents() {
+        let (reg, _, _) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        let pool = m.define_global("mem_pool", VarDecl::char_buf(64), SegmentKind::Bss).unwrap();
+        m.mmap_file(pool, b"root:x:0:0\n").unwrap();
+        assert_eq!(m.space().read_cstr(pool, 11).unwrap(), "root:x:0:0\n");
+    }
+
+    #[test]
+    fn display_shows_map_and_protection() {
+        let (reg, _, _) = student_registry();
+        let m = Machine::with_registry(reg);
+        let text = m.to_string();
+        assert!(text.contains("stackguard"));
+        assert!(text.contains("stack"));
+    }
+
+    #[test]
+    fn vtables_do_not_pollute_write_trace() {
+        let (reg, _, _) = virtual_registry();
+        let m = Machine::with_registry(reg);
+        assert_eq!(m.space().trace().total_writes(), 0);
+    }
+
+    #[test]
+    fn function_effects_are_observable() {
+        let (reg, _, _) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        let flag = m.define_global("flag", VarDecl::Ty(CxxType::Int), SegmentKind::Bss).unwrap();
+        let cmd = m.define_global("cmd", VarDecl::char_buf(16), SegmentKind::Bss).unwrap();
+        m.space_mut().write_bytes(cmd, b"/bin/sh\0").unwrap();
+        let system = m.register_function("system", Privilege::Privileged);
+        m.set_function_effects(
+            system,
+            vec![
+                FuncEffect::Print("uid=0(root)".into()),
+                FuncEffect::WriteI32 { addr: flag, value: 7 },
+                FuncEffect::SpawnShell { arg: cmd },
+            ],
+        );
+        m.invoke(system).unwrap();
+        assert_eq!(m.space().read_i32(flag).unwrap(), 7);
+        assert_eq!(m.shells_spawned(), ["/bin/sh".to_owned()]);
+        assert!(m.output().iter().any(|l| l == "uid=0(root)"));
+        assert!(m.output().iter().any(|l| l == "$ /bin/sh"));
+        // Functions without effects invoke as no-ops.
+        let f = m.register_function("noop", Privilege::Normal);
+        m.invoke(f).unwrap();
+        assert_eq!(m.shells_spawned().len(), 1);
+    }
+
+    #[test]
+    fn sizeof_via_machine() {
+        let (reg, s, g) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        assert_eq!(m.size_of(s).unwrap(), 16);
+        assert_eq!(m.size_of(g).unwrap(), 32);
+    }
+}

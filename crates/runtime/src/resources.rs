@@ -1,0 +1,236 @@
+//! OS-resource accounting: file descriptors and locks.
+//!
+//! §4.4 lists the resource-exhaustion consequences of a corrupted loop
+//! bound: "the attacker … might crash the whole software stack … by using
+//! up all the memory, or opening maximum number of files or creating
+//! maximum number of processes", and "deadlocks (trying to lock the same
+//! resource multiple times)". The machine models those resources so the
+//! DoS experiment can measure them: a bounded descriptor table and a
+//! non-reentrant lock table.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A file-descriptor handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fd(u32);
+
+impl Fd {
+    /// The raw descriptor number.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+/// Why a resource operation failed — these are *program* outcomes (the
+/// crash/deadlock §4.4 predicts), distinct from scenario wiring errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResourceFailure {
+    /// `RLIMIT_NOFILE` reached: `open` fails.
+    FdExhausted {
+        /// The configured descriptor limit.
+        limit: u32,
+    },
+    /// A non-reentrant lock was acquired twice by the same (single)
+    /// thread: the program deadlocks.
+    Deadlock {
+        /// The lock that was re-acquired.
+        lock: String,
+    },
+    /// Close/unlock of something not held.
+    NotHeld,
+}
+
+impl fmt::Display for ResourceFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceFailure::FdExhausted { limit } => {
+                write!(f, "descriptor limit reached ({limit} open files)")
+            }
+            ResourceFailure::Deadlock { lock } => {
+                write!(f, "deadlock: lock {lock:?} acquired twice")
+            }
+            ResourceFailure::NotHeld => f.write_str("resource is not held"),
+        }
+    }
+}
+
+impl std::error::Error for ResourceFailure {}
+
+/// Per-process resource table (descriptors + locks), with a ulimit-style
+/// descriptor bound.
+#[derive(Debug, Clone)]
+pub struct ResourceTable {
+    fd_limit: u32,
+    next_fd: u32,
+    open: BTreeSet<u32>,
+    locks: BTreeSet<String>,
+    /// High-water mark of simultaneously open descriptors.
+    peak_open: u32,
+}
+
+impl ResourceTable {
+    /// The default descriptor limit (the classic `ulimit -n` 1024).
+    pub const DEFAULT_FD_LIMIT: u32 = 1024;
+
+    /// Creates a table with the given descriptor limit.
+    pub fn with_fd_limit(fd_limit: u32) -> Self {
+        ResourceTable {
+            fd_limit,
+            next_fd: 3, // stdin/stdout/stderr
+            open: BTreeSet::new(),
+            locks: BTreeSet::new(),
+            peak_open: 0,
+        }
+    }
+
+    /// Creates a table with [`DEFAULT_FD_LIMIT`](Self::DEFAULT_FD_LIMIT).
+    pub fn new() -> Self {
+        Self::with_fd_limit(Self::DEFAULT_FD_LIMIT)
+    }
+
+    /// Opens a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ResourceFailure::FdExhausted`] at the limit.
+    pub fn open(&mut self) -> Result<Fd, ResourceFailure> {
+        if self.open.len() as u32 >= self.fd_limit {
+            return Err(ResourceFailure::FdExhausted { limit: self.fd_limit });
+        }
+        let fd = self.next_fd;
+        self.next_fd += 1;
+        self.open.insert(fd);
+        self.peak_open = self.peak_open.max(self.open.len() as u32);
+        Ok(Fd(fd))
+    }
+
+    /// Closes a descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ResourceFailure::NotHeld`] if it is not open.
+    pub fn close(&mut self, fd: Fd) -> Result<(), ResourceFailure> {
+        if self.open.remove(&fd.0) {
+            Ok(())
+        } else {
+            Err(ResourceFailure::NotHeld)
+        }
+    }
+
+    /// Acquires a named, non-reentrant lock.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ResourceFailure::Deadlock`] when the lock is already
+    /// held — the single-threaded self-deadlock of §4.4.
+    pub fn lock(&mut self, name: &str) -> Result<(), ResourceFailure> {
+        if !self.locks.insert(name.to_owned()) {
+            return Err(ResourceFailure::Deadlock { lock: name.to_owned() });
+        }
+        Ok(())
+    }
+
+    /// Releases a named lock.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`ResourceFailure::NotHeld`] if it was not held.
+    pub fn unlock(&mut self, name: &str) -> Result<(), ResourceFailure> {
+        if self.locks.remove(name) {
+            Ok(())
+        } else {
+            Err(ResourceFailure::NotHeld)
+        }
+    }
+
+    /// Currently open descriptors.
+    pub fn open_count(&self) -> u32 {
+        self.open.len() as u32
+    }
+
+    /// High-water mark of open descriptors.
+    pub fn peak_open(&self) -> u32 {
+        self.peak_open
+    }
+
+    /// Currently held locks.
+    pub fn held_locks(&self) -> impl Iterator<Item = &str> {
+        self.locks.iter().map(String::as_str)
+    }
+
+    /// The descriptor limit.
+    pub fn fd_limit(&self) -> u32 {
+        self.fd_limit
+    }
+}
+
+impl Default for ResourceTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptors_exhaust_at_the_limit() {
+        let mut t = ResourceTable::with_fd_limit(3);
+        let a = t.open().unwrap();
+        let _b = t.open().unwrap();
+        let _c = t.open().unwrap();
+        assert_eq!(t.open_count(), 3);
+        assert_eq!(t.open(), Err(ResourceFailure::FdExhausted { limit: 3 }));
+        t.close(a).unwrap();
+        assert!(t.open().is_ok());
+        assert_eq!(t.peak_open(), 3);
+    }
+
+    #[test]
+    fn descriptor_numbers_start_past_stdio_and_never_repeat() {
+        let mut t = ResourceTable::new();
+        let a = t.open().unwrap();
+        assert_eq!(a.raw(), 3);
+        t.close(a).unwrap();
+        let b = t.open().unwrap();
+        assert_eq!(b.raw(), 4);
+        assert_eq!(b.to_string(), "fd4");
+    }
+
+    #[test]
+    fn double_close_fails() {
+        let mut t = ResourceTable::new();
+        let a = t.open().unwrap();
+        t.close(a).unwrap();
+        assert_eq!(t.close(a), Err(ResourceFailure::NotHeld));
+    }
+
+    #[test]
+    fn relocking_deadlocks() {
+        let mut t = ResourceTable::new();
+        t.lock("students.db").unwrap();
+        assert_eq!(
+            t.lock("students.db"),
+            Err(ResourceFailure::Deadlock { lock: "students.db".into() })
+        );
+        assert_eq!(t.held_locks().collect::<Vec<_>>(), ["students.db"]);
+        t.unlock("students.db").unwrap();
+        assert_eq!(t.unlock("students.db"), Err(ResourceFailure::NotHeld));
+        t.lock("students.db").unwrap(); // reacquirable after release
+    }
+
+    #[test]
+    fn failure_messages() {
+        assert!(ResourceFailure::FdExhausted { limit: 9 }.to_string().contains("9"));
+        assert!(ResourceFailure::Deadlock { lock: "x".into() }.to_string().contains("deadlock"));
+        assert!(ResourceFailure::NotHeld.to_string().contains("not held"));
+    }
+}

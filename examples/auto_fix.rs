@@ -1,0 +1,59 @@
+//! Automatic remediation (§7) over the paper's listings.
+//!
+//! Runs the analyzer on every vulnerable listing, applies the [`Fixer`]'s
+//! §5.1-prescribed rewrites (heap fallback, missing bounds checks,
+//! sanitizing memsets, placement deletes), and re-analyzes to show the
+//! findings drop to zero — the paper's "automatically addressing these
+//! vulnerabilities", end to end.
+//!
+//! Run with: `cargo run --example auto_fix`
+
+use placement_new_attacks::corpus::listings;
+use placement_new_attacks::detector::{Analyzer, Fixer, Severity};
+
+fn main() {
+    let analyzer = Analyzer::new();
+    let fixer = Fixer::new();
+    let mut total_fixes = 0usize;
+
+    println!(
+        "{:<34} {:>8} {:>6} {:>9}  first fix applied",
+        "listing", "findings", "fixes", "residual"
+    );
+    println!("{}", "-".repeat(100));
+    for prog in listings::vulnerable_corpus() {
+        let before = analyzer
+            .analyze(&prog)
+            .findings
+            .iter()
+            .filter(|f| f.severity >= Severity::Warning)
+            .count();
+        let (fixed, fixes) = fixer.fix(&prog);
+        let after = analyzer
+            .analyze(&fixed)
+            .findings
+            .iter()
+            .filter(|f| f.severity >= Severity::Warning)
+            .count();
+        total_fixes += fixes.len();
+        println!(
+            "{:<34} {:>8} {:>6} {:>9}  {}",
+            prog.name,
+            before,
+            fixes.len(),
+            after,
+            fixes.first().map_or(String::from("-"), |f| f.description.clone())
+        );
+        assert_eq!(after, 0, "{}: fixer left residual findings", prog.name);
+    }
+    println!("{}", "-".repeat(100));
+    println!("{total_fixes} automatic fixes applied; 0 warning-level findings remain anywhere");
+
+    // Show one rewrite in detail: Listing 23's leaky release.
+    let leak = listings::listing_23();
+    let (_, fixes) = fixer.fix(&leak);
+    println!("\nListing 23 in detail:");
+    for f in fixes {
+        println!("  {f}");
+    }
+}

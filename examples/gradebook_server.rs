@@ -1,0 +1,122 @@
+//! A gradebook "web service" receiving serialized student objects.
+//!
+//! §3.2 of the paper motivates placement-new overflows with object-based
+//! information transfer: servers deserialize objects from untrusted
+//! clients and "place" them into pre-allocated arenas. This example builds
+//! that server on the simulated machine:
+//!
+//! 1. an honest client sends a well-formed `Student` record — served fine;
+//! 2. a malicious client sends a **forged wire object** whose payload is
+//!    larger than the arena — the deep-copying placement overruns into the
+//!    adjacent session data (the admin flag!);
+//! 3. the same request against a §5.1-hardened server (checked placement
+//!    with heap fallback) is contained.
+//!
+//! Run with: `cargo run --example gradebook_server`
+
+use placement_new_attacks::core::protect::{checked_placement_new, Arena};
+use placement_new_attacks::core::student::StudentWorld;
+use placement_new_attacks::core::{placement_new_copy, AttackConfig, PlacementError};
+use placement_new_attacks::memory::SegmentKind;
+use placement_new_attacks::object::wire::WireObject;
+use placement_new_attacks::runtime::{Machine, VarDecl};
+
+/// Server-side session state: one pre-allocated Student arena and the
+/// authorization flag that happens to live right after it.
+struct Server {
+    machine: Machine,
+    world: StudentWorld,
+    arena: placement_new_attacks::memory::VirtAddr,
+    is_admin: placement_new_attacks::memory::VirtAddr,
+    hardened: bool,
+}
+
+impl Server {
+    fn new(hardened: bool) -> Result<Self, Box<dyn std::error::Error>> {
+        let world = StudentWorld::plain();
+        let mut machine = world.machine(&AttackConfig::paper());
+        let arena = machine.define_global(
+            "session_student",
+            VarDecl::Class(world.student),
+            SegmentKind::Bss,
+        )?;
+        let is_admin = machine.define_global(
+            "session_is_admin",
+            VarDecl::Ty(placement_new_attacks::object::CxxType::Int),
+            SegmentKind::Bss,
+        )?;
+        machine.space_mut().write_i32(is_admin, 0)?;
+        Ok(Server { machine, world, arena, is_admin, hardened })
+    }
+
+    /// Handles one serialized-object request, returning a status line.
+    fn handle(&mut self, wire: &[u8]) -> Result<String, Box<dyn std::error::Error>> {
+        let obj = WireObject::decode(wire)?;
+        if self.hardened {
+            // §5.1: check the *actual* payload size against the arena
+            // before placing; refuse (fall back) otherwise.
+            let arena = Arena::new(self.arena, self.machine.size_of(self.world.student)?);
+            if obj.payload().len() as u32 > arena.size {
+                return Ok(format!(
+                    "rejected: payload of {} bytes exceeds the {}-byte session arena",
+                    obj.payload().len(),
+                    arena.size
+                ));
+            }
+            match checked_placement_new(&mut self.machine, arena, self.world.student) {
+                Ok(slot) => {
+                    self.machine.space_mut().write_bytes(slot.addr(), obj.payload())?;
+                }
+                Err(PlacementError::Runtime(e)) => return Err(e.into()),
+                Err(refused) => return Ok(format!("rejected: {refused}")),
+            }
+        } else {
+            // The vulnerable server trusts the protocol (§3.2) and deep-
+            // copies whatever arrived.
+            placement_new_copy(&mut self.machine, self.arena, self.world.student, obj.payload())?;
+        }
+        Ok(format!("accepted {} ({} payload bytes)", obj.class_name(), obj.payload().len()))
+    }
+
+    fn admin_flag(&self) -> i32 {
+        self.machine.space().read_i32(self.is_admin).unwrap_or(-1)
+    }
+}
+
+/// An honest 16-byte Student record.
+fn honest_request() -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&3.7f64.to_le_bytes()); // gpa
+    payload.extend_from_slice(&2009i32.to_le_bytes()); // year
+    payload.extend_from_slice(&1i32.to_le_bytes()); // semester
+    WireObject::new("Student", payload).encode()
+}
+
+/// A forged record: valid-looking fields followed by 4 extra bytes that
+/// land exactly on `session_is_admin`.
+fn malicious_request() -> Vec<u8> {
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&4.0f64.to_le_bytes());
+    payload.extend_from_slice(&2009i32.to_le_bytes());
+    payload.extend_from_slice(&1i32.to_le_bytes());
+    payload.extend_from_slice(&1i32.to_le_bytes()); // spills onto is_admin
+    WireObject::new("Student", payload).encode()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== vulnerable server (trusts the protocol, §3.2) ===");
+    let mut server = Server::new(false)?;
+    println!("honest client:    {}", server.handle(&honest_request())?);
+    println!("  is_admin = {}", server.admin_flag());
+    println!("malicious client: {}", server.handle(&malicious_request())?);
+    println!("  is_admin = {}   <- privilege escalated by 4 spilled bytes", server.admin_flag());
+    assert_eq!(server.admin_flag(), 1);
+
+    println!("\n=== hardened server (checked placement, §5.1) ===");
+    let mut server = Server::new(true)?;
+    println!("honest client:    {}", server.handle(&honest_request())?);
+    println!("malicious client: {}", server.handle(&malicious_request())?);
+    println!("  is_admin = {}   <- contained", server.admin_flag());
+    assert_eq!(server.admin_flag(), 0);
+    Ok(())
+}

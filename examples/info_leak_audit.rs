@@ -1,0 +1,51 @@
+//! Information leakage through unsanitized arena reuse (§4.3).
+//!
+//! Replays both leak listings with and without the §5.1 memset defense,
+//! and prints what the attacker actually recovers:
+//!
+//! * Listing 21 — a password file is read into `mem_pool`; a short user
+//!   string is then placed over the pool; everything past the string ships
+//!   out with it;
+//! * Listing 22 — a `GradStudent`'s SSN survives a smaller `Student` being
+//!   placed over it.
+//!
+//! Run with: `cargo run --example info_leak_audit`
+
+use placement_new_attacks::core::attacks::info_leak;
+use placement_new_attacks::core::{AttackConfig, Defense};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Listing 21: array reuse over the password file ===");
+    for (label, cfg) in [
+        ("vulnerable", AttackConfig::paper()),
+        ("sanitized (§5.1)", AttackConfig::with_defense(Defense::correct_coding())),
+    ] {
+        let report = info_leak::run_array(&cfg)?;
+        println!("\n[{label}] {}", report.verdict());
+        println!(
+            "  recoverable secret bytes: {} / {}",
+            report.measurement("leaked_bytes").unwrap_or(0.0),
+            report.measurement("secret_bytes").unwrap_or(0.0)
+        );
+        for line in &report.evidence {
+            println!("  {line}");
+        }
+    }
+
+    println!("\n=== Listing 22: SSN residue after object reuse ===");
+    for (label, cfg) in [
+        ("vulnerable", AttackConfig::paper()),
+        ("sanitized (§5.1)", AttackConfig::with_defense(Defense::correct_coding())),
+    ] {
+        let report = info_leak::run_object(&cfg)?;
+        println!("\n[{label}] {}", report.verdict());
+        println!(
+            "  SSN words recovered: {}",
+            report.measurement("ssn_words_leaked").unwrap_or(0.0)
+        );
+        for line in &report.evidence {
+            println!("  {line}");
+        }
+    }
+    Ok(())
+}

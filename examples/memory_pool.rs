@@ -1,0 +1,101 @@
+//! Placement new used *correctly* — the §2.1 use cases, defended.
+//!
+//! The paper is explicit that placement new is "a powerful expression
+//! [that] supports important functionalities": memory pools for
+//! mission-critical systems, avoiding allocation failures, memory reuse,
+//! and deserialization into pre-allocated arenas. This example builds a
+//! small request-processing service on a fixed memory pool using the §5.1
+//! APIs — checked placement, sanitized reuse, placement delete — and
+//! shows that the legitimate patterns work while every abuse is refused.
+//!
+//! Run with: `cargo run --example memory_pool`
+
+use placement_new_attacks::core::protect::{checked_placement_new, Arena, ManagedArena};
+use placement_new_attacks::core::student::StudentWorld;
+use placement_new_attacks::core::{AttackConfig, PlacementError, PlacementMode};
+use placement_new_attacks::corpus::workload;
+use placement_new_attacks::memory::SegmentKind;
+use placement_new_attacks::object::CxxType;
+use placement_new_attacks::runtime::VarDecl;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = StudentWorld::plain();
+    let mut m = world.machine(&AttackConfig::paper());
+
+    // §2.1(3): "build a custom-made memory pool for the application,
+    // which would act as a heap ... Mission-critical systems rely on
+    // memory pools and reuse of memory in order to avoid allocation
+    // failures."
+    let slot_size = m.size_of(world.grad)?; // big enough for either class
+    let slots = 8u32;
+    let pool = m.define_global(
+        "request_pool",
+        VarDecl::Buffer { size: slot_size * slots, align: 8 },
+        SegmentKind::Bss,
+    )?;
+    println!("fixed pool: {slots} slots x {slot_size} bytes at {pool} — zero heap traffic");
+
+    // Process a student population through the pool: every placement is
+    // checked, every slot sanitized between tenants.
+    let students = workload::student_population(42, 32);
+    let mut arenas: Vec<ManagedArena> =
+        (0..slots).map(|i| ManagedArena::new(pool + i * slot_size, slot_size, true)).collect();
+
+    let mut processed = 0usize;
+    for (i, record) in students.iter().enumerate() {
+        let arena = &mut arenas[i % slots as usize];
+        let class = if record.grad { world.grad } else { world.student };
+        let obj = arena
+            .place_object(&mut m, PlacementMode::Checked, class)
+            .map_err(|e| format!("pool placement unexpectedly refused: {e}"))?;
+        obj.write_f64(&mut m, "gpa", record.gpa)?;
+        obj.write_i32(&mut m, "year", record.year)?;
+        if record.grad {
+            for (k, v) in record.ssn.iter().enumerate() {
+                obj.write_elem_i32(&mut m, "ssn", k as u32, *v)?;
+            }
+        }
+        processed += 1;
+    }
+    println!("processed {processed} records through {slots} reusable slots");
+    println!("heap allocations: {}", m.heap_stats().total_allocs);
+    assert_eq!(m.heap_stats().total_allocs, 0);
+
+    // Sanitized reuse means no SSN residue survives slot turnover.
+    let first_slot = arenas[0].arena();
+    arenas[0].place_object(&mut m, PlacementMode::Checked, world.student)?;
+    let student_size = m.size_of(world.student)?;
+    let residue = m.space().read_i32(first_slot.addr + student_size)?;
+    println!("slot 0 residue past sizeof(Student): {residue} (sanitized)");
+    assert_eq!(residue, 0);
+
+    // And the abuse paths are refused, not silently corrupted:
+    println!("\nabuse attempts against the same pool:");
+    let tiny = Arena::new(first_slot.addr, student_size);
+    match checked_placement_new(&mut m, tiny, world.grad) {
+        Err(PlacementError::SizeExceedsArena { placed, arena }) => {
+            println!("  oversized object:   refused ({placed} > {arena} bytes)");
+        }
+        other => panic!("expected refusal, got {other:?}"),
+    }
+    match PlacementMode::Checked.place_array(
+        &mut m,
+        Arena::new(pool, slot_size * slots),
+        CxxType::Char,
+        slot_size * slots + 1,
+    ) {
+        Err(PlacementError::SizeExceedsArena { .. }) => {
+            println!("  oversized array:    refused");
+        }
+        other => panic!("expected refusal, got {other:?}"),
+    }
+    match checked_placement_new(&mut m, Arena::new(pool + 1, 64), world.student) {
+        Err(PlacementError::Misaligned { required, .. }) => {
+            println!("  misaligned arena:   refused (needs {required}-byte alignment)");
+        }
+        other => panic!("expected refusal, got {other:?}"),
+    }
+
+    println!("\nthe §2.1 functionality survives the §5.1 discipline intact");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Byte-level forensics of a placement-new overflow.
+//!
+//! Snapshots the bss region around the Listing 11 victims, mounts the
+//! overflow, and then shows — as a hexdump and a byte diff — exactly
+//! which memory the attack touched, correlated with the machine's write
+//! trace. This is the "with microscope and tweezers" view (the paper's
+//! §6 nods to Rochlis & Eichin) of the flagship attack.
+//!
+//! Run with: `cargo run --example overflow_forensics`
+
+use placement_new_attacks::core::student::StudentWorld;
+use placement_new_attacks::core::{placement_new, AttackConfig};
+use placement_new_attacks::memory::dump::{hexdump, Snapshot};
+use placement_new_attacks::memory::SegmentKind;
+use placement_new_attacks::runtime::VarDecl;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let world = StudentWorld::plain();
+    let mut m = world.machine(&AttackConfig::paper());
+
+    let stud1 = m.define_global("stud1", VarDecl::Class(world.student), SegmentKind::Bss)?;
+    let stud2 = m.define_global("stud2", VarDecl::Class(world.student), SegmentKind::Bss)?;
+
+    // Benign state: stud2 holds an honest record.
+    let st2 = placement_new(&mut m, stud2, world.student)?;
+    st2.write_f64(&mut m, "gpa", 3.5)?;
+    st2.write_i32(&mut m, "year", 2008)?;
+    st2.write_i32(&mut m, "semester", 2)?;
+
+    println!("=== bss before the attack ===");
+    print!("{}", hexdump(m.space(), stud1, 32)?);
+
+    // Capture evidence baselines.
+    let snapshot = Snapshot::capture(m.space(), stud1, 32)?;
+    m.space_mut().trace_mut().clear();
+
+    // The attack: GradStudent placed at stud1, SSN "set" by the attacker.
+    let st1 = placement_new(&mut m, stud1, world.grad)?;
+    let forged = 4.0f64.to_bits();
+    st1.write_elem_i32(&mut m, "ssn", 0, (forged & 0xffff_ffff) as i32)?;
+    st1.write_elem_i32(&mut m, "ssn", 1, (forged >> 32) as i32)?;
+    st1.write_elem_i32(&mut m, "ssn", 2, 2025)?;
+
+    println!("\n=== bss after the attack ===");
+    print!("{}", hexdump(m.space(), stud1, 32)?);
+
+    println!("\n=== byte diff (changed runs) ===");
+    let diffs = snapshot.diff(m.space())?;
+    for d in &diffs {
+        let victim = if d.addr >= stud2 { "inside stud2!" } else { "inside stud1" };
+        println!("  {d}   <- {victim}");
+    }
+    assert!(diffs.iter().any(|d| d.addr >= stud2), "the overflow must cross into stud2");
+
+    println!("\n=== machine write trace (who wrote those bytes) ===");
+    for w in m.space().trace().iter() {
+        let where_ = if w.overlaps(stud2, 16) { " -> lands in stud2" } else { "" };
+        println!("  {w}{where_}");
+    }
+
+    println!("\nstud2.gpa is now {}", st2.read_f64(&mut m, "gpa")?);
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: the paper's flagship demonstration, end to end.
+//!
+//! Builds the simulated ILP32 machine, defines the running-example class
+//! pair (`Student` / `GradStudent`), and replays Listing 11: placing a
+//! `GradStudent` at `&stud1` and watching its `ssn[]` writes land inside
+//! the adjacent `stud2`.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use placement_new_attacks::core::student::StudentWorld;
+use placement_new_attacks::core::{placement_new, AttackConfig};
+use placement_new_attacks::memory::SegmentKind;
+use placement_new_attacks::runtime::VarDecl;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's platform: ILP32, gcc-style layout, StackGuard on.
+    let world = StudentWorld::plain();
+    let mut machine = world.machine(&AttackConfig::paper());
+
+    println!("=== the memory image ===");
+    print!("{}", machine.space());
+
+    // Student stud1, stud2;  — adjacent uninitialized globals (bss).
+    let stud1 = machine.define_global("stud1", VarDecl::Class(world.student), SegmentKind::Bss)?;
+    let stud2 = machine.define_global("stud2", VarDecl::Class(world.student), SegmentKind::Bss)?;
+    println!("\nstud1 at {stud1}");
+    println!("stud2 at {stud2}  (exactly sizeof(Student) = 16 bytes above)");
+
+    // The layouts the overflow arithmetic rides on.
+    println!("\n=== layouts (computed, gcc-style) ===");
+    println!("{}", machine.layout(world.student)?);
+    println!("{}", machine.layout(world.grad)?);
+
+    // A benign Student in stud2.
+    let st2 = placement_new(&mut machine, stud2, world.student)?;
+    st2.write_f64(&mut machine, "gpa", 3.5)?;
+    st2.write_i32(&mut machine, "year", 2008)?;
+    println!("stud2.gpa before the attack: {}", st2.read_f64(&mut machine, "gpa")?);
+
+    // The vulnerable placement: GradStudent (32 bytes) into stud1's
+    // 16-byte arena. No check fires — that is the paper's point.
+    let st1 = placement_new(&mut machine, stud1, world.grad)?;
+
+    // The attacker "sets the SSN": ssn[0..2] live at stud1+16..28, i.e.
+    // right on top of stud2.gpa and stud2.year.
+    let forged = 4.0f64.to_bits();
+    st1.write_elem_i32(&mut machine, "ssn", 0, (forged & 0xffff_ffff) as i32)?;
+    st1.write_elem_i32(&mut machine, "ssn", 1, (forged >> 32) as i32)?;
+    st1.write_elem_i32(&mut machine, "ssn", 2, 2025)?;
+
+    println!("\n=== after st1->setSSN(attacker values) ===");
+    println!("stud2.gpa  = {}   <- forged to a perfect 4.0", st2.read_f64(&mut machine, "gpa")?);
+    println!("stud2.year = {}  <- forged", st2.read_i32(&mut machine, "year")?);
+
+    // The write trace shows who really wrote those bytes.
+    println!("\n=== write trace hits on stud2 ===");
+    for w in machine.space().trace().writes_to(stud2, 16) {
+        println!("  {w}");
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! The paper's StackGuard experiment (§3.6.1 / §5.2).
+//!
+//! Replays Listing 13 under every stack-protection configuration, with
+//! both attacker strategies:
+//!
+//! * **naive smash** — three positive `ssn` values overwrite everything
+//!   above the object, so StackGuard's canary check fires;
+//! * **selective overwrite** — non-positive values make the victim's own
+//!   `if (dssn > 0)` guard skip the canary and saved-FP words, and only
+//!   the return address changes: "We succeeded, and StackGuard could not
+//!   detect it."
+//!
+//! Also shows the §5.2 remedy: a return-address (shadow) stack catches
+//! what the canary cannot.
+//!
+//! Run with: `cargo run --example stackguard_bypass`
+
+use placement_new_attacks::core::attacks::stack_smash;
+use placement_new_attacks::core::AttackConfig;
+use placement_new_attacks::runtime::StackProtection;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{:<18} {:<11} {:>14} outcome", "protection", "strategy", "canary intact");
+    println!("{}", "-".repeat(76));
+
+    for protection in
+        [StackProtection::None, StackProtection::FramePointer, StackProtection::StackGuard]
+    {
+        for (strategy, run) in [
+            ("naive", stack_smash::run_naive as fn(&AttackConfig) -> _),
+            ("selective", stack_smash::run_selective),
+        ] {
+            let cfg = AttackConfig::with_protection(protection);
+            let report = run(&cfg)?;
+            let canary = report.measurement("canary_intact").map_or_else(
+                || "n/a".to_owned(),
+                |v| {
+                    if v.is_nan() {
+                        "n/a".to_owned()
+                    } else {
+                        (v == 1.0).to_string()
+                    }
+                },
+            );
+            println!(
+                "{:<18} {:<11} {:>14} {}",
+                protection.to_string(),
+                strategy,
+                canary,
+                report.verdict()
+            );
+        }
+    }
+
+    // The other classic bypass: leak the canary from stale stack memory
+    // (§4.3 on the stack), then write it back over itself.
+    let replay = stack_smash::run_canary_replay(&AttackConfig::paper())?;
+    println!(
+        "{:<18} {:<11} {:>14} {}",
+        "stackguard",
+        "replay",
+        replay.measurement("canary_intact").map(|v| v == 1.0).unwrap_or(false).to_string(),
+        replay.verdict()
+    );
+    assert!(replay.succeeded);
+
+    // The remedy: the same selective overwrite against a shadow stack.
+    let mut cfg = AttackConfig::paper();
+    cfg.shadow_stack = true;
+    let report = stack_smash::run_selective(&cfg)?;
+    println!("{}", "-".repeat(76));
+    println!("{:<18} {:<11} {:>14} {}", "shadow stack", "selective", "true", report.verdict());
+    assert!(!report.succeeded);
+
+    println!("\nEvidence from the selective run under StackGuard:");
+    let report = stack_smash::run_selective(&AttackConfig::paper())?;
+    for line in &report.evidence {
+        println!("  {line}");
+    }
+    Ok(())
+}

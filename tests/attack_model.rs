@@ -1,0 +1,164 @@
+//! Model-based testing of the Listing 13 machine.
+//!
+//! An independent, tiny model predicts the outcome of the stack smash for
+//! *any* attacker script from first principles (the §3.6.1 slot
+//! arithmetic: which `ssn[i]` aliases the canary / saved FP / return
+//! address under each protection), and the property test checks the real
+//! machine agrees on hundreds of random scripts. This is how we know the
+//! frame geometry is right everywhere, not just on the paper's three
+//! scripted inputs.
+
+use proptest::prelude::*;
+
+use placement_new_attacks::core::student::StudentWorld;
+use placement_new_attacks::core::{placement_new, AttackConfig};
+use placement_new_attacks::runtime::{
+    ControlOutcome, Machine, Privilege, StackProtection, VarDecl,
+};
+
+/// What the model predicts for one script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Predicted {
+    /// Nothing relevant was overwritten.
+    Return,
+    /// The canary word was changed: StackGuard aborts.
+    CanaryDetected,
+    /// The return address was redirected to the registered function.
+    HijackSystem,
+    /// The return address was redirected somewhere non-executable.
+    Fault,
+}
+
+/// Runs the Listing 13 victim with `script` and returns the machine's
+/// outcome next to the model's prediction.
+fn run_and_predict(protection: StackProtection, script: [i64; 3]) -> (ControlOutcome, Predicted) {
+    let world = StudentWorld::plain();
+    let cfg = AttackConfig::with_protection(protection);
+    let mut m: Machine = world.machine(&cfg);
+    let system = m.register_function("system", Privilege::Privileged);
+    let system_addr = m.funcs().def(system).addr();
+
+    m.push_frame("main", &[("argbuf", VarDecl::char_buf(256))]).unwrap();
+    m.push_frame("addStudent", &[("stud", VarDecl::Class(world.student))]).unwrap();
+    let stud = m.local_addr("stud").unwrap();
+    let frame = m.frame().unwrap();
+    let ssn_base = stud + 16;
+    let slot_index = |addr| (u64::from(u32::from(addr)) - u64::from(u32::from(ssn_base))) / 4;
+    let canary_index = frame.canary_slot().map(slot_index);
+    let ret_index = slot_index(frame.ret_slot());
+
+    // The victim's guarded input loop.
+    let gs = placement_new(&mut m, stud, world.grad).unwrap();
+    for (i, &v) in script.iter().enumerate() {
+        if v > 0 {
+            gs.write_elem_i32(&mut m, "ssn", i as u32, v as i32).unwrap();
+        }
+    }
+
+    // The model: replay the writes over a symbolic frame.
+    let written =
+        |idx: u64| -> Option<i64> { script.get(idx as usize).copied().filter(|&v| v > 0) };
+    let canary_value = i64::from(m.canary());
+    let predicted = if canary_index.and_then(written).is_some_and(|v| v != canary_value) {
+        Predicted::CanaryDetected
+    } else {
+        match written(ret_index) {
+            None => Predicted::Return,
+            Some(v) if v == i64::from(u32::from(system_addr)) => Predicted::HijackSystem,
+            Some(_) => Predicted::Fault,
+        }
+    };
+
+    let outcome = m.ret().unwrap().outcome;
+    (outcome, predicted)
+}
+
+fn agree(outcome: &ControlOutcome, predicted: Predicted) -> bool {
+    match predicted {
+        Predicted::Return => matches!(outcome, ControlOutcome::Return),
+        Predicted::CanaryDetected => matches!(outcome, ControlOutcome::CanaryDetected { .. }),
+        Predicted::HijackSystem => {
+            matches!(outcome, ControlOutcome::Hijacked { name, .. } if name == "system")
+        }
+        // Redirection to an arbitrary positive word: anything but a clean
+        // return — fault, shellcode region, or an accidental function hit.
+        Predicted::Fault => !matches!(outcome, ControlOutcome::Return),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn machine_matches_the_model_under_stackguard(
+        a in -10i64..0x7fff_ffff,
+        b in -10i64..0x7fff_ffff,
+        c in -10i64..0x7fff_ffff,
+    ) {
+        let (outcome, predicted) = run_and_predict(StackProtection::StackGuard, [a, b, c]);
+        prop_assert!(
+            agree(&outcome, predicted),
+            "script [{a},{b},{c}]: machine said {outcome:?}, model said {predicted:?}"
+        );
+    }
+
+    #[test]
+    fn machine_matches_the_model_without_protection(
+        a in -10i64..0x7fff_ffff,
+        b in -10i64..0x7fff_ffff,
+        c in -10i64..0x7fff_ffff,
+    ) {
+        let (outcome, predicted) = run_and_predict(StackProtection::None, [a, b, c]);
+        prop_assert!(agree(&outcome, predicted), "machine {outcome:?} vs model {predicted:?}");
+    }
+
+    #[test]
+    fn machine_matches_the_model_with_frame_pointer(
+        a in -10i64..0x7fff_ffff,
+        b in -10i64..0x7fff_ffff,
+        c in -10i64..0x7fff_ffff,
+    ) {
+        let (outcome, predicted) = run_and_predict(StackProtection::FramePointer, [a, b, c]);
+        prop_assert!(agree(&outcome, predicted), "machine {outcome:?} vs model {predicted:?}");
+    }
+
+    #[test]
+    fn targeted_scripts_always_hijack(protection_pick in 0u8..3) {
+        // For every protection, the adaptive selective script hijacks.
+        let protection = match protection_pick {
+            0 => StackProtection::None,
+            1 => StackProtection::FramePointer,
+            _ => StackProtection::StackGuard,
+        };
+        // Recompute the index like the attack module does: 0/1/2.
+        let ret_index = match protection {
+            StackProtection::None => 0usize,
+            StackProtection::FramePointer => 1,
+            StackProtection::StackGuard => 2,
+        };
+        let mut script = [-1i64; 3];
+        script[ret_index] = i64::from(0x0804_8100u32); // first function entry
+        let (outcome, predicted) = run_and_predict(protection, script);
+        prop_assert_eq!(predicted, Predicted::HijackSystem);
+        prop_assert!(agree(&outcome, predicted));
+    }
+}
+
+#[test]
+fn frame_geometry_is_aslr_invariant() {
+    // The relative slot arithmetic the attacks rely on does not move when
+    // the segments slide: under ASLR the return address is still ssn[2]
+    // away from the object under StackGuard.
+    use placement_new_attacks::core::student::StudentWorld;
+    use placement_new_attacks::runtime::MachineBuilder;
+
+    let world = StudentWorld::plain();
+    for seed in 1..=8u64 {
+        let mut m = MachineBuilder::new().aslr(seed).build(world.registry.clone());
+        m.push_frame("main", &[("argbuf", VarDecl::char_buf(64))]).unwrap();
+        m.push_frame("addStudent", &[("stud", VarDecl::Class(world.student))]).unwrap();
+        let stud = m.local_addr("stud").unwrap();
+        let ret = m.frame().unwrap().ret_slot();
+        assert_eq!(ret.offset_from(stud + 16) / 4, 2, "seed {seed}");
+    }
+}

@@ -1,0 +1,60 @@
+//! The `.pnx` surface syntax round-trips: `parse(pretty(p)) == p` over
+//! the entire corpus, for generated programs, and through the fixer.
+
+use placement_new_attacks::corpus::{benign, listings, workload};
+use placement_new_attacks::detector::{parse_program, pretty_program, Analyzer, Fixer, Severity};
+
+#[test]
+fn every_corpus_program_round_trips() {
+    let all: Vec<_> =
+        listings::vulnerable_corpus().into_iter().chain(benign::benign_corpus()).collect();
+    assert!(all.len() >= 41);
+    for prog in all {
+        let text = pretty_program(&prog);
+        let back = parse_program(&text)
+            .unwrap_or_else(|e| panic!("{}: failed to reparse: {e}\n{text}", prog.name));
+        assert_eq!(back, prog, "{}: round trip changed the program", prog.name);
+    }
+}
+
+#[test]
+fn analysis_is_invariant_under_round_trip() {
+    let analyzer = Analyzer::new();
+    for prog in listings::vulnerable_corpus() {
+        let direct = analyzer.analyze(&prog);
+        let round_tripped = analyzer.analyze(&parse_program(&pretty_program(&prog)).unwrap());
+        assert_eq!(direct, round_tripped, "{}", prog.name);
+    }
+}
+
+#[test]
+fn generated_programs_round_trip() {
+    for seed in 0..100u64 {
+        for prog in [workload::random_safe_program(seed), workload::random_vulnerable_program(seed)]
+        {
+            let text = pretty_program(&prog);
+            let back = parse_program(&text)
+                .unwrap_or_else(|e| panic!("{} (seed {seed}): {e}\n{text}", prog.name));
+            assert_eq!(back, prog, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn fixed_programs_round_trip_and_stay_clean() {
+    let fixer = Fixer::new();
+    let analyzer = Analyzer::new();
+    for prog in listings::vulnerable_corpus() {
+        let (fixed, _) = fixer.fix(&prog);
+        let text = pretty_program(&fixed);
+        let back = parse_program(&text).unwrap_or_else(|e| {
+            panic!("{}: fixed program failed to reparse: {e}\n{text}", prog.name)
+        });
+        assert_eq!(back, fixed, "{}", prog.name);
+        assert!(
+            !analyzer.analyze(&back).detected_at(Severity::Warning),
+            "{}: reparsed fixed program has findings",
+            prog.name
+        );
+    }
+}

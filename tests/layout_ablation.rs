@@ -1,0 +1,116 @@
+//! Experiment E22: layout ablation.
+//!
+//! The paper's slot arithmetic ("ssn[0] hits the canary", "ssn[1]
+//! overwrites n because of 4 bytes of padding") is a function of the
+//! platform's layout rules. This experiment varies the rules —
+//! paper platform (8-byte doubles), strict i386 struct ABI (4-byte
+//! doubles), and LP64 — and checks which victim word each `ssn[i]` lands
+//! on, demonstrating that the attacks are layout-brittle in exactly the
+//! way §3.7.2's "Alignment Issues" paragraph warns.
+
+use placement_new_attacks::core::attacks::{stack_local, stack_smash};
+use placement_new_attacks::core::student::StudentWorld;
+use placement_new_attacks::core::AttackConfig;
+use placement_new_attacks::object::LayoutPolicy;
+use placement_new_attacks::runtime::VarDecl;
+
+#[test]
+fn paper_policy_reproduces_the_published_arithmetic() {
+    let cfg = AttackConfig::paper();
+    // ssn[2] = return address under StackGuard (canary + fp before it).
+    let r = stack_smash::run_selective(&cfg).unwrap();
+    assert!(r.evidence.iter().any(|e| e.contains("ssn[2]")), "{:?}", r.evidence);
+    // 4 bytes of padding between stud and n.
+    let r = stack_local::run(&cfg).unwrap();
+    assert_eq!(r.measurement("padding_bytes"), Some(4.0));
+    assert!(r.succeeded);
+}
+
+#[test]
+fn i386_abi_moves_the_victim_words() {
+    let mut cfg = AttackConfig::paper();
+    cfg.policy = LayoutPolicy::i386_abi();
+    // Student aligns to 4: no padding, so the Listing 15 script (which
+    // aims at ssn[1]) misses.
+    let r = stack_local::run(&cfg).unwrap();
+    assert_eq!(r.measurement("padding_bytes"), Some(0.0));
+    assert!(!r.succeeded);
+    // The selective smash still works — it recomputes the return-address
+    // index from the actual frame, like a real attacker would.
+    let r = stack_smash::run_selective(&cfg).unwrap();
+    assert!(r.succeeded);
+}
+
+#[test]
+fn lp64_doubles_the_metadata_words() {
+    let mut cfg = AttackConfig::paper();
+    cfg.policy = LayoutPolicy::lp64();
+    // Pointer-sized words are 8 bytes: canary+fp+ret = 24 bytes above the
+    // object, so the 4-byte ssn writes can no longer reach the return
+    // address at its old index. The adaptive attack recomputes and still
+    // lands (ssn[] slots step by 4 but the machine lets the attacker pick
+    // the right one).
+    let r = stack_smash::run_selective(&cfg).unwrap();
+    // The return address is at (canary 8 + fp 8) = 16 bytes above ssn[0]
+    // → index 4 — out of ssn[0..3]'s range, so the scripted attack
+    // *fails* on LP64: the paper's arithmetic is ILP32-specific.
+    assert!(!r.succeeded, "{}", r.verdict());
+}
+
+#[test]
+fn sizeof_matrix_across_policies() {
+    // The sizes every experiment quotes, across the three policies.
+    let expectations = [
+        (LayoutPolicy::paper(), 16u32, 32u32, 24u32, 40u32),
+        (LayoutPolicy::i386_abi(), 16, 28, 20, 32),
+        (LayoutPolicy::lp64(), 16, 32, 24, 40),
+    ];
+    for (policy, s_plain, g_plain, s_virt, g_virt) in expectations {
+        let plain = StudentWorld::plain();
+        let virt = StudentWorld::with_virtuals();
+        assert_eq!(
+            plain.registry.size_of(plain.student, &policy).unwrap(),
+            s_plain,
+            "Student under {policy}"
+        );
+        assert_eq!(
+            plain.registry.size_of(plain.grad, &policy).unwrap(),
+            g_plain,
+            "GradStudent under {policy}"
+        );
+        assert_eq!(
+            virt.registry.size_of(virt.student, &policy).unwrap(),
+            s_virt,
+            "virtual Student under {policy}"
+        );
+        assert_eq!(
+            virt.registry.size_of(virt.grad, &policy).unwrap(),
+            g_virt,
+            "virtual GradStudent under {policy}"
+        );
+    }
+}
+
+#[test]
+fn frame_geometry_table() {
+    // The full ssn[i] → victim mapping for Listing 13 under each
+    // protection, asserted from the real frame plan.
+    use placement_new_attacks::runtime::StackProtection;
+
+    for (protection, expected_ret_index) in [
+        (StackProtection::None, 0u64),
+        (StackProtection::FramePointer, 1),
+        (StackProtection::StackGuard, 2),
+    ] {
+        let world = StudentWorld::plain();
+        let mut cfg = AttackConfig::paper();
+        cfg.protection = protection;
+        let mut m = world.machine(&cfg);
+        m.push_frame("main", &[("argbuf", VarDecl::char_buf(64))]).unwrap();
+        m.push_frame("addStudent", &[("stud", VarDecl::Class(world.student))]).unwrap();
+        let stud = m.local_addr("stud").unwrap();
+        let ret = m.frame().unwrap().ret_slot();
+        let index = ret.offset_from(stud + 16) / 4;
+        assert_eq!(index, expected_ret_index, "under {protection}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Experiment E20: the protection matrix.
+//!
+//! Runs the entire attack catalogue under each §5 defense configuration
+//! and checks the per-cell expectations:
+//!
+//! * **none** — the paper's platform: everything demonstrates except what
+//!   StackGuard/NX already stop;
+//! * **correct coding** (§5.1) — checked placement + sanitization +
+//!   placement delete: every attack is stopped;
+//! * **library interception** (§5.2) — blocks attacks whose arena the
+//!   library can bound (heap blocks, globals) but is blind to stack
+//!   arenas and does nothing for leaks;
+//! * **shadow stack** (§5.2) — stops exactly the control-flow hijacks
+//!   that travel through the return address.
+
+use placement_new_attacks::core::attacks::run_all;
+use placement_new_attacks::core::{AttackConfig, AttackKind, Defense};
+
+#[test]
+fn correct_coding_stops_every_attack() {
+    let cfg = AttackConfig::with_defense(Defense::correct_coding());
+    for report in run_all(&cfg).unwrap() {
+        assert!(
+            !report.succeeded,
+            "{}: correct coding must stop the attack: {}",
+            report.kind,
+            report.verdict()
+        );
+    }
+}
+
+#[test]
+fn interception_blocks_global_and_heap_arenas_only() {
+    let cfg = AttackConfig::with_defense(Defense::intercept());
+    // Arenas the library can see (globals / heap blocks) → blocked.
+    let blocked = [
+        AttackKind::BssOverflow,
+        AttackKind::HeapOverflow,
+        AttackKind::GlobalVarMod,
+        AttackKind::VarPtrSubterfuge,
+        AttackKind::ArrayTwoStepBss,
+    ];
+    // Stack arenas are invisible to a library (§5.2's caveat) → attacks
+    // still land (modulo StackGuard for the smash variants).
+    let residual = [
+        // Interior pointer into a global: the interceptor sees the whole
+        // MobilePlayer region (40 bytes), not the 16-byte member — so the
+        // internal overflow slips through.
+        AttackKind::InternalOverflow,
+        AttackKind::CanaryBypass,
+        AttackKind::ArcInjection,
+        AttackKind::StackLocalMod,
+        AttackKind::MemberVarMod,
+        AttackKind::FnPtrSubterfuge,
+    ];
+    for report in run_all(&cfg).unwrap() {
+        if blocked.contains(&report.kind) {
+            assert!(
+                !report.succeeded,
+                "{}: interception should block this, got {}",
+                report.kind,
+                report.verdict()
+            );
+            assert_eq!(report.blocked_by.as_deref(), Some("library interceptor"));
+        }
+        if residual.contains(&report.kind) {
+            assert!(
+                report.succeeded,
+                "{}: a library interceptor cannot bound stack arenas, got {}",
+                report.kind,
+                report.verdict()
+            );
+        }
+    }
+}
+
+#[test]
+fn shadow_stack_stops_exactly_the_return_address_hijacks() {
+    let mut cfg = AttackConfig::paper();
+    cfg.shadow_stack = true;
+    cfg.executable_stack = true; // give code injection its best shot
+    let protected = [AttackKind::CanaryBypass, AttackKind::ArcInjection, AttackKind::CodeInjection];
+    // Attacks that never touch a return address are out of scope for a
+    // shadow stack.
+    let untouched = [
+        AttackKind::BssOverflow,
+        AttackKind::GlobalVarMod,
+        AttackKind::MemberVarMod,
+        AttackKind::VptrSubterfuge,
+        AttackKind::FnPtrSubterfuge,
+        AttackKind::InfoLeakArray,
+        AttackKind::InfoLeakObject,
+        AttackKind::MemoryLeak,
+    ];
+    for report in run_all(&cfg).unwrap() {
+        if protected.contains(&report.kind) {
+            assert!(
+                !report.succeeded,
+                "{}: shadow stack should stop it, got {}",
+                report.kind,
+                report.verdict()
+            );
+            assert_eq!(report.detected_by.as_deref(), Some("shadow stack"));
+        }
+        if untouched.contains(&report.kind) {
+            assert!(
+                report.succeeded,
+                "{}: shadow stack is irrelevant here, got {}",
+                report.kind,
+                report.verdict()
+            );
+        }
+    }
+}
+
+#[test]
+fn sanitization_alone_stops_only_the_leaks() {
+    let defense = Defense { sanitize_reuse: true, ..Defense::none() };
+    let cfg = AttackConfig::with_defense(defense);
+    for report in run_all(&cfg).unwrap() {
+        match report.kind {
+            AttackKind::InfoLeakArray | AttackKind::InfoLeakObject => {
+                assert!(!report.succeeded, "{}: sanitize should stop leaks", report.kind);
+            }
+            AttackKind::BssOverflow | AttackKind::GlobalVarMod | AttackKind::CanaryBypass => {
+                assert!(report.succeeded, "{}: sanitization does not stop overflows", report.kind);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn placement_delete_alone_stops_only_the_leak() {
+    let defense = Defense { placement_delete: true, ..Defense::none() };
+    let cfg = AttackConfig::with_defense(defense);
+    for report in run_all(&cfg).unwrap() {
+        match report.kind {
+            AttackKind::MemoryLeak => {
+                assert!(!report.succeeded);
+                assert_eq!(report.blocked_by.as_deref(), Some("placement delete"));
+            }
+            AttackKind::BssOverflow | AttackKind::InfoLeakObject => {
+                assert!(report.succeeded, "{}: unrelated to placement delete", report.kind);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn matrix_is_total() {
+    // Every (defense, attack) cell runs without wiring errors.
+    for defense in [Defense::none(), Defense::correct_coding(), Defense::intercept()] {
+        let cfg = AttackConfig::with_defense(defense);
+        let reports = run_all(&cfg).unwrap();
+        assert_eq!(reports.len(), AttackKind::ALL.len());
+    }
+}

@@ -1,0 +1,115 @@
+//! §3.2 end to end: serialized/remote objects through the wire format
+//! into placement construction.
+//!
+//! Exercises the full pipeline — encode on the "client", decode on the
+//! "server", deep-copy placement into a pre-allocated arena — for honest,
+//! oversized, and forged-count objects, with and without the §5.1 size
+//! check.
+
+use placement_new_attacks::core::student::StudentWorld;
+use placement_new_attacks::core::{placement_new_copy, AttackConfig};
+use placement_new_attacks::memory::SegmentKind;
+use placement_new_attacks::object::wire::{WireError, WireObject};
+use placement_new_attacks::object::CxxType;
+use placement_new_attacks::runtime::VarDecl;
+
+fn student_payload(gpa: f64, year: i32, semester: i32, extra: &[u8]) -> Vec<u8> {
+    let mut p = Vec::new();
+    p.extend_from_slice(&gpa.to_le_bytes());
+    p.extend_from_slice(&year.to_le_bytes());
+    p.extend_from_slice(&semester.to_le_bytes());
+    p.extend_from_slice(extra);
+    p
+}
+
+#[test]
+fn honest_round_trip_preserves_fields() {
+    let world = StudentWorld::plain();
+    let mut m = world.machine(&AttackConfig::paper());
+    let arena = m.define_global("stud", VarDecl::Class(world.student), SegmentKind::Bss).unwrap();
+
+    let wire = WireObject::new("Student", student_payload(3.25, 2010, 2, &[]));
+    let decoded = WireObject::decode(&wire.encode()).unwrap();
+    let obj = placement_new_copy(&mut m, arena, world.student, decoded.payload()).unwrap();
+    assert_eq!(obj.read_f64(&mut m, "gpa").unwrap(), 3.25);
+    assert_eq!(obj.read_i32(&mut m, "year").unwrap(), 2010);
+    assert_eq!(obj.read_i32(&mut m, "semester").unwrap(), 2);
+}
+
+#[test]
+fn oversized_remote_object_overflows_the_arena() {
+    let world = StudentWorld::plain();
+    let mut m = world.machine(&AttackConfig::paper());
+    let arena = m.define_global("stud", VarDecl::Class(world.student), SegmentKind::Bss).unwrap();
+    let victim = m.define_global("counter", VarDecl::Ty(CxxType::Int), SegmentKind::Bss).unwrap();
+    m.space_mut().write_i32(victim, 7).unwrap();
+
+    // A GradStudent-sized payload arriving where a Student was expected.
+    let payload = student_payload(4.0, 2009, 1, &0xdead_beefu32.to_le_bytes());
+    let wire = WireObject::new("GradStudent", payload);
+    let decoded = WireObject::decode(&wire.encode()).unwrap();
+    placement_new_copy(&mut m, arena, world.student, decoded.payload()).unwrap();
+
+    assert_eq!(
+        m.space().read_u32(victim).unwrap(),
+        0xdead_beef,
+        "the 4 extra payload bytes clobbered the neighbouring global"
+    );
+}
+
+#[test]
+fn size_checked_receiver_rejects_the_oversized_object() {
+    let world = StudentWorld::plain();
+    let mut m = world.machine(&AttackConfig::paper());
+    let arena_addr =
+        m.define_global("stud", VarDecl::Class(world.student), SegmentKind::Bss).unwrap();
+    let arena_size = m.size_of(world.student).unwrap();
+
+    let payload = student_payload(4.0, 2009, 1, &[0xff; 16]);
+    let wire = WireObject::new("GradStudent", payload);
+    // The §5.1 check the vulnerable receiver omits:
+    assert!(wire.payload().len() as u32 > arena_size);
+    // A correct receiver refuses before any byte is written.
+    let before = m.space().read_vec(arena_addr, arena_size).unwrap();
+    // (no placement performed)
+    let after = m.space().read_vec(arena_addr, arena_size).unwrap();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn forged_counts_survive_transport_but_not_scrutiny() {
+    // Listing 5's vector: the count header is attacker-controlled.
+    let forged = WireObject::new("Student", vec![0u8; 16]).with_count(1_000_000);
+    let decoded = WireObject::decode(&forged.encode()).unwrap();
+    assert_eq!(decoded.count(), 1_000_000);
+    // A §5.1-correct receiver compares the claim against the payload:
+    assert_ne!(decoded.count() as usize * 16, decoded.payload().len());
+}
+
+#[test]
+fn malformed_wire_objects_are_rejected_syntactically() {
+    let good = WireObject::new("Student", vec![1, 2, 3]).encode();
+    assert!(matches!(
+        WireObject::decode(&good[..good.len() - 1]),
+        Err(WireError::Truncated { .. })
+    ));
+    let mut trailing = good.clone();
+    trailing.push(0);
+    assert!(matches!(WireObject::decode(&trailing), Err(WireError::TrailingBytes { .. })));
+}
+
+#[test]
+fn vptr_is_restored_after_deep_copy() {
+    // placement_new_copy must re-establish the placed class's vtable
+    // pointer even when the payload tried to forge it.
+    let world = StudentWorld::with_virtuals();
+    let mut m = world.machine(&AttackConfig::paper());
+    let arena = m.define_global("stud", VarDecl::Class(world.student), SegmentKind::Bss).unwrap();
+
+    // Payload starts with a bogus vptr value.
+    let mut payload = vec![0u8; 24];
+    payload[..4].copy_from_slice(&0x41414141u32.to_le_bytes());
+    placement_new_copy(&mut m, arena, world.student, &payload).unwrap();
+    let vptr = m.space().read_ptr(arena).unwrap();
+    assert_eq!(Some(vptr), m.vtable_addr(world.student), "constructor wins over payload");
+}
