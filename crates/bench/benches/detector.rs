@@ -7,7 +7,9 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use pnew_corpus::{benign, listings, workload};
-use pnew_detector::{parse_program, pretty_program, Analyzer, BaselineChecker, Fixer, Program};
+use pnew_detector::{
+    parse_program, pretty_program, Analyzer, BaselineChecker, BatchEngine, Fixer, Program,
+};
 
 fn whole_corpus() -> Vec<Program> {
     let mut corpus = listings::vulnerable_corpus();
@@ -48,6 +50,38 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch(c: &mut Criterion) {
+    // Serial vs parallel vs cached throughput of the batch engine over a
+    // generated 500-program corpus. `serial`/`parallel` clear the report
+    // cache every iteration so each pass re-analyzes everything; `cached`
+    // pre-warms the cache and measures pure fingerprint-and-lookup.
+    let programs = workload::corpus(42, 500);
+    let mut group = c.benchmark_group("detector_batch_scan");
+    group.throughput(Throughput::Elements(programs.len() as u64));
+    group.sample_size(10);
+
+    let serial = BatchEngine::new(Analyzer::new()).with_jobs(1);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            serial.clear_cache();
+            serial.scan(&programs).len()
+        });
+    });
+    let parallel = BatchEngine::new(Analyzer::new()); // jobs = available cores
+    group.bench_function(format!("parallel-{}jobs", parallel.jobs()), |b| {
+        b.iter(|| {
+            parallel.clear_cache();
+            parallel.scan(&programs).len()
+        });
+    });
+    let cached = BatchEngine::new(Analyzer::new());
+    cached.scan(&programs);
+    group.bench_function("cached", |b| {
+        b.iter(|| cached.scan(&programs).len());
+    });
+    group.finish();
+}
+
 fn bench_fixer(c: &mut Criterion) {
     let corpus = listings::vulnerable_corpus();
     let fixer = Fixer::new();
@@ -83,6 +117,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_corpus_scan, bench_scaling, bench_fixer, bench_dsl
+    targets = bench_corpus_scan, bench_scaling, bench_batch, bench_fixer, bench_dsl
 }
 criterion_main!(benches);

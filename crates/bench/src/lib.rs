@@ -14,8 +14,8 @@ use std::fmt::Write as _;
 
 use pnew_core::attacks::{self, run_all};
 use pnew_core::{AttackConfig, AttackKind, AttackReport, Defense};
-use pnew_corpus::{benign, listings, scenarios};
-use pnew_detector::{Analyzer, BaselineChecker, Fixer, Severity};
+use pnew_corpus::{benign, listings, scenarios, workload};
+use pnew_detector::{Analyzer, BaselineChecker, BatchEngine, Fixer, Severity};
 use pnew_object::LayoutPolicy;
 use pnew_runtime::StackProtection;
 
@@ -374,6 +374,54 @@ pub fn padding_leak_table() -> Table {
 }
 
 /// All tables, in experiment order.
+/// E27: batch analysis throughput — serial vs parallel vs cached scans
+/// of a generated 500-program corpus through the detector's
+/// [`BatchEngine`].
+pub fn batch_throughput_table() -> Table {
+    let programs = workload::corpus(42, 500);
+    let stmts: usize = programs.iter().map(pnew_detector::Program::stmt_count).sum();
+
+    let serial_engine = BatchEngine::new(Analyzer::new()).with_jobs(1);
+    let (serial_reports, serial) = serial_engine.scan_with_stats(&programs);
+    let parallel_engine = BatchEngine::new(Analyzer::new());
+    let (parallel_reports, parallel) = parallel_engine.scan_with_stats(&programs);
+    // Cached: rescan the parallel engine's warm cache.
+    let (cached_reports, cached) = parallel_engine.scan_with_stats(&programs);
+    assert_eq!(serial_reports, parallel_reports, "worker count changed the findings");
+    assert_eq!(serial_reports, cached_reports, "the cache changed the findings");
+
+    let mut body = format!(
+        "  {:<10} {:>5} {:>12} {:>14} {:>9} {:>9}\n",
+        "mode", "jobs", "elapsed (ms)", "programs/sec", "speedup", "hit rate"
+    );
+    let serial_secs = serial.elapsed.as_secs_f64();
+    for (mode, stats) in [("serial", serial), ("parallel", parallel), ("cached", cached)] {
+        let secs = stats.elapsed.as_secs_f64();
+        let speedup = if secs > 0.0 { serial_secs / secs } else { f64::INFINITY };
+        let _ = writeln!(
+            body,
+            "  {:<10} {:>5} {:>12.2} {:>14.0} {:>8.2}x {:>8.0}%",
+            mode,
+            stats.jobs,
+            secs * 1e3,
+            stats.programs_per_sec(),
+            speedup,
+            stats.cache_hit_rate() * 100.0
+        );
+    }
+    let _ = writeln!(
+        body,
+        "  corpus: {} generated programs, {stmts} statements; findings identical across modes",
+        programs.len()
+    );
+    Table {
+        id: "E27".into(),
+        title: "batch analysis throughput: serial vs parallel vs cached (pncheck engine)".into(),
+        body,
+    }
+}
+
+/// Every experiment table, in report order.
 pub fn all_tables() -> Vec<Table> {
     let mut tables = scenario_tables();
     tables.push(stackguard_table());
@@ -384,6 +432,7 @@ pub fn all_tables() -> Vec<Table> {
     tables.push(aslr_table());
     tables.push(padding_leak_table());
     tables.push(heap_metadata_table());
+    tables.push(batch_throughput_table());
     tables
 }
 
@@ -403,7 +452,7 @@ mod tests {
     #[test]
     fn all_tables_render() {
         let tables = all_tables();
-        assert_eq!(tables.len(), 20 + 8);
+        assert_eq!(tables.len(), 20 + 9);
         for t in &tables {
             assert!(!t.body.is_empty(), "{} is empty", t.id);
             let rendered = t.to_string();

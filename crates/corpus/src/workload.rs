@@ -173,6 +173,27 @@ pub fn random_vulnerable_program(seed: u64) -> Program {
     p.build()
 }
 
+/// Generates a mixed batch of `count` programs — safe and vulnerable
+/// shapes interleaved pseudo-randomly — sized for the batch analysis
+/// engine and its throughput benches.
+///
+/// Deterministic in `(seed, count)`: the same arguments always yield the
+/// same programs in the same order, so batch scans over a regenerated
+/// corpus hit the content-fingerprint cache.
+pub fn corpus(seed: u64, count: usize) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00c0_7b05);
+    (0..count)
+        .map(|i| {
+            let sub = rng.gen::<u64>().wrapping_add(i as u64);
+            if rng.gen_bool(0.5) {
+                random_vulnerable_program(sub)
+            } else {
+                random_safe_program(sub)
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +206,16 @@ mod tests {
         assert_eq!(student_population(3, 10), student_population(3, 10));
         assert_eq!(random_safe_program(1), random_safe_program(1));
         assert_eq!(random_vulnerable_program(1), random_vulnerable_program(1));
+        assert_eq!(corpus(5, 12), corpus(5, 12));
+        assert_ne!(corpus(5, 12), corpus(6, 12));
+    }
+
+    #[test]
+    fn corpus_mixes_safe_and_vulnerable() {
+        let batch = corpus(42, 40);
+        assert_eq!(batch.len(), 40);
+        let vulns = batch.iter().filter(|p| p.name.starts_with("gen-vuln-")).count();
+        assert!(vulns > 0 && vulns < 40, "one-sided mix: {vulns}/40");
     }
 
     #[test]

@@ -28,7 +28,126 @@
 use std::collections::HashMap;
 
 use crate::findings::{Finding, FindingKind, Report, Severity};
-use crate::ir::{Expr, Op, Program, Scope, Stmt, Ty, VarId};
+use crate::ir::{Expr, Op, Program, Scope, Site, Stmt, Symbol, SymbolTable, Ty, VarId};
+
+/// Precomputed per-program lookup tables.
+///
+/// Built once per [`Analyzer::analyze`] call, this is the constant-factor
+/// engine room of the hot path: class names are interned to [`Symbol`]s
+/// so region states copy a `u32` instead of cloning a `String`,
+/// per-variable facts (pointer-ness, declared storage size, class) become
+/// dense vector lookups, and callee resolution becomes a hash lookup
+/// instead of a linear scan over `program.functions`.
+struct Index<'p> {
+    program: &'p Program,
+    /// Interned class names: the program's declared classes plus any
+    /// class named by a variable type or heap allocation.
+    symbols: SymbolTable,
+    /// Whether any class in the program is polymorphic.
+    any_polymorphic: bool,
+    /// `matches!(ty, Ty::Ptr)`, indexed by `VarId`.
+    var_is_ptr: Vec<bool>,
+    /// `matches!(scope, Scope::Global)`, indexed by `VarId`.
+    var_is_global: Vec<bool>,
+    /// Declared storage size, indexed by `VarId`.
+    var_storage_size: Vec<Option<u64>>,
+    /// Class symbol for `Ty::Class` variables, indexed by `VarId`.
+    var_class: Vec<Option<Symbol>>,
+    /// Function name → index into `program.functions` (first wins, like
+    /// the linear scan it replaces).
+    fn_by_name: HashMap<&'p str, usize>,
+    /// Per-function variable-membership bitmap, indexed by `VarId`.
+    fn_member: Vec<Vec<bool>>,
+    /// Per-function parameter lists, in declaration order.
+    fn_params: Vec<Vec<VarId>>,
+}
+
+impl<'p> Index<'p> {
+    fn build(program: &'p Program) -> Self {
+        let mut symbols = SymbolTable::new();
+        // Intern in sorted order: `classes` is a HashMap, and symbol
+        // numbering must not depend on its iteration order.
+        let mut class_names: Vec<&str> = program.classes.keys().map(String::as_str).collect();
+        class_names.sort_unstable();
+        for name in class_names {
+            symbols.intern(name);
+        }
+        for f in &program.functions {
+            intern_heap_classes(&f.body, &mut symbols);
+        }
+        let nvars = program.vars.len();
+        let mut var_is_ptr = vec![false; nvars];
+        let mut var_is_global = vec![false; nvars];
+        let mut var_storage_size = vec![None; nvars];
+        let mut var_class = vec![None; nvars];
+        for var in &program.vars {
+            let i = var.id.index() as usize;
+            var_is_ptr[i] = matches!(var.ty, Ty::Ptr);
+            var_is_global[i] = matches!(var.scope, Scope::Global);
+            var_storage_size[i] = var.ty.declared_size(&program.classes);
+            if let Ty::Class(name) = &var.ty {
+                var_class[i] = Some(symbols.intern(name));
+            }
+        }
+        let mut fn_by_name = HashMap::with_capacity(program.functions.len());
+        let mut fn_member = Vec::with_capacity(program.functions.len());
+        let mut fn_params = Vec::with_capacity(program.functions.len());
+        for (i, f) in program.functions.iter().enumerate() {
+            fn_by_name.entry(f.name.as_str()).or_insert(i);
+            let mut member = vec![false; nvars];
+            for v in &f.vars {
+                member[v.index() as usize] = true;
+            }
+            fn_member.push(member);
+            fn_params.push(
+                f.vars
+                    .iter()
+                    .copied()
+                    .filter(|&v| matches!(program.var(v).scope, Scope::Param { .. }))
+                    .collect(),
+            );
+        }
+        Index {
+            any_polymorphic: program.classes.values().any(|c| c.polymorphic),
+            program,
+            symbols,
+            var_is_ptr,
+            var_is_global,
+            var_storage_size,
+            var_class,
+            fn_by_name,
+            fn_member,
+            fn_params,
+        }
+    }
+
+    fn sizeof(&self, class: &str) -> Option<u64> {
+        self.program.sizeof(class)
+    }
+
+    fn name(&self, sym: Symbol) -> &str {
+        self.symbols.resolve(sym)
+    }
+}
+
+/// Interns every class name a `HeapNew` can stamp on a region, so
+/// [`RegionState::alloc_class`] can be a [`Symbol`] even for classes the
+/// program never declares.
+fn intern_heap_classes(body: &[Stmt], symbols: &mut SymbolTable) {
+    for stmt in body {
+        match stmt {
+            Stmt::HeapNew { class: Some(c), .. } => {
+                symbols.intern(c);
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                intern_heap_classes(then_body, symbols);
+                intern_heap_classes(else_body, symbols);
+            }
+            Stmt::While { body, .. } => intern_heap_classes(body, symbols),
+            _ => {}
+        }
+    }
+}
 
 /// Where a pointer may point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -39,91 +158,120 @@ enum RegionId {
     Heap(u32),
 }
 
-/// Lifecycle state of a region.
-#[derive(Debug, Clone, PartialEq, Default)]
-struct RegionState {
+/// Lifecycle state of a region. `Copy`: everything a region knows is a
+/// scalar or an interned/borrowed handle, so branch clones are memcpys.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct RegionState<'p> {
     /// Allocation size, if known (heap regions).
     alloc_size: Option<u64>,
     /// Class the heap block was allocated for.
-    alloc_class: Option<String>,
+    alloc_class: Option<Symbol>,
     /// Size of the last tenant placed (declared size for var regions).
     last_tenant_size: Option<u64>,
     /// Secret bytes were read into the region.
     has_secret: bool,
     /// A reuse left residue (smaller tenant or unsanitized secret);
-    /// the site line of the offending placement.
-    residue_at: Option<crate::ir::Site>,
+    /// the site of the offending placement, borrowed from the program.
+    residue_at: Option<&'p Site>,
     /// The heap block was released.
     freed: bool,
     /// The region is a pool buffer whose placement count was tainted.
     tainted_pool: bool,
 }
 
-/// Per-function dataflow state.
-#[derive(Debug, Clone, Default)]
-struct State {
-    consts: HashMap<VarId, i64>,
+/// Per-function dataflow state. Variable facts live in dense vectors
+/// indexed by `VarId` (cloned per branch, so cloning must be cheap).
+#[derive(Debug, Clone)]
+struct State<'p> {
+    consts: Vec<Option<i64>>,
     /// Upper bounds established by guards (`if (n > 8) return;` ⇒ n ≤ 8).
-    upper: HashMap<VarId, i64>,
-    tainted: HashMap<VarId, bool>,
-    points_to: HashMap<VarId, RegionId>,
-    regions: HashMap<RegionId, RegionState>,
+    upper: Vec<Option<i64>>,
+    tainted: Vec<bool>,
+    points_to: Vec<Option<RegionId>>,
+    regions: HashMap<RegionId, RegionState<'p>>,
     /// Site of the first *proven* oversized placement: past it, every
     /// variable in memory may have been rewritten, so constants and
     /// guard-established bounds are no longer trustworthy — this is how
     /// the analyzer keeps seeing the §4 two-step attack through the
     /// victim's own (defeated) bounds check.
-    clobbered_at: Option<crate::ir::Site>,
+    clobbered_at: Option<&'p Site>,
 }
 
-impl State {
+impl<'p> State<'p> {
+    fn new(nvars: usize) -> Self {
+        State {
+            consts: vec![None; nvars],
+            upper: vec![None; nvars],
+            tainted: vec![false; nvars],
+            points_to: vec![None; nvars],
+            regions: HashMap::new(),
+            clobbered_at: None,
+        }
+    }
+
     fn is_tainted(&self, v: VarId) -> bool {
-        self.tainted.get(&v).copied().unwrap_or(false)
+        self.tainted[v.index() as usize]
     }
 
     fn taint(&mut self, v: VarId, t: bool) {
         if t {
-            self.tainted.insert(v, true);
+            self.tainted[v.index() as usize] = true;
         }
     }
 
     fn expr_tainted(&self, e: &Expr) -> bool {
-        e.reads().iter().any(|v| self.is_tainted(*v))
+        let mut t = false;
+        e.for_each_read(&mut |v| t |= self.is_tainted(v));
+        t
     }
 
-    fn region_mut(&mut self, id: RegionId) -> &mut RegionState {
+    fn const_of(&self, v: VarId) -> Option<i64> {
+        self.consts[v.index() as usize]
+    }
+
+    fn pointee(&self, v: VarId) -> Option<RegionId> {
+        self.points_to[v.index() as usize]
+    }
+
+    fn region_mut(&mut self, id: RegionId) -> &mut RegionState<'p> {
         self.regions.entry(id).or_default()
     }
 
     /// A proven overflow happened: forget every value-level fact.
-    fn clobber(&mut self, site: &crate::ir::Site) {
-        self.consts.clear();
-        self.upper.clear();
+    fn clobber(&mut self, site: &'p Site) {
+        self.consts.fill(None);
+        self.upper.fill(None);
         if self.clobbered_at.is_none() {
-            self.clobbered_at = Some(site.clone());
+            self.clobbered_at = Some(site);
         }
     }
 
     /// Conservative merge of two branch states.
-    fn merge(mut self, other: State) -> State {
-        self.consts.retain(|k, v| other.consts.get(k) == Some(v));
+    fn merge(mut self, other: State<'p>) -> State<'p> {
+        for (a, b) in self.consts.iter_mut().zip(&other.consts) {
+            if *a != *b {
+                *a = None;
+            }
+        }
         // A bound survives a merge only if both branches have one; the
         // weaker (larger) bound wins.
-        let other_upper = other.upper;
-        self.upper = self
-            .upper
-            .into_iter()
-            .filter_map(|(k, v)| other_upper.get(&k).map(|o| (k, v.max(*o))))
-            .collect();
+        for (a, b) in self.upper.iter_mut().zip(&other.upper) {
+            *a = match (*a, *b) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                _ => None,
+            };
+        }
         if self.clobbered_at.is_none() {
             self.clobbered_at = other.clobbered_at;
         }
-        for (k, t) in other.tainted {
-            if t {
-                self.tainted.insert(k, true);
+        for (a, b) in self.tainted.iter_mut().zip(&other.tainted) {
+            *a |= *b;
+        }
+        for (a, b) in self.points_to.iter_mut().zip(&other.points_to) {
+            if *a != *b {
+                *a = None;
             }
         }
-        self.points_to.retain(|k, v| other.points_to.get(k) == Some(v));
         for (id, o) in other.regions {
             match self.regions.get_mut(&id) {
                 Some(s) => {
@@ -212,10 +360,11 @@ impl Analyzer {
     /// `(kind, site)` so a callee flagged both standalone and inline is
     /// reported once.
     pub fn analyze(&self, program: &Program) -> Report {
+        let ix = Index::build(program);
         let mut report = Report::new(&program.name);
-        for f in &program.functions {
-            let mut state = init_state(program, f);
-            self.walk(program, &f.body, &mut state, &mut report, 0);
+        for fi in 0..program.functions.len() {
+            let mut state = init_state(&ix, fi);
+            self.walk(&ix, &program.functions[fi].body, &mut state, &mut report, 0);
         }
         report.findings.retain(|f| {
             f.severity >= self.config.min_severity && !self.config.disabled.contains(&f.kind)
@@ -223,20 +372,27 @@ impl Analyzer {
         report
     }
 
-    fn walk(&self, p: &Program, body: &[Stmt], state: &mut State, report: &mut Report, depth: u32) {
+    fn walk<'p>(
+        &self,
+        ix: &Index<'p>,
+        body: &'p [Stmt],
+        state: &mut State<'p>,
+        report: &mut Report,
+        depth: u32,
+    ) {
         for stmt in body {
-            self.step(p, stmt, state, report, depth);
+            self.step(ix, stmt, state, report, depth);
         }
     }
 
-    fn eval(&self, p: &Program, e: &Expr, state: &State) -> Option<i64> {
+    fn eval(&self, ix: &Index<'_>, e: &Expr, state: &State<'_>) -> Option<i64> {
         match e {
             Expr::Const(c) => Some(*c),
-            Expr::SizeOf(class) => p.sizeof(class).map(|s| s as i64),
-            Expr::Var(v) => state.consts.get(v).copied(),
+            Expr::SizeOf(class) => ix.sizeof(class).map(|s| s as i64),
+            Expr::Var(v) => state.const_of(*v),
             Expr::BinOp(op, a, b) => {
-                let a = self.eval(p, a, state)?;
-                let b = self.eval(p, b, state)?;
+                let a = self.eval(ix, a, state)?;
+                let b = self.eval(ix, b, state)?;
                 Some(match op {
                     Op::Add => a.checked_add(b)?,
                     Op::Sub => a.checked_sub(b)?,
@@ -249,14 +405,14 @@ impl Analyzer {
 
     /// Largest value an expression can take, using constants and
     /// guard-established upper bounds (monotone operators only).
-    fn eval_upper(&self, p: &Program, e: &Expr, state: &State) -> Option<i64> {
+    fn eval_upper(&self, ix: &Index<'_>, e: &Expr, state: &State<'_>) -> Option<i64> {
         match e {
             Expr::Const(c) => Some(*c),
-            Expr::SizeOf(class) => p.sizeof(class).map(|s| s as i64),
-            Expr::Var(v) => state.consts.get(v).copied().or_else(|| state.upper.get(v).copied()),
+            Expr::SizeOf(class) => ix.sizeof(class).map(|s| s as i64),
+            Expr::Var(v) => state.const_of(*v).or(state.upper[v.index() as usize]),
             Expr::BinOp(op, a, b) => {
-                let a = self.eval_upper(p, a, state)?;
-                let b = self.eval_upper(p, b, state)?;
+                let a = self.eval_upper(ix, a, state)?;
+                let b = self.eval_upper(ix, b, state)?;
                 if a < 0 || b < 0 {
                     return None;
                 }
@@ -272,7 +428,7 @@ impl Analyzer {
 
     /// Applies the refinement a satisfied comparison gives (`v ≤ c` forms
     /// only), unless memory has already been clobbered.
-    fn refine(&self, cond: &crate::ir::Cond, holds: bool, state: &mut State) {
+    fn refine(&self, cond: &crate::ir::Cond, holds: bool, state: &mut State<'_>) {
         use crate::ir::CmpOp;
         if state.clobbered_at.is_some() {
             return;
@@ -287,77 +443,75 @@ impl Analyzer {
             _ => None,
         };
         if let Some(b) = bound {
-            let entry = state.upper.entry(*v).or_insert(b);
-            *entry = (*entry).min(b);
+            let slot = &mut state.upper[v.index() as usize];
+            *slot = Some(slot.map_or(b, |e| e.min(b)));
         }
     }
 
     /// Resolves an arena expression to a region, if trackable.
-    fn region_of_expr(&self, p: &Program, e: &Expr, state: &State) -> Option<RegionId> {
+    fn region_of_expr(&self, ix: &Index<'_>, e: &Expr, state: &State<'_>) -> Option<RegionId> {
         match e {
             Expr::AddrOf(v) => Some(RegionId::Var(*v)),
             // A pointer-valued variable denotes whatever it points to (or
             // nothing trackable); an array/object variable decays to its
             // own storage.
-            Expr::Var(v) => match p.var(*v).ty {
-                Ty::Ptr => state.points_to.get(v).copied(),
-                _ => Some(RegionId::Var(*v)),
-            },
+            Expr::Var(v) => {
+                if ix.var_is_ptr[v.index() as usize] {
+                    state.pointee(*v)
+                } else {
+                    Some(RegionId::Var(*v))
+                }
+            }
             _ => None,
         }
     }
 
     /// Region a *buffer-valued variable* denotes (arrays decay, pointers
     /// follow points-to).
-    fn region_of_var(&self, p: &Program, v: VarId, state: &State) -> Option<RegionId> {
-        match p.var(v).ty {
-            Ty::Ptr => state.points_to.get(&v).copied(),
-            _ => Some(RegionId::Var(v)),
+    fn region_of_var(&self, ix: &Index<'_>, v: VarId, state: &State<'_>) -> Option<RegionId> {
+        if ix.var_is_ptr[v.index() as usize] {
+            state.pointee(v)
+        } else {
+            Some(RegionId::Var(v))
         }
     }
 
-    fn region_size(&self, p: &Program, id: RegionId, state: &State) -> Option<u64> {
+    fn region_size(&self, ix: &Index<'_>, id: RegionId, state: &State<'_>) -> Option<u64> {
         match id {
-            RegionId::Var(v) => p.var(v).ty.declared_size(&p.classes),
+            RegionId::Var(v) => ix.var_storage_size[v.index() as usize],
             RegionId::Heap(_) => state.regions.get(&id).and_then(|r| r.alloc_size),
         }
     }
 
-    fn region_class(&self, p: &Program, id: RegionId, state: &State) -> Option<String> {
+    fn region_class(&self, ix: &Index<'_>, id: RegionId, state: &State<'_>) -> Option<Symbol> {
         match id {
-            RegionId::Var(v) => match &p.var(v).ty {
-                Ty::Class(name) => Some(name.clone()),
-                _ => None,
-            },
-            RegionId::Heap(_) => state.regions.get(&id).and_then(|r| r.alloc_class.clone()),
+            RegionId::Var(v) => ix.var_class[v.index() as usize],
+            RegionId::Heap(_) => state.regions.get(&id).and_then(|r| r.alloc_class),
         }
     }
 
     #[allow(clippy::too_many_lines)]
-    fn step(&self, p: &Program, stmt: &Stmt, state: &mut State, report: &mut Report, depth: u32) {
+    fn step<'p>(
+        &self,
+        ix: &Index<'p>,
+        stmt: &'p Stmt,
+        state: &mut State<'p>,
+        report: &mut Report,
+        depth: u32,
+    ) {
         match stmt {
             Stmt::Assign { dst, src, .. } => {
+                let d = dst.index() as usize;
                 // A plain overwrite replaces the value entirely: taint is
                 // recomputed, not accumulated (clamping a tainted count to
                 // a constant sanitizes it).
-                state.tainted.insert(*dst, state.expr_tainted(src));
-                match self.eval(p, src, state) {
-                    Some(v) => {
-                        state.consts.insert(*dst, v);
-                    }
-                    None => {
-                        state.consts.remove(dst);
-                    }
-                }
-                if matches!(p.var(*dst).ty, Ty::Ptr) {
-                    match self.region_of_expr(p, src, state) {
-                        Some(r) => {
-                            state.points_to.insert(*dst, r);
-                        }
-                        None => {
-                            state.points_to.remove(dst);
-                        }
-                    }
+                let t = state.expr_tainted(src);
+                state.tainted[d] = t;
+                let val = self.eval(ix, src, state);
+                state.consts[d] = val;
+                if ix.var_is_ptr[d] {
+                    let r = self.region_of_expr(ix, src, state);
+                    state.points_to[d] = r;
                 }
             }
             Stmt::FieldStore { obj, src, .. } => {
@@ -365,39 +519,42 @@ impl Analyzer {
             }
             Stmt::ReadInput { dst, .. } => {
                 state.taint(*dst, true);
-                state.consts.remove(dst);
+                state.consts[dst.index() as usize] = None;
             }
             Stmt::RecvObject { dst, .. } => {
+                let d = dst.index() as usize;
                 state.taint(*dst, true);
-                state.consts.remove(dst);
-                state.points_to.remove(dst);
+                state.consts[d] = None;
+                state.points_to[d] = None;
             }
             Stmt::HeapNew { site, dst, class, count } => {
                 let id = RegionId::Heap(site.line);
                 let alloc_size = match (class, count) {
-                    (Some(c), _) => p.sizeof(c),
-                    (None, Some(n)) => self.eval(p, n, state).and_then(|v| u64::try_from(v).ok()),
+                    (Some(c), _) => ix.sizeof(c),
+                    (None, Some(n)) => self.eval(ix, n, state).and_then(|v| u64::try_from(v).ok()),
                     (None, None) => None,
                 };
+                // Heap classes are interned at Index::build time.
+                let alloc_class = class.as_deref().and_then(|c| ix.symbols.lookup(c));
                 let region = state.region_mut(id);
                 *region = RegionState {
                     alloc_size,
-                    alloc_class: class.clone(),
+                    alloc_class,
                     last_tenant_size: alloc_size,
                     ..RegionState::default()
                 };
-                state.points_to.insert(*dst, id);
+                state.points_to[dst.index() as usize] = Some(id);
             }
             Stmt::PlacementNew { site, dst, arena, class, args } => {
-                let placed = p.sizeof(class);
-                let region = self.region_of_expr(p, arena, state);
-                let arena_size = region.and_then(|r| self.region_size(p, r, state));
+                let placed = ix.sizeof(class);
+                let region = self.region_of_expr(ix, arena, state);
+                let arena_size = region.and_then(|r| self.region_size(ix, r, state));
 
                 match (placed, arena_size) {
                     (Some(placed), Some(arena_sz)) if placed > arena_sz => {
                         let arena_class = region
-                            .and_then(|r| self.region_class(p, r, state))
-                            .unwrap_or_else(|| "buffer".to_owned());
+                            .and_then(|r| self.region_class(ix, r, state))
+                            .map_or("buffer", |s| ix.name(s));
                         emit(report, Finding {
                             kind: FindingKind::OversizedPlacement,
                             severity: Severity::Error,
@@ -407,8 +564,9 @@ impl Analyzer {
                                 placed - arena_sz
                             ),
                         });
-                        let poly_placed = p.classes.get(class).is_some_and(|c| c.polymorphic);
-                        let poly_nearby = p.classes.values().any(|c| c.polymorphic);
+                        let poly_placed =
+                            ix.program.classes.get(class).is_some_and(|c| c.polymorphic);
+                        let poly_nearby = ix.any_polymorphic;
                         if poly_placed || poly_nearby {
                             emit(report, Finding {
                                 kind: FindingKind::VptrClobber,
@@ -452,19 +610,19 @@ impl Analyzer {
                     let rs = state.region_mut(region_id);
                     let shrunk = rs.last_tenant_size.is_some_and(|prev| placed < prev);
                     if (shrunk || rs.has_secret) && rs.residue_at.is_none() {
-                        rs.residue_at = Some(site.clone());
+                        rs.residue_at = Some(site);
                     }
                     rs.last_tenant_size = Some(placed);
-                    state.points_to.insert(*dst, region_id);
+                    state.points_to[dst.index() as usize] = Some(region_id);
                 } else if let Some(region_id) = region {
-                    state.points_to.insert(*dst, region_id);
+                    state.points_to[dst.index() as usize] = Some(region_id);
                 }
             }
             Stmt::PlacementNewArray { site, dst, arena, elem_size, count } => {
-                let region = self.region_of_expr(p, arena, state);
-                let arena_size = region.and_then(|r| self.region_size(p, r, state));
+                let region = self.region_of_expr(ix, arena, state);
+                let arena_size = region.and_then(|r| self.region_size(ix, r, state));
                 let total = self
-                    .eval(p, count, state)
+                    .eval(ix, count, state)
                     .and_then(|n| u64::try_from(n).ok())
                     .map(|n| n * u64::from(*elem_size));
                 let count_tainted = state.expr_tainted(count);
@@ -501,7 +659,7 @@ impl Analyzer {
                 // the tainted length safe — *unless* an earlier proven
                 // overflow may have rewritten the bounded variable.
                 let bound_total = self
-                    .eval_upper(p, count, state)
+                    .eval_upper(ix, count, state)
                     .and_then(|b| u64::try_from(b).ok())
                     .and_then(|b| b.checked_mul(u64::from(*elem_size)));
                 let bound_covers =
@@ -526,24 +684,20 @@ impl Analyzer {
                     );
                 }
                 if let Some(region_id) = region {
-                    let secret_residue = {
-                        let rs = state.region_mut(region_id);
-                        if rs.has_secret && rs.residue_at.is_none() {
-                            rs.residue_at = Some(site.clone());
-                        }
-                        rs.tainted_pool |= count_tainted;
-                        rs.has_secret
-                    };
-                    let _ = secret_residue;
-                    state.points_to.insert(*dst, region_id);
+                    let rs = state.region_mut(region_id);
+                    if rs.has_secret && rs.residue_at.is_none() {
+                        rs.residue_at = Some(site);
+                    }
+                    rs.tainted_pool |= count_tainted;
+                    state.points_to[dst.index() as usize] = Some(region_id);
                 }
             }
             Stmt::Strncpy { site, dst, src, len } => {
                 let len_tainted = state.expr_tainted(len);
                 let src_tainted = state.expr_tainted(src);
-                let region = self.region_of_var(p, *dst, state);
-                let dst_size = region.and_then(|r| self.region_size(p, r, state));
-                let len_val = self.eval(p, len, state).and_then(|v| u64::try_from(v).ok());
+                let region = self.region_of_var(ix, *dst, state);
+                let dst_size = region.and_then(|r| self.region_size(ix, r, state));
+                let len_val = self.eval(ix, len, state).and_then(|v| u64::try_from(v).ok());
 
                 if let (Some(len_val), Some(dst_size)) = (len_val, dst_size) {
                     if len_val > dst_size {
@@ -562,7 +716,7 @@ impl Analyzer {
                 }
                 let pool_tainted =
                     region.and_then(|r| state.regions.get(&r)).is_some_and(|r| r.tainted_pool);
-                let len_bound = self.eval_upper(p, len, state).and_then(|b| u64::try_from(b).ok());
+                let len_bound = self.eval_upper(ix, len, state).and_then(|b| u64::try_from(b).ok());
                 let bound_covers = matches!((len_bound, dst_size), (Some(b), Some(d)) if b <= d);
                 if (len_tainted || pool_tainted) && src_tainted && !bound_covers {
                     emit(report, Finding {
@@ -576,7 +730,7 @@ impl Analyzer {
                 }
             }
             Stmt::Memset { dst, .. } => {
-                if let Some(r) = self.region_of_var(p, *dst, state) {
+                if let Some(r) = self.region_of_var(ix, *dst, state) {
                     let rs = state.region_mut(r);
                     rs.has_secret = false;
                     rs.residue_at = None;
@@ -586,13 +740,13 @@ impl Analyzer {
                 }
             }
             Stmt::ReadSecret { dst, .. } => {
-                if let Some(r) = self.region_of_var(p, *dst, state) {
+                if let Some(r) = self.region_of_var(ix, *dst, state) {
                     state.region_mut(r).has_secret = true;
                 }
             }
             Stmt::Output { site, src, .. } => {
-                if let Some(r) = self.region_of_var(p, *src, state) {
-                    let rs = state.region_mut(r).clone();
+                if let Some(r) = self.region_of_var(ix, *src, state) {
+                    let rs = *state.region_mut(r);
                     if let Some(origin) = rs.residue_at {
                         emit(report, Finding {
                             kind: FindingKind::UnsanitizedArenaReuse,
@@ -606,14 +760,14 @@ impl Analyzer {
                 }
             }
             Stmt::Delete { site, ptr, as_class } => {
-                if let Some(r @ RegionId::Heap(_)) = state.points_to.get(ptr).copied() {
+                if let Some(r @ RegionId::Heap(_)) = state.pointee(*ptr) {
                     let (alloc_size, alloc_class) = {
                         let rs = state.region_mut(r);
                         rs.freed = true;
-                        (rs.alloc_size, rs.alloc_class.clone())
+                        (rs.alloc_size, rs.alloc_class)
                     };
                     if let (Some(cls), Some(alloc)) = (as_class, alloc_size) {
-                        if let Some(released) = p.sizeof(cls) {
+                        if let Some(released) = ix.sizeof(cls) {
                             if released < alloc {
                                 emit(report, Finding {
                                     kind: FindingKind::PlacementLeak,
@@ -621,7 +775,7 @@ impl Analyzer {
                                     site: site.clone(),
                                     message: format!(
                                         "block allocated for {} ({alloc} bytes) released as {cls} ({released} bytes): {} bytes leak per iteration (§4.5)",
-                                        alloc_class.as_deref().unwrap_or("an array"),
+                                        alloc_class.map_or("an array", |s| ix.name(s)),
                                         alloc - released
                                     ),
                                 });
@@ -631,7 +785,7 @@ impl Analyzer {
                 }
             }
             Stmt::NullAssign { site, ptr } => {
-                if let Some(r @ RegionId::Heap(_)) = state.points_to.get(ptr).copied() {
+                if let Some(r @ RegionId::Heap(_)) = state.pointee(*ptr) {
                     let freed = state.regions.get(&r).is_some_and(|rs| rs.freed);
                     if !freed {
                         emit(report, Finding {
@@ -644,7 +798,7 @@ impl Analyzer {
                         });
                     }
                 }
-                state.points_to.remove(ptr);
+                state.points_to[ptr.index() as usize] = None;
             }
             Stmt::VirtualCall { .. } | Stmt::CallPtr { .. } | Stmt::Return { .. } => {}
             Stmt::If { cond, then_body, else_body, .. } => {
@@ -652,8 +806,8 @@ impl Analyzer {
                 let mut else_state = state.clone();
                 self.refine(cond, true, &mut then_state);
                 self.refine(cond, false, &mut else_state);
-                self.walk(p, then_body, &mut then_state, report, depth);
-                self.walk(p, else_body, &mut else_state, report, depth);
+                self.walk(ix, then_body, &mut then_state, report, depth);
+                self.walk(ix, else_body, &mut else_state, report, depth);
                 let then_returns = matches!(then_body.last(), Some(Stmt::Return { .. }));
                 let else_returns = matches!(else_body.last(), Some(Stmt::Return { .. }));
                 // A branch ending in `return` contributes nothing to the
@@ -667,11 +821,11 @@ impl Analyzer {
             }
             Stmt::While { body, .. } => {
                 let mut body_state = state.clone();
-                self.walk(p, body, &mut body_state, report, depth);
+                self.walk(ix, body, &mut body_state, report, depth);
                 *state = state.clone().merge(body_state);
             }
             Stmt::Call { func, args, .. } => {
-                self.analyze_call(p, func, args, state, report, depth);
+                self.analyze_call(ix, func, args, state, report, depth);
             }
         }
     }
@@ -690,23 +844,23 @@ fn emit(report: &mut Report, finding: Finding) {
     }
 }
 
-/// Entry-point state for a function: parameter taint and declared-storage
-/// region sizes for globals and the function's own variables.
-fn init_state(program: &Program, f: &crate::ir::Function) -> State {
-    let mut state = State::default();
-    for var in &program.vars {
-        let is_mine = f.vars.contains(&var.id);
-        let in_scope = matches!(var.scope, Scope::Global) || is_mine;
-        if !in_scope {
+/// Entry-point state for function `fi`: parameter taint and
+/// declared-storage region sizes for globals and the function's own
+/// variables.
+fn init_state<'p>(ix: &Index<'p>, fi: usize) -> State<'p> {
+    let mut state = State::new(ix.program.vars.len());
+    let member = &ix.fn_member[fi];
+    for var in &ix.program.vars {
+        let vi = var.id.index() as usize;
+        if !ix.var_is_global[vi] && !member[vi] {
             continue;
         }
         if let Scope::Param { tainted } = var.scope {
             state.taint(var.id, tainted);
         }
-        if !matches!(var.ty, Ty::Ptr) {
-            let size = var.ty.declared_size(&program.classes);
+        if !ix.var_is_ptr[vi] {
             let region = state.region_mut(RegionId::Var(var.id));
-            region.last_tenant_size = size;
+            region.last_tenant_size = ix.var_storage_size[vi];
         }
     }
     state
@@ -716,58 +870,52 @@ impl Analyzer {
     /// Inline analysis of a direct call: bind the caller's argument facts
     /// to the callee's parameters, walk the callee, and merge
     /// global/heap region effects back into the caller.
-    fn analyze_call(
+    fn analyze_call<'p>(
         &self,
-        p: &Program,
+        ix: &Index<'p>,
         func: &str,
         args: &[Expr],
-        state: &mut State,
+        state: &mut State<'p>,
         report: &mut Report,
         depth: u32,
     ) {
-        let Some(callee) = p.functions.iter().find(|f| f.name == func) else {
+        let Some(&fi) = ix.fn_by_name.get(func) else {
             return; // external/opaque call: no effect modeled
         };
         if depth >= MAX_CALL_DEPTH {
             return; // recursion cut-off
         }
-        let mut callee_state = init_state(p, callee);
+        let callee = &ix.program.functions[fi];
+        let mut callee_state = init_state(ix, fi);
         // Shared globals carry their caller-visible lifecycle state in.
         for (&id, rs) in &state.regions {
             let is_global = match id {
-                RegionId::Var(v) => matches!(p.var(v).scope, Scope::Global),
+                RegionId::Var(v) => ix.var_is_global[v.index() as usize],
                 RegionId::Heap(_) => true,
             };
             if is_global {
-                callee_state.regions.insert(id, rs.clone());
+                callee_state.regions.insert(id, *rs);
             }
         }
-        if state.clobbered_at.is_some() {
-            callee_state.clobbered_at = state.clobbered_at.clone();
-        }
+        callee_state.clobbered_at = state.clobbered_at;
         // Bind arguments to parameters, in declaration order.
-        let params: Vec<VarId> = callee
-            .vars
-            .iter()
-            .copied()
-            .filter(|&v| matches!(p.var(v).scope, Scope::Param { .. }))
-            .collect();
-        for (param, arg) in params.iter().zip(args) {
-            callee_state.tainted.insert(*param, state.expr_tainted(arg));
-            if let Some(v) = self.eval(p, arg, state) {
-                callee_state.consts.insert(*param, v);
+        for (&param, arg) in ix.fn_params[fi].iter().zip(args) {
+            let pi = param.index() as usize;
+            callee_state.tainted[pi] = state.expr_tainted(arg);
+            if let Some(v) = self.eval(ix, arg, state) {
+                callee_state.consts[pi] = Some(v);
             }
-            if matches!(p.var(*param).ty, Ty::Ptr) {
-                if let Some(r) = self.region_of_expr(p, arg, state) {
-                    callee_state.points_to.insert(*param, r);
+            if ix.var_is_ptr[pi] {
+                if let Some(r) = self.region_of_expr(ix, arg, state) {
+                    callee_state.points_to[pi] = Some(r);
                 }
             }
         }
-        self.walk(p, &callee.body, &mut callee_state, report, depth + 1);
+        self.walk(ix, &callee.body, &mut callee_state, report, depth + 1);
         // Merge global/heap region effects back into the caller.
         for (id, rs) in callee_state.regions {
             let is_global = match id {
-                RegionId::Var(v) => matches!(p.var(v).scope, Scope::Global),
+                RegionId::Var(v) => ix.var_is_global[v.index() as usize],
                 RegionId::Heap(_) => true,
             };
             if !is_global {

@@ -1,0 +1,366 @@
+//! Parallel, cache-aware batch analysis.
+//!
+//! [`BatchEngine`] scans many [`Program`]s concurrently on a pool of
+//! scoped worker threads (`std::thread::scope` over a shared atomic
+//! work-queue cursor — no extra runtime dependencies) and returns one
+//! [`Report`] per input, **in input order**, regardless of how many
+//! workers ran or how the queue interleaved.
+//!
+//! Results are memoized behind a content-fingerprint cache: the key is a
+//! stable FNV-1a hash of the program's canonical pretty-printed form
+//! (which round-trips through the parser, so equal programs — even ones
+//! built independently — hash equally, and any semantic difference
+//! changes the key). A second scan of an unchanged corpus is pure cache
+//! hits.
+//!
+//! ```
+//! use pnew_detector::{Analyzer, BatchEngine, Expr, ProgramBuilder, Ty};
+//!
+//! let mut p = ProgramBuilder::new("demo");
+//! p.class("Student", 16, None, false);
+//! p.class("GradStudent", 32, Some("Student"), false);
+//! let mut f = p.function("main");
+//! let stud = f.local("stud", Ty::Class("Student".into()));
+//! let st = f.local("st", Ty::Ptr);
+//! f.placement_new(st, Expr::addr_of(stud), "GradStudent");
+//! f.finish();
+//! let programs = vec![p.build()];
+//!
+//! let engine = BatchEngine::new(Analyzer::new()).with_jobs(4);
+//! let (reports, stats) = engine.scan_with_stats(&programs);
+//! assert_eq!(reports.len(), 1);
+//! assert!(reports[0].detected());
+//! assert_eq!(stats.cache_misses, 1);
+//!
+//! // Unchanged inputs are served from the cache on the next scan.
+//! let (_, stats) = engine.scan_with_stats(&programs);
+//! assert_eq!(stats.cache_hits, 1);
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::analysis::Analyzer;
+use crate::findings::Report;
+use crate::ir::Program;
+use crate::pretty::pretty;
+
+/// Stable content fingerprint of a program.
+///
+/// FNV-1a over the canonical pretty-printed text. The pretty form sorts
+/// classes, includes the program name, and round-trips through the
+/// parser (`parse(pretty(p)) == p`), so it is injective up to program
+/// equality: two programs collide only if they are equal (modulo the
+/// 64-bit hash), and structurally equal programs always agree even when
+/// their internal `HashMap` iteration orders differ.
+pub fn fingerprint(program: &Program) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for byte in pretty(program).bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// Counters describing one [`BatchEngine::scan_with_stats`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Programs scanned.
+    pub programs: usize,
+    /// Total findings across all reports.
+    pub findings: usize,
+    /// Reports served from the fingerprint cache.
+    pub cache_hits: u64,
+    /// Reports that required a fresh analysis.
+    pub cache_misses: u64,
+    /// Wall-clock time of the scan.
+    pub elapsed: Duration,
+    /// Worker threads used.
+    pub jobs: usize,
+}
+
+impl BatchStats {
+    /// Scan throughput in programs per second (0 for an empty scan).
+    pub fn programs_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.programs as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of programs served from the cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total > 0 {
+            self.cache_hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Lifetime cache counters for a [`BatchEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Scans answered from the cache since construction.
+    pub hits: u64,
+    /// Scans that ran the analyzer since construction.
+    pub misses: u64,
+    /// Reports currently cached.
+    pub entries: usize,
+}
+
+/// A parallel batch scanner with a content-fingerprint report cache.
+///
+/// See the [module docs](self) for the concurrency and caching model.
+#[derive(Debug)]
+pub struct BatchEngine {
+    analyzer: Analyzer,
+    jobs: usize,
+    cache: Mutex<HashMap<u64, Report>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for BatchEngine {
+    fn default() -> Self {
+        BatchEngine::new(Analyzer::new())
+    }
+}
+
+impl BatchEngine {
+    /// An engine around `analyzer`, with one worker per available CPU.
+    pub fn new(analyzer: Analyzer) -> Self {
+        let jobs = thread::available_parallelism().map_or(1, |n| n.get());
+        BatchEngine {
+            analyzer,
+            jobs,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The analyzer driving each scan.
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Scans every program, returning reports in input order.
+    ///
+    /// The order and content of the reports are independent of the
+    /// worker count: workers pull indices from a shared cursor but write
+    /// into the slot of the program they took, and each program's
+    /// analysis is deterministic.
+    pub fn scan(&self, programs: &[Program]) -> Vec<Report> {
+        self.scan_with_stats(programs).0
+    }
+
+    /// [`scan`](Self::scan), plus throughput and cache counters for the
+    /// run.
+    pub fn scan_with_stats(&self, programs: &[Program]) -> (Vec<Report>, BatchStats) {
+        let start = Instant::now();
+        let hits_before = self.hits.load(Ordering::Relaxed);
+        let misses_before = self.misses.load(Ordering::Relaxed);
+
+        let workers = self.jobs.min(programs.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<Report>>> =
+            Mutex::new((0..programs.len()).map(|_| None).collect());
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(program) = programs.get(i) else {
+                        break;
+                    };
+                    let report = self.analyze_cached(program);
+                    results.lock().expect("batch results poisoned")[i] = Some(report);
+                });
+            }
+        });
+        let reports: Vec<Report> = results
+            .into_inner()
+            .expect("batch results poisoned")
+            .into_iter()
+            .map(|slot| slot.expect("every queue slot is filled before the scope ends"))
+            .collect();
+
+        let stats = BatchStats {
+            programs: programs.len(),
+            findings: reports.iter().map(|r| r.findings.len()).sum(),
+            cache_hits: self.hits.load(Ordering::Relaxed) - hits_before,
+            cache_misses: self.misses.load(Ordering::Relaxed) - misses_before,
+            elapsed: start.elapsed(),
+            jobs: workers,
+        };
+        (reports, stats)
+    }
+
+    /// Analyzes one program through the cache.
+    fn analyze_cached(&self, program: &Program) -> Report {
+        let key = fingerprint(program);
+        if let Some(hit) = self.cache.lock().expect("batch cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        // The lock is dropped during analysis: concurrent misses on the
+        // same key may both analyze (identical, deterministic results),
+        // but workers never serialize behind a slow analysis.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let report = self.analyzer.analyze(program);
+        self.cache.lock().expect("batch cache poisoned").insert(key, report.clone());
+        report
+    }
+
+    /// Lifetime hit/miss counters and the current cache size.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache.lock().expect("batch cache poisoned").len(),
+        }
+    }
+
+    /// Drops every cached report (counters are kept).
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("batch cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ir::{Expr, Ty};
+
+    fn vulnerable(name: &str) -> Program {
+        let mut p = ProgramBuilder::new(name);
+        p.class("Student", 16, None, false);
+        p.class("GradStudent", 32, Some("Student"), false);
+        let mut f = p.function("main");
+        let stud = f.local("stud", Ty::Class("Student".into()));
+        let st = f.local("st", Ty::Ptr);
+        f.placement_new(st, Expr::addr_of(stud), "GradStudent");
+        f.finish();
+        p.build()
+    }
+
+    fn safe(name: &str) -> Program {
+        let mut p = ProgramBuilder::new(name);
+        p.class("Student", 16, None, false);
+        let mut f = p.function("main");
+        let stud = f.local("stud", Ty::Class("Student".into()));
+        let st = f.local("st", Ty::Ptr);
+        f.placement_new(st, Expr::addr_of(stud), "Student");
+        f.finish();
+        p.build()
+    }
+
+    fn mixed(n: usize) -> Vec<Program> {
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    vulnerable(&format!("vuln-{i}"))
+                } else {
+                    safe(&format!("safe-{i}"))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reports_come_back_in_input_order() {
+        let programs = mixed(37);
+        let engine = BatchEngine::new(Analyzer::new()).with_jobs(8);
+        let reports = engine.scan(&programs);
+        assert_eq!(reports.len(), programs.len());
+        for (program, report) in programs.iter().zip(&reports) {
+            assert_eq!(program.name, report.program);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let programs = mixed(24);
+        let serial = BatchEngine::new(Analyzer::new()).with_jobs(1).scan(&programs);
+        let parallel = BatchEngine::new(Analyzer::new()).with_jobs(8).scan(&programs);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn second_scan_is_all_hits() {
+        let programs = mixed(10);
+        let engine = BatchEngine::new(Analyzer::new()).with_jobs(4);
+        let (_, first) = engine.scan_with_stats(&programs);
+        assert_eq!(first.cache_misses, 10);
+        assert_eq!(first.cache_hits, 0);
+        let (reports, second) = engine.scan_with_stats(&programs);
+        assert_eq!(second.cache_hits, 10);
+        assert_eq!(second.cache_misses, 0);
+        assert!((second.cache_hit_rate() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(reports, engine.scan(&programs));
+    }
+
+    #[test]
+    fn equal_programs_share_a_cache_entry() {
+        // Two structurally equal programs built independently (their
+        // internal HashMaps have different iteration orders) must hash
+        // to the same fingerprint.
+        let a = vulnerable("same");
+        let b = vulnerable("same");
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let engine = BatchEngine::default().with_jobs(1);
+        let (_, stats) = engine.scan_with_stats(&[a, b]);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 1);
+    }
+
+    #[test]
+    fn fingerprint_separates_name_content_and_findings() {
+        assert_ne!(fingerprint(&vulnerable("a")), fingerprint(&vulnerable("b")));
+        assert_ne!(fingerprint(&vulnerable("a")), fingerprint(&safe("a")));
+    }
+
+    #[test]
+    fn clear_cache_forces_reanalysis() {
+        let programs = mixed(4);
+        let engine = BatchEngine::default().with_jobs(2);
+        engine.scan(&programs);
+        engine.clear_cache();
+        let (_, stats) = engine.scan_with_stats(&programs);
+        assert_eq!(stats.cache_misses, 4);
+        let lifetime = engine.cache_stats();
+        assert_eq!(lifetime.misses, 8);
+        assert_eq!(lifetime.entries, 4);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = BatchEngine::default();
+        let (reports, stats) = engine.scan_with_stats(&[]);
+        assert!(reports.is_empty());
+        assert_eq!(stats.programs, 0);
+        assert_eq!(stats.programs_per_sec(), 0.0);
+        assert_eq!(stats.cache_hit_rate(), 0.0);
+    }
+}

@@ -1,39 +1,78 @@
 //! `pncheck` — the placement-new vulnerability checker as a CLI.
 //!
 //! ```text
-//! usage: pncheck [OPTIONS] FILE.pnx...
+//! usage: pncheck [OPTIONS] PATH...
 //!        pncheck [OPTIONS] -              (read one program from stdin)
+//!
+//!   PATH may be a .pnx file or a directory, which is scanned
+//!   recursively for *.pnx files (in sorted path order).
 //!
 //!   --baseline              run the traditional-tools baseline instead
 //!   --fix                   print the automatically remediated program
 //!   --min-severity LEVEL    report only findings at LEVEL or above
 //!                           (info|warning|error; default info)
 //!   --disable KIND          switch one finding kind off (repeatable)
+//!   --jobs N                scan with N worker threads
+//!                           (default: available parallelism)
+//!   --stats                 print scan throughput and cache counters
+//!                           to stderr
 //! ```
 //!
 //! Exit status: 0 when no warning-level findings, 1 when any program has
-//! them, 2 on usage/parse errors.
+//! them, 2 on usage errors or when any file failed to read or parse.
+//! A bad file does not abort the run: the error is reported with its
+//! path, the remaining files are still scanned, and the exit code is 2.
 
 use std::io::Read as _;
+use std::path::Path;
 use std::process::ExitCode;
 
 use pnew_detector::{
-    parse_program, Analyzer, AnalyzerConfig, BaselineChecker, FindingKind, Fixer, Severity,
+    parse_program, Analyzer, AnalyzerConfig, BaselineChecker, BatchEngine, FindingKind, Fixer,
+    Program, Severity,
 };
 
-const USAGE: &str =
-    "usage: pncheck [--baseline] [--fix] [--min-severity LEVEL] [--disable KIND]... FILE.pnx... | -";
+const USAGE: &str = "usage: pncheck [--baseline] [--fix] [--min-severity LEVEL] [--disable KIND]... [--jobs N] [--stats] PATH... | -";
+
+/// Recursively collects `*.pnx` files under `dir`, sorted by path so the
+/// scan order (and therefore the output order) is deterministic.
+fn collect_pnx(dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<std::fs::DirEntry> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::path);
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_pnx(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "pnx") {
+            out.push(path.to_string_lossy().into_owned());
+        }
+    }
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let mut baseline = false;
     let mut fix = false;
+    let mut stats = false;
+    let mut jobs: Option<usize> = None;
     let mut config = AnalyzerConfig::default();
-    let mut paths = Vec::new();
+    let mut inputs = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--baseline" => baseline = true,
             "--fix" => fix = true,
+            "--stats" => stats = true,
+            "--jobs" => {
+                let parsed = args.next().and_then(|n| n.parse::<usize>().ok());
+                match parsed {
+                    Some(n) if n > 0 => jobs = Some(n),
+                    _ => {
+                        eprintln!("pncheck: --jobs needs a positive integer");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--min-severity" => {
                 let Some(level) = args.next() else {
                     eprintln!("pncheck: --min-severity needs a value");
@@ -64,44 +103,72 @@ fn main() -> ExitCode {
                 eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            _ => paths.push(arg),
+            _ => inputs.push(arg),
         }
     }
-    if paths.is_empty() {
+    if inputs.is_empty() {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
 
-    let mut any_findings = false;
-    for path in &paths {
+    // Expand directories, then read and parse every input. Bad files are
+    // reported with their path and skipped; the rest still get scanned.
+    let mut had_errors = false;
+    let mut paths = Vec::new();
+    for input in inputs {
+        if input != "-" && Path::new(&input).is_dir() {
+            if let Err(e) = collect_pnx(Path::new(&input), &mut paths) {
+                eprintln!("pncheck: {input}: {e}");
+                had_errors = true;
+            }
+        } else {
+            paths.push(input);
+        }
+    }
+    let mut programs: Vec<(String, Program)> = Vec::with_capacity(paths.len());
+    for path in paths {
         let source = if path == "-" {
             let mut s = String::new();
             if std::io::stdin().read_to_string(&mut s).is_err() {
                 eprintln!("pncheck: cannot read stdin");
-                return ExitCode::from(2);
+                had_errors = true;
+                continue;
             }
             s
         } else {
-            match std::fs::read_to_string(path) {
+            match std::fs::read_to_string(&path) {
                 Ok(s) => s,
                 Err(e) => {
                     eprintln!("pncheck: {path}: {e}");
-                    return ExitCode::from(2);
+                    had_errors = true;
+                    continue;
                 }
             }
         };
-        let program = match parse_program(&source) {
-            Ok(p) => p,
+        match parse_program(&source) {
+            Ok(p) => programs.push((path, p)),
             Err(e) => {
                 eprintln!("pncheck: {path}: {e}");
-                return ExitCode::from(2);
+                had_errors = true;
             }
-        };
-        let report = if baseline {
-            BaselineChecker::new().analyze(&program)
-        } else {
-            Analyzer::with_config(config.clone()).analyze(&program)
-        };
+        }
+    }
+
+    let batch: Vec<Program> = programs.iter().map(|(_, p)| p.clone()).collect();
+    let (reports, scan_stats) = if baseline {
+        let checker = BaselineChecker::new();
+        (batch.iter().map(|p| checker.analyze(p)).collect(), None)
+    } else {
+        let mut engine = BatchEngine::new(Analyzer::with_config(config));
+        if let Some(n) = jobs {
+            engine = engine.with_jobs(n);
+        }
+        let (reports, s) = engine.scan_with_stats(&batch);
+        (reports, Some(s))
+    };
+
+    let mut any_findings = false;
+    for ((_, program), report) in programs.iter().zip(&reports) {
         print!("{report}");
         for finding in &report.findings {
             println!("    hint: {}", finding.kind.suggestion());
@@ -110,14 +177,35 @@ fn main() -> ExitCode {
             any_findings = true;
         }
         if fix {
-            let (fixed, fixes) = Fixer::new().fix(&program);
+            let (fixed, fixes) = Fixer::new().fix(program);
             for f in &fixes {
                 eprintln!("fix: {f}");
             }
             print!("{}", pnew_detector::pretty_program(&fixed));
         }
     }
-    if any_findings {
+
+    if stats {
+        if let Some(s) = scan_stats {
+            eprintln!(
+                "stats: {} programs, {} findings, {:.0} programs/sec, {} jobs, cache {}/{} hit/miss ({:.1}% hit rate), {:.3}s elapsed",
+                s.programs,
+                s.findings,
+                s.programs_per_sec(),
+                s.jobs,
+                s.cache_hits,
+                s.cache_misses,
+                s.cache_hit_rate() * 100.0,
+                s.elapsed.as_secs_f64(),
+            );
+        } else {
+            eprintln!("stats: baseline mode scans serially; no batch stats");
+        }
+    }
+
+    if had_errors {
+        ExitCode::from(2)
+    } else if any_findings {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

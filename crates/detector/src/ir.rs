@@ -28,6 +28,86 @@ impl fmt::Display for VarId {
     }
 }
 
+/// An interned name: a dense index into a [`SymbolTable`].
+///
+/// The analyzer's hot path compares and copies class/function names
+/// constantly; interning turns those `String` clones and hash-of-string
+/// lookups into `u32` copies. Symbols are only meaningful together with
+/// the table that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// The raw index.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A string interner mapping names to dense [`Symbol`]s.
+///
+/// # Examples
+///
+/// ```
+/// use pnew_detector::ir::SymbolTable;
+///
+/// let mut table = SymbolTable::new();
+/// let a = table.intern("Student");
+/// let b = table.intern("GradStudent");
+/// assert_eq!(table.intern("Student"), a); // stable on re-intern
+/// assert_ne!(a, b);
+/// assert_eq!(table.resolve(a), "Student");
+/// assert_eq!(table.lookup("GradStudent"), Some(b));
+/// assert_eq!(table.lookup("Nope"), None);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Interns `name`, returning its stable symbol.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&i) = self.index.get(name) {
+            return Symbol(i);
+        }
+        let i = u32::try_from(self.names.len()).expect("fewer than 2^32 symbols");
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), i);
+        Symbol(i)
+    }
+
+    /// Looks up an already-interned name.
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.index.get(name).map(|&i| Symbol(i))
+    }
+
+    /// The name behind a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol came from a different table.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.names[sym.0 as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
 /// Declared type of a variable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Ty {
@@ -130,13 +210,23 @@ impl Expr {
 
     /// Variables read by this expression.
     pub fn reads(&self) -> Vec<VarId> {
+        let mut r = Vec::new();
+        self.for_each_read(&mut |v| r.push(v));
+        r
+    }
+
+    /// Visits every variable read by this expression without allocating.
+    ///
+    /// The analyzer's taint checks run once per assignment per program;
+    /// this is the allocation-free form of [`Expr::reads`] for that hot
+    /// path.
+    pub fn for_each_read(&self, f: &mut impl FnMut(VarId)) {
         match self {
-            Expr::Const(_) | Expr::SizeOf(_) => Vec::new(),
-            Expr::Var(v) | Expr::AddrOf(v) | Expr::Field(v, _) => vec![*v],
+            Expr::Const(_) | Expr::SizeOf(_) => {}
+            Expr::Var(v) | Expr::AddrOf(v) | Expr::Field(v, _) => f(*v),
             Expr::BinOp(_, a, b) => {
-                let mut r = a.reads();
-                r.extend(b.reads());
-                r
+                a.for_each_read(f);
+                b.for_each_read(f);
             }
         }
     }

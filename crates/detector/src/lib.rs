@@ -11,6 +11,10 @@
 //! * the [`Analyzer`] — constant propagation, region-size inference with
 //!   alias tracking, taint analysis, and arena-lifecycle state, reporting
 //!   the §3/§4 vulnerability taxonomy as typed [`Finding`]s;
+//! * the [`BatchEngine`] — a parallel, cache-aware scanner that runs the
+//!   analyzer over whole corpora on scoped worker threads, memoizing
+//!   reports behind a content-fingerprint cache while keeping output
+//!   ordering deterministic;
 //! * the [`BaselineChecker`] — a stand-in for traditional overflow tools
 //!   that knows classic copy-overflows but has no concept of placement
 //!   new, used to reproduce the paper's coverage-gap claim (E21).
@@ -40,6 +44,7 @@
 
 mod analysis;
 mod baseline;
+pub mod batch;
 mod builder;
 mod findings;
 mod fixer;
@@ -49,9 +54,13 @@ mod pretty;
 
 pub use analysis::{Analyzer, AnalyzerConfig};
 pub use baseline::BaselineChecker;
+pub use batch::{fingerprint, BatchEngine, BatchStats, CacheStats};
 pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use findings::{Finding, FindingKind, Report, Severity};
 pub use fixer::{AppliedFix, Fixer};
-pub use ir::{ClassInfo, CmpOp, Cond, Expr, Function, Op, Program, Scope, Site, Stmt, Ty, VarId};
+pub use ir::{
+    ClassInfo, CmpOp, Cond, Expr, Function, Op, Program, Scope, Site, Stmt, Symbol, SymbolTable,
+    Ty, VarId,
+};
 pub use parse::{parse_program, ParseError};
 pub use pretty::pretty as pretty_program;

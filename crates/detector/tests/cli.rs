@@ -128,4 +128,104 @@ fn bad_flag_values_exit_two() {
     let (_, stderr, code) = run_with_stdin(&["--disable", "bogus-kind", "-"], CLEAN);
     assert_eq!(code, 2);
     assert!(stderr.contains("unknown finding kind"), "{stderr}");
+    let (_, stderr, code) = run_with_stdin(&["--jobs", "zero?", "-"], CLEAN);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("--jobs"), "{stderr}");
+}
+
+/// A scratch directory under the system temp dir, removed on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("pncheck-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.0.join(rel);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create parent dirs");
+        }
+        std::fs::write(path, contents).expect("write corpus file");
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn run_on_dir(args: &[&str], dir: &TempDir) -> (String, String, i32) {
+    let out = Command::new(PNCHECK).args(args).arg(dir.path()).output().expect("pncheck runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+#[test]
+fn directory_input_recurses_in_sorted_order() {
+    let dir = TempDir::new("dirscan");
+    dir.write("b.pnx", &VULNERABLE.replace("cli-demo", "prog-beta"));
+    dir.write("a.pnx", &CLEAN.replace("cli-clean", "prog-alpha"));
+    dir.write("sub/nested.pnx", &VULNERABLE.replace("cli-demo", "prog-nested"));
+    dir.write("notes.txt", "not a pnx file; must be ignored");
+
+    let (stdout, _, code) = run_on_dir(&[], &dir);
+    assert_eq!(code, 1, "{stdout}");
+    let alpha = stdout.find("prog-alpha").expect("alpha scanned");
+    let beta = stdout.find("prog-beta").expect("beta scanned");
+    let nested = stdout.find("prog-nested").expect("nested dir scanned");
+    assert!(alpha < beta && beta < nested, "unsorted output: {stdout}");
+    assert!(!stdout.contains("notes"), "non-pnx file scanned: {stdout}");
+}
+
+#[test]
+fn jobs_flag_does_not_change_output() {
+    let dir = TempDir::new("jobs");
+    for i in 0..12 {
+        let src = if i % 2 == 0 { VULNERABLE } else { CLEAN };
+        dir.write(&format!("p{i:02}.pnx"), &src.replace("cli-", &format!("p{i:02}-")));
+    }
+    let (serial, _, code1) = run_on_dir(&["--jobs", "1"], &dir);
+    let (parallel, _, code8) = run_on_dir(&["--jobs", "8"], &dir);
+    assert_eq!(code1, 1);
+    assert_eq!(code8, 1);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn stats_flag_reports_throughput_and_cache() {
+    let dir = TempDir::new("stats");
+    dir.write("one.pnx", VULNERABLE);
+    dir.write("two.pnx", &VULNERABLE.replace("cli-demo", "cli-demo-2"));
+    let (_, stderr, code) = run_on_dir(&["--stats", "--jobs", "2"], &dir);
+    assert_eq!(code, 1);
+    assert!(stderr.contains("programs/sec"), "{stderr}");
+    assert!(stderr.contains("hit rate"), "{stderr}");
+    assert!(stderr.contains("2 jobs"), "{stderr}");
+}
+
+#[test]
+fn parse_error_reports_path_and_keeps_scanning() {
+    let dir = TempDir::new("parse-cont");
+    dir.write("aa-broken.pnx", "this is not a program");
+    dir.write("bb-good.pnx", VULNERABLE);
+    let (stdout, stderr, code) = run_on_dir(&[], &dir);
+    // The error names the offending file, the good file is still
+    // scanned and reported, and the exit code signals the error.
+    assert_eq!(code, 2, "{stdout}{stderr}");
+    assert!(stderr.contains("aa-broken.pnx"), "{stderr}");
+    assert!(stderr.contains("parse error"), "{stderr}");
+    assert!(stdout.contains("cli-demo"), "{stdout}");
+    assert!(stdout.contains("oversized-placement"), "{stdout}");
 }

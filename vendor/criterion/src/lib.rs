@@ -1,0 +1,445 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A small wall-clock benchmarking harness with the API subset the
+//! workspace's benches use: `Criterion` with builder configuration,
+//! benchmark groups with throughput annotation, `bench_function` /
+//! `bench_with_input`, plain and batched benchers, and the
+//! `criterion_group!` / `criterion_main!` macros. Results are printed as
+//! `name  time: <mean>/iter  thrpt: <rate>` lines.
+//!
+//! `--test` on the command line (as in `cargo bench -- --test`) switches
+//! to smoke mode: every routine runs once and is reported as `ok`, which
+//! is what CI uses to keep benches compiling and running without paying
+//! for measurements. Any other non-flag argument is a substring filter on
+//! benchmark ids.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped (accepted, not tuned, by this harness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Work-rate annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Builds a parameter-only id.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            test_mode: false,
+            filter: None,
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Clone, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Applies command-line arguments (`--test`, name filters).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.config.test_mode = true,
+                "--bench" | "--quick" | "--noplot" => {}
+                "--sample-size" | "--warm-up-time" | "--measurement-time" | "--profile-time" => {
+                    let _ = args.next();
+                }
+                other if other.starts_with("--") => {}
+                other => self.config.filter = Some(other.to_owned()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: None }
+    }
+
+    /// Benchmarks a single routine.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        run_benchmark(&self.config, &id.id, None, f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates the per-iteration work rate.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Benchmarks one routine in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let mut config = self.criterion.config.clone();
+        if let Some(n) = self.sample_size {
+            config.sample_size = n;
+        }
+        run_benchmark(&config, &full, self.throughput, f);
+    }
+
+    /// Benchmarks one routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Collects timing for one benchmark routine.
+pub struct Bencher {
+    mode: BenchMode,
+    /// Accumulated (elapsed, iterations) per sample.
+    samples: Vec<(Duration, u64)>,
+    iters_per_sample: u64,
+}
+
+enum BenchMode {
+    /// Run once, record nothing (smoke mode).
+    Test,
+    /// Timed runs.
+    Measure,
+}
+
+impl Bencher {
+    /// Times a routine.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BenchMode::Test => {
+                black_box(routine());
+            }
+            BenchMode::Measure => {
+                let iters = self.iters_per_sample;
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                self.samples.push((start.elapsed(), iters));
+            }
+        }
+    }
+
+    /// Times a routine over per-iteration inputs built by `setup`
+    /// (setup time is excluded).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            BenchMode::Test => {
+                black_box(routine(setup()));
+            }
+            BenchMode::Measure => {
+                let iters = self.iters_per_sample;
+                let mut elapsed = Duration::ZERO;
+                for _ in 0..iters {
+                    let input = setup();
+                    let start = Instant::now();
+                    black_box(routine(input));
+                    elapsed += start.elapsed();
+                }
+                self.samples.push((elapsed, iters));
+            }
+        }
+    }
+
+    /// [`iter_batched`](Self::iter_batched) with the input passed by
+    /// mutable reference.
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        match self.mode {
+            BenchMode::Test => {
+                black_box(routine(&mut setup()));
+            }
+            BenchMode::Measure => {
+                let iters = self.iters_per_sample;
+                let mut elapsed = Duration::ZERO;
+                for _ in 0..iters {
+                    let mut input = setup();
+                    let start = Instant::now();
+                    black_box(routine(&mut input));
+                    elapsed += start.elapsed();
+                }
+                self.samples.push((elapsed, iters));
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    config: &Config,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(filter) = &config.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if config.test_mode {
+        let mut b = Bencher { mode: BenchMode::Test, samples: Vec::new(), iters_per_sample: 1 };
+        f(&mut b);
+        println!("{id:<56} ... ok (test mode)");
+        return;
+    }
+
+    // Warm-up: discover how many iterations fit one sample.
+    let mut b = Bencher { mode: BenchMode::Measure, samples: Vec::new(), iters_per_sample: 1 };
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < config.warm_up_time {
+        f(&mut b);
+        warm_iters += b.samples.drain(..).map(|(_, n)| n).sum::<u64>().max(1);
+    }
+    let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+    let budget = config.measurement_time.as_secs_f64() / config.sample_size as f64;
+    b.iters_per_sample = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+    b.samples.clear();
+    for _ in 0..config.sample_size {
+        f(&mut b);
+    }
+    let (total, iters) =
+        b.samples.iter().fold((Duration::ZERO, 0u64), |(d, n), &(sd, sn)| (d + sd, n + sn));
+    let mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    let rate = |per_iter_units: u64| {
+        let per_sec = per_iter_units as f64 / (mean_ns / 1e9);
+        format_rate(per_sec)
+    };
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => format!("  thrpt: {} elem/s", rate(n)),
+        Some(Throughput::Bytes(n)) => format!("  thrpt: {} B/s", rate(n)),
+        None => String::new(),
+    };
+    println!("{id:<56} time: {}/iter{thrpt}", format_time(mean_ns));
+}
+
+fn format_time(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+fn format_rate(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2}G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2}K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1}")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compose() {
+        assert_eq!(BenchmarkId::new("scan", 500).id, "scan/500");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn measurement_produces_samples() {
+        let config = Config {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(5),
+            measurement_time: Duration::from_millis(15),
+            test_mode: false,
+            filter: None,
+        };
+        let mut calls = 0u64;
+        run_benchmark(&config, "unit/spin", Some(Throughput::Elements(10)), |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            });
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn test_mode_runs_once_per_routine() {
+        let config = Config { test_mode: true, ..Config::default() };
+        let mut calls = 0u64;
+        run_benchmark(&config, "unit/smoke", None, |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+        let mut batched = 0u64;
+        run_benchmark(&config, "unit/batched", None, |b| {
+            b.iter_batched(|| 1u64, |v| batched += v, BatchSize::SmallInput);
+        });
+        assert_eq!(batched, 1);
+    }
+
+    #[test]
+    fn filters_skip_unmatched_ids() {
+        let config = Config { test_mode: true, filter: Some("keep".into()), ..Config::default() };
+        let mut ran = false;
+        run_benchmark(&config, "skip/this", None, |b| b.iter(|| ran = true));
+        assert!(!ran);
+        run_benchmark(&config, "keep/this", None, |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn formatting_scales() {
+        assert_eq!(format_time(12.0), "12.0 ns");
+        assert_eq!(format_time(12_500.0), "12.50 µs");
+        assert_eq!(format_time(2.5e6), "2.50 ms");
+        assert_eq!(format_rate(2.5e6), "2.50M");
+    }
+}
