@@ -7,8 +7,10 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use pnew_corpus::{benign, listings, workload};
+use pnew_detector::emit::{render_json, render_sarif, FileRecord};
 use pnew_detector::{
-    parse_program, pretty_program, Analyzer, BaselineChecker, BatchEngine, Fixer, Program,
+    parse_program, parse_program_recovering, pretty_program, Analyzer, BaselineChecker,
+    BatchEngine, Fixer, Program,
 };
 
 fn whole_corpus() -> Vec<Program> {
@@ -104,6 +106,36 @@ fn bench_dsl(c: &mut Criterion) {
             texts.iter().map(|t| parse_program(t).expect("corpus parses").vars.len()).sum::<usize>()
         });
     });
+    group.bench_function("parse_recovering_full_corpus", |b| {
+        b.iter(|| {
+            texts
+                .iter()
+                .map(|t| parse_program_recovering(t).expect("corpus parses").vars.len())
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+fn bench_emit(c: &mut Criterion) {
+    // Serialization cost of the structured outputs over the full corpus.
+    let corpus = whole_corpus();
+    let analyzer = Analyzer::new();
+    let records: Vec<FileRecord> = corpus
+        .iter()
+        .map(|p| FileRecord {
+            path: format!("{}.pnx", p.name),
+            report: Some(analyzer.analyze(p)),
+            errors: Vec::new(),
+        })
+        .collect();
+    let mut group = c.benchmark_group("emit");
+    group.bench_function("json_full_corpus", |b| {
+        b.iter(|| render_json(&records, None, None).len());
+    });
+    group.bench_function("sarif_full_corpus", |b| {
+        b.iter(|| render_sarif(&records).len());
+    });
     group.finish();
 }
 
@@ -117,6 +149,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_corpus_scan, bench_scaling, bench_batch, bench_fixer, bench_dsl
+    targets = bench_corpus_scan, bench_scaling, bench_batch, bench_fixer, bench_dsl, bench_emit
 }
 criterion_main!(benches);

@@ -29,6 +29,7 @@ use std::collections::HashMap;
 
 use crate::findings::{Finding, FindingKind, Report, Severity};
 use crate::ir::{Expr, Op, Program, Scope, Site, Stmt, Symbol, SymbolTable, Ty, VarId};
+use crate::trace::TraceCollector;
 
 /// Precomputed per-program lookup tables.
 ///
@@ -360,8 +361,23 @@ impl Analyzer {
     /// `(kind, site)` so a callee flagged both standalone and inline is
     /// reported once.
     pub fn analyze(&self, program: &Program) -> Report {
-        let ix = Index::build(program);
+        self.analyze_impl(program, None)
+    }
+
+    /// [`analyze`](Self::analyze), recording per-pass timings
+    /// (`analysis.index`, `analysis.walk`) and counters (programs,
+    /// functions, findings per kind) into `trace`.
+    pub fn analyze_traced(&self, program: &Program, trace: &TraceCollector) -> Report {
+        self.analyze_impl(program, Some(trace))
+    }
+
+    fn analyze_impl(&self, program: &Program, trace: Option<&TraceCollector>) -> Report {
+        let ix = match trace {
+            Some(t) => t.time("analysis.index", || Index::build(program)),
+            None => Index::build(program),
+        };
         let mut report = Report::new(&program.name);
+        let walk_start = trace.map(|_| std::time::Instant::now());
         for fi in 0..program.functions.len() {
             let mut state = init_state(&ix, fi);
             self.walk(&ix, &program.functions[fi].body, &mut state, &mut report, 0);
@@ -369,6 +385,14 @@ impl Analyzer {
         report.findings.retain(|f| {
             f.severity >= self.config.min_severity && !self.config.disabled.contains(&f.kind)
         });
+        if let (Some(t), Some(start)) = (trace, walk_start) {
+            t.record_pass("analysis.walk", start.elapsed());
+            t.count("analysis.programs", 1);
+            t.count("analysis.functions", program.functions.len() as u64);
+            for f in &report.findings {
+                t.count(&format!("findings.{}", f.kind.name()), 1);
+            }
+        }
         report
     }
 

@@ -39,7 +39,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -47,6 +47,7 @@ use crate::analysis::Analyzer;
 use crate::findings::Report;
 use crate::ir::Program;
 use crate::pretty::pretty;
+use crate::trace::TraceCollector;
 
 /// Stable content fingerprint of a program.
 ///
@@ -127,6 +128,7 @@ pub struct BatchEngine {
     cache: Mutex<HashMap<u64, Report>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    trace: Option<Arc<TraceCollector>>,
 }
 
 impl Default for BatchEngine {
@@ -145,6 +147,7 @@ impl BatchEngine {
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            trace: None,
         }
     }
 
@@ -152,6 +155,15 @@ impl BatchEngine {
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Feeds counter and timing events (`batch.*`, `analysis.*`,
+    /// `findings.*`) into `trace` during every scan. All workers share
+    /// the one collector.
+    #[must_use]
+    pub fn with_trace(mut self, trace: Arc<TraceCollector>) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -213,6 +225,10 @@ impl BatchEngine {
             elapsed: start.elapsed(),
             jobs: workers,
         };
+        if let Some(t) = &self.trace {
+            t.count("batch.programs", programs.len() as u64);
+            t.record_pass("batch.scan", stats.elapsed);
+        }
         (reports, stats)
     }
 
@@ -221,13 +237,22 @@ impl BatchEngine {
         let key = fingerprint(program);
         if let Some(hit) = self.cache.lock().expect("batch cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &self.trace {
+                t.count("batch.cache-hit", 1);
+            }
             return hit.clone();
         }
         // The lock is dropped during analysis: concurrent misses on the
         // same key may both analyze (identical, deterministic results),
         // but workers never serialize behind a slow analysis.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let report = self.analyzer.analyze(program);
+        let report = match &self.trace {
+            Some(t) => {
+                t.count("batch.cache-miss", 1);
+                self.analyzer.analyze_traced(program, t)
+            }
+            None => self.analyzer.analyze(program),
+        };
         self.cache.lock().expect("batch cache poisoned").insert(key, report.clone());
         report
     }
@@ -352,6 +377,22 @@ mod tests {
         let lifetime = engine.cache_stats();
         assert_eq!(lifetime.misses, 8);
         assert_eq!(lifetime.entries, 4);
+    }
+
+    #[test]
+    fn trace_collects_scan_counters() {
+        let trace = Arc::new(TraceCollector::new());
+        // One worker: the duplicate is deterministically a cache hit.
+        let engine = BatchEngine::default().with_jobs(1).with_trace(Arc::clone(&trace));
+        let programs = vec![vulnerable("same"), vulnerable("same"), safe("other")];
+        engine.scan(&programs);
+        let snap = trace.snapshot();
+        assert_eq!(snap.counters["batch.programs"], 3);
+        assert_eq!(snap.counters["batch.cache-hit"], 1);
+        assert_eq!(snap.counters["batch.cache-miss"], 2);
+        assert_eq!(snap.counters["findings.oversized-placement"], 1);
+        assert!(snap.passes.iter().any(|p| p.name == "batch.scan"));
+        assert!(snap.passes.iter().any(|p| p.name == "analysis.walk"));
     }
 
     #[test]

@@ -5,34 +5,47 @@
 //!        pncheck [OPTIONS] -              (read one program from stdin)
 //!
 //!   PATH may be a .pnx file or a directory, which is scanned
-//!   recursively for *.pnx files (in sorted path order).
+//!   recursively for *.pnx files (in sorted path order). Inputs are
+//!   canonicalized and deduplicated, so a file named both directly and
+//!   via an enclosing directory is scanned once.
 //!
 //!   --baseline              run the traditional-tools baseline instead
 //!   --fix                   print the automatically remediated program
+//!                           (text format only)
+//!   --format FORMAT         output format: text (default), json
+//!                           (the pncheck-report/1 envelope), or sarif
+//!                           (SARIF 2.1.0)
 //!   --min-severity LEVEL    report only findings at LEVEL or above
 //!                           (info|warning|error; default info)
 //!   --disable KIND          switch one finding kind off (repeatable)
 //!   --jobs N                scan with N worker threads
 //!                           (default: available parallelism)
-//!   --stats                 print scan throughput and cache counters
-//!                           to stderr
+//!   --stats                 print scan throughput, cache counters, and
+//!                           per-pass trace lines to stderr; with
+//!                           --format json, also embed them in the
+//!                           envelope
 //! ```
 //!
 //! Exit status: 0 when no warning-level findings, 1 when any program has
 //! them, 2 on usage errors or when any file failed to read or parse.
-//! A bad file does not abort the run: the error is reported with its
-//! path, the remaining files are still scanned, and the exit code is 2.
+//! A bad file does not abort the run: the parser recovers and reports
+//! *all* leading syntax errors with line and column, the remaining files
+//! are still scanned, and the exit code is 2.
 
+use std::collections::HashSet;
 use std::io::Read as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use pnew_detector::emit::{self, FileRecord, OutputFormat};
+use pnew_detector::trace::TraceCollector;
 use pnew_detector::{
-    parse_program, Analyzer, AnalyzerConfig, BaselineChecker, BatchEngine, FindingKind, Fixer,
-    Program, Severity,
+    parse_program_recovering, Analyzer, AnalyzerConfig, BaselineChecker, BatchEngine, FindingKind,
+    Fixer, ParseError, Program, Severity,
 };
 
-const USAGE: &str = "usage: pncheck [--baseline] [--fix] [--min-severity LEVEL] [--disable KIND]... [--jobs N] [--stats] PATH... | -";
+const USAGE: &str = "usage: pncheck [--baseline] [--fix] [--format text|json|sarif] [--min-severity LEVEL] [--disable KIND]... [--jobs N] [--stats] PATH... | -";
 
 /// Recursively collects `*.pnx` files under `dir`, sorted by path so the
 /// scan order (and therefore the output order) is deterministic.
@@ -50,10 +63,19 @@ fn collect_pnx(dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// One input after reading and parsing: the program when it parsed, the
+/// recovered parse errors when it did not.
+struct ScannedFile {
+    path: String,
+    program: Option<Program>,
+    errors: Vec<ParseError>,
+}
+
 fn main() -> ExitCode {
     let mut baseline = false;
     let mut fix = false;
     let mut stats = false;
+    let mut format = OutputFormat::Text;
     let mut jobs: Option<usize> = None;
     let mut config = AnalyzerConfig::default();
     let mut inputs = Vec::new();
@@ -63,6 +85,19 @@ fn main() -> ExitCode {
             "--baseline" => baseline = true,
             "--fix" => fix = true,
             "--stats" => stats = true,
+            "--format" => {
+                let Some(value) = args.next() else {
+                    eprintln!("pncheck: --format needs a value (text|json|sarif)");
+                    return ExitCode::from(2);
+                };
+                match value.parse::<OutputFormat>() {
+                    Ok(f) => format = f,
+                    Err(e) => {
+                        eprintln!("pncheck: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--jobs" => {
                 let parsed = args.next().and_then(|n| n.parse::<usize>().ok());
                 match parsed {
@@ -110,9 +145,13 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
+    if fix && format != OutputFormat::Text {
+        eprintln!("pncheck: --fix is only supported with --format text");
+        return ExitCode::from(2);
+    }
 
-    // Expand directories, then read and parse every input. Bad files are
-    // reported with their path and skipped; the rest still get scanned.
+    // Expand directories, then canonicalize and deduplicate so a file
+    // named both directly and via an enclosing directory scans once.
     let mut had_errors = false;
     let mut paths = Vec::new();
     for input in inputs {
@@ -125,7 +164,19 @@ fn main() -> ExitCode {
             paths.push(input);
         }
     }
-    let mut programs: Vec<(String, Program)> = Vec::with_capacity(paths.len());
+    let mut seen: HashSet<PathBuf> = HashSet::new();
+    paths.retain(|path| {
+        let key = if path == "-" {
+            PathBuf::from("-")
+        } else {
+            std::fs::canonicalize(path).unwrap_or_else(|_| PathBuf::from(path))
+        };
+        seen.insert(key)
+    });
+
+    // Read and parse every input. Bad files are reported with their path
+    // and every recovered syntax error; the rest still get scanned.
+    let mut files: Vec<ScannedFile> = Vec::with_capacity(paths.len());
     for path in paths {
         let source = if path == "-" {
             let mut s = String::new();
@@ -145,16 +196,20 @@ fn main() -> ExitCode {
                 }
             }
         };
-        match parse_program(&source) {
-            Ok(p) => programs.push((path, p)),
-            Err(e) => {
-                eprintln!("pncheck: {path}: {e}");
+        match parse_program_recovering(&source) {
+            Ok(p) => files.push(ScannedFile { path, program: Some(p), errors: Vec::new() }),
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("pncheck: {path}: {e}");
+                }
                 had_errors = true;
+                files.push(ScannedFile { path, program: None, errors });
             }
         }
     }
 
-    let batch: Vec<Program> = programs.iter().map(|(_, p)| p.clone()).collect();
+    let trace = stats.then(|| Arc::new(TraceCollector::new()));
+    let batch: Vec<Program> = files.iter().filter_map(|f| f.program.clone()).collect();
     let (reports, scan_stats) = if baseline {
         let checker = BaselineChecker::new();
         (batch.iter().map(|p| checker.analyze(p)).collect(), None)
@@ -163,30 +218,62 @@ fn main() -> ExitCode {
         if let Some(n) = jobs {
             engine = engine.with_jobs(n);
         }
+        if let Some(t) = &trace {
+            engine = engine.with_trace(Arc::clone(t));
+        }
         let (reports, s) = engine.scan_with_stats(&batch);
         (reports, Some(s))
     };
 
-    let mut any_findings = false;
-    for ((_, program), report) in programs.iter().zip(&reports) {
-        print!("{report}");
-        for finding in &report.findings {
-            println!("    hint: {}", finding.kind.suggestion());
-        }
-        if report.detected_at(Severity::Warning) {
-            any_findings = true;
-        }
-        if fix {
-            let (fixed, fixes) = Fixer::new().fix(program);
-            for f in &fixes {
-                eprintln!("fix: {f}");
+    // Stitch reports back onto their files (one per parsed program, in
+    // scan order) to build the records every output format renders from.
+    let mut report_iter = reports.into_iter();
+    let records: Vec<FileRecord> = files
+        .iter()
+        .map(|f| FileRecord {
+            path: f.path.clone(),
+            report: f
+                .program
+                .as_ref()
+                .map(|_| report_iter.next().expect("one report per parsed program")),
+            errors: f.errors.clone(),
+        })
+        .collect();
+    let any_findings =
+        records.iter().filter_map(|r| r.report.as_ref()).any(|r| r.detected_at(Severity::Warning));
+
+    match format {
+        OutputFormat::Text => {
+            for (file, record) in files.iter().zip(&records) {
+                let Some(report) = &record.report else { continue };
+                print!("{report}");
+                for finding in &report.findings {
+                    println!("    hint: {}", finding.kind.suggestion());
+                }
+                if fix {
+                    let program = file.program.as_ref().expect("parsed program for report");
+                    let (fixed, fixes) = Fixer::new().fix(program);
+                    for f in &fixes {
+                        eprintln!("fix: {f}");
+                    }
+                    print!("{}", pnew_detector::pretty_program(&fixed));
+                }
             }
-            print!("{}", pnew_detector::pretty_program(&fixed));
+        }
+        OutputFormat::Json => {
+            // Stats and trace carry wall-clock timings, so they embed only
+            // on request — the default envelope is deterministic.
+            let snapshot = trace.as_ref().map(|t| t.snapshot());
+            let embedded = if stats { scan_stats.as_ref() } else { None };
+            print!("{}", emit::render_json(&records, embedded, snapshot.as_ref()));
+        }
+        OutputFormat::Sarif => {
+            print!("{}", emit::render_sarif(&records));
         }
     }
 
     if stats {
-        if let Some(s) = scan_stats {
+        if let Some(s) = &scan_stats {
             eprintln!(
                 "stats: {} programs, {} findings, {:.0} programs/sec, {} jobs, cache {}/{} hit/miss ({:.1}% hit rate), {:.3}s elapsed",
                 s.programs,
@@ -200,6 +287,11 @@ fn main() -> ExitCode {
             );
         } else {
             eprintln!("stats: baseline mode scans serially; no batch stats");
+        }
+        if let Some(t) = &trace {
+            for line in t.snapshot().lines() {
+                eprintln!("{line}");
+            }
         }
     }
 

@@ -6,7 +6,7 @@
 use std::collections::HashMap;
 
 use crate::ir::{
-    ClassInfo, CmpOp, Cond, Expr, Function, Program, Scope, Site, Stmt, Ty, VarId, VarInfo,
+    ClassInfo, CmpOp, Cond, Expr, Function, Program, Scope, Site, Span, Stmt, Ty, VarId, VarInfo,
 };
 
 /// Builds a [`Program`].
@@ -72,6 +72,7 @@ impl ProgramBuilder {
             body_stack: vec![Vec::new()],
             else_open: Vec::new(),
             next_line: 1,
+            pending_span: None,
         }
     }
 
@@ -95,13 +96,22 @@ pub struct FunctionBuilder<'p> {
     body_stack: Vec<Vec<Stmt>>,
     else_open: Vec<bool>,
     next_line: u32,
+    pending_span: Option<Span>,
 }
 
 impl FunctionBuilder<'_> {
     fn site(&mut self) -> Site {
         let line = self.next_line;
         self.next_line += 1;
-        Site { function: self.name.clone(), line }
+        Site { function: self.name.clone(), line, span: self.pending_span.take() }
+    }
+
+    /// Attaches a precise source span to the *next* statement built.
+    ///
+    /// Used by the parser; builder-made programs have no source text to
+    /// point into, so their sites carry no span.
+    pub fn with_next_span(&mut self, span: Span) {
+        self.pending_span = Some(span);
     }
 
     fn push(&mut self, stmt: Stmt) {
@@ -313,6 +323,33 @@ impl FunctionBuilder<'_> {
         match parent.last_mut() {
             Some(Stmt::While { body: b, .. }) => *b = body,
             _ => panic!("end_while without a matching while_start"),
+        }
+    }
+
+    /// Force-closes any still-open `if`/`while` blocks, attaching each
+    /// collected branch to its header.
+    ///
+    /// Used by parser error recovery so a partially parsed function can
+    /// still be finished without panicking.
+    pub(crate) fn close_open_blocks(&mut self) {
+        while self.body_stack.len() > 1 {
+            let branch = self.body_stack.pop().expect("open block");
+            let parent = self.body_stack.last_mut().expect("parent block");
+            match parent.last_mut() {
+                Some(Stmt::If { then_body, else_body, .. }) => {
+                    let in_else = self.else_open.pop().unwrap_or(false);
+                    if in_else {
+                        *else_body = branch;
+                    } else {
+                        *then_body = branch;
+                    }
+                }
+                Some(Stmt::While { body, .. }) => *body = branch,
+                // A block can only be opened by an if/while header, so
+                // there is nothing sensible to attach to here; the
+                // recovered statements are dropped.
+                _ => {}
+            }
         }
     }
 

@@ -72,6 +72,67 @@ impl FindingKind {
         !matches!(self, FindingKind::ClassicOverflow)
     }
 
+    /// Stable rule identifier for machine-readable output (the JSON
+    /// envelope and SARIF `ruleId`), derived from [`name`](Self::name)
+    /// under the `pnx/` prefix.
+    pub fn rule_id(self) -> &'static str {
+        match self {
+            FindingKind::OversizedPlacement => "pnx/oversized-placement",
+            FindingKind::UnknownBoundsPlacement => "pnx/unknown-bounds-placement",
+            FindingKind::TaintedPlacementSize => "pnx/tainted-placement-size",
+            FindingKind::TaintedCopyThroughPool => "pnx/tainted-copy-through-pool",
+            FindingKind::UnsanitizedArenaReuse => "pnx/unsanitized-arena-reuse",
+            FindingKind::PlacementLeak => "pnx/placement-leak",
+            FindingKind::VptrClobber => "pnx/vptr-clobber",
+            FindingKind::ClassicOverflow => "pnx/classic-overflow",
+        }
+    }
+
+    /// The paper's taxonomy description of this vulnerability class,
+    /// used as SARIF rule help text.
+    pub fn help(self) -> &'static str {
+        match self {
+            FindingKind::OversizedPlacement => {
+                "A placement new whose placed object provably exceeds the arena it is \
+                 constructed into — the object overflow via construction of §3.1. The \
+                 bytes past the arena overwrite whatever the process image puts there."
+            }
+            FindingKind::UnknownBoundsPlacement => {
+                "A placement new whose arena size cannot be inferred statically (a bare \
+                 scalar address or a lost alias) — the §5.1 hard case. The placement may \
+                 be safe, but nothing in the program proves it."
+            }
+            FindingKind::TaintedPlacementSize => {
+                "A placement whose size or element count is influenced by untrusted \
+                 input, e.g. a remote or deserialized object (§3.2) — the first step of \
+                 the two-step attacks of §4."
+            }
+            FindingKind::TaintedCopyThroughPool => {
+                "A copy through a pool-placed buffer with an attacker-influenced length \
+                 — the two-step array overflow of §4.1/§4.2, where the placement itself \
+                 is in bounds but rewrites the bound a later copy trusts."
+            }
+            FindingKind::UnsanitizedArenaReuse => {
+                "An arena reused for a new tenant without sanitization after it held \
+                 secret bytes — the information-leakage channel of §4.3."
+            }
+            FindingKind::PlacementLeak => {
+                "A placement over a heap block that is later released through a smaller \
+                 type or merely nulled, stranding the tail of the block — the memory \
+                 leak of §4.5."
+            }
+            FindingKind::VptrClobber => {
+                "An oversized placement that can reach a vtable pointer of a live \
+                 polymorphic object — the vptr subterfuge exposure of §3.8.2; the next \
+                 virtual call dispatches through attacker-chosen memory."
+            }
+            FindingKind::ClassicOverflow => {
+                "A classic out-of-bounds copy into a lexically declared array — the \
+                 only class traditional overflow checkers (the baseline) can see."
+            }
+        }
+    }
+
     /// The §5-prescribed remediation for this finding class (what the
     /// [`Fixer`](crate::Fixer) applies automatically).
     pub fn suggestion(self) -> &'static str {
@@ -157,7 +218,14 @@ pub struct Finding {
 
 impl fmt::Display for Finding {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} [{}]: {}", self.site, self.severity, self.kind, self.message)
+        // Parsed programs carry precise spans: report function:line:col
+        // in the source. Builder programs fall back to the statement
+        // ordinal.
+        match self.site.span {
+            Some(span) => write!(f, "{}:{span}", self.site.function)?,
+            None => write!(f, "{}", self.site)?,
+        }
+        write!(f, ": {} [{}]: {}", self.severity, self.kind, self.message)
     }
 }
 
@@ -216,12 +284,7 @@ mod tests {
     use super::*;
 
     fn finding(kind: FindingKind, severity: Severity) -> Finding {
-        Finding {
-            kind,
-            severity,
-            site: Site { function: "f".into(), line: 1 },
-            message: "m".into(),
-        }
+        Finding { kind, severity, site: Site::new("f", 1), message: "m".into() }
     }
 
     #[test]
@@ -254,6 +317,8 @@ mod tests {
         for k in FindingKind::ALL {
             assert!(!k.name().is_empty());
             assert_eq!(FindingKind::from_name(k.name()), Some(k));
+            assert_eq!(k.rule_id(), format!("pnx/{}", k.name()));
+            assert!(!k.help().is_empty());
         }
         assert_eq!(FindingKind::from_name("bogus"), None);
         for k in FindingKind::ALL {
@@ -271,5 +336,12 @@ mod tests {
         assert_eq!(f.to_string(), "f:1: warning [placement-leak]: m");
         let r = Report { program: "p".into(), findings: vec![f] };
         assert!(r.to_string().contains("1 finding"));
+    }
+
+    #[test]
+    fn spanned_findings_display_the_source_position() {
+        let mut f = finding(FindingKind::PlacementLeak, Severity::Warning);
+        f.site.span = Some(crate::ir::Span::new(7, 5, 104, 31));
+        assert_eq!(f.to_string(), "f:7:5: warning [placement-leak]: m");
     }
 }

@@ -47,7 +47,7 @@ impl fmt::Display for AppliedFix {
 /// Reassigns statement sites in builder order (pre-order walk).
 fn renumber(body: &mut [Stmt], function: &str, next: &mut u32) {
     for stmt in body {
-        let site = Site { function: function.to_owned(), line: *next };
+        let site = Site::new(function, *next);
         *next += 1;
         match stmt {
             Stmt::Assign { site: s, .. }
@@ -525,7 +525,7 @@ mod tests {
     #[test]
     fn applied_fix_displays() {
         let fix = AppliedFix {
-            site: Site { function: "main".into(), line: 3 },
+            site: Site::new("main", 3),
             kind: FindingKind::OversizedPlacement,
             description: "did a thing".into(),
         };

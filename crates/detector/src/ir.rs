@@ -260,14 +260,74 @@ pub struct Cond {
     pub rhs: Expr,
 }
 
+/// A precise source span: 1-based line and column of the first token of
+/// a construct, plus the byte range it covers in the original source.
+///
+/// Builder-made programs have no source text, so spans only exist on
+/// sites that came through [`parse_program`](crate::parse_program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// 1-based source line of the first token.
+    pub line: u32,
+    /// 1-based column (in characters) of the first token.
+    pub col: u32,
+    /// Byte offset of the first token in the source.
+    pub byte_offset: u32,
+    /// Byte length from the first to the last token, inclusive.
+    pub len: u32,
+}
+
+impl Span {
+    /// A span at `line`/`col` covering `len` bytes from `byte_offset`.
+    pub fn new(line: u32, col: u32, byte_offset: u32, len: u32) -> Self {
+        Span { line, col, byte_offset, len }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// A source location: function name plus a statement ordinal assigned by
-/// the builder.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// the builder, and — for parsed programs — the precise [`Span`].
+///
+/// Identity is `(function, line)` only: the span is carried for
+/// reporting, and two sites naming the same statement compare equal
+/// whether or not source positions are known. This keeps the round-trip
+/// guarantee `parse(pretty(p)) == p` and finding dedup stable across
+/// builder-made and parsed programs.
+#[derive(Debug, Clone)]
 pub struct Site {
     /// Enclosing function.
     pub function: String,
     /// 1-based statement ordinal within the function.
     pub line: u32,
+    /// Precise source span, when the site came from parsed text.
+    pub span: Option<Span>,
+}
+
+impl Site {
+    /// A site without source text (builder programs).
+    pub fn new(function: impl Into<String>, line: u32) -> Self {
+        Site { function: function.into(), line, span: None }
+    }
+}
+
+impl PartialEq for Site {
+    fn eq(&self, other: &Self) -> bool {
+        self.function == other.function && self.line == other.line
+    }
+}
+
+impl Eq for Site {}
+
+impl std::hash::Hash for Site {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.function.hash(state);
+        self.line.hash(state);
+    }
 }
 
 impl fmt::Display for Site {
@@ -630,7 +690,23 @@ mod tests {
 
     #[test]
     fn site_display() {
-        let s = Site { function: "addStudent".into(), line: 3 };
+        let s = Site::new("addStudent", 3);
         assert_eq!(s.to_string(), "addStudent:3");
+    }
+
+    #[test]
+    fn site_identity_ignores_the_span() {
+        let bare = Site::new("f", 1);
+        let mut spanned = Site::new("f", 1);
+        spanned.span = Some(Span::new(7, 5, 104, 30));
+        assert_eq!(bare, spanned);
+        let hash = |s: &Site| {
+            use std::hash::{Hash as _, Hasher as _};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            s.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&bare), hash(&spanned));
+        assert_eq!(spanned.span.expect("span kept").to_string(), "7:5");
     }
 }

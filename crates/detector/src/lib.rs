@@ -46,11 +46,13 @@ mod analysis;
 mod baseline;
 pub mod batch;
 mod builder;
+pub mod emit;
 mod findings;
 mod fixer;
 pub mod ir;
 mod parse;
 mod pretty;
+pub mod trace;
 
 pub use analysis::{Analyzer, AnalyzerConfig};
 pub use baseline::BaselineChecker;
@@ -59,8 +61,8 @@ pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use findings::{Finding, FindingKind, Report, Severity};
 pub use fixer::{AppliedFix, Fixer};
 pub use ir::{
-    ClassInfo, CmpOp, Cond, Expr, Function, Op, Program, Scope, Site, Stmt, Symbol, SymbolTable,
-    Ty, VarId,
+    ClassInfo, CmpOp, Cond, Expr, Function, Op, Program, Scope, Site, Span, Stmt, Symbol,
+    SymbolTable, Ty, VarId,
 };
-pub use parse::{parse_program, ParseError};
+pub use parse::{parse_program, parse_program_recovering, ParseError, MAX_ERRORS};
 pub use pretty::pretty as pretty_program;

@@ -9,6 +9,16 @@
 //! Round-trip guarantee (tested over the whole corpus and with proptest):
 //! `parse(pretty(p)) == p`.
 //!
+//! Every token carries a [`Span`] (1-based line and column plus the byte
+//! range in the source), and every parsed statement's [`Site`](crate::Site)
+//! records the span from its first to its last token — this is what
+//! findings and machine-readable reports point at.
+//!
+//! Two entry points: [`parse_program`] stops at the first error;
+//! [`parse_program_recovering`] synchronizes after each error (to the
+//! next `;` inside a block, to the next declaration keyword at the top
+//! level) and reports everything it found, capped at [`MAX_ERRORS`].
+//!
 //! Statement keywords (`local`, `read`, `read_secret`, `recv`, `output`,
 //! `delete`, `vcall`, `call`, `callptr`, `return`, `strncpy`, `memset`,
 //! `if`, `else`, `while`, `new`, `bytes`, `array`, `null`, `sizeof`) are
@@ -20,20 +30,24 @@ use std::error::Error;
 use std::fmt;
 
 use crate::builder::{FunctionBuilder, ProgramBuilder};
-use crate::ir::{CmpOp, Expr, Program, Ty, VarId};
+use crate::ir::{CmpOp, Expr, Program, Span, Ty, VarId};
 
-/// A parse failure, with the 1-based source line.
+/// The most errors [`parse_program_recovering`] reports before giving
+/// up; bounds cascades from a badly desynchronized token stream.
+pub const MAX_ERRORS: usize = 20;
+
+/// A parse failure, with the precise source span of the offending token.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
-    /// Source line of the failure.
-    pub line: u32,
+    /// Where the failure was detected.
+    pub span: Span,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        write!(f, "parse error at line {}, col {}: {}", self.span.line, self.span.col, self.message)
     }
 }
 
@@ -66,64 +80,96 @@ fn is_ident_char(c: char) -> bool {
     c.is_ascii_alphanumeric() || c == '_'
 }
 
-fn lex(src: &str, start_line: u32) -> PResult<Vec<(Tok, u32)>> {
+/// Tokenizes `src` (the source after the `program` header), tracking
+/// line, column, and byte offset per token. `start_line` is the 1-based
+/// line the slice begins on and `base_offset` its byte offset within the
+/// full source, so spans point into the original file.
+///
+/// Never fails: a bad character or overflowing literal is recorded as a
+/// [`ParseError`] and skipped, so the caller decides whether to stop at
+/// the first error or report them all.
+fn lex(src: &str, start_line: u32, base_offset: u32) -> (Vec<(Tok, Span)>, Vec<ParseError>) {
     let mut toks = Vec::new();
+    let mut errors = Vec::new();
+    let chars: Vec<(usize, char)> = src.char_indices().collect();
+    let total = src.len();
     let mut line = start_line;
-    let chars: Vec<char> = src.chars().collect();
+    let mut col = 1u32;
     let mut i = 0usize;
     while i < chars.len() {
-        let c = chars[i];
+        let (off, c) = chars[i];
         if c == '\n' {
             line += 1;
+            col = 1;
             i += 1;
             continue;
         }
         if c.is_whitespace() {
+            col += 1;
             i += 1;
             continue;
         }
-        if c == '/' && chars.get(i + 1) == Some(&'/') {
-            while i < chars.len() && chars[i] != '\n' {
+        if c == '/' && chars.get(i + 1).map(|&(_, c)| c) == Some('/') {
+            while i < chars.len() && chars[i].1 != '\n' {
                 i += 1;
             }
             continue;
         }
         if is_ident_start(c) {
+            let (start_col, start_off) = (col, off);
             let mut s = String::new();
             while i < chars.len() {
-                let c = chars[i];
+                let (_, c) = chars[i];
                 if is_ident_char(c) {
                     s.push(c);
                     i += 1;
+                    col += 1;
                 } else if c == ':'
-                    && chars.get(i + 1) == Some(&':')
-                    && chars.get(i + 2).copied().is_some_and(is_ident_start)
+                    && chars.get(i + 1).map(|&(_, c)| c) == Some(':')
+                    && chars.get(i + 2).is_some_and(|&(_, c)| is_ident_start(c))
                 {
                     s.push_str("::");
                     i += 2;
+                    col += 2;
                 } else {
                     break;
                 }
             }
-            toks.push((Tok::Ident(s), line));
+            let end = chars.get(i).map_or(total, |&(o, _)| o);
+            let span = Span::new(
+                line,
+                start_col,
+                base_offset + start_off as u32,
+                (end - start_off) as u32,
+            );
+            toks.push((Tok::Ident(s), span));
             continue;
         }
         if c.is_ascii_digit() {
-            let mut v: i64 = 0;
-            while i < chars.len() && chars[i].is_ascii_digit() {
+            let (start_col, start_off) = (col, off);
+            let mut v: Option<i64> = Some(0);
+            while i < chars.len() && chars[i].1.is_ascii_digit() {
                 v = v
-                    .checked_mul(10)
-                    .and_then(|v| v.checked_add((chars[i] as u8 - b'0') as i64))
-                    .ok_or_else(|| ParseError {
-                    line,
-                    message: "integer literal overflows i64".to_owned(),
-                })?;
+                    .and_then(|v| v.checked_mul(10))
+                    .and_then(|v| v.checked_add((chars[i].1 as u8 - b'0') as i64));
                 i += 1;
+                col += 1;
             }
-            toks.push((Tok::Int(v), line));
+            let end = chars.get(i).map_or(total, |&(o, _)| o);
+            let span = Span::new(
+                line,
+                start_col,
+                base_offset + start_off as u32,
+                (end - start_off) as u32,
+            );
+            match v {
+                Some(v) => toks.push((Tok::Int(v), span)),
+                None => errors
+                    .push(ParseError { span, message: "integer literal overflows i64".to_owned() }),
+            }
             continue;
         }
-        let two: Option<&'static str> = match (c, chars.get(i + 1)) {
+        let two: Option<&'static str> = match (c, chars.get(i + 1).map(|&(_, c)| c)) {
             ('<', Some('=')) => Some("<="),
             ('>', Some('=')) => Some(">="),
             ('=', Some('=')) => Some("=="),
@@ -131,8 +177,9 @@ fn lex(src: &str, start_line: u32) -> PResult<Vec<(Tok, u32)>> {
             _ => None,
         };
         if let Some(sym) = two {
-            toks.push((Tok::Sym(sym), line));
+            toks.push((Tok::Sym(sym), Span::new(line, col, base_offset + off as u32, 2)));
             i += 2;
+            col += 2;
             continue;
         }
         let one: Option<&'static str> = match c {
@@ -158,29 +205,60 @@ fn lex(src: &str, start_line: u32) -> PResult<Vec<(Tok, u32)>> {
         };
         match one {
             Some(sym) => {
-                toks.push((Tok::Sym(sym), line));
-                i += 1;
+                toks.push((Tok::Sym(sym), Span::new(line, col, base_offset + off as u32, 1)));
             }
-            None => {
-                return Err(ParseError { line, message: format!("unexpected character {c:?}") })
-            }
+            None => errors.push(ParseError {
+                span: Span::new(line, col, base_offset + off as u32, c.len_utf8() as u32),
+                message: format!("unexpected character {c:?}"),
+            }),
         }
+        i += 1;
+        col += 1;
     }
-    Ok(toks)
+    (toks, errors)
 }
 
 struct Parser {
-    toks: Vec<(Tok, u32)>,
+    toks: Vec<(Tok, Span)>,
     pos: usize,
 }
 
 impl Parser {
-    fn line(&self) -> u32 {
-        self.toks.get(self.pos).or_else(|| self.toks.last()).map_or(1, |(_, l)| *l)
+    /// The span of the current token (or the last one at end of input).
+    fn span(&self) -> Span {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map_or(Span::new(1, 1, 0, 0), |(_, s)| *s)
+    }
+
+    /// A span from the first token at `start` through the last consumed
+    /// token — the extent of a whole statement.
+    fn span_from(&self, start: usize) -> Span {
+        let first = self.toks.get(start).map_or_else(|| self.span(), |(_, s)| *s);
+        let last = if self.pos > start {
+            self.toks.get(self.pos - 1).map_or(first, |(_, s)| *s)
+        } else {
+            first
+        };
+        let end = last.byte_offset + last.len;
+        Span::new(first.line, first.col, first.byte_offset, end.saturating_sub(first.byte_offset))
     }
 
     fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
-        Err(ParseError { line: self.line(), message: message.into() })
+        Err(ParseError { span: self.span(), message: message.into() })
+    }
+
+    /// An error anchored at the *last consumed* token — for `expect_*`
+    /// failures, where [`next`](Self::next) has already advanced past
+    /// the offender.
+    fn err_prev<T>(&self, message: impl Into<String>) -> PResult<T> {
+        let span = if self.pos > 0 {
+            self.toks.get(self.pos - 1).map_or_else(|| self.span(), |(_, s)| *s)
+        } else {
+            self.span()
+        };
+        Err(ParseError { span, message: message.into() })
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -204,28 +282,28 @@ impl Parser {
     fn expect_sym(&mut self, sym: &str) -> PResult<()> {
         match self.next()? {
             Tok::Sym(s) if s == sym => Ok(()),
-            other => self.err(format!("expected `{sym}`, found {other}")),
+            other => self.err_prev(format!("expected `{sym}`, found {other}")),
         }
     }
 
     fn expect_ident(&mut self) -> PResult<String> {
         match self.next()? {
             Tok::Ident(s) => Ok(s),
-            other => self.err(format!("expected an identifier, found {other}")),
+            other => self.err_prev(format!("expected an identifier, found {other}")),
         }
     }
 
     fn expect_keyword(&mut self, kw: &str) -> PResult<()> {
         match self.next()? {
             Tok::Ident(s) if s == kw => Ok(()),
-            other => self.err(format!("expected `{kw}`, found {other}")),
+            other => self.err_prev(format!("expected `{kw}`, found {other}")),
         }
     }
 
     fn expect_int(&mut self) -> PResult<i64> {
         match self.next()? {
             Tok::Int(v) => Ok(v),
-            other => self.err(format!("expected an integer, found {other}")),
+            other => self.err_prev(format!("expected an integer, found {other}")),
         }
     }
 
@@ -250,6 +328,49 @@ impl Parser {
             false
         }
     }
+
+    /// Error recovery inside a block: skips forward past the next `;`,
+    /// stopping *before* a `}` so the enclosing block can still close.
+    /// Returns `false` when the end of input was reached instead.
+    fn sync_stmt(&mut self) -> bool {
+        while let Some(t) = self.peek() {
+            match t {
+                Tok::Sym(";") => {
+                    self.pos += 1;
+                    return true;
+                }
+                Tok::Sym("}") => return true,
+                _ => self.pos += 1,
+            }
+        }
+        false
+    }
+
+    /// Error recovery at the top level: skips forward (at least one
+    /// token) to the next `class`/`global`/`fn` declaration keyword.
+    fn sync_decl(&mut self) {
+        self.pos += 1;
+        while let Some(t) = self.peek() {
+            if matches!(t, Tok::Ident(s) if s == "class" || s == "global" || s == "fn") {
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Error accumulation for [`parse_program_recovering`]; when disabled the
+/// first error propagates unchanged (the [`parse_program`] behavior).
+struct Recovery {
+    enabled: bool,
+    errors: Vec<ParseError>,
+}
+
+impl Recovery {
+    /// `true` while more errors may still be collected.
+    fn has_room(&self) -> bool {
+        self.errors.len() < MAX_ERRORS
+    }
 }
 
 /// Variable scope during parsing.
@@ -258,20 +379,22 @@ struct Names {
 }
 
 impl Names {
-    fn resolve(&self, p: &Parser, name: &str) -> PResult<VarId> {
-        self.map.get(name).copied().ok_or_else(|| ParseError {
-            line: p.line(),
-            message: format!("unknown variable `{name}`"),
-        })
+    fn resolve(&self, span: Span, name: &str) -> PResult<VarId> {
+        self.map
+            .get(name)
+            .copied()
+            .ok_or_else(|| ParseError { span, message: format!("unknown variable `{name}`") })
     }
 }
 
-/// Parses a `.pnx` source into a [`Program`].
+/// Parses a `.pnx` source into a [`Program`], stopping at the first
+/// error.
 ///
 /// # Errors
 ///
-/// Returns [`ParseError`] with the offending line on any syntax or
-/// name-resolution failure.
+/// Returns [`ParseError`] with the offending span on any syntax or
+/// name-resolution failure. Use [`parse_program_recovering`] to collect
+/// every leading error instead of only the first.
 ///
 /// # Examples
 ///
@@ -291,9 +414,37 @@ impl Names {
 /// assert!(Analyzer::new().analyze(&program).detected());
 /// ```
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    parse_internal(src, false).map_err(|errors| {
+        errors.into_iter().next().unwrap_or_else(|| ParseError {
+            span: Span::new(1, 1, 0, 0),
+            message: "parse failed".to_owned(),
+        })
+    })
+}
+
+/// Parses a `.pnx` source, recovering after each error and returning
+/// *all* leading parse errors (capped at [`MAX_ERRORS`]).
+///
+/// After a bad statement the parser skips to the next `;` (or the end of
+/// the block); after a bad declaration it skips to the next
+/// `class`/`global`/`fn`. Later errors can be knock-on effects of
+/// earlier ones, but each carries its own precise span.
+///
+/// # Errors
+///
+/// Returns every [`ParseError`] collected, in source order; the list is
+/// never empty on the `Err` path.
+pub fn parse_program_recovering(src: &str) -> Result<Program, Vec<ParseError>> {
+    parse_internal(src, true)
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_internal(src: &str, recover: bool) -> Result<Program, Vec<ParseError>> {
     // The program name may contain characters the lexer rejects ('-'),
-    // so the header is scanned textually first.
+    // so the header is scanned textually first. `consumed` tracks the
+    // byte offset so later token spans index into the full source.
     let mut header_lines = 0u32;
+    let mut consumed = 0usize;
     let mut rest = src;
     let mut name = None;
     while name.is_none() {
@@ -304,50 +455,80 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
         let (line, tail) = rest.split_at(nl);
         let trimmed = line.trim();
         header_lines += 1;
+        let line_start = consumed;
+        consumed += nl;
         rest = tail;
         if trimmed.is_empty() || trimmed.starts_with("//") {
             continue;
         }
+        let lead = line.len() - line.trim_start().len();
+        let header_span = Span::new(
+            header_lines,
+            1 + line[..lead].chars().count() as u32,
+            (line_start + lead) as u32,
+            trimmed.len() as u32,
+        );
         let Some(n) = trimmed.strip_prefix("program ") else {
-            return Err(ParseError {
-                line: header_lines,
+            return Err(vec![ParseError {
+                span: header_span,
                 message: "expected `program <name>;` header".to_owned(),
-            });
+            }]);
         };
         let Some(n) = n.trim().strip_suffix(';') else {
-            return Err(ParseError {
-                line: header_lines,
+            return Err(vec![ParseError {
+                span: header_span,
                 message: "the program header must end with `;`".to_owned(),
-            });
+            }]);
         };
         name = Some(n.trim().to_owned());
     }
     let Some(name) = name else {
-        return Err(ParseError { line: 1, message: "empty source".to_owned() });
+        return Err(vec![ParseError {
+            span: Span::new(1, 1, 0, 0),
+            message: "empty source".to_owned(),
+        }]);
     };
 
-    let toks = lex(rest, header_lines + 1)?;
+    let (toks, mut lex_errors) = lex(rest, header_lines + 1, consumed as u32);
+    if !recover && !lex_errors.is_empty() {
+        return Err(vec![lex_errors.remove(0)]);
+    }
     let mut parser = Parser { toks, pos: 0 };
     let mut builder = ProgramBuilder::new(&name);
     let mut globals = Names { map: HashMap::new() };
+    let mut rec = Recovery { enabled: recover, errors: Vec::new() };
+    rec.errors.extend(lex_errors.into_iter().take(MAX_ERRORS));
 
     while parser.peek().is_some() {
-        if parser.eat_keyword("class") {
-            parse_class(&mut parser, &mut builder)?;
+        if !rec.has_room() {
+            break;
+        }
+        let step = if parser.eat_keyword("class") {
+            parse_class(&mut parser, &mut builder)
         } else if parser.eat_keyword("global") {
-            let gname = parser.expect_ident()?;
-            parser.expect_sym(":")?;
-            let ty = parse_ty(&mut parser)?;
-            parser.expect_sym(";")?;
-            let id = builder.global(&gname, ty);
-            globals.map.insert(gname, id);
+            parse_global(&mut parser, &mut builder, &mut globals)
         } else if parser.eat_keyword("fn") {
-            parse_function(&mut parser, &mut builder, &globals)?;
+            parse_function(&mut parser, &mut builder, &globals, &mut rec)
         } else {
-            return parser.err("expected `class`, `global`, or `fn`");
+            parser.err("expected `class`, `global`, or `fn`")
+        };
+        if let Err(e) = step {
+            if !rec.enabled {
+                return Err(vec![e]);
+            }
+            if rec.has_room() {
+                rec.errors.push(e);
+            }
+            parser.sync_decl();
         }
     }
-    Ok(builder.build())
+    if rec.errors.is_empty() {
+        Ok(builder.build())
+    } else {
+        // Lexer and parser errors interleave; report in source order.
+        rec.errors.sort_by_key(|e| e.span.byte_offset);
+        Err(rec.errors)
+    }
 }
 
 fn parse_class(p: &mut Parser, b: &mut ProgramBuilder) -> PResult<()> {
@@ -355,11 +536,21 @@ fn parse_class(p: &mut Parser, b: &mut ProgramBuilder) -> PResult<()> {
     p.expect_keyword("size")?;
     let size = p.expect_int()?;
     let size = u32::try_from(size)
-        .map_err(|_| ParseError { line: p.line(), message: "class size must fit u32".into() })?;
+        .map_err(|_| ParseError { span: p.span(), message: "class size must fit u32".into() })?;
     let base = if p.eat_sym(":") { Some(p.expect_ident()?) } else { None };
     let polymorphic = p.eat_keyword("polymorphic");
     p.expect_sym(";")?;
     b.class(&name, size, base.as_deref(), polymorphic);
+    Ok(())
+}
+
+fn parse_global(p: &mut Parser, b: &mut ProgramBuilder, globals: &mut Names) -> PResult<()> {
+    let gname = p.expect_ident()?;
+    p.expect_sym(":")?;
+    let ty = parse_ty(p)?;
+    p.expect_sym(";")?;
+    let id = b.global(&gname, ty);
+    globals.map.insert(gname, id);
     Ok(())
 }
 
@@ -376,7 +567,7 @@ fn parse_ty(p: &mut Parser) -> PResult<Ty> {
                 } else {
                     let v = p.expect_int()?;
                     Some(u32::try_from(v).map_err(|_| ParseError {
-                        line: p.line(),
+                        span: p.span(),
                         message: "array length must fit u32".into(),
                     })?)
                 };
@@ -390,7 +581,12 @@ fn parse_ty(p: &mut Parser) -> PResult<Ty> {
     })
 }
 
-fn parse_function(p: &mut Parser, b: &mut ProgramBuilder, globals: &Names) -> PResult<()> {
+fn parse_function(
+    p: &mut Parser,
+    b: &mut ProgramBuilder,
+    globals: &Names,
+    rec: &mut Recovery,
+) -> PResult<()> {
     let fname = p.expect_ident()?;
     p.expect_sym("(")?;
     let mut f = b.function(&fname);
@@ -410,8 +606,20 @@ fn parse_function(p: &mut Parser, b: &mut ProgramBuilder, globals: &Names) -> PR
         }
     }
     p.expect_sym("{")?;
-    parse_block(p, &mut f, &mut names, true)?;
-    f.finish();
+    match parse_block(p, &mut f, &mut names, true, rec) {
+        Ok(()) => f.finish(),
+        Err(e) if rec.enabled => {
+            // The block could not be recovered in place (end of input or
+            // the error cap); keep the partial function so its sites
+            // stay consistent and report from the top level.
+            if rec.has_room() {
+                rec.errors.push(e);
+            }
+            f.close_open_blocks();
+            f.finish();
+        }
+        Err(e) => return Err(e),
+    }
     Ok(())
 }
 
@@ -422,6 +630,7 @@ fn parse_block(
     f: &mut FunctionBuilder<'_>,
     names: &mut Names,
     allow_locals: bool,
+    rec: &mut Recovery,
 ) -> PResult<()> {
     loop {
         if p.eat_sym("}") {
@@ -430,8 +639,26 @@ fn parse_block(
         if p.peek().is_none() {
             return p.err("unexpected end of input inside a block");
         }
-        parse_stmt(p, f, names, allow_locals)?;
+        match parse_stmt(p, f, names, allow_locals, rec) {
+            Ok(()) => {}
+            Err(e) if rec.enabled && rec.has_room() => {
+                rec.errors.push(e);
+                if !rec.has_room() {
+                    return p.err("too many parse errors; giving up");
+                }
+                if !p.sync_stmt() {
+                    return p.err("unexpected end of input inside a block");
+                }
+            }
+            Err(e) => return Err(e),
+        }
     }
+}
+
+/// Stamps the span of the statement parsed since `start` onto the next
+/// builder push (tokens `[start, p.pos)`).
+fn mark(p: &Parser, f: &mut FunctionBuilder<'_>, start: usize) {
+    f.with_next_span(p.span_from(start));
 }
 
 #[allow(clippy::too_many_lines)]
@@ -440,7 +667,9 @@ fn parse_stmt(
     f: &mut FunctionBuilder<'_>,
     names: &mut Names,
     allow_locals: bool,
+    rec: &mut Recovery,
 ) -> PResult<()> {
+    let start = p.pos;
     if p.eat_keyword("local") {
         if !allow_locals {
             return p.err("`local` declarations are only allowed at function top level");
@@ -456,12 +685,14 @@ fn parse_stmt(
     if p.eat_keyword("read") {
         let v = resolve_next(p, names)?;
         p.expect_sym(";")?;
+        mark(p, f, start);
         f.read_input(v);
         return Ok(());
     }
     if p.eat_keyword("read_secret") {
         let v = resolve_next(p, names)?;
         p.expect_sym(";")?;
+        mark(p, f, start);
         f.read_secret(v);
         return Ok(());
     }
@@ -470,12 +701,14 @@ fn parse_stmt(
         p.expect_sym(":")?;
         let class = p.expect_ident()?;
         p.expect_sym(";")?;
+        mark(p, f, start);
         f.recv_object(v, &class);
         return Ok(());
     }
     if p.eat_keyword("output") {
         let v = resolve_next(p, names)?;
         p.expect_sym(";")?;
+        mark(p, f, start);
         f.output(v);
         return Ok(());
     }
@@ -486,10 +719,12 @@ fn parse_stmt(
             p.expect_sym(")")?;
             let v = resolve_next(p, names)?;
             p.expect_sym(";")?;
+            mark(p, f, start);
             f.delete(v, Some(&class));
         } else {
             let v = resolve_next(p, names)?;
             p.expect_sym(";")?;
+            mark(p, f, start);
             f.delete(v, None);
         }
         return Ok(());
@@ -501,6 +736,7 @@ fn parse_stmt(
         p.expect_sym("(")?;
         p.expect_sym(")")?;
         p.expect_sym(";")?;
+        mark(p, f, start);
         f.virtual_call(v, &method);
         return Ok(());
     }
@@ -518,17 +754,20 @@ fn parse_stmt(
             }
         }
         p.expect_sym(";")?;
+        mark(p, f, start);
         f.call(&func, args);
         return Ok(());
     }
     if p.eat_keyword("callptr") {
         let v = resolve_next(p, names)?;
         p.expect_sym(";")?;
+        mark(p, f, start);
         f.call_ptr(v);
         return Ok(());
     }
     if p.eat_keyword("return") {
         p.expect_sym(";")?;
+        mark(p, f, start);
         f.ret();
         return Ok(());
     }
@@ -541,6 +780,7 @@ fn parse_stmt(
         let len = parse_expr(p, names)?;
         p.expect_sym(")")?;
         p.expect_sym(";")?;
+        mark(p, f, start);
         f.strncpy(dst, src, len);
         return Ok(());
     }
@@ -551,6 +791,7 @@ fn parse_stmt(
         let len = parse_expr(p, names)?;
         p.expect_sym(")")?;
         p.expect_sym(";")?;
+        mark(p, f, start);
         f.memset(dst, len);
         return Ok(());
     }
@@ -559,12 +800,14 @@ fn parse_stmt(
         let (lhs, op, rhs) = parse_cond(p, names)?;
         p.expect_sym(")")?;
         p.expect_sym("{")?;
+        // The header's span covers `if (cond) {`.
+        mark(p, f, start);
         f.if_start(lhs, op, rhs);
-        parse_block(p, f, names, false)?;
+        parse_block(p, f, names, false, rec)?;
         if p.eat_keyword("else") {
             p.expect_sym("{")?;
             f.else_branch();
-            parse_block(p, f, names, false)?;
+            parse_block(p, f, names, false, rec)?;
         }
         f.end_if();
         return Ok(());
@@ -574,26 +817,30 @@ fn parse_stmt(
         let (lhs, op, rhs) = parse_cond(p, names)?;
         p.expect_sym(")")?;
         p.expect_sym("{")?;
+        mark(p, f, start);
         f.while_start(lhs, op, rhs);
-        parse_block(p, f, names, false)?;
+        parse_block(p, f, names, false, rec)?;
         f.end_while();
         return Ok(());
     }
 
     // Assignment forms: `x = …;` or `x.field = …;`
+    let target_span = p.span();
     let target = p.expect_ident()?;
-    let target_id = names.resolve(p, &target)?;
+    let target_id = names.resolve(target_span, &target)?;
     if p.eat_sym(".") {
         let field = p.expect_ident()?;
         p.expect_sym("=")?;
         let src = parse_expr(p, names)?;
         p.expect_sym(";")?;
+        mark(p, f, start);
         f.field_store(target_id, &field, src);
         return Ok(());
     }
     p.expect_sym("=")?;
     if p.eat_keyword("null") {
         p.expect_sym(";")?;
+        mark(p, f, start);
         f.null_assign(target_id);
         return Ok(());
     }
@@ -606,13 +853,14 @@ fn parse_stmt(
                 p.expect_sym("[")?;
                 let elem = p.expect_int()?;
                 let elem = u32::try_from(elem).map_err(|_| ParseError {
-                    line: p.line(),
+                    span: p.span(),
                     message: "element size must fit u32".into(),
                 })?;
                 p.expect_sym(";")?;
                 let count = parse_expr(p, names)?;
                 p.expect_sym("]")?;
                 p.expect_sym(";")?;
+                mark(p, f, start);
                 f.placement_new_array(target_id, arena, elem, count);
             } else {
                 let class = p.expect_ident()?;
@@ -628,6 +876,7 @@ fn parse_stmt(
                     }
                 }
                 p.expect_sym(";")?;
+                mark(p, f, start);
                 f.placement_new_with(target_id, arena, &class, args);
             }
         } else if p.eat_keyword("bytes") {
@@ -635,25 +884,29 @@ fn parse_stmt(
             let count = parse_expr(p, names)?;
             p.expect_sym("]")?;
             p.expect_sym(";")?;
+            mark(p, f, start);
             f.heap_new_array(target_id, count);
         } else {
             let class = p.expect_ident()?;
             p.expect_sym("(")?;
             p.expect_sym(")")?;
             p.expect_sym(";")?;
+            mark(p, f, start);
             f.heap_new(target_id, &class);
         }
         return Ok(());
     }
     let src = parse_expr(p, names)?;
     p.expect_sym(";")?;
+    mark(p, f, start);
     f.assign(target_id, src);
     Ok(())
 }
 
 fn resolve_next(p: &mut Parser, names: &Names) -> PResult<VarId> {
+    let span = p.span();
     let name = p.expect_ident()?;
-    names.resolve(p, &name)
+    names.resolve(span, &name)
 }
 
 fn parse_cond(p: &mut Parser, names: &Names) -> PResult<(Expr, CmpOp, Expr)> {
@@ -665,7 +918,7 @@ fn parse_cond(p: &mut Parser, names: &Names) -> PResult<(Expr, CmpOp, Expr)> {
         Tok::Sym(">=") => CmpOp::Ge,
         Tok::Sym("==") => CmpOp::Eq,
         Tok::Sym("!=") => CmpOp::Ne,
-        other => return p.err(format!("expected a comparison operator, found {other}")),
+        other => return p.err_prev(format!("expected a comparison operator, found {other}")),
     };
     let rhs = parse_expr(p, names)?;
     Ok((lhs, op, rhs))
@@ -722,8 +975,9 @@ fn parse_factor(p: &mut Parser, names: &Names) -> PResult<Expr> {
             Ok(Expr::SizeOf(class))
         }
         Some(Tok::Ident(_)) => {
+            let span = p.span();
             let name = p.expect_ident()?;
-            let id = names.resolve(p, &name)?;
+            let id = names.resolve(span, &name)?;
             if matches!(p.peek(), Some(Tok::Sym("."))) && matches!(p.peek2(), Some(Tok::Ident(_))) {
                 p.pos += 1;
                 let field = p.expect_ident()?;
@@ -745,6 +999,7 @@ fn parse_factor(p: &mut Parser, names: &Names) -> PResult<Expr> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ir::Stmt;
     use crate::pretty::pretty;
     use crate::{Analyzer, FindingKind};
 
@@ -841,9 +1096,12 @@ fn Helper::run() {
     }
 
     #[test]
-    fn errors_carry_line_numbers() {
+    fn errors_carry_line_and_column() {
+        // The stray `!` is a lexer error: line 3, and the column of the
+        // `!` itself.
         let err = parse_program("program t;\nfn f() {\n    bogus!;\n}\n").unwrap_err();
-        assert_eq!(err.line, 3);
+        assert_eq!(err.span.line, 3);
+        assert_eq!(err.span.col, 10);
         assert!(err.to_string().contains("line 3"));
 
         let err = parse_program("not a header\n").unwrap_err();
@@ -854,6 +1112,10 @@ fn Helper::run() {
     fn unknown_variables_are_rejected() {
         let err = parse_program("program t;\nfn f() {\n    x = 1;\n}\n").unwrap_err();
         assert!(err.message.contains("unknown variable `x`"));
+        // The span points at the variable itself, not a later token.
+        assert_eq!(err.span.line, 3);
+        assert_eq!(err.span.col, 5);
+        assert_eq!(err.span.len, 1);
     }
 
     #[test]
@@ -896,5 +1158,134 @@ fn Helper::run() {
             crate::ir::Stmt::ReadInput { dst, .. } => assert_eq!(dst.index(), 1),
             other => panic!("unexpected stmt {other:?}"),
         }
+    }
+
+    #[test]
+    fn statement_spans_point_into_the_source() {
+        let src = "program t;\n\
+                   class Student size 16;\n\
+                   class GradStudent size 32 : Student;\n\
+                   fn main() {\n\
+                   \x20   local stud: Student;\n\
+                   \x20   local st: ptr;\n\
+                   \x20   st = new (&stud) GradStudent();\n\
+                   \x20   return;\n\
+                   }\n";
+        let p = parse_program(src).unwrap();
+        let body = &p.functions[0].body;
+        let placement = body[0].site().span.expect("parsed statements carry spans");
+        assert_eq!(placement.line, 7);
+        assert_eq!(placement.col, 5);
+        let text =
+            &src[placement.byte_offset as usize..(placement.byte_offset + placement.len) as usize];
+        assert_eq!(text, "st = new (&stud) GradStudent();");
+        let ret = body[1].site().span.expect("span on return");
+        assert_eq!(ret.line, 8);
+        let text = &src[ret.byte_offset as usize..(ret.byte_offset + ret.len) as usize];
+        assert_eq!(text, "return;");
+    }
+
+    #[test]
+    fn block_header_spans_cover_the_condition() {
+        let src =
+            "program t;\nfn f() {\n    local n: int;\n    if (n > 0) {\n        n = 1;\n    }\n}\n";
+        let p = parse_program(src).unwrap();
+        let body = &p.functions[0].body;
+        let Stmt::If { site, then_body, .. } = &body[0] else { panic!("expected If") };
+        let span = site.span.expect("span on if header");
+        let text = &src[span.byte_offset as usize..(span.byte_offset + span.len) as usize];
+        assert_eq!(text, "if (n > 0) {");
+        let inner = then_body[0].site().span.expect("span on nested stmt");
+        assert_eq!(inner.line, 5);
+        assert_eq!(inner.col, 9);
+    }
+
+    #[test]
+    fn columns_disambiguate_same_line_errors() {
+        // Two statements on one line: the error span must point at the
+        // second one's column, not just the line.
+        let err = parse_program("program t;\nfn f() {\n    return; x = 1;\n}\n").unwrap_err();
+        assert!(err.message.contains("unknown variable `x`"));
+        assert_eq!(err.span.line, 3);
+        assert_eq!(err.span.col, 13);
+        assert_eq!(err.span.len, 1);
+    }
+
+    #[test]
+    fn spans_survive_crlf_free_multibyte_comments() {
+        // Multibyte characters in comments must not desync byte offsets.
+        let src = "program t;\n// naïve café comment\nfn f() {\n    return;\n}\n";
+        let p = parse_program(src).unwrap();
+        let ret = p.functions[0].body[0].site().span.expect("span");
+        let text = &src[ret.byte_offset as usize..(ret.byte_offset + ret.len) as usize];
+        assert_eq!(text, "return;");
+    }
+
+    #[test]
+    fn recovering_parser_reports_every_error() {
+        let errs = parse_program_recovering(
+            "program t;\n\
+             fn f() {\n\
+                 local n: int;\n\
+                 bogus!;\n\
+                 n = ;\n\
+                 read n;\n\
+             }\n",
+        )
+        .unwrap_err();
+        // The stray `!` (lexer), the unknown variable `bogus`, and the
+        // missing expression in `n = ;` — all reported, in source order.
+        assert!(errs.len() >= 3, "{errs:?}");
+        assert!(errs
+            .iter()
+            .any(|e| e.span.line == 4 && e.message.contains("unexpected character")));
+        assert!(errs.iter().any(|e| e.span.line == 4 && e.message.contains("unknown variable")));
+        assert!(errs.iter().any(|e| e.span.line == 5), "{errs:?}");
+        assert!(errs.windows(2).all(|w| w[0].span.byte_offset <= w[1].span.byte_offset));
+    }
+
+    #[test]
+    fn recovering_parser_resyncs_at_declarations() {
+        let errs = parse_program_recovering(
+            "program t;\n\
+             class Broken size ;\n\
+             fn f( {\n\
+             }\n\
+             fn g() {\n\
+                 return\n\
+             }\n",
+        )
+        .unwrap_err();
+        assert!(errs.len() >= 3, "{errs:?}");
+        // Every error names its own line.
+        assert!(errs.iter().any(|e| e.span.line == 2), "{errs:?}");
+    }
+
+    #[test]
+    fn recovering_parser_matches_strict_parser_on_good_input() {
+        let src = "program t;\nfn f() {\n    local n: int;\n    read n;\n}\n";
+        let strict = parse_program(src).unwrap();
+        let recovering = parse_program_recovering(src).unwrap();
+        assert_eq!(strict, recovering);
+    }
+
+    #[test]
+    fn recovering_parser_caps_the_error_count() {
+        let mut src = String::from("program t;\nfn f() {\n");
+        for _ in 0..200 {
+            src.push_str("    bogus!;\n");
+        }
+        src.push_str("}\n");
+        let errs = parse_program_recovering(&src).unwrap_err();
+        assert!(errs.len() <= MAX_ERRORS, "{}", errs.len());
+    }
+
+    #[test]
+    fn recovering_parser_survives_unclosed_blocks() {
+        let errs = parse_program_recovering(
+            "program t;\nfn f() {\n    local n: int;\n    if (n > 0) {\n        bogus!;\n",
+        )
+        .unwrap_err();
+        assert!(!errs.is_empty());
     }
 }

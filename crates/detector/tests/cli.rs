@@ -92,6 +92,56 @@ fn parse_errors_exit_two() {
 }
 
 #[test]
+fn all_leading_parse_errors_are_reported_with_positions() {
+    let broken = "program multi;\nfn f() {\n    x = 1;\n    local n: int;\n    n = ;\n}\n";
+    let (_, stderr, code) = run_with_stdin(&["-"], broken);
+    assert_eq!(code, 2);
+    // Both errors surface in one run, each with line and column.
+    assert!(stderr.contains("line 3, col 5"), "{stderr}");
+    assert!(stderr.contains("unknown variable `x`"), "{stderr}");
+    assert!(stderr.contains("line 5, col 9"), "{stderr}");
+}
+
+#[test]
+fn format_json_emits_the_envelope() {
+    let (stdout, _, code) = run_with_stdin(&["--format", "json", "-"], VULNERABLE);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("\"schema\": \"pncheck-report/1\""), "{stdout}");
+    assert!(stdout.contains("\"rule\": \"pnx/oversized-placement\""), "{stdout}");
+    assert!(stdout.contains("\"line\": 7"), "{stdout}");
+    assert!(stdout.contains("\"stats\": null"), "{stdout}");
+}
+
+#[test]
+fn format_json_with_stats_embeds_stats_and_trace() {
+    let (stdout, stderr, code) =
+        run_with_stdin(&["--format", "json", "--stats", "--jobs", "1", "-"], VULNERABLE);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("\"cache_misses\": 1"), "{stdout}");
+    assert!(stdout.contains("\"analysis.programs\": 1"), "{stdout}");
+    assert!(stderr.contains("trace: counter batch.programs = 1"), "{stderr}");
+}
+
+#[test]
+fn format_sarif_emits_a_2_1_0_log() {
+    let (stdout, _, code) = run_with_stdin(&["--format", "sarif", "-"], VULNERABLE);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("\"version\": \"2.1.0\""), "{stdout}");
+    assert!(stdout.contains("\"ruleId\": \"pnx/oversized-placement\""), "{stdout}");
+    assert!(stdout.contains("\"startColumn\": 5"), "{stdout}");
+}
+
+#[test]
+fn bad_format_and_fix_with_json_exit_two() {
+    let (_, stderr, code) = run_with_stdin(&["--format", "yaml", "-"], CLEAN);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("unknown format"), "{stderr}");
+    let (_, stderr, code) = run_with_stdin(&["--fix", "--format", "json", "-"], CLEAN);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("--fix is only supported"), "{stderr}");
+}
+
+#[test]
 fn missing_file_exits_two() {
     let out = Command::new(PNCHECK)
         .arg("/nonexistent/definitely-missing.pnx")
@@ -187,6 +237,25 @@ fn directory_input_recurses_in_sorted_order() {
     let nested = stdout.find("prog-nested").expect("nested dir scanned");
     assert!(alpha < beta && beta < nested, "unsorted output: {stdout}");
     assert!(!stdout.contains("notes"), "non-pnx file scanned: {stdout}");
+}
+
+#[test]
+fn duplicate_inputs_scan_once() {
+    let dir = TempDir::new("dedup");
+    dir.write("dup.pnx", VULNERABLE);
+    // The same file named directly, via its directory, and via a
+    // non-canonical path must scan exactly once.
+    let direct = dir.path().join("dup.pnx");
+    let dotted = dir.path().join(".").join("dup.pnx");
+    let out = Command::new(PNCHECK)
+        .arg(&direct)
+        .arg(dir.path())
+        .arg(&dotted)
+        .output()
+        .expect("pncheck runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.matches("cli-demo").count(), 1, "file scanned more than once: {stdout}");
 }
 
 #[test]

@@ -77,10 +77,30 @@ impl VirtAddr {
     ///
     /// # Panics
     ///
-    /// Panics if `align` is not a power of two.
+    /// Panics if `align` is not a power of two, or if rounding would leave
+    /// the 32-bit address space (in release builds too — layout code must
+    /// not silently wrap). Use [`VirtAddr::checked_align_up`] where the
+    /// address is attacker-influenced.
     pub fn align_up(self, align: u32) -> Self {
+        self.checked_align_up(align).expect("address overflow in align_up")
+    }
+
+    /// Checked variant of [`VirtAddr::align_up`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::AddressOverflow`] if rounding up would leave
+    /// the 32-bit address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn checked_align_up(self, align: u32) -> Result<Self, MemoryError> {
         assert!(align.is_power_of_two(), "alignment must be a power of two");
-        VirtAddr((self.0 + align - 1) & !(align - 1))
+        self.0
+            .checked_add(align - 1)
+            .map(|v| VirtAddr(v & !(align - 1)))
+            .ok_or(MemoryError::AddressOverflow { base: self, offset: u64::from(align - 1) })
     }
 
     /// Rounds the address down to the previous multiple of `align`.
@@ -273,6 +293,22 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn align_rejects_non_power_of_two() {
         VirtAddr::new(0).align_up(3);
+    }
+
+    #[test]
+    fn checked_align_up_detects_overflow() {
+        let top = VirtAddr::new(u32::MAX - 2);
+        assert!(top.checked_align_up(16).is_err());
+        assert_eq!(
+            VirtAddr::new(u32::MAX - 15).checked_align_up(16).unwrap().value(),
+            u32::MAX - 15
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "address overflow in align_up")]
+    fn align_up_panics_instead_of_wrapping() {
+        VirtAddr::new(u32::MAX).align_up(8);
     }
 
     #[test]

@@ -763,7 +763,9 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Fails if the object memory cannot be written.
+    /// Fails if the object memory cannot be written, or if a vptr slot
+    /// lands past the end of the address space (the placement address is
+    /// attacker-influenced, so the arithmetic is checked, not panicking).
     pub fn construct(&mut self, addr: VirtAddr, class: ClassId) -> Result<(), RuntimeError> {
         let layout = self.layout(class)?;
         for slot in layout.vptr_slots() {
@@ -772,7 +774,8 @@ impl Machine {
                 .get(&slot.table_class)
                 .copied()
                 .expect("polymorphic class has a materialized vtable");
-            self.space.write_ptr(addr + slot.offset, table)?;
+            let slot_addr = addr.checked_add(u64::from(slot.offset))?;
+            self.space.write_ptr(slot_addr, table)?;
         }
         Ok(())
     }
@@ -781,7 +784,8 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Fails if the path does not resolve.
+    /// Fails if the path does not resolve, or if `base` plus the field
+    /// offset overflows the address space (`base` is attacker-influenced).
     pub fn field_addr(
         &mut self,
         class: ClassId,
@@ -789,14 +793,17 @@ impl Machine {
         path: &str,
     ) -> Result<VirtAddr, RuntimeError> {
         let layout = self.layout(class)?;
-        Ok(base + layout.offset_of(path)?)
+        let offset = layout.offset_of(path)?;
+        Ok(base.checked_add(u64::from(offset))?)
     }
 
     /// Address of `path[index]` inside an instance of `class` at `base`.
     ///
     /// # Errors
     ///
-    /// Fails if the path does not resolve or the index is out of bounds.
+    /// Fails if the path does not resolve, the index is out of bounds, or
+    /// the element address overflows the address space (`base` and `index`
+    /// are attacker-influenced).
     pub fn element_addr(
         &mut self,
         class: ClassId,
@@ -806,7 +813,8 @@ impl Machine {
     ) -> Result<VirtAddr, RuntimeError> {
         let layout = self.layout(class)?;
         let policy = self.policy;
-        Ok(base + layout.element_offset(path, index, &policy)?)
+        let offset = layout.element_offset(path, index, &policy)?;
+        Ok(base.checked_add(u64::from(offset))?)
     }
 
     /// Performs a virtual call `obj->method()` where `obj` statically has
@@ -837,11 +845,18 @@ impl Machine {
         };
         let ptr = self.ptr_size();
 
-        let vptr = match self.space.read_ptr(obj + voff) {
+        // `obj` is attacker-influenced (the paper's corrupted pointers can
+        // point anywhere), so the vptr address is computed checked: an
+        // object placed at the top of the address space faults instead of
+        // panicking the simulator.
+        let Ok(vptr_addr) = obj.checked_add(u64::from(voff)) else {
+            return Ok(DispatchOutcome::Fault { addr: obj, reason: FaultReason::BadPointer });
+        };
+        let vptr = match self.space.read_ptr(vptr_addr) {
             Ok(p) => p,
             Err(_) => {
                 return Ok(DispatchOutcome::Fault {
-                    addr: obj + voff,
+                    addr: vptr_addr,
                     reason: FaultReason::BadPointer,
                 })
             }
@@ -1322,6 +1337,31 @@ mod tests {
         assert_eq!(m.field_addr(g, obj, "ssn").unwrap(), obj + 16);
         assert_eq!(m.element_addr(g, obj, "ssn", 2).unwrap(), obj + 24);
         assert!(m.element_addr(g, obj, "ssn", 3).is_err());
+    }
+
+    #[test]
+    fn attacker_reachable_address_arithmetic_is_checked() {
+        let (reg, s, g) = student_registry();
+        let mut m = Machine::with_registry(reg);
+        // A corrupted base at the top of the address space must report
+        // AddressOverflow, not panic the simulator.
+        let top = VirtAddr::new(u32::MAX - 4);
+        assert!(matches!(
+            m.field_addr(g, top, "ssn"),
+            Err(RuntimeError::Memory(MemoryError::AddressOverflow { .. }))
+        ));
+        assert!(matches!(
+            m.element_addr(g, top, "ssn", 2),
+            Err(RuntimeError::Memory(MemoryError::AddressOverflow { .. }))
+        ));
+        let _ = s;
+        // Constructing or dispatching a polymorphic object up there
+        // degrades to an error or a fault outcome — never a panic.
+        let (vreg, vs, vg) = virtual_registry();
+        let mut vm = Machine::with_registry(vreg);
+        assert!(vm.construct(top, vg).is_err());
+        let out = vm.virtual_call(top, vs, "getInfo").unwrap();
+        assert!(matches!(out, DispatchOutcome::Fault { .. }));
     }
 
     #[test]

@@ -236,9 +236,18 @@ proptest! {
 
     #[test]
     fn parser_never_panics_on_arbitrary_input(junk in "\\PC{0,200}") {
-        // Errors are fine; panics are not.
+        // Errors are fine; panics are not — in strict and recovering mode.
         let _ = parse_program(&junk);
         let _ = parse_program(&format!("program t;\n{junk}"));
+        let framed = format!("program t;\nfn f() {{\n{junk}\n}}\n");
+        if let Err(errors) = placement_new_attacks::detector::parse_program_recovering(&framed) {
+            prop_assert!(!errors.is_empty());
+            prop_assert!(errors.len() <= placement_new_attacks::detector::MAX_ERRORS + 1);
+            // Recovered errors come out sorted by source position.
+            for pair in errors.windows(2) {
+                prop_assert!(pair[0].span.byte_offset <= pair[1].span.byte_offset);
+            }
+        }
     }
 
     #[test]
