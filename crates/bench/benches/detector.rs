@@ -8,9 +8,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use pnew_corpus::{benign, listings, workload};
 use pnew_detector::emit::{render_json, render_sarif, FileRecord};
+use pnew_detector::oracle::{Matrix, Oracle};
 use pnew_detector::{
     parse_program, parse_program_recovering, pretty_program, Analyzer, BaselineChecker,
-    BatchEngine, Fixer, Program,
+    BatchEngine, Executor, Fixer, Program,
 };
 
 fn whole_corpus() -> Vec<Program> {
@@ -84,6 +85,41 @@ fn bench_batch(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_xcheck(c: &mut Criterion) {
+    // Differential-oracle throughput: analyze + execute + join over a
+    // generated executable corpus, the cost CI's oracle gate pays per
+    // program. Much heavier than a bare scan (every function runs on a
+    // fresh machine under several attacker scripts), hence the smaller
+    // corpus and sample count.
+    let programs = workload::executable_corpus(42, 60);
+    let scripts: Vec<Vec<i64>> =
+        Oracle::default_inputs().into_iter().chain(workload::attack_inputs(42, 4)).collect();
+    let oracle = Oracle::new();
+    let mut group = c.benchmark_group("xcheck_corpus");
+    group.throughput(Throughput::Elements(programs.len() as u64));
+    group.sample_size(10);
+    group.bench_function("differential", |b| {
+        b.iter(|| {
+            let mut matrix = Matrix::new();
+            for program in &programs {
+                matrix.absorb(&oracle.differential_with(program, &scripts));
+            }
+            assert_eq!(matrix.false_negatives(), 0);
+            matrix.totals().0
+        });
+    });
+    let executor = Executor::new();
+    group.bench_function("execute_only", |b| {
+        b.iter(|| {
+            programs
+                .iter()
+                .flat_map(|p| scripts.iter().map(|s| executor.run(p, s).events.len()))
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
 fn bench_fixer(c: &mut Criterion) {
     let corpus = listings::vulnerable_corpus();
     let fixer = Fixer::new();
@@ -149,6 +185,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_corpus_scan, bench_scaling, bench_batch, bench_fixer, bench_dsl, bench_emit
+    targets = bench_corpus_scan, bench_scaling, bench_batch, bench_xcheck, bench_fixer, bench_dsl, bench_emit
 }
 criterion_main!(benches);

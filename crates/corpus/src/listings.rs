@@ -455,6 +455,30 @@ pub fn listing_unknown_bounds() -> Program {
     p.build()
 }
 
+/// §3.5-style loop-carried taint: the placement count is clean on the
+/// first iteration, but the loop body copies tainted input into it, so
+/// the oversized placement happens only on the second pass. A single
+/// pass over the loop body against the entry state misses this; the
+/// bounded fixpoint re-analysis flags it.
+pub fn listing_loop_carried() -> Program {
+    let mut p = ProgramBuilder::new("loop-carried-taint");
+    let pool = p.global("pool", Ty::CharArray(Some(64)));
+    let mut f = p.function("main");
+    let n = f.local("n", Ty::Int);
+    let m = f.local("m", Ty::Int);
+    let i = f.local("i", Ty::Int);
+    let buf = f.local("buf", Ty::Ptr);
+    f.read_input(n);
+    f.assign(i, Expr::Const(0));
+    f.while_start(Expr::Var(i), CmpOp::Ne, Expr::Const(2));
+    f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Var(m));
+    f.assign(m, Expr::Var(n));
+    f.assign(i, Expr::add(Expr::Var(i), Expr::Const(1)));
+    f.end_while();
+    f.finish();
+    p.build()
+}
+
 /// The full vulnerable corpus, in paper order.
 pub fn vulnerable_corpus() -> Vec<Program> {
     vec![
@@ -483,6 +507,7 @@ pub fn vulnerable_corpus() -> Vec<Program> {
         listing_23(),
         listing_scalar_arena(),
         listing_unknown_bounds(),
+        listing_loop_carried(),
     ]
 }
 
@@ -504,12 +529,12 @@ mod tests {
     #[test]
     fn corpus_has_all_listings() {
         let corpus = vulnerable_corpus();
-        assert_eq!(corpus.len(), 25);
+        assert_eq!(corpus.len(), 26);
         // Unique names.
         let mut names: Vec<&str> = corpus.iter().map(|p| p.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 25);
+        assert_eq!(names.len(), 26);
     }
 
     #[test]

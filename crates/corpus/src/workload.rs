@@ -194,6 +194,76 @@ pub fn corpus(seed: u64, count: usize) -> Vec<Program> {
         .collect()
 }
 
+/// Generates `count` seeded attacker input scripts for the execution
+/// oracle: each script is eight `cin` values mixing benign counts (fit
+/// any generated arena), hostile counts (overflow every generated
+/// arena), and edge values (zero, negative). The oracle unions events
+/// across scripts, so one hostile value anywhere is enough to confirm
+/// an input-driven site.
+pub fn attack_inputs(seed: u64, count: usize) -> Vec<Vec<i64>> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa77a_c4ed);
+    (0..count)
+        .map(|_| {
+            (0..8)
+                .map(|_| match rng.gen_range(0..4u8) {
+                    0 => rng.gen_range(1..8i64),
+                    1 => rng.gen_range(300..4096i64),
+                    2 => 0,
+                    _ => -rng.gen_range(1..100i64),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Generates a random **guarded** program: the placement count is
+/// tainted, but a bounds check keeps every execution inside the arena.
+/// Runtime-safe by construction — the execution oracle must observe no
+/// event — while the analyzer may or may not warn depending on how well
+/// it models the guard. Any warning here lands in the false-positive
+/// column of the differential matrix, never the false-negative one.
+pub fn random_guarded_program(seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6a4d_ed00);
+    let pool_size = rng.gen_range(32..128u32);
+    let bound = i64::from(rng.gen_range(1..=pool_size / 4));
+    let mut p = ProgramBuilder::new(&format!("gen-guarded-{seed}"));
+    let pool = p.global("pool", Ty::CharArray(Some(pool_size)));
+    let mut f = p.function("main");
+    let n = f.local("n", Ty::Int);
+    let buf = f.local("buf", Ty::Ptr);
+    f.read_input(n);
+    f.if_start(Expr::Var(n), pnew_detector::CmpOp::Gt, Expr::Const(bound));
+    f.ret();
+    f.end_if();
+    f.if_start(Expr::Var(n), pnew_detector::CmpOp::Lt, Expr::Const(0));
+    f.ret();
+    f.end_if();
+    f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Var(n));
+    f.finish();
+    p.build()
+}
+
+/// Generates a mixed **executable** corpus for the differential oracle:
+/// safe, guarded, and vulnerable shapes interleaved pseudo-randomly.
+/// Every shape is fully executable by the oracle's interpreter (the
+/// input-driven ones trigger under [`attack_inputs`] scripts), so the
+/// batch carries ground truth for all three matrix columns.
+///
+/// Deterministic in `(seed, count)`, like [`corpus`].
+pub fn executable_corpus(seed: u64, count: usize) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0e1e_c0de);
+    (0..count)
+        .map(|i| {
+            let sub = rng.gen::<u64>().wrapping_add(i as u64);
+            match rng.gen_range(0..4u8) {
+                0 | 1 => random_vulnerable_program(sub),
+                2 => random_safe_program(sub),
+                _ => random_guarded_program(sub),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -252,6 +322,30 @@ mod tests {
                 report.detected_at(Severity::Warning),
                 "seed {seed}: missed defect in {}",
                 prog.name
+            );
+        }
+    }
+
+    #[test]
+    fn attack_inputs_are_deterministic_and_carry_hostile_values() {
+        assert_eq!(attack_inputs(9, 4), attack_inputs(9, 4));
+        assert_ne!(attack_inputs(9, 4), attack_inputs(10, 4));
+        let scripts = attack_inputs(9, 16);
+        assert_eq!(scripts.len(), 16);
+        assert!(scripts.iter().all(|s| s.len() == 8));
+        assert!(scripts.iter().flatten().any(|&v| v >= 300), "no hostile count in any script");
+        assert!(scripts.iter().flatten().any(|&v| v <= 0), "no edge value in any script");
+    }
+
+    #[test]
+    fn executable_corpus_mixes_all_three_shapes() {
+        let batch = executable_corpus(17, 60);
+        assert_eq!(batch.len(), 60);
+        assert_eq!(batch, executable_corpus(17, 60));
+        for prefix in ["gen-vuln-", "gen-safe-", "gen-guarded-"] {
+            assert!(
+                batch.iter().any(|p| p.name.starts_with(prefix)),
+                "no {prefix} program in the mix"
             );
         }
     }

@@ -21,9 +21,10 @@
 //!
 //! Branches are analyzed on cloned states and merged conservatively
 //! (constants must agree, taint unions, region knowledge degrades to
-//! unknown on disagreement); loop bodies are analyzed once against the
-//! merged entry state, which is sufficient for the corpus shapes and errs
-//! toward reporting.
+//! unknown on disagreement); loop bodies are re-analyzed to a bounded
+//! fixpoint, so facts established late in one iteration (a pointer
+//! re-aimed at a smaller arena, taint picked up on the way out) are seen
+//! by the placements and copies of the next iteration.
 
 use std::collections::HashMap;
 
@@ -182,7 +183,7 @@ struct RegionState<'p> {
 
 /// Per-function dataflow state. Variable facts live in dense vectors
 /// indexed by `VarId` (cloned per branch, so cloning must be cheap).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct State<'p> {
     consts: Vec<Option<i64>>,
     /// Upper bounds established by guards (`if (n > 8) return;` ⇒ n ≤ 8).
@@ -844,9 +845,25 @@ impl Analyzer {
                 };
             }
             Stmt::While { body, .. } => {
-                let mut body_state = state.clone();
-                self.walk(ix, body, &mut body_state, report, depth);
-                *state = state.clone().merge(body_state);
+                // Re-analyze the body to a fixpoint of the loop-entry
+                // state: iteration 2 must see facts iteration 1 left
+                // behind (a pointer re-aimed at a smaller arena, a count
+                // variable turned tainted). Analyzing the body once
+                // against the entry state misses those. `emit` dedups the
+                // findings the repeated walks re-derive; the pass bound
+                // is a safety net — merge degrades facts monotonically,
+                // so the state settles in a couple of rounds.
+                let mut entry = state.clone();
+                for _ in 0..MAX_LOOP_PASSES {
+                    let mut body_state = entry.clone();
+                    self.walk(ix, body, &mut body_state, report, depth);
+                    let next = entry.clone().merge(body_state);
+                    if next == entry {
+                        break;
+                    }
+                    entry = next;
+                }
+                *state = entry;
             }
             Stmt::Call { func, args, .. } => {
                 self.analyze_call(ix, func, args, state, report, depth);
@@ -857,6 +874,10 @@ impl Analyzer {
 
 /// Maximum inline call depth for inter-procedural analysis.
 const MAX_CALL_DEPTH: u32 = 4;
+
+/// Maximum loop-body re-analysis rounds before accepting the current
+/// loop-entry state as the fixpoint.
+const MAX_LOOP_PASSES: u32 = 4;
 
 /// Appends a finding unless an identical `(kind, site)` is already
 /// reported (a callee analyzed standalone and inline, a loop body walked
@@ -1460,5 +1481,63 @@ mod tests {
         // Warning+. (A bounds check in only one branch is exactly the kind
         // of case §5.1 says static analysis struggles with.)
         assert!(!r.detected_at(Severity::Warning));
+    }
+
+    #[test]
+    fn loop_taint_established_late_reaches_next_iteration() {
+        // Regression for the loop-body under-approximation: `m` only
+        // becomes tainted *after* the placement in iteration 1, so a
+        // single body pass against the entry state sees an untainted
+        // count and clears the site — while iteration 2 concretely
+        // places an attacker-chosen number of elements.
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("main");
+        let pool = f.local("pool", Ty::CharArray(Some(64)));
+        let n = f.local("n", Ty::Int);
+        let m = f.local("m", Ty::Int);
+        let i = f.local("i", Ty::Int);
+        let buf = f.local("buf", Ty::Ptr);
+        f.read_input(n);
+        f.assign(i, Expr::Const(0));
+        f.while_start(Expr::Var(i), CmpOp::Ne, Expr::Const(2));
+        f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Var(m));
+        f.assign(m, Expr::Var(n));
+        f.assign(i, Expr::add(Expr::Var(i), Expr::Const(1)));
+        f.end_while();
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        let found = r.of_kind(FindingKind::TaintedPlacementSize);
+        assert_eq!(found.len(), 1, "late loop taint missed: {r}");
+        assert_eq!(found[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn loop_pointer_reaim_degrades_arena_knowledge() {
+        // Iteration 1 re-aims `p` from the big arena to a small one, so
+        // from iteration 2 on the placement target is ambiguous. The
+        // fixpoint must at least degrade to unknown-bounds rather than
+        // keep the clean first-iteration proof.
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let mut f = p.function("main");
+        let big = f.local("big", Ty::CharArray(Some(256)));
+        let small = f.local("small", Ty::CharArray(Some(8)));
+        let ptr = f.local("p", Ty::Ptr);
+        let st = f.local("st", Ty::Ptr);
+        let i = f.local("i", Ty::Int);
+        f.assign(ptr, Expr::addr_of(big));
+        f.assign(i, Expr::Const(0));
+        f.while_start(Expr::Var(i), CmpOp::Ne, Expr::Const(2));
+        f.placement_new(st, Expr::Var(ptr), "GradStudent");
+        f.assign(ptr, Expr::addr_of(small));
+        f.assign(i, Expr::add(Expr::Var(i), Expr::Const(1)));
+        f.end_while();
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert!(
+            !r.of_kind(FindingKind::UnknownBoundsPlacement).is_empty(),
+            "re-aimed loop arena still treated as proven-safe: {r}"
+        );
     }
 }

@@ -51,18 +51,20 @@ use crate::trace::TraceCollector;
 
 /// Stable content fingerprint of a program.
 ///
-/// FNV-1a over the canonical pretty-printed text. The pretty form sorts
-/// classes, includes the program name, and round-trips through the
-/// parser (`parse(pretty(p)) == p`), so it is injective up to program
-/// equality: two programs collide only if they are equal (modulo the
-/// 64-bit hash), and structurally equal programs always agree even when
-/// their internal `HashMap` iteration orders differ.
-pub fn fingerprint(program: &Program) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
+/// 128-bit FNV-1a over the canonical pretty-printed text. The pretty
+/// form sorts classes, includes the program name, and round-trips
+/// through the parser (`parse(pretty(p)) == p`), so it is injective up
+/// to program equality, and structurally equal programs always agree
+/// even when their internal `HashMap` iteration orders differ. The key
+/// was widened from 64 bits: a corpus-scale cache keyed on a bare
+/// 64-bit hash has a real birthday-collision risk, and a collision
+/// silently serves the wrong report.
+pub fn fingerprint(program: &Program) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
     let mut hash = OFFSET;
     for byte in pretty(program).bytes() {
-        hash ^= u64::from(byte);
+        hash ^= u128::from(byte);
         hash = hash.wrapping_mul(PRIME);
     }
     hash
@@ -125,7 +127,7 @@ pub struct CacheStats {
 pub struct BatchEngine {
     analyzer: Analyzer,
     jobs: usize,
-    cache: Mutex<HashMap<u64, Report>>,
+    cache: Mutex<HashMap<u128, Report>>,
     hits: AtomicU64,
     misses: AtomicU64,
     trace: Option<Arc<TraceCollector>>,
@@ -364,6 +366,16 @@ mod tests {
     fn fingerprint_separates_name_content_and_findings() {
         assert_ne!(fingerprint(&vulnerable("a")), fingerprint(&vulnerable("b")));
         assert_ne!(fingerprint(&vulnerable("a")), fingerprint(&safe("a")));
+    }
+
+    #[test]
+    fn fingerprint_uses_the_full_128_bit_key_space() {
+        // Collision-hazard regression: the cache key must be the widened
+        // 128-bit hash, not a 64-bit value zero-extended into one.
+        let fp = fingerprint(&vulnerable("wide"));
+        assert_ne!(fp >> 64, 0, "high half of the key is unused");
+        assert_ne!(fp & u128::from(u64::MAX), 0, "low half of the key is unused");
+        assert_eq!(fp, fingerprint(&vulnerable("wide")), "fingerprint must be stable");
     }
 
     #[test]

@@ -12,6 +12,11 @@
 //!   --baseline              run the traditional-tools baseline instead
 //!   --fix                   print the automatically remediated program
 //!                           (text format only)
+//!   --oracle                differential mode: execute each program on
+//!                           the runtime machine under scripted attacker
+//!                           inputs and cross-check the analyzer,
+//!                           printing a TP/FP/FN verdict matrix (text or
+//!                           json format; exit 1 on any false negative)
 //!   --format FORMAT         output format: text (default), json
 //!                           (the pncheck-report/1 envelope), or sarif
 //!                           (SARIF 2.1.0)
@@ -28,6 +33,7 @@
 //!
 //! Exit status: 0 when no warning-level findings, 1 when any program has
 //! them, 2 on usage errors or when any file failed to read or parse.
+//! Under `--oracle`, exit 1 means a false negative was found instead.
 //! A bad file does not abort the run: the parser recovers and reports
 //! *all* leading syntax errors with line and column, the remaining files
 //! are still scanned, and the exit code is 2.
@@ -38,14 +44,15 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use pnew_detector::emit::{self, FileRecord, OutputFormat};
+use pnew_detector::emit::{self, FileRecord, OracleRecord, OutputFormat};
+use pnew_detector::oracle::{Matrix, Oracle, Verdict};
 use pnew_detector::trace::TraceCollector;
 use pnew_detector::{
     parse_program_recovering, Analyzer, AnalyzerConfig, BaselineChecker, BatchEngine, FindingKind,
     Fixer, ParseError, Program, Severity,
 };
 
-const USAGE: &str = "usage: pncheck [--baseline] [--fix] [--format text|json|sarif] [--min-severity LEVEL] [--disable KIND]... [--jobs N] [--stats] PATH... | -";
+const USAGE: &str = "usage: pncheck [--baseline] [--fix] [--oracle] [--format text|json|sarif] [--min-severity LEVEL] [--disable KIND]... [--jobs N] [--stats] PATH... | -";
 
 /// Recursively collects `*.pnx` files under `dir`, sorted by path so the
 /// scan order (and therefore the output order) is deterministic.
@@ -74,6 +81,7 @@ struct ScannedFile {
 fn main() -> ExitCode {
     let mut baseline = false;
     let mut fix = false;
+    let mut oracle = false;
     let mut stats = false;
     let mut format = OutputFormat::Text;
     let mut jobs: Option<usize> = None;
@@ -84,6 +92,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--baseline" => baseline = true,
             "--fix" => fix = true,
+            "--oracle" => oracle = true,
             "--stats" => stats = true,
             "--format" => {
                 let Some(value) = args.next() else {
@@ -149,6 +158,14 @@ fn main() -> ExitCode {
         eprintln!("pncheck: --fix is only supported with --format text");
         return ExitCode::from(2);
     }
+    if oracle && (baseline || fix) {
+        eprintln!("pncheck: --oracle is incompatible with --baseline and --fix");
+        return ExitCode::from(2);
+    }
+    if oracle && format == OutputFormat::Sarif {
+        eprintln!("pncheck: --oracle supports --format text or json");
+        return ExitCode::from(2);
+    }
 
     // Expand directories, then canonicalize and deduplicate so a file
     // named both directly and via an enclosing directory scans once.
@@ -176,6 +193,9 @@ fn main() -> ExitCode {
 
     // Read and parse every input. Bad files are reported with their path
     // and every recovered syntax error; the rest still get scanned.
+    // `unreadable` counts inputs that never became a ScannedFile at all,
+    // so the stats line can report every errored file exactly once.
+    let mut unreadable = 0usize;
     let mut files: Vec<ScannedFile> = Vec::with_capacity(paths.len());
     for path in paths {
         let source = if path == "-" {
@@ -183,6 +203,7 @@ fn main() -> ExitCode {
             if std::io::stdin().read_to_string(&mut s).is_err() {
                 eprintln!("pncheck: cannot read stdin");
                 had_errors = true;
+                unreadable += 1;
                 continue;
             }
             s
@@ -192,6 +213,7 @@ fn main() -> ExitCode {
                 Err(e) => {
                     eprintln!("pncheck: {path}: {e}");
                     had_errors = true;
+                    unreadable += 1;
                     continue;
                 }
             }
@@ -209,6 +231,15 @@ fn main() -> ExitCode {
     }
 
     let trace = stats.then(|| Arc::new(TraceCollector::new()));
+    // Errored files = unreadable inputs + files that read but failed to
+    // parse. Neither kind ever enters the batch, so the count is exact
+    // regardless of --jobs.
+    let errored_files = unreadable + files.iter().filter(|f| f.program.is_none()).count();
+
+    if oracle {
+        return run_oracle(&files, errored_files, had_errors, format, stats, trace.as_deref());
+    }
+
     let batch: Vec<Program> = files.iter().filter_map(|f| f.program.clone()).collect();
     let (reports, scan_stats) = if baseline {
         let checker = BaselineChecker::new();
@@ -275,9 +306,10 @@ fn main() -> ExitCode {
     if stats {
         if let Some(s) = &scan_stats {
             eprintln!(
-                "stats: {} programs, {} findings, {:.0} programs/sec, {} jobs, cache {}/{} hit/miss ({:.1}% hit rate), {:.3}s elapsed",
+                "stats: {} programs, {} findings, {} errored files, {:.0} programs/sec, {} jobs, cache {}/{} hit/miss ({:.1}% hit rate), {:.3}s elapsed",
                 s.programs,
                 s.findings,
+                errored_files,
                 s.programs_per_sec(),
                 s.jobs,
                 s.cache_hits,
@@ -298,6 +330,90 @@ fn main() -> ExitCode {
     if had_errors {
         ExitCode::from(2)
     } else if any_findings {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The `--oracle` mode: run the analyzer/executor differential over
+/// every parsed program and report the TP/FP/FN verdict matrix. Exit 2
+/// on read/parse errors, 1 on any false negative, 0 on agreement.
+fn run_oracle(
+    files: &[ScannedFile],
+    errored_files: usize,
+    had_errors: bool,
+    format: OutputFormat,
+    stats: bool,
+    trace: Option<&TraceCollector>,
+) -> ExitCode {
+    let oracle = Oracle::new();
+    let mut matrix = Matrix::new();
+    let mut records: Vec<OracleRecord> = Vec::new();
+    for file in files {
+        let Some(program) = &file.program else { continue };
+        let report = oracle.differential(program);
+        matrix.absorb(&report);
+        records.push(OracleRecord { path: file.path.clone(), report });
+    }
+    if let Some(t) = trace {
+        let (tp, fp, fnn) = matrix.totals();
+        t.count("oracle.programs", records.len() as u64);
+        t.count("oracle.true-positives", tp);
+        t.count("oracle.false-positives", fp);
+        t.count("oracle.false-negatives", fnn);
+    }
+
+    match format {
+        OutputFormat::Text => {
+            for record in &records {
+                for v in &record.report.verdicts {
+                    println!(
+                        "{}: {} [{}] {}#{}{}",
+                        record.path,
+                        v.verdict,
+                        v.kind.name(),
+                        v.site.function,
+                        v.site.line,
+                        if v.events.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" (events: {})", v.events.join(", "))
+                        },
+                    );
+                }
+            }
+            println!("{matrix}");
+        }
+        OutputFormat::Json => {
+            print!("{}", emit::render_oracle_json(&records, &matrix));
+        }
+        // Rejected during argument validation.
+        OutputFormat::Sarif => unreachable!("--oracle forbids sarif"),
+    }
+
+    if stats {
+        eprintln!(
+            "stats: {} programs, {} errored files, {} verdicts",
+            records.len(),
+            errored_files,
+            records.iter().map(|r| r.report.verdicts.len()).sum::<usize>(),
+        );
+        if let Some(t) = trace {
+            for line in t.snapshot().lines() {
+                eprintln!("{line}");
+            }
+        }
+    }
+
+    let false_negatives = records
+        .iter()
+        .flat_map(|r| &r.report.verdicts)
+        .filter(|v| v.verdict == Verdict::FalseNegative)
+        .count();
+    if had_errors {
+        ExitCode::from(2)
+    } else if false_negatives > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

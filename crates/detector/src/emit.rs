@@ -22,6 +22,7 @@ use std::str::FromStr;
 use crate::batch::BatchStats;
 use crate::findings::{FindingKind, Report, Severity};
 use crate::ir::Span;
+use crate::oracle::{DifferentialReport, Matrix, SiteVerdict};
 use crate::parse::ParseError;
 use crate::trace::TraceReport;
 
@@ -280,6 +281,82 @@ pub fn render_json(
 }
 
 // ---------------------------------------------------------------------
+// The pncheck --oracle envelope.
+// ---------------------------------------------------------------------
+
+/// One input to the oracle serializer: where the program came from and
+/// what the differential concluded about it.
+#[derive(Debug, Clone)]
+pub struct OracleRecord {
+    /// The path as given on the command line (or a corpus tag like
+    /// `corpus:seed=1:7`).
+    pub path: String,
+    /// The differential result.
+    pub report: DifferentialReport,
+}
+
+fn verdict_value(v: &SiteVerdict) -> JsonValue {
+    obj(vec![
+        ("verdict", s(v.verdict.label())),
+        ("kind", s(v.kind.name())),
+        ("severity", v.severity.map_or(JsonValue::Null, |sev| s(sev.to_string()))),
+        ("function", s(&v.site.function)),
+        ("statement", JsonValue::U64(v.site.line.into())),
+        ("events", JsonValue::Arr(v.events.iter().map(|e| s(*e)).collect())),
+    ])
+}
+
+/// Renders the `pncheck-oracle/1` JSON envelope: per-file site verdicts
+/// plus the aggregated per-kind TP/FP/FN matrix. Deterministic for
+/// identical input, like [`render_json`].
+pub fn render_oracle_json(records: &[OracleRecord], matrix: &Matrix) -> String {
+    let files: Vec<JsonValue> = records
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("path", s(&r.path)),
+                ("program", s(&r.report.program)),
+                ("verdicts", JsonValue::Arr(r.report.verdicts.iter().map(verdict_value).collect())),
+                ("events", JsonValue::U64(r.report.events.len() as u64)),
+                ("skipped", JsonValue::U64(r.report.skipped.len() as u64)),
+                ("agreement", s(if r.report.agrees() { "sound" } else { "false-negatives" })),
+            ])
+        })
+        .collect();
+    let matrix_rows: Vec<JsonValue> = matrix
+        .kinds()
+        .into_iter()
+        .map(|kind| {
+            let (tp, fp, fnn) = matrix.row(kind);
+            obj(vec![
+                ("kind", s(kind.name())),
+                ("tp", JsonValue::U64(tp)),
+                ("fp", JsonValue::U64(fp)),
+                ("fn", JsonValue::U64(fnn)),
+            ])
+        })
+        .collect();
+    let (tp, fp, fnn) = matrix.totals();
+    let envelope = obj(vec![
+        ("schema", s("pncheck-oracle/1")),
+        ("tool", obj(vec![("name", s("pncheck")), ("version", s(tool_version()))])),
+        (
+            "summary",
+            obj(vec![
+                ("files", JsonValue::U64(records.len() as u64)),
+                ("true_positives", JsonValue::U64(tp)),
+                ("false_positives", JsonValue::U64(fp)),
+                ("false_negatives", JsonValue::U64(fnn)),
+                ("agreement", s(if fnn == 0 { "sound" } else { "false-negatives" })),
+            ]),
+        ),
+        ("matrix", JsonValue::Arr(matrix_rows)),
+        ("files", JsonValue::Arr(files)),
+    ]);
+    render(&envelope)
+}
+
+// ---------------------------------------------------------------------
 // SARIF 2.1.0.
 // ---------------------------------------------------------------------
 
@@ -517,6 +594,21 @@ mod tests {
         let sarif = render_sarif(&[record]);
         assert!(sarif.contains("\"startLine\": 1"), "{sarif}");
         assert!(sarif.contains("\"startColumn\": 1"), "{sarif}");
+    }
+
+    #[test]
+    fn oracle_envelope_carries_verdicts_and_matrix() {
+        use crate::oracle::{Matrix, Oracle};
+        let program = parse_program(VULNERABLE).unwrap();
+        let report = Oracle::new().differential(&program);
+        let mut matrix = Matrix::new();
+        matrix.absorb(&report);
+        let json = render_oracle_json(&[OracleRecord { path: "demo.pnx".into(), report }], &matrix);
+        assert!(json.contains("\"schema\": \"pncheck-oracle/1\""), "{json}");
+        assert!(json.contains("\"verdict\": \"true-positive\""), "{json}");
+        assert!(json.contains("\"kind\": \"oversized-placement\""), "{json}");
+        assert!(json.contains("\"false_negatives\": 0"), "{json}");
+        assert!(json.contains("\"agreement\": \"sound\""), "{json}");
     }
 
     #[test]

@@ -47,9 +47,11 @@ mod baseline;
 pub mod batch;
 mod builder;
 pub mod emit;
+pub mod exec;
 mod findings;
 mod fixer;
 pub mod ir;
+pub mod oracle;
 mod parse;
 mod pretty;
 pub mod trace;
@@ -58,11 +60,13 @@ pub use analysis::{Analyzer, AnalyzerConfig};
 pub use baseline::BaselineChecker;
 pub use batch::{fingerprint, BatchEngine, BatchStats, CacheStats};
 pub use builder::{FunctionBuilder, ProgramBuilder};
+pub use exec::{ExecEvent, ExecEventKind, ExecOutcome, Executor};
 pub use findings::{Finding, FindingKind, Report, Severity};
 pub use fixer::{AppliedFix, Fixer};
 pub use ir::{
     ClassInfo, CmpOp, Cond, Expr, Function, Op, Program, Scope, Site, Span, Stmt, Symbol,
     SymbolTable, Ty, VarId,
 };
+pub use oracle::{DifferentialReport, Matrix, Oracle, SiteVerdict, Verdict};
 pub use parse::{parse_program, parse_program_recovering, ParseError, MAX_ERRORS};
 pub use pretty::pretty as pretty_program;

@@ -298,3 +298,71 @@ fn parse_error_reports_path_and_keeps_scanning() {
     assert!(stdout.contains("cli-demo"), "{stdout}");
     assert!(stdout.contains("oversized-placement"), "{stdout}");
 }
+
+#[test]
+fn mixed_batch_keeps_exit_two_and_counts_errored_files_once() {
+    // Satellite: a batch with both parse errors and findings must exit 2
+    // (errors outrank findings), and --stats must count each errored
+    // file exactly once even when the scan is parallel.
+    let dir = TempDir::new("mixed-stats");
+    dir.write("aa-broken.pnx", "this is not a program");
+    dir.write("bb-broken.pnx", "neither is this");
+    dir.write("cc-vuln.pnx", VULNERABLE);
+    dir.write("dd-vuln.pnx", &VULNERABLE.replace("cli-demo", "cli-demo-2"));
+    for jobs in ["1", "4"] {
+        let (stdout, stderr, code) = run_on_dir(&["--stats", "--jobs", jobs], &dir);
+        assert_eq!(code, 2, "jobs={jobs}: findings must not mask errors\n{stdout}{stderr}");
+        assert!(stdout.contains("oversized-placement"), "jobs={jobs}: {stdout}");
+        assert!(
+            stderr.contains("2 errored files"),
+            "jobs={jobs}: errored files miscounted: {stderr}"
+        );
+        assert!(stderr.contains("2 programs"), "jobs={jobs}: {stderr}");
+    }
+}
+
+#[test]
+fn oracle_mode_prints_the_matrix_and_confirms_the_vulnerable_program() {
+    let dir = TempDir::new("oracle-text");
+    dir.write("vuln.pnx", VULNERABLE);
+    dir.write("clean.pnx", CLEAN);
+    let (stdout, _, code) = run_on_dir(&["--oracle"], &dir);
+    // One confirmed true positive, zero false negatives → exit 0.
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("true-positive"), "{stdout}");
+    assert!(stdout.contains("oversized-placement"), "{stdout}");
+    assert!(stdout.contains("agreement: sound"), "{stdout}");
+    assert!(stdout.contains("programs: 2"), "{stdout}");
+}
+
+#[test]
+fn oracle_mode_keeps_exit_two_on_parse_errors() {
+    let dir = TempDir::new("oracle-err");
+    dir.write("broken.pnx", "nope");
+    dir.write("vuln.pnx", VULNERABLE);
+    let (stdout, stderr, code) = run_on_dir(&["--oracle", "--stats"], &dir);
+    assert_eq!(code, 2, "{stdout}{stderr}");
+    assert!(stderr.contains("1 errored files"), "{stderr}");
+    assert!(stdout.contains("agreement: sound"), "{stdout}");
+}
+
+#[test]
+fn oracle_mode_rejects_incompatible_flags() {
+    let (_, stderr, code) = run_with_stdin(&["--oracle", "--baseline", "-"], VULNERABLE);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("incompatible"), "{stderr}");
+    let (_, stderr, code) = run_with_stdin(&["--oracle", "--fix", "-"], VULNERABLE);
+    assert_eq!(code, 2, "{stderr}");
+    let (_, stderr, code) = run_with_stdin(&["--oracle", "--format", "sarif", "-"], VULNERABLE);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("text or json"), "{stderr}");
+}
+
+#[test]
+fn oracle_json_envelope_comes_out_of_the_cli() {
+    let (stdout, _, code) = run_with_stdin(&["--oracle", "--format", "json", "-"], VULNERABLE);
+    assert_eq!(code, 0, "{stdout}");
+    assert!(stdout.contains("\"schema\": \"pncheck-oracle/1\""), "{stdout}");
+    assert!(stdout.contains("\"false_negatives\": 0"), "{stdout}");
+    assert!(stdout.contains("\"verdict\": \"true-positive\""), "{stdout}");
+}

@@ -1,0 +1,158 @@
+//! `xcheck` — the analyzer/executor differential over files and seeded
+//! corpora.
+//!
+//! ```text
+//! usage: xcheck [--seed N] [--count N] [--json] [PATH...]
+//!
+//!   PATH may be a .pnx file or a directory (scanned recursively for
+//!   *.pnx). When no PATH is given, or in addition to the given paths,
+//!   xcheck runs the differential over the seeded executable corpus:
+//!
+//!   --seed N     corpus seed (default 1)
+//!   --count N    corpus size (default 200; 0 disables the corpus pass)
+//!   --json       emit the pncheck-oracle/1 JSON envelope instead of
+//!                the text matrix
+//! ```
+//!
+//! Every program is analyzed statically and executed concretely under
+//! the seeded attacker scripts from `workload::attack_inputs`; the
+//! per-site verdicts aggregate into one TP/FP/FN matrix. Exit status:
+//! 0 when analyzer and machine agree (zero false negatives), 1 on any
+//! false negative, 2 on usage or read/parse errors.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use pnew_corpus::workload;
+use pnew_detector::emit::{render_oracle_json, OracleRecord};
+use pnew_detector::oracle::{Matrix, Oracle};
+use pnew_detector::parse_program_recovering;
+
+const USAGE: &str = "usage: xcheck [--seed N] [--count N] [--json] [PATH...]";
+
+fn collect_pnx(dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<std::fs::DirEntry> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::path);
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_pnx(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "pnx") {
+            out.push(path.to_string_lossy().into_owned());
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut seed = 1u64;
+    let mut count = 200usize;
+    let mut json = false;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("xcheck: --seed needs an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--count" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => count = v,
+                None => {
+                    eprintln!("xcheck: --count needs an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with("--") => {
+                eprintln!("xcheck: unknown flag {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            _ => inputs.push(arg),
+        }
+    }
+
+    let mut had_errors = false;
+    let mut paths = Vec::new();
+    for input in &inputs {
+        if Path::new(input).is_dir() {
+            if let Err(e) = collect_pnx(Path::new(input), &mut paths) {
+                eprintln!("xcheck: {input}: {e}");
+                had_errors = true;
+            }
+        } else {
+            paths.push(input.clone());
+        }
+    }
+
+    let oracle = Oracle::new();
+    let scripts: Vec<Vec<i64>> =
+        Oracle::default_inputs().into_iter().chain(workload::attack_inputs(seed, 4)).collect();
+    let mut matrix = Matrix::new();
+    let mut records: Vec<OracleRecord> = Vec::new();
+
+    for path in &paths {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xcheck: {path}: {e}");
+                had_errors = true;
+                continue;
+            }
+        };
+        let program = match parse_program_recovering(&source) {
+            Ok(p) => p,
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("xcheck: {path}: {e}");
+                }
+                had_errors = true;
+                continue;
+            }
+        };
+        let report = oracle.differential_with(&program, &scripts);
+        matrix.absorb(&report);
+        records.push(OracleRecord { path: path.clone(), report });
+    }
+
+    if count > 0 {
+        for (i, program) in workload::executable_corpus(seed, count).iter().enumerate() {
+            let report = oracle.differential_with(program, &scripts);
+            matrix.absorb(&report);
+            records.push(OracleRecord { path: format!("corpus:seed={seed}:{i}"), report });
+        }
+    }
+
+    if json {
+        print!("{}", render_oracle_json(&records, &matrix));
+    } else {
+        for record in records.iter().filter(|r| !r.report.agrees()) {
+            for v in &record.report.verdicts {
+                println!(
+                    "xcheck: FALSE NEGATIVE {}: {}#{} expected {} (events: {})",
+                    record.path,
+                    v.site.function,
+                    v.site.line,
+                    v.kind.name(),
+                    v.events.join(", "),
+                );
+            }
+        }
+        println!("{matrix}");
+    }
+
+    if had_errors {
+        ExitCode::from(2)
+    } else if matrix.false_negatives() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

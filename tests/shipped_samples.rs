@@ -24,6 +24,7 @@ fn shipped_samples_parse_and_verdict_as_documented() {
         ("listing-21-info-leak-array", true),
         ("listing-23-memory-leak", true),
         ("listing-08b-interprocedural", true),
+        ("loop-carried-taint", true),
         ("benign-guarded-count", false),
     ];
     for (name, vulnerable) in cases {
