@@ -10,8 +10,8 @@ use pnew_corpus::{benign, listings, workload};
 use pnew_detector::emit::{render_json, render_sarif, FileRecord};
 use pnew_detector::oracle::{Matrix, Oracle};
 use pnew_detector::{
-    parse_program, parse_program_recovering, pretty_program, Analyzer, BaselineChecker,
-    BatchEngine, Executor, Fixer, Program,
+    parse_program, parse_program_recovering, pretty_program, Analyzer, AnalyzerConfig,
+    BaselineChecker, BatchEngine, Executor, Fixer, PersistentCache, Program,
 };
 
 fn whole_corpus() -> Vec<Program> {
@@ -83,6 +83,61 @@ fn bench_batch(c: &mut Criterion) {
         b.iter(|| cached.scan(&programs).len());
     });
     group.finish();
+}
+
+fn bench_interprocedural(c: &mut Criterion) {
+    // Summary-based vs inline interprocedural analysis over the deep
+    // call-graph corpus (depth 16, fan-in 8): the inline engine re-walks
+    // every call path (~500k function walks per program), the summary
+    // engine computes each function once per abstract context.
+    let programs = workload::deep_call_corpus(42, 2);
+    let mut group = c.benchmark_group("detector_interprocedural");
+    group.throughput(Throughput::Elements(programs.len() as u64));
+    group.sample_size(10);
+
+    let summary = Analyzer::new();
+    group.bench_function("summary", |b| {
+        b.iter(|| programs.iter().map(|p| summary.analyze(p).findings.len()).sum::<usize>());
+    });
+    let inline =
+        Analyzer::with_config(AnalyzerConfig { use_summaries: false, ..AnalyzerConfig::default() });
+    group.bench_function("inline", |b| {
+        b.iter(|| programs.iter().map(|p| inline.analyze(p).findings.len()).sum::<usize>());
+    });
+    group.finish();
+}
+
+fn bench_persistent_cache(c: &mut Criterion) {
+    // Warm on-disk rescan vs cold source scan of the generated corpus.
+    // The warm engine clears its in-memory tier every iteration, so the
+    // number isolates the disk tier: fingerprint, read, decode.
+    let sources: Vec<String> = workload::corpus(42, 500).iter().map(pretty_program).collect();
+    let dir = std::env::temp_dir().join(format!("pnx-bench-disk-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut group = c.benchmark_group("detector_persistent_cache");
+    group.throughput(Throughput::Elements(sources.len() as u64));
+    group.sample_size(10);
+
+    let cold = BatchEngine::new(Analyzer::new());
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            cold.clear_cache();
+            cold.scan_sources_with_stats(&sources).0.len()
+        });
+    });
+
+    let analyzer = Analyzer::new();
+    let cache = PersistentCache::open(&dir, analyzer.config()).expect("cache dir opens");
+    let warm = BatchEngine::new(analyzer).with_persistent_cache(cache);
+    warm.scan_sources_with_stats(&sources); // populate the disk tier
+    group.bench_function("warm-disk", |b| {
+        b.iter(|| {
+            warm.clear_cache();
+            warm.scan_sources_with_stats(&sources).0.len()
+        });
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn bench_xcheck(c: &mut Criterion) {
@@ -185,6 +240,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_corpus_scan, bench_scaling, bench_batch, bench_xcheck, bench_fixer, bench_dsl, bench_emit
+    targets = bench_corpus_scan, bench_scaling, bench_batch, bench_interprocedural, bench_persistent_cache, bench_xcheck, bench_fixer, bench_dsl, bench_emit
 }
 criterion_main!(benches);

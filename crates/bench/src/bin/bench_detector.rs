@@ -1,0 +1,154 @@
+//! Machine-readable detector benchmark: measures the throughput claims
+//! of the summary/cache work and writes them as JSON.
+//!
+//! ```text
+//! usage: bench_detector [--smoke] [--out PATH]
+//!
+//!   --smoke    small corpora and fewer repetitions (CI-sized)
+//!   --out PATH where to write the JSON (default: BENCH_detector.json)
+//! ```
+//!
+//! Four dimensions, each the median of repeated runs:
+//!
+//! * `serial` / `parallel` — batch engine programs/sec over the
+//!   generated workload corpus, cold in-memory cache every run;
+//! * `warm_memory` — same corpus, served from the in-memory
+//!   fingerprint cache;
+//! * `disk` — cold source scan (parse + analyze + store) vs warm
+//!   `--cache-dir`-style rescan where every file comes off disk;
+//! * `interprocedural` — summary-based vs inline analysis over the
+//!   deep call-graph corpus (depth 16, fan-in 8).
+
+use std::time::Instant;
+
+use pnew_corpus::workload;
+use pnew_detector::{pretty_program, Analyzer, AnalyzerConfig, BatchEngine, PersistentCache};
+
+/// Median wall-clock seconds of `runs` invocations of `f`.
+fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = String::from("BENCH_detector.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(path) => out = path,
+                None => {
+                    eprintln!("bench_detector: --out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("bench_detector: unknown argument {other:?}");
+                eprintln!("usage: bench_detector [--smoke] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (corpus_size, deep_programs, runs) = if smoke { (150, 1, 3) } else { (1000, 4, 5) };
+    let programs = workload::corpus(42, corpus_size);
+    let sources: Vec<String> = programs.iter().map(pretty_program).collect();
+
+    // Batch throughput: serial, parallel, warm in-memory cache.
+    let serial = BatchEngine::new(Analyzer::new()).with_jobs(1);
+    let serial_s = median_secs(runs, || {
+        serial.clear_cache();
+        serial.scan(&programs);
+    });
+    let parallel = BatchEngine::new(Analyzer::new());
+    let parallel_jobs = parallel.jobs();
+    let parallel_s = median_secs(runs, || {
+        parallel.clear_cache();
+        parallel.scan(&programs);
+    });
+    let warm_mem = BatchEngine::new(Analyzer::new());
+    warm_mem.scan(&programs);
+    let warm_mem_s = median_secs(runs, || {
+        warm_mem.scan(&programs);
+    });
+
+    // Disk tier: cold populate vs warm rescan. The warm engine drops its
+    // in-memory tier every run, so the rescan exercises only the
+    // persistent cache — the `pncheck --cache-dir` warm-restart path.
+    let dir = std::env::temp_dir().join(format!("pnx-bench-detector-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let analyzer = Analyzer::new();
+    let cache = PersistentCache::open(&dir, analyzer.config()).expect("cache dir opens");
+    let disk = BatchEngine::new(analyzer).with_persistent_cache(cache);
+    let cold_disk_s = {
+        let t = Instant::now();
+        let (_, stats) = disk.scan_sources_with_stats(&sources);
+        assert_eq!(stats.persistent_hits, 0, "cold run must not hit");
+        t.elapsed().as_secs_f64()
+    };
+    let warm_disk_s = median_secs(runs, || {
+        disk.clear_cache();
+        let (_, stats) = disk.scan_sources_with_stats(&sources);
+        assert_eq!(stats.persistent_hits as usize, sources.len(), "warm run must be all hits");
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Interprocedural: summary vs inline over the deep call graphs.
+    let deep = workload::deep_call_corpus(42, deep_programs);
+    let summary_analyzer = Analyzer::new();
+    let summary_s = median_secs(runs, || {
+        for p in &deep {
+            summary_analyzer.analyze(p);
+        }
+    });
+    let inline_analyzer =
+        Analyzer::with_config(AnalyzerConfig { use_summaries: false, ..AnalyzerConfig::default() });
+    // Inline re-walks exponentially many paths; one timed run is plenty.
+    let inline_runs = if smoke { 1 } else { 3 };
+    let inline_s = median_secs(inline_runs, || {
+        for p in &deep {
+            inline_analyzer.analyze(p);
+        }
+    });
+
+    let per_sec = |secs: f64, n: usize| if secs > 0.0 { n as f64 / secs } else { 0.0 };
+    let ratio = |slow: f64, fast: f64| if fast > 0.0 { slow / fast } else { 0.0 };
+    let json = format!(
+        "{{\n  \"schema\": \"pnx-bench-detector/1\",\n  \"mode\": \"{}\",\n  \"corpus_programs\": {},\n  \"runs_per_measurement\": {},\n  \"serial_programs_per_sec\": {:.1},\n  \"parallel_jobs\": {},\n  \"parallel_programs_per_sec\": {:.1},\n  \"warm_memory_cache_programs_per_sec\": {:.1},\n  \"cold_disk_scan_s\": {:.4},\n  \"warm_disk_scan_s\": {:.4},\n  \"warm_disk_speedup\": {:.1},\n  \"deep_corpus\": {{ \"programs\": {}, \"depth\": {}, \"fan_in\": {} }},\n  \"summary_scan_s\": {:.4},\n  \"inline_scan_s\": {:.4},\n  \"summary_speedup\": {:.1}\n}}\n",
+        if smoke { "smoke" } else { "full" },
+        corpus_size,
+        runs,
+        per_sec(serial_s, corpus_size),
+        parallel_jobs,
+        per_sec(parallel_s, corpus_size),
+        per_sec(warm_mem_s, corpus_size),
+        cold_disk_s,
+        warm_disk_s,
+        ratio(cold_disk_s, warm_disk_s),
+        deep_programs,
+        workload::CALL_DEPTH,
+        workload::CALL_WIDTH,
+        summary_s,
+        inline_s,
+        ratio(inline_s, summary_s),
+    );
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_detector: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    print!("{json}");
+    eprintln!(
+        "bench_detector: summary {:.1}x over inline on deep call graphs, warm disk rescan {:.1}x over cold",
+        ratio(inline_s, summary_s),
+        ratio(cold_disk_s, warm_disk_s),
+    );
+}

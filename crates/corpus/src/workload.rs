@@ -194,6 +194,141 @@ pub fn corpus(seed: u64, count: usize) -> Vec<Program> {
         .collect()
 }
 
+/// Layers in the deep call-graph shapes ([`deep_call_corpus`],
+/// [`fan_in_call_corpus`]): every generated program has an
+/// interprocedural chain at least this deep.
+pub const CALL_DEPTH: usize = 16;
+/// Functions per layer, and the fan-in on each program's shared sink.
+pub const CALL_WIDTH: usize = 8;
+
+/// Generates a corpus of **deep, wide call-graph** programs: a lattice
+/// of [`CALL_DEPTH`] layers × [`CALL_WIDTH`] functions, each calling two
+/// functions in the next layer, all funneling into one shared sink with
+/// fan-in [`CALL_WIDTH`]. The path count from `main` to the sink is
+/// `CALL_WIDTH × 2^(CALL_DEPTH-1)` (≈ 262 000), so an analyzer that
+/// re-walks callees inline does exponential work while a summary-based
+/// one computes each function once per abstract context — this is the
+/// workload behind the summary-vs-inline benches.
+///
+/// Odd seeds taint the sink's placement count (every program is flagged
+/// `tainted-placement-count` through the full chain); even seeds bound
+/// it (the program is clean). Deterministic in `(seed, count)`.
+pub fn deep_call_corpus(seed: u64, count: usize) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0dee_9ca1);
+    (0..count).map(|i| deep_call_program(rng.gen::<u64>().wrapping_add(i as u64))).collect()
+}
+
+fn deep_call_program(seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1a77_1ce5);
+    let pool_size = rng.gen_range(64..256u32);
+    let vulnerable = seed % 2 == 1;
+    let mut p = ProgramBuilder::new(&format!("gen-deep-{seed}"));
+    let pool = p.global("pool", Ty::CharArray(Some(pool_size)));
+
+    // main taints the count and fans out into the whole first layer.
+    let mut f = p.function("main");
+    let n = f.local("n", Ty::Int);
+    f.read_input(n);
+    for w in 0..CALL_WIDTH {
+        f.call(&format!("f_0_{w}"), vec![Expr::Var(n)]);
+    }
+    f.finish();
+
+    // Interior layers: f_{l,w} forwards to two layer-(l+1) functions, so
+    // every node is reachable along many paths but the abstract context
+    // (one tainted int, one untouched pool) is identical on all of them.
+    for l in 0..CALL_DEPTH {
+        for w in 0..CALL_WIDTH {
+            let mut f = p.function(&format!("f_{l}_{w}"));
+            let n = f.param("n", Ty::Int, false);
+            let t = f.local("t", Ty::Int);
+            f.assign(t, Expr::Var(n));
+            if l + 1 == CALL_DEPTH {
+                f.call("leaf_work", vec![Expr::Var(t)]);
+            } else {
+                f.call(&format!("f_{}_{w}", l + 1), vec![Expr::Var(t)]);
+                f.call(&format!("f_{}_{}", l + 1, (w + 1) % CALL_WIDTH), vec![Expr::Var(t)]);
+            }
+            f.finish();
+        }
+    }
+
+    // The shared sink: fan-in CALL_WIDTH from the last layer.
+    let mut f = p.function("leaf_work");
+    let n = f.param("n", Ty::Int, false);
+    let buf = f.local("buf", Ty::Ptr);
+    if vulnerable {
+        f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Var(n));
+    } else {
+        let fit = i64::from(rng.gen_range(1..=pool_size / 2));
+        f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Const(fit));
+    }
+    f.finish();
+    p.build()
+}
+
+/// Generates a corpus of **fan-in-heavy** programs: a call chain of
+/// [`CALL_DEPTH`] functions ending in a placement, with [`CALL_WIDTH`]
+/// distinct callers entering the chain at every level (fan-in ≥
+/// [`CALL_WIDTH`] on each chain function). Summary memoization pays off
+/// across *call sites* here — every entry point replays the same chain
+/// summaries — rather than across paths as in [`deep_call_corpus`].
+///
+/// Odd seeds are vulnerable (tainted count at the chain's end), even
+/// seeds clean. Deterministic in `(seed, count)`.
+pub fn fan_in_call_corpus(seed: u64, count: usize) -> Vec<Program> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00fa_9199);
+    (0..count).map(|i| fan_in_program(rng.gen::<u64>().wrapping_add(i as u64))).collect()
+}
+
+fn fan_in_program(seed: u64) -> Program {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5107_fa91);
+    let pool_size = rng.gen_range(64..256u32);
+    let vulnerable = seed % 2 == 1;
+    let mut p = ProgramBuilder::new(&format!("gen-fanin-{seed}"));
+    let pool = p.global("pool", Ty::CharArray(Some(pool_size)));
+
+    // main taints the count and enters through every caller.
+    let mut f = p.function("main");
+    let n = f.local("n", Ty::Int);
+    f.read_input(n);
+    for l in 0..CALL_DEPTH {
+        for w in 0..CALL_WIDTH {
+            f.call(&format!("h_{l}_{w}"), vec![Expr::Var(n)]);
+        }
+    }
+    f.finish();
+
+    // The chain: g_l -> g_{l+1} -> … -> placement.
+    for l in 0..CALL_DEPTH {
+        let mut f = p.function(&format!("g_{l}"));
+        let n = f.param("n", Ty::Int, false);
+        if l + 1 == CALL_DEPTH {
+            let buf = f.local("buf", Ty::Ptr);
+            if vulnerable {
+                f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Var(n));
+            } else {
+                let fit = i64::from(rng.gen_range(1..=pool_size / 2));
+                f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Const(fit));
+            }
+        } else {
+            f.call(&format!("g_{}", l + 1), vec![Expr::Var(n)]);
+        }
+        f.finish();
+    }
+
+    // CALL_WIDTH callers per level: h_{l,w} enters the chain at g_l.
+    for l in 0..CALL_DEPTH {
+        for w in 0..CALL_WIDTH {
+            let mut f = p.function(&format!("h_{l}_{w}"));
+            let n = f.param("n", Ty::Int, false);
+            f.call(&format!("g_{l}"), vec![Expr::Var(n)]);
+            f.finish();
+        }
+    }
+    p.build()
+}
+
 /// Generates `count` seeded attacker input scripts for the execution
 /// oracle: each script is eight `cin` values mixing benign counts (fit
 /// any generated arena), hostile counts (overflow every generated
@@ -335,6 +470,44 @@ mod tests {
         assert!(scripts.iter().all(|s| s.len() == 8));
         assert!(scripts.iter().flatten().any(|&v| v >= 300), "no hostile count in any script");
         assert!(scripts.iter().flatten().any(|&v| v <= 0), "no edge value in any script");
+    }
+
+    #[test]
+    fn deep_call_programs_have_the_advertised_shape() {
+        let batch = deep_call_corpus(3, 2);
+        assert_eq!(batch, deep_call_corpus(3, 2));
+        for program in &batch {
+            // main + the lattice + the shared sink.
+            assert_eq!(program.functions.len(), 1 + CALL_DEPTH * CALL_WIDTH + 1);
+            let leaf_callers = program
+                .functions
+                .iter()
+                .filter(|f| {
+                    f.body.iter().any(
+                        |s| matches!(s, pnew_detector::Stmt::Call { func, .. } if func == "leaf_work"),
+                    )
+                })
+                .count();
+            assert_eq!(leaf_callers, CALL_WIDTH, "sink fan-in");
+        }
+    }
+
+    #[test]
+    fn deep_and_fan_in_verdicts_follow_the_seed_parity() {
+        let analyzer = Analyzer::new();
+        for corpus in [deep_call_corpus(41, 4), fan_in_call_corpus(41, 4)] {
+            let mut flagged = 0;
+            for program in &corpus {
+                if analyzer.analyze(program).detected_at(Severity::Warning) {
+                    flagged += 1;
+                }
+            }
+            assert!(
+                flagged > 0 && flagged < corpus.len(),
+                "expected a mix of clean and vulnerable programs, got {flagged}/{}",
+                corpus.len()
+            );
+        }
     }
 
     #[test]

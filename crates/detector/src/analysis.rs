@@ -27,9 +27,13 @@
 //! by the placements and copies of the next iteration.
 
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use crate::findings::{Finding, FindingKind, Report, Severity};
 use crate::ir::{Expr, Op, Program, Scope, Site, Stmt, Symbol, SymbolTable, Ty, VarId};
+use crate::summary::{
+    region_sort_key, CallGraph, CallSummary, FunctionSummaryRecord, Memo, SummaryKey,
+};
 use crate::trace::TraceCollector;
 
 /// Precomputed per-program lookup tables.
@@ -153,7 +157,7 @@ fn intern_heap_classes(body: &[Stmt], symbols: &mut SymbolTable) {
 
 /// Where a pointer may point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum RegionId {
+pub(crate) enum RegionId {
     /// The storage of a declared variable.
     Var(VarId),
     /// A heap allocation, identified by its allocation-site ordinal.
@@ -163,40 +167,40 @@ enum RegionId {
 /// Lifecycle state of a region. `Copy`: everything a region knows is a
 /// scalar or an interned/borrowed handle, so branch clones are memcpys.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
-struct RegionState<'p> {
+pub(crate) struct RegionState<'p> {
     /// Allocation size, if known (heap regions).
-    alloc_size: Option<u64>,
+    pub(crate) alloc_size: Option<u64>,
     /// Class the heap block was allocated for.
-    alloc_class: Option<Symbol>,
+    pub(crate) alloc_class: Option<Symbol>,
     /// Size of the last tenant placed (declared size for var regions).
-    last_tenant_size: Option<u64>,
+    pub(crate) last_tenant_size: Option<u64>,
     /// Secret bytes were read into the region.
-    has_secret: bool,
+    pub(crate) has_secret: bool,
     /// A reuse left residue (smaller tenant or unsanitized secret);
     /// the site of the offending placement, borrowed from the program.
-    residue_at: Option<&'p Site>,
+    pub(crate) residue_at: Option<&'p Site>,
     /// The heap block was released.
-    freed: bool,
+    pub(crate) freed: bool,
     /// The region is a pool buffer whose placement count was tainted.
-    tainted_pool: bool,
+    pub(crate) tainted_pool: bool,
 }
 
 /// Per-function dataflow state. Variable facts live in dense vectors
 /// indexed by `VarId` (cloned per branch, so cloning must be cheap).
 #[derive(Debug, Clone, PartialEq)]
-struct State<'p> {
-    consts: Vec<Option<i64>>,
+pub(crate) struct State<'p> {
+    pub(crate) consts: Vec<Option<i64>>,
     /// Upper bounds established by guards (`if (n > 8) return;` ⇒ n ≤ 8).
     upper: Vec<Option<i64>>,
-    tainted: Vec<bool>,
-    points_to: Vec<Option<RegionId>>,
-    regions: HashMap<RegionId, RegionState<'p>>,
+    pub(crate) tainted: Vec<bool>,
+    pub(crate) points_to: Vec<Option<RegionId>>,
+    pub(crate) regions: HashMap<RegionId, RegionState<'p>>,
     /// Site of the first *proven* oversized placement: past it, every
     /// variable in memory may have been rewritten, so constants and
     /// guard-established bounds are no longer trustworthy — this is how
     /// the analyzer keeps seeing the §4 two-step attack through the
     /// victim's own (defeated) bounds check.
-    clobbered_at: Option<&'p Site>,
+    pub(crate) clobbered_at: Option<&'p Site>,
 }
 
 impl<'p> State<'p> {
@@ -304,11 +308,17 @@ pub struct AnalyzerConfig {
     pub min_severity: Severity,
     /// Finding kinds that are switched off entirely.
     pub disabled: Vec<FindingKind>,
+    /// Interprocedural strategy: `true` (the default) memoizes
+    /// per-function transfer summaries and applies them at call sites;
+    /// `false` re-walks every callee inline at every call site
+    /// (`pncheck --no-summaries`). Both produce identical findings — the
+    /// escape hatch exists for differential testing and triage.
+    pub use_summaries: bool,
 }
 
 impl Default for AnalyzerConfig {
     fn default() -> Self {
-        AnalyzerConfig { min_severity: Severity::Info, disabled: Vec::new() }
+        AnalyzerConfig { min_severity: Severity::Info, disabled: Vec::new(), use_summaries: true }
     }
 }
 
@@ -356,32 +366,91 @@ impl Analyzer {
     /// Analyzes a whole program.
     ///
     /// Every function is analyzed as an entry point; direct calls
-    /// ([`Stmt::Call`]) are additionally analyzed *inline* with the
-    /// caller's argument facts bound to the callee's parameters — the
-    /// §3.3 inter-procedural data-flow path. Findings are deduplicated by
-    /// `(kind, site)` so a callee flagged both standalone and inline is
+    /// ([`Stmt::Call`]) flow the caller's argument facts into the callee
+    /// — the §3.3 inter-procedural data-flow path — via memoized
+    /// per-function transfer summaries (or an inline re-walk when
+    /// [`AnalyzerConfig::use_summaries`] is off; both modes produce
+    /// identical reports). Findings are deduplicated by `(kind, site)`
+    /// so a callee flagged both standalone and through a call is
     /// reported once.
     pub fn analyze(&self, program: &Program) -> Report {
+        self.analyze_impl(program, None).0
+    }
+
+    /// [`analyze`](Self::analyze), also returning the per-function
+    /// summary digests (one [`FunctionSummaryRecord`] per function, in
+    /// definition order) that the persistent batch cache stores next to
+    /// the findings. Empty in inline (`use_summaries = false`) mode.
+    pub fn analyze_with_summaries(
+        &self,
+        program: &Program,
+    ) -> (Report, Vec<FunctionSummaryRecord>) {
         self.analyze_impl(program, None)
     }
 
     /// [`analyze`](Self::analyze), recording per-pass timings
     /// (`analysis.index`, `analysis.walk`) and counters (programs,
-    /// functions, findings per kind) into `trace`.
+    /// functions, summaries computed/applied, findings per kind) into
+    /// `trace`.
     pub fn analyze_traced(&self, program: &Program, trace: &TraceCollector) -> Report {
+        self.analyze_impl(program, Some(trace)).0
+    }
+
+    /// [`analyze_with_summaries`](Self::analyze_with_summaries) with
+    /// tracing.
+    pub fn analyze_traced_with_summaries(
+        &self,
+        program: &Program,
+        trace: &TraceCollector,
+    ) -> (Report, Vec<FunctionSummaryRecord>) {
         self.analyze_impl(program, Some(trace))
     }
 
-    fn analyze_impl(&self, program: &Program, trace: Option<&TraceCollector>) -> Report {
+    fn analyze_impl(
+        &self,
+        program: &Program,
+        trace: Option<&TraceCollector>,
+    ) -> (Report, Vec<FunctionSummaryRecord>) {
         let ix = match trace {
             Some(t) => t.time("analysis.index", || Index::build(program)),
             None => Index::build(program),
         };
         let mut report = Report::new(&program.name);
+        let mut records = Vec::new();
         let walk_start = trace.map(|_| std::time::Instant::now());
-        for fi in 0..program.functions.len() {
-            let mut state = init_state(&ix, fi);
-            self.walk(&ix, &program.functions[fi].body, &mut state, &mut report, 0);
+        let mut env = WalkEnv { memo: Memo::default() };
+        if self.config.use_summaries {
+            // One bottom-up pass over the SCC condensation seeds the memo
+            // table callees-first (recursive cycles rely on the depth
+            // guard's bounded widening instead)…
+            let graph = CallGraph::build(program, &ix.fn_by_name);
+            for &fi in &graph.bottom_up {
+                self.entry_summary(&ix, fi, &mut env);
+            }
+            // …then every function's entry findings replay in definition
+            // order, keeping reports byte-identical to the inline walk.
+            for fi in 0..program.functions.len() {
+                let summary = self.entry_summary(&ix, fi, &mut env);
+                for f in &summary.findings {
+                    emit(&mut report, f.clone());
+                }
+                records.push(FunctionSummaryRecord {
+                    function: program.functions[fi].name.clone(),
+                    findings: summary.findings.len() as u32,
+                    region_effects: summary.exit_regions.len() as u32,
+                    clobbers: summary.exit_clobber.is_some(),
+                });
+            }
+            if let Some(t) = trace {
+                t.count("analysis.summaries-computed", env.memo.computed);
+                t.count("analysis.summaries-applied", env.memo.applied);
+                t.count("analysis.recursive-functions", graph.recursive_functions() as u64);
+            }
+        } else {
+            for fi in 0..program.functions.len() {
+                let mut state = init_state(&ix, fi);
+                self.walk(&ix, &program.functions[fi].body, &mut state, &mut report, 0, &mut env);
+            }
         }
         report.findings.retain(|f| {
             f.severity >= self.config.min_severity && !self.config.disabled.contains(&f.kind)
@@ -394,7 +463,65 @@ impl Analyzer {
                 t.count(&format!("findings.{}", f.kind.name()), 1);
             }
         }
-        report
+        (report, records)
+    }
+
+    /// The memoized entry summary of function `fi`: its body walked at
+    /// depth 0 from the entry-point state.
+    fn entry_summary<'p>(
+        &self,
+        ix: &Index<'p>,
+        fi: usize,
+        env: &mut WalkEnv<'p>,
+    ) -> Rc<CallSummary<'p>> {
+        let state = init_state(ix, fi);
+        let key = SummaryKey::of(fi, 0, &ix.fn_params[fi], &state);
+        if let Some(s) = env.memo.get(&key) {
+            env.memo.applied += 1;
+            return s;
+        }
+        self.compute_summary(ix, fi, state, 0, key, env)
+    }
+
+    /// Walks `fi`'s body once under `entry_state` at `walk_depth`,
+    /// capturing its findings and caller-visible region effects as a
+    /// memoized [`CallSummary`].
+    fn compute_summary<'p>(
+        &self,
+        ix: &Index<'p>,
+        fi: usize,
+        mut entry_state: State<'p>,
+        walk_depth: u32,
+        key: SummaryKey,
+        env: &mut WalkEnv<'p>,
+    ) -> Rc<CallSummary<'p>> {
+        // Findings land in a scratch report: the summary must hold the
+        // body's full emission (deduplicated locally), because replay —
+        // not computation — decides what the global report already has.
+        let mut scratch = Report::new(&ix.program.name);
+        self.walk(
+            ix,
+            &ix.program.functions[fi].body,
+            &mut entry_state,
+            &mut scratch,
+            walk_depth,
+            env,
+        );
+        let mut exit_regions: Vec<(RegionId, RegionState<'p>)> = entry_state
+            .regions
+            .iter()
+            .filter(|&(&id, _)| is_caller_visible(ix, id))
+            .map(|(&id, rs)| (id, *rs))
+            .collect();
+        exit_regions.sort_unstable_by_key(|&(id, _)| region_sort_key(id));
+        let summary = Rc::new(CallSummary {
+            findings: scratch.findings,
+            exit_regions,
+            exit_clobber: entry_state.clobbered_at,
+        });
+        env.memo.insert(key, Rc::clone(&summary));
+        env.memo.computed += 1;
+        summary
     }
 
     fn walk<'p>(
@@ -404,9 +531,10 @@ impl Analyzer {
         state: &mut State<'p>,
         report: &mut Report,
         depth: u32,
+        env: &mut WalkEnv<'p>,
     ) {
         for stmt in body {
-            self.step(ix, stmt, state, report, depth);
+            self.step(ix, stmt, state, report, depth, env);
         }
     }
 
@@ -523,6 +651,7 @@ impl Analyzer {
         state: &mut State<'p>,
         report: &mut Report,
         depth: u32,
+        env: &mut WalkEnv<'p>,
     ) {
         match stmt {
             Stmt::Assign { dst, src, .. } => {
@@ -831,8 +960,8 @@ impl Analyzer {
                 let mut else_state = state.clone();
                 self.refine(cond, true, &mut then_state);
                 self.refine(cond, false, &mut else_state);
-                self.walk(ix, then_body, &mut then_state, report, depth);
-                self.walk(ix, else_body, &mut else_state, report, depth);
+                self.walk(ix, then_body, &mut then_state, report, depth, env);
+                self.walk(ix, else_body, &mut else_state, report, depth, env);
                 let then_returns = matches!(then_body.last(), Some(Stmt::Return { .. }));
                 let else_returns = matches!(else_body.last(), Some(Stmt::Return { .. }));
                 // A branch ending in `return` contributes nothing to the
@@ -856,7 +985,7 @@ impl Analyzer {
                 let mut entry = state.clone();
                 for _ in 0..MAX_LOOP_PASSES {
                     let mut body_state = entry.clone();
-                    self.walk(ix, body, &mut body_state, report, depth);
+                    self.walk(ix, body, &mut body_state, report, depth, env);
                     let next = entry.clone().merge(body_state);
                     if next == entry {
                         break;
@@ -865,15 +994,51 @@ impl Analyzer {
                 }
                 *state = entry;
             }
-            Stmt::Call { func, args, .. } => {
-                self.analyze_call(ix, func, args, state, report, depth);
+            Stmt::Call { site, func, args } => {
+                self.analyze_call(ix, site, func, args, state, report, depth, env);
             }
         }
     }
 }
 
-/// Maximum inline call depth for inter-procedural analysis.
-const MAX_CALL_DEPTH: u32 = 4;
+/// Mutable per-analysis context threaded through the walk: the summary
+/// memo table (unused in inline mode).
+struct WalkEnv<'p> {
+    memo: Memo<'p>,
+}
+
+/// Whether a region survives a call boundary: global variables and heap
+/// blocks are caller-visible; a callee's locals (and the caller's own
+/// locals reached through pointer parameters) are not merged back —
+/// matching the inline walk exactly.
+fn is_caller_visible(ix: &Index<'_>, id: RegionId) -> bool {
+    match id {
+        RegionId::Var(v) => ix.var_is_global[v.index() as usize],
+        RegionId::Heap(_) => true,
+    }
+}
+
+/// Merges one caller-visible region's callee-exit state into the
+/// caller's view (monotone lifecycle facts; tenant knowledge degrades on
+/// disagreement). Shared by the inline merge-back and summary replay.
+fn merge_back<'p>(dst: &mut RegionState<'p>, rs: &RegionState<'p>) {
+    dst.has_secret |= rs.has_secret;
+    dst.tainted_pool |= rs.tainted_pool;
+    if dst.residue_at.is_none() {
+        dst.residue_at = rs.residue_at;
+    }
+    dst.freed |= rs.freed;
+    if dst.last_tenant_size != rs.last_tenant_size {
+        dst.last_tenant_size = None;
+    }
+}
+
+/// Maximum interprocedural walk depth. Beyond it the analyzer emits a
+/// deterministic [`FindingKind::AnalysisDepthExceeded`] diagnostic at the
+/// frontier call site — never a silent truncation. Recursive cycles
+/// (which no bottom-up summary order can resolve) widen by descending to
+/// this bound; acyclic chains deeper than this are flagged the same way.
+pub(crate) const MAX_CALL_DEPTH: u32 = 24;
 
 /// Maximum loop-body re-analysis rounds before accepting the current
 /// loop-entry state as the fixpoint.
@@ -912,33 +1077,46 @@ fn init_state<'p>(ix: &Index<'p>, fi: usize) -> State<'p> {
 }
 
 impl Analyzer {
-    /// Inline analysis of a direct call: bind the caller's argument facts
-    /// to the callee's parameters, walk the callee, and merge
-    /// global/heap region effects back into the caller.
+    /// Interprocedural analysis of a direct call: bind the caller's
+    /// argument facts to the callee's parameters, then either apply the
+    /// memoized transfer summary for that `(callee, depth, context)` —
+    /// computing it on first encounter — or (inline mode) re-walk the
+    /// callee body. Both paths merge the same caller-visible region
+    /// effects back and are finding-for-finding identical.
+    #[allow(clippy::too_many_arguments)]
     fn analyze_call<'p>(
         &self,
         ix: &Index<'p>,
+        site: &'p Site,
         func: &str,
         args: &[Expr],
         state: &mut State<'p>,
         report: &mut Report,
         depth: u32,
+        env: &mut WalkEnv<'p>,
     ) {
         let Some(&fi) = ix.fn_by_name.get(func) else {
             return; // external/opaque call: no effect modeled
         };
         if depth >= MAX_CALL_DEPTH {
-            return; // recursion cut-off
+            // Hard depth guard: recursion or a pathologically deep chain.
+            // The frontier is reported, deterministically, instead of the
+            // silent truncation this used to be.
+            emit(report, Finding {
+                kind: FindingKind::AnalysisDepthExceeded,
+                severity: Severity::Info,
+                site: site.clone(),
+                message: format!(
+                    "call to {func} not analyzed: interprocedural depth limit ({MAX_CALL_DEPTH}) reached — recursion or a deeper call chain; code behind this call is unverified"
+                ),
+            });
+            return;
         }
         let callee = &ix.program.functions[fi];
         let mut callee_state = init_state(ix, fi);
         // Shared globals carry their caller-visible lifecycle state in.
         for (&id, rs) in &state.regions {
-            let is_global = match id {
-                RegionId::Var(v) => ix.var_is_global[v.index() as usize],
-                RegionId::Heap(_) => true,
-            };
-            if is_global {
+            if is_caller_visible(ix, id) {
                 callee_state.regions.insert(id, *rs);
             }
         }
@@ -956,26 +1134,33 @@ impl Analyzer {
                 }
             }
         }
-        self.walk(ix, &callee.body, &mut callee_state, report, depth + 1);
+        if self.config.use_summaries {
+            let key = SummaryKey::of(fi, depth + 1, &ix.fn_params[fi], &callee_state);
+            let summary = match env.memo.get(&key) {
+                Some(s) => {
+                    env.memo.applied += 1;
+                    s
+                }
+                None => self.compute_summary(ix, fi, callee_state, depth + 1, key, env),
+            };
+            for f in &summary.findings {
+                emit(report, f.clone());
+            }
+            for (id, rs) in &summary.exit_regions {
+                merge_back(state.region_mut(*id), rs);
+            }
+            if state.clobbered_at.is_none() {
+                state.clobbered_at = summary.exit_clobber;
+            }
+            return;
+        }
+        self.walk(ix, &callee.body, &mut callee_state, report, depth + 1, env);
         // Merge global/heap region effects back into the caller.
         for (id, rs) in callee_state.regions {
-            let is_global = match id {
-                RegionId::Var(v) => ix.var_is_global[v.index() as usize],
-                RegionId::Heap(_) => true,
-            };
-            if !is_global {
+            if !is_caller_visible(ix, id) {
                 continue;
             }
-            let dst = state.region_mut(id);
-            dst.has_secret |= rs.has_secret;
-            dst.tainted_pool |= rs.tainted_pool;
-            if dst.residue_at.is_none() {
-                dst.residue_at = rs.residue_at;
-            }
-            dst.freed |= rs.freed;
-            if dst.last_tenant_size != rs.last_tenant_size {
-                dst.last_tenant_size = None;
-            }
+            merge_back(state.region_mut(id), &rs);
         }
         if state.clobbered_at.is_none() {
             state.clobbered_at = callee_state.clobbered_at;
@@ -1311,15 +1496,15 @@ mod tests {
 
         let errors_only = Analyzer::with_config(AnalyzerConfig {
             min_severity: Severity::Error,
-            disabled: Vec::new(),
+            ..AnalyzerConfig::default()
         })
         .analyze(&program);
         assert_eq!(errors_only.findings.len(), 1);
         assert!(errors_only.of_kind(FindingKind::UnknownBoundsPlacement).is_empty());
 
         let oversized_off = Analyzer::with_config(AnalyzerConfig {
-            min_severity: Severity::Info,
             disabled: vec![FindingKind::OversizedPlacement],
+            ..AnalyzerConfig::default()
         })
         .analyze(&program);
         assert!(oversized_off.of_kind(FindingKind::OversizedPlacement).is_empty());
@@ -1405,7 +1590,7 @@ mod tests {
     }
 
     #[test]
-    fn recursion_terminates() {
+    fn recursion_terminates_with_a_depth_diagnostic() {
         let mut p = ProgramBuilder::new("t");
         let mut f = p.function("spin");
         let x = f.local("x", Ty::Int);
@@ -1413,7 +1598,74 @@ mod tests {
         f.call("spin", vec![]);
         f.finish();
         let r = Analyzer::new().analyze(&p.build());
-        assert!(!r.detected());
+        // The cut-off is no longer silent: the frontier call site carries
+        // a deterministic Info diagnostic, and nothing stronger.
+        let found = r.of_kind(FindingKind::AnalysisDepthExceeded);
+        assert_eq!(found.len(), 1, "{r}");
+        assert_eq!(found[0].severity, Severity::Info);
+        assert!(found[0].message.contains("depth limit"), "{}", found[0].message);
+        assert!(!r.detected_at(Severity::Warning));
+    }
+
+    /// Summary application must be finding-for-finding identical to the
+    /// inline re-walk, context included.
+    fn assert_modes_agree(program: &Program) {
+        let summaries = Analyzer::new().analyze(program);
+        let inline = Analyzer::with_config(AnalyzerConfig {
+            use_summaries: false,
+            ..AnalyzerConfig::default()
+        })
+        .analyze(program);
+        assert_eq!(summaries, inline, "summary/inline divergence");
+    }
+
+    #[test]
+    fn summary_mode_matches_inline_on_interprocedural_shapes() {
+        // Re-run every interprocedural scenario of this module through
+        // both strategies.
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let pool = p.global("pool", Ty::CharArray(Some(72)));
+        let mut helper = p.function("place_names");
+        let count = helper.param("count", Ty::Int, false);
+        let buf = helper.local("buf", Ty::Ptr);
+        helper.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(count));
+        helper.finish();
+        let mut main = p.function("main");
+        let n = main.local("n", Ty::Int);
+        main.read_input(n);
+        main.call("place_names", vec![Expr::Var(n)]);
+        main.call("place_names", vec![Expr::Const(100)]);
+        main.call("place_names", vec![Expr::Const(8)]);
+        main.finish();
+        assert_modes_agree(&p.build());
+    }
+
+    #[test]
+    fn repeated_identical_calls_are_memoized() {
+        // Ten identical safe calls: one summary computation for the call
+        // context (plus entry summaries), nine applications.
+        let mut p = ProgramBuilder::new("t");
+        students(&mut p);
+        let pool = p.global("pool", Ty::CharArray(Some(72)));
+        let mut helper = p.function("place_names");
+        let count = helper.param("count", Ty::Int, false);
+        let buf = helper.local("buf", Ty::Ptr);
+        helper.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(count));
+        helper.finish();
+        let mut main = p.function("main");
+        for _ in 0..10 {
+            main.call("place_names", vec![Expr::Const(8)]);
+        }
+        main.finish();
+        let program = p.build();
+        assert_modes_agree(&program);
+        let trace = TraceCollector::new();
+        Analyzer::new().analyze_traced(&program, &trace);
+        let snap = trace.snapshot();
+        // 2 entry summaries + 1 distinct call context.
+        assert_eq!(snap.counters["analysis.summaries-computed"], 3);
+        assert!(snap.counters["analysis.summaries-applied"] >= 9);
     }
 
     #[test]

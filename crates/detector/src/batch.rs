@@ -13,6 +13,14 @@
 //! changes the key). A second scan of an unchanged corpus is pure cache
 //! hits.
 //!
+//! With [`BatchEngine::with_persistent_cache`], a second, *on-disk* tier
+//! sits in front of the in-memory one for source-text scans
+//! ([`BatchEngine::scan_sources_with_stats`]): the key there is a
+//! fingerprint of the raw source bytes, so a warm re-run of an unchanged
+//! corpus skips the parser **and** the analyzer, across process
+//! restarts. Corrupt or stale disk entries degrade to a normal analysis
+//! (and get rewritten), never to an error.
+//!
 //! ```
 //! use pnew_detector::{Analyzer, BatchEngine, Expr, ProgramBuilder, Ty};
 //!
@@ -44,9 +52,12 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::analysis::Analyzer;
+use crate::cache::{fnv128, source_fingerprint, CacheLookup, CachedAnalysis, PersistentCache};
 use crate::findings::Report;
 use crate::ir::Program;
+use crate::parse::{parse_program_recovering, ParseError};
 use crate::pretty::pretty;
+use crate::summary::FunctionSummaryRecord;
 use crate::trace::TraceCollector;
 
 /// Stable content fingerprint of a program.
@@ -60,14 +71,7 @@ use crate::trace::TraceCollector;
 /// 64-bit hash has a real birthday-collision risk, and a collision
 /// silently serves the wrong report.
 pub fn fingerprint(program: &Program) -> u128 {
-    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
-    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
-    let mut hash = OFFSET;
-    for byte in pretty(program).bytes() {
-        hash ^= u128::from(byte);
-        hash = hash.wrapping_mul(PRIME);
-    }
-    hash
+    fnv128(pretty(program).as_bytes())
 }
 
 /// Counters describing one [`BatchEngine::scan_with_stats`] run.
@@ -85,6 +89,14 @@ pub struct BatchStats {
     pub elapsed: Duration,
     /// Worker threads used.
     pub jobs: usize,
+    /// Files served whole from the on-disk cache (no parse, no
+    /// analysis). Always 0 without a persistent cache.
+    pub persistent_hits: u64,
+    /// Files the on-disk cache could not answer (includes corrupt
+    /// entries). Always 0 without a persistent cache.
+    pub persistent_misses: u64,
+    /// On-disk entries that failed validation and were re-analyzed.
+    pub persistent_corrupt: u64,
 }
 
 impl BatchStats {
@@ -120,6 +132,27 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
+/// What scanning one source text produced.
+///
+/// Returned by [`BatchEngine::scan_sources_with_stats`], one per input,
+/// in input order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceOutcome {
+    /// The analysis report; `None` when the source failed to parse.
+    pub report: Option<Report>,
+    /// Per-function summary digests (empty for parse failures and for
+    /// analyzers running with summaries disabled).
+    pub summaries: Vec<FunctionSummaryRecord>,
+    /// Parse errors, when the source did not parse.
+    pub errors: Vec<ParseError>,
+    /// The report came straight from the on-disk cache: neither the
+    /// parser nor the analyzer ran for this file.
+    pub from_disk_cache: bool,
+    /// An on-disk entry existed but was corrupt; the file was
+    /// re-analyzed from source and the entry rewritten.
+    pub cache_corrupt: bool,
+}
+
 /// A parallel batch scanner with a content-fingerprint report cache.
 ///
 /// See the [module docs](self) for the concurrency and caching model.
@@ -127,10 +160,11 @@ pub struct CacheStats {
 pub struct BatchEngine {
     analyzer: Analyzer,
     jobs: usize,
-    cache: Mutex<HashMap<u128, Report>>,
+    cache: Mutex<HashMap<u128, CachedAnalysis>>,
     hits: AtomicU64,
     misses: AtomicU64,
     trace: Option<Arc<TraceCollector>>,
+    persistent: Option<PersistentCache>,
 }
 
 impl Default for BatchEngine {
@@ -150,6 +184,7 @@ impl BatchEngine {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             trace: None,
+            persistent: None,
         }
     }
 
@@ -167,6 +202,21 @@ impl BatchEngine {
     pub fn with_trace(mut self, trace: Arc<TraceCollector>) -> Self {
         self.trace = Some(trace);
         self
+    }
+
+    /// Adds the on-disk tier: [`scan_sources_with_stats`]
+    /// (Self::scan_sources_with_stats) will probe (and populate) `cache`
+    /// before parsing anything. The cache must have been opened against
+    /// this engine's analyzer configuration.
+    #[must_use]
+    pub fn with_persistent_cache(mut self, cache: PersistentCache) -> Self {
+        self.persistent = Some(cache);
+        self
+    }
+
+    /// The on-disk cache tier, if one is attached.
+    pub fn persistent_cache(&self) -> Option<&PersistentCache> {
+        self.persistent.as_ref()
     }
 
     /// The configured worker count.
@@ -192,50 +242,96 @@ impl BatchEngine {
     /// [`scan`](Self::scan), plus throughput and cache counters for the
     /// run.
     pub fn scan_with_stats(&self, programs: &[Program]) -> (Vec<Report>, BatchStats) {
+        let (reports, stats) =
+            self.run_queue(programs, |program| self.analyze_cached(program).report);
+        let findings = reports.iter().map(|r| r.findings.len()).sum();
+        (reports, BatchStats { findings, ..stats })
+    }
+
+    /// Scans raw source texts through both cache tiers, returning one
+    /// [`SourceOutcome`] per input, in input order.
+    ///
+    /// Per file: probe the on-disk cache (hit → done, no parse); parse;
+    /// analyze through the in-memory tier; write the entry back to disk.
+    /// Parse failures are reported in the outcome and never cached.
+    pub fn scan_sources_with_stats<S: AsRef<str> + Sync>(
+        &self,
+        sources: &[S],
+    ) -> (Vec<SourceOutcome>, BatchStats) {
+        let (outcomes, stats) =
+            self.run_queue(sources, |source| self.analyze_source(source.as_ref()));
+        // `programs` counts inputs that produced a report — parse
+        // failures are files, not programs — matching the program-based
+        // scan, whose batch only ever contains parsed programs.
+        let programs = outcomes.iter().filter(|o| o.report.is_some()).count();
+        let findings =
+            outcomes.iter().filter_map(|o| o.report.as_ref()).map(|r| r.findings.len()).sum();
+        (outcomes, BatchStats { programs, findings, ..stats })
+    }
+
+    /// Drains `items` through the worker pool, preserving input order,
+    /// and accounts both cache tiers over the run. `findings` in the
+    /// returned stats is left at 0 for the caller to fill.
+    fn run_queue<I: Sync, R: Send>(
+        &self,
+        items: &[I],
+        work: impl Fn(&I) -> R + Sync,
+    ) -> (Vec<R>, BatchStats) {
         let start = Instant::now();
         let hits_before = self.hits.load(Ordering::Relaxed);
         let misses_before = self.misses.load(Ordering::Relaxed);
+        let persistent_before = self.persistent_snapshot();
 
-        let workers = self.jobs.min(programs.len().max(1));
+        let workers = self.jobs.min(items.len().max(1));
         let cursor = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<Report>>> =
-            Mutex::new((0..programs.len()).map(|_| None).collect());
+        let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
         thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    let Some(program) = programs.get(i) else {
+                    let Some(item) = items.get(i) else {
                         break;
                     };
-                    let report = self.analyze_cached(program);
-                    results.lock().expect("batch results poisoned")[i] = Some(report);
+                    let result = work(item);
+                    results.lock().expect("batch results poisoned")[i] = Some(result);
                 });
             }
         });
-        let reports: Vec<Report> = results
+        let results: Vec<R> = results
             .into_inner()
             .expect("batch results poisoned")
             .into_iter()
             .map(|slot| slot.expect("every queue slot is filled before the scope ends"))
             .collect();
 
+        let persistent_after = self.persistent_snapshot();
         let stats = BatchStats {
-            programs: programs.len(),
-            findings: reports.iter().map(|r| r.findings.len()).sum(),
+            programs: items.len(),
+            findings: 0,
             cache_hits: self.hits.load(Ordering::Relaxed) - hits_before,
             cache_misses: self.misses.load(Ordering::Relaxed) - misses_before,
             elapsed: start.elapsed(),
             jobs: workers,
+            persistent_hits: persistent_after.0 - persistent_before.0,
+            persistent_misses: persistent_after.1 - persistent_before.1,
+            persistent_corrupt: persistent_after.2 - persistent_before.2,
         };
         if let Some(t) = &self.trace {
-            t.count("batch.programs", programs.len() as u64);
+            t.count("batch.programs", items.len() as u64);
             t.record_pass("batch.scan", stats.elapsed);
         }
-        (reports, stats)
+        (results, stats)
     }
 
-    /// Analyzes one program through the cache.
-    fn analyze_cached(&self, program: &Program) -> Report {
+    fn persistent_snapshot(&self) -> (u64, u64, u64) {
+        self.persistent.as_ref().map_or((0, 0, 0), |pc| {
+            let s = pc.stats();
+            (s.hits, s.misses, s.corrupt)
+        })
+    }
+
+    /// Analyzes one parsed program through the in-memory cache tier.
+    fn analyze_cached(&self, program: &Program) -> CachedAnalysis {
         let key = fingerprint(program);
         if let Some(hit) = self.cache.lock().expect("batch cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -248,15 +344,71 @@ impl BatchEngine {
         // same key may both analyze (identical, deterministic results),
         // but workers never serialize behind a slow analysis.
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let report = match &self.trace {
+        let (report, summaries) = match &self.trace {
             Some(t) => {
                 t.count("batch.cache-miss", 1);
-                self.analyzer.analyze_traced(program, t)
+                self.analyzer.analyze_traced_with_summaries(program, t)
             }
-            None => self.analyzer.analyze(program),
+            None => self.analyzer.analyze_with_summaries(program),
         };
-        self.cache.lock().expect("batch cache poisoned").insert(key, report.clone());
-        report
+        let entry = CachedAnalysis { report, summaries };
+        self.cache.lock().expect("batch cache poisoned").insert(key, entry.clone());
+        entry
+    }
+
+    /// Analyzes one source text through both cache tiers.
+    fn analyze_source(&self, source: &str) -> SourceOutcome {
+        let mut cache_corrupt = false;
+        let key = self.persistent.as_ref().map(|_| source_fingerprint(source));
+        if let (Some(pc), Some(key)) = (&self.persistent, key) {
+            match pc.get(key) {
+                CacheLookup::Hit(entry) => {
+                    if let Some(t) = &self.trace {
+                        t.count("batch.persistent-hit", 1);
+                    }
+                    return SourceOutcome {
+                        report: Some(entry.report),
+                        summaries: entry.summaries,
+                        errors: Vec::new(),
+                        from_disk_cache: true,
+                        cache_corrupt: false,
+                    };
+                }
+                CacheLookup::Corrupt => {
+                    cache_corrupt = true;
+                    if let Some(t) = &self.trace {
+                        t.count("batch.persistent-corrupt", 1);
+                    }
+                }
+                CacheLookup::Miss => {
+                    if let Some(t) = &self.trace {
+                        t.count("batch.persistent-miss", 1);
+                    }
+                }
+            }
+        }
+        match parse_program_recovering(source) {
+            Err(errors) => SourceOutcome {
+                report: None,
+                summaries: Vec::new(),
+                errors,
+                from_disk_cache: false,
+                cache_corrupt,
+            },
+            Ok(program) => {
+                let entry = self.analyze_cached(&program);
+                if let (Some(pc), Some(key)) = (&self.persistent, key) {
+                    pc.put(key, &entry);
+                }
+                SourceOutcome {
+                    report: Some(entry.report),
+                    summaries: entry.summaries,
+                    errors: Vec::new(),
+                    from_disk_cache: false,
+                    cache_corrupt,
+                }
+            }
+        }
     }
 
     /// Lifetime hit/miss counters and the current cache size.
@@ -405,6 +557,111 @@ mod tests {
         assert_eq!(snap.counters["findings.oversized-placement"], 1);
         assert!(snap.passes.iter().any(|p| p.name == "batch.scan"));
         assert!(snap.passes.iter().any(|p| p.name == "analysis.walk"));
+    }
+
+    fn tmp_cache_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pnx-batch-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn engine_with_disk_cache(dir: &std::path::Path) -> BatchEngine {
+        let analyzer = Analyzer::new();
+        let cache = PersistentCache::open(dir, analyzer.config()).unwrap();
+        BatchEngine::new(analyzer).with_jobs(4).with_persistent_cache(cache)
+    }
+
+    const VULN_SRC: &str = "program vuln;\n\
+        class Student size 16;\n\
+        class GradStudent size 32 : Student;\n\
+        fn main() {\n    local stud: Student;\n    local st: ptr;\n\
+        \x20   st = new (&stud) GradStudent();\n}\n";
+    const SAFE_SRC: &str = "program safe;\n\
+        class Student size 16;\n\
+        fn main() {\n    local stud: Student;\n    local st: ptr;\n\
+        \x20   st = new (&stud) Student();\n}\n";
+
+    #[test]
+    fn warm_disk_cache_skips_parse_and_analysis_across_engines() {
+        let dir = tmp_cache_dir("warm");
+        let sources = [VULN_SRC, SAFE_SRC];
+
+        let cold = engine_with_disk_cache(&dir);
+        let (first, stats) = cold.scan_sources_with_stats(&sources);
+        assert_eq!(stats.persistent_hits, 0);
+        assert_eq!(stats.persistent_misses, 2);
+        assert!(first.iter().all(|o| !o.from_disk_cache));
+        assert!(first[0].report.as_ref().unwrap().detected());
+        assert!(!first[1].report.as_ref().unwrap().detected());
+
+        // A fresh engine (fresh process, in effect): everything comes
+        // from disk, byte-identical, without parsing anything.
+        let warm = engine_with_disk_cache(&dir);
+        let (second, stats) = warm.scan_sources_with_stats(&sources);
+        assert_eq!(stats.persistent_hits, 2);
+        assert_eq!(stats.persistent_misses, 0);
+        assert_eq!((stats.cache_hits, stats.cache_misses), (0, 0), "memory tier untouched");
+        assert!(second.iter().all(|o| o.from_disk_cache));
+        assert_eq!(
+            first.iter().map(|o| &o.report).collect::<Vec<_>>(),
+            second.iter().map(|o| &o.report).collect::<Vec<_>>(),
+        );
+        assert_eq!(first[0].summaries, second[0].summaries);
+        assert!(!second[0].summaries.is_empty(), "summary records survive the round-trip");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_failures_are_reported_and_never_cached() {
+        let dir = tmp_cache_dir("parse-fail");
+        let engine = engine_with_disk_cache(&dir);
+        let sources = ["program broken;\nfn main( {}\n".to_string()];
+        let (outcomes, _) = engine.scan_sources_with_stats(&sources);
+        assert!(outcomes[0].report.is_none());
+        assert!(!outcomes[0].errors.is_empty());
+        // Second scan: still a disk miss — the failure was not stored.
+        let (outcomes, stats) = engine.scan_sources_with_stats(&sources);
+        assert!(!outcomes[0].from_disk_cache);
+        assert_eq!(stats.persistent_misses, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entries_degrade_to_reanalysis_and_heal() {
+        let dir = tmp_cache_dir("corrupt");
+        let engine = engine_with_disk_cache(&dir);
+        let sources = [VULN_SRC];
+        engine.scan_sources_with_stats(&sources);
+
+        // Smash the entry on disk.
+        let key = source_fingerprint(VULN_SRC);
+        let path = dir.join(format!("{key:032x}.pnc"));
+        std::fs::write(&path, b"PNXCACHEgarbage").unwrap();
+
+        let (outcomes, stats) = engine.scan_sources_with_stats(&sources);
+        assert!(outcomes[0].cache_corrupt);
+        assert!(!outcomes[0].from_disk_cache);
+        assert_eq!(stats.persistent_corrupt, 1);
+        assert!(outcomes[0].report.as_ref().unwrap().detected(), "re-analyzed from source");
+
+        // The rewrite healed the entry: next scan is a clean hit.
+        let (outcomes, stats) = engine.scan_sources_with_stats(&sources);
+        assert!(outcomes[0].from_disk_cache);
+        assert_eq!(stats.persistent_corrupt, 0);
+        assert_eq!(stats.persistent_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn source_scan_without_disk_cache_still_works() {
+        let engine = BatchEngine::default().with_jobs(2);
+        let (outcomes, stats) = engine.scan_sources_with_stats(&[VULN_SRC, VULN_SRC, SAFE_SRC]);
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(stats.persistent_hits + stats.persistent_misses, 0);
+        // The in-memory tier still dedups equal programs.
+        assert_eq!(stats.cache_hits + stats.cache_misses, 3);
+        assert_eq!(outcomes[0].report, outcomes[1].report);
     }
 
     #[test]

@@ -25,10 +25,23 @@
 //!   --disable KIND          switch one finding kind off (repeatable)
 //!   --jobs N                scan with N worker threads
 //!                           (default: available parallelism)
-//!   --stats                 print scan throughput, cache counters, and
-//!                           per-pass trace lines to stderr; with
-//!                           --format json, also embed them in the
-//!                           envelope
+//!   --cache-dir DIR         persist analysis results in DIR across
+//!                           runs, keyed on file content: a warm rescan
+//!                           of unchanged files skips parsing and
+//!                           analysis entirely. Corrupt or stale entries
+//!                           are re-analyzed (with a warning), never
+//!                           trusted. Ignored under --baseline and
+//!                           --oracle.
+//!   --no-summaries          analyze calls by inline re-walk instead of
+//!                           memoized function summaries (slower;
+//!                           results are identical — this flag exists
+//!                           for differential testing)
+//!   --stats                 print scan throughput, cache counters
+//!                           (both the in-memory and the on-disk tier),
+//!                           and per-pass trace lines — including
+//!                           summary computation/application counts —
+//!                           to stderr; with --format json, also embed
+//!                           them in the envelope
 //! ```
 //!
 //! Exit status: 0 when no warning-level findings, 1 when any program has
@@ -49,10 +62,10 @@ use pnew_detector::oracle::{Matrix, Oracle, Verdict};
 use pnew_detector::trace::TraceCollector;
 use pnew_detector::{
     parse_program_recovering, Analyzer, AnalyzerConfig, BaselineChecker, BatchEngine, FindingKind,
-    Fixer, ParseError, Program, Severity,
+    Fixer, ParseError, PersistentCache, Program, Severity,
 };
 
-const USAGE: &str = "usage: pncheck [--baseline] [--fix] [--oracle] [--format text|json|sarif] [--min-severity LEVEL] [--disable KIND]... [--jobs N] [--stats] PATH... | -";
+const USAGE: &str = "usage: pncheck [--baseline] [--fix] [--oracle] [--format text|json|sarif] [--min-severity LEVEL] [--disable KIND]... [--jobs N] [--cache-dir DIR] [--no-summaries] [--stats] PATH... | -";
 
 /// Recursively collects `*.pnx` files under `dir`, sorted by path so the
 /// scan order (and therefore the output order) is deterministic.
@@ -70,12 +83,41 @@ fn collect_pnx(dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// One input after reading: raw text, not yet parsed. The default scan
+/// path hands sources to the batch engine unparsed, so a warm
+/// `--cache-dir` hit never runs the parser at all.
+struct SourceFile {
+    path: String,
+    source: String,
+}
+
 /// One input after reading and parsing: the program when it parsed, the
-/// recovered parse errors when it did not.
+/// recovered parse errors when it did not. Used by the modes that need
+/// the IR up front (`--baseline`, `--oracle`).
 struct ScannedFile {
     path: String,
     program: Option<Program>,
     errors: Vec<ParseError>,
+}
+
+/// Parses every source, printing each recovered syntax error with its
+/// path. Returns the scanned files and whether any failed.
+fn parse_all(files: &[SourceFile]) -> (Vec<ScannedFile>, bool) {
+    let mut had_errors = false;
+    let scanned = files
+        .iter()
+        .map(|f| match parse_program_recovering(&f.source) {
+            Ok(p) => ScannedFile { path: f.path.clone(), program: Some(p), errors: Vec::new() },
+            Err(errors) => {
+                for e in &errors {
+                    eprintln!("pncheck: {}: {e}", f.path);
+                }
+                had_errors = true;
+                ScannedFile { path: f.path.clone(), program: None, errors }
+            }
+        })
+        .collect();
+    (scanned, had_errors)
 }
 
 fn main() -> ExitCode {
@@ -85,6 +127,7 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut format = OutputFormat::Text;
     let mut jobs: Option<usize> = None;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut config = AnalyzerConfig::default();
     let mut inputs = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -117,6 +160,14 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--cache-dir" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("pncheck: --cache-dir needs a directory");
+                    return ExitCode::from(2);
+                };
+                cache_dir = Some(PathBuf::from(dir));
+            }
+            "--no-summaries" => config.use_summaries = false,
             "--min-severity" => {
                 let Some(level) = args.next() else {
                     eprintln!("pncheck: --min-severity needs a value");
@@ -191,12 +242,12 @@ fn main() -> ExitCode {
         seen.insert(key)
     });
 
-    // Read and parse every input. Bad files are reported with their path
-    // and every recovered syntax error; the rest still get scanned.
-    // `unreadable` counts inputs that never became a ScannedFile at all,
-    // so the stats line can report every errored file exactly once.
+    // Read every input. Bad files are reported with their path; the rest
+    // still get scanned. `unreadable` counts inputs that never became a
+    // SourceFile at all, so the stats line can report every errored file
+    // exactly once.
     let mut unreadable = 0usize;
-    let mut files: Vec<ScannedFile> = Vec::with_capacity(paths.len());
+    let mut files: Vec<SourceFile> = Vec::with_capacity(paths.len());
     for path in paths {
         let source = if path == "-" {
             let mut s = String::new();
@@ -218,32 +269,40 @@ fn main() -> ExitCode {
                 }
             }
         };
-        match parse_program_recovering(&source) {
-            Ok(p) => files.push(ScannedFile { path, program: Some(p), errors: Vec::new() }),
-            Err(errors) => {
-                for e in &errors {
-                    eprintln!("pncheck: {path}: {e}");
-                }
-                had_errors = true;
-                files.push(ScannedFile { path, program: None, errors });
-            }
-        }
+        files.push(SourceFile { path, source });
     }
 
     let trace = stats.then(|| Arc::new(TraceCollector::new()));
-    // Errored files = unreadable inputs + files that read but failed to
-    // parse. Neither kind ever enters the batch, so the count is exact
-    // regardless of --jobs.
-    let errored_files = unreadable + files.iter().filter(|f| f.program.is_none()).count();
 
     if oracle {
-        return run_oracle(&files, errored_files, had_errors, format, stats, trace.as_deref());
+        let (scanned, parse_errors) = parse_all(&files);
+        let errored_files = unreadable + scanned.iter().filter(|f| f.program.is_none()).count();
+        return run_oracle(
+            &scanned,
+            errored_files,
+            had_errors || parse_errors,
+            format,
+            stats,
+            trace.as_deref(),
+        );
     }
 
-    let batch: Vec<Program> = files.iter().filter_map(|f| f.program.clone()).collect();
-    let (reports, scan_stats) = if baseline {
+    // The baseline checker needs the IR up front; the real analyzer
+    // scans raw sources through the engine, so warm disk-cache hits
+    // skip parsing entirely.
+    let (records, scan_stats) = if baseline {
+        let (scanned, parse_errors) = parse_all(&files);
+        had_errors |= parse_errors;
         let checker = BaselineChecker::new();
-        (batch.iter().map(|p| checker.analyze(p)).collect(), None)
+        let records = scanned
+            .into_iter()
+            .map(|f| FileRecord {
+                path: f.path,
+                report: f.program.as_ref().map(|p| checker.analyze(p)),
+                errors: f.errors,
+            })
+            .collect();
+        (records, None)
     } else {
         let mut engine = BatchEngine::new(Analyzer::with_config(config));
         if let Some(n) = jobs {
@@ -252,24 +311,39 @@ fn main() -> ExitCode {
         if let Some(t) = &trace {
             engine = engine.with_trace(Arc::clone(t));
         }
-        let (reports, s) = engine.scan_with_stats(&batch);
-        (reports, Some(s))
+        if let Some(dir) = &cache_dir {
+            match PersistentCache::open(dir, engine.analyzer().config()) {
+                Ok(pc) => engine = engine.with_persistent_cache(pc),
+                Err(e) => eprintln!(
+                    "pncheck: warning: cannot open cache dir {}: {e}; caching disabled",
+                    dir.display()
+                ),
+            }
+        }
+        let sources: Vec<&str> = files.iter().map(|f| f.source.as_str()).collect();
+        let (outcomes, s) = engine.scan_sources_with_stats(&sources);
+        let records = files
+            .iter()
+            .zip(outcomes)
+            .map(|(f, o)| {
+                for e in &o.errors {
+                    eprintln!("pncheck: {}: {e}", f.path);
+                    had_errors = true;
+                }
+                if o.cache_corrupt {
+                    eprintln!("pncheck: warning: corrupt cache entry for {}; re-analyzed", f.path);
+                }
+                FileRecord { path: f.path.clone(), report: o.report, errors: o.errors }
+            })
+            .collect();
+        (records, Some(s))
     };
+    let records: Vec<FileRecord> = records;
 
-    // Stitch reports back onto their files (one per parsed program, in
-    // scan order) to build the records every output format renders from.
-    let mut report_iter = reports.into_iter();
-    let records: Vec<FileRecord> = files
-        .iter()
-        .map(|f| FileRecord {
-            path: f.path.clone(),
-            report: f
-                .program
-                .as_ref()
-                .map(|_| report_iter.next().expect("one report per parsed program")),
-            errors: f.errors.clone(),
-        })
-        .collect();
+    // Errored files = unreadable inputs + files that read but failed to
+    // parse. Neither kind ever produces a report, so the count is exact
+    // regardless of --jobs.
+    let errored_files = unreadable + records.iter().filter(|r| r.report.is_none()).count();
     let any_findings =
         records.iter().filter_map(|r| r.report.as_ref()).any(|r| r.detected_at(Severity::Warning));
 
@@ -282,8 +356,12 @@ fn main() -> ExitCode {
                     println!("    hint: {}", finding.kind.suggestion());
                 }
                 if fix {
-                    let program = file.program.as_ref().expect("parsed program for report");
-                    let (fixed, fixes) = Fixer::new().fix(program);
+                    // The report may have come from the disk cache, so
+                    // the IR is re-derived here; --fix is a rare,
+                    // interactive path where one extra parse is cheap.
+                    let program = parse_program_recovering(&file.source)
+                        .expect("a file with a report parses");
+                    let (fixed, fixes) = Fixer::new().fix(&program);
                     for f in &fixes {
                         eprintln!("fix: {f}");
                     }
@@ -305,8 +383,19 @@ fn main() -> ExitCode {
 
     if stats {
         if let Some(s) = &scan_stats {
+            // The disk tier reports separately from the in-memory
+            // fingerprint cache: "cache" is per-process memoization,
+            // "disk" is the cross-run --cache-dir store.
+            let disk = if cache_dir.is_some() {
+                format!(
+                    ", disk {}/{} hit/miss ({} corrupt)",
+                    s.persistent_hits, s.persistent_misses, s.persistent_corrupt
+                )
+            } else {
+                String::new()
+            };
             eprintln!(
-                "stats: {} programs, {} findings, {} errored files, {:.0} programs/sec, {} jobs, cache {}/{} hit/miss ({:.1}% hit rate), {:.3}s elapsed",
+                "stats: {} programs, {} findings, {} errored files, {:.0} programs/sec, {} jobs, cache {}/{} hit/miss ({:.1}% hit rate){disk}, {:.3}s elapsed",
                 s.programs,
                 s.findings,
                 errored_files,

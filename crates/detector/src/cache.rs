@@ -1,0 +1,511 @@
+//! The persistent (on-disk) analysis cache behind `pncheck --cache-dir`.
+//!
+//! A [`PersistentCache`] is a content-addressed store: the key is a
+//! 128-bit FNV-1a fingerprint of the **raw source bytes**
+//! ([`source_fingerprint`]), so a warm hit skips the parser *and* the
+//! analyzer. Each entry is one binary file `<dir>/<key in hex>.pnc`
+//! holding the file's [`Report`] (exact round-trip, spans included) and
+//! the per-function [`FunctionSummaryRecord`]s of its analysis.
+//!
+//! The format is defensive where a cross-run cache has to be:
+//!
+//! * an 8-byte magic plus a schema version — entries written by an
+//!   incompatible binary are treated as misses, not errors;
+//! * an analyzer-config tag — a cache populated under different
+//!   `--min-severity`/`--disable`/`--no-summaries` flags (or a detector
+//!   with a different rule set) never serves stale verdicts;
+//! * a checksum over the payload plus strict bounds-checked decoding —
+//!   torn writes and bit rot surface as [`CacheLookup::Corrupt`], which
+//!   callers degrade to a re-analysis (plus a warning), never a crash or
+//!   a wrong report;
+//! * writes go to a temp file first and `rename` into place, so a
+//!   concurrent reader sees either the old entry or the new one, never a
+//!   half-written file.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::analysis::AnalyzerConfig;
+use crate::findings::{Finding, FindingKind, Report, Severity};
+use crate::ir::{Site, Span};
+use crate::summary::FunctionSummaryRecord;
+
+const MAGIC: &[u8; 8] = b"PNXCACHE";
+/// Bumped whenever the payload layout or the meaning of any field
+/// changes; old entries then read as misses and get rewritten.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// 128-bit FNV-1a over raw bytes.
+pub(crate) fn fnv128(bytes: &[u8]) -> u128 {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+    let mut hash = OFFSET;
+    for &byte in bytes {
+        hash ^= u128::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// The cache key of a source file: a 128-bit FNV-1a fingerprint of the
+/// raw text. Any edit — even whitespace — changes the key, which is the
+/// point: a hit must mean "this exact text was analyzed before".
+pub fn source_fingerprint(source: &str) -> u128 {
+    fnv128(source.as_bytes())
+}
+
+/// Everything one cache entry stores about one analyzed file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedAnalysis {
+    /// The full report, spans included.
+    pub report: Report,
+    /// Per-function summary digests from the analysis.
+    pub summaries: Vec<FunctionSummaryRecord>,
+}
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CacheLookup {
+    /// A valid entry for this key, schema, and analyzer config.
+    Hit(CachedAnalysis),
+    /// No entry (or one written by a different schema/config — stale,
+    /// not broken).
+    Miss,
+    /// An entry exists but failed the checksum or decoding: the caller
+    /// should warn and re-analyze.
+    Corrupt,
+}
+
+/// A directory of content-addressed analysis results shared across
+/// `pncheck` runs. Thread-safe: entries are immutable once renamed into
+/// place, and counters are atomics.
+#[derive(Debug)]
+pub struct PersistentCache {
+    dir: PathBuf,
+    config_tag: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+    stores: AtomicU64,
+}
+
+/// Lifetime counters of one [`PersistentCache`] handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PersistentCacheStats {
+    /// Probes served from disk.
+    pub hits: u64,
+    /// Probes with no usable entry.
+    pub misses: u64,
+    /// Probes that found a broken entry (counted in `misses` too).
+    pub corrupt: u64,
+    /// Entries written.
+    pub stores: u64,
+}
+
+/// Tag folding everything about the analyzer that changes its output:
+/// the reporting threshold, the disabled kinds, the interprocedural
+/// strategy flag, and the rule inventory itself (so adding a finding
+/// kind invalidates old entries).
+fn config_tag(config: &AnalyzerConfig) -> u64 {
+    let mut canon = format!(
+        "v{}|sev:{}|sum:{}|rules:{}",
+        SCHEMA_VERSION,
+        config.min_severity,
+        config.use_summaries,
+        FindingKind::ALL.len()
+    );
+    let mut disabled: Vec<&str> = config.disabled.iter().map(|k| k.name()).collect();
+    disabled.sort_unstable();
+    for d in disabled {
+        canon.push('|');
+        canon.push_str(d);
+    }
+    (fnv128(canon.as_bytes()) & u128::from(u64::MAX)) as u64
+}
+
+impl PersistentCache {
+    /// Opens (creating if needed) the cache directory, bound to the
+    /// analyzer configuration whose results it stores.
+    pub fn open(dir: &Path, config: &AnalyzerConfig) -> std::io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(PersistentCache {
+            dir: dir.to_path_buf(),
+            config_tag: config_tag(config),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        })
+    }
+
+    fn entry_path(&self, key: u128) -> PathBuf {
+        self.dir.join(format!("{key:032x}.pnc"))
+    }
+
+    /// Probes the cache for `key`.
+    pub fn get(&self, key: u128) -> CacheLookup {
+        let path = self.entry_path(key);
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return CacheLookup::Miss;
+            }
+        };
+        match decode_entry(&bytes, key, self.config_tag) {
+            Decoded::Entry(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                CacheLookup::Hit(entry)
+            }
+            Decoded::Stale => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                CacheLookup::Miss
+            }
+            Decoded::Broken => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.corrupt.fetch_add(1, Ordering::Relaxed);
+                CacheLookup::Corrupt
+            }
+        }
+    }
+
+    /// Stores an entry for `key`. Best-effort: a full disk or a
+    /// read-only directory downgrades the cache, it does not fail the
+    /// scan.
+    pub fn put(&self, key: u128, entry: &CachedAnalysis) {
+        let payload = encode_payload(key, entry);
+        let mut bytes = Vec::with_capacity(payload.len() + 36);
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&self.config_tag.to_le_bytes());
+        bytes.extend_from_slice(&fnv128(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        let tmp = self.dir.join(format!(".{key:032x}.{}.tmp", std::process::id()));
+        let wrote = fs::File::create(&tmp)
+            .and_then(|mut f| f.write_all(&bytes))
+            .and_then(|()| fs::rename(&tmp, self.entry_path(key)));
+        match wrote {
+            Ok(()) => {
+                self.stores.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                let _ = fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    /// Lifetime probe/store counters of this handle.
+    pub fn stats(&self) -> PersistentCacheStats {
+        PersistentCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The directory entries live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+enum Decoded {
+    Entry(CachedAnalysis),
+    /// Readable but written under another schema/config: a miss.
+    Stale,
+    /// Unreadable: checksum or structure failure.
+    Broken,
+}
+
+fn decode_entry(bytes: &[u8], key: u128, config_tag: u64) -> Decoded {
+    if bytes.len() < 36 || &bytes[..8] != MAGIC {
+        return Decoded::Broken;
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    let tag = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    if version != SCHEMA_VERSION || tag != config_tag {
+        return Decoded::Stale;
+    }
+    let check = u128::from_le_bytes(bytes[20..36].try_into().expect("16 bytes"));
+    let payload = &bytes[36..];
+    if fnv128(payload) != check {
+        return Decoded::Broken;
+    }
+    match decode_payload(payload, key) {
+        Some(entry) => Decoded::Entry(entry),
+        None => Decoded::Broken,
+    }
+}
+
+fn encode_payload(key: u128, entry: &CachedAnalysis) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&key.to_le_bytes());
+    put_str(&mut out, &entry.report.program);
+    put_u32(&mut out, entry.report.findings.len() as u32);
+    for f in &entry.report.findings {
+        let kind = FindingKind::ALL.iter().position(|&k| k == f.kind).expect("kind in ALL");
+        out.push(kind as u8);
+        out.push(match f.severity {
+            Severity::Info => 0,
+            Severity::Warning => 1,
+            Severity::Error => 2,
+        });
+        put_str(&mut out, &f.site.function);
+        put_u32(&mut out, f.site.line);
+        match f.site.span {
+            Some(span) => {
+                out.push(1);
+                put_u32(&mut out, span.line);
+                put_u32(&mut out, span.col);
+                put_u32(&mut out, span.byte_offset);
+                put_u32(&mut out, span.len);
+            }
+            None => out.push(0),
+        }
+        put_str(&mut out, &f.message);
+    }
+    put_u32(&mut out, entry.summaries.len() as u32);
+    for s in &entry.summaries {
+        put_str(&mut out, &s.function);
+        put_u32(&mut out, s.findings);
+        put_u32(&mut out, s.region_effects);
+        out.push(u8::from(s.clobbers));
+    }
+    out
+}
+
+fn decode_payload(payload: &[u8], key: u128) -> Option<CachedAnalysis> {
+    let mut cur = Cursor { bytes: payload, pos: 0 };
+    if cur.u128()? != key {
+        return None; // renamed/mismatched entry file
+    }
+    let program = cur.str()?;
+    let n_findings = cur.u32()? as usize;
+    // Defensive bound: each finding takes ≥ 15 bytes encoded.
+    if n_findings > payload.len() / 15 + 1 {
+        return None;
+    }
+    let mut findings = Vec::with_capacity(n_findings);
+    for _ in 0..n_findings {
+        let kind = *FindingKind::ALL.get(cur.u8()? as usize)?;
+        let severity = match cur.u8()? {
+            0 => Severity::Info,
+            1 => Severity::Warning,
+            2 => Severity::Error,
+            _ => return None,
+        };
+        let function = cur.str()?;
+        let line = cur.u32()?;
+        let span = match cur.u8()? {
+            0 => None,
+            1 => Some(Span::new(cur.u32()?, cur.u32()?, cur.u32()?, cur.u32()?)),
+            _ => return None,
+        };
+        let mut site = Site::new(&function, line);
+        site.span = span;
+        findings.push(Finding { kind, severity, site, message: cur.str()? });
+    }
+    let n_summaries = cur.u32()? as usize;
+    if n_summaries > payload.len() / 13 + 1 {
+        return None;
+    }
+    let mut summaries = Vec::with_capacity(n_summaries);
+    for _ in 0..n_summaries {
+        summaries.push(FunctionSummaryRecord {
+            function: cur.str()?,
+            findings: cur.u32()?,
+            region_effects: cur.u32()?,
+            clobbers: match cur.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            },
+        });
+    }
+    if cur.pos != payload.len() {
+        return None; // trailing garbage
+    }
+    Some(CachedAnalysis { report: Report { program, findings }, summaries })
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u128(&mut self) -> Option<u128> {
+        Some(u128::from_le_bytes(self.take(16)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("pnx-cache-test-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_entry() -> CachedAnalysis {
+        let mut site = Site::new("main", 7);
+        site.span = Some(Span::new(7, 5, 104, 31));
+        CachedAnalysis {
+            report: Report {
+                program: "demo".into(),
+                findings: vec![Finding {
+                    kind: FindingKind::OversizedPlacement,
+                    severity: Severity::Error,
+                    site,
+                    message: "overflows by 16 bytes".into(),
+                }],
+            },
+            summaries: vec![FunctionSummaryRecord {
+                function: "main".into(),
+                findings: 1,
+                region_effects: 2,
+                clobbers: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trips_reports_and_summaries_exactly() {
+        let dir = tmp_dir("roundtrip");
+        let cache = PersistentCache::open(&dir, &AnalyzerConfig::default()).unwrap();
+        let key = source_fingerprint("program demo; fn main() {}");
+        assert_eq!(cache.get(key), CacheLookup::Miss);
+        let entry = sample_entry();
+        cache.put(key, &entry);
+        assert_eq!(cache.get(key), CacheLookup::Hit(entry));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.corrupt, stats.stores), (1, 1, 0, 1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_changes_invalidate_without_corruption() {
+        let dir = tmp_dir("config");
+        let key = source_fingerprint("x");
+        let cache = PersistentCache::open(&dir, &AnalyzerConfig::default()).unwrap();
+        cache.put(key, &sample_entry());
+        let stricter =
+            AnalyzerConfig { min_severity: Severity::Error, ..AnalyzerConfig::default() };
+        let other = PersistentCache::open(&dir, &stricter).unwrap();
+        assert_eq!(other.get(key), CacheLookup::Miss, "different config must not hit");
+        let inline = AnalyzerConfig { use_summaries: false, ..AnalyzerConfig::default() };
+        let third = PersistentCache::open(&dir, &inline).unwrap();
+        assert_eq!(third.get(key), CacheLookup::Miss, "strategy flag is part of the tag");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corruption_is_detected_not_trusted() {
+        let dir = tmp_dir("corrupt");
+        let cache = PersistentCache::open(&dir, &AnalyzerConfig::default()).unwrap();
+        let key = source_fingerprint("y");
+        cache.put(key, &sample_entry());
+        let path = cache.dir().join(format!("{key:032x}.pnc"));
+
+        // Flip a payload byte: checksum mismatch.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(cache.get(key), CacheLookup::Corrupt);
+
+        // Truncate mid-header.
+        fs::write(&path, &bytes[..10]).unwrap();
+        assert_eq!(cache.get(key), CacheLookup::Corrupt);
+
+        // Empty file.
+        fs::write(&path, b"").unwrap();
+        assert_eq!(cache.get(key), CacheLookup::Corrupt);
+        assert_eq!(cache.stats().corrupt, 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_magic_or_version_reads_as_stale_or_broken() {
+        let dir = tmp_dir("version");
+        let cache = PersistentCache::open(&dir, &AnalyzerConfig::default()).unwrap();
+        let key = source_fingerprint("z");
+        cache.put(key, &sample_entry());
+        let path = cache.dir().join(format!("{key:032x}.pnc"));
+        let good = fs::read(&path).unwrap();
+
+        // Future schema version: stale (miss), not corrupt.
+        let mut future = good.clone();
+        future[8..12].copy_from_slice(&(SCHEMA_VERSION + 1).to_le_bytes());
+        fs::write(&path, &future).unwrap();
+        assert_eq!(cache.get(key), CacheLookup::Miss);
+
+        // Foreign magic: broken.
+        let mut foreign = good;
+        foreign[..8].copy_from_slice(b"NOTCACHE");
+        fs::write(&path, &foreign).unwrap();
+        assert_eq!(cache.get(key), CacheLookup::Corrupt);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn entry_under_the_wrong_key_is_rejected() {
+        // A renamed cache file must not serve another file's report.
+        let dir = tmp_dir("rename");
+        let cache = PersistentCache::open(&dir, &AnalyzerConfig::default()).unwrap();
+        let key_a = source_fingerprint("a");
+        let key_b = source_fingerprint("b");
+        cache.put(key_a, &sample_entry());
+        fs::rename(
+            cache.dir().join(format!("{key_a:032x}.pnc")),
+            cache.dir().join(format!("{key_b:032x}.pnc")),
+        )
+        .unwrap();
+        assert_eq!(cache.get(key_b), CacheLookup::Corrupt);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn source_fingerprint_is_wide_and_sensitive() {
+        let fp = source_fingerprint("program p; fn main() {}");
+        assert_ne!(fp >> 64, 0);
+        assert_ne!(fp & u128::from(u64::MAX), 0);
+        assert_ne!(fp, source_fingerprint("program p; fn main() {} "));
+    }
+}

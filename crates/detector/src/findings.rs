@@ -33,6 +33,11 @@ pub enum FindingKind {
     /// Classic out-of-bounds copy into a lexically declared array — the
     /// only thing the *baseline* (traditional) checker can see.
     ClassicOverflow,
+    /// The interprocedural walk hit its hard depth limit (deep call
+    /// chain or recursion): everything past the reported call site is
+    /// unanalyzed, and the analyzer says so instead of silently
+    /// truncating.
+    AnalysisDepthExceeded,
 }
 
 impl FindingKind {
@@ -42,7 +47,7 @@ impl FindingKind {
     }
 
     /// All kinds.
-    pub const ALL: [FindingKind; 8] = [
+    pub const ALL: [FindingKind; 9] = [
         FindingKind::OversizedPlacement,
         FindingKind::UnknownBoundsPlacement,
         FindingKind::TaintedPlacementSize,
@@ -51,6 +56,7 @@ impl FindingKind {
         FindingKind::PlacementLeak,
         FindingKind::VptrClobber,
         FindingKind::ClassicOverflow,
+        FindingKind::AnalysisDepthExceeded,
     ];
 
     /// Stable short name.
@@ -64,12 +70,13 @@ impl FindingKind {
             FindingKind::PlacementLeak => "placement-leak",
             FindingKind::VptrClobber => "vptr-clobber",
             FindingKind::ClassicOverflow => "classic-overflow",
+            FindingKind::AnalysisDepthExceeded => "analysis-depth-exceeded",
         }
     }
 
     /// `true` for kinds only a placement-new-aware tool can produce.
     pub fn is_placement_specific(self) -> bool {
-        !matches!(self, FindingKind::ClassicOverflow)
+        !matches!(self, FindingKind::ClassicOverflow | FindingKind::AnalysisDepthExceeded)
     }
 
     /// Stable rule identifier for machine-readable output (the JSON
@@ -85,6 +92,7 @@ impl FindingKind {
             FindingKind::PlacementLeak => "pnx/placement-leak",
             FindingKind::VptrClobber => "pnx/vptr-clobber",
             FindingKind::ClassicOverflow => "pnx/classic-overflow",
+            FindingKind::AnalysisDepthExceeded => "pnx/analysis-depth-exceeded",
         }
     }
 
@@ -130,6 +138,12 @@ impl FindingKind {
                 "A classic out-of-bounds copy into a lexically declared array — the \
                  only class traditional overflow checkers (the baseline) can see."
             }
+            FindingKind::AnalysisDepthExceeded => {
+                "The interprocedural analysis reached its hard call-depth limit at \
+                 this call site (unbounded recursion or a very deep call chain). \
+                 Everything behind the call is unanalyzed; the verdict for the \
+                 unreached code is unknown, not clean."
+            }
         }
     }
 
@@ -159,6 +173,9 @@ impl FindingKind {
                 "eliminate the oversized placement; vtable pointers are the first word of every polymorphic object (§3.8.2)"
             }
             FindingKind::ClassicOverflow => "bound the copy length by the destination size",
+            FindingKind::AnalysisDepthExceeded => {
+                "break the recursion or deep call chain, or review the unreached callees manually"
+            }
         }
     }
 }

@@ -46,6 +46,7 @@ mod analysis;
 mod baseline;
 pub mod batch;
 mod builder;
+pub mod cache;
 pub mod emit;
 pub mod exec;
 mod findings;
@@ -54,12 +55,16 @@ pub mod ir;
 pub mod oracle;
 mod parse;
 mod pretty;
+mod summary;
 pub mod trace;
 
 pub use analysis::{Analyzer, AnalyzerConfig};
 pub use baseline::BaselineChecker;
-pub use batch::{fingerprint, BatchEngine, BatchStats, CacheStats};
+pub use batch::{fingerprint, BatchEngine, BatchStats, CacheStats, SourceOutcome};
 pub use builder::{FunctionBuilder, ProgramBuilder};
+pub use cache::{
+    source_fingerprint, CacheLookup, CachedAnalysis, PersistentCache, PersistentCacheStats,
+};
 pub use exec::{ExecEvent, ExecEventKind, ExecOutcome, Executor};
 pub use findings::{Finding, FindingKind, Report, Severity};
 pub use fixer::{AppliedFix, Fixer};
@@ -70,3 +75,4 @@ pub use ir::{
 pub use oracle::{DifferentialReport, Matrix, Oracle, SiteVerdict, Verdict};
 pub use parse::{parse_program, parse_program_recovering, ParseError, MAX_ERRORS};
 pub use pretty::pretty as pretty_program;
+pub use summary::FunctionSummaryRecord;

@@ -1,0 +1,354 @@
+//! Function summaries for the interprocedural analysis.
+//!
+//! The analyzer's interprocedural strategy is *summary-based*: instead of
+//! re-walking a callee's body inline at every call site (O(call paths) —
+//! exponential on deep, fan-in-heavy call graphs), each `(function,
+//! depth, abstract context)` triple is walked **once** and the result is
+//! memoized as a [`CallSummary`]: the findings the body emits under that
+//! context, the global/heap region effects it leaves behind, and whether
+//! it clobbers memory (a proven overflow). Call sites *apply* the
+//! summary — replay the findings through the report-level deduplication
+//! and merge the region effects into the caller — which is byte-for-byte
+//! equivalent to the inline walk but collapses the path explosion to
+//! O(functions × distinct contexts).
+//!
+//! The abstract context ([`SummaryKey`]) captures exactly the inputs the
+//! callee walk reads from its caller:
+//!
+//! * per-parameter facts — taint, propagated constant, points-to target;
+//! * the lifecycle state of every region visible to the callee
+//!   (globals and heap blocks), including residue provenance;
+//! * whether memory is already clobbered (and by which site — the site
+//!   appears in message text, so it is part of the context identity);
+//! * the call depth, because the hard depth guard emits its diagnostic
+//!   at a depth-dependent frontier.
+//!
+//! A bottom-up pass over the call graph's SCC condensation (iterative
+//! Tarjan, [`CallGraph`]) seeds the memo table callees-first; recursive
+//! cycles cannot be summarized bottom-up and fall back to the bounded
+//! widening of the depth guard (the walk descends through the cycle
+//! until `MAX_CALL_DEPTH`, then emits a deterministic
+//! `analysis-depth-exceeded` diagnostic instead of silently truncating).
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::analysis::{RegionId, RegionState, State};
+use crate::findings::Finding;
+use crate::ir::{Program, Site, Stmt, Symbol, VarId};
+
+/// Orders/hashes a region identity without needing `Ord` on the IR type.
+pub(crate) fn region_sort_key(id: RegionId) -> (u8, u32) {
+    match id {
+        RegionId::Var(v) => (0, v.index()),
+        RegionId::Heap(line) => (1, line),
+    }
+}
+
+/// Identity token for a borrowed [`Site`]. Summaries are memoized within
+/// one `analyze` call, where every site is a stable borrow from the
+/// program, so the address is a precise identity (two sites with equal
+/// (function, line) but different provenance stay distinct — at worst a
+/// memo miss, never a wrong replay).
+fn site_token(site: &Site) -> usize {
+    std::ptr::from_ref(site) as usize
+}
+
+/// The caller-provided facts about one callee parameter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ParamFacts {
+    tainted: bool,
+    constant: Option<i64>,
+    points_to: Option<(u8, u32)>,
+}
+
+/// Hashable snapshot of a region's lifecycle state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RegionFacts {
+    alloc_size: Option<u64>,
+    alloc_class: Option<Symbol>,
+    last_tenant_size: Option<u64>,
+    has_secret: bool,
+    residue_at: Option<usize>,
+    freed: bool,
+    tainted_pool: bool,
+}
+
+impl RegionFacts {
+    fn of(rs: &RegionState<'_>) -> Self {
+        RegionFacts {
+            alloc_size: rs.alloc_size,
+            alloc_class: rs.alloc_class,
+            last_tenant_size: rs.last_tenant_size,
+            has_secret: rs.has_secret,
+            residue_at: rs.residue_at.map(site_token),
+            freed: rs.freed,
+            tainted_pool: rs.tainted_pool,
+        }
+    }
+}
+
+/// The abstract calling context a summary is keyed on. See the
+/// [module docs](self) for what each component captures and why.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct SummaryKey {
+    fi: usize,
+    depth: u32,
+    clobbered: Option<usize>,
+    params: Vec<ParamFacts>,
+    regions: Vec<((u8, u32), RegionFacts)>,
+}
+
+impl SummaryKey {
+    /// Builds the context key for walking function `fi`'s body at
+    /// `depth`, from the callee-entry state the caller prepared.
+    pub(crate) fn of(fi: usize, depth: u32, params: &[VarId], state: &State<'_>) -> Self {
+        let params = params
+            .iter()
+            .map(|&p| {
+                let i = p.index() as usize;
+                ParamFacts {
+                    tainted: state.tainted[i],
+                    constant: state.consts[i],
+                    points_to: state.points_to[i].map(region_sort_key),
+                }
+            })
+            .collect();
+        let mut regions: Vec<((u8, u32), RegionFacts)> = state
+            .regions
+            .iter()
+            .map(|(&id, rs)| (region_sort_key(id), RegionFacts::of(rs)))
+            .collect();
+        regions.sort_unstable_by_key(|&(k, _)| k);
+        SummaryKey { fi, depth, clobbered: state.clobbered_at.map(site_token), params, regions }
+    }
+}
+
+/// The transfer summary of one `(function, depth, context)`: everything
+/// applying the call needs, without re-walking the body.
+#[derive(Debug, Clone)]
+pub(crate) struct CallSummary<'p> {
+    /// Findings the body emits under this context, in emission order
+    /// (deduplicated within the summary; replay dedups globally).
+    pub(crate) findings: Vec<Finding>,
+    /// Exit state of the caller-visible (global/heap) regions, sorted by
+    /// region identity for determinism.
+    pub(crate) exit_regions: Vec<(RegionId, RegionState<'p>)>,
+    /// Site of the first proven overflow inside the call, if any — the
+    /// clobber propagates to the caller.
+    pub(crate) exit_clobber: Option<&'p Site>,
+}
+
+/// The per-analysis memo table of computed summaries, with the counters
+/// `--stats` surfaces.
+#[derive(Debug, Default)]
+pub(crate) struct Memo<'p> {
+    table: HashMap<SummaryKey, Rc<CallSummary<'p>>>,
+    /// Summaries computed by walking a body.
+    pub(crate) computed: u64,
+    /// Call sites (and entry replays) served from the table.
+    pub(crate) applied: u64,
+}
+
+impl<'p> Memo<'p> {
+    pub(crate) fn get(&self, key: &SummaryKey) -> Option<Rc<CallSummary<'p>>> {
+        self.table.get(key).cloned()
+    }
+
+    pub(crate) fn insert(&mut self, key: SummaryKey, summary: Rc<CallSummary<'p>>) {
+        self.table.insert(key, summary);
+    }
+}
+
+/// A compact digest of one function's entry summary, serialized into the
+/// persistent cache next to the findings so a warm rerun can report
+/// summary-level statistics without re-analyzing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionSummaryRecord {
+    /// Function name.
+    pub function: String,
+    /// Findings the function emits when analyzed as an entry point.
+    pub findings: u32,
+    /// Caller-visible (global/heap) regions the function's summary
+    /// carries effects for.
+    pub region_effects: u32,
+    /// Whether the function can clobber memory (a proven overflow).
+    pub clobbers: bool,
+}
+
+/// The program's direct-call graph and its SCC condensation.
+#[derive(Debug)]
+pub(crate) struct CallGraph {
+    /// Resolved, deduplicated callee indices per function. Only the
+    /// Tarjan pass and the tests read it today; it is the natural hook
+    /// for future graph diagnostics.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) callees: Vec<Vec<usize>>,
+    /// Function indices in bottom-up (callees-first) order of the SCC
+    /// condensation: by the time `bottom_up[i]` is visited, every
+    /// function it calls outside its own SCC has been visited.
+    pub(crate) bottom_up: Vec<usize>,
+    /// Whether the function participates in a cycle (a non-trivial SCC,
+    /// or a direct self-call). Cycles are the widening fallback case.
+    pub(crate) in_cycle: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the call graph with an iterative Tarjan SCC pass (no
+    /// recursion: a 10k-deep call chain must not overflow the stack of
+    /// the analyzer itself).
+    pub(crate) fn build(program: &Program, fn_by_name: &HashMap<&str, usize>) -> Self {
+        let n = program.functions.len();
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, f) in program.functions.iter().enumerate() {
+            collect_callees(&f.body, fn_by_name, &mut callees[i]);
+        }
+
+        let mut index_of = vec![usize::MAX; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut scc_stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut bottom_up = Vec::with_capacity(n);
+        let mut in_cycle: Vec<bool> = (0..n).map(|v| callees[v].contains(&v)).collect();
+
+        // (vertex, next-callee cursor) frames of the simulated DFS.
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index_of[root] != usize::MAX {
+                continue;
+            }
+            index_of[root] = next_index;
+            lowlink[root] = next_index;
+            next_index += 1;
+            scc_stack.push(root);
+            on_stack[root] = true;
+            frames.push((root, 0));
+            while let Some(&(v, cursor)) = frames.last() {
+                if let Some(&w) = callees[v].get(cursor) {
+                    frames.last_mut().expect("frame exists").1 += 1;
+                    if index_of[w] == usize::MAX {
+                        index_of[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        scc_stack.push(w);
+                        on_stack[w] = true;
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index_of[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index_of[v] {
+                        let first = bottom_up.len();
+                        loop {
+                            let w = scc_stack.pop().expect("SCC stack underflow");
+                            on_stack[w] = false;
+                            bottom_up.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        if bottom_up.len() - first > 1 {
+                            for &w in &bottom_up[first..] {
+                                in_cycle[w] = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        CallGraph { callees, bottom_up, in_cycle }
+    }
+
+    /// Number of functions that are part of a recursive cycle.
+    pub(crate) fn recursive_functions(&self) -> usize {
+        self.in_cycle.iter().filter(|&&c| c).count()
+    }
+}
+
+/// Collects the resolved direct callees of a body, deduplicated, in
+/// first-call order.
+fn collect_callees(body: &[Stmt], fn_by_name: &HashMap<&str, usize>, out: &mut Vec<usize>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Call { func, .. } => {
+                if let Some(&j) = fn_by_name.get(func.as_str()) {
+                    if !out.contains(&j) {
+                        out.push(j);
+                    }
+                }
+            }
+            Stmt::If { then_body, else_body, .. } => {
+                collect_callees(then_body, fn_by_name, out);
+                collect_callees(else_body, fn_by_name, out);
+            }
+            Stmt::While { body, .. } => collect_callees(body, fn_by_name, out),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::ir::{Expr, Ty};
+
+    /// `names[i]` calls `calls[i]`; every function gets a trivial body
+    /// statement so builders stay happy.
+    fn chain_program(edges: &[(&str, &[&str])]) -> Program {
+        let mut p = ProgramBuilder::new("cg");
+        for (name, callees) in edges {
+            let mut f = p.function(name);
+            let x = f.local("x", Ty::Int);
+            f.assign(x, Expr::Const(1));
+            for callee in *callees {
+                f.call(callee, vec![]);
+            }
+            f.finish();
+        }
+        p.build()
+    }
+
+    fn by_name(p: &Program) -> HashMap<&str, usize> {
+        p.functions.iter().enumerate().map(|(i, f)| (f.name.as_str(), i)).collect()
+    }
+
+    #[test]
+    fn bottom_up_order_visits_callees_first() {
+        let p = chain_program(&[("a", &["b", "c"]), ("b", &["c"]), ("c", &[])]);
+        let g = CallGraph::build(&p, &by_name(&p));
+        let pos = |f: usize| g.bottom_up.iter().position(|&x| x == f).unwrap();
+        assert!(pos(2) < pos(1), "c before b");
+        assert!(pos(1) < pos(0), "b before a");
+        assert_eq!(g.recursive_functions(), 0);
+        assert_eq!(g.callees[0], vec![1, 2]);
+    }
+
+    #[test]
+    fn cycles_are_detected_and_condensed() {
+        // a → b → c → b (cycle {b, c}), d → d (self-loop).
+        let p = chain_program(&[("a", &["b"]), ("b", &["c"]), ("c", &["b"]), ("d", &["d"])]);
+        let g = CallGraph::build(&p, &by_name(&p));
+        assert!(!g.in_cycle[0]);
+        assert!(g.in_cycle[1] && g.in_cycle[2], "mutual recursion flagged");
+        assert!(g.in_cycle[3], "self-loop flagged");
+        assert_eq!(g.recursive_functions(), 3);
+        // The {b, c} SCC sits before a in the bottom-up order.
+        let pos = |f: usize| g.bottom_up.iter().position(|&x| x == f).unwrap();
+        assert!(pos(1) < pos(0) && pos(2) < pos(0));
+        assert_eq!(g.bottom_up.len(), 4);
+    }
+
+    #[test]
+    fn unresolved_callees_are_ignored() {
+        let p = chain_program(&[("a", &["printf", "a"])]);
+        let g = CallGraph::build(&p, &by_name(&p));
+        assert_eq!(g.callees[0], vec![0], "only the resolved self-call survives");
+        assert!(g.in_cycle[0]);
+    }
+}
