@@ -16,13 +16,36 @@
 //!   fingerprint cache;
 //! * `disk` — cold source scan (parse + analyze + store) vs warm
 //!   `--cache-dir`-style rescan where every file comes off disk;
+//! * `daemon` — warm `analyze` requests/sec through the resident
+//!   `pncheckd` protocol layer (request parse + cache hit + envelope);
 //! * `interprocedural` — summary-based vs inline analysis over the
 //!   deep call-graph corpus (depth 16, fan-in 8).
 
 use std::time::Instant;
 
 use pnew_corpus::workload;
+use pnew_detector::server::{Server, ServerConfig};
 use pnew_detector::{pretty_program, Analyzer, AnalyzerConfig, BatchEngine, PersistentCache};
+
+/// A JSON string literal for embedding a source in an analyze request.
+fn json_str(text: &str) -> String {
+    let mut out = String::from("\"");
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
 
 /// Median wall-clock seconds of `runs` invocations of `f`.
 fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
@@ -102,6 +125,24 @@ fn main() {
     });
     let _ = std::fs::remove_dir_all(&dir);
 
+    // Daemon: warm analyze requests/sec through the pncheckd protocol
+    // layer in-process — request parsing, the source-fingerprint cache
+    // hit, and envelope rendering, without TCP or process-spawn noise.
+    let server = Server::new(ServerConfig::default()).expect("server builds");
+    let requests: Vec<String> = sources
+        .iter()
+        .map(|s| format!("{{\"op\":\"analyze\",\"source\":{}}}", json_str(s)))
+        .collect();
+    for request in &requests {
+        server.handle_line(request); // warm every source
+    }
+    let daemon_warm_s = median_secs(runs, || {
+        for request in &requests {
+            let reply = server.handle_line(request);
+            assert!(reply.header.contains("\"ok\":true"), "{}", reply.header);
+        }
+    });
+
     // Interprocedural: summary vs inline over the deep call graphs.
     let deep = workload::deep_call_corpus(42, deep_programs);
     let summary_analyzer = Analyzer::new();
@@ -123,7 +164,7 @@ fn main() {
     let per_sec = |secs: f64, n: usize| if secs > 0.0 { n as f64 / secs } else { 0.0 };
     let ratio = |slow: f64, fast: f64| if fast > 0.0 { slow / fast } else { 0.0 };
     let json = format!(
-        "{{\n  \"schema\": \"pnx-bench-detector/1\",\n  \"mode\": \"{}\",\n  \"corpus_programs\": {},\n  \"runs_per_measurement\": {},\n  \"serial_programs_per_sec\": {:.1},\n  \"parallel_jobs\": {},\n  \"parallel_programs_per_sec\": {:.1},\n  \"warm_memory_cache_programs_per_sec\": {:.1},\n  \"cold_disk_scan_s\": {:.4},\n  \"warm_disk_scan_s\": {:.4},\n  \"warm_disk_speedup\": {:.1},\n  \"deep_corpus\": {{ \"programs\": {}, \"depth\": {}, \"fan_in\": {} }},\n  \"summary_scan_s\": {:.4},\n  \"inline_scan_s\": {:.4},\n  \"summary_speedup\": {:.1}\n}}\n",
+        "{{\n  \"schema\": \"pnx-bench-detector/1\",\n  \"mode\": \"{}\",\n  \"corpus_programs\": {},\n  \"runs_per_measurement\": {},\n  \"serial_programs_per_sec\": {:.1},\n  \"parallel_jobs\": {},\n  \"parallel_programs_per_sec\": {:.1},\n  \"warm_memory_cache_programs_per_sec\": {:.1},\n  \"cold_disk_scan_s\": {:.4},\n  \"warm_disk_scan_s\": {:.4},\n  \"warm_disk_speedup\": {:.1},\n  \"daemon_warm_requests_per_sec\": {:.1},\n  \"deep_corpus\": {{ \"programs\": {}, \"depth\": {}, \"fan_in\": {} }},\n  \"summary_scan_s\": {:.4},\n  \"inline_scan_s\": {:.4},\n  \"summary_speedup\": {:.1}\n}}\n",
         if smoke { "smoke" } else { "full" },
         corpus_size,
         runs,
@@ -134,6 +175,7 @@ fn main() {
         cold_disk_s,
         warm_disk_s,
         ratio(cold_disk_s, warm_disk_s),
+        per_sec(daemon_warm_s, corpus_size),
         deep_programs,
         workload::CALL_DEPTH,
         workload::CALL_WIDTH,

@@ -13,13 +13,15 @@
 //! changes the key). A second scan of an unchanged corpus is pure cache
 //! hits.
 //!
-//! With [`BatchEngine::with_persistent_cache`], a second, *on-disk* tier
-//! sits in front of the in-memory one for source-text scans
-//! ([`BatchEngine::scan_sources_with_stats`]): the key there is a
-//! fingerprint of the raw source bytes, so a warm re-run of an unchanged
-//! corpus skips the parser **and** the analyzer, across process
-//! restarts. Corrupt or stale disk entries degrade to a normal analysis
-//! (and get rewritten), never to an error.
+//! Source-text scans ([`BatchEngine::scan_sources_with_stats`]) add a
+//! second in-memory tier keyed on a fingerprint of the **raw source
+//! bytes**: a warm re-scan of unchanged text skips the parser as well as
+//! the analyzer, which is what keeps a resident `pncheckd` serving
+//! repeat requests without re-parsing anything. With
+//! [`BatchEngine::with_persistent_cache`], an *on-disk* tier under the
+//! same key extends that across process restarts. Corrupt or stale disk
+//! entries degrade to a normal analysis (and get rewritten), never to an
+//! error.
 //!
 //! ```
 //! use pnew_detector::{Analyzer, BatchEngine, Expr, ProgramBuilder, Ty};
@@ -89,6 +91,11 @@ pub struct BatchStats {
     pub elapsed: Duration,
     /// Worker threads used.
     pub jobs: usize,
+    /// Source texts that actually went through the parser during this
+    /// scan. A fully warm scan — every input served from the source
+    /// fingerprint tier or the disk tier — runs zero parses. Always 0
+    /// for program-based scans, which never parse.
+    pub parses: u64,
     /// Files served whole from the on-disk cache (no parse, no
     /// analysis). Always 0 without a persistent cache.
     pub persistent_hits: u64,
@@ -124,12 +131,17 @@ impl BatchStats {
 /// Lifetime cache counters for a [`BatchEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Scans answered from the cache since construction.
+    /// Scans answered from either in-memory fingerprint tier (program
+    /// or source) since construction.
     pub hits: u64,
     /// Scans that ran the analyzer since construction.
     pub misses: u64,
-    /// Reports currently cached.
+    /// Reports currently cached in the program-fingerprint tier.
     pub entries: usize,
+    /// Outcomes currently cached in the source-fingerprint tier.
+    pub source_entries: usize,
+    /// Source texts parsed since construction.
+    pub parses: u64,
 }
 
 /// What scanning one source text produced.
@@ -148,6 +160,9 @@ pub struct SourceOutcome {
     /// The report came straight from the on-disk cache: neither the
     /// parser nor the analyzer ran for this file.
     pub from_disk_cache: bool,
+    /// The report came from the in-memory source-fingerprint tier:
+    /// neither the parser nor the analyzer ran for this file.
+    pub from_source_cache: bool,
     /// An on-disk entry existed but was corrupt; the file was
     /// re-analyzed from source and the entry rewritten.
     pub cache_corrupt: bool,
@@ -161,8 +176,10 @@ pub struct BatchEngine {
     analyzer: Analyzer,
     jobs: usize,
     cache: Mutex<HashMap<u128, CachedAnalysis>>,
+    source_cache: Mutex<HashMap<u128, CachedAnalysis>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    parses: AtomicU64,
     trace: Option<Arc<TraceCollector>>,
     persistent: Option<PersistentCache>,
 }
@@ -181,8 +198,10 @@ impl BatchEngine {
             analyzer,
             jobs,
             cache: Mutex::new(HashMap::new()),
+            source_cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            parses: AtomicU64::new(0),
             trace: None,
             persistent: None,
         }
@@ -243,23 +262,37 @@ impl BatchEngine {
     /// run.
     pub fn scan_with_stats(&self, programs: &[Program]) -> (Vec<Report>, BatchStats) {
         let (reports, stats) =
-            self.run_queue(programs, |program| self.analyze_cached(program).report);
+            self.run_queue(programs, self.jobs, |program| self.analyze_cached(program).report);
         let findings = reports.iter().map(|r| r.findings.len()).sum();
         (reports, BatchStats { findings, ..stats })
     }
 
-    /// Scans raw source texts through both cache tiers, returning one
+    /// Scans raw source texts through every cache tier, returning one
     /// [`SourceOutcome`] per input, in input order.
     ///
-    /// Per file: probe the on-disk cache (hit → done, no parse); parse;
-    /// analyze through the in-memory tier; write the entry back to disk.
-    /// Parse failures are reported in the outcome and never cached.
+    /// Per file: probe the in-memory source-fingerprint tier (hit →
+    /// done, no parse); probe the on-disk cache (hit → done, no parse);
+    /// parse; analyze through the program-fingerprint tier; write the
+    /// entry back to the source tier and to disk. Parse failures are
+    /// reported in the outcome and never cached.
     pub fn scan_sources_with_stats<S: AsRef<str> + Sync>(
         &self,
         sources: &[S],
     ) -> (Vec<SourceOutcome>, BatchStats) {
+        self.scan_sources_with_stats_jobs(sources, self.jobs)
+    }
+
+    /// [`scan_sources_with_stats`](Self::scan_sources_with_stats) with
+    /// an explicit worker count for this scan only — the daemon uses
+    /// this to honor a per-request `jobs` without rebuilding the engine
+    /// (and losing its warm caches).
+    pub fn scan_sources_with_stats_jobs<S: AsRef<str> + Sync>(
+        &self,
+        sources: &[S],
+        jobs: usize,
+    ) -> (Vec<SourceOutcome>, BatchStats) {
         let (outcomes, stats) =
-            self.run_queue(sources, |source| self.analyze_source(source.as_ref()));
+            self.run_queue(sources, jobs, |source| self.analyze_source(source.as_ref()));
         // `programs` counts inputs that produced a report — parse
         // failures are files, not programs — matching the program-based
         // scan, whose batch only ever contains parsed programs.
@@ -275,14 +308,16 @@ impl BatchEngine {
     fn run_queue<I: Sync, R: Send>(
         &self,
         items: &[I],
+        jobs: usize,
         work: impl Fn(&I) -> R + Sync,
     ) -> (Vec<R>, BatchStats) {
         let start = Instant::now();
         let hits_before = self.hits.load(Ordering::Relaxed);
         let misses_before = self.misses.load(Ordering::Relaxed);
+        let parses_before = self.parses.load(Ordering::Relaxed);
         let persistent_before = self.persistent_snapshot();
 
-        let workers = self.jobs.min(items.len().max(1));
+        let workers = jobs.max(1).min(items.len().max(1));
         let cursor = AtomicUsize::new(0);
         let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
         thread::scope(|scope| {
@@ -312,6 +347,7 @@ impl BatchEngine {
             cache_misses: self.misses.load(Ordering::Relaxed) - misses_before,
             elapsed: start.elapsed(),
             jobs: workers,
+            parses: self.parses.load(Ordering::Relaxed) - parses_before,
             persistent_hits: persistent_after.0 - persistent_before.0,
             persistent_misses: persistent_after.1 - persistent_before.1,
             persistent_corrupt: persistent_after.2 - persistent_before.2,
@@ -356,21 +392,43 @@ impl BatchEngine {
         entry
     }
 
-    /// Analyzes one source text through both cache tiers.
+    /// Analyzes one source text through every cache tier: the in-memory
+    /// source-fingerprint tier first (fastest, and the one a resident
+    /// daemon stays warm on), then the on-disk tier, then parse +
+    /// program-fingerprint tier.
     fn analyze_source(&self, source: &str) -> SourceOutcome {
+        let key = source_fingerprint(source);
+        if let Some(hit) = self.source_cache.lock().expect("source cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = &self.trace {
+                t.count("batch.source-hit", 1);
+            }
+            return SourceOutcome {
+                report: Some(hit.report.clone()),
+                summaries: hit.summaries.clone(),
+                errors: Vec::new(),
+                from_disk_cache: false,
+                from_source_cache: true,
+                cache_corrupt: false,
+            };
+        }
         let mut cache_corrupt = false;
-        let key = self.persistent.as_ref().map(|_| source_fingerprint(source));
-        if let (Some(pc), Some(key)) = (&self.persistent, key) {
+        if let Some(pc) = &self.persistent {
             match pc.get(key) {
                 CacheLookup::Hit(entry) => {
                     if let Some(t) = &self.trace {
                         t.count("batch.persistent-hit", 1);
                     }
+                    self.source_cache
+                        .lock()
+                        .expect("source cache poisoned")
+                        .insert(key, entry.clone());
                     return SourceOutcome {
                         report: Some(entry.report),
                         summaries: entry.summaries,
                         errors: Vec::new(),
                         from_disk_cache: true,
+                        from_source_cache: false,
                         cache_corrupt: false,
                     };
                 }
@@ -387,17 +445,20 @@ impl BatchEngine {
                 }
             }
         }
+        self.parses.fetch_add(1, Ordering::Relaxed);
         match parse_program_recovering(source) {
             Err(errors) => SourceOutcome {
                 report: None,
                 summaries: Vec::new(),
                 errors,
                 from_disk_cache: false,
+                from_source_cache: false,
                 cache_corrupt,
             },
             Ok(program) => {
                 let entry = self.analyze_cached(&program);
-                if let (Some(pc), Some(key)) = (&self.persistent, key) {
+                self.source_cache.lock().expect("source cache poisoned").insert(key, entry.clone());
+                if let Some(pc) = &self.persistent {
                     pc.put(key, &entry);
                 }
                 SourceOutcome {
@@ -405,24 +466,29 @@ impl BatchEngine {
                     summaries: entry.summaries,
                     errors: Vec::new(),
                     from_disk_cache: false,
+                    from_source_cache: false,
                     cache_corrupt,
                 }
             }
         }
     }
 
-    /// Lifetime hit/miss counters and the current cache size.
+    /// Lifetime hit/miss/parse counters and the current cache sizes.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.cache.lock().expect("batch cache poisoned").len(),
+            source_entries: self.source_cache.lock().expect("source cache poisoned").len(),
+            parses: self.parses.load(Ordering::Relaxed),
         }
     }
 
-    /// Drops every cached report (counters are kept).
+    /// Drops every cached report in both in-memory tiers (counters are
+    /// kept; the on-disk tier is untouched).
     pub fn clear_cache(&self) {
         self.cache.lock().expect("batch cache poisoned").clear();
+        self.source_cache.lock().expect("source cache poisoned").clear();
     }
 }
 
@@ -629,27 +695,49 @@ mod tests {
 
     #[test]
     fn corrupt_disk_entries_degrade_to_reanalysis_and_heal() {
+        // Fresh engines per scan: the in-memory source tier would
+        // otherwise (correctly) answer before the disk probe, and this
+        // test is about the cross-process path where memory is cold.
         let dir = tmp_cache_dir("corrupt");
-        let engine = engine_with_disk_cache(&dir);
         let sources = [VULN_SRC];
-        engine.scan_sources_with_stats(&sources);
+        engine_with_disk_cache(&dir).scan_sources_with_stats(&sources);
 
         // Smash the entry on disk.
         let key = source_fingerprint(VULN_SRC);
         let path = dir.join(format!("{key:032x}.pnc"));
         std::fs::write(&path, b"PNXCACHEgarbage").unwrap();
 
-        let (outcomes, stats) = engine.scan_sources_with_stats(&sources);
+        let (outcomes, stats) = engine_with_disk_cache(&dir).scan_sources_with_stats(&sources);
         assert!(outcomes[0].cache_corrupt);
         assert!(!outcomes[0].from_disk_cache);
         assert_eq!(stats.persistent_corrupt, 1);
+        assert_eq!(stats.parses, 1, "corrupt entry forces a re-parse");
         assert!(outcomes[0].report.as_ref().unwrap().detected(), "re-analyzed from source");
 
-        // The rewrite healed the entry: next scan is a clean hit.
-        let (outcomes, stats) = engine.scan_sources_with_stats(&sources);
+        // The rewrite healed the entry: next (cold-memory) scan is a
+        // clean disk hit.
+        let (outcomes, stats) = engine_with_disk_cache(&dir).scan_sources_with_stats(&sources);
         assert!(outcomes[0].from_disk_cache);
         assert_eq!(stats.persistent_corrupt, 0);
         assert_eq!(stats.persistent_hits, 1);
+        assert_eq!(stats.parses, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn source_tier_shields_a_corrupted_disk_entry_within_a_process() {
+        // Same engine, same text: the source tier answers without ever
+        // touching the (now corrupt) disk entry — the in-memory copy is
+        // current, so serving it is both correct and faster.
+        let dir = tmp_cache_dir("shield");
+        let engine = engine_with_disk_cache(&dir);
+        engine.scan_sources_with_stats(&[VULN_SRC]);
+        let key = source_fingerprint(VULN_SRC);
+        std::fs::write(dir.join(format!("{key:032x}.pnc")), b"PNXCACHEgarbage").unwrap();
+        let (outcomes, stats) = engine.scan_sources_with_stats(&[VULN_SRC]);
+        assert!(outcomes[0].from_source_cache);
+        assert_eq!(stats.persistent_corrupt, 0);
+        assert_eq!(stats.parses, 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -659,9 +747,43 @@ mod tests {
         let (outcomes, stats) = engine.scan_sources_with_stats(&[VULN_SRC, VULN_SRC, SAFE_SRC]);
         assert_eq!(outcomes.len(), 3);
         assert_eq!(stats.persistent_hits + stats.persistent_misses, 0);
-        // The in-memory tier still dedups equal programs.
+        // The in-memory tiers still dedup equal inputs.
         assert_eq!(stats.cache_hits + stats.cache_misses, 3);
         assert_eq!(outcomes[0].report, outcomes[1].report);
+    }
+
+    #[test]
+    fn warm_source_rescan_runs_zero_parses() {
+        // The daemon acceptance path: a second scan of the same texts
+        // through a live engine is pure source-fingerprint hits — no
+        // parser, no analyzer, no disk.
+        let engine = BatchEngine::default().with_jobs(2);
+        let sources = [VULN_SRC, SAFE_SRC];
+        let (cold, stats) = engine.scan_sources_with_stats(&sources);
+        assert_eq!(stats.parses, 2);
+        let (warm, stats) = engine.scan_sources_with_stats(&sources);
+        assert_eq!(stats.parses, 0, "warm rescan must not parse");
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_misses, 0);
+        assert!(warm.iter().all(|o| o.from_source_cache));
+        assert_eq!(
+            cold.iter().map(|o| &o.report).collect::<Vec<_>>(),
+            warm.iter().map(|o| &o.report).collect::<Vec<_>>(),
+        );
+        let lifetime = engine.cache_stats();
+        assert_eq!(lifetime.parses, 2);
+        assert_eq!(lifetime.source_entries, 2);
+    }
+
+    #[test]
+    fn per_scan_jobs_override_matches_engine_default() {
+        let engine = BatchEngine::default().with_jobs(1);
+        let sources = [VULN_SRC, SAFE_SRC, VULN_SRC];
+        let (default_run, _) = engine.scan_sources_with_stats(&sources);
+        engine.clear_cache();
+        let (override_run, stats) = engine.scan_sources_with_stats_jobs(&sources, 8);
+        assert_eq!(stats.jobs, 3, "worker count clamps to the input count");
+        assert_eq!(default_run, override_run);
     }
 
     #[test]

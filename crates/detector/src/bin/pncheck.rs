@@ -51,37 +51,21 @@
 //! *all* leading syntax errors with line and column, the remaining files
 //! are still scanned, and the exit code is 2.
 
-use std::collections::HashSet;
 use std::io::Read as _;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use pnew_detector::cliopts::{self, CommonOpts};
 use pnew_detector::emit::{self, FileRecord, OracleRecord, OutputFormat};
 use pnew_detector::oracle::{Matrix, Oracle, Verdict};
 use pnew_detector::trace::TraceCollector;
 use pnew_detector::{
-    parse_program_recovering, Analyzer, AnalyzerConfig, BaselineChecker, BatchEngine, FindingKind,
-    Fixer, ParseError, PersistentCache, Program, Severity,
+    parse_program_recovering, Analyzer, BaselineChecker, BatchEngine, Fixer, ParseError,
+    PersistentCache, Program, Severity,
 };
 
 const USAGE: &str = "usage: pncheck [--baseline] [--fix] [--oracle] [--format text|json|sarif] [--min-severity LEVEL] [--disable KIND]... [--jobs N] [--cache-dir DIR] [--no-summaries] [--stats] PATH... | -";
-
-/// Recursively collects `*.pnx` files under `dir`, sorted by path so the
-/// scan order (and therefore the output order) is deterministic.
-fn collect_pnx(dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
-    let mut entries: Vec<std::fs::DirEntry> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
-    entries.sort_by_key(std::fs::DirEntry::path);
-    for entry in entries {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_pnx(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "pnx") {
-            out.push(path.to_string_lossy().into_owned());
-        }
-    }
-    Ok(())
-}
 
 /// One input after reading: raw text, not yet parsed. The default scan
 /// path hands sources to the batch engine unparsed, so a warm
@@ -125,74 +109,29 @@ fn main() -> ExitCode {
     let mut fix = false;
     let mut oracle = false;
     let mut stats = false;
-    let mut format = OutputFormat::Text;
-    let mut jobs: Option<usize> = None;
+    let mut opts = CommonOpts::default();
     let mut cache_dir: Option<PathBuf> = None;
-    let mut config = AnalyzerConfig::default();
     let mut inputs = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
+        if let Some(result) = opts.accept(&arg, &mut args) {
+            if let Err(e) = result {
+                eprintln!("pncheck: {e}");
+                return ExitCode::from(2);
+            }
+            continue;
+        }
         match arg.as_str() {
             "--baseline" => baseline = true,
             "--fix" => fix = true,
             "--oracle" => oracle = true,
             "--stats" => stats = true,
-            "--format" => {
-                let Some(value) = args.next() else {
-                    eprintln!("pncheck: --format needs a value (text|json|sarif)");
-                    return ExitCode::from(2);
-                };
-                match value.parse::<OutputFormat>() {
-                    Ok(f) => format = f,
-                    Err(e) => {
-                        eprintln!("pncheck: {e}");
-                        return ExitCode::from(2);
-                    }
-                }
-            }
-            "--jobs" => {
-                let parsed = args.next().and_then(|n| n.parse::<usize>().ok());
-                match parsed {
-                    Some(n) if n > 0 => jobs = Some(n),
-                    _ => {
-                        eprintln!("pncheck: --jobs needs a positive integer");
-                        return ExitCode::from(2);
-                    }
-                }
-            }
             "--cache-dir" => {
                 let Some(dir) = args.next() else {
                     eprintln!("pncheck: --cache-dir needs a directory");
                     return ExitCode::from(2);
                 };
                 cache_dir = Some(PathBuf::from(dir));
-            }
-            "--no-summaries" => config.use_summaries = false,
-            "--min-severity" => {
-                let Some(level) = args.next() else {
-                    eprintln!("pncheck: --min-severity needs a value");
-                    return ExitCode::from(2);
-                };
-                match level.parse::<Severity>() {
-                    Ok(s) => config.min_severity = s,
-                    Err(e) => {
-                        eprintln!("pncheck: {e}");
-                        return ExitCode::from(2);
-                    }
-                }
-            }
-            "--disable" => {
-                let Some(kind) = args.next() else {
-                    eprintln!("pncheck: --disable needs a finding kind");
-                    return ExitCode::from(2);
-                };
-                match FindingKind::from_name(&kind) {
-                    Some(k) => config.disabled.push(k),
-                    None => {
-                        eprintln!("pncheck: unknown finding kind {kind:?}");
-                        return ExitCode::from(2);
-                    }
-                }
             }
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
@@ -201,6 +140,7 @@ fn main() -> ExitCode {
             _ => inputs.push(arg),
         }
     }
+    let CommonOpts { jobs, format, config } = opts;
     if inputs.is_empty() {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
@@ -218,29 +158,31 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    // Expand directories, then canonicalize and deduplicate so a file
-    // named both directly and via an enclosing directory scans once.
-    let mut had_errors = false;
-    let mut paths = Vec::new();
-    for input in inputs {
-        if input != "-" && Path::new(&input).is_dir() {
-            if let Err(e) = collect_pnx(Path::new(&input), &mut paths) {
-                eprintln!("pncheck: {input}: {e}");
-                had_errors = true;
+    // An unusable --cache-dir is a configuration error, not a
+    // degradation: failing fast (before any file is read) keeps CI
+    // pipelines from silently running uncached forever. With --format
+    // json the failure still produces a parseable envelope on stdout.
+    let persistent = match (&cache_dir, baseline || oracle) {
+        (Some(dir), false) => match PersistentCache::open(dir, &config) {
+            Ok(pc) => Some(pc),
+            Err(e) => {
+                let message = format!("cannot open cache dir {}: {e}", dir.display());
+                eprintln!("pncheck: error: {message}");
+                if format == OutputFormat::Json {
+                    print!("{}", emit::render_error_json("cache-dir-unusable", &message));
+                }
+                return ExitCode::from(2);
             }
-        } else {
-            paths.push(input);
-        }
+        },
+        _ => None,
+    };
+
+    let mut had_errors = false;
+    let (paths, expand_errors) = cliopts::expand_inputs(&inputs);
+    for e in expand_errors {
+        eprintln!("pncheck: {e}");
+        had_errors = true;
     }
-    let mut seen: HashSet<PathBuf> = HashSet::new();
-    paths.retain(|path| {
-        let key = if path == "-" {
-            PathBuf::from("-")
-        } else {
-            std::fs::canonicalize(path).unwrap_or_else(|_| PathBuf::from(path))
-        };
-        seen.insert(key)
-    });
 
     // Read every input. Bad files are reported with their path; the rest
     // still get scanned. `unreadable` counts inputs that never became a
@@ -311,14 +253,8 @@ fn main() -> ExitCode {
         if let Some(t) = &trace {
             engine = engine.with_trace(Arc::clone(t));
         }
-        if let Some(dir) = &cache_dir {
-            match PersistentCache::open(dir, engine.analyzer().config()) {
-                Ok(pc) => engine = engine.with_persistent_cache(pc),
-                Err(e) => eprintln!(
-                    "pncheck: warning: cannot open cache dir {}: {e}; caching disabled",
-                    dir.display()
-                ),
-            }
+        if let Some(pc) = persistent {
+            engine = engine.with_persistent_cache(pc);
         }
         let sources: Vec<&str> = files.iter().map(|f| f.source.as_str()).collect();
         let (outcomes, s) = engine.scan_sources_with_stats(&sources);

@@ -1,0 +1,161 @@
+//! `pncheckd` — the placement-new checker as a persistent service.
+//!
+//! ```text
+//! usage: pncheckd [OPTIONS]
+//!
+//!   Serves the pncheckd/1 protocol (newline-delimited JSON requests,
+//!   framed responses) on stdin/stdout, or on a TCP socket with
+//!   --listen. The daemon keeps one warm analysis engine per requested
+//!   configuration, so repeated analyses of unchanged sources are
+//!   served from memory without parsing or re-analysis.
+//!
+//!   --listen ADDR:PORT       serve TCP instead of stdio (port 0 picks
+//!                            a free port; the bound address is printed
+//!                            to stderr as "pncheckd: listening on …")
+//!   --jobs N                 default worker threads per scan
+//!                            (requests may override per-request)
+//!   --min-severity LEVEL     default reporting threshold
+//!   --disable KIND           disable one finding kind (repeatable)
+//!   --no-summaries           analyze without function summaries
+//!   --cache-dir DIR          persistent cache shared across restarts;
+//!                            an unusable DIR fails startup (exit 2)
+//!   --max-request-bytes N    request line limit (default 4194304)
+//!   --max-connections N      concurrent TCP connection limit
+//!                            (default 32)
+//!   --idle-timeout-secs N    close idle TCP connections after N
+//!                            seconds (0 = never; default 300)
+//! ```
+//!
+//! See `docs/pnx-syntax.md` for the full protocol reference. Exit
+//! status: 0 after a clean shutdown (EOF or a `shutdown` request), 2 on
+//! usage errors or an unusable `--cache-dir`.
+
+use std::io;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use pnew_detector::cliopts::CommonOpts;
+use pnew_detector::server::{Server, ServerConfig};
+
+const USAGE: &str = "usage: pncheckd [--listen ADDR:PORT] [--jobs N] [--min-severity LEVEL] [--disable KIND]... [--no-summaries] [--cache-dir DIR] [--max-request-bytes N] [--max-connections N] [--idle-timeout-secs N]";
+
+fn main() -> ExitCode {
+    let mut listen: Option<String> = None;
+    let mut opts = CommonOpts::default();
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut server_config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(result) = opts.accept(&arg, &mut args) {
+            if let Err(e) = result {
+                eprintln!("pncheckd: {e}");
+                return ExitCode::from(2);
+            }
+            continue;
+        }
+        macro_rules! numeric_value {
+            ($flag:literal) => {
+                match args.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => v,
+                    None => {
+                        eprintln!("pncheckd: {} needs a non-negative integer", $flag);
+                        return ExitCode::from(2);
+                    }
+                }
+            };
+        }
+        match arg.as_str() {
+            "--listen" => {
+                let Some(addr) = args.next() else {
+                    eprintln!("pncheckd: --listen needs ADDR:PORT");
+                    return ExitCode::from(2);
+                };
+                listen = Some(addr);
+            }
+            "--cache-dir" => {
+                let Some(dir) = args.next() else {
+                    eprintln!("pncheckd: --cache-dir needs a directory");
+                    return ExitCode::from(2);
+                };
+                cache_dir = Some(PathBuf::from(dir));
+            }
+            "--max-request-bytes" => {
+                let n: usize = numeric_value!("--max-request-bytes");
+                if n == 0 {
+                    eprintln!("pncheckd: --max-request-bytes needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                server_config.max_request_bytes = n;
+            }
+            "--max-connections" => {
+                let n: usize = numeric_value!("--max-connections");
+                if n == 0 {
+                    eprintln!("pncheckd: --max-connections needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                server_config.max_connections = n;
+            }
+            "--idle-timeout-secs" => {
+                let n: u64 = numeric_value!("--idle-timeout-secs");
+                server_config.idle_timeout = (n > 0).then(|| Duration::from_secs(n));
+            }
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pncheckd: unknown argument {other:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // The daemon's text/json/sarif default belongs to each request, not
+    // the process; reject the flag rather than ignore it silently.
+    if opts.format != pnew_detector::emit::OutputFormat::default() {
+        eprintln!("pncheckd: --format is per-request; pass \"format\" in the analyze request");
+        return ExitCode::from(2);
+    }
+    server_config.base = opts.config;
+    server_config.jobs = opts.jobs;
+    server_config.cache_dir = cache_dir;
+
+    // Like pncheck, an unusable --cache-dir fails startup loudly
+    // instead of degrading to an uncached daemon.
+    let server = match Server::new(server_config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("pncheckd: error: cannot open cache dir: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let served = match listen {
+        None => {
+            let stdin = io::stdin().lock();
+            let stdout = io::stdout().lock();
+            server.serve_connection(stdin, stdout)
+        }
+        Some(addr) => match TcpListener::bind(&addr) {
+            Ok(listener) => {
+                match listener.local_addr() {
+                    Ok(local) => eprintln!("pncheckd: listening on {local}"),
+                    Err(_) => eprintln!("pncheckd: listening on {addr}"),
+                }
+                server.serve_listener(listener)
+            }
+            Err(e) => {
+                eprintln!("pncheckd: cannot listen on {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pncheckd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -107,8 +107,9 @@ pub struct PersistentCacheStats {
 /// Tag folding everything about the analyzer that changes its output:
 /// the reporting threshold, the disabled kinds, the interprocedural
 /// strategy flag, and the rule inventory itself (so adding a finding
-/// kind invalidates old entries).
-fn config_tag(config: &AnalyzerConfig) -> u64 {
+/// kind invalidates old entries). Also the daemon's engine-map key, so
+/// two requests with equivalent options always share one engine.
+pub(crate) fn config_tag(config: &AnalyzerConfig) -> u64 {
     let mut canon = format!(
         "v{}|sev:{}|sum:{}|rules:{}",
         SCHEMA_VERSION,
@@ -128,8 +129,17 @@ fn config_tag(config: &AnalyzerConfig) -> u64 {
 impl PersistentCache {
     /// Opens (creating if needed) the cache directory, bound to the
     /// analyzer configuration whose results it stores.
+    ///
+    /// The directory is probed for writability up front: a cache that
+    /// could never store an entry (read-only directory, permission
+    /// mismatch) fails here with the underlying error instead of
+    /// silently degrading every later `put`, so callers can fail fast
+    /// with a clear message.
     pub fn open(dir: &Path, config: &AnalyzerConfig) -> std::io::Result<Self> {
         fs::create_dir_all(dir)?;
+        let probe = dir.join(format!(".probe-{}.tmp", std::process::id()));
+        fs::File::create(&probe).and_then(|mut f| f.write_all(b"pnx"))?;
+        fs::remove_file(&probe)?;
         Ok(PersistentCache {
             dir: dir.to_path_buf(),
             config_tag: config_tag(config),
@@ -499,6 +509,24 @@ mod tests {
         .unwrap();
         assert_eq!(cache.get(key_b), CacheLookup::Corrupt);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_fails_fast_on_an_uncreatable_dir() {
+        // A regular file where the directory should be: open must
+        // surface the error immediately instead of degrading every
+        // later put. (A read-only directory behaves the same, but that
+        // cannot be asserted portably when tests run as root.)
+        let base = tmp_dir("uncreatable");
+        fs::create_dir_all(&base).unwrap();
+        let file = base.join("not-a-dir");
+        fs::write(&file, b"occupied").unwrap();
+        assert!(PersistentCache::open(&file, &AnalyzerConfig::default()).is_err());
+        assert!(
+            PersistentCache::open(&file.join("below"), &AnalyzerConfig::default()).is_err(),
+            "a path under a file is uncreatable too"
+        );
+        let _ = fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Shared option parsing and input collection for the detector's front
+//! ends: `pncheck`, the `pncheckd` daemon, and `xcheck`.
+//!
+//! All three accept the same scan options (`--jobs`, `--min-severity`,
+//! `--disable`, output format) and the same PATH semantics (a `.pnx`
+//! file, or a directory scanned recursively in sorted order, with
+//! canonicalize-and-dedup). Centralizing the value parsing here means a
+//! request to the daemon is validated by *exactly* the rules the CLI
+//! enforces — the two cannot drift, and the protocol tests assert the
+//! error messages byte-for-byte against the CLI's.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+use crate::analysis::AnalyzerConfig;
+use crate::emit::OutputFormat;
+use crate::findings::{FindingKind, Severity};
+
+/// Parses a worker count: a positive integer.
+pub fn parse_jobs(value: &str) -> Result<usize, String> {
+    match value.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err("--jobs needs a positive integer".to_owned()),
+    }
+}
+
+/// Parses a reporting threshold (`info|warning|error`).
+pub fn parse_min_severity(value: &str) -> Result<Severity, String> {
+    value.parse::<Severity>()
+}
+
+/// Parses one finding kind to disable.
+pub fn parse_disable(value: &str) -> Result<FindingKind, String> {
+    FindingKind::from_name(value).ok_or_else(|| format!("unknown finding kind {value:?}"))
+}
+
+/// Parses an output format (`text|json|sarif`).
+pub fn parse_format(value: &str) -> Result<OutputFormat, String> {
+    value.parse::<OutputFormat>()
+}
+
+/// The options every detector front end shares, with their defaults.
+#[derive(Debug, Clone, Default)]
+pub struct CommonOpts {
+    /// `--jobs N`; `None` means the engine's default (available
+    /// parallelism).
+    pub jobs: Option<usize>,
+    /// Output format selection.
+    pub format: OutputFormat,
+    /// Analyzer configuration (`--min-severity`, `--disable`,
+    /// `--no-summaries`).
+    pub config: AnalyzerConfig,
+}
+
+impl CommonOpts {
+    /// Tries to consume `arg` (pulling any value from `rest`) as one of
+    /// the shared flags.
+    ///
+    /// Returns `None` when the flag is not a shared one (the caller
+    /// handles it), `Some(Ok(()))` when it was applied, and
+    /// `Some(Err(message))` when it was recognized but its value was
+    /// missing or invalid — the caller prints the message (prefixed
+    /// with its own name) and exits 2.
+    pub fn accept(
+        &mut self,
+        arg: &str,
+        rest: &mut dyn Iterator<Item = String>,
+    ) -> Option<Result<(), String>> {
+        match arg {
+            "--jobs" => Some(match rest.next() {
+                Some(v) => parse_jobs(&v).map(|n| self.jobs = Some(n)),
+                None => Err("--jobs needs a positive integer".to_owned()),
+            }),
+            "--min-severity" => Some(match rest.next() {
+                Some(v) => parse_min_severity(&v).map(|s| self.config.min_severity = s),
+                None => Err("--min-severity needs a value".to_owned()),
+            }),
+            "--disable" => Some(match rest.next() {
+                Some(v) => parse_disable(&v).map(|k| self.config.disabled.push(k)),
+                None => Err("--disable needs a finding kind".to_owned()),
+            }),
+            "--format" => Some(match rest.next() {
+                Some(v) => parse_format(&v).map(|f| self.format = f),
+                None => Err("--format needs a value (text|json|sarif)".to_owned()),
+            }),
+            "--no-summaries" => {
+                self.config.use_summaries = false;
+                Some(Ok(()))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Recursively collects `*.pnx` files under `dir`, sorted by path so
+/// the scan order (and therefore the output order) is deterministic.
+pub fn collect_pnx(dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    let mut entries: Vec<std::fs::DirEntry> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::path);
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_pnx(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "pnx") {
+            out.push(path.to_string_lossy().into_owned());
+        }
+    }
+    Ok(())
+}
+
+/// Expands directories to their sorted `*.pnx` contents, then
+/// canonicalizes and deduplicates, so a file named both directly and
+/// via an enclosing directory scans once. `-` (stdin) passes through
+/// untouched. Returns the paths and one `"{input}: {error}"` line per
+/// directory that could not be read.
+pub fn expand_inputs(inputs: &[String]) -> (Vec<String>, Vec<String>) {
+    let mut errors = Vec::new();
+    let mut paths = Vec::new();
+    for input in inputs {
+        if input != "-" && Path::new(input).is_dir() {
+            if let Err(e) = collect_pnx(Path::new(input), &mut paths) {
+                errors.push(format!("{input}: {e}"));
+            }
+        } else {
+            paths.push(input.clone());
+        }
+    }
+    let mut seen: HashSet<PathBuf> = HashSet::new();
+    paths.retain(|path| {
+        let key = if path == "-" {
+            PathBuf::from("-")
+        } else {
+            std::fs::canonicalize(path).unwrap_or_else(|_| PathBuf::from(path))
+        };
+        seen.insert(key)
+    });
+    (paths, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_parsers_accept_valid_and_reject_invalid() {
+        assert_eq!(parse_jobs("4"), Ok(4));
+        assert!(parse_jobs("0").is_err());
+        assert!(parse_jobs("many").is_err());
+        assert_eq!(parse_min_severity("warning"), Ok(Severity::Warning));
+        assert!(parse_min_severity("loud").unwrap_err().contains("unknown severity"));
+        assert_eq!(parse_disable("oversized-placement"), Ok(FindingKind::OversizedPlacement));
+        assert!(parse_disable("bogus").unwrap_err().contains("unknown finding kind"));
+        assert_eq!(parse_format("sarif"), Ok(OutputFormat::Sarif));
+        assert!(parse_format("yaml").unwrap_err().contains("unknown format"));
+    }
+
+    #[test]
+    fn accept_consumes_shared_flags_and_ignores_others() {
+        let mut opts = CommonOpts::default();
+        let mut rest = vec!["2".to_owned(), "error".to_owned()].into_iter();
+        assert_eq!(opts.accept("--jobs", &mut rest), Some(Ok(())));
+        assert_eq!(opts.accept("--min-severity", &mut rest), Some(Ok(())));
+        assert_eq!(opts.accept("--no-summaries", &mut rest), Some(Ok(())));
+        assert_eq!(opts.accept("--baseline", &mut rest), None);
+        assert_eq!(opts.jobs, Some(2));
+        assert_eq!(opts.config.min_severity, Severity::Error);
+        assert!(!opts.config.use_summaries);
+    }
+
+    #[test]
+    fn accept_reports_missing_and_bad_values() {
+        let mut opts = CommonOpts::default();
+        let mut empty = Vec::new().into_iter();
+        let err = opts.accept("--jobs", &mut empty).unwrap().unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        let mut bad = vec!["nope".to_owned()].into_iter();
+        let err = opts.accept("--format", &mut bad).unwrap().unwrap_err();
+        assert!(err.contains("unknown format"), "{err}");
+    }
+
+    #[test]
+    fn expand_inputs_dedups_and_passes_stdin_through() {
+        let dir = std::env::temp_dir().join(format!("pnx-cliopts-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        std::fs::write(dir.join("a.pnx"), "program a;\n").unwrap();
+        std::fs::write(dir.join("sub/b.pnx"), "program b;\n").unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let direct = dir.join("a.pnx").to_string_lossy().into_owned();
+        let inputs =
+            vec![dir.to_string_lossy().into_owned(), direct.clone(), "-".to_owned(), direct];
+        let (paths, errors) = expand_inputs(&inputs);
+        assert!(errors.is_empty(), "{errors:?}");
+        // a.pnx once (dir + direct + repeat), b.pnx once, stdin once.
+        assert_eq!(paths.len(), 3, "{paths:?}");
+        assert!(paths.contains(&"-".to_owned()));
+        assert!(paths.iter().filter(|p| p.ends_with("a.pnx")).count() == 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

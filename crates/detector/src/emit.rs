@@ -69,9 +69,12 @@ pub struct FileRecord {
 // ---------------------------------------------------------------------
 
 /// An ordered JSON value; object fields serialize in insertion order.
+/// Crate-visible so the daemon ([`crate::server`]) builds its response
+/// headers and stats payloads on the same serializer the envelopes use.
 #[derive(Debug, Clone)]
-enum JsonValue {
+pub(crate) enum JsonValue {
     Null,
+    Bool(bool),
     U64(u64),
     F64(f64),
     Str(String),
@@ -79,11 +82,11 @@ enum JsonValue {
     Obj(Vec<(String, JsonValue)>),
 }
 
-fn s(v: impl Into<String>) -> JsonValue {
+pub(crate) fn s(v: impl Into<String>) -> JsonValue {
     JsonValue::Str(v.into())
 }
 
-fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+pub(crate) fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
     JsonValue::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
 }
 
@@ -107,6 +110,7 @@ fn write_value(v: &JsonValue, indent: usize, out: &mut String) {
     const STEP: &str = "  ";
     match v {
         JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
         JsonValue::U64(n) => {
             let _ = write!(out, "{n}");
         }
@@ -167,6 +171,56 @@ fn render(v: &JsonValue) -> String {
     out
 }
 
+/// Renders `v` on one line with no insignificant whitespace — the
+/// framing the daemon's newline-delimited response headers need (a
+/// header must never contain a raw newline). Deterministic like
+/// [`render`]: field order is construction order.
+pub(crate) fn render_compact(v: &JsonValue) -> String {
+    fn write_compact(v: &JsonValue, out: &mut String) {
+        match v {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JsonValue::F64(x) => {
+                let _ = write!(out, "{x:.1}");
+            }
+            JsonValue::Str(text) => {
+                out.push('"');
+                escape_into(text, out);
+                out.push('"');
+            }
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_compact(item, out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(key, out);
+                    out.push_str("\":");
+                    write_compact(value, out);
+                }
+                out.push('}');
+            }
+        }
+    }
+    let mut out = String::new();
+    write_compact(v, &mut out);
+    out
+}
+
 // ---------------------------------------------------------------------
 // The pncheck JSON envelope.
 // ---------------------------------------------------------------------
@@ -212,6 +266,7 @@ fn stats_value(stats: &BatchStats) -> JsonValue {
         ("jobs", JsonValue::U64(stats.jobs as u64)),
         ("cache_hits", JsonValue::U64(stats.cache_hits)),
         ("cache_misses", JsonValue::U64(stats.cache_misses)),
+        ("parses", JsonValue::U64(stats.parses)),
         ("persistent_cache_hits", JsonValue::U64(stats.persistent_hits)),
         ("persistent_cache_misses", JsonValue::U64(stats.persistent_misses)),
         ("persistent_cache_corrupt", JsonValue::U64(stats.persistent_corrupt)),
@@ -279,6 +334,29 @@ pub fn render_json(
         ("files", JsonValue::Arr(files.iter().map(file_value).collect())),
         ("stats", stats.map_or(JsonValue::Null, stats_value)),
         ("trace", trace.map_or(JsonValue::Null, trace_value)),
+    ]);
+    render(&envelope)
+}
+
+/// Renders a `pncheck-report/1` envelope describing a run that could
+/// not start: no files, plus a structured `error` object with a stable
+/// machine-readable code. Used when a usage-level failure (an unusable
+/// `--cache-dir`, for instance) must still produce valid JSON on
+/// stdout for pipelines that parse it.
+pub fn render_error_json(code: &str, message: &str) -> String {
+    let envelope = obj(vec![
+        ("schema", s("pncheck-report/1")),
+        ("tool", obj(vec![("name", s("pncheck")), ("version", s(tool_version()))])),
+        (
+            "summary",
+            obj(vec![
+                ("files", JsonValue::U64(0)),
+                ("findings", JsonValue::U64(0)),
+                ("parse_errors", JsonValue::U64(0)),
+            ]),
+        ),
+        ("files", JsonValue::Arr(Vec::new())),
+        ("error", obj(vec![("code", s(code)), ("message", s(message))])),
     ]);
     render(&envelope)
 }
@@ -533,6 +611,32 @@ mod tests {
     fn json_escaping_covers_control_and_quote_characters() {
         let v = s("a\"b\\c\nd\te\u{1}");
         assert_eq!(render(&v), "\"a\\\"b\\\\c\\nd\\te\\u0001\"\n");
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_escaped() {
+        let v = obj(vec![
+            ("ok", JsonValue::Bool(true)),
+            ("n", JsonValue::U64(3)),
+            ("text", s("two\nlines")),
+            ("arr", JsonValue::Arr(vec![JsonValue::Null, JsonValue::U64(1)])),
+            ("empty", obj(vec![])),
+        ]);
+        let line = render_compact(&v);
+        assert!(!line.contains('\n'), "{line}");
+        assert_eq!(
+            line,
+            "{\"ok\":true,\"n\":3,\"text\":\"two\\nlines\",\"arr\":[null,1],\"empty\":{}}"
+        );
+    }
+
+    #[test]
+    fn error_envelope_is_schema_valid_and_carries_the_code() {
+        let json = render_error_json("cache-dir-unusable", "cannot open /nope: denied");
+        assert!(json.contains("\"schema\": \"pncheck-report/1\""), "{json}");
+        assert!(json.contains("\"code\": \"cache-dir-unusable\""), "{json}");
+        assert!(json.contains("\"message\": \"cannot open /nope: denied\""), "{json}");
+        assert!(json.contains("\"files\": []"), "{json}");
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //!   ordering deterministic;
 //! * the [`BaselineChecker`] — a stand-in for traditional overflow tools
 //!   that knows classic copy-overflows but has no concept of placement
-//!   new, used to reproduce the paper's coverage-gap claim (E21).
+//!   new, used to reproduce the paper's coverage-gap claim (E21);
+//! * the [`server`] — `pncheckd`, the detector as a persistent service:
+//!   one warm [`BatchEngine`] per configuration behind a versioned
+//!   newline-delimited JSON protocol over stdio or TCP.
 //!
 //! # Examples
 //!
@@ -47,6 +50,7 @@ mod baseline;
 pub mod batch;
 mod builder;
 pub mod cache;
+pub mod cliopts;
 pub mod emit;
 pub mod exec;
 mod findings;
@@ -55,6 +59,7 @@ pub mod ir;
 pub mod oracle;
 mod parse;
 mod pretty;
+pub mod server;
 mod summary;
 pub mod trace;
 

@@ -1,0 +1,1306 @@
+//! `pncheckd` — the detector as a persistent analysis service.
+//!
+//! Every one-shot `pncheck` run pays process startup, cache open, and
+//! engine construction before it analyzes a single file. A [`Server`]
+//! pays them once: it holds one [`BatchEngine`] per analyzer
+//! configuration — each with its in-memory source/program fingerprint
+//! tiers and (optionally) an open [`PersistentCache`] — across requests,
+//! so a warm `analyze` of unchanged text runs zero parses and zero
+//! analyses. Requests fan out onto the engine's worker pool with a
+//! per-request `jobs` override.
+//!
+//! # The `pncheckd/1` protocol
+//!
+//! Newline-delimited JSON over stdin/stdout or a TCP connection. A
+//! **request** is one line, a JSON object:
+//!
+//! ```text
+//! {"op":"analyze","id":1,"paths":["examples/pnx"],"jobs":2}
+//! {"op":"analyze","id":2,"source":"program p;\nfn main() {}\n","format":"json"}
+//! {"op":"stats","id":3}
+//! {"op":"ping","id":4}
+//! {"op":"shutdown","id":5}
+//! ```
+//!
+//! A **response** is one header line — a compact JSON object that never
+//! contains a raw newline — followed by exactly `bytes` bytes of
+//! payload:
+//!
+//! ```text
+//! {"schema":"pncheckd/1","id":1,"ok":true,"op":"analyze","exit":1,"bytes":1234}
+//! ...1234 payload bytes...
+//! ```
+//!
+//! The `analyze` payload **reuses the `pncheck` envelopes byte for
+//! byte**: `format: "json"` (the default) is exactly `pncheck --format
+//! json` over the same inputs, `"sarif"` is `--format sarif`, `"text"`
+//! is the CLI's text report. `exit` mirrors the CLI's exit status (0
+//! clean, 1 findings, 2 read/parse errors). Malformed, oversized, or
+//! invalid requests get `"ok":false` with a structured `error` object —
+//! never a dropped connection, and never interference with other
+//! clients. Field values are validated by [`crate::cliopts`], the same
+//! rules the CLI enforces.
+//!
+//! Robustness is the point of a daemon: request lines are bounded
+//! ([`ServerConfig::max_request_bytes`], code `too-large`), concurrent
+//! TCP clients are bounded ([`ServerConfig::max_connections`], code
+//! `busy`), idle connections are reaped
+//! ([`ServerConfig::idle_timeout`], code `idle-timeout`), and
+//! `shutdown` stops the accept loop, closes lingering connections, and
+//! lets in-flight requests finish — cache entries are written
+//! synchronously during each scan, so nothing is lost.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::analysis::{Analyzer, AnalyzerConfig};
+use crate::batch::BatchEngine;
+use crate::cache::{config_tag, PersistentCache};
+use crate::cliopts;
+use crate::emit::{self, obj, FileRecord, JsonValue, OutputFormat};
+use crate::trace::TraceCollector;
+
+/// The protocol name and version announced in every response header.
+pub const PROTOCOL: &str = "pncheckd/1";
+
+/// The stats payload schema.
+pub const STATS_SCHEMA: &str = "pncheckd-stats/1";
+
+// ---------------------------------------------------------------------
+// A minimal, defensive JSON parser.
+// ---------------------------------------------------------------------
+//
+// The workspace builds offline (no serde), and until now only ever
+// *wrote* JSON. The daemon reads it from untrusted clients, so the
+// parser is strict and bounded: recursion depth is capped, escapes are
+// validated (including surrogate pairs), and any trailing garbage is an
+// error. Input size is bounded upstream by the request-line limit.
+
+/// Maximum nesting depth a request may use.
+const MAX_JSON_DEPTH: usize = 64;
+
+/// A parsed JSON value. Object fields keep their input order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonNode {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number that is an exact integer.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonNode>),
+    /// An object, fields in input order.
+    Obj(Vec<(String, JsonNode)>),
+}
+
+/// Parses one JSON document; the whole input must be consumed.
+pub fn parse_json(text: &str) -> Result<JsonNode, String> {
+    let mut p = JsonParser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonNode, String> {
+        if depth > MAX_JSON_DEPTH {
+            return Err("nesting too deep".to_owned());
+        }
+        match self.peek() {
+            None => Err("unexpected end of input".to_owned()),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonNode::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonNode::Bool(true)),
+            Some(b'f') => self.literal("false", JsonNode::Bool(false)),
+            Some(b'n') => self.literal("null", JsonNode::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => {
+                Err(format!("unexpected character {:?} at byte {}", char::from(other), self.pos))
+            }
+        }
+    }
+
+    fn literal(&mut self, word: &str, node: JsonNode) -> Result<JsonNode, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(node)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonNode, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonNode::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonNode::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonNode, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonNode::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonNode::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u16, String> {
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| "truncated \\u escape".to_owned())?;
+        let text = std::str::from_utf8(slice).map_err(|_| "invalid \\u escape".to_owned())?;
+        let code =
+            u16::from_str_radix(text, 16).map_err(|_| format!("invalid \\u escape {text:?}"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must
+                                // follow with the low half.
+                                if self.bytes.get(self.pos) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                {
+                                    return Err("unpaired surrogate".to_owned());
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("unpaired surrogate".to_owned());
+                                }
+                                let code = 0x10000
+                                    + ((u32::from(hi) - 0xD800) << 10)
+                                    + (u32::from(lo) - 0xDC00);
+                                char::from_u32(code).ok_or("invalid surrogate pair")?
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err("unpaired surrogate".to_owned());
+                            } else {
+                                char::from_u32(u32::from(hi)).ok_or("invalid \\u escape")?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(format!("invalid escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(format!("raw control character at byte {}", self.pos));
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through verbatim; the
+                    // input is already a &str, so it is valid.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b >= 0x80 && (b & 0xC0) == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input was valid UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonNode, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if integral {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(JsonNode::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonNode::Float)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests.
+// ---------------------------------------------------------------------
+
+/// A validated request id: echoed verbatim in the response header.
+#[derive(Debug, Clone, PartialEq)]
+enum RequestId {
+    None,
+    Str(String),
+    Int(u64),
+}
+
+impl RequestId {
+    fn to_value(&self) -> JsonValue {
+        match self {
+            RequestId::None => JsonValue::Null,
+            RequestId::Str(text) => emit::s(text.clone()),
+            RequestId::Int(n) => JsonValue::U64(*n),
+        }
+    }
+}
+
+/// The analyze-request options after validation.
+#[derive(Debug, Clone)]
+struct AnalyzeRequest {
+    /// Filesystem paths (dirs expand) — exclusive with `source`.
+    paths: Vec<String>,
+    /// Inline source text, analyzed under the path `-`.
+    source: Option<String>,
+    jobs: Option<usize>,
+    config: AnalyzerConfig,
+    format: OutputFormat,
+    stats: bool,
+}
+
+enum Request {
+    Analyze(Box<AnalyzeRequest>),
+    Ping,
+    Stats,
+    Shutdown,
+}
+
+/// A protocol-level failure: a stable machine-readable code plus a
+/// human-oriented message.
+struct RequestError {
+    code: &'static str,
+    message: String,
+}
+
+impl RequestError {
+    fn new(code: &'static str, message: impl Into<String>) -> Self {
+        RequestError { code, message: message.into() }
+    }
+}
+
+fn parse_request(
+    node: JsonNode,
+    base: &AnalyzerConfig,
+) -> Result<(RequestId, Request), (RequestId, RequestError)> {
+    let JsonNode::Obj(fields) = node else {
+        return Err((
+            RequestId::None,
+            RequestError::new("bad-request", "request must be a JSON object"),
+        ));
+    };
+    // The id is recovered first so even a rejected request echoes it.
+    let id = match fields.iter().find(|(k, _)| k == "id").map(|(_, v)| v) {
+        None | Some(JsonNode::Null) => RequestId::None,
+        Some(JsonNode::Str(text)) => RequestId::Str(text.clone()),
+        Some(JsonNode::Int(n)) if *n >= 0 => RequestId::Int(*n as u64),
+        Some(_) => {
+            return Err((
+                RequestId::None,
+                RequestError::new(
+                    "bad-request",
+                    "\"id\" must be a string or a non-negative integer",
+                ),
+            ));
+        }
+    };
+    let fail = |code, message: String| (id.clone(), RequestError::new(code, message));
+
+    let Some(JsonNode::Str(op)) = fields.iter().find(|(k, _)| k == "op").map(|(_, v)| v) else {
+        return Err(fail("bad-request", "request needs a string \"op\" field".to_owned()));
+    };
+    let allowed: &[&str] = match op.as_str() {
+        "analyze" => {
+            &["op", "id", "paths", "source", "jobs", "min_severity", "disable", "format", "stats"]
+        }
+        "ping" | "stats" | "shutdown" => &["op", "id"],
+        other => {
+            return Err(fail(
+                "unknown-op",
+                format!("unknown op {other:?} (analyze|stats|ping|shutdown)"),
+            ));
+        }
+    };
+    for (key, _) in &fields {
+        if !allowed.contains(&key.as_str()) {
+            return Err(fail("bad-request", format!("unknown field {key:?} for op {op:?}")));
+        }
+    }
+    let op = op.clone();
+    match op.as_str() {
+        "ping" => return Ok((id, Request::Ping)),
+        "stats" => return Ok((id, Request::Stats)),
+        "shutdown" => return Ok((id, Request::Shutdown)),
+        _ => {}
+    }
+
+    // analyze: shared options are validated by the same `cliopts` rules
+    // the CLI uses, so the daemon cannot drift from `pncheck`.
+    let mut req = AnalyzeRequest {
+        paths: Vec::new(),
+        source: None,
+        jobs: None,
+        config: base.clone(),
+        format: OutputFormat::Json,
+        stats: false,
+    };
+    for (key, value) in fields {
+        match (key.as_str(), value) {
+            ("op", _) | ("id", _) => {}
+            ("paths", JsonNode::Arr(items)) => {
+                for item in items {
+                    match item {
+                        JsonNode::Str(path) => req.paths.push(path),
+                        _ => {
+                            return Err(fail(
+                                "bad-request",
+                                "\"paths\" must be an array of strings".to_owned(),
+                            ));
+                        }
+                    }
+                }
+            }
+            ("source", JsonNode::Str(text)) => req.source = Some(text),
+            ("jobs", JsonNode::Int(n)) => match cliopts::parse_jobs(&n.to_string()) {
+                Ok(n) => req.jobs = Some(n),
+                Err(e) => return Err(fail("bad-value", e)),
+            },
+            ("min_severity", JsonNode::Str(level)) => match cliopts::parse_min_severity(&level) {
+                Ok(s) => req.config.min_severity = s,
+                Err(e) => return Err(fail("bad-value", e)),
+            },
+            ("disable", JsonNode::Arr(items)) => {
+                for item in items {
+                    match item {
+                        JsonNode::Str(kind) => match cliopts::parse_disable(&kind) {
+                            Ok(k) => req.config.disabled.push(k),
+                            Err(e) => return Err(fail("bad-value", e)),
+                        },
+                        _ => {
+                            return Err(fail(
+                                "bad-request",
+                                "\"disable\" must be an array of strings".to_owned(),
+                            ));
+                        }
+                    }
+                }
+            }
+            ("format", JsonNode::Str(value)) => match cliopts::parse_format(&value) {
+                Ok(f) => req.format = f,
+                Err(e) => return Err(fail("bad-value", e)),
+            },
+            ("stats", JsonNode::Bool(b)) => req.stats = b,
+            (key, _) => {
+                return Err(fail("bad-request", format!("field {key:?} has the wrong type")));
+            }
+        }
+    }
+    if req.paths.is_empty() == req.source.is_none() {
+        return Err(fail(
+            "bad-request",
+            "analyze needs exactly one of \"paths\" or \"source\"".to_owned(),
+        ));
+    }
+    Ok((id, Request::Analyze(Box::new(req))))
+}
+
+// ---------------------------------------------------------------------
+// The server.
+// ---------------------------------------------------------------------
+
+/// Tunables for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The analyzer configuration requests inherit (a request's
+    /// `min_severity`/`disable` override it for that request only).
+    pub base: AnalyzerConfig,
+    /// Default worker count per scan; `None` = available parallelism.
+    pub jobs: Option<usize>,
+    /// Directory for the persistent cache tier; `None` disables it.
+    pub cache_dir: Option<PathBuf>,
+    /// Longest accepted request line, in bytes. Longer lines are
+    /// discarded and answered with a `too-large` error.
+    pub max_request_bytes: usize,
+    /// Concurrent TCP connections before new ones are turned away with
+    /// a `busy` error.
+    pub max_connections: usize,
+    /// How long a TCP connection may sit idle between requests before
+    /// the server closes it (`idle-timeout`). `None` = never.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            base: AnalyzerConfig::default(),
+            jobs: None,
+            cache_dir: None,
+            max_request_bytes: 4 * 1024 * 1024,
+            max_connections: 32,
+            idle_timeout: Some(Duration::from_secs(300)),
+        }
+    }
+}
+
+/// One response, framed and ready to write: a single header line plus
+/// exactly the payload bytes the header advertises.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// Compact single-line JSON header (no trailing newline).
+    pub header: String,
+    /// Payload, exactly `bytes` bytes as advertised in the header.
+    pub payload: String,
+    /// The request asked the server to shut down.
+    pub shutdown: bool,
+}
+
+impl Reply {
+    fn error(id: &RequestId, err: &RequestError) -> Reply {
+        let header = obj(vec![
+            ("schema", emit::s(PROTOCOL)),
+            ("id", id.to_value()),
+            ("ok", JsonValue::Bool(false)),
+            (
+                "error",
+                obj(vec![("code", emit::s(err.code)), ("message", emit::s(err.message.clone()))]),
+            ),
+            ("bytes", JsonValue::U64(0)),
+        ]);
+        Reply { header: emit::render_compact(&header), payload: String::new(), shutdown: false }
+    }
+
+    /// Writes the framed reply: header line, newline, payload bytes.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(self.header.as_bytes())?;
+        w.write_all(b"\n")?;
+        w.write_all(self.payload.as_bytes())?;
+        w.flush()
+    }
+}
+
+/// The resident analysis service. See the [module docs](self) for the
+/// protocol. Thread-safe: one `Server` handles any number of
+/// connections concurrently, and all of them share the warm engines.
+#[derive(Debug)]
+pub struct Server {
+    config: ServerConfig,
+    /// One engine per analyzer configuration, keyed by its config tag —
+    /// requests with equivalent options share one engine (and its warm
+    /// caches); the cache tags guarantee an engine never serves a
+    /// verdict computed under different rules.
+    engines: Mutex<HashMap<u64, Arc<BatchEngine>>>,
+    trace: TraceCollector,
+    started: Instant,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+    rejected_connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Server {
+    /// Builds the server and eagerly constructs the base-configuration
+    /// engine, so an unusable `cache_dir` fails here — fast, with the
+    /// underlying error — instead of degrading silently per request.
+    pub fn new(config: ServerConfig) -> io::Result<Self> {
+        let server = Server {
+            config,
+            engines: Mutex::new(HashMap::new()),
+            trace: TraceCollector::new(),
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+            rejected_connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        };
+        let base = server.config.base.clone();
+        server.engine_for(&base)?;
+        Ok(server)
+    }
+
+    /// `true` once a `shutdown` request has been served.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The engine for `config`, building (and caching) it on first use.
+    fn engine_for(&self, config: &AnalyzerConfig) -> io::Result<Arc<BatchEngine>> {
+        let tag = config_tag(config);
+        if let Some(engine) = self.engines.lock().expect("engine map poisoned").get(&tag) {
+            return Ok(Arc::clone(engine));
+        }
+        let mut engine = BatchEngine::new(Analyzer::with_config(config.clone()));
+        if let Some(jobs) = self.config.jobs {
+            engine = engine.with_jobs(jobs);
+        }
+        if let Some(dir) = &self.config.cache_dir {
+            // Entries are config-tagged, so every engine can share one
+            // directory without ever serving a stale verdict.
+            engine = engine.with_persistent_cache(PersistentCache::open(dir, config)?);
+        }
+        let engine = Arc::new(engine);
+        self.engines
+            .lock()
+            .expect("engine map poisoned")
+            .entry(tag)
+            .or_insert_with(|| Arc::clone(&engine));
+        Ok(engine)
+    }
+
+    /// Handles one request line and returns the framed reply. This is
+    /// the whole protocol with the transport peeled off — the tests
+    /// drive it directly, and every transport goes through it.
+    pub fn handle_line(&self, line: &str) -> Reply {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.trace.count("server.requests", 1);
+        let parsed = match parse_json(line) {
+            Ok(node) => parse_request(node, &self.config.base),
+            Err(e) => Err((
+                RequestId::None,
+                RequestError::new("bad-request", format!("invalid JSON: {e}")),
+            )),
+        };
+        match parsed {
+            Err((id, err)) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.trace.count("server.errors", 1);
+                Reply::error(&id, &err)
+            }
+            Ok((id, Request::Ping)) => {
+                self.trace.count("server.ping", 1);
+                let header = obj(vec![
+                    ("schema", emit::s(PROTOCOL)),
+                    ("id", id.to_value()),
+                    ("ok", JsonValue::Bool(true)),
+                    ("op", emit::s("ping")),
+                    ("event", emit::s("pong")),
+                    ("bytes", JsonValue::U64(0)),
+                ]);
+                Reply {
+                    header: emit::render_compact(&header),
+                    payload: String::new(),
+                    shutdown: false,
+                }
+            }
+            Ok((id, Request::Stats)) => {
+                self.trace.count("server.stats", 1);
+                let payload = self.render_stats();
+                let header = obj(vec![
+                    ("schema", emit::s(PROTOCOL)),
+                    ("id", id.to_value()),
+                    ("ok", JsonValue::Bool(true)),
+                    ("op", emit::s("stats")),
+                    ("bytes", JsonValue::U64(payload.len() as u64)),
+                ]);
+                Reply { header: emit::render_compact(&header), payload, shutdown: false }
+            }
+            Ok((id, Request::Shutdown)) => {
+                self.trace.count("server.shutdown", 1);
+                self.shutdown.store(true, Ordering::SeqCst);
+                let header = obj(vec![
+                    ("schema", emit::s(PROTOCOL)),
+                    ("id", id.to_value()),
+                    ("ok", JsonValue::Bool(true)),
+                    ("op", emit::s("shutdown")),
+                    ("event", emit::s("shutting-down")),
+                    ("bytes", JsonValue::U64(0)),
+                ]);
+                Reply {
+                    header: emit::render_compact(&header),
+                    payload: String::new(),
+                    shutdown: true,
+                }
+            }
+            Ok((id, Request::Analyze(req))) => {
+                self.trace.count("server.analyze", 1);
+                let start = Instant::now();
+                let reply = match self.analyze(&id, &req) {
+                    Ok(reply) => reply,
+                    Err(err) => {
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                        self.trace.count("server.errors", 1);
+                        Reply::error(&id, &err)
+                    }
+                };
+                self.trace.record_pass("server.analyze", start.elapsed());
+                reply
+            }
+        }
+    }
+
+    /// Serves one `analyze` request: expand inputs exactly like the
+    /// CLI, scan through the shared engine, and render the same
+    /// envelope `pncheck` would print.
+    fn analyze(&self, id: &RequestId, req: &AnalyzeRequest) -> Result<Reply, RequestError> {
+        let engine = self.engine_for(&req.config).map_err(|e| {
+            RequestError::new("engine-unavailable", format!("cannot open cache: {e}"))
+        })?;
+
+        let mut file_errors: Vec<String> = Vec::new();
+        let mut files: Vec<(String, String)> = Vec::new();
+        if let Some(source) = &req.source {
+            // Inline text is analyzed under the path `-`, matching
+            // `pncheck -` fed the same bytes on stdin.
+            files.push(("-".to_owned(), source.clone()));
+        } else {
+            let (paths, expand_errors) = cliopts::expand_inputs(&req.paths);
+            file_errors.extend(expand_errors);
+            for path in paths {
+                match std::fs::read_to_string(&path) {
+                    Ok(source) => files.push((path, source)),
+                    Err(e) => file_errors.push(format!("{path}: {e}")),
+                }
+            }
+        }
+
+        let sources: Vec<&str> = files.iter().map(|(_, s)| s.as_str()).collect();
+        let jobs = req.jobs.unwrap_or_else(|| engine.jobs());
+        let (outcomes, scan_stats) = engine.scan_sources_with_stats_jobs(&sources, jobs);
+        let mut had_parse_errors = false;
+        let records: Vec<FileRecord> = files
+            .iter()
+            .zip(outcomes)
+            .map(|((path, _), outcome)| {
+                had_parse_errors |= !outcome.errors.is_empty();
+                FileRecord { path: path.clone(), report: outcome.report, errors: outcome.errors }
+            })
+            .collect();
+
+        self.trace.count("server.files", records.len() as u64);
+        let findings: usize =
+            records.iter().filter_map(|r| r.report.as_ref()).map(|r| r.findings.len()).sum();
+        self.trace.count("server.findings", findings as u64);
+
+        let payload = match req.format {
+            OutputFormat::Json => {
+                let embedded = req.stats.then_some(&scan_stats);
+                emit::render_json(&records, embedded, None)
+            }
+            OutputFormat::Sarif => emit::render_sarif(&records),
+            OutputFormat::Text => {
+                use std::fmt::Write as _;
+                let mut out = String::new();
+                for record in &records {
+                    let Some(report) = &record.report else { continue };
+                    let _ = write!(out, "{report}");
+                    for finding in &report.findings {
+                        let _ = writeln!(out, "    hint: {}", finding.kind.suggestion());
+                    }
+                }
+                out
+            }
+        };
+
+        let had_errors = !file_errors.is_empty() || had_parse_errors;
+        let any_findings = records
+            .iter()
+            .filter_map(|r| r.report.as_ref())
+            .any(|r| r.detected_at(crate::findings::Severity::Warning));
+        let exit: u64 = if had_errors {
+            2
+        } else if any_findings {
+            1
+        } else {
+            0
+        };
+
+        let mut header_fields = vec![
+            ("schema", emit::s(PROTOCOL)),
+            ("id", id.to_value()),
+            ("ok", JsonValue::Bool(true)),
+            ("op", emit::s("analyze")),
+            ("exit", JsonValue::U64(exit)),
+        ];
+        if !file_errors.is_empty() {
+            header_fields.push((
+                "file_errors",
+                JsonValue::Arr(file_errors.iter().map(|e| emit::s(e.clone())).collect()),
+            ));
+        }
+        header_fields.push(("bytes", JsonValue::U64(payload.len() as u64)));
+        Ok(Reply { header: emit::render_compact(&obj(header_fields)), payload, shutdown: false })
+    }
+
+    /// The `pncheckd-stats/1` payload: request counters, connection
+    /// state, and the aggregated cache/parse counters of every engine.
+    fn render_stats(&self) -> String {
+        let engines = self.engines.lock().expect("engine map poisoned");
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut parses = 0u64;
+        let mut entries = 0u64;
+        let mut source_entries = 0u64;
+        let (mut p_hits, mut p_misses, mut p_corrupt, mut p_stores) = (0u64, 0u64, 0u64, 0u64);
+        for engine in engines.values() {
+            let c = engine.cache_stats();
+            hits += c.hits;
+            misses += c.misses;
+            parses += c.parses;
+            entries += c.entries as u64;
+            source_entries += c.source_entries as u64;
+            if let Some(pc) = engine.persistent_cache() {
+                let s = pc.stats();
+                p_hits += s.hits;
+                p_misses += s.misses;
+                p_corrupt += s.corrupt;
+                p_stores += s.stores;
+            }
+        }
+        let engine_count = engines.len() as u64;
+        drop(engines);
+
+        let snap = self.trace.snapshot();
+        let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        let trace_counters: Vec<(String, JsonValue)> =
+            snap.counters.iter().map(|(name, v)| (name.clone(), JsonValue::U64(*v))).collect();
+        let payload = obj(vec![
+            ("schema", emit::s(STATS_SCHEMA)),
+            (
+                "tool",
+                obj(vec![
+                    ("name", emit::s("pncheckd")),
+                    ("version", emit::s(env!("CARGO_PKG_VERSION"))),
+                ]),
+            ),
+            (
+                "uptime_us",
+                JsonValue::U64(self.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64),
+            ),
+            (
+                "requests",
+                obj(vec![
+                    ("total", JsonValue::U64(self.requests.load(Ordering::Relaxed))),
+                    ("analyze", JsonValue::U64(counter("server.analyze"))),
+                    ("ping", JsonValue::U64(counter("server.ping"))),
+                    ("stats", JsonValue::U64(counter("server.stats"))),
+                    ("shutdown", JsonValue::U64(counter("server.shutdown"))),
+                    ("errors", JsonValue::U64(self.errors.load(Ordering::Relaxed))),
+                ]),
+            ),
+            (
+                "connections",
+                obj(vec![
+                    (
+                        "active",
+                        JsonValue::U64(self.active_connections.load(Ordering::Relaxed) as u64),
+                    ),
+                    ("rejected", JsonValue::U64(self.rejected_connections.load(Ordering::Relaxed))),
+                    ("max", JsonValue::U64(self.config.max_connections as u64)),
+                ]),
+            ),
+            (
+                "analysis",
+                obj(vec![
+                    ("engines", JsonValue::U64(engine_count)),
+                    ("files", JsonValue::U64(counter("server.files"))),
+                    ("findings", JsonValue::U64(counter("server.findings"))),
+                    ("parses", JsonValue::U64(parses)),
+                    ("fingerprint_hits", JsonValue::U64(hits)),
+                    ("fingerprint_misses", JsonValue::U64(misses)),
+                    ("program_cache_entries", JsonValue::U64(entries)),
+                    ("source_cache_entries", JsonValue::U64(source_entries)),
+                    ("persistent_hits", JsonValue::U64(p_hits)),
+                    ("persistent_misses", JsonValue::U64(p_misses)),
+                    ("persistent_corrupt", JsonValue::U64(p_corrupt)),
+                    ("persistent_stores", JsonValue::U64(p_stores)),
+                ]),
+            ),
+            ("trace", JsonValue::Obj(trace_counters)),
+        ]);
+        emit::render_compact(&payload) + "\n"
+    }
+
+    /// Serves one connection: reads request lines, writes framed
+    /// replies, until EOF, a `shutdown` request, the server shutting
+    /// down, or an idle timeout. Used for stdio and per TCP socket.
+    pub fn serve_connection<R: BufRead, W: Write>(
+        &self,
+        mut reader: R,
+        mut writer: W,
+    ) -> io::Result<()> {
+        loop {
+            if self.is_shutdown() {
+                return Ok(());
+            }
+            match read_line_bounded(&mut reader, self.config.max_request_bytes) {
+                Ok(LineRead::Eof) => return Ok(()),
+                Ok(LineRead::TooLong) => {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    self.trace.count("server.errors", 1);
+                    let err = RequestError::new(
+                        "too-large",
+                        format!("request exceeds the {}-byte limit", self.config.max_request_bytes),
+                    );
+                    Reply::error(&RequestId::None, &err).write_to(&mut writer)?;
+                }
+                Ok(LineRead::Line(bytes)) => {
+                    let Ok(line) = std::str::from_utf8(&bytes) else {
+                        self.errors.fetch_add(1, Ordering::Relaxed);
+                        self.trace.count("server.errors", 1);
+                        let err = RequestError::new("bad-request", "request is not valid UTF-8");
+                        Reply::error(&RequestId::None, &err).write_to(&mut writer)?;
+                        continue;
+                    };
+                    if line.trim().is_empty() {
+                        continue; // blank lines keep NDJSON pipelines simple
+                    }
+                    let reply = self.handle_line(line);
+                    reply.write_to(&mut writer)?;
+                    if reply.shutdown {
+                        return Ok(());
+                    }
+                }
+                Err(e)
+                    if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+                {
+                    // Read timeout: tell the client why and close.
+                    let err = RequestError::new("idle-timeout", "connection idle too long");
+                    let _ = Reply::error(&RequestId::None, &err).write_to(&mut writer);
+                    return Ok(());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Accepts and serves TCP connections until a `shutdown` request
+    /// arrives on any of them. Connections over the limit are answered
+    /// with a `busy` error and closed; lingering connections are shut
+    /// down once the accept loop stops, and in-flight requests finish
+    /// before this returns.
+    pub fn serve_listener(&self, listener: TcpListener) -> io::Result<()> {
+        listener.set_nonblocking(true)?;
+        let open: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
+        thread::scope(|scope| -> io::Result<()> {
+            while !self.is_shutdown() {
+                match listener.accept() {
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(20)),
+                    Ok((stream, _peer)) => {
+                        if self.active_connections.load(Ordering::SeqCst)
+                            >= self.config.max_connections
+                        {
+                            self.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                            self.trace.count("server.rejected-connections", 1);
+                            let err = RequestError::new(
+                                "busy",
+                                format!(
+                                    "connection limit ({}) reached; retry later",
+                                    self.config.max_connections
+                                ),
+                            );
+                            let mut stream = stream;
+                            let _ = Reply::error(&RequestId::None, &err).write_to(&mut stream);
+                            continue;
+                        }
+                        self.active_connections.fetch_add(1, Ordering::SeqCst);
+                        self.trace.count("server.connections", 1);
+                        if let Ok(clone) = stream.try_clone() {
+                            open.lock().expect("open connections poisoned").push(clone);
+                        }
+                        let _ = stream.set_read_timeout(self.config.idle_timeout);
+                        let _ = stream.set_nodelay(true);
+                        scope.spawn(move || {
+                            let reader =
+                                io::BufReader::new(stream.try_clone().expect("tcp stream clones"));
+                            let _ = self.serve_connection(reader, &stream);
+                            let _ = stream.shutdown(Shutdown::Both);
+                            self.active_connections.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    }
+                }
+            }
+            // Wake any connection blocked in read so the scope can
+            // join; their threads observe EOF and exit cleanly.
+            for stream in open.lock().expect("open connections poisoned").drain(..) {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+            Ok(())
+        })
+    }
+}
+
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line (newline stripped), or the final unterminated
+    /// line before EOF.
+    Line(Vec<u8>),
+    /// The line exceeded the limit; it was discarded through its
+    /// newline (or EOF) so the stream stays request-aligned.
+    TooLong,
+    /// The stream is exhausted.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes. Longer lines
+/// are consumed and discarded — the connection survives, the request
+/// does not.
+fn read_line_bounded(reader: &mut impl BufRead, max: usize) -> io::Result<LineRead> {
+    let mut line = Vec::new();
+    let mut discarding = false;
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(match (discarding, line.is_empty()) {
+                (true, _) => LineRead::TooLong,
+                (false, true) => LineRead::Eof,
+                (false, false) => LineRead::Line(line),
+            });
+        }
+        let (chunk, found_newline) = match buf.iter().position(|&b| b == b'\n') {
+            Some(i) => (&buf[..i], true),
+            None => (buf, false),
+        };
+        if !discarding {
+            if line.len() + chunk.len() > max {
+                discarding = true;
+                line.clear();
+            } else {
+                line.extend_from_slice(chunk);
+            }
+        }
+        let consumed = chunk.len() + usize::from(found_newline);
+        reader.consume(consumed);
+        if found_newline {
+            return Ok(if discarding { LineRead::TooLong } else { LineRead::Line(line) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> Server {
+        Server::new(ServerConfig::default()).expect("server builds")
+    }
+
+    fn header_fields(reply: &Reply) -> Vec<(String, JsonNode)> {
+        match parse_json(&reply.header).expect("header parses") {
+            JsonNode::Obj(fields) => fields,
+            other => panic!("header is not an object: {other:?}"),
+        }
+    }
+
+    fn field<'a>(fields: &'a [(String, JsonNode)], name: &str) -> &'a JsonNode {
+        &fields.iter().find(|(k, _)| k == name).unwrap_or_else(|| panic!("no {name}")).1
+    }
+
+    #[test]
+    fn json_parser_round_trips_scalars_and_structures() {
+        assert_eq!(parse_json("null"), Ok(JsonNode::Null));
+        assert_eq!(parse_json(" true "), Ok(JsonNode::Bool(true)));
+        assert_eq!(parse_json("-42"), Ok(JsonNode::Int(-42)));
+        assert_eq!(parse_json("2.5"), Ok(JsonNode::Float(2.5)));
+        assert_eq!(parse_json("\"a\\nb\""), Ok(JsonNode::Str("a\nb".into())));
+        assert_eq!(parse_json("\"\\u00e9\\ud83d\\ude00\""), Ok(JsonNode::Str("é😀".into())));
+        assert_eq!(
+            parse_json("[1, \"two\", {\"k\": null}]"),
+            Ok(JsonNode::Arr(vec![
+                JsonNode::Int(1),
+                JsonNode::Str("two".into()),
+                JsonNode::Obj(vec![("k".into(), JsonNode::Null)]),
+            ]))
+        );
+    }
+
+    #[test]
+    fn json_parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "\"unterminated",
+            "01e",
+            "nul",
+            "{\"a\":1,}",
+            "\"\\q\"",
+            "\"\\ud800\"",
+            "1 2",
+            "{\"a\":1} trailing",
+        ] {
+            assert!(parse_json(bad).is_err(), "{bad:?} should fail");
+        }
+        let deep = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(parse_json(&deep).unwrap_err().contains("deep"));
+    }
+
+    #[test]
+    fn ping_pongs_and_echoes_the_id() {
+        let s = server();
+        let reply = s.handle_line("{\"op\":\"ping\",\"id\":\"abc\"}");
+        let fields = header_fields(&reply);
+        assert_eq!(field(&fields, "id"), &JsonNode::Str("abc".into()));
+        assert_eq!(field(&fields, "event"), &JsonNode::Str("pong".into()));
+        assert_eq!(field(&fields, "bytes"), &JsonNode::Int(0));
+        assert!(reply.payload.is_empty());
+        let reply = s.handle_line("{\"op\":\"ping\",\"id\":7}");
+        assert_eq!(field(&header_fields(&reply), "id"), &JsonNode::Int(7));
+    }
+
+    #[test]
+    fn malformed_requests_get_structured_errors() {
+        let s = server();
+        for (line, code) in [
+            ("not json at all", "bad-request"),
+            ("[1,2,3]", "bad-request"),
+            ("{\"id\":1}", "bad-request"),
+            ("{\"op\":\"frobnicate\"}", "unknown-op"),
+            ("{\"op\":\"ping\",\"extra\":1}", "bad-request"),
+            ("{\"op\":\"analyze\"}", "bad-request"),
+            ("{\"op\":\"analyze\",\"paths\":[\"a\"],\"source\":\"b\"}", "bad-request"),
+            ("{\"op\":\"analyze\",\"paths\":[1]}", "bad-request"),
+            ("{\"op\":\"analyze\",\"source\":\"x\",\"jobs\":0}", "bad-value"),
+            ("{\"op\":\"analyze\",\"source\":\"x\",\"min_severity\":\"loud\"}", "bad-value"),
+            ("{\"op\":\"analyze\",\"source\":\"x\",\"disable\":[\"nope\"]}", "bad-value"),
+            ("{\"op\":\"analyze\",\"source\":\"x\",\"format\":\"yaml\"}", "bad-value"),
+            ("{\"op\":\"ping\",\"id\":-3}", "bad-request"),
+        ] {
+            let reply = s.handle_line(line);
+            let fields = header_fields(&reply);
+            assert_eq!(field(&fields, "ok"), &JsonNode::Bool(false), "{line}");
+            let JsonNode::Obj(err) = field(&fields, "error") else { panic!("no error: {line}") };
+            assert_eq!(field(err, "code"), &JsonNode::Str(code.into()), "{line}");
+        }
+    }
+
+    #[test]
+    fn analyze_inline_source_matches_the_cli_envelope_shape() {
+        let s = server();
+        let vulnerable = "program demo;\nclass Student size 16;\nclass GradStudent size 32 : Student;\nfn main() {\n    local stud: Student;\n    local st: ptr;\n    st = new (&stud) GradStudent();\n}\n";
+        let request = JsonNode::Obj(vec![
+            ("op".into(), JsonNode::Str("analyze".into())),
+            ("id".into(), JsonNode::Int(1)),
+            ("source".into(), JsonNode::Str(vulnerable.into())),
+        ]);
+        let reply = s.handle_line(&node_to_line(&request));
+        let fields = header_fields(&reply);
+        assert_eq!(field(&fields, "ok"), &JsonNode::Bool(true));
+        assert_eq!(field(&fields, "exit"), &JsonNode::Int(1));
+        assert_eq!(
+            field(&fields, "bytes"),
+            &JsonNode::Int(reply.payload.len() as i64),
+            "advertised bytes match the payload"
+        );
+        assert!(reply.payload.contains("\"schema\": \"pncheck-report/1\""), "{}", reply.payload);
+        assert!(reply.payload.contains("\"path\": \"-\""), "{}", reply.payload);
+        assert!(reply.payload.contains("pnx/oversized-placement"), "{}", reply.payload);
+    }
+
+    #[test]
+    fn second_analyze_of_the_same_source_runs_zero_parses() {
+        let s = server();
+        let src = "program p;\nclass C size 8;\nfn main() {\n    local c: C;\n}\n";
+        let line =
+            format!("{{\"op\":\"analyze\",\"source\":{}}}", emit::render_compact(&emit::s(src)));
+        s.handle_line(&line);
+        let stats = s.handle_line("{\"op\":\"stats\"}");
+        let before = stats.payload.clone();
+        s.handle_line(&line);
+        let stats = s.handle_line("{\"op\":\"stats\"}");
+        let parses = |payload: &str| {
+            let JsonNode::Obj(fields) = parse_json(payload.trim()).unwrap() else { panic!() };
+            let JsonNode::Obj(analysis) = field(&fields, "analysis").clone() else { panic!() };
+            match (field(&analysis, "parses"), field(&analysis, "fingerprint_hits")) {
+                (JsonNode::Int(p), JsonNode::Int(h)) => (*p, *h),
+                other => panic!("{other:?}"),
+            }
+        };
+        let (parses_before, hits_before) = parses(&before);
+        let (parses_after, hits_after) = parses(&stats.payload);
+        assert_eq!(parses_after, parses_before, "warm re-analyze must not parse");
+        assert_eq!(hits_after, hits_before + 1, "warm re-analyze is a fingerprint hit");
+    }
+
+    #[test]
+    fn shutdown_flips_the_flag_and_reports_it() {
+        let s = server();
+        let reply = s.handle_line("{\"op\":\"shutdown\",\"id\":9}");
+        assert!(reply.shutdown);
+        assert!(s.is_shutdown());
+        assert!(reply.header.contains("\"event\":\"shutting-down\""), "{}", reply.header);
+    }
+
+    #[test]
+    fn serve_connection_frames_replies_and_survives_garbage() {
+        let s = server();
+        let input = b"{\"op\":\"ping\",\"id\":1}\n\x00\xff\xfe garbage \xf3\n\n{\"op\":\"ping\",\"id\":2}\n";
+        let mut out = Vec::new();
+        s.serve_connection(&input[..], &mut out).unwrap();
+        let text = String::from_utf8(out).expect("responses are UTF-8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines[0].contains("\"id\":1"), "{text}");
+        assert!(lines[1].contains("\"ok\":false"), "{text}");
+        assert!(lines[1].contains("not valid UTF-8"), "{text}");
+        assert!(lines[2].contains("\"id\":2"), "{text}");
+    }
+
+    #[test]
+    fn oversized_lines_are_rejected_but_the_connection_survives() {
+        let s =
+            Server::new(ServerConfig { max_request_bytes: 64, ..ServerConfig::default() }).unwrap();
+        let huge = "x".repeat(1000);
+        let input =
+            format!("{{\"op\":\"ping\",\"junk\":\"{huge}\"}}\n{{\"op\":\"ping\",\"id\":2}}\n");
+        let mut out = Vec::new();
+        s.serve_connection(input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].contains("too-large"), "{text}");
+        assert!(lines[1].contains("\"id\":2"), "{text}");
+    }
+
+    #[test]
+    fn bounded_reader_handles_eof_without_newline() {
+        let mut input: &[u8] = b"{\"op\":\"ping\"}";
+        match read_line_bounded(&mut input, 1024).unwrap() {
+            LineRead::Line(line) => assert_eq!(line, b"{\"op\":\"ping\"}"),
+            other => panic!("{:?}", std::mem::discriminant(&other)),
+        }
+    }
+
+    /// Renders a JsonNode back to compact JSON (tests only).
+    fn node_to_line(node: &JsonNode) -> String {
+        fn conv(node: &JsonNode) -> JsonValue {
+            match node {
+                JsonNode::Null => JsonValue::Null,
+                JsonNode::Bool(b) => JsonValue::Bool(*b),
+                JsonNode::Int(n) => {
+                    if *n >= 0 {
+                        JsonValue::U64(*n as u64)
+                    } else {
+                        JsonValue::F64(*n as f64)
+                    }
+                }
+                JsonNode::Float(x) => JsonValue::F64(*x),
+                JsonNode::Str(text) => JsonValue::Str(text.clone()),
+                JsonNode::Arr(items) => JsonValue::Arr(items.iter().map(conv).collect()),
+                JsonNode::Obj(fields) => {
+                    JsonValue::Obj(fields.iter().map(|(k, v)| (k.clone(), conv(v))).collect())
+                }
+            }
+        }
+        emit::render_compact(&conv(node))
+    }
+}

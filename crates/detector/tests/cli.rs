@@ -366,3 +366,43 @@ fn oracle_json_envelope_comes_out_of_the_cli() {
     assert!(stdout.contains("\"false_negatives\": 0"), "{stdout}");
     assert!(stdout.contains("\"verdict\": \"true-positive\""), "{stdout}");
 }
+
+#[test]
+fn unusable_cache_dir_fails_fast_with_exit_two() {
+    // A regular file where the cache directory should be: creation
+    // fails for any uid, so the test holds even when run as root.
+    let dir = TempDir::new("badcache");
+    dir.write("blocker", "a file, not a directory");
+    dir.write("vuln.pnx", VULNERABLE);
+    let blocker = dir.path().join("blocker");
+    let input = dir.path().join("vuln.pnx");
+
+    let out = Command::new(PNCHECK)
+        .args(["--cache-dir", blocker.to_str().unwrap(), input.to_str().unwrap()])
+        .output()
+        .expect("pncheck runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(2), "{stdout}{stderr}");
+    assert!(stderr.contains("pncheck: error: cannot open cache dir"), "{stderr}");
+    // Fail-fast: the input is never analyzed, so no findings print.
+    assert!(!stdout.contains("oversized-placement"), "{stdout}");
+
+    // With --format json the failure is still a parseable envelope with
+    // a structured error code.
+    let out = Command::new(PNCHECK)
+        .args([
+            "--format",
+            "json",
+            "--cache-dir",
+            blocker.to_str().unwrap(),
+            input.to_str().unwrap(),
+        ])
+        .output()
+        .expect("pncheck runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(2), "{stdout}");
+    assert!(stdout.contains("\"schema\": \"pncheck-report/1\""), "{stdout}");
+    assert!(stdout.contains("\"code\": \"cache-dir-unusable\""), "{stdout}");
+    assert!(stdout.contains("\"files\": []"), "{stdout}");
+}

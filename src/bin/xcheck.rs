@@ -20,29 +20,15 @@
 //! 0 when analyzer and machine agree (zero false negatives), 1 on any
 //! false negative, 2 on usage or read/parse errors.
 
-use std::path::Path;
 use std::process::ExitCode;
 
 use pnew_corpus::workload;
+use pnew_detector::cliopts;
 use pnew_detector::emit::{render_oracle_json, OracleRecord};
 use pnew_detector::oracle::{Matrix, Oracle};
 use pnew_detector::parse_program_recovering;
 
 const USAGE: &str = "usage: xcheck [--seed N] [--count N] [--json] [PATH...]";
-
-fn collect_pnx(dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
-    let mut entries: Vec<std::fs::DirEntry> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
-    entries.sort_by_key(std::fs::DirEntry::path);
-    for entry in entries {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_pnx(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "pnx") {
-            out.push(path.to_string_lossy().into_owned());
-        }
-    }
-    Ok(())
-}
 
 fn main() -> ExitCode {
     let mut seed = 1u64;
@@ -80,16 +66,10 @@ fn main() -> ExitCode {
     }
 
     let mut had_errors = false;
-    let mut paths = Vec::new();
-    for input in &inputs {
-        if Path::new(input).is_dir() {
-            if let Err(e) = collect_pnx(Path::new(input), &mut paths) {
-                eprintln!("xcheck: {input}: {e}");
-                had_errors = true;
-            }
-        } else {
-            paths.push(input.clone());
-        }
+    let (paths, expand_errors) = cliopts::expand_inputs(&inputs);
+    for e in expand_errors {
+        eprintln!("xcheck: {e}");
+        had_errors = true;
     }
 
     let oracle = Oracle::new();

@@ -1,0 +1,92 @@
+//! Differential test: the `pncheckd` protocol layer against the
+//! one-shot analysis path, over a 200-program generated corpus.
+//!
+//! Every program from `workload::corpus` is pretty-printed to `.pnx`
+//! source and pushed through both paths:
+//!
+//! * **reference** — exactly what `pncheck --format json -` does: scan
+//!   the source through a fresh [`BatchEngine`] and render the
+//!   `pncheck-report/1` envelope;
+//! * **daemon** — an inline-`source` `analyze` request against a
+//!   resident [`Server`].
+//!
+//! The payloads must be byte-identical for all 200 programs — cold and
+//! warm — and the header's `exit` must mirror the CLI's exit-code rule.
+
+use placement_new_attacks::corpus::workload;
+use placement_new_attacks::detector::emit::{render_json, FileRecord};
+use placement_new_attacks::detector::server::{parse_json, JsonNode, Server, ServerConfig};
+use placement_new_attacks::detector::{pretty_program, Analyzer, BatchEngine, Severity};
+
+/// The reference envelope: the exact pipeline `pncheck --format json -`
+/// runs for one stdin program.
+fn one_shot_envelope(source: &str) -> (String, u64) {
+    let engine = BatchEngine::new(Analyzer::new());
+    let (outcomes, _) = engine.scan_sources_with_stats(&[source]);
+    let outcome = outcomes.into_iter().next().expect("one outcome");
+    let record =
+        FileRecord { path: "-".to_owned(), report: outcome.report, errors: outcome.errors };
+    let exit = if !record.errors.is_empty() {
+        2
+    } else if record.report.as_ref().is_some_and(|r| r.detected_at(Severity::Warning)) {
+        1
+    } else {
+        0
+    };
+    (render_json(std::slice::from_ref(&record), None, None), exit)
+}
+
+fn json_str(text: &str) -> String {
+    let mut out = String::from("\"");
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[test]
+fn daemon_envelopes_match_one_shot_analysis_over_200_corpus_programs() {
+    let programs = workload::corpus(1, 200);
+    assert_eq!(programs.len(), 200);
+    let server = Server::new(ServerConfig::default()).expect("server builds");
+
+    let mut mismatches = Vec::new();
+    for (round, label) in [(0, "cold"), (1, "warm")] {
+        for (i, program) in programs.iter().enumerate() {
+            let source = pretty_program(program);
+            let (reference, exit) = one_shot_envelope(&source);
+            let request = format!(
+                "{{\"op\":\"analyze\",\"id\":{},\"source\":{}}}",
+                round * 1000 + i,
+                json_str(&source)
+            );
+            let reply = server.handle_line(&request);
+            if reply.payload != reference {
+                mismatches.push(format!("{label} #{i}: envelope differs"));
+                continue;
+            }
+            let JsonNode::Obj(fields) = parse_json(&reply.header).expect("header parses") else {
+                panic!("header not an object: {}", reply.header);
+            };
+            let got_exit = fields.iter().find(|(k, _)| k == "exit").map(|(_, v)| v.clone());
+            if got_exit != Some(JsonNode::Int(exit as i64)) {
+                mismatches.push(format!("{label} #{i}: exit {got_exit:?} != {exit}"));
+            }
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "{} mismatches: {:?}",
+        mismatches.len(),
+        &mismatches[..mismatches.len().min(5)]
+    );
+}
