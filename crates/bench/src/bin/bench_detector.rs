@@ -19,8 +19,13 @@
 //! * `daemon` — warm `analyze` requests/sec through the resident
 //!   `pncheckd` protocol layer (request parse + cache hit + envelope);
 //! * `interprocedural` — summary-based vs inline analysis over the
-//!   deep call-graph corpus (depth 16, fan-in 8).
+//!   deep call-graph corpus (depth 16, fan-in 8);
+//! * `delta` — incremental rescan after one edited file in a large
+//!   on-disk corpus (`delta_edit_ms`, `delta_speedup` vs the cold
+//!   tracked scan), plus the hub-edit worst case over the fan-in
+//!   corpus, where one edit invalidates a wide summary cone.
 
+use std::path::Path;
 use std::time::Instant;
 
 use pnew_corpus::workload;
@@ -60,6 +65,66 @@ fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
     times[times.len() / 2]
 }
 
+/// Measures one incremental-edit scenario: writes `sources` under
+/// `dir`, takes a cold tracked scan, then alternates one file between
+/// its original text and `edited` and times the `rescan_delta` that
+/// re-analyzes exactly that file — once with the edit named in the
+/// hint (the editor-integration fast path: no stat sweep) and once
+/// unhinted (the watch-mode stat sweep over every tracked file).
+/// Returns `(cold_secs, hinted_secs, sweep_secs, cone_functions)`.
+fn delta_scenario(
+    dir: &Path,
+    sources: &[String],
+    edited: &str,
+    runs: usize,
+) -> (f64, f64, f64, usize) {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).expect("delta corpus dir");
+    let paths: Vec<String> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, src)| {
+            let path = dir.join(format!("f{i:05}.pnx"));
+            std::fs::write(&path, src).expect("corpus file writes");
+            path.to_string_lossy().into_owned()
+        })
+        .collect();
+
+    let engine = BatchEngine::new(Analyzer::new());
+    let cold_s = {
+        let t = Instant::now();
+        let (outcomes, _) = engine.scan_paths_tracked(&paths);
+        assert_eq!(outcomes.len(), sources.len());
+        t.elapsed().as_secs_f64()
+    };
+
+    // Alternate the first file between two texts so every timed rescan
+    // sees exactly one changed file (a no-op rescan would flatter the
+    // numbers). The ~microsecond file write rides inside the timed
+    // region; it is what a real editor-save-to-report cycle pays.
+    let target = paths[0].clone();
+    let texts = [edited, sources[0].as_str()];
+    let mut flip = 0usize;
+    let mut cone = 0usize;
+    let hint = vec![target.clone()];
+    let hinted_s = median_secs(runs.max(2), || {
+        std::fs::write(&target, texts[flip % 2]).expect("edit writes");
+        flip += 1;
+        let (_, _, delta) = engine.rescan_delta(&paths, Some(&hint));
+        assert_eq!(delta.changed_files, 1, "exactly the edited file re-analyzes");
+        assert_eq!(delta.unchanged_files, sources.len() - 1);
+        cone = cone.max(delta.cone_functions);
+    });
+    let sweep_s = median_secs(runs.max(2), || {
+        std::fs::write(&target, texts[flip % 2]).expect("edit writes");
+        flip += 1;
+        let (_, _, delta) = engine.rescan_delta(&paths, None);
+        assert_eq!(delta.changed_files, 1, "the stat sweep finds the edit");
+    });
+    let _ = std::fs::remove_dir_all(dir);
+    (cold_s, hinted_s, sweep_s, cone)
+}
+
 fn main() {
     let mut smoke = false;
     let mut out = String::from("BENCH_detector.json");
@@ -92,7 +157,10 @@ fn main() {
         serial.clear_cache();
         serial.scan(&programs);
     });
-    let parallel = BatchEngine::new(Analyzer::new());
+    // Measure parallel throughput at the machine's detected
+    // parallelism, and record it so runs on different hosts compare.
+    let available_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let parallel = BatchEngine::new(Analyzer::new()).with_jobs(available_cores);
     let parallel_jobs = parallel.jobs();
     let parallel_s = median_secs(runs, || {
         parallel.clear_cache();
@@ -161,13 +229,48 @@ fn main() {
         }
     });
 
+    // Delta: one edited file in a large on-disk corpus. The cold
+    // tracked scan is the from-scratch cost the incremental path
+    // amortizes away; the hinted rescan re-analyzes only the edit. The
+    // corpus mixes a fan-in program in every tenth slot so its analysis
+    // cost has the interprocedural weight of real code, not just the
+    // small leaf programs of `workload::corpus`.
+    let delta_files = if smoke { 300 } else { 10_000 };
+    let small = workload::corpus(7, delta_files);
+    let heavy = workload::fan_in_call_corpus(7, delta_files / 10);
+    let delta_sources: Vec<String> =
+        (0..delta_files)
+            .map(|i| {
+                if i % 10 == 5 {
+                    pretty_program(&heavy[i / 10])
+                } else {
+                    pretty_program(&small[i])
+                }
+            })
+            .collect();
+    let edited = pretty_program(&workload::random_vulnerable_program(0xed17));
+    let delta_dir = std::env::temp_dir().join(format!("pnx-bench-delta-{}", std::process::id()));
+    let (delta_cold_s, delta_edit_s, delta_sweep_s, _) =
+        delta_scenario(&delta_dir, &delta_sources, &edited, runs);
+
+    // Hub edit: the fan-in corpus's worst case — the edited program's
+    // chain functions feed CALL_WIDTH callers per level, so the one
+    // edit invalidates the widest summary cone the workload generates.
+    let hub_files = if smoke { 30 } else { 200 };
+    let hub_sources: Vec<String> =
+        workload::fan_in_call_corpus(7, hub_files).iter().map(pretty_program).collect();
+    let hub_edited = pretty_program(&workload::fan_in_call_corpus(8, 1).remove(0));
+    let hub_dir = std::env::temp_dir().join(format!("pnx-bench-hub-{}", std::process::id()));
+    let (_, hub_edit_s, _, hub_cone) = delta_scenario(&hub_dir, &hub_sources, &hub_edited, runs);
+
     let per_sec = |secs: f64, n: usize| if secs > 0.0 { n as f64 / secs } else { 0.0 };
     let ratio = |slow: f64, fast: f64| if fast > 0.0 { slow / fast } else { 0.0 };
     let json = format!(
-        "{{\n  \"schema\": \"pnx-bench-detector/1\",\n  \"mode\": \"{}\",\n  \"corpus_programs\": {},\n  \"runs_per_measurement\": {},\n  \"serial_programs_per_sec\": {:.1},\n  \"parallel_jobs\": {},\n  \"parallel_programs_per_sec\": {:.1},\n  \"warm_memory_cache_programs_per_sec\": {:.1},\n  \"cold_disk_scan_s\": {:.4},\n  \"warm_disk_scan_s\": {:.4},\n  \"warm_disk_speedup\": {:.1},\n  \"daemon_warm_requests_per_sec\": {:.1},\n  \"deep_corpus\": {{ \"programs\": {}, \"depth\": {}, \"fan_in\": {} }},\n  \"summary_scan_s\": {:.4},\n  \"inline_scan_s\": {:.4},\n  \"summary_speedup\": {:.1}\n}}\n",
+        "{{\n  \"schema\": \"pnx-bench-detector/2\",\n  \"mode\": \"{}\",\n  \"corpus_programs\": {},\n  \"runs_per_measurement\": {},\n  \"available_cores\": {},\n  \"serial_programs_per_sec\": {:.1},\n  \"parallel_jobs\": {},\n  \"parallel_programs_per_sec\": {:.1},\n  \"warm_memory_cache_programs_per_sec\": {:.1},\n  \"cold_disk_scan_s\": {:.4},\n  \"warm_disk_scan_s\": {:.4},\n  \"warm_disk_speedup\": {:.1},\n  \"daemon_warm_requests_per_sec\": {:.1},\n  \"deep_corpus\": {{ \"programs\": {}, \"depth\": {}, \"fan_in\": {} }},\n  \"summary_scan_s\": {:.4},\n  \"inline_scan_s\": {:.4},\n  \"summary_speedup\": {:.1},\n  \"delta_corpus_files\": {},\n  \"delta_cold_scan_s\": {:.4},\n  \"delta_edit_ms\": {:.3},\n  \"delta_stat_sweep_ms\": {:.3},\n  \"delta_speedup\": {:.1},\n  \"hub_corpus_files\": {},\n  \"hub_edit_ms\": {:.3},\n  \"hub_cone_functions\": {}\n}}\n",
         if smoke { "smoke" } else { "full" },
         corpus_size,
         runs,
+        available_cores,
         per_sec(serial_s, corpus_size),
         parallel_jobs,
         per_sec(parallel_s, corpus_size),
@@ -182,6 +285,14 @@ fn main() {
         summary_s,
         inline_s,
         ratio(inline_s, summary_s),
+        delta_files,
+        delta_cold_s,
+        delta_edit_s * 1e3,
+        delta_sweep_s * 1e3,
+        ratio(delta_cold_s, delta_edit_s),
+        hub_files,
+        hub_edit_s * 1e3,
+        hub_cone,
     );
     if let Err(e) = std::fs::write(&out, &json) {
         eprintln!("bench_detector: cannot write {out}: {e}");
@@ -189,8 +300,11 @@ fn main() {
     }
     print!("{json}");
     eprintln!(
-        "bench_detector: summary {:.1}x over inline on deep call graphs, warm disk rescan {:.1}x over cold",
+        "bench_detector: summary {:.1}x over inline on deep call graphs, warm disk rescan {:.1}x over cold, delta edit {:.2}ms ({:.0}x over cold scan of {} files)",
         ratio(inline_s, summary_s),
         ratio(cold_disk_s, warm_disk_s),
+        delta_edit_s * 1e3,
+        ratio(delta_cold_s, delta_edit_s),
+        delta_files,
     );
 }

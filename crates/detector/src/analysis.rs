@@ -427,6 +427,21 @@ impl Analyzer {
             for &fi in &graph.bottom_up {
                 self.entry_summary(&ix, fi, &mut env);
             }
+            // Per-function content fingerprints: preamble text (classes
+            // and globals, which every body's meaning depends on) plus
+            // the function's own canonical text. The dependency lists
+            // below carry the callee fingerprints, so two record sets
+            // alone determine the invalidation cone of an edit.
+            let preamble = crate::pretty::pretty_preamble(program);
+            let fn_fps: Vec<u64> = program
+                .functions
+                .iter()
+                .map(|f| {
+                    let mut text = preamble.clone();
+                    text.push_str(&crate::pretty::pretty_function(program, f));
+                    crate::cache::fnv64(text.as_bytes())
+                })
+                .collect();
             // …then every function's entry findings replay in definition
             // order, keeping reports byte-identical to the inline walk.
             for fi in 0..program.functions.len() {
@@ -436,9 +451,17 @@ impl Analyzer {
                 }
                 records.push(FunctionSummaryRecord {
                     function: program.functions[fi].name.clone(),
+                    fingerprint: fn_fps[fi],
                     findings: summary.findings.len() as u32,
                     region_effects: summary.exit_regions.len() as u32,
                     clobbers: summary.exit_clobber.is_some(),
+                    deps: graph.callees[fi]
+                        .iter()
+                        .map(|&j| crate::summary::SummaryDep {
+                            callee: program.functions[j].name.clone(),
+                            fingerprint: fn_fps[j],
+                        })
+                        .collect(),
                 });
             }
             if let Some(t) = trace {

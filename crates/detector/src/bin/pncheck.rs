@@ -32,6 +32,17 @@
 //!                           are re-analyzed (with a warning), never
 //!                           trusted. Ignored under --baseline and
 //!                           --oracle.
+//!   --delta                 incremental rescan against --cache-dir:
+//!                           classify each input by stat against the
+//!                           cache's delta manifest, re-analyze only
+//!                           changed files, and serve the rest from
+//!                           cache with zero reads and zero parses.
+//!                           Output is byte-identical to a full scan of
+//!                           the same tree. The manifest self-primes:
+//!                           the first --delta run records the tree and
+//!                           later runs go incremental. Requires
+//!                           --cache-dir; incompatible with --baseline,
+//!                           --oracle, --fix, and stdin input.
 //!   --no-summaries          analyze calls by inline re-walk instead of
 //!                           memoized function summaries (slower;
 //!                           results are identical — this flag exists
@@ -65,7 +76,7 @@ use pnew_detector::{
     PersistentCache, Program, Severity,
 };
 
-const USAGE: &str = "usage: pncheck [--baseline] [--fix] [--oracle] [--format text|json|sarif] [--min-severity LEVEL] [--disable KIND]... [--jobs N] [--cache-dir DIR] [--no-summaries] [--stats] PATH... | -";
+const USAGE: &str = "usage: pncheck [--baseline] [--fix] [--oracle] [--format text|json|sarif] [--min-severity LEVEL] [--disable KIND]... [--jobs N] [--cache-dir DIR] [--delta] [--no-summaries] [--stats] PATH... | -";
 
 /// One input after reading: raw text, not yet parsed. The default scan
 /// path hands sources to the batch engine unparsed, so a warm
@@ -109,6 +120,7 @@ fn main() -> ExitCode {
     let mut fix = false;
     let mut oracle = false;
     let mut stats = false;
+    let mut delta = false;
     let mut opts = CommonOpts::default();
     let mut cache_dir: Option<PathBuf> = None;
     let mut inputs = Vec::new();
@@ -126,6 +138,7 @@ fn main() -> ExitCode {
             "--fix" => fix = true,
             "--oracle" => oracle = true,
             "--stats" => stats = true,
+            "--delta" => delta = true,
             "--cache-dir" => {
                 let Some(dir) = args.next() else {
                     eprintln!("pncheck: --cache-dir needs a directory");
@@ -157,6 +170,20 @@ fn main() -> ExitCode {
         eprintln!("pncheck: --oracle supports --format text or json");
         return ExitCode::from(2);
     }
+    if delta {
+        if cache_dir.is_none() {
+            eprintln!("pncheck: --delta requires --cache-dir");
+            return ExitCode::from(2);
+        }
+        if baseline || oracle || fix {
+            eprintln!("pncheck: --delta is incompatible with --baseline, --oracle, and --fix");
+            return ExitCode::from(2);
+        }
+        if inputs.iter().any(|i| i == "-") {
+            eprintln!("pncheck: --delta scans paths, not stdin");
+            return ExitCode::from(2);
+        }
+    }
 
     // An unusable --cache-dir is a configuration error, not a
     // degradation: failing fast (before any file is read) keeps CI
@@ -182,6 +209,19 @@ fn main() -> ExitCode {
     for e in expand_errors {
         eprintln!("pncheck: {e}");
         had_errors = true;
+    }
+
+    if delta {
+        let pc = persistent.expect("--delta validated --cache-dir above");
+        let trace = stats.then(|| Arc::new(TraceCollector::new()));
+        let mut engine = BatchEngine::new(Analyzer::with_config(config)).with_persistent_cache(pc);
+        if let Some(n) = jobs {
+            engine = engine.with_jobs(n);
+        }
+        if let Some(t) = &trace {
+            engine = engine.with_trace(Arc::clone(t));
+        }
+        return run_delta(&paths, &engine, format, stats, trace.as_deref(), had_errors);
     }
 
     // Read every input. Bad files are reported with their path; the rest
@@ -276,6 +316,12 @@ fn main() -> ExitCode {
     };
     let records: Vec<FileRecord> = records;
 
+    // A dying cache must not look like a working one: warn once per
+    // scan when any entry failed to persist.
+    if let Some(s) = &scan_stats {
+        warn_write_errors(s.persistent_write_errors);
+    }
+
     // Errored files = unreadable inputs + files that read but failed to
     // parse. Neither kind ever produces a report, so the count is exact
     // regardless of --jobs.
@@ -324,8 +370,11 @@ fn main() -> ExitCode {
             // "disk" is the cross-run --cache-dir store.
             let disk = if cache_dir.is_some() {
                 format!(
-                    ", disk {}/{} hit/miss ({} corrupt)",
-                    s.persistent_hits, s.persistent_misses, s.persistent_corrupt
+                    ", disk {}/{} hit/miss ({} corrupt, {} write errors)",
+                    s.persistent_hits,
+                    s.persistent_misses,
+                    s.persistent_corrupt,
+                    s.persistent_write_errors
                 )
             } else {
                 String::new()
@@ -346,6 +395,131 @@ fn main() -> ExitCode {
             eprintln!("stats: baseline mode scans serially; no batch stats");
         }
         if let Some(t) = &trace {
+            for line in t.snapshot().lines() {
+                eprintln!("{line}");
+            }
+        }
+    }
+
+    if had_errors {
+        ExitCode::from(2)
+    } else if any_findings {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Warns (once per scan) when persistent-cache writes failed: each
+/// failure degrades one file to uncached, and a silently dying cache
+/// looks exactly like a working one.
+fn warn_write_errors(write_errors: u64) {
+    if write_errors > 0 {
+        eprintln!(
+            "pncheck: warning: {write_errors} cache write error(s); those results were not persisted"
+        );
+    }
+}
+
+/// The `--delta` mode: incremental rescan against the cache directory's
+/// delta manifest. Only changed files are read and re-analyzed; output
+/// and exit status are byte-identical to a full scan of the same tree.
+fn run_delta(
+    paths: &[String],
+    engine: &BatchEngine,
+    format: OutputFormat,
+    stats: bool,
+    trace: Option<&TraceCollector>,
+    mut had_errors: bool,
+) -> ExitCode {
+    let seeded = engine.seed_tracked_from_manifest();
+    let (outcomes, scan_stats, delta) = engine.rescan_delta(paths, None);
+    if !engine.save_tracked_manifest() {
+        eprintln!("pncheck: warning: could not write the delta manifest; next run rescans cold");
+    }
+
+    // Replicate the full-scan error reporting exactly: unreadable files
+    // are named on stderr and never become a record; parse errors are
+    // printed per file (served-from-cache failures included).
+    let mut unreadable = 0usize;
+    let mut records: Vec<FileRecord> = Vec::with_capacity(outcomes.len());
+    for o in &outcomes {
+        if let Some(e) = &o.read_error {
+            eprintln!("pncheck: {}: {e}", o.path);
+            had_errors = true;
+            unreadable += 1;
+            continue;
+        }
+        for e in &o.errors {
+            eprintln!("pncheck: {}: {e}", o.path);
+            had_errors = true;
+        }
+        if o.cache_corrupt {
+            eprintln!("pncheck: warning: corrupt cache entry for {}; re-analyzed", o.path);
+        }
+        records.push(FileRecord {
+            path: o.path.clone(),
+            report: o.analysis.as_ref().map(|a| a.report.clone()),
+            errors: o.errors.clone(),
+        });
+    }
+    warn_write_errors(scan_stats.persistent_write_errors);
+
+    let errored_files = unreadable + records.iter().filter(|r| r.report.is_none()).count();
+    let any_findings =
+        records.iter().filter_map(|r| r.report.as_ref()).any(|r| r.detected_at(Severity::Warning));
+
+    match format {
+        OutputFormat::Text => {
+            for record in &records {
+                let Some(report) = &record.report else { continue };
+                print!("{report}");
+                for finding in &report.findings {
+                    println!("    hint: {}", finding.kind.suggestion());
+                }
+            }
+        }
+        OutputFormat::Json => {
+            let snapshot = trace.map(|t| t.snapshot());
+            let embedded = stats.then_some(&scan_stats);
+            print!("{}", emit::render_json(&records, embedded, snapshot.as_ref()));
+        }
+        OutputFormat::Sarif => {
+            print!("{}", emit::render_sarif(&records));
+        }
+    }
+
+    if stats {
+        let s = &scan_stats;
+        eprintln!(
+            "stats: {} programs, {} findings, {} errored files, {:.0} programs/sec, {} jobs, cache {}/{} hit/miss ({:.1}% hit rate), disk {}/{} hit/miss ({} corrupt, {} write errors), {:.3}s elapsed",
+            s.programs,
+            s.findings,
+            errored_files,
+            s.programs_per_sec(),
+            s.jobs,
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_hit_rate() * 100.0,
+            s.persistent_hits,
+            s.persistent_misses,
+            s.persistent_corrupt,
+            s.persistent_write_errors,
+            s.elapsed.as_secs_f64(),
+        );
+        eprintln!(
+            "delta: {} tracked, {} unchanged, {} changed, {} added, {} removed, {} seeded, cone {}/{} functions ({} changed)",
+            delta.tracked_files,
+            delta.unchanged_files,
+            delta.changed_files,
+            delta.added_files,
+            delta.removed_files,
+            seeded,
+            delta.cone_functions,
+            delta.tracked_functions,
+            delta.changed_functions,
+        );
+        if let Some(t) = trace {
             for line in t.snapshot().lines() {
                 eprintln!("{line}");
             }

@@ -34,8 +34,10 @@ use crate::summary::FunctionSummaryRecord;
 
 const MAGIC: &[u8; 8] = b"PNXCACHE";
 /// Bumped whenever the payload layout or the meaning of any field
-/// changes; old entries then read as misses and get rewritten.
-pub const SCHEMA_VERSION: u32 = 1;
+/// changes; old entries then read as misses and get rewritten. Version
+/// 2 added the per-function content fingerprint and the callee
+/// dependency list to every summary record.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// 128-bit FNV-1a over raw bytes.
 pub(crate) fn fnv128(bytes: &[u8]) -> u128 {
@@ -44,6 +46,21 @@ pub(crate) fn fnv128(bytes: &[u8]) -> u128 {
     let mut hash = OFFSET;
     for &byte in bytes {
         hash ^= u128::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// 64-bit FNV-1a over raw bytes — the per-function content fingerprint
+/// behind [`FunctionSummaryRecord::fingerprint`]. 64 bits suffice here:
+/// the fingerprint distinguishes "same function text" from "edited",
+/// never addresses a corpus-wide store (that is the 128-bit key's job).
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
         hash = hash.wrapping_mul(PRIME);
     }
     hash
@@ -89,6 +106,7 @@ pub struct PersistentCache {
     misses: AtomicU64,
     corrupt: AtomicU64,
     stores: AtomicU64,
+    write_errors: AtomicU64,
 }
 
 /// Lifetime counters of one [`PersistentCache`] handle.
@@ -102,6 +120,12 @@ pub struct PersistentCacheStats {
     pub corrupt: u64,
     /// Entries written.
     pub stores: u64,
+    /// Entries that could not be written (full disk, directory removed
+    /// mid-run, permission change). Each failed `put` degrades that one
+    /// file to uncached — the scan still succeeds — but a silently
+    /// dying cache looks exactly like a working one, so the count is
+    /// surfaced in `--stats` and the daemon's stats envelope.
+    pub write_errors: u64,
 }
 
 /// Tag folding everything about the analyzer that changes its output:
@@ -147,6 +171,7 @@ impl PersistentCache {
             misses: AtomicU64::new(0),
             corrupt: AtomicU64::new(0),
             stores: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
         })
     }
 
@@ -183,7 +208,9 @@ impl PersistentCache {
 
     /// Stores an entry for `key`. Best-effort: a full disk or a
     /// read-only directory downgrades the cache, it does not fail the
-    /// scan.
+    /// scan — but every failed write is counted
+    /// ([`PersistentCacheStats::write_errors`]) so the degradation is
+    /// visible instead of silent.
     pub fn put(&self, key: u128, entry: &CachedAnalysis) {
         let payload = encode_payload(key, entry);
         let mut bytes = Vec::with_capacity(payload.len() + 36);
@@ -202,6 +229,7 @@ impl PersistentCache {
                 self.stores.fetch_add(1, Ordering::Relaxed);
             }
             Err(_) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
                 let _ = fs::remove_file(&tmp);
             }
         }
@@ -214,6 +242,7 @@ impl PersistentCache {
             misses: self.misses.load(Ordering::Relaxed),
             corrupt: self.corrupt.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -284,6 +313,12 @@ fn encode_payload(key: u128, entry: &CachedAnalysis) -> Vec<u8> {
         put_u32(&mut out, s.findings);
         put_u32(&mut out, s.region_effects);
         out.push(u8::from(s.clobbers));
+        put_u64(&mut out, s.fingerprint);
+        put_u32(&mut out, s.deps.len() as u32);
+        for dep in &s.deps {
+            put_str(&mut out, &dep.callee);
+            put_u64(&mut out, dep.fingerprint);
+        }
     }
     out
 }
@@ -325,15 +360,31 @@ fn decode_payload(payload: &[u8], key: u128) -> Option<CachedAnalysis> {
     }
     let mut summaries = Vec::with_capacity(n_summaries);
     for _ in 0..n_summaries {
+        let function = cur.str()?;
+        let findings = cur.u32()?;
+        let region_effects = cur.u32()?;
+        let clobbers = match cur.u8()? {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let fingerprint = cur.u64()?;
+        let n_deps = cur.u32()? as usize;
+        // Defensive bound: each dep takes ≥ 12 bytes encoded.
+        if n_deps > payload.len() / 12 + 1 {
+            return None;
+        }
+        let mut deps = Vec::with_capacity(n_deps);
+        for _ in 0..n_deps {
+            deps.push(crate::summary::SummaryDep { callee: cur.str()?, fingerprint: cur.u64()? });
+        }
         summaries.push(FunctionSummaryRecord {
-            function: cur.str()?,
-            findings: cur.u32()?,
-            region_effects: cur.u32()?,
-            clobbers: match cur.u8()? {
-                0 => false,
-                1 => true,
-                _ => return None,
-            },
+            function,
+            fingerprint,
+            findings,
+            region_effects,
+            clobbers,
+            deps,
         });
     }
     if cur.pos != payload.len() {
@@ -343,6 +394,10 @@ fn decode_payload(payload: &[u8], key: u128) -> Option<CachedAnalysis> {
 }
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -370,6 +425,10 @@ impl Cursor<'_> {
 
     fn u32(&mut self) -> Option<u32> {
         Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
     }
 
     fn u128(&mut self) -> Option<u128> {
@@ -406,12 +465,30 @@ mod tests {
                     message: "overflows by 16 bytes".into(),
                 }],
             },
-            summaries: vec![FunctionSummaryRecord {
-                function: "main".into(),
-                findings: 1,
-                region_effects: 2,
-                clobbers: true,
-            }],
+            summaries: vec![
+                FunctionSummaryRecord {
+                    function: "main".into(),
+                    fingerprint: 0xdead_beef_cafe_f00d,
+                    findings: 1,
+                    region_effects: 2,
+                    clobbers: true,
+                    deps: vec![
+                        crate::summary::SummaryDep {
+                            callee: "helper".into(),
+                            fingerprint: 0x1234_5678_9abc_def0,
+                        },
+                        crate::summary::SummaryDep { callee: "init".into(), fingerprint: 42 },
+                    ],
+                },
+                FunctionSummaryRecord {
+                    function: "helper".into(),
+                    fingerprint: 0x1234_5678_9abc_def0,
+                    findings: 0,
+                    region_effects: 0,
+                    clobbers: false,
+                    deps: Vec::new(),
+                },
+            ],
         }
     }
 
@@ -527,6 +604,23 @@ mod tests {
             "a path under a file is uncreatable too"
         );
         let _ = fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn failed_writes_are_counted_not_silent() {
+        // Remove the directory after open: every put now fails at
+        // File::create (ENOENT) — the classic "cache dir deleted
+        // mid-run" degradation. (chmod-based read-only cannot be
+        // asserted portably when tests run as root.)
+        let dir = tmp_dir("write-errors");
+        let cache = PersistentCache::open(&dir, &AnalyzerConfig::default()).unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+        let key = source_fingerprint("w");
+        cache.put(key, &sample_entry());
+        let stats = cache.stats();
+        assert_eq!(stats.write_errors, 1);
+        assert_eq!(stats.stores, 0);
+        assert_eq!(cache.get(key), CacheLookup::Miss, "a failed put leaves no entry");
     }
 
     #[test]

@@ -270,6 +270,7 @@ fn stats_value(stats: &BatchStats) -> JsonValue {
         ("persistent_cache_hits", JsonValue::U64(stats.persistent_hits)),
         ("persistent_cache_misses", JsonValue::U64(stats.persistent_misses)),
         ("persistent_cache_corrupt", JsonValue::U64(stats.persistent_corrupt)),
+        ("persistent_cache_write_errors", JsonValue::U64(stats.persistent_write_errors)),
         ("elapsed_us", JsonValue::U64(stats.elapsed.as_micros().min(u128::from(u64::MAX)) as u64)),
         ("programs_per_sec", JsonValue::F64(stats.programs_per_sec())),
     ])

@@ -51,6 +51,7 @@ pub mod batch;
 mod builder;
 pub mod cache;
 pub mod cliopts;
+pub mod delta;
 pub mod emit;
 pub mod exec;
 mod findings;
@@ -65,11 +66,14 @@ pub mod trace;
 
 pub use analysis::{Analyzer, AnalyzerConfig};
 pub use baseline::BaselineChecker;
-pub use batch::{fingerprint, BatchEngine, BatchStats, CacheStats, SourceOutcome};
+pub use batch::{
+    fingerprint, BatchEngine, BatchStats, CacheStats, DeltaStats, SourceOutcome, TrackedOutcome,
+};
 pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use cache::{
     source_fingerprint, CacheLookup, CachedAnalysis, PersistentCache, PersistentCacheStats,
 };
+pub use delta::{invalidation_cone, ConeStats};
 pub use exec::{ExecEvent, ExecEventKind, ExecOutcome, Executor};
 pub use findings::{Finding, FindingKind, Report, Severity};
 pub use fixer::{AppliedFix, Fixer};
@@ -80,4 +84,4 @@ pub use ir::{
 pub use oracle::{DifferentialReport, Matrix, Oracle, SiteVerdict, Verdict};
 pub use parse::{parse_program, parse_program_recovering, ParseError, MAX_ERRORS};
 pub use pretty::pretty as pretty_program;
-pub use summary::FunctionSummaryRecord;
+pub use summary::{FunctionSummaryRecord, SummaryDep};

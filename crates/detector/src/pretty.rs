@@ -26,6 +26,20 @@ use crate::ir::{CmpOp, Cond, Expr, Op, Program, Scope, Stmt, Ty, VarId};
 
 /// Renders a program in the `.pnx` surface syntax.
 pub fn pretty(program: &Program) -> String {
+    let mut out = pretty_preamble(program);
+    for f in &program.functions {
+        out.push('\n');
+        write_function(&mut out, program, f);
+    }
+    out
+}
+
+/// Renders the program preamble — name, classes, and globals — exactly
+/// as [`pretty`] prints it. Every function's meaning depends on this
+/// text (class sizes, inheritance, global types), so the per-function
+/// content fingerprints the delta machinery computes include it: an
+/// edited class invalidates every function honestly.
+pub(crate) fn pretty_preamble(program: &Program) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "program {};", program.name);
 
@@ -52,38 +66,46 @@ pub fn pretty(program: &Program) -> String {
     for g in &globals {
         let _ = writeln!(out, "global {}: {};", g.name, ty(&g.ty));
     }
-
-    for f in &program.functions {
-        out.push('\n');
-        let params: Vec<String> = f
-            .vars
-            .iter()
-            .filter_map(|&id| {
-                let v = program.var(id);
-                match v.scope {
-                    Scope::Param { tainted } => Some(format!(
-                        "{}: {}{}",
-                        v.name,
-                        ty(&v.ty),
-                        if tainted { " tainted" } else { "" }
-                    )),
-                    _ => None,
-                }
-            })
-            .collect();
-        let _ = writeln!(out, "fn {}({}) {{", f.name, params.join(", "));
-        for &id in &f.vars {
-            let v = program.var(id);
-            if v.scope == Scope::Local {
-                let _ = writeln!(out, "    local {}: {};", v.name, ty(&v.ty));
-            }
-        }
-        for stmt in &f.body {
-            write_stmt(&mut out, program, stmt, 1);
-        }
-        out.push_str("}\n");
-    }
     out
+}
+
+/// Renders one function exactly as [`pretty`] prints it (no leading
+/// blank line). The per-function half of the content identity behind
+/// [`crate::FunctionSummaryRecord::fingerprint`].
+pub(crate) fn pretty_function(program: &Program, f: &crate::ir::Function) -> String {
+    let mut out = String::new();
+    write_function(&mut out, program, f);
+    out
+}
+
+fn write_function(out: &mut String, program: &Program, f: &crate::ir::Function) {
+    let params: Vec<String> = f
+        .vars
+        .iter()
+        .filter_map(|&id| {
+            let v = program.var(id);
+            match v.scope {
+                Scope::Param { tainted } => Some(format!(
+                    "{}: {}{}",
+                    v.name,
+                    ty(&v.ty),
+                    if tainted { " tainted" } else { "" }
+                )),
+                _ => None,
+            }
+        })
+        .collect();
+    let _ = writeln!(out, "fn {}({}) {{", f.name, params.join(", "));
+    for &id in &f.vars {
+        let v = program.var(id);
+        if v.scope == Scope::Local {
+            let _ = writeln!(out, "    local {}: {};", v.name, ty(&v.ty));
+        }
+    }
+    for stmt in &f.body {
+        write_stmt(out, program, stmt, 1);
+    }
+    out.push_str("}\n");
 }
 
 fn ty(t: &Ty) -> String {

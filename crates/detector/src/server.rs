@@ -17,9 +17,10 @@
 //! ```text
 //! {"op":"analyze","id":1,"paths":["examples/pnx"],"jobs":2}
 //! {"op":"analyze","id":2,"source":"program p;\nfn main() {}\n","format":"json"}
-//! {"op":"stats","id":3}
-//! {"op":"ping","id":4}
-//! {"op":"shutdown","id":5}
+//! {"op":"delta","id":3,"paths":["examples/pnx"],"changed":["examples/pnx/l4.pnx"]}
+//! {"op":"stats","id":4}
+//! {"op":"ping","id":5}
+//! {"op":"shutdown","id":6}
 //! ```
 //!
 //! A **response** is one header line — a compact JSON object that never
@@ -35,7 +36,12 @@
 //! byte**: `format: "json"` (the default) is exactly `pncheck --format
 //! json` over the same inputs, `"sarif"` is `--format sarif`, `"text"`
 //! is the CLI's text report. `exit` mirrors the CLI's exit status (0
-//! clean, 1 findings, 2 read/parse errors). Malformed, oversized, or
+//! clean, 1 findings, 2 read/parse errors). The `delta` op rescans
+//! paths incrementally through the engine's tracked index — unchanged
+//! files (by stat, plus an optional client `changed` hint) are served
+//! with zero reads and zero parses, the payload stays byte-identical
+//! to a full `analyze` of the same paths, and the header carries the
+//! invalidation-cone counters. Malformed, oversized, or
 //! invalid requests get `"ok":false` with a structured `error` object —
 //! never a dropped connection, and never interference with other
 //! clients. Field values are validated by [`crate::cliopts`], the same
@@ -60,7 +66,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::analysis::{Analyzer, AnalyzerConfig};
-use crate::batch::BatchEngine;
+use crate::batch::{BatchEngine, BatchStats};
 use crate::cache::{config_tag, PersistentCache};
 use crate::cliopts;
 use crate::emit::{self, obj, FileRecord, JsonValue, OutputFormat};
@@ -372,6 +378,12 @@ struct AnalyzeRequest {
     config: AnalyzerConfig,
     format: OutputFormat,
     stats: bool,
+    /// `op: "delta"`: incremental rescan against the engine's tracked
+    /// index instead of a full scan. Requires `paths`.
+    delta: bool,
+    /// Client-named changed paths for a delta rescan (a hint — every
+    /// path is still stat-checked, so a stale hint cannot go stale).
+    changed: Option<Vec<String>>,
 }
 
 enum Request {
@@ -428,11 +440,14 @@ fn parse_request(
         "analyze" => {
             &["op", "id", "paths", "source", "jobs", "min_severity", "disable", "format", "stats"]
         }
+        "delta" => {
+            &["op", "id", "paths", "changed", "jobs", "min_severity", "disable", "format", "stats"]
+        }
         "ping" | "stats" | "shutdown" => &["op", "id"],
         other => {
             return Err(fail(
                 "unknown-op",
-                format!("unknown op {other:?} (analyze|stats|ping|shutdown)"),
+                format!("unknown op {other:?} (analyze|delta|stats|ping|shutdown)"),
             ));
         }
     };
@@ -458,6 +473,8 @@ fn parse_request(
         config: base.clone(),
         format: OutputFormat::Json,
         stats: false,
+        delta: op == "delta",
+        changed: None,
     };
     for (key, value) in fields {
         match (key.as_str(), value) {
@@ -476,6 +493,21 @@ fn parse_request(
                 }
             }
             ("source", JsonNode::Str(text)) => req.source = Some(text),
+            ("changed", JsonNode::Arr(items)) => {
+                let mut changed = Vec::with_capacity(items.len());
+                for item in items {
+                    match item {
+                        JsonNode::Str(path) => changed.push(path),
+                        _ => {
+                            return Err(fail(
+                                "bad-request",
+                                "\"changed\" must be an array of strings".to_owned(),
+                            ));
+                        }
+                    }
+                }
+                req.changed = Some(changed);
+            }
             ("jobs", JsonNode::Int(n)) => match cliopts::parse_jobs(&n.to_string()) {
                 Ok(n) => req.jobs = Some(n),
                 Err(e) => return Err(fail("bad-value", e)),
@@ -510,7 +542,11 @@ fn parse_request(
             }
         }
     }
-    if req.paths.is_empty() == req.source.is_none() {
+    if req.delta {
+        if req.paths.is_empty() {
+            return Err(fail("bad-request", "delta needs a non-empty \"paths\"".to_owned()));
+        }
+    } else if req.paths.is_empty() == req.source.is_none() {
         return Err(fail(
             "bad-request",
             "analyze needs exactly one of \"paths\" or \"source\"".to_owned(),
@@ -728,7 +764,8 @@ impl Server {
                 }
             }
             Ok((id, Request::Analyze(req))) => {
-                self.trace.count("server.analyze", 1);
+                let pass = if req.delta { "server.delta" } else { "server.analyze" };
+                self.trace.count(pass, 1);
                 let start = Instant::now();
                 let reply = match self.analyze(&id, &req) {
                     Ok(reply) => reply,
@@ -738,7 +775,7 @@ impl Server {
                         Reply::error(&id, &err)
                     }
                 };
-                self.trace.record_pass("server.analyze", start.elapsed());
+                self.trace.record_pass(pass, start.elapsed());
                 reply
             }
         }
@@ -751,6 +788,9 @@ impl Server {
         let engine = self.engine_for(&req.config).map_err(|e| {
             RequestError::new("engine-unavailable", format!("cannot open cache: {e}"))
         })?;
+        if req.delta {
+            return Ok(self.analyze_delta(id, req, &engine));
+        }
 
         let mut file_errors: Vec<String> = Vec::new();
         let mut files: Vec<(String, String)> = Vec::new();
@@ -787,38 +827,8 @@ impl Server {
             records.iter().filter_map(|r| r.report.as_ref()).map(|r| r.findings.len()).sum();
         self.trace.count("server.findings", findings as u64);
 
-        let payload = match req.format {
-            OutputFormat::Json => {
-                let embedded = req.stats.then_some(&scan_stats);
-                emit::render_json(&records, embedded, None)
-            }
-            OutputFormat::Sarif => emit::render_sarif(&records),
-            OutputFormat::Text => {
-                use std::fmt::Write as _;
-                let mut out = String::new();
-                for record in &records {
-                    let Some(report) = &record.report else { continue };
-                    let _ = write!(out, "{report}");
-                    for finding in &report.findings {
-                        let _ = writeln!(out, "    hint: {}", finding.kind.suggestion());
-                    }
-                }
-                out
-            }
-        };
-
-        let had_errors = !file_errors.is_empty() || had_parse_errors;
-        let any_findings = records
-            .iter()
-            .filter_map(|r| r.report.as_ref())
-            .any(|r| r.detected_at(crate::findings::Severity::Warning));
-        let exit: u64 = if had_errors {
-            2
-        } else if any_findings {
-            1
-        } else {
-            0
-        };
+        let payload = render_payload(req, &records, &scan_stats);
+        let exit = exit_code(&records, !file_errors.is_empty() || had_parse_errors);
 
         let mut header_fields = vec![
             ("schema", emit::s(PROTOCOL)),
@@ -837,6 +847,82 @@ impl Server {
         Ok(Reply { header: emit::render_compact(&obj(header_fields)), payload, shutdown: false })
     }
 
+    /// Serves one `delta` request: an incremental rescan through the
+    /// engine's tracked index. The payload is the same envelope a full
+    /// `analyze` of the same paths would return, byte for byte; the
+    /// header carries the invalidation counters.
+    ///
+    /// The first delta against a cold engine seeds the tracked index
+    /// from the cache directory's manifest, so a fresh daemon picks up
+    /// where a `pncheck --delta` run (or a previous daemon) left off.
+    fn analyze_delta(&self, id: &RequestId, req: &AnalyzeRequest, engine: &BatchEngine) -> Reply {
+        let (paths, mut file_errors) = cliopts::expand_inputs(&req.paths);
+        if engine.tracked_files() == 0 {
+            engine.seed_tracked_from_manifest();
+        }
+        let jobs = req.jobs.unwrap_or_else(|| engine.jobs());
+        let (outcomes, scan_stats, delta) =
+            engine.rescan_delta_jobs(&paths, req.changed.as_deref(), jobs);
+        engine.save_tracked_manifest();
+
+        let mut had_parse_errors = false;
+        let mut records: Vec<FileRecord> = Vec::with_capacity(outcomes.len());
+        for o in &outcomes {
+            if let Some(e) = &o.read_error {
+                // Same shape the full-scan path produces for an
+                // unreadable file: named in `file_errors`, no record.
+                file_errors.push(format!("{}: {e}", o.path));
+                continue;
+            }
+            had_parse_errors |= !o.errors.is_empty();
+            records.push(FileRecord {
+                path: o.path.clone(),
+                report: o.analysis.as_ref().map(|a| a.report.clone()),
+                errors: o.errors.clone(),
+            });
+        }
+
+        self.trace.count("server.files", records.len() as u64);
+        let findings: usize =
+            records.iter().filter_map(|r| r.report.as_ref()).map(|r| r.findings.len()).sum();
+        self.trace.count("server.findings", findings as u64);
+        self.trace.count("server.delta-changed", (delta.changed_files + delta.added_files) as u64);
+        self.trace.count("server.delta-unchanged", delta.unchanged_files as u64);
+        self.trace.count("server.delta-cone-functions", delta.cone_functions as u64);
+
+        let payload = render_payload(req, &records, &scan_stats);
+        let exit = exit_code(&records, !file_errors.is_empty() || had_parse_errors);
+
+        let mut header_fields = vec![
+            ("schema", emit::s(PROTOCOL)),
+            ("id", id.to_value()),
+            ("ok", JsonValue::Bool(true)),
+            ("op", emit::s("delta")),
+            ("exit", JsonValue::U64(exit)),
+            (
+                "delta",
+                obj(vec![
+                    ("tracked", JsonValue::U64(delta.tracked_files as u64)),
+                    ("unchanged", JsonValue::U64(delta.unchanged_files as u64)),
+                    ("changed", JsonValue::U64(delta.changed_files as u64)),
+                    ("added", JsonValue::U64(delta.added_files as u64)),
+                    ("removed", JsonValue::U64(delta.removed_files as u64)),
+                    ("cone_functions", JsonValue::U64(delta.cone_functions as u64)),
+                    ("changed_functions", JsonValue::U64(delta.changed_functions as u64)),
+                    ("tracked_functions", JsonValue::U64(delta.tracked_functions as u64)),
+                ]),
+            ),
+        ];
+        if !file_errors.is_empty() {
+            header_fields.push((
+                "file_errors",
+                JsonValue::Arr(file_errors.iter().map(|e| emit::s(e.clone())).collect()),
+            ));
+        }
+        header_fields.push(("bytes", JsonValue::U64(payload.len() as u64)));
+        Reply { header: emit::render_compact(&obj(header_fields)), payload, shutdown: false }
+    }
+
     /// The `pncheckd-stats/1` payload: request counters, connection
     /// state, and the aggregated cache/parse counters of every engine.
     fn render_stats(&self) -> String {
@@ -847,6 +933,8 @@ impl Server {
         let mut entries = 0u64;
         let mut source_entries = 0u64;
         let (mut p_hits, mut p_misses, mut p_corrupt, mut p_stores) = (0u64, 0u64, 0u64, 0u64);
+        let mut p_write_errors = 0u64;
+        let mut tracked_files = 0u64;
         for engine in engines.values() {
             let c = engine.cache_stats();
             hits += c.hits;
@@ -854,12 +942,14 @@ impl Server {
             parses += c.parses;
             entries += c.entries as u64;
             source_entries += c.source_entries as u64;
+            tracked_files += engine.tracked_files() as u64;
             if let Some(pc) = engine.persistent_cache() {
                 let s = pc.stats();
                 p_hits += s.hits;
                 p_misses += s.misses;
                 p_corrupt += s.corrupt;
                 p_stores += s.stores;
+                p_write_errors += s.write_errors;
             }
         }
         let engine_count = engines.len() as u64;
@@ -887,6 +977,7 @@ impl Server {
                 obj(vec![
                     ("total", JsonValue::U64(self.requests.load(Ordering::Relaxed))),
                     ("analyze", JsonValue::U64(counter("server.analyze"))),
+                    ("delta", JsonValue::U64(counter("server.delta"))),
                     ("ping", JsonValue::U64(counter("server.ping"))),
                     ("stats", JsonValue::U64(counter("server.stats"))),
                     ("shutdown", JsonValue::U64(counter("server.shutdown"))),
@@ -919,6 +1010,8 @@ impl Server {
                     ("persistent_misses", JsonValue::U64(p_misses)),
                     ("persistent_corrupt", JsonValue::U64(p_corrupt)),
                     ("persistent_stores", JsonValue::U64(p_stores)),
+                    ("persistent_write_errors", JsonValue::U64(p_write_errors)),
+                    ("tracked_files", JsonValue::U64(tracked_files)),
                 ]),
             ),
             ("trace", JsonValue::Obj(trace_counters)),
@@ -1035,6 +1128,47 @@ impl Server {
             }
             Ok(())
         })
+    }
+}
+
+/// Renders the analyze/delta payload in the request's format — exactly
+/// the envelope `pncheck` prints for the same records, so the two ops
+/// (and the CLI) can never drift apart.
+fn render_payload(req: &AnalyzeRequest, records: &[FileRecord], scan_stats: &BatchStats) -> String {
+    match req.format {
+        OutputFormat::Json => {
+            let embedded = req.stats.then_some(scan_stats);
+            emit::render_json(records, embedded, None)
+        }
+        OutputFormat::Sarif => emit::render_sarif(records),
+        OutputFormat::Text => {
+            use std::fmt::Write as _;
+            let mut out = String::new();
+            for record in records {
+                let Some(report) = &record.report else { continue };
+                let _ = write!(out, "{report}");
+                for finding in &report.findings {
+                    let _ = writeln!(out, "    hint: {}", finding.kind.suggestion());
+                }
+            }
+            out
+        }
+    }
+}
+
+/// The CLI's exit rule: 2 on any read/parse error, 1 on warning-level
+/// findings, 0 otherwise.
+fn exit_code(records: &[FileRecord], had_errors: bool) -> u64 {
+    let any_findings = records
+        .iter()
+        .filter_map(|r| r.report.as_ref())
+        .any(|r| r.detected_at(crate::findings::Severity::Warning));
+    if had_errors {
+        2
+    } else if any_findings {
+        1
+    } else {
+        0
     }
 }
 
@@ -1229,6 +1363,86 @@ mod tests {
         let (parses_after, hits_after) = parses(&stats.payload);
         assert_eq!(parses_after, parses_before, "warm re-analyze must not parse");
         assert_eq!(hits_after, hits_before + 1, "warm re-analyze is a fingerprint hit");
+    }
+
+    #[test]
+    fn delta_requests_are_validated() {
+        let s = server();
+        for (line, code) in [
+            ("{\"op\":\"delta\"}", "bad-request"),
+            ("{\"op\":\"delta\",\"source\":\"x\"}", "bad-request"),
+            ("{\"op\":\"delta\",\"paths\":[\"a\"],\"changed\":[1]}", "bad-request"),
+            ("{\"op\":\"analyze\",\"source\":\"x\",\"changed\":[\"a\"]}", "bad-request"),
+        ] {
+            let reply = s.handle_line(line);
+            let fields = header_fields(&reply);
+            assert_eq!(field(&fields, "ok"), &JsonNode::Bool(false), "{line}");
+            let JsonNode::Obj(err) = field(&fields, "error") else { panic!("no error: {line}") };
+            assert_eq!(field(err, "code"), &JsonNode::Str(code.into()), "{line}");
+        }
+    }
+
+    #[test]
+    fn delta_payload_is_byte_identical_to_analyze_and_counts_the_cone() {
+        let dir = std::env::temp_dir().join(format!("pnx-server-delta-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let vuln = "program demo;\nclass Student size 16;\nclass GradStudent size 32 : Student;\nfn main() {\n    local stud: Student;\n    local st: ptr;\n    st = new (&stud) GradStudent();\n}\n";
+        let safe = "program demo;\nclass Student size 16;\nfn main() {\n    local stud: Student;\n    local st: ptr;\n    st = new (&stud) Student();\n}\n";
+        std::fs::write(dir.join("a.pnx"), safe).unwrap();
+        std::fs::write(dir.join("b.pnx"), safe.replace("program demo", "program other")).unwrap();
+        let s = server();
+        let path_list = format!("[\"{}\"]", dir.display());
+
+        let full = s.handle_line(&format!("{{\"op\":\"analyze\",\"paths\":{path_list}}}"));
+        let first = s.handle_line(&format!("{{\"op\":\"delta\",\"paths\":{path_list}}}"));
+        assert_eq!(first.payload, full.payload, "cold delta equals a full scan");
+
+        // Edit one file; the delta payload must equal a fresh analyze.
+        std::fs::write(dir.join("a.pnx"), vuln).unwrap();
+        let warm = s.handle_line(&format!("{{\"op\":\"delta\",\"paths\":{path_list}}}"));
+        let reference = s.handle_line(&format!("{{\"op\":\"analyze\",\"paths\":{path_list}}}"));
+        assert_eq!(warm.payload, reference.payload, "delta after edit equals a full scan");
+
+        let fields = header_fields(&warm);
+        assert_eq!(field(&fields, "op"), &JsonNode::Str("delta".into()));
+        assert_eq!(field(&fields, "exit"), &JsonNode::Int(1), "the edit introduced a finding");
+        let JsonNode::Obj(delta) = field(&fields, "delta") else { panic!("no delta counters") };
+        assert_eq!(field(delta, "tracked"), &JsonNode::Int(2));
+        assert_eq!(field(delta, "changed"), &JsonNode::Int(1));
+        assert_eq!(field(delta, "unchanged"), &JsonNode::Int(1));
+
+        // The stats envelope aggregates the delta counters.
+        let stats = s.handle_line("{\"op\":\"stats\"}");
+        let JsonNode::Obj(fields) = parse_json(stats.payload.trim()).unwrap() else { panic!() };
+        let JsonNode::Obj(requests) = field(&fields, "requests").clone() else { panic!() };
+        assert_eq!(field(&requests, "delta"), &JsonNode::Int(2));
+        let JsonNode::Obj(analysis) = field(&fields, "analysis").clone() else { panic!() };
+        assert_eq!(field(&analysis, "tracked_files"), &JsonNode::Int(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_names_unreadable_files_in_file_errors() {
+        let dir = std::env::temp_dir().join(format!("pnx-server-delta-err-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("x.pnx");
+        std::fs::write(&file, "program x;\nfn main() {}\n").unwrap();
+        let s = server();
+        // Name the file directly, so expansion still yields the path
+        // after deletion and the read error surfaces per-file.
+        let path_list = format!("[\"{}\"]", file.display());
+        s.handle_line(&format!("{{\"op\":\"delta\",\"paths\":{path_list}}}"));
+        std::fs::remove_file(&file).unwrap();
+        let reply = s.handle_line(&format!("{{\"op\":\"delta\",\"paths\":{path_list}}}"));
+        let fields = header_fields(&reply);
+        assert_eq!(field(&fields, "exit"), &JsonNode::Int(2), "{}", reply.header);
+        let JsonNode::Arr(errs) = field(&fields, "file_errors") else {
+            panic!("no file_errors: {}", reply.header)
+        };
+        assert_eq!(errs.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

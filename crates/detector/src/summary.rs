@@ -160,13 +160,33 @@ impl<'p> Memo<'p> {
     }
 }
 
+/// One callee summary a function's analysis consumed: the serializable
+/// identity of the dependency edge. `fingerprint` is the callee's
+/// content fingerprint at analysis time, so a later run can tell from
+/// two record sets alone whether the edge's target changed — the
+/// reverse-dependency walk behind
+/// [`invalidation_cone`](crate::delta::invalidation_cone).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryDep {
+    /// The callee's function name (unique within a program).
+    pub callee: String,
+    /// The callee's content fingerprint when the summary was computed.
+    pub fingerprint: u64,
+}
+
 /// A compact digest of one function's entry summary, serialized into the
 /// persistent cache next to the findings so a warm rerun can report
-/// summary-level statistics without re-analyzing.
+/// summary-level statistics — and compute invalidation cones — without
+/// re-analyzing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FunctionSummaryRecord {
     /// Function name.
     pub function: String,
+    /// Content fingerprint: a 64-bit FNV-1a over the program preamble
+    /// (classes and globals, whose sizes and types every body reads)
+    /// plus this function's canonical pretty-printed text. Unchanged
+    /// text ⇒ unchanged fingerprint, and any semantic edit changes it.
+    pub fingerprint: u64,
     /// Findings the function emits when analyzed as an entry point.
     pub findings: u32,
     /// Caller-visible (global/heap) regions the function's summary
@@ -174,15 +194,17 @@ pub struct FunctionSummaryRecord {
     pub region_effects: u32,
     /// Whether the function can clobber memory (a proven overflow).
     pub clobbers: bool,
+    /// The resolved direct callees whose summaries this function's
+    /// analysis may consume, with their fingerprints at analysis time.
+    pub deps: Vec<SummaryDep>,
 }
 
 /// The program's direct-call graph and its SCC condensation.
 #[derive(Debug)]
 pub(crate) struct CallGraph {
-    /// Resolved, deduplicated callee indices per function. Only the
-    /// Tarjan pass and the tests read it today; it is the natural hook
-    /// for future graph diagnostics.
-    #[cfg_attr(not(test), allow(dead_code))]
+    /// Resolved, deduplicated callee indices per function — the edges
+    /// the Tarjan pass walks and the dependency lists in
+    /// [`FunctionSummaryRecord::deps`] serialize.
     pub(crate) callees: Vec<Vec<usize>>,
     /// Function indices in bottom-up (callees-first) order of the SCC
     /// condensation: by the time `bottom_up[i]` is visited, every

@@ -406,3 +406,116 @@ fn unusable_cache_dir_fails_fast_with_exit_two() {
     assert!(stdout.contains("\"code\": \"cache-dir-unusable\""), "{stdout}");
     assert!(stdout.contains("\"files\": []"), "{stdout}");
 }
+
+#[test]
+fn delta_flag_validations_exit_two() {
+    let dir = TempDir::new("delta-flags");
+    dir.write("ok.pnx", CLEAN);
+    let cache = dir.path().join("cache");
+    let cache = cache.to_str().unwrap();
+    let input = dir.path().join("ok.pnx");
+    let input = input.to_str().unwrap();
+
+    for args in [
+        vec!["--delta", input],
+        vec!["--delta", "--cache-dir", cache, "--oracle", input],
+        vec!["--delta", "--cache-dir", cache, "--baseline", input],
+        vec!["--delta", "--cache-dir", cache, "--fix", input],
+        vec!["--delta", "--cache-dir", cache, "-"],
+    ] {
+        let (_, stderr, code) = run_with_stdin(&args, "");
+        assert_eq!(code, 2, "{args:?}: {stderr}");
+        assert!(stderr.contains("--delta"), "{args:?}: {stderr}");
+    }
+}
+
+#[test]
+fn delta_scan_is_byte_identical_to_a_full_scan_across_edits() {
+    let dir = TempDir::new("delta-e2e");
+    dir.write("src/a.pnx", CLEAN);
+    dir.write("src/b.pnx", &CLEAN.replace("program demo", "program other"));
+    dir.write("src/c.pnx", &CLEAN.replace("program demo", "program third"));
+    let cache = dir.path().join("cache");
+    let cache = cache.to_str().unwrap();
+    let src = dir.path().join("src");
+    let src = src.to_str().unwrap();
+    let fresh = |fmt: &str| {
+        let out = Command::new(PNCHECK).args(["--format", fmt, src]).output().expect("runs");
+        (String::from_utf8_lossy(&out.stdout).into_owned(), out.status.code().unwrap_or(-1))
+    };
+    let delta = |fmt: &str| {
+        let out = Command::new(PNCHECK)
+            .args(["--delta", "--cache-dir", cache, "--format", fmt, "--stats", src])
+            .output()
+            .expect("runs");
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+            out.status.code().unwrap_or(-1),
+        )
+    };
+
+    // Cold delta run: everything is new, output matches a full scan
+    // (sarif has no embedded stats, so it compares byte-for-byte even
+    // with --stats on).
+    let (reference, ref_code) = fresh("sarif");
+    let (got, stderr, code) = delta("sarif");
+    assert_eq!(code, ref_code, "{stderr}");
+    assert_eq!(got, reference, "cold delta equals full scan");
+    assert!(stderr.contains("delta: 3 tracked"), "{stderr}");
+    assert!(dir.path().join("cache").join("manifest.pnm").exists(), "manifest persists");
+
+    // Second process, no edits: the manifest seeds the index and every
+    // file is served unchanged — still the same bytes.
+    let (got, stderr, code) = delta("sarif");
+    assert_eq!((got.as_str(), code), (reference.as_str(), ref_code));
+    assert!(stderr.contains("3 unchanged, 0 changed"), "{stderr}");
+    assert!(stderr.contains("3 seeded"), "{stderr}");
+
+    // Edit one file to become vulnerable: the next delta run re-analyzes
+    // just that file and matches a fresh full scan, exit code included.
+    dir.write("src/b.pnx", &VULNERABLE.replace("program demo", "program other"));
+    let (reference, ref_code) = fresh("sarif");
+    let (got, stderr, code) = delta("sarif");
+    assert_eq!(code, ref_code, "{stderr}");
+    assert_eq!(got, reference, "delta after edit equals full scan");
+    assert_eq!(ref_code, 1, "the edit introduced a finding");
+    assert!(stderr.contains("2 unchanged, 1 changed"), "{stderr}");
+
+    // Text format round for coverage: identical reports as a full scan.
+    let (reference, _) = fresh("text");
+    let (got, _, _) = delta("text");
+    assert_eq!(got, reference, "text envelopes match");
+}
+
+#[test]
+fn delta_run_surfaces_unreadable_files_like_a_full_scan() {
+    let dir = TempDir::new("delta-unreadable");
+    dir.write("a.pnx", CLEAN);
+    dir.write("b.pnx", &CLEAN.replace("program demo", "program other"));
+    let cache = dir.path().join("cache");
+    let a = dir.path().join("a.pnx");
+    let b = dir.path().join("b.pnx");
+    let args: Vec<String> = vec![
+        "--delta".into(),
+        "--cache-dir".into(),
+        cache.to_str().unwrap().into(),
+        a.to_str().unwrap().into(),
+        b.to_str().unwrap().into(),
+    ];
+    let run = || {
+        let out = Command::new(PNCHECK).args(&args).output().expect("runs");
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+            out.status.code().unwrap_or(-1),
+        )
+    };
+    let (_, _, code) = run();
+    assert_eq!(code, 0);
+    std::fs::remove_file(&b).unwrap();
+    let (stdout, stderr, code) = run();
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("b.pnx"), "{stderr}");
+    assert!(!stdout.contains("b.pnx"), "no record for the unreadable file: {stdout}");
+}

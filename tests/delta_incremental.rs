@@ -1,0 +1,166 @@
+//! Property-based tests for the dependency-aware incremental rescan.
+//!
+//! Random edit sequences run over a generated on-disk corpus, and after
+//! every edit the incremental path must be indistinguishable from a
+//! from-scratch scan:
+//!
+//! * **envelope identity** — the `pncheck-report/1` JSON and the SARIF
+//!   rendered from `rescan_delta` outcomes are byte-identical to the
+//!   ones a fresh engine produces for the same tree, whether the rescan
+//!   found the edits by stat drift (no hint) or was told about them
+//!   (accurate hint);
+//! * **cone soundness** — every function whose summary record changed
+//!   across an edit, and every transitive caller of one, lands inside
+//!   the invalidation cone reported by `invalidation_cone`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use proptest::prelude::*;
+
+use placement_new_attacks::corpus::workload;
+use placement_new_attacks::detector::emit::{render_json, render_sarif, FileRecord};
+use placement_new_attacks::detector::{
+    invalidation_cone, pretty_program, Analyzer, BatchEngine, FunctionSummaryRecord, TrackedOutcome,
+};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique scratch directory per proptest case.
+fn case_dir() -> PathBuf {
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("pnx-delta-prop-{}-{n}", std::process::id()))
+}
+
+/// The text of corpus slot `i` under edit variant `variant`: variant 0
+/// is the original corpus, each bump re-generates the slot from a
+/// different seed, so consecutive variants genuinely differ.
+fn slot_text(i: usize, n: usize, variant: u64) -> String {
+    pretty_program(&workload::corpus(11 + variant, n)[i])
+}
+
+/// Renders the (json, sarif) envelope pair from tracked outcomes, the
+/// same records `pncheck --delta` emits.
+fn envelopes(outcomes: &[TrackedOutcome]) -> (String, String) {
+    let records: Vec<FileRecord> = outcomes
+        .iter()
+        .map(|o| FileRecord {
+            path: o.path.clone(),
+            report: o.analysis.as_ref().map(|a| a.report.clone()),
+            errors: o.errors.clone(),
+        })
+        .collect();
+    (render_json(&records, None, None), render_sarif(&records))
+}
+
+/// The from-scratch reference: a fresh engine over the same paths.
+fn reference_envelopes(paths: &[String]) -> (String, String) {
+    let engine = BatchEngine::new(Analyzer::new());
+    let (outcomes, _) = engine.scan_paths_tracked(paths);
+    envelopes(&outcomes)
+}
+
+/// Old/new summary records of one file, for cone checks.
+fn summaries(outcome: &TrackedOutcome) -> Vec<FunctionSummaryRecord> {
+    outcome.analysis.as_ref().map_or_else(Vec::new, |a| a.summaries.clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn random_edit_sequences_stay_byte_identical_to_fresh_scans(
+        n in 4usize..12,
+        edits in proptest::collection::vec((0usize..12, 1u64..5, proptest::bool::ANY), 1..5),
+    ) {
+        let dir = case_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths: Vec<String> = (0..n)
+            .map(|i| {
+                let path = dir.join(format!("f{i:02}.pnx"));
+                std::fs::write(&path, slot_text(i, n, 0)).unwrap();
+                path.to_string_lossy().into_owned()
+            })
+            .collect();
+
+        let engine = BatchEngine::new(Analyzer::new());
+        let (cold, _) = engine.scan_paths_tracked(&paths);
+        prop_assert_eq!(envelopes(&cold), reference_envelopes(&paths));
+
+        for (slot, variant, use_hint) in edits {
+            let i = slot % n;
+            std::fs::write(&paths[i], slot_text(i, n, variant)).unwrap();
+            let hint = vec![paths[i].clone()];
+            let hinted: Option<&[String]> = use_hint.then_some(hint.as_slice());
+            let (warm, _, delta) = engine.rescan_delta(&paths, hinted);
+            prop_assert!(
+                delta.changed_files <= 1,
+                "one edit, at most one changed file: {delta:?}"
+            );
+            prop_assert_eq!(delta.unchanged_files + delta.changed_files, n);
+            prop_assert_eq!(
+                envelopes(&warm),
+                reference_envelopes(&paths),
+                "rescan after editing slot {} (variant {}, hint {}) must match a fresh scan",
+                i, variant, use_hint
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn changed_functions_and_their_callers_always_land_in_the_cone(
+        count in 1usize..4,
+        seed_a in 0u64..50,
+        seed_b in 50u64..100,
+    ) {
+        // Fan-in programs have the densest call graphs the workload
+        // generates; regenerating from a different seed perturbs the
+        // chain tail, whose callers must all be invalidated.
+        let dir = case_dir();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hub.pnx");
+        let old_src = pretty_program(&workload::fan_in_call_corpus(seed_a, count)[count - 1]);
+        let new_src = pretty_program(&workload::fan_in_call_corpus(seed_b, count)[count - 1]);
+        std::fs::write(&path, &old_src).unwrap();
+        let paths = vec![path.to_string_lossy().into_owned()];
+
+        let engine = BatchEngine::new(Analyzer::new());
+        let (cold, _) = engine.scan_paths_tracked(&paths);
+        let old = summaries(&cold[0]);
+
+        std::fs::write(&path, &new_src).unwrap();
+        let (warm, _, _) = engine.rescan_delta(&paths, None);
+        let new = summaries(&warm[0]);
+        let (cone, stats) = invalidation_cone(&old, &new);
+
+        // Soundness: any function whose record differs is in the cone…
+        for rec in &new {
+            let before = old.iter().find(|o| o.function == rec.function);
+            let dirty = before.is_none_or(|o| {
+                o.fingerprint != rec.fingerprint
+                    || o.findings != rec.findings
+                    || o.region_effects != rec.region_effects
+                    || o.clobbers != rec.clobbers
+            });
+            if dirty {
+                prop_assert!(
+                    cone.binary_search(&rec.function).is_ok(),
+                    "changed {} missing from cone", rec.function
+                );
+            }
+        }
+        // …and so is every transitive caller of a cone member, per the
+        // old dependency edges the verdicts were memoized against.
+        for rec in &old {
+            if rec.deps.iter().any(|d| cone.binary_search(&d.callee).is_ok()) {
+                prop_assert!(
+                    cone.binary_search(&rec.function).is_ok(),
+                    "caller {} of an invalidated callee missing from cone", rec.function
+                );
+            }
+        }
+        prop_assert_eq!(stats.cone_functions, cone.len());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -90,3 +90,94 @@ fn daemon_envelopes_match_one_shot_analysis_over_200_corpus_programs() {
         &mismatches[..mismatches.len().min(5)]
     );
 }
+
+/// The reference envelope for a tree on disk: the pipeline a fresh
+/// `pncheck --format json DIR` runs, path labels included.
+fn full_scan_envelope(paths: &[String]) -> (String, u64) {
+    let engine = BatchEngine::new(Analyzer::new());
+    let sources: Vec<String> =
+        paths.iter().map(|p| std::fs::read_to_string(p).expect("corpus file reads")).collect();
+    let refs: Vec<&str> = sources.iter().map(String::as_str).collect();
+    let (outcomes, _) = engine.scan_sources_with_stats(&refs);
+    let records: Vec<FileRecord> = paths
+        .iter()
+        .zip(outcomes)
+        .map(|(path, o)| FileRecord { path: path.clone(), report: o.report, errors: o.errors })
+        .collect();
+    let had_errors = records.iter().any(|r| !r.errors.is_empty());
+    let any =
+        records.iter().filter_map(|r| r.report.as_ref()).any(|r| r.detected_at(Severity::Warning));
+    let exit = if had_errors {
+        2
+    } else if any {
+        1
+    } else {
+        0
+    };
+    (render_json(&records, None, None), exit)
+}
+
+/// Incremental daemon rescans must be indistinguishable from full
+/// scans: after every round of edits, the `delta` op's payload is
+/// byte-identical to what a fresh engine renders for the same tree —
+/// whether the round names the changed paths or lets the daemon stat
+/// for drift.
+#[test]
+fn daemon_delta_envelopes_match_full_scans_across_edit_rounds() {
+    let dir = std::env::temp_dir().join(format!("pnx-delta-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let programs = workload::corpus(3, 60);
+    let paths: Vec<String> = programs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let path = dir.join(format!("p{i:03}.pnx"));
+            std::fs::write(&path, pretty_program(p)).unwrap();
+            path.to_string_lossy().into_owned()
+        })
+        .collect();
+    let path_args: Vec<String> = paths.iter().map(|p| json_str(p)).collect();
+    let path_list = format!("[{}]", path_args.join(","));
+
+    let server = Server::new(ServerConfig::default()).expect("server builds");
+    let check = |label: &str, changed: Option<&[usize]>| {
+        let request = match changed {
+            None => format!("{{\"op\":\"delta\",\"paths\":{path_list}}}"),
+            Some(idx) => {
+                let hint: Vec<String> = idx.iter().map(|&i| json_str(&paths[i])).collect();
+                format!(
+                    "{{\"op\":\"delta\",\"paths\":{path_list},\"changed\":[{}]}}",
+                    hint.join(",")
+                )
+            }
+        };
+        let reply = server.handle_line(&request);
+        let (reference, exit) = full_scan_envelope(&paths);
+        assert_eq!(reply.payload, reference, "{label}: delta payload differs from a full scan");
+        let JsonNode::Obj(fields) = parse_json(&reply.header).expect("header parses") else {
+            panic!("{label}: header not an object: {}", reply.header);
+        };
+        let got = fields.iter().find(|(k, _)| k == "exit").map(|(_, v)| v.clone());
+        assert_eq!(got, Some(JsonNode::Int(exit as i64)), "{label}: exit differs");
+    };
+
+    check("cold", None);
+    check("no-op rescan", None);
+
+    // Swap a safe program for a vulnerable one and back, catching each
+    // round both ways: by stat drift and by client-named hint.
+    let evil = pretty_program(&workload::random_vulnerable_program(99));
+    let original = std::fs::read_to_string(&paths[7]).unwrap();
+    std::fs::write(&paths[7], &evil).unwrap();
+    check("edit by drift", None);
+    std::fs::write(&paths[7], &original).unwrap();
+    check("revert by hint", Some(&[7]));
+
+    // A multi-file round: three edits at once, hinted.
+    for i in [2usize, 30, 59] {
+        std::fs::write(&paths[i], &evil).unwrap();
+    }
+    check("three edits by hint", Some(&[2, 30, 59]));
+    let _ = std::fs::remove_dir_all(&dir);
+}
