@@ -18,6 +18,9 @@
 //!   `--cache-dir`-style rescan where every file comes off disk;
 //! * `daemon` — warm `analyze` requests/sec through the resident
 //!   `pncheckd` protocol layer (request parse + cache hit + envelope);
+//! * `interval` — analyzer throughput over the guarded corpus, the
+//!   value-range-analysis stress shape (guards, clamp loops, derived
+//!   lengths);
 //! * `interprocedural` — summary-based vs inline analysis over the
 //!   deep call-graph corpus (depth 16, fan-in 8);
 //! * `delta` — incremental rescan after one edited file in a large
@@ -211,6 +214,18 @@ fn main() {
         }
     });
 
+    // Value-range analysis: analyzer throughput over the guarded
+    // corpus, whose shapes (two-sided guards, clamp loops, derived
+    // lengths) exercise the interval lattice — refinement, joins,
+    // widening — harder than the mixed workload corpus does.
+    let guarded: Vec<_> =
+        workload::guarded_corpus(42, corpus_size).into_iter().map(|c| c.program).collect();
+    let interval_engine = BatchEngine::new(Analyzer::new()).with_jobs(1);
+    let interval_s = median_secs(runs, || {
+        interval_engine.clear_cache();
+        interval_engine.scan(&guarded);
+    });
+
     // Interprocedural: summary vs inline over the deep call graphs.
     let deep = workload::deep_call_corpus(42, deep_programs);
     let summary_analyzer = Analyzer::new();
@@ -266,7 +281,7 @@ fn main() {
     let per_sec = |secs: f64, n: usize| if secs > 0.0 { n as f64 / secs } else { 0.0 };
     let ratio = |slow: f64, fast: f64| if fast > 0.0 { slow / fast } else { 0.0 };
     let json = format!(
-        "{{\n  \"schema\": \"pnx-bench-detector/2\",\n  \"mode\": \"{}\",\n  \"corpus_programs\": {},\n  \"runs_per_measurement\": {},\n  \"available_cores\": {},\n  \"serial_programs_per_sec\": {:.1},\n  \"parallel_jobs\": {},\n  \"parallel_programs_per_sec\": {:.1},\n  \"warm_memory_cache_programs_per_sec\": {:.1},\n  \"cold_disk_scan_s\": {:.4},\n  \"warm_disk_scan_s\": {:.4},\n  \"warm_disk_speedup\": {:.1},\n  \"daemon_warm_requests_per_sec\": {:.1},\n  \"deep_corpus\": {{ \"programs\": {}, \"depth\": {}, \"fan_in\": {} }},\n  \"summary_scan_s\": {:.4},\n  \"inline_scan_s\": {:.4},\n  \"summary_speedup\": {:.1},\n  \"delta_corpus_files\": {},\n  \"delta_cold_scan_s\": {:.4},\n  \"delta_edit_ms\": {:.3},\n  \"delta_stat_sweep_ms\": {:.3},\n  \"delta_speedup\": {:.1},\n  \"hub_corpus_files\": {},\n  \"hub_edit_ms\": {:.3},\n  \"hub_cone_functions\": {}\n}}\n",
+        "{{\n  \"schema\": \"pnx-bench-detector/2\",\n  \"mode\": \"{}\",\n  \"corpus_programs\": {},\n  \"runs_per_measurement\": {},\n  \"available_cores\": {},\n  \"serial_programs_per_sec\": {:.1},\n  \"parallel_jobs\": {},\n  \"parallel_programs_per_sec\": {:.1},\n  \"warm_memory_cache_programs_per_sec\": {:.1},\n  \"cold_disk_scan_s\": {:.4},\n  \"warm_disk_scan_s\": {:.4},\n  \"warm_disk_speedup\": {:.1},\n  \"daemon_warm_requests_per_sec\": {:.1},\n  \"guarded_corpus_programs\": {},\n  \"interval_programs_per_sec\": {:.1},\n  \"deep_corpus\": {{ \"programs\": {}, \"depth\": {}, \"fan_in\": {} }},\n  \"summary_scan_s\": {:.4},\n  \"inline_scan_s\": {:.4},\n  \"summary_speedup\": {:.1},\n  \"delta_corpus_files\": {},\n  \"delta_cold_scan_s\": {:.4},\n  \"delta_edit_ms\": {:.3},\n  \"delta_stat_sweep_ms\": {:.3},\n  \"delta_speedup\": {:.1},\n  \"hub_corpus_files\": {},\n  \"hub_edit_ms\": {:.3},\n  \"hub_cone_functions\": {}\n}}\n",
         if smoke { "smoke" } else { "full" },
         corpus_size,
         runs,
@@ -279,6 +294,8 @@ fn main() {
         warm_disk_s,
         ratio(cold_disk_s, warm_disk_s),
         per_sec(daemon_warm_s, corpus_size),
+        corpus_size,
+        per_sec(interval_s, corpus_size),
         deep_programs,
         workload::CALL_DEPTH,
         workload::CALL_WIDTH,

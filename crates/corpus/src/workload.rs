@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use pnew_detector::{Expr, Program, ProgramBuilder, Ty};
+use pnew_detector::{CmpOp, Expr, Program, ProgramBuilder, Ty};
 
 use crate::listings::student_sizes;
 
@@ -378,6 +378,161 @@ pub fn random_guarded_program(seed: u64) -> Program {
     p.build()
 }
 
+/// One guarded-corpus case: a program whose placement length is
+/// tainted but (mostly) bounded, plus the probe input scripts that make
+/// every runtime-reachable overflow at its bounds concretely
+/// observable. The loose bounds this generator picks sit *below*
+/// [`attack_inputs`]' hostile range (300+), so judging these shapes
+/// honestly requires the per-case probes, not the generic scripts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardedCase {
+    /// The generated program.
+    pub program: Program,
+    /// Input scripts tailored to the case's own bounds: values inside
+    /// the guard, at its edge, and past it.
+    pub probes: Vec<Vec<i64>>,
+    /// Whether some probe really overflows at runtime (loose guards,
+    /// and the clobber site of guard-then-clobber shapes). Such cases
+    /// must land in the true-positive column; every other case must
+    /// produce no event at all.
+    pub runtime_vulnerable: bool,
+}
+
+/// Shape labels for [`guarded_corpus`], embedded in program names
+/// (`gen-guardcase-<label>-<seed>`) so differential tests can reason
+/// about per-shape expectations.
+pub const GUARDED_SHAPES: [&str; 7] = [
+    "tight",       // `if (n > bound) return;` — straight operand order
+    "reversed",    // `if (bound+1 > n) { place }` — reversed operands
+    "loose",       // guard admits totals past the arena end
+    "clobber",     // an oversized placement precedes the guarded one
+    "loop",        // the bound is established by a clamp loop's test
+    "subtraction", // the placed length is `n - lo` under a two-sided guard
+    "negative",    // the guard proves the count non-positive
+];
+
+/// Generates the **guarded corpus**: `count` programs cycling through
+/// [`GUARDED_SHAPES`], every placement length tainted and guarded in a
+/// different style. All shapes except `loose` and the `clobber` site are
+/// runtime-safe by construction, so any Warning+ the analyzer reports
+/// there is a false positive — the corpus exists to measure exactly how
+/// many guard styles the analyzer's value-range reasoning understands.
+/// Deterministic in `(seed, count)`.
+pub fn guarded_corpus(seed: u64, count: usize) -> Vec<GuardedCase> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6a4d_ca5e);
+    (0..count)
+        .map(|i| {
+            let sub = rng.gen::<u64>().wrapping_add(i as u64);
+            guarded_case(GUARDED_SHAPES[i % GUARDED_SHAPES.len()], sub)
+        })
+        .collect()
+}
+
+/// Builds one guarded case of the named shape. Pool sizes stay in
+/// 32..128 and loose bounds at most double the pool, so every number
+/// the guards compare against is far below the 300+ hostile values of
+/// [`attack_inputs`].
+fn guarded_case(shape: &str, seed: u64) -> GuardedCase {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9ded_5eed);
+    let pool_size = rng.gen_range(32..128u32);
+    let bound = i64::from(rng.gen_range(1..=pool_size / 4));
+    let mut p = ProgramBuilder::new(&format!("gen-guardcase-{shape}-{seed}"));
+    let pool = p.global("pool", Ty::CharArray(Some(pool_size)));
+    let mut f = p.function("main");
+    let n = f.local("n", Ty::Int);
+    let buf = f.local("buf", Ty::Ptr);
+    f.read_input(n);
+    let (probes, runtime_vulnerable) = match shape {
+        "tight" => {
+            f.if_start(Expr::Var(n), CmpOp::Gt, Expr::Const(bound));
+            f.ret();
+            f.end_if();
+            f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Var(n));
+            (vec![vec![1], vec![bound], vec![bound + i64::from(pool_size)]], false)
+        }
+        "reversed" => {
+            // The guard constant on the *left*: `if (bound+1 > n)`.
+            f.if_start(Expr::Const(bound + 1), CmpOp::Gt, Expr::Var(n));
+            f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Var(n));
+            f.end_if();
+            (vec![vec![1], vec![bound], vec![-3], vec![bound + i64::from(pool_size)]], false)
+        }
+        "loose" => {
+            // The guard admits up to `loose` elements, past the arena
+            // end: a real, attacker-reachable overflow window whose
+            // worst case the analyzer can measure exactly.
+            let loose = i64::from(pool_size) + i64::from(rng.gen_range(1..=pool_size));
+            f.if_start(Expr::Var(n), CmpOp::Gt, Expr::Const(loose));
+            f.ret();
+            f.end_if();
+            f.if_start(Expr::Var(n), CmpOp::Lt, Expr::Const(0));
+            f.ret();
+            f.end_if();
+            f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Var(n));
+            (vec![vec![1], vec![loose]], true)
+        }
+        "clobber" => {
+            // §4 two-step: the oversized placement before the guarded
+            // one can rewrite the checked variable, so the analyzer
+            // must keep warning (its Warning at the guarded site is a
+            // deliberate, principled false positive in the matrix —
+            // the simulated machine does not model the rewrite).
+            let pool2 = f.local("pool2", Ty::CharArray(Some(pool_size)));
+            let big = f.local("big", Ty::Ptr);
+            f.if_start(Expr::Var(n), CmpOp::Gt, Expr::Const(bound));
+            f.ret();
+            f.end_if();
+            f.placement_new_array(
+                big,
+                Expr::addr_of(pool2),
+                1,
+                Expr::Const(i64::from(pool_size) + 64),
+            );
+            f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Var(n));
+            (vec![vec![1], vec![bound]], true)
+        }
+        "loop" => {
+            // A clamp loop: the only thing bounding `n` at the
+            // placement is the loop test having failed. Probes stay
+            // within the executor's loop-iteration budget.
+            f.while_start(Expr::Var(n), CmpOp::Gt, Expr::Const(bound));
+            f.assign(n, Expr::sub(Expr::Var(n), Expr::Const(1)));
+            f.end_while();
+            f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Var(n));
+            (vec![vec![1], vec![bound + 48]], false)
+        }
+        "subtraction" => {
+            // The placed length is derived by subtraction from the
+            // guarded variable: `len = n - lo` under `lo ≤ n ≤ hi`.
+            let lo = i64::from(rng.gen_range(1..=8u32));
+            let hi = lo + bound;
+            let len = f.local("len", Ty::Int);
+            f.if_start(Expr::Var(n), CmpOp::Gt, Expr::Const(hi));
+            f.ret();
+            f.end_if();
+            f.if_start(Expr::Var(n), CmpOp::Lt, Expr::Const(lo));
+            f.ret();
+            f.end_if();
+            f.assign(len, Expr::sub(Expr::Var(n), Expr::Const(lo)));
+            f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Var(len));
+            (vec![vec![lo], vec![hi], vec![hi + i64::from(pool_size)]], false)
+        }
+        "negative" => {
+            // The guard proves the count non-positive; the simulated
+            // `new[]` clamps a negative count to zero, so nothing is
+            // ever written.
+            f.if_start(Expr::Var(n), CmpOp::Ge, Expr::Const(0));
+            f.ret();
+            f.end_if();
+            f.placement_new_array(buf, Expr::addr_of(pool), 1, Expr::Var(n));
+            (vec![vec![-7], vec![-1], vec![3]], false)
+        }
+        other => unreachable!("unknown guarded shape {other}"),
+    };
+    f.finish();
+    GuardedCase { program: p.build(), probes, runtime_vulnerable }
+}
+
 /// Generates a mixed **executable** corpus for the differential oracle:
 /// safe, guarded, and vulnerable shapes interleaved pseudo-randomly.
 /// Every shape is fully executable by the oracle's interpreter (the
@@ -520,6 +675,40 @@ mod tests {
                 batch.iter().any(|p| p.name.starts_with(prefix)),
                 "no {prefix} program in the mix"
             );
+        }
+    }
+
+    #[test]
+    fn guarded_corpus_is_deterministic_and_covers_every_shape() {
+        let batch = guarded_corpus(23, 21);
+        assert_eq!(batch.len(), 21);
+        assert_eq!(batch, guarded_corpus(23, 21));
+        assert_ne!(batch, guarded_corpus(24, 21));
+        for shape in GUARDED_SHAPES {
+            let marker = format!("gen-guardcase-{shape}-");
+            assert!(
+                batch.iter().any(|c| c.program.name.starts_with(&marker)),
+                "no {shape} case generated"
+            );
+        }
+        assert!(batch.iter().all(|c| !c.probes.is_empty()), "a case shipped without probes");
+    }
+
+    #[test]
+    fn guarded_corpus_flags_exactly_the_vulnerable_shapes() {
+        // `loose` and `clobber` cases are runtime-vulnerable and must be
+        // flagged; the analyzer may additionally warn on other shapes
+        // (that is what the precision experiment measures), but it must
+        // never go quiet on a real overflow.
+        let analyzer = Analyzer::new();
+        for case in guarded_corpus(31, 28) {
+            if case.runtime_vulnerable {
+                assert!(
+                    analyzer.analyze(&case.program).detected_at(Severity::Warning),
+                    "missed runtime-vulnerable case {}",
+                    case.program.name
+                );
+            }
         }
     }
 }

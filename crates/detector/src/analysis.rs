@@ -2,8 +2,15 @@
 //!
 //! A forward abstract interpretation over the IR, combining:
 //!
-//! * **constant propagation** — so buffer sizes like
-//!   `n_students * (UNAME_SIZE+1)` evaluate;
+//! * **value-range analysis** — every integer variable carries an
+//!   interval from the lattice `⊥ ⊑ Const(c) ⊑ Interval[lo, hi] ⊑ ⊤`,
+//!   so buffer sizes like `n_students * (UNAME_SIZE+1)` evaluate
+//!   exactly, guards like `if (n > 8) return;` (in either operand
+//!   order and either polarity) narrow the surviving path, and
+//!   `Add`/`Sub`/`Mul` transfer through full interval arithmetic. The
+//!   interval both *suppresses* guarded sites whose worst case provably
+//!   fits the arena and *grades* real findings with a concrete
+//!   worst-case overflow width;
 //! * **region inference** — every pointer is tracked to the storage it
 //!   aliases (a declared variable or a heap allocation), giving the arena
 //!   size at each placement site where one is statically knowable. Where
@@ -20,11 +27,15 @@
 //!   (§4.3) and memory-leak (§4.5) checks.
 //!
 //! Branches are analyzed on cloned states and merged conservatively
-//! (constants must agree, taint unions, region knowledge degrades to
+//! (value intervals join, taint unions, region knowledge degrades to
 //! unknown on disagreement); loop bodies are re-analyzed to a bounded
-//! fixpoint, so facts established late in one iteration (a pointer
-//! re-aimed at a smaller arena, taint picked up on the way out) are seen
-//! by the placements and copies of the next iteration.
+//! fixpoint with the loop test refining each pass's entry state — so a
+//! guard-bounded trip count keeps its bound instead of widening to ⊤ —
+//! and facts established late in one iteration (a pointer re-aimed at a
+//! smaller arena, taint picked up on the way out) are seen by the
+//! placements and copies of the next iteration. Interval endpoints
+//! still moving after [`WIDEN_AFTER`] passes are widened to ∓∞ so the
+//! fixpoint always terminates.
 
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -185,13 +196,103 @@ pub(crate) struct RegionState<'p> {
     pub(crate) tainted_pool: bool,
 }
 
+/// A signed value interval `[lo, hi]`, the per-variable fact of the
+/// value lattice `⊥ ⊑ Const(c) ⊑ Interval[lo, hi] ⊑ ⊤`.
+///
+/// `i64::MIN`/`i64::MAX` endpoints read as ∓∞, so [`Interval::TOP`] is
+/// the whole number line and a degenerate interval (`lo == hi`) is the
+/// constant layer. ⊥ (the unreachable state) is never materialized:
+/// the walk only carries states for paths it actually explores, so
+/// every interval it holds is non-empty (`lo ≤ hi`) — an infeasible
+/// refinement simply keeps the old fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Interval {
+    pub(crate) lo: i64,
+    pub(crate) hi: i64,
+}
+
+impl Interval {
+    /// ⊤: no knowledge, the full i64 line.
+    pub(crate) const TOP: Interval = Interval { lo: i64::MIN, hi: i64::MAX };
+
+    /// The constant layer: a degenerate interval.
+    pub(crate) fn exact(c: i64) -> Interval {
+        Interval { lo: c, hi: c }
+    }
+
+    /// `Some(c)` when this interval is the constant `c`.
+    pub(crate) fn as_const(self) -> Option<i64> {
+        (self.lo == self.hi).then_some(self.lo)
+    }
+
+    /// The finite upper bound, if one exists (`hi == i64::MAX` is +∞).
+    pub(crate) fn upper(self) -> Option<i64> {
+        (self.hi != i64::MAX).then_some(self.hi)
+    }
+
+    /// `[lo, +∞]`.
+    fn at_least(lo: i64) -> Interval {
+        Interval { lo, hi: i64::MAX }
+    }
+
+    /// `[-∞, hi]`.
+    fn at_most(hi: i64) -> Interval {
+        Interval { lo: i64::MIN, hi }
+    }
+
+    /// Join (least upper bound): the enclosing interval.
+    fn join(self, other: Interval) -> Interval {
+        Interval { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+
+    /// Meet (intersection); `None` when the two are disjoint (the
+    /// refining branch is infeasible).
+    fn meet(self, other: Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+
+    /// Interval arithmetic, exact in i128 and clamped back onto the
+    /// i64 line — a clamped endpoint reads as ±∞, which is sound,
+    /// merely weaker. A result lying entirely outside i64 degrades to
+    /// [`Interval::TOP`] (the executor's arithmetic wraps there, so no
+    /// interval claim survives).
+    fn arith(op: Op, a: Interval, b: Interval) -> Interval {
+        let (alo, ahi) = (i128::from(a.lo), i128::from(a.hi));
+        let (blo, bhi) = (i128::from(b.lo), i128::from(b.hi));
+        let (lo, hi) = match op {
+            Op::Add => (alo + blo, ahi + bhi),
+            Op::Sub => (alo - bhi, ahi - blo),
+            Op::Mul => {
+                let p = [alo * blo, alo * bhi, ahi * blo, ahi * bhi];
+                (p.into_iter().min().unwrap(), p.into_iter().max().unwrap())
+            }
+        };
+        if lo > i128::from(i64::MAX) || hi < i128::from(i64::MIN) {
+            return Interval::TOP;
+        }
+        let clamp = |x: i128| x.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64;
+        Interval { lo: clamp(lo), hi: clamp(hi) }
+    }
+
+    /// Classic widening: any endpoint of `next` that moved past the
+    /// corresponding endpoint of `self` jumps straight to ∓∞, so loop
+    /// fixpoints terminate instead of climbing one unit per pass.
+    fn widen(self, next: Interval) -> Interval {
+        Interval {
+            lo: if next.lo < self.lo { i64::MIN } else { self.lo.min(next.lo) },
+            hi: if next.hi > self.hi { i64::MAX } else { self.hi.max(next.hi) },
+        }
+    }
+}
+
 /// Per-function dataflow state. Variable facts live in dense vectors
 /// indexed by `VarId` (cloned per branch, so cloning must be cheap).
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct State<'p> {
-    pub(crate) consts: Vec<Option<i64>>,
-    /// Upper bounds established by guards (`if (n > 8) return;` ⇒ n ≤ 8).
-    upper: Vec<Option<i64>>,
+    /// Per-variable value intervals ([`Interval::TOP`] = no knowledge).
+    pub(crate) vals: Vec<Interval>,
     pub(crate) tainted: Vec<bool>,
     pub(crate) points_to: Vec<Option<RegionId>>,
     pub(crate) regions: HashMap<RegionId, RegionState<'p>>,
@@ -206,8 +307,7 @@ pub(crate) struct State<'p> {
 impl<'p> State<'p> {
     fn new(nvars: usize) -> Self {
         State {
-            consts: vec![None; nvars],
-            upper: vec![None; nvars],
+            vals: vec![Interval::TOP; nvars],
             tainted: vec![false; nvars],
             points_to: vec![None; nvars],
             regions: HashMap::new(),
@@ -231,8 +331,8 @@ impl<'p> State<'p> {
         t
     }
 
-    fn const_of(&self, v: VarId) -> Option<i64> {
-        self.consts[v.index() as usize]
+    fn val(&self, v: VarId) -> Interval {
+        self.vals[v.index() as usize]
     }
 
     fn pointee(&self, v: VarId) -> Option<RegionId> {
@@ -245,8 +345,7 @@ impl<'p> State<'p> {
 
     /// A proven overflow happened: forget every value-level fact.
     fn clobber(&mut self, site: &'p Site) {
-        self.consts.fill(None);
-        self.upper.fill(None);
+        self.vals.fill(Interval::TOP);
         if self.clobbered_at.is_none() {
             self.clobbered_at = Some(site);
         }
@@ -254,18 +353,10 @@ impl<'p> State<'p> {
 
     /// Conservative merge of two branch states.
     fn merge(mut self, other: State<'p>) -> State<'p> {
-        for (a, b) in self.consts.iter_mut().zip(&other.consts) {
-            if *a != *b {
-                *a = None;
-            }
-        }
-        // A bound survives a merge only if both branches have one; the
-        // weaker (larger) bound wins.
-        for (a, b) in self.upper.iter_mut().zip(&other.upper) {
-            *a = match (*a, *b) {
-                (Some(x), Some(y)) => Some(x.max(y)),
-                _ => None,
-            };
+        // Value intervals join: the merged fact encloses both branches,
+        // so disagreeing constants degrade to a range instead of ⊤.
+        for (a, b) in self.vals.iter_mut().zip(&other.vals) {
+            *a = a.join(*b);
         }
         if self.clobbered_at.is_none() {
             self.clobbered_at = other.clobbered_at;
@@ -561,66 +652,84 @@ impl Analyzer {
         }
     }
 
+    /// Exact constant value of an expression, when its interval is
+    /// degenerate.
     fn eval(&self, ix: &Index<'_>, e: &Expr, state: &State<'_>) -> Option<i64> {
+        self.eval_interval(ix, e, state).as_const()
+    }
+
+    /// The value interval of an expression: constants and sizeofs are
+    /// exact, variables carry their lattice fact, and `Add`/`Sub`/`Mul`
+    /// all transfer through full interval arithmetic — a subtraction
+    /// with a bounded subtrahend keeps its bound instead of giving up.
+    fn eval_interval(&self, ix: &Index<'_>, e: &Expr, state: &State<'_>) -> Interval {
         match e {
-            Expr::Const(c) => Some(*c),
-            Expr::SizeOf(class) => ix.sizeof(class).map(|s| s as i64),
-            Expr::Var(v) => state.const_of(*v),
-            Expr::BinOp(op, a, b) => {
-                let a = self.eval(ix, a, state)?;
-                let b = self.eval(ix, b, state)?;
-                Some(match op {
-                    Op::Add => a.checked_add(b)?,
-                    Op::Sub => a.checked_sub(b)?,
-                    Op::Mul => a.checked_mul(b)?,
-                })
+            Expr::Const(c) => Interval::exact(*c),
+            Expr::SizeOf(class) => {
+                ix.sizeof(class).map_or(Interval::TOP, |s| Interval::exact(s as i64))
             }
-            Expr::AddrOf(_) | Expr::Field(_, _) => None,
+            Expr::Var(v) => state.val(*v),
+            Expr::BinOp(op, a, b) => Interval::arith(
+                *op,
+                self.eval_interval(ix, a, state),
+                self.eval_interval(ix, b, state),
+            ),
+            Expr::AddrOf(_) | Expr::Field(_, _) => Interval::TOP,
         }
     }
 
-    /// Largest value an expression can take, using constants and
-    /// guard-established upper bounds (monotone operators only).
-    fn eval_upper(&self, ix: &Index<'_>, e: &Expr, state: &State<'_>) -> Option<i64> {
-        match e {
-            Expr::Const(c) => Some(*c),
-            Expr::SizeOf(class) => ix.sizeof(class).map(|s| s as i64),
-            Expr::Var(v) => state.const_of(*v).or(state.upper[v.index() as usize]),
-            Expr::BinOp(op, a, b) => {
-                let a = self.eval_upper(ix, a, state)?;
-                let b = self.eval_upper(ix, b, state)?;
-                if a < 0 || b < 0 {
-                    return None;
-                }
-                match op {
-                    Op::Add => a.checked_add(b),
-                    Op::Mul => a.checked_mul(b),
-                    Op::Sub => None, // needs a lower bound of b
-                }
-            }
-            Expr::AddrOf(_) | Expr::Field(_, _) => None,
-        }
-    }
-
-    /// Applies the refinement a satisfied comparison gives (`v ≤ c` forms
-    /// only), unless memory has already been clobbered.
-    fn refine(&self, cond: &crate::ir::Cond, holds: bool, state: &mut State<'_>) {
-        use crate::ir::CmpOp;
+    /// Applies the refinement a (dis)satisfied comparison gives: both
+    /// operand orders (`if (n < 64)` and `if (64 > n)`), both
+    /// polarities (then- and else-branch), and interval-valued opposite
+    /// sides (`if (n <= m)` with `m ∈ [0, 8]`) all narrow. No-op once
+    /// memory is clobbered: a proven overflow may have rewritten the
+    /// compared variable, so the guard proves nothing (§4).
+    fn refine(&self, ix: &Index<'_>, cond: &crate::ir::Cond, holds: bool, state: &mut State<'_>) {
         if state.clobbered_at.is_some() {
             return;
         }
-        let (Expr::Var(v), Expr::Const(c)) = (&cond.lhs, &cond.rhs) else {
-            return;
+        self.refine_operand(ix, &cond.lhs, cond.op, &cond.rhs, holds, state);
+        self.refine_operand(ix, &cond.rhs, cond.op.flipped(), &cond.lhs, holds, state);
+    }
+
+    /// Narrows `lhs` (when it is a variable) from `lhs op other`
+    /// holding (or not), using the interval of `other`.
+    fn refine_operand(
+        &self,
+        ix: &Index<'_>,
+        lhs: &Expr,
+        op: crate::ir::CmpOp,
+        other: &Expr,
+        holds: bool,
+        state: &mut State<'_>,
+    ) {
+        use crate::ir::CmpOp;
+        let Expr::Var(v) = lhs else { return };
+        let o = self.eval_interval(ix, other, state);
+        // Fold the polarity into the relation, then narrow against the
+        // weakest value of `other` the relation can hold for.
+        let narrowed = match if holds { op } else { op.negated() } {
+            CmpOp::Lt => Interval::at_most(o.hi.saturating_sub(1)),
+            CmpOp::Le => Interval::at_most(o.hi),
+            CmpOp::Gt => Interval::at_least(o.lo.saturating_add(1)),
+            CmpOp::Ge => Interval::at_least(o.lo),
+            CmpOp::Eq => o,
+            CmpOp::Ne => {
+                // A disequality only narrows when the excluded value is
+                // an exact constant sitting on an endpoint.
+                let cur = state.val(*v);
+                match o.as_const() {
+                    Some(c) if cur.lo == c && cur.hi > c => Interval { lo: c + 1, hi: cur.hi },
+                    Some(c) if cur.hi == c && cur.lo < c => Interval { lo: cur.lo, hi: c - 1 },
+                    _ => return,
+                }
+            }
         };
-        let bound = match (cond.op, holds) {
-            (CmpOp::Le, true) | (CmpOp::Gt, false) => Some(*c),
-            (CmpOp::Lt, true) | (CmpOp::Ge, false) => Some(*c - 1),
-            (CmpOp::Eq, true) => Some(*c),
-            _ => None,
-        };
-        if let Some(b) = bound {
-            let slot = &mut state.upper[v.index() as usize];
-            *slot = Some(slot.map_or(b, |e| e.min(b)));
+        let slot = &mut state.vals[v.index() as usize];
+        // A disjoint meet means this branch is infeasible; the walk
+        // still explores it, keeping the old fact (conservative).
+        if let Some(m) = slot.meet(narrowed) {
+            *slot = m;
         }
     }
 
@@ -684,8 +793,8 @@ impl Analyzer {
                 // a constant sanitizes it).
                 let t = state.expr_tainted(src);
                 state.tainted[d] = t;
-                let val = self.eval(ix, src, state);
-                state.consts[d] = val;
+                let val = self.eval_interval(ix, src, state);
+                state.vals[d] = val;
                 if ix.var_is_ptr[d] {
                     let r = self.region_of_expr(ix, src, state);
                     state.points_to[d] = r;
@@ -696,12 +805,12 @@ impl Analyzer {
             }
             Stmt::ReadInput { dst, .. } => {
                 state.taint(*dst, true);
-                state.consts[dst.index() as usize] = None;
+                state.vals[dst.index() as usize] = Interval::TOP;
             }
             Stmt::RecvObject { dst, .. } => {
                 let d = dst.index() as usize;
                 state.taint(*dst, true);
-                state.consts[d] = None;
+                state.vals[d] = Interval::TOP;
                 state.points_to[d] = None;
             }
             Stmt::HeapNew { site, dst, class, count } => {
@@ -740,6 +849,7 @@ impl Analyzer {
                                 "placing {class} ({placed} bytes) into a {arena_sz}-byte arena of {arena_class} overflows by {} bytes",
                                 placed - arena_sz
                             ),
+                            width: Some(placed - arena_sz),
                         });
                         let poly_placed =
                             ix.program.classes.get(class).is_some_and(|c| c.polymorphic);
@@ -753,6 +863,7 @@ impl Analyzer {
                                     "the {} overflowed bytes can reach a vtable pointer of an adjacent polymorphic object (§3.8.2)",
                                     placed - arena_sz
                                 ),
+                                width: Some(placed - arena_sz),
                             });
                         }
                         state.clobber(site);
@@ -765,6 +876,7 @@ impl Analyzer {
                             message: format!(
                                 "cannot infer the arena size for this placement of {class}; manual review required (§5.1)"
                             ),
+                            width: None,
                         });
                     }
                     _ => {}
@@ -778,6 +890,7 @@ impl Analyzer {
                         message: format!(
                             "{class} is constructed from untrusted data; a remote object can drive the overflow (§3.2)"
                         ),
+                        width: None,
                     });
                 }
 
@@ -798,26 +911,51 @@ impl Analyzer {
             Stmt::PlacementNewArray { site, dst, arena, elem_size, count } => {
                 let region = self.region_of_expr(ix, arena, state);
                 let arena_size = region.and_then(|r| self.region_size(ix, r, state));
-                let total = self
-                    .eval(ix, count, state)
-                    .and_then(|n| u64::try_from(n).ok())
-                    .map(|n| n * u64::from(*elem_size));
+                let iv = self.eval_interval(ix, count, state);
                 let count_tainted = state.expr_tainted(count);
+                // Byte totals over the count interval, in i128 so the
+                // products cannot wrap. The simulated `new[]` clamps a
+                // negative element count to zero, so a provably
+                // non-positive count writes nothing — no laundering a
+                // negative bound into "unbounded" via `u64::try_from`.
+                let elem = i128::from(*elem_size);
+                let min_total = i128::from(iv.lo).max(0) * elem;
+                let max_total = iv.upper().map(|hi| i128::from(hi).max(0) * elem);
+                // Concrete worst-case overflow width: the most bytes any
+                // execution can write past the end of the arena.
+                let worst_overflow = match (max_total, arena_size) {
+                    (Some(t), Some(a)) if t > i128::from(a) => Some((t - i128::from(a)) as u64),
+                    _ => None,
+                };
 
-                match (total, arena_size) {
-                    (Some(total), Some(arena_sz)) if total > arena_sz => {
-                        emit(report, Finding {
-                            kind: FindingKind::OversizedPlacement,
-                            severity: Severity::Error,
-                            site: site.clone(),
-                            message: format!(
-                                "placing a {total}-byte array into a {arena_sz}-byte arena overflows by {} bytes",
-                                total - arena_sz
-                            ),
-                        });
+                match arena_size {
+                    Some(arena_sz) if min_total > i128::from(arena_sz) => {
+                        // Even the smallest reachable total overflows:
+                        // proven, constant count or not.
+                        let message = if iv.as_const().is_some() {
+                            format!(
+                                "placing a {min_total}-byte array into a {arena_sz}-byte arena overflows by {} bytes",
+                                min_total - i128::from(arena_sz)
+                            )
+                        } else {
+                            format!(
+                                "placing an array of at least {min_total} bytes into a {arena_sz}-byte arena overflows by {} bytes or more",
+                                min_total - i128::from(arena_sz)
+                            )
+                        };
+                        emit(
+                            report,
+                            Finding {
+                                kind: FindingKind::OversizedPlacement,
+                                severity: Severity::Error,
+                                site: site.clone(),
+                                message,
+                                width: worst_overflow,
+                            },
+                        );
                         state.clobber(site);
                     }
-                    (_, None) => {
+                    None => {
                         emit(
                             report,
                             Finding {
@@ -827,24 +965,28 @@ impl Analyzer {
                                 message:
                                     "cannot infer the arena size for this array placement (§5.1)"
                                         .to_owned(),
+                                width: None,
                             },
                         );
                     }
                     _ => {}
                 }
-                // A guard that bounds the count below the arena size makes
-                // the tainted length safe — *unless* an earlier proven
-                // overflow may have rewritten the bounded variable.
-                let bound_total = self
-                    .eval_upper(ix, count, state)
-                    .and_then(|b| u64::try_from(b).ok())
-                    .and_then(|b| b.checked_mul(u64::from(*elem_size)));
+                // A guard that bounds the worst-case total below the
+                // arena size makes the tainted length safe — *unless* an
+                // earlier proven overflow may have rewritten the bounded
+                // variable (a clobbered state holds ⊤, so no bound
+                // survives to here).
                 let bound_covers =
-                    matches!((bound_total, arena_size), (Some(b), Some(a)) if b <= a);
+                    matches!((max_total, arena_size), (Some(t), Some(a)) if t <= i128::from(a));
                 if count_tainted && !bound_covers {
                     let mut message =
                         "array placement length is influenced by untrusted input (§4 step 1)"
                             .to_owned();
+                    if let (Some(w), Some(t)) = (worst_overflow, max_total) {
+                        message.push_str(&format!(
+                            "; the guard admits a {t}-byte worst case, overflowing the arena by {w} bytes"
+                        ));
+                    }
                     if let Some(clobber) = &state.clobbered_at {
                         message.push_str(&format!(
                             "; the bounds check is void because the oversized placement at {clobber} can rewrite the checked variable"
@@ -854,9 +996,18 @@ impl Analyzer {
                         report,
                         Finding {
                             kind: FindingKind::TaintedPlacementSize,
-                            severity: Severity::Warning,
+                            // A bounded worst case that still overflows is
+                            // an attacker-reachable overflow of known
+                            // width: Error. An unbounded count stays a
+                            // Warning (§5.1 honesty about uncertainty).
+                            severity: if worst_overflow.is_some() {
+                                Severity::Error
+                            } else {
+                                Severity::Warning
+                            },
                             site: site.clone(),
                             message,
+                            width: worst_overflow,
                         },
                     );
                 }
@@ -874,36 +1025,64 @@ impl Analyzer {
                 let src_tainted = state.expr_tainted(src);
                 let region = self.region_of_var(ix, *dst, state);
                 let dst_size = region.and_then(|r| self.region_size(ix, r, state));
-                let len_val = self.eval(ix, len, state).and_then(|v| u64::try_from(v).ok());
+                let iv = self.eval_interval(ix, len, state);
+                // The simulated strncpy clamps a negative length to zero,
+                // so a provably non-positive length copies nothing.
+                let min_len = i128::from(iv.lo).max(0);
+                let max_len = iv.upper().map(|h| i128::from(h).max(0));
+                let worst_overflow = match (max_len, dst_size) {
+                    (Some(l), Some(d)) if l > i128::from(d) => Some((l - i128::from(d)) as u64),
+                    _ => None,
+                };
 
-                if let (Some(len_val), Some(dst_size)) = (len_val, dst_size) {
-                    if len_val > dst_size {
+                if let Some(dst_size) = dst_size {
+                    if min_len > i128::from(dst_size) {
+                        let message = if iv.as_const().is_some() {
+                            format!("strncpy of {min_len} bytes into a {dst_size}-byte buffer")
+                        } else {
+                            format!(
+                                "strncpy of at least {min_len} bytes into a {dst_size}-byte buffer"
+                            )
+                        };
                         emit(
                             report,
                             Finding {
                                 kind: FindingKind::ClassicOverflow,
                                 severity: Severity::Error,
                                 site: site.clone(),
-                                message: format!(
-                                    "strncpy of {len_val} bytes into a {dst_size}-byte buffer"
-                                ),
+                                message,
+                                width: worst_overflow,
                             },
                         );
                     }
                 }
                 let pool_tainted =
                     region.and_then(|r| state.regions.get(&r)).is_some_and(|r| r.tainted_pool);
-                let len_bound = self.eval_upper(ix, len, state).and_then(|b| u64::try_from(b).ok());
-                let bound_covers = matches!((len_bound, dst_size), (Some(b), Some(d)) if b <= d);
+                let bound_covers =
+                    matches!((max_len, dst_size), (Some(l), Some(d)) if l <= i128::from(d));
                 if (len_tainted || pool_tainted) && src_tainted && !bound_covers {
-                    emit(report, Finding {
-                        kind: FindingKind::TaintedCopyThroughPool,
-                        severity: Severity::Warning,
-                        site: site.clone(),
-                        message:
-                            "untrusted data copied with an untrusted length through a pool-placed buffer — the §4 two-step overflow"
-                                .to_owned(),
-                    });
+                    let mut message =
+                        "untrusted data copied with an untrusted length through a pool-placed buffer — the §4 two-step overflow"
+                            .to_owned();
+                    if let Some(w) = worst_overflow {
+                        message.push_str(&format!(
+                            "; the guard admits a worst case overflowing the buffer by {w} bytes"
+                        ));
+                    }
+                    emit(
+                        report,
+                        Finding {
+                            kind: FindingKind::TaintedCopyThroughPool,
+                            severity: if worst_overflow.is_some() {
+                                Severity::Error
+                            } else {
+                                Severity::Warning
+                            },
+                            site: site.clone(),
+                            message,
+                            width: worst_overflow,
+                        },
+                    );
                 }
             }
             Stmt::Memset { dst, .. } => {
@@ -932,6 +1111,7 @@ impl Analyzer {
                             message: format!(
                                 "buffer shipped out still carries residue from before the placement at {origin} (no memset between tenants, §4.3)"
                             ),
+                            width: None,
                         });
                     }
                 }
@@ -955,6 +1135,7 @@ impl Analyzer {
                                         alloc_class.map_or("an array", |s| ix.name(s)),
                                         alloc - released
                                     ),
+                                    width: None,
                                 });
                             }
                         }
@@ -972,6 +1153,7 @@ impl Analyzer {
                             message:
                                 "pointer to a live placement arena nulled without releasing the block (§4.5)"
                                     .to_owned(),
+                            width: None,
                         });
                     }
                 }
@@ -981,8 +1163,8 @@ impl Analyzer {
             Stmt::If { cond, then_body, else_body, .. } => {
                 let mut then_state = state.clone();
                 let mut else_state = state.clone();
-                self.refine(cond, true, &mut then_state);
-                self.refine(cond, false, &mut else_state);
+                self.refine(ix, cond, true, &mut then_state);
+                self.refine(ix, cond, false, &mut else_state);
                 self.walk(ix, then_body, &mut then_state, report, depth, env);
                 self.walk(ix, else_body, &mut else_state, report, depth, env);
                 let then_returns = matches!(then_body.last(), Some(Stmt::Return { .. }));
@@ -996,26 +1178,45 @@ impl Analyzer {
                     _ => then_state.merge(else_state),
                 };
             }
-            Stmt::While { body, .. } => {
+            Stmt::While { cond, body, .. } => {
                 // Re-analyze the body to a fixpoint of the loop-entry
                 // state: iteration 2 must see facts iteration 1 left
                 // behind (a pointer re-aimed at a smaller arena, a count
                 // variable turned tainted). Analyzing the body once
                 // against the entry state misses those. `emit` dedups the
-                // findings the repeated walks re-derive; the pass bound
-                // is a safety net — merge degrades facts monotonically,
-                // so the state settles in a couple of rounds.
+                // findings the repeated walks re-derive.
+                //
+                // Loop summarization: every pass enters the body through
+                // the loop test, so a guard-bounded trip count keeps its
+                // bound across iterations instead of widening to ⊤, and
+                // the exit state is narrowed by the test failing. Value
+                // intervals can climb one unit per pass ([0,0], [0,1],
+                // …), so endpoints still moving after `WIDEN_AFTER`
+                // passes are widened to ∓∞ — the fixpoint then lands
+                // within the pass bound, and the exit narrowing claws the
+                // loop-test bound back where there is one.
                 let mut entry = state.clone();
-                for _ in 0..MAX_LOOP_PASSES {
+                for pass in 0..MAX_LOOP_PASSES {
                     let mut body_state = entry.clone();
+                    self.refine(ix, cond, true, &mut body_state);
                     self.walk(ix, body, &mut body_state, report, depth, env);
                     let next = entry.clone().merge(body_state);
                     if next == entry {
                         break;
                     }
-                    entry = next;
+                    entry = if pass + 1 >= WIDEN_AFTER {
+                        let mut widened = next;
+                        for (w, e) in widened.vals.iter_mut().zip(&entry.vals) {
+                            *w = e.widen(*w);
+                        }
+                        widened
+                    } else {
+                        next
+                    };
                 }
                 *state = entry;
+                // Fall-through code runs only when the loop test fails.
+                self.refine(ix, cond, false, state);
             }
             Stmt::Call { site, func, args } => {
                 self.analyze_call(ix, site, func, args, state, report, depth, env);
@@ -1064,8 +1265,14 @@ fn merge_back<'p>(dst: &mut RegionState<'p>, rs: &RegionState<'p>) {
 pub(crate) const MAX_CALL_DEPTH: u32 = 24;
 
 /// Maximum loop-body re-analysis rounds before accepting the current
-/// loop-entry state as the fixpoint.
-const MAX_LOOP_PASSES: u32 = 4;
+/// loop-entry state as the fixpoint. With widening kicking in after
+/// [`WIDEN_AFTER`] passes this is a safety net, not the normal exit.
+const MAX_LOOP_PASSES: u32 = 6;
+
+/// Loop passes after which still-moving interval endpoints widen to ∓∞.
+/// Two un-widened passes let short counting patterns (`i = i + 1` under
+/// an `i != k` test) settle exactly before the big hammer lands.
+const WIDEN_AFTER: u32 = 2;
 
 /// Appends a finding unless an identical `(kind, site)` is already
 /// reported (a callee analyzed standalone and inline, a loop body walked
@@ -1132,6 +1339,7 @@ impl Analyzer {
                 message: format!(
                     "call to {func} not analyzed: interprocedural depth limit ({MAX_CALL_DEPTH}) reached — recursion or a deeper call chain; code behind this call is unverified"
                 ),
+                width: None,
             });
             return;
         }
@@ -1148,9 +1356,10 @@ impl Analyzer {
         for (&param, arg) in ix.fn_params[fi].iter().zip(args) {
             let pi = param.index() as usize;
             callee_state.tainted[pi] = state.expr_tainted(arg);
-            if let Some(v) = self.eval(ix, arg, state) {
-                callee_state.consts[pi] = Some(v);
-            }
+            // The full caller-visible interval flows in, so a guarded
+            // (not just constant) argument keeps its bound in the callee
+            // — and summaries key on that interval.
+            callee_state.vals[pi] = self.eval_interval(ix, arg, state);
             if ix.var_is_ptr[pi] {
                 if let Some(r) = self.region_of_expr(ix, arg, state) {
                     callee_state.points_to[pi] = Some(r);
@@ -1814,5 +2023,197 @@ mod tests {
             !r.of_kind(FindingKind::UnknownBoundsPlacement).is_empty(),
             "re-aimed loop arena still treated as proven-safe: {r}"
         );
+    }
+
+    /// Builds `read n; <guard>; placement_new_array(pool[72], elem 9, n)`
+    /// where the guard is chosen by `shape` and bounds n ≤ 8 (8·9 = 72
+    /// fits exactly), then asserts the tainted count is suppressed.
+    /// `in_branch` closes the guard's then-branch after the placement
+    /// for guards that protect rather than reject.
+    fn assert_guard_suppresses(
+        shape: &str,
+        in_branch: bool,
+        guard: impl FnOnce(&mut crate::builder::FunctionBuilder, VarId),
+    ) {
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main");
+        let pool = f.local("pool", Ty::CharArray(Some(72)));
+        let n = f.local("n", Ty::Int);
+        let buf = f.local("buf", Ty::Ptr);
+        f.read_input(n);
+        guard(&mut f, n);
+        f.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(n));
+        if in_branch {
+            f.end_if();
+        }
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert!(!r.detected_at(Severity::Warning), "{shape}: {r}");
+    }
+
+    #[test]
+    fn guards_refine_in_both_polarities_and_operand_orders() {
+        // Regression for the one-sided refine: only `Var-on-the-left`,
+        // `holds`-polarity guards used to narrow the bound. All four
+        // combinations must now suppress the tainted count.
+        assert_guard_suppresses("var <= c, then-branch", true, |f, n| {
+            f.if_start(Expr::Var(n), CmpOp::Le, Expr::Const(8));
+        });
+        assert_guard_suppresses("c > var, then-branch (reversed operands)", true, |f, n| {
+            f.if_start(Expr::Const(9), CmpOp::Gt, Expr::Var(n));
+        });
+        assert_guard_suppresses("var >= c, fall-through (negated)", false, |f, n| {
+            f.if_start(Expr::Var(n), CmpOp::Ge, Expr::Const(9));
+            f.ret();
+            f.end_if();
+        });
+        assert_guard_suppresses("c < var, fall-through (reversed + negated)", false, |f, n| {
+            f.if_start(Expr::Const(8), CmpOp::Lt, Expr::Var(n));
+            f.ret();
+            f.end_if();
+        });
+    }
+
+    #[test]
+    fn eq_guard_pins_and_ne_rejection_shaves_the_endpoint() {
+        // `n == c` pins the interval to [c, c] in the true branch…
+        assert_guard_suppresses("var == c, then-branch", true, |f, n| {
+            f.if_start(Expr::Var(n), CmpOp::Eq, Expr::Const(4));
+        });
+        // …`n != c` falling through pins it too (¬Ne = Eq)…
+        assert_guard_suppresses("var != c, fall-through", false, |f, n| {
+            f.if_start(Expr::Var(n), CmpOp::Ne, Expr::Const(4));
+            f.ret();
+            f.end_if();
+        });
+        // …and a failed equality at an interval *endpoint* shaves it:
+        // n ≤ 8 then n ≠ 8 leaves n ≤ 7, and 7·9 = 63 exactly fills the
+        // 63-byte pool.
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main");
+        let pool = f.local("pool", Ty::CharArray(Some(63)));
+        let n = f.local("n", Ty::Int);
+        let buf = f.local("buf", Ty::Ptr);
+        f.read_input(n);
+        f.if_start(Expr::Var(n), CmpOp::Gt, Expr::Const(8));
+        f.ret();
+        f.end_if();
+        f.if_start(Expr::Var(n), CmpOp::Eq, Expr::Const(8));
+        f.ret();
+        f.end_if();
+        f.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(n));
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert!(!r.detected_at(Severity::Warning), "endpoint shave missed: {r}");
+    }
+
+    #[test]
+    fn negative_bound_count_is_suppressed_not_laundered() {
+        // Regression for the `u64::try_from` laundering: a guard proving
+        // the count *negative* used to make the bound vanish (try_from
+        // fails → "unbounded") and flag a placement that provably writes
+        // nothing — the simulated `new[]` clamps negative counts to zero.
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main");
+        let pool = f.local("pool", Ty::CharArray(Some(16)));
+        let n = f.local("n", Ty::Int);
+        let buf = f.local("buf", Ty::Ptr);
+        f.read_input(n);
+        f.if_start(Expr::Var(n), CmpOp::Ge, Expr::Const(0));
+        f.ret();
+        f.end_if();
+        f.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(n));
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert!(r.of_kind(FindingKind::OversizedPlacement).is_empty(), "{r}");
+        assert!(!r.detected_at(Severity::Warning), "negative count laundered: {r}");
+    }
+
+    #[test]
+    fn loop_exit_test_bounds_the_clamped_count() {
+        // The only bound on `n` at the placement is that the clamp
+        // loop's test has *failed* — exit-state refinement must apply it.
+        assert_guard_suppresses("clamp loop", false, |f, n| {
+            f.while_start(Expr::Var(n), CmpOp::Gt, Expr::Const(8));
+            f.assign(n, Expr::sub(Expr::Var(n), Expr::Const(1)));
+            f.end_while();
+        });
+    }
+
+    #[test]
+    fn subtraction_derived_length_stays_bounded() {
+        // `len = n - 3` under 3 ≤ n ≤ 11 is in [0, 8]: interval Sub must
+        // carry the two-sided guard through the arithmetic.
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main");
+        let pool = f.local("pool", Ty::CharArray(Some(72)));
+        let n = f.local("n", Ty::Int);
+        let len = f.local("len", Ty::Int);
+        let buf = f.local("buf", Ty::Ptr);
+        f.read_input(n);
+        f.if_start(Expr::Var(n), CmpOp::Gt, Expr::Const(11));
+        f.ret();
+        f.end_if();
+        f.if_start(Expr::Var(n), CmpOp::Lt, Expr::Const(3));
+        f.ret();
+        f.end_if();
+        f.assign(len, Expr::sub(Expr::Var(n), Expr::Const(3)));
+        f.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(len));
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        assert!(!r.detected_at(Severity::Warning), "interval Sub lost the bound: {r}");
+    }
+
+    #[test]
+    fn loose_guard_reports_the_concrete_worst_case_width() {
+        // n ≤ 16 admits 16·9 = 144 bytes into a 72-byte pool: the finding
+        // must be an Error carrying the exact 72-byte worst-case width.
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main");
+        let pool = f.local("pool", Ty::CharArray(Some(72)));
+        let n = f.local("n", Ty::Int);
+        let buf = f.local("buf", Ty::Ptr);
+        f.read_input(n);
+        f.if_start(Expr::Var(n), CmpOp::Gt, Expr::Const(16));
+        f.ret();
+        f.end_if();
+        f.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(n));
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        let found = r.of_kind(FindingKind::TaintedPlacementSize);
+        assert_eq!(found.len(), 1, "{r}");
+        assert_eq!(found[0].severity, Severity::Error);
+        assert_eq!(found[0].width, Some(72));
+        assert!(found[0].message.contains("144-byte worst case"), "{}", found[0].message);
+        assert!(
+            found[0].message.contains("overflowing the arena by 72 bytes"),
+            "{}",
+            found[0].message
+        );
+    }
+
+    #[test]
+    fn lower_bound_alone_proves_the_overflow() {
+        // n ≥ 20 means *every* execution places at least 180 bytes into
+        // 72: proven Error even though the upper bound is infinite (so
+        // no finite worst-case width exists).
+        let mut p = ProgramBuilder::new("t");
+        let mut f = p.function("main");
+        let pool = f.local("pool", Ty::CharArray(Some(72)));
+        let n = f.local("n", Ty::Int);
+        let buf = f.local("buf", Ty::Ptr);
+        f.read_input(n);
+        f.if_start(Expr::Var(n), CmpOp::Lt, Expr::Const(20));
+        f.ret();
+        f.end_if();
+        f.placement_new_array(buf, Expr::addr_of(pool), 9, Expr::Var(n));
+        f.finish();
+        let r = Analyzer::new().analyze(&p.build());
+        let found = r.of_kind(FindingKind::OversizedPlacement);
+        assert_eq!(found.len(), 1, "{r}");
+        assert_eq!(found[0].severity, Severity::Error);
+        assert_eq!(found[0].width, None);
+        assert!(found[0].message.contains("at least 180"), "{}", found[0].message);
+        assert!(found[0].message.contains("or more"), "{}", found[0].message);
     }
 }

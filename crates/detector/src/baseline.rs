@@ -92,6 +92,7 @@ impl BaselineChecker {
                                 message: format!(
                                     "strncpy of {len_val} bytes into char[{declared}]"
                                 ),
+                                width: Some(len_val - declared),
                             });
                         }
                     }

@@ -36,8 +36,12 @@ const MAGIC: &[u8; 8] = b"PNXCACHE";
 /// Bumped whenever the payload layout or the meaning of any field
 /// changes; old entries then read as misses and get rewritten. Version
 /// 2 added the per-function content fingerprint and the callee
-/// dependency list to every summary record.
-pub const SCHEMA_VERSION: u32 = 2;
+/// dependency list to every summary record. Version 3 switched the
+/// analyzer's value facts from the boolean-era upper-bound tracker to
+/// the interval lattice (different findings for the same text) and
+/// added the worst-case overflow width to every serialized finding —
+/// v2 entries must decode as misses, never as servable results.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// 128-bit FNV-1a over raw bytes.
 pub(crate) fn fnv128(bytes: &[u8]) -> u128 {
@@ -306,6 +310,13 @@ fn encode_payload(key: u128, entry: &CachedAnalysis) -> Vec<u8> {
             None => out.push(0),
         }
         put_str(&mut out, &f.message);
+        match f.width {
+            Some(w) => {
+                out.push(1);
+                put_u64(&mut out, w);
+            }
+            None => out.push(0),
+        }
     }
     put_u32(&mut out, entry.summaries.len() as u32);
     for s in &entry.summaries {
@@ -352,7 +363,13 @@ fn decode_payload(payload: &[u8], key: u128) -> Option<CachedAnalysis> {
         };
         let mut site = Site::new(&function, line);
         site.span = span;
-        findings.push(Finding { kind, severity, site, message: cur.str()? });
+        let message = cur.str()?;
+        let width = match cur.u8()? {
+            0 => None,
+            1 => Some(cur.u64()?),
+            _ => return None,
+        };
+        findings.push(Finding { kind, severity, site, message, width });
     }
     let n_summaries = cur.u32()? as usize;
     if n_summaries > payload.len() / 13 + 1 {
@@ -463,6 +480,7 @@ mod tests {
                     severity: Severity::Error,
                     site,
                     message: "overflows by 16 bytes".into(),
+                    width: Some(16),
                 }],
             },
             summaries: vec![

@@ -286,6 +286,9 @@ fn file_value(record: &FileRecord) -> JsonValue {
                 ("rule", s(f.kind.rule_id())),
                 ("kind", s(f.kind.name())),
                 ("severity", s(f.severity.to_string())),
+                // Concrete worst-case overflow width in bytes; null when
+                // the worst case is unbounded or not an overflow at all.
+                ("width", f.width.map_or(JsonValue::Null, JsonValue::U64)),
                 ("function", s(&f.site.function)),
                 ("statement", JsonValue::U64(f.site.line.into())),
                 ("span", span_value(f.site.span)),
@@ -517,7 +520,7 @@ pub fn render_sarif(files: &[FileRecord]) -> String {
         for finding in record.report.iter().flat_map(|r| &r.findings) {
             let rule_id = finding.kind.rule_id();
             let message = format!("{} (hint: {})", finding.message, finding.kind.suggestion());
-            results.push(obj(vec![
+            let mut fields = vec![
                 ("ruleId", s(rule_id)),
                 ("ruleIndex", JsonValue::U64(rule_index[rule_id] as u64)),
                 ("level", s(sarif_level(finding.severity))),
@@ -530,7 +533,12 @@ pub fn render_sarif(files: &[FileRecord]) -> String {
                         Some(&finding.site.function),
                     )]),
                 ),
-            ]));
+            ];
+            if let Some(width) = finding.width {
+                fields
+                    .push(("properties", obj(vec![("overflowWidthBytes", JsonValue::U64(width))])));
+            }
+            results.push(obj(fields));
         }
         for error in &record.errors {
             results.push(obj(vec![
@@ -648,6 +656,18 @@ mod tests {
         assert!(json.contains("\"line\": 7"), "{json}");
         assert!(json.contains("\"col\": 5"), "{json}");
         assert!(json.contains("\"function\": \"main\""), "{json}");
+    }
+
+    #[test]
+    fn overflow_width_reaches_both_serializations() {
+        // The 32-byte GradStudent in a 16-byte arena overflows by exactly
+        // 16 bytes; the measurement must survive into the JSON envelope
+        // and the SARIF properties bag.
+        let record = scanned("demo.pnx", VULNERABLE);
+        let json = render_json(std::slice::from_ref(&record), None, None);
+        assert!(json.contains("\"width\": 16"), "{json}");
+        let sarif = render_sarif(&[record]);
+        assert!(sarif.contains("\"overflowWidthBytes\": 16"), "{sarif}");
     }
 
     #[test]

@@ -231,6 +231,12 @@ pub struct Finding {
     pub site: Site,
     /// Human-readable explanation with the inferred numbers.
     pub message: String,
+    /// Concrete worst-case overflow width in bytes, when the
+    /// value-range analysis can bound it: the largest
+    /// `total − capacity` any execution can reach at this site.
+    /// `None` when the worst case is unbounded or the finding is not
+    /// an overflow measurement.
+    pub width: Option<u64>,
 }
 
 impl fmt::Display for Finding {
@@ -301,7 +307,7 @@ mod tests {
     use super::*;
 
     fn finding(kind: FindingKind, severity: Severity) -> Finding {
-        Finding { kind, severity, site: Site::new("f", 1), message: "m".into() }
+        Finding { kind, severity, site: Site::new("f", 1), message: "m".into(), width: None }
     }
 
     #[test]

@@ -208,6 +208,15 @@ impl Expr {
         Expr::BinOp(Op::Add, Box::new(a), Box::new(b))
     }
 
+    /// Shorthand for `a - b`.
+    ///
+    /// Free-standing constructor (not `std::ops::Sub`): these build AST
+    /// nodes, they do not evaluate.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::BinOp(Op::Sub, Box::new(a), Box::new(b))
+    }
+
     /// Variables read by this expression.
     pub fn reads(&self) -> Vec<VarId> {
         let mut r = Vec::new();
@@ -247,6 +256,34 @@ pub enum CmpOp {
     Eq,
     /// `!=`
     Ne,
+}
+
+impl CmpOp {
+    /// The comparison with its operands swapped: `a op b` holds exactly
+    /// when `b op.flipped() a` does.
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+
+    /// The comparison's logical negation: `!(a op b)` holds exactly
+    /// when `a op.negated() b` does.
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
 }
 
 /// A branch/loop condition.

@@ -15,7 +15,8 @@
 //! The abstract context ([`SummaryKey`]) captures exactly the inputs the
 //! callee walk reads from its caller:
 //!
-//! * per-parameter facts — taint, propagated constant, points-to target;
+//! * per-parameter facts — taint, the propagated value interval
+//!   (constants are its degenerate layer), points-to target;
 //! * the lifecycle state of every region visible to the callee
 //!   (globals and heap blocks), including residue provenance;
 //! * whether memory is already clobbered (and by which site — the site
@@ -58,7 +59,10 @@ fn site_token(site: &Site) -> usize {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct ParamFacts {
     tainted: bool,
-    constant: Option<i64>,
+    /// The caller-visible value interval `(lo, hi)` bound to the
+    /// parameter — summaries key on the full interval, so a guarded
+    /// argument and an unguarded one never share a summary.
+    interval: (i64, i64),
     points_to: Option<(u8, u32)>,
 }
 
@@ -109,7 +113,7 @@ impl SummaryKey {
                 let i = p.index() as usize;
                 ParamFacts {
                     tainted: state.tainted[i],
-                    constant: state.consts[i],
+                    interval: (state.vals[i].lo, state.vals[i].hi),
                     points_to: state.points_to[i].map(region_sort_key),
                 }
             })

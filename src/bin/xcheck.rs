@@ -2,7 +2,7 @@
 //! corpora.
 //!
 //! ```text
-//! usage: xcheck [--seed N] [--count N] [--json] [PATH...]
+//! usage: xcheck [--seed N] [--count N] [--guarded] [--max-fp N] [--json] [PATH...]
 //!
 //!   PATH may be a .pnx file or a directory (scanned recursively for
 //!   *.pnx). When no PATH is given, or in addition to the given paths,
@@ -10,15 +10,24 @@
 //!
 //!   --seed N     corpus seed (default 1)
 //!   --count N    corpus size (default 200; 0 disables the corpus pass)
+//!   --guarded    use the guarded corpus (workload::guarded_corpus) and
+//!                each case's own probe scripts — the analyzer-precision
+//!                measurement, where every Warning on a runtime-safe
+//!                guard shape is a false positive
+//!   --max-fp N   exit 1 when the matrix counts more than N false
+//!                positives (default: unlimited — FPs are reported but
+//!                only false negatives fail the run)
 //!   --json       emit the pncheck-oracle/1 JSON envelope instead of
 //!                the text matrix
 //! ```
 //!
 //! Every program is analyzed statically and executed concretely under
-//! the seeded attacker scripts from `workload::attack_inputs`; the
-//! per-site verdicts aggregate into one TP/FP/FN matrix. Exit status:
-//! 0 when analyzer and machine agree (zero false negatives), 1 on any
-//! false negative, 2 on usage or read/parse errors.
+//! the seeded attacker scripts from `workload::attack_inputs` (plus the
+//! per-case probes in `--guarded` mode); the per-site verdicts aggregate
+//! into one TP/FP/FN matrix. Exit status: 0 when analyzer and machine
+//! agree (zero false negatives, and at most `--max-fp` false positives),
+//! 1 on any false negative or an exceeded FP budget, 2 on usage or
+//! read/parse errors.
 
 use std::process::ExitCode;
 
@@ -28,12 +37,15 @@ use pnew_detector::emit::{render_oracle_json, OracleRecord};
 use pnew_detector::oracle::{Matrix, Oracle};
 use pnew_detector::parse_program_recovering;
 
-const USAGE: &str = "usage: xcheck [--seed N] [--count N] [--json] [PATH...]";
+const USAGE: &str =
+    "usage: xcheck [--seed N] [--count N] [--guarded] [--max-fp N] [--json] [PATH...]";
 
 fn main() -> ExitCode {
     let mut seed = 1u64;
     let mut count = 200usize;
     let mut json = false;
+    let mut guarded = false;
+    let mut max_fp: Option<u64> = None;
     let mut inputs: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -52,6 +64,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--max-fp" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_fp = Some(v),
+                None => {
+                    eprintln!("xcheck: --max-fp needs an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--guarded" => guarded = true,
             "--json" => json = true,
             "--help" | "-h" => {
                 eprintln!("{USAGE}");
@@ -103,10 +123,22 @@ fn main() -> ExitCode {
     }
 
     if count > 0 {
-        for (i, program) in workload::executable_corpus(seed, count).iter().enumerate() {
-            let report = oracle.differential_with(program, &scripts);
-            matrix.absorb(&report);
-            records.push(OracleRecord { path: format!("corpus:seed={seed}:{i}"), report });
+        if guarded {
+            for (i, case) in workload::guarded_corpus(seed, count).iter().enumerate() {
+                // Each case ships its own probe scripts: loose guards sit
+                // below attack_inputs' hostile range, and clamp loops must
+                // stay within the executor's iteration budget, so the
+                // generic scripts would be both blind and unsound here.
+                let report = oracle.differential_with(&case.program, &case.probes);
+                matrix.absorb(&report);
+                records.push(OracleRecord { path: format!("guarded:seed={seed}:{i}"), report });
+            }
+        } else {
+            for (i, program) in workload::executable_corpus(seed, count).iter().enumerate() {
+                let report = oracle.differential_with(program, &scripts);
+                matrix.absorb(&report);
+                records.push(OracleRecord { path: format!("corpus:seed={seed}:{i}"), report });
+            }
         }
     }
 
@@ -128,9 +160,16 @@ fn main() -> ExitCode {
         println!("{matrix}");
     }
 
+    let (_, fp, _) = matrix.totals();
+    let fp_over_budget = max_fp.is_some_and(|budget| {
+        if fp > budget {
+            eprintln!("xcheck: {fp} false positives exceed the --max-fp {budget} budget");
+        }
+        fp > budget
+    });
     if had_errors {
         ExitCode::from(2)
-    } else if matrix.false_negatives() > 0 {
+    } else if matrix.false_negatives() > 0 || fp_over_budget {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

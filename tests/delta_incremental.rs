@@ -164,3 +164,39 @@ proptest! {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
+
+#[test]
+fn schema_v2_cache_entries_decode_as_stale_misses_not_corruption() {
+    // The interval lattice changed what analysis results mean, so the
+    // on-disk schema version was bumped to 3. A well-formed entry from
+    // the previous release — same magic, same checksum discipline, but
+    // version 2 in bytes [8..12) — must read back as a quiet Miss (the
+    // entry is stale, the cache is healthy), never as Corrupt, which
+    // would make every upgrade look like disk damage in `--stats`.
+    use placement_new_attacks::detector::{
+        source_fingerprint, Analyzer, AnalyzerConfig, CacheLookup, CachedAnalysis, PersistentCache,
+    };
+
+    let dir = case_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let cache = PersistentCache::open(&dir, &AnalyzerConfig::default()).unwrap();
+
+    let source = pretty_program(&workload::corpus(3, 1)[0]);
+    let key = source_fingerprint(&source);
+    let program = placement_new_attacks::detector::parse_program(&source).unwrap();
+    let entry = CachedAnalysis { report: Analyzer::new().analyze(&program), summaries: Vec::new() };
+    cache.put(key, &entry);
+    assert_eq!(cache.get(key), CacheLookup::Hit(entry), "freshly written entry must hit");
+
+    // Rewrite the version field to the previous schema, leaving magic,
+    // config tag, checksum, and payload untouched.
+    let path = dir.join(format!("{key:032x}.pnc"));
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+
+    assert_eq!(cache.get(key), CacheLookup::Miss, "v2 entry must be a stale miss");
+    let stats = cache.stats();
+    assert_eq!(stats.corrupt, 0, "a stale version is not corruption: {stats:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
