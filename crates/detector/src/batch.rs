@@ -49,14 +49,14 @@
 
 use std::collections::HashMap;
 use std::fs;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::analysis::Analyzer;
 use crate::cache::{fnv128, source_fingerprint, CacheLookup, CachedAnalysis, PersistentCache};
-use crate::delta::{invalidation_cone, manifest_path, read_manifest, write_manifest, ManifestRow};
+use crate::delta::{invalidation_cone, parse_manifest, render_manifest, ManifestRow};
 use crate::findings::Report;
 use crate::ir::Program;
 use crate::parse::{parse_program_recovering, ParseError};
@@ -134,6 +134,10 @@ impl BatchStats {
 }
 
 /// Lifetime cache counters for a [`BatchEngine`].
+///
+/// Snapshots are *consistent*: all fields are copied under one lock,
+/// so `hits + misses == lookups` holds in every snapshot — a stats
+/// reader racing live requests can never observe a torn pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Scans answered from either in-memory fingerprint tier (program
@@ -141,12 +145,46 @@ pub struct CacheStats {
     pub hits: u64,
     /// Scans that ran the analyzer since construction.
     pub misses: u64,
+    /// Fingerprint-tier probes since construction — always exactly
+    /// `hits + misses` within one snapshot.
+    pub lookups: u64,
     /// Reports currently cached in the program-fingerprint tier.
     pub entries: usize,
     /// Outcomes currently cached in the source-fingerprint tier.
     pub source_entries: usize,
     /// Source texts parsed since construction.
     pub parses: u64,
+}
+
+/// One replica's slice of the 128-bit fingerprint space
+/// (`--shard K/N`): replica `index` of `count` owns every key
+/// congruent to `index` mod `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Zero-based replica index; always `< count`.
+    pub index: u32,
+    /// Total replicas splitting the fingerprint space.
+    pub count: u32,
+}
+
+impl ShardSpec {
+    /// Whether this replica owns the warm state for `key`.
+    pub fn owns(&self, key: u128) -> bool {
+        self.count <= 1 || key % u128::from(self.count) == u128::from(self.index)
+    }
+}
+
+/// The engine's live hit/miss/parse counters, mutated and snapshotted
+/// under one mutex so readers never see a half-updated set (the
+/// `pncheckd-stats/1` torn-pair bug: `hits + misses != lookups`).
+/// The hot path already takes the cache-map mutexes, so the extra
+/// uncontended lock is noise next to a parse or an analysis.
+#[derive(Debug, Clone, Copy, Default)]
+struct EngineCounters {
+    hits: u64,
+    misses: u64,
+    lookups: u64,
+    parses: u64,
 }
 
 /// What scanning one source text produced.
@@ -254,11 +292,10 @@ pub struct BatchEngine {
     jobs: usize,
     cache: Mutex<HashMap<u128, CachedAnalysis>>,
     source_cache: Mutex<HashMap<u128, CachedAnalysis>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    parses: AtomicU64,
+    counters: Mutex<EngineCounters>,
     trace: Option<Arc<TraceCollector>>,
     persistent: Option<PersistentCache>,
+    shard: Option<ShardSpec>,
     tracked: Mutex<HashMap<String, TrackedFile>>,
 }
 
@@ -277,11 +314,10 @@ impl BatchEngine {
             jobs,
             cache: Mutex::new(HashMap::new()),
             source_cache: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            parses: AtomicU64::new(0),
+            counters: Mutex::new(EngineCounters::default()),
             trace: None,
             persistent: None,
+            shard: None,
             tracked: Mutex::new(HashMap::new()),
         }
     }
@@ -310,6 +346,25 @@ impl BatchEngine {
     pub fn with_persistent_cache(mut self, cache: PersistentCache) -> Self {
         self.persistent = Some(cache);
         self
+    }
+
+    /// Restricts the warm tiers (source fingerprint, on-disk, program
+    /// memo) to the keys this replica owns: an unowned source still
+    /// analyzes correctly, but takes the full uncached path and leaves
+    /// no warm state behind, so N sharded replicas split the
+    /// fingerprint space instead of each holding all of it. The
+    /// tracked/delta index is deliberately unsharded — change
+    /// detection is stat-based and cheap, and delta correctness must
+    /// not depend on shard placement.
+    #[must_use]
+    pub fn with_shard(mut self, shard: ShardSpec) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// The shard slice this engine serves, if any.
+    pub fn shard(&self) -> Option<ShardSpec> {
+        self.shard
     }
 
     /// The on-disk cache tier, if one is attached.
@@ -446,9 +501,7 @@ impl BatchEngine {
         use std::collections::HashSet;
 
         let start = Instant::now();
-        let hits_before = self.hits.load(Ordering::Relaxed);
-        let misses_before = self.misses.load(Ordering::Relaxed);
-        let parses_before = self.parses.load(Ordering::Relaxed);
+        let before = self.counters_snapshot();
         let persistent_before = self.persistent_snapshot();
 
         let hint: Option<HashSet<&str>> =
@@ -562,14 +615,15 @@ impl BatchEngine {
             .map(|a| a.report.findings.len())
             .sum();
         let persistent_after = self.persistent_snapshot();
+        let after = self.counters_snapshot();
         let stats = BatchStats {
             programs,
             findings,
-            cache_hits: self.hits.load(Ordering::Relaxed) - hits_before,
-            cache_misses: self.misses.load(Ordering::Relaxed) - misses_before,
+            cache_hits: after.hits - before.hits,
+            cache_misses: after.misses - before.misses,
             elapsed: start.elapsed(),
             jobs: jobs.max(1).min(changed.len().max(1)),
-            parses: self.parses.load(Ordering::Relaxed) - parses_before,
+            parses: after.parses - before.parses,
             persistent_hits: persistent_after.0 - persistent_before.0,
             persistent_misses: persistent_after.1 - persistent_before.1,
             persistent_corrupt: persistent_after.2 - persistent_before.2,
@@ -584,17 +638,18 @@ impl BatchEngine {
         (outcomes, stats, delta)
     }
 
-    /// Primes the tracked index from the `manifest.pnm` of the attached
-    /// persistent cache directory, so the very first
-    /// [`rescan_delta`](Self::rescan_delta) of a new process can serve
-    /// unchanged files from disk instead of re-parsing the world.
-    /// Already-tracked paths are left alone. Returns the number of rows
-    /// seeded (0 without a persistent cache or manifest).
+    /// Primes the tracked index from the manifest of the attached
+    /// persistent cache (the `manifest.pnm` file of a `dir` backend,
+    /// or the manifest record of an `indexed` store), so the very
+    /// first [`rescan_delta`](Self::rescan_delta) of a new process can
+    /// serve unchanged files from disk instead of re-parsing the
+    /// world. Already-tracked paths are left alone. Returns the number
+    /// of rows seeded (0 without a persistent cache or manifest).
     pub fn seed_tracked_from_manifest(&self) -> usize {
         let Some(pc) = &self.persistent else {
             return 0;
         };
-        let rows = read_manifest(&manifest_path(pc.dir()));
+        let rows = pc.load_manifest().map(|text| parse_manifest(&text)).unwrap_or_default();
         let mut tracked = self.tracked.lock().expect("tracked index poisoned");
         let mut seeded = 0;
         for row in rows {
@@ -607,9 +662,9 @@ impl BatchEngine {
         seeded
     }
 
-    /// Writes the tracked index to the cache directory's `manifest.pnm`
-    /// for the next process to seed from. Best-effort, like every cache
-    /// write: returns whether the manifest landed.
+    /// Writes the tracked index to the attached persistent cache's
+    /// manifest for the next process to seed from. Best-effort, like
+    /// every cache write: returns whether the manifest landed.
     pub fn save_tracked_manifest(&self) -> bool {
         let Some(pc) = &self.persistent else {
             return false;
@@ -626,7 +681,7 @@ impl BatchEngine {
                 })
                 .collect()
         };
-        write_manifest(&manifest_path(pc.dir()), &mut rows)
+        pc.store_manifest(&render_manifest(&mut rows))
     }
 
     /// Paths currently in the tracked index.
@@ -699,9 +754,7 @@ impl BatchEngine {
         work: impl Fn(&I) -> R + Sync,
     ) -> (Vec<R>, BatchStats) {
         let start = Instant::now();
-        let hits_before = self.hits.load(Ordering::Relaxed);
-        let misses_before = self.misses.load(Ordering::Relaxed);
-        let parses_before = self.parses.load(Ordering::Relaxed);
+        let before = self.counters_snapshot();
         let persistent_before = self.persistent_snapshot();
 
         let workers = jobs.max(1).min(items.len().max(1));
@@ -727,14 +780,15 @@ impl BatchEngine {
             .collect();
 
         let persistent_after = self.persistent_snapshot();
+        let after = self.counters_snapshot();
         let stats = BatchStats {
             programs: items.len(),
             findings: 0,
-            cache_hits: self.hits.load(Ordering::Relaxed) - hits_before,
-            cache_misses: self.misses.load(Ordering::Relaxed) - misses_before,
+            cache_hits: after.hits - before.hits,
+            cache_misses: after.misses - before.misses,
             elapsed: start.elapsed(),
             jobs: workers,
-            parses: self.parses.load(Ordering::Relaxed) - parses_before,
+            parses: after.parses - before.parses,
             persistent_hits: persistent_after.0 - persistent_before.0,
             persistent_misses: persistent_after.1 - persistent_before.1,
             persistent_corrupt: persistent_after.2 - persistent_before.2,
@@ -754,29 +808,59 @@ impl BatchEngine {
         })
     }
 
+    /// A consistent copy of the live counters.
+    fn counters_snapshot(&self) -> EngineCounters {
+        *self.counters.lock().expect("engine counters poisoned")
+    }
+
+    /// Applies one counter update atomically with respect to snapshots.
+    fn bump(&self, update: impl FnOnce(&mut EngineCounters)) {
+        update(&mut self.counters.lock().expect("engine counters poisoned"));
+    }
+
+    /// Whether this engine's shard (if any) owns `key`'s warm state.
+    fn owns(&self, key: u128) -> bool {
+        self.shard.is_none_or(|s| s.owns(key))
+    }
+
+    /// Runs the analyzer on a parsed program, bypassing every cache.
+    fn analyze_uncached(&self, program: &Program) -> CachedAnalysis {
+        let (report, summaries) = match &self.trace {
+            Some(t) => self.analyzer.analyze_traced_with_summaries(program, t),
+            None => self.analyzer.analyze_with_summaries(program),
+        };
+        CachedAnalysis { report, summaries }
+    }
+
     /// Analyzes one parsed program through the in-memory cache tier.
     fn analyze_cached(&self, program: &Program) -> CachedAnalysis {
         let key = fingerprint(program);
-        if let Some(hit) = self.cache.lock().expect("batch cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            if let Some(t) = &self.trace {
-                t.count("batch.cache-hit", 1);
+        if self.owns(key) {
+            if let Some(hit) = self.cache.lock().expect("batch cache poisoned").get(&key) {
+                self.bump(|c| {
+                    c.lookups += 1;
+                    c.hits += 1;
+                });
+                if let Some(t) = &self.trace {
+                    t.count("batch.cache-hit", 1);
+                }
+                return hit.clone();
             }
-            return hit.clone();
         }
         // The lock is dropped during analysis: concurrent misses on the
         // same key may both analyze (identical, deterministic results),
         // but workers never serialize behind a slow analysis.
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let (report, summaries) = match &self.trace {
-            Some(t) => {
-                t.count("batch.cache-miss", 1);
-                self.analyzer.analyze_traced_with_summaries(program, t)
-            }
-            None => self.analyzer.analyze_with_summaries(program),
-        };
-        let entry = CachedAnalysis { report, summaries };
-        self.cache.lock().expect("batch cache poisoned").insert(key, entry.clone());
+        self.bump(|c| {
+            c.lookups += 1;
+            c.misses += 1;
+        });
+        if let Some(t) = &self.trace {
+            t.count("batch.cache-miss", 1);
+        }
+        let entry = self.analyze_uncached(program);
+        if self.owns(key) {
+            self.cache.lock().expect("batch cache poisoned").insert(key, entry.clone());
+        }
         entry
     }
 
@@ -786,8 +870,46 @@ impl BatchEngine {
     /// program-fingerprint tier.
     fn analyze_source(&self, source: &str) -> SourceOutcome {
         let key = source_fingerprint(source);
+        if !self.owns(key) {
+            // Another replica owns this fingerprint: analyze it
+            // correctly but through the full uncached path, reading and
+            // writing no warm tier, so sharded replicas split warm
+            // state instead of each accumulating all of it.
+            self.bump(|c| {
+                c.lookups += 1;
+                c.misses += 1;
+                c.parses += 1;
+            });
+            if let Some(t) = &self.trace {
+                t.count("batch.shard-unowned", 1);
+            }
+            return match parse_program_recovering(source) {
+                Err(errors) => SourceOutcome {
+                    report: None,
+                    summaries: Vec::new(),
+                    errors,
+                    from_disk_cache: false,
+                    from_source_cache: false,
+                    cache_corrupt: false,
+                },
+                Ok(program) => {
+                    let entry = self.analyze_uncached(&program);
+                    SourceOutcome {
+                        report: Some(entry.report),
+                        summaries: entry.summaries,
+                        errors: Vec::new(),
+                        from_disk_cache: false,
+                        from_source_cache: false,
+                        cache_corrupt: false,
+                    }
+                }
+            };
+        }
         if let Some(hit) = self.source_cache.lock().expect("source cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.bump(|c| {
+                c.lookups += 1;
+                c.hits += 1;
+            });
             if let Some(t) = &self.trace {
                 t.count("batch.source-hit", 1);
             }
@@ -833,7 +955,7 @@ impl BatchEngine {
                 }
             }
         }
-        self.parses.fetch_add(1, Ordering::Relaxed);
+        self.bump(|c| c.parses += 1);
         match parse_program_recovering(source) {
             Err(errors) => SourceOutcome {
                 report: None,
@@ -862,13 +984,18 @@ impl BatchEngine {
     }
 
     /// Lifetime hit/miss/parse counters and the current cache sizes.
+    /// The counters come from one consistent snapshot, so
+    /// `hits + misses == lookups` holds even while requests race this
+    /// read.
     pub fn cache_stats(&self) -> CacheStats {
+        let counters = self.counters_snapshot();
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: counters.hits,
+            misses: counters.misses,
+            lookups: counters.lookups,
             entries: self.cache.lock().expect("batch cache poisoned").len(),
             source_entries: self.source_cache.lock().expect("source cache poisoned").len(),
-            parses: self.parses.load(Ordering::Relaxed),
+            parses: counters.parses,
         }
     }
 
@@ -1355,6 +1482,110 @@ mod tests {
         assert_eq!(stats.parses, 2);
         assert!(outcomes.iter().all(|o| o.analysis.is_some()));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_spec_partitions_the_key_space() {
+        let shards = [
+            ShardSpec { index: 0, count: 3 },
+            ShardSpec { index: 1, count: 3 },
+            ShardSpec { index: 2, count: 3 },
+        ];
+        for key in [0u128, 1, 2, 3, 41, u128::MAX, source_fingerprint(VULN_SRC)] {
+            let owners = shards.iter().filter(|s| s.owns(key)).count();
+            assert_eq!(owners, 1, "every key has exactly one owner");
+        }
+        assert!(ShardSpec { index: 0, count: 1 }.owns(u128::MAX), "a single shard owns all");
+    }
+
+    #[test]
+    fn sharded_engines_agree_with_unsharded_results_and_split_warm_state() {
+        let sources: Vec<String> =
+            (0..8).map(|i| VULN_SRC.replace("program ", &format!("program s{i}_"))).collect();
+        let whole = BatchEngine::default().with_jobs(1);
+        let (expected, _) = whole.scan_sources_with_stats(&sources);
+
+        for index in 0..2u32 {
+            let replica =
+                BatchEngine::default().with_jobs(1).with_shard(ShardSpec { index, count: 2 });
+            let (got, _) = replica.scan_sources_with_stats(&sources);
+            assert_eq!(
+                expected.iter().map(|o| &o.report).collect::<Vec<_>>(),
+                got.iter().map(|o| &o.report).collect::<Vec<_>>(),
+                "sharding must never change verdicts"
+            );
+            // Warm rescan: owned keys hit the source tier, unowned
+            // keys re-parse — the replica holds only its slice warm.
+            let owned = sources
+                .iter()
+                .filter(|s| ShardSpec { index, count: 2 }.owns(source_fingerprint(s)))
+                .count() as u64;
+            let (_, stats) = replica.scan_sources_with_stats(&sources);
+            assert_eq!(stats.cache_hits, owned, "only owned keys stay warm");
+            assert_eq!(stats.parses, sources.len() as u64 - owned);
+            let cache = replica.cache_stats();
+            assert_eq!(cache.source_entries, owned as usize, "no warm state for unowned keys");
+        }
+    }
+
+    #[test]
+    fn sharded_engine_never_touches_the_disk_tier_for_unowned_keys() {
+        let dir = tmp_cache_dir("shard-disk");
+        let sources = [VULN_SRC, SAFE_SRC];
+        // An unsharded engine warms the whole cache dir.
+        engine_with_disk_cache(&dir).scan_sources_with_stats(&sources);
+
+        // A shard that owns neither key must not read a single entry.
+        let unowned: Vec<&str> = sources
+            .iter()
+            .copied()
+            .filter(|s| !ShardSpec { index: 0, count: 2 }.owns(source_fingerprint(s)))
+            .collect();
+        let analyzer = Analyzer::new();
+        let cache = PersistentCache::open(&dir, analyzer.config()).unwrap();
+        let replica = BatchEngine::new(analyzer)
+            .with_jobs(1)
+            .with_persistent_cache(cache)
+            .with_shard(ShardSpec { index: 0, count: 2 });
+        let (_, stats) = replica.scan_sources_with_stats(&unowned);
+        assert_eq!(stats.persistent_hits, 0, "unowned keys skip the disk tier");
+        assert_eq!(stats.persistent_misses, 0);
+        assert_eq!(stats.parses, unowned.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_snapshots_are_never_torn_under_concurrent_requests() {
+        // The pncheckd-stats/1 regression: counters sampled while
+        // requests mutate them must always satisfy
+        // hits + misses == lookups. With the old independent atomics a
+        // reader could see the hit increment but not yet the lookup's.
+        let engine = Arc::new(BatchEngine::default().with_jobs(1));
+        let sources: Vec<String> =
+            (0..16).map(|i| SAFE_SRC.replace("program ", &format!("program t{i}_"))).collect();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        thread::scope(|scope| {
+            for _ in 0..2 {
+                let engine = Arc::clone(&engine);
+                let sources = sources.clone();
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        engine.scan_sources_with_stats_jobs(&sources, 2);
+                    }
+                });
+            }
+            let mut sampled = 0u64;
+            while sampled < 500 {
+                let snap = engine.cache_stats();
+                assert_eq!(snap.hits + snap.misses, snap.lookups, "torn stats snapshot: {snap:?}");
+                sampled += 1;
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        let final_snap = engine.cache_stats();
+        assert_eq!(final_snap.hits + final_snap.misses, final_snap.lookups);
+        assert!(final_snap.lookups > 0);
     }
 
     #[test]

@@ -19,11 +19,24 @@
 //!   --no-summaries           analyze without function summaries
 //!   --cache-dir DIR          persistent cache shared across restarts;
 //!                            an unusable DIR fails startup (exit 2)
+//!   --cache-backend KIND     persistent-tier layout: "dir" (one file
+//!                            per entry, shareable between processes;
+//!                            the default) or "indexed" (one
+//!                            append-only indexed store, one writer)
+//!   --shard K/N              serve replica K of an N-way fleet: only
+//!                            fingerprints with key % N == K are kept
+//!                            warm or written to the cache (results
+//!                            stay complete for every request)
 //!   --max-request-bytes N    request line limit (default 4194304)
-//!   --max-connections N      concurrent TCP connection limit
-//!                            (default 32)
-//!   --idle-timeout-secs N    close idle TCP connections after N
-//!                            seconds (0 = never; default 300)
+//!   --max-connections N      fair-queuing design point (default 32);
+//!                            connections beyond it queue, and "busy"
+//!                            only appears at the hard cap (8x this)
+//!   --client-quota N         most requests one connection may have
+//!                            queued + in flight before the excess is
+//!                            answered "quota-exceeded" (default 16)
+//!   --idle-timeout-secs N    close TCP connections with nothing
+//!                            queued or in flight after N idle seconds
+//!                            (0 = never; default 300)
 //!   --watch ROOT             poll ROOT (repeatable) with the delta op
 //!                            instead of serving a socket: each cycle
 //!                            re-stats the tracked files, re-analyzes
@@ -49,7 +62,7 @@ use std::time::Duration;
 use pnew_detector::cliopts::CommonOpts;
 use pnew_detector::server::{parse_json, JsonNode, Server, ServerConfig};
 
-const USAGE: &str = "usage: pncheckd [--listen ADDR:PORT] [--jobs N] [--min-severity LEVEL] [--disable KIND]... [--no-summaries] [--cache-dir DIR] [--max-request-bytes N] [--max-connections N] [--idle-timeout-secs N] [--watch ROOT]... [--watch-interval-ms N] [--watch-cycles N]";
+const USAGE: &str = "usage: pncheckd [--listen ADDR:PORT] [--jobs N] [--min-severity LEVEL] [--disable KIND]... [--no-summaries] [--cache-dir DIR] [--cache-backend dir|indexed] [--shard K/N] [--max-request-bytes N] [--max-connections N] [--client-quota N] [--idle-timeout-secs N] [--watch ROOT]... [--watch-interval-ms N] [--watch-cycles N]";
 
 fn main() -> ExitCode {
     let mut listen: Option<String> = None;
@@ -94,6 +107,32 @@ fn main() -> ExitCode {
                 };
                 cache_dir = Some(PathBuf::from(dir));
             }
+            "--cache-backend" => {
+                let Some(kind) = args.next() else {
+                    eprintln!("pncheckd: --cache-backend needs a value (dir|indexed)");
+                    return ExitCode::from(2);
+                };
+                match pnew_detector::cliopts::parse_cache_backend(&kind) {
+                    Ok(kind) => server_config.cache_backend = kind,
+                    Err(e) => {
+                        eprintln!("pncheckd: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--shard" => {
+                let Some(spec) = args.next() else {
+                    eprintln!("pncheckd: --shard needs K/N");
+                    return ExitCode::from(2);
+                };
+                match pnew_detector::cliopts::parse_shard(&spec) {
+                    Ok(spec) => server_config.shard = Some(spec),
+                    Err(e) => {
+                        eprintln!("pncheckd: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--max-request-bytes" => {
                 let n: usize = numeric_value!("--max-request-bytes");
                 if n == 0 {
@@ -109,6 +148,14 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
                 server_config.max_connections = n;
+            }
+            "--client-quota" => {
+                let n: usize = numeric_value!("--client-quota");
+                if n == 0 {
+                    eprintln!("pncheckd: --client-quota needs a positive integer");
+                    return ExitCode::from(2);
+                }
+                server_config.client_quota = n;
             }
             "--idle-timeout-secs" => {
                 let n: u64 = numeric_value!("--idle-timeout-secs");

@@ -18,16 +18,23 @@
 //!   torn writes and bit rot surface as [`CacheLookup::Corrupt`], which
 //!   callers degrade to a re-analysis (plus a warning), never a crash or
 //!   a wrong report;
-//! * writes go to a temp file first and `rename` into place, so a
-//!   concurrent reader sees either the old entry or the new one, never a
-//!   half-written file.
+//! * writes are atomic-by-construction in every backend (unique temp
+//!   file + `rename`, or checksummed append), so a concurrent reader
+//!   sees either the old entry or the new one, never a half-written
+//!   file.
+//!
+//! Byte *storage* is pluggable: a [`CacheBackend`] moves opaque entry
+//! and manifest bytes, while everything semantic — encoding, checksum,
+//! schema/config staleness, corrupt accounting — stays here, so every
+//! backend inherits the same invariants. See [`crate::backend`] for
+//! the two layouts (`dir`, `indexed`).
 
-use std::fs;
-use std::io::Write as _;
+use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::analysis::AnalyzerConfig;
+use crate::backend::{BackendKind, CacheBackend, DirBackend, IndexedBackend};
 use crate::findings::{Finding, FindingKind, Report, Severity};
 use crate::ir::{Site, Span};
 use crate::summary::FunctionSummaryRecord;
@@ -99,12 +106,13 @@ pub enum CacheLookup {
     Corrupt,
 }
 
-/// A directory of content-addressed analysis results shared across
-/// `pncheck` runs. Thread-safe: entries are immutable once renamed into
-/// place, and counters are atomics.
+/// A store of content-addressed analysis results shared across
+/// `pncheck` runs. Thread-safe: backends synchronize their own byte
+/// storage, and counters are atomics.
 #[derive(Debug)]
 pub struct PersistentCache {
     dir: PathBuf,
+    backend: Box<dyn CacheBackend>,
     config_tag: u64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -155,21 +163,29 @@ pub(crate) fn config_tag(config: &AnalyzerConfig) -> u64 {
 }
 
 impl PersistentCache {
-    /// Opens (creating if needed) the cache directory, bound to the
-    /// analyzer configuration whose results it stores.
+    /// Opens (creating if needed) the cache directory with the default
+    /// `dir` backend, bound to the analyzer configuration whose
+    /// results it stores.
     ///
-    /// The directory is probed for writability up front: a cache that
+    /// The store is probed for writability up front: a cache that
     /// could never store an entry (read-only directory, permission
     /// mismatch) fails here with the underlying error instead of
     /// silently degrading every later `put`, so callers can fail fast
     /// with a clear message.
-    pub fn open(dir: &Path, config: &AnalyzerConfig) -> std::io::Result<Self> {
-        fs::create_dir_all(dir)?;
-        let probe = dir.join(format!(".probe-{}.tmp", std::process::id()));
-        fs::File::create(&probe).and_then(|mut f| f.write_all(b"pnx"))?;
-        fs::remove_file(&probe)?;
+    pub fn open(dir: &Path, config: &AnalyzerConfig) -> io::Result<Self> {
+        Self::open_with(dir, config, BackendKind::Dir)
+    }
+
+    /// Like [`PersistentCache::open`] but with an explicit storage
+    /// backend (`--cache-backend dir|indexed`).
+    pub fn open_with(dir: &Path, config: &AnalyzerConfig, kind: BackendKind) -> io::Result<Self> {
+        let backend: Box<dyn CacheBackend> = match kind {
+            BackendKind::Dir => Box::new(DirBackend::open(dir)?),
+            BackendKind::Indexed => Box::new(IndexedBackend::open(dir)?),
+        };
         Ok(PersistentCache {
             dir: dir.to_path_buf(),
+            backend,
             config_tag: config_tag(config),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -179,16 +195,11 @@ impl PersistentCache {
         })
     }
 
-    fn entry_path(&self, key: u128) -> PathBuf {
-        self.dir.join(format!("{key:032x}.pnc"))
-    }
-
     /// Probes the cache for `key`.
     pub fn get(&self, key: u128) -> CacheLookup {
-        let path = self.entry_path(key);
-        let bytes = match fs::read(&path) {
-            Ok(b) => b,
-            Err(_) => {
+        let bytes = match self.backend.load(key) {
+            Some(b) => b,
+            None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 return CacheLookup::Miss;
             }
@@ -224,19 +235,38 @@ impl PersistentCache {
         bytes.extend_from_slice(&fnv128(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
 
-        let tmp = self.dir.join(format!(".{key:032x}.{}.tmp", std::process::id()));
-        let wrote = fs::File::create(&tmp)
-            .and_then(|mut f| f.write_all(&bytes))
-            .and_then(|()| fs::rename(&tmp, self.entry_path(key)));
-        match wrote {
+        match self.backend.store(key, &bytes) {
             Ok(()) => {
                 self.stores.fetch_add(1, Ordering::Relaxed);
             }
             Err(_) => {
                 self.write_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = fs::remove_file(&tmp);
             }
         }
+    }
+
+    /// The delta manifest text stored alongside the entries, if any.
+    pub fn load_manifest(&self) -> Option<String> {
+        self.backend.load_manifest()
+    }
+
+    /// Durably stores the delta manifest text alongside the entries.
+    /// Best-effort like `put`: a failure degrades the next cold start
+    /// to a full rescan, and is counted so it is visible, not silent.
+    /// (`stores` counts analysis entries only, so tier accounting
+    /// stays comparable across runs that do and don't write
+    /// manifests.)
+    pub fn store_manifest(&self, text: &str) -> bool {
+        let wrote = self.backend.store_manifest(text).is_ok();
+        if !wrote {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        wrote
+    }
+
+    /// The flag spelling of the storage backend in use.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
     }
 
     /// Lifetime probe/store counters of this handle.
@@ -460,6 +490,8 @@ impl Cursor<'_> {
 
 #[cfg(test)]
 mod tests {
+    use std::fs;
+
     use super::*;
 
     fn tmp_dir(name: &str) -> PathBuf {
@@ -639,6 +671,91 @@ mod tests {
         assert_eq!(stats.write_errors, 1);
         assert_eq!(stats.stores, 0);
         assert_eq!(cache.get(key), CacheLookup::Miss, "a failed put leaves no entry");
+    }
+
+    #[test]
+    fn indexed_backend_preserves_hit_miss_corrupt_heal_semantics() {
+        let dir = tmp_dir("indexed-semantics");
+        let key = source_fingerprint("indexed");
+        // Seed the store with garbage bytes under the key, as a torn
+        // or foreign writer would leave them.
+        {
+            let be = crate::backend::IndexedBackend::open(&dir).unwrap();
+            be.store(key, b"not a pnc entry at all").unwrap();
+        }
+        let cache =
+            PersistentCache::open_with(&dir, &AnalyzerConfig::default(), BackendKind::Indexed)
+                .unwrap();
+        assert_eq!(cache.backend_name(), "indexed");
+        assert_eq!(cache.get(key), CacheLookup::Corrupt, "garbage decodes as corrupt");
+        let entry = sample_entry();
+        cache.put(key, &entry); // heal
+        assert_eq!(cache.get(key), CacheLookup::Hit(entry.clone()));
+        assert_eq!(cache.get(source_fingerprint("absent")), CacheLookup::Miss);
+
+        // Entries survive reopen, and a config change reads as stale.
+        drop(cache);
+        let warm =
+            PersistentCache::open_with(&dir, &AnalyzerConfig::default(), BackendKind::Indexed)
+                .unwrap();
+        assert_eq!(warm.get(key), CacheLookup::Hit(entry));
+        let stricter =
+            AnalyzerConfig { min_severity: Severity::Error, ..AnalyzerConfig::default() };
+        let other = PersistentCache::open_with(&dir, &stricter, BackendKind::Indexed).unwrap();
+        assert_eq!(other.get(key), CacheLookup::Miss, "different config must not hit");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_round_trips_through_both_backends() {
+        for kind in [BackendKind::Dir, BackendKind::Indexed] {
+            let dir = tmp_dir(&format!("manifest-{}", kind.name()));
+            let cache = PersistentCache::open_with(&dir, &AnalyzerConfig::default(), kind).unwrap();
+            assert_eq!(cache.load_manifest(), None);
+            cache.store_manifest("pnx-delta-manifest/1\n3 4 00000000000000000000000000000005 a\n");
+            assert_eq!(
+                cache.load_manifest().as_deref(),
+                Some("pnx-delta-manifest/1\n3 4 00000000000000000000000000000005 a\n")
+            );
+            assert_eq!(cache.stats().write_errors, 0);
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn two_writers_sharing_a_dir_never_serve_a_corrupt_entry() {
+        // Two cache handles (two replicas, or a daemon plus a one-shot
+        // pncheck) hammer the same keys in one directory. With the old
+        // fixed `.{key}.{pid}.tmp` temp names, two same-process engines
+        // racing one key could rename each other's half-written temp
+        // into place; unique pid+nonce temp names make every rename
+        // publish exactly the bytes its writer wrote, so a reader sees
+        // a complete entry or none — never a torn one.
+        let dir = tmp_dir("two-writers");
+        let keys: Vec<u128> =
+            (0..4u32).map(|i| source_fingerprint(&format!("contended {i}"))).collect();
+        let entry = sample_entry();
+        std::thread::scope(|scope| {
+            for _writer in 0..2 {
+                scope.spawn(|| {
+                    let cache = PersistentCache::open(&dir, &AnalyzerConfig::default()).unwrap();
+                    for round in 0..200 {
+                        let key = keys[round % keys.len()];
+                        cache.put(key, &entry);
+                        match cache.get(key) {
+                            CacheLookup::Hit(got) => assert_eq!(got, entry),
+                            CacheLookup::Miss => {} // racing rename not yet visible
+                            CacheLookup::Corrupt => {
+                                panic!("a torn entry was served from the shared dir")
+                            }
+                        }
+                    }
+                    assert_eq!(cache.stats().corrupt, 0);
+                    assert_eq!(cache.stats().write_errors, 0);
+                });
+            }
+        });
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -13,6 +13,8 @@ use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 
 use crate::analysis::AnalyzerConfig;
+use crate::backend::BackendKind;
+use crate::batch::ShardSpec;
 use crate::emit::OutputFormat;
 use crate::findings::{FindingKind, Severity};
 
@@ -37,6 +39,24 @@ pub fn parse_disable(value: &str) -> Result<FindingKind, String> {
 /// Parses an output format (`text|json|sarif`).
 pub fn parse_format(value: &str) -> Result<OutputFormat, String> {
     value.parse::<OutputFormat>()
+}
+
+/// Parses a cache backend selection (`dir|indexed`).
+pub fn parse_cache_backend(value: &str) -> Result<BackendKind, String> {
+    BackendKind::parse(value)
+}
+
+/// Parses a shard slice `K/N`: replica K (zero-based) of N, so `0/2`
+/// and `1/2` together cover the fingerprint space.
+pub fn parse_shard(value: &str) -> Result<ShardSpec, String> {
+    let bad = || format!("--shard needs K/N with K < N (got {value:?})");
+    let (index, count) = value.split_once('/').ok_or_else(bad)?;
+    let index: u32 = index.parse().map_err(|_| bad())?;
+    let count: u32 = count.parse().map_err(|_| bad())?;
+    if count == 0 || index >= count {
+        return Err(bad());
+    }
+    Ok(ShardSpec { index, count })
 }
 
 /// The options every detector front end shares, with their defaults.
@@ -152,6 +172,17 @@ mod tests {
         assert!(parse_disable("bogus").unwrap_err().contains("unknown finding kind"));
         assert_eq!(parse_format("sarif"), Ok(OutputFormat::Sarif));
         assert!(parse_format("yaml").unwrap_err().contains("unknown format"));
+        assert_eq!(parse_cache_backend("indexed"), Ok(BackendKind::Indexed));
+        assert!(parse_cache_backend("tape").unwrap_err().contains("unknown cache backend"));
+    }
+
+    #[test]
+    fn shard_parser_requires_k_strictly_below_n() {
+        assert_eq!(parse_shard("0/2"), Ok(ShardSpec { index: 0, count: 2 }));
+        assert_eq!(parse_shard("3/8"), Ok(ShardSpec { index: 3, count: 8 }));
+        for bad in ["2/2", "5/4", "0/0", "1", "a/b", "-1/2", "1/", "/2", ""] {
+            assert!(parse_shard(bad).is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]

@@ -119,20 +119,19 @@ pub struct ManifestRow {
 
 const MANIFEST_HEADER: &str = "pnx-delta-manifest/1";
 
-/// The manifest location inside a cache directory.
+/// The manifest location inside a `dir`-backend cache directory. (The
+/// `indexed` backend stores the same text as a record in its store
+/// file instead — see [`crate::backend`].)
 pub fn manifest_path(cache_dir: &Path) -> PathBuf {
-    cache_dir.join("manifest.pnm")
+    cache_dir.join(crate::backend::MANIFEST_FILE)
 }
 
-/// Reads a delta manifest, returning its rows.
+/// Parses manifest text into rows.
 ///
-/// Forgiving by design: a missing file, a foreign header, or malformed
-/// rows yield an empty (or shorter) row set — the caller then treats
-/// the affected files as untracked and falls back to a normal scan.
-pub fn read_manifest(path: &Path) -> Vec<ManifestRow> {
-    let Ok(text) = fs::read_to_string(path) else {
-        return Vec::new();
-    };
+/// Forgiving by design: a foreign header or malformed rows yield an
+/// empty (or shorter) row set — the caller then treats the affected
+/// files as untracked and falls back to a normal scan.
+pub fn parse_manifest(text: &str) -> Vec<ManifestRow> {
     let mut lines = text.lines();
     if lines.next() != Some(MANIFEST_HEADER) {
         return Vec::new();
@@ -144,6 +143,15 @@ pub fn read_manifest(path: &Path) -> Vec<ManifestRow> {
         }
     }
     rows
+}
+
+/// Reads a delta manifest file, returning its rows. A missing file is
+/// empty, not an error — see [`parse_manifest`].
+pub fn read_manifest(path: &Path) -> Vec<ManifestRow> {
+    let Ok(text) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    parse_manifest(&text)
 }
 
 /// `<len> <mtime_ns> <key:032x> <path>` — path last, so paths with
@@ -160,11 +168,9 @@ fn parse_row(line: &str) -> Option<ManifestRow> {
     Some(ManifestRow { path: path.to_owned(), len, mtime_ns, key })
 }
 
-/// Writes a delta manifest (rows sorted by path for determinism), via a
-/// temp file and rename so concurrent readers never see a torn file.
-/// Best-effort like [`PersistentCache::put`](crate::PersistentCache):
-/// returns whether the write succeeded.
-pub fn write_manifest(path: &Path, rows: &mut [ManifestRow]) -> bool {
+/// Renders rows (sorted by path for determinism) as manifest text, the
+/// inverse of [`parse_manifest`].
+pub fn render_manifest(rows: &mut [ManifestRow]) -> String {
     rows.sort_by(|a, b| a.path.cmp(&b.path));
     let mut text = String::from(MANIFEST_HEADER);
     text.push('\n');
@@ -176,10 +182,22 @@ pub fn write_manifest(path: &Path, rows: &mut [ManifestRow]) -> bool {
         }
         text.push_str(&format!("{} {} {:032x} {}\n", row.len, row.mtime_ns, row.key, row.path));
     }
+    text
+}
+
+/// Writes a delta manifest file, via a uniquely named temp file
+/// (pid + nonce, so concurrent writers sharing the directory cannot
+/// clobber each other's in-flight temp) and rename so concurrent
+/// readers never see a torn file. Best-effort like
+/// [`PersistentCache::put`](crate::PersistentCache): returns whether
+/// the write succeeded.
+pub fn write_manifest(path: &Path, rows: &mut [ManifestRow]) -> bool {
+    let text = render_manifest(rows);
     let Some(dir) = path.parent() else {
         return false;
     };
-    let tmp = dir.join(format!(".manifest.{}.tmp", std::process::id()));
+    let tmp =
+        dir.join(format!(".manifest.{}-{}.tmp", std::process::id(), crate::backend::temp_nonce()));
     let wrote = fs::File::create(&tmp)
         .and_then(|mut f| f.write_all(text.as_bytes()))
         .and_then(|()| fs::rename(&tmp, path));

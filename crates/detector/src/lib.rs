@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod analysis;
+pub mod backend;
 mod baseline;
 pub mod batch;
 mod builder;
@@ -53,6 +54,7 @@ pub mod cache;
 pub mod cliopts;
 pub mod delta;
 pub mod emit;
+pub mod eventloop;
 pub mod exec;
 mod findings;
 mod fixer;
@@ -65,9 +67,11 @@ mod summary;
 pub mod trace;
 
 pub use analysis::{Analyzer, AnalyzerConfig};
+pub use backend::{BackendKind, CacheBackend, DirBackend, IndexedBackend};
 pub use baseline::BaselineChecker;
 pub use batch::{
-    fingerprint, BatchEngine, BatchStats, CacheStats, DeltaStats, SourceOutcome, TrackedOutcome,
+    fingerprint, BatchEngine, BatchStats, CacheStats, DeltaStats, ShardSpec, SourceOutcome,
+    TrackedOutcome,
 };
 pub use builder::{FunctionBuilder, ProgramBuilder};
 pub use cache::{

@@ -48,28 +48,45 @@
 //! rules the CLI enforces.
 //!
 //! Robustness is the point of a daemon: request lines are bounded
-//! ([`ServerConfig::max_request_bytes`], code `too-large`), concurrent
-//! TCP clients are bounded ([`ServerConfig::max_connections`], code
-//! `busy`), idle connections are reaped
-//! ([`ServerConfig::idle_timeout`], code `idle-timeout`), and
-//! `shutdown` stops the accept loop, closes lingering connections, and
-//! lets in-flight requests finish — cache entries are written
-//! synchronously during each scan, so nothing is lost.
+//! ([`ServerConfig::max_request_bytes`], code `too-large`), idle
+//! connections are reaped ([`ServerConfig::idle_timeout`], code
+//! `idle-timeout`), and `shutdown` stops the accept loop, closes
+//! lingering connections, and lets in-flight requests finish — cache
+//! entries are written synchronously during each scan, so nothing is
+//! lost.
+//!
+//! # Fleet mode
+//!
+//! The TCP transport is a readiness-driven event loop
+//! (see [`crate::eventloop`]): connections are non-blocking, requests
+//! queue fairly per client, and a worker pool drains the queue. Load
+//! beyond [`ServerConfig::max_connections`] therefore degrades to
+//! *queuing*, not rejection — `busy` is only returned at the hard
+//! connection cap (8 × `max_connections`), and a client that pipelines
+//! past its per-connection quota ([`ServerConfig::client_quota`]) gets
+//! a `quota-exceeded` error for the excess request while the
+//! connection survives. Replicas can split the fingerprint space
+//! ([`ServerConfig::shard`], CLI `--shard K/N`) so each daemon keeps
+//! only its slice warm, and the persistent tier can run on either
+//! cache backend ([`ServerConfig::cache_backend`], CLI
+//! `--cache-backend dir|indexed`).
 
 use std::collections::HashMap;
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::analysis::{Analyzer, AnalyzerConfig};
-use crate::batch::{BatchEngine, BatchStats};
+use crate::backend::BackendKind;
+use crate::batch::{BatchEngine, BatchStats, ShardSpec};
 use crate::cache::{config_tag, PersistentCache};
 use crate::cliopts;
 use crate::emit::{self, obj, FileRecord, JsonValue, OutputFormat};
+use crate::eventloop::{FairQueue, Frame, LineFramer, Poller, PushError, TickPoller};
 use crate::trace::TraceCollector;
 
 /// The protocol name and version announced in every response header.
@@ -569,14 +586,27 @@ pub struct ServerConfig {
     pub jobs: Option<usize>,
     /// Directory for the persistent cache tier; `None` disables it.
     pub cache_dir: Option<PathBuf>,
+    /// On-disk layout of the persistent tier: one file per entry
+    /// (`dir`, the default — safe to share between processes) or a
+    /// single indexed store (`indexed` — one file, one writer).
+    pub cache_backend: BackendKind,
+    /// This replica's slice of the fingerprint space (`--shard K/N`);
+    /// `None` serves (and warms) every key.
+    pub shard: Option<ShardSpec>,
     /// Longest accepted request line, in bytes. Longer lines are
     /// discarded and answered with a `too-large` error.
     pub max_request_bytes: usize,
-    /// Concurrent TCP connections before new ones are turned away with
-    /// a `busy` error.
+    /// The fair-queuing design point: connections beyond this queue
+    /// instead of being rejected, and `busy` only appears at the hard
+    /// cap of 8 × this value.
     pub max_connections: usize,
-    /// How long a TCP connection may sit idle between requests before
-    /// the server closes it (`idle-timeout`). `None` = never.
+    /// Most requests one connection may have queued + in flight;
+    /// the excess request is answered with `quota-exceeded` and the
+    /// connection survives.
+    pub client_quota: usize,
+    /// How long a TCP connection may sit idle — nothing queued, nothing
+    /// in flight — before the server closes it (`idle-timeout`).
+    /// `None` = never.
     pub idle_timeout: Option<Duration>,
 }
 
@@ -586,8 +616,11 @@ impl Default for ServerConfig {
             base: AnalyzerConfig::default(),
             jobs: None,
             cache_dir: None,
+            cache_backend: BackendKind::Dir,
+            shard: None,
             max_request_bytes: 4 * 1024 * 1024,
             max_connections: 32,
+            client_quota: 16,
             idle_timeout: Some(Duration::from_secs(300)),
         }
     }
@@ -688,7 +721,14 @@ impl Server {
         if let Some(dir) = &self.config.cache_dir {
             // Entries are config-tagged, so every engine can share one
             // directory without ever serving a stale verdict.
-            engine = engine.with_persistent_cache(PersistentCache::open(dir, config)?);
+            engine = engine.with_persistent_cache(PersistentCache::open_with(
+                dir,
+                config,
+                self.config.cache_backend,
+            )?);
+        }
+        if let Some(shard) = self.config.shard {
+            engine = engine.with_shard(shard);
         }
         let engine = Arc::new(engine);
         self.engines
@@ -929,6 +969,7 @@ impl Server {
         let engines = self.engines.lock().expect("engine map poisoned");
         let mut hits = 0u64;
         let mut misses = 0u64;
+        let mut lookups = 0u64;
         let mut parses = 0u64;
         let mut entries = 0u64;
         let mut source_entries = 0u64;
@@ -936,9 +977,13 @@ impl Server {
         let mut p_write_errors = 0u64;
         let mut tracked_files = 0u64;
         for engine in engines.values() {
+            // One consistent snapshot per engine, so the aggregated
+            // `hits + misses == lookups` invariant survives concurrent
+            // requests — a stats reader can never see a torn pair.
             let c = engine.cache_stats();
             hits += c.hits;
             misses += c.misses;
+            lookups += c.lookups;
             parses += c.parses;
             entries += c.entries as u64;
             source_entries += c.source_entries as u64;
@@ -993,6 +1038,21 @@ impl Server {
                     ),
                     ("rejected", JsonValue::U64(self.rejected_connections.load(Ordering::Relaxed))),
                     ("max", JsonValue::U64(self.config.max_connections as u64)),
+                    ("hard_cap", JsonValue::U64(hard_connection_cap(&self.config) as u64)),
+                    ("client_quota", JsonValue::U64(self.config.client_quota as u64)),
+                ]),
+            ),
+            (
+                "fleet",
+                obj(vec![
+                    (
+                        "shard",
+                        match self.config.shard {
+                            Some(shard) => emit::s(format!("{}/{}", shard.index, shard.count)),
+                            None => JsonValue::Null,
+                        },
+                    ),
+                    ("cache_backend", emit::s(self.config.cache_backend.name())),
                 ]),
             ),
             (
@@ -1004,6 +1064,7 @@ impl Server {
                     ("parses", JsonValue::U64(parses)),
                     ("fingerprint_hits", JsonValue::U64(hits)),
                     ("fingerprint_misses", JsonValue::U64(misses)),
+                    ("fingerprint_lookups", JsonValue::U64(lookups)),
                     ("program_cache_entries", JsonValue::U64(entries)),
                     ("source_cache_entries", JsonValue::U64(source_entries)),
                     ("persistent_hits", JsonValue::U64(p_hits)),
@@ -1073,61 +1134,325 @@ impl Server {
     }
 
     /// Accepts and serves TCP connections until a `shutdown` request
-    /// arrives on any of them. Connections over the limit are answered
-    /// with a `busy` error and closed; lingering connections are shut
-    /// down once the accept loop stops, and in-flight requests finish
-    /// before this returns.
+    /// arrives on any of them.
+    ///
+    /// This is the readiness-driven event loop described in
+    /// [`crate::eventloop`]: every socket is non-blocking, request
+    /// lines queue in a [`FairQueue`] keyed by connection, and a small
+    /// worker pool drains the queue through [`Server::handle_line`].
+    /// Load beyond `max_connections` queues instead of being turned
+    /// away; `busy` only appears at the hard cap (8 ×
+    /// `max_connections`), and a client pipelining past its quota gets
+    /// `quota-exceeded` for the excess request while the connection
+    /// survives. Idle reaping only ever closes a connection with
+    /// nothing queued and nothing in flight. On shutdown the loop
+    /// stops accepting, lets in-flight requests finish, flushes every
+    /// reply, and joins the workers before returning.
     pub fn serve_listener(&self, listener: TcpListener) -> io::Result<()> {
         listener.set_nonblocking(true)?;
-        let open: Mutex<Vec<TcpStream>> = Mutex::new(Vec::new());
+        let hard_cap = hard_connection_cap(&self.config);
+        let queue: Mutex<FairQueue<String>> = Mutex::new(FairQueue::new(self.config.client_quota));
+        let job_ready = Condvar::new();
+        let completions: Mutex<Vec<(u64, Reply)>> = Mutex::new(Vec::new());
+        let poller = TickPoller::default();
+        let workers_stop = AtomicBool::new(false);
+        let lock_queue = || queue.lock().unwrap_or_else(|e| e.into_inner());
+
         thread::scope(|scope| -> io::Result<()> {
-            while !self.is_shutdown() {
-                match listener.accept() {
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        thread::sleep(Duration::from_millis(20));
+            let workers = thread::available_parallelism().map_or(1, |n| n.get()).clamp(1, 4);
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let mut guard = lock_queue();
+                    let job = loop {
+                        if let Some(job) = guard.pop() {
+                            break Some(job);
+                        }
+                        if workers_stop.load(Ordering::SeqCst) {
+                            break None;
+                        }
+                        guard = job_ready.wait(guard).unwrap_or_else(|e| e.into_inner());
+                    };
+                    drop(guard);
+                    let Some((conn_id, line)) = job else { return };
+                    let reply = self.handle_line(&line);
+                    completions.lock().unwrap_or_else(|e| e.into_inner()).push((conn_id, reply));
+                    poller.wake();
+                });
+            }
+
+            let mut conns: HashMap<u64, Conn> = HashMap::new();
+            let mut next_id: u64 = 0;
+            loop {
+                let draining = self.is_shutdown();
+
+                // Accept everything waiting (up to the hard cap).
+                while let (false, Ok((stream, _peer))) = (draining, listener.accept()) {
+                    if conns.len() >= hard_cap {
+                        self.rejected_connections.fetch_add(1, Ordering::Relaxed);
+                        self.trace.count("server.rejected-connections", 1);
+                        let err = RequestError::new(
+                            "busy",
+                            format!("connection hard cap ({hard_cap}) reached; retry later"),
+                        );
+                        let mut stream = stream;
+                        let _ = stream.set_nonblocking(false);
+                        let _ = Reply::error(&RequestId::None, &err).write_to(&mut stream);
+                        continue;
                     }
-                    Err(_) => thread::sleep(Duration::from_millis(20)),
-                    Ok((stream, _peer)) => {
-                        if self.active_connections.load(Ordering::SeqCst)
-                            >= self.config.max_connections
-                        {
-                            self.rejected_connections.fetch_add(1, Ordering::Relaxed);
-                            self.trace.count("server.rejected-connections", 1);
-                            let err = RequestError::new(
-                                "busy",
-                                format!(
-                                    "connection limit ({}) reached; retry later",
-                                    self.config.max_connections
-                                ),
-                            );
-                            let mut stream = stream;
-                            let _ = Reply::error(&RequestId::None, &err).write_to(&mut stream);
-                            continue;
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    next_id += 1;
+                    self.active_connections.fetch_add(1, Ordering::SeqCst);
+                    self.trace.count("server.connections", 1);
+                    conns.insert(next_id, Conn::new(stream));
+                }
+
+                // Probe every socket; frame lines; enqueue fairly. New
+                // requests are not picked up once shutdown started.
+                let mut enqueued = false;
+                if !draining {
+                    for (&id, conn) in &mut conns {
+                        for frame in conn.read_frames(self.config.max_request_bytes) {
+                            enqueued |= self.enqueue_frame(id, frame, conn, &queue);
                         }
-                        self.active_connections.fetch_add(1, Ordering::SeqCst);
-                        self.trace.count("server.connections", 1);
-                        if let Ok(clone) = stream.try_clone() {
-                            open.lock().expect("open connections poisoned").push(clone);
-                        }
-                        let _ = stream.set_read_timeout(self.config.idle_timeout);
-                        let _ = stream.set_nodelay(true);
-                        scope.spawn(move || {
-                            let reader =
-                                io::BufReader::new(stream.try_clone().expect("tcp stream clones"));
-                            let _ = self.serve_connection(reader, &stream);
-                            let _ = stream.shutdown(Shutdown::Both);
-                            self.active_connections.fetch_sub(1, Ordering::SeqCst);
-                        });
                     }
                 }
+                if enqueued {
+                    job_ready.notify_all();
+                }
+
+                // Collect finished replies into their output buffers.
+                for (conn_id, reply) in
+                    completions.lock().unwrap_or_else(|e| e.into_inner()).drain(..)
+                {
+                    lock_queue().complete(conn_id);
+                    if let Some(conn) = conns.get_mut(&conn_id) {
+                        conn.last_activity = Instant::now();
+                        conn.push_reply(&reply);
+                        if reply.shutdown {
+                            conn.closing = true;
+                        }
+                    }
+                }
+
+                // Flush as much as each socket accepts.
+                for conn in conns.values_mut() {
+                    conn.flush();
+                }
+
+                // Reap connections that are genuinely idle: nothing
+                // queued, nothing in flight, nothing left to flush.
+                if let Some(idle) = self.config.idle_timeout {
+                    if !draining {
+                        let guard = lock_queue();
+                        for (&id, conn) in &mut conns {
+                            if !conn.closing
+                                && !conn.eof
+                                && conn.flushed()
+                                && guard.pending(id) == 0
+                                && conn.last_activity.elapsed() >= idle
+                            {
+                                self.trace.count("server.idle-reaped", 1);
+                                let err =
+                                    RequestError::new("idle-timeout", "connection idle too long");
+                                conn.push_reply(&Reply::error(&RequestId::None, &err));
+                                conn.closing = true;
+                            }
+                        }
+                    }
+                }
+
+                // Close what is done: dead sockets immediately, EOF and
+                // closing connections once every owed reply is out.
+                conns.retain(|&id, conn| {
+                    let owed = !conn.flushed() || lock_queue().pending(id) > 0;
+                    let done = conn.dead || ((conn.closing || conn.eof) && !owed);
+                    if done {
+                        let _ = conn.stream.shutdown(Shutdown::Both);
+                        lock_queue().remove(id);
+                        self.active_connections.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    !done
+                });
+
+                if draining {
+                    let all_flushed = conns.values().all(Conn::flushed);
+                    if all_flushed && lock_queue().total_pending() == 0 {
+                        break;
+                    }
+                }
+                poller.wait(Duration::from_millis(5));
             }
-            // Wake any connection blocked in read so the scope can
-            // join; their threads observe EOF and exit cleanly.
-            for stream in open.lock().expect("open connections poisoned").drain(..) {
-                let _ = stream.shutdown(Shutdown::Both);
+
+            workers_stop.store(true, Ordering::SeqCst);
+            job_ready.notify_all();
+            for (_, conn) in conns.drain() {
+                let _ = conn.stream.shutdown(Shutdown::Both);
+                self.active_connections.fetch_sub(1, Ordering::SeqCst);
             }
             Ok(())
         })
+    }
+
+    /// Turns one framed line into either a queued job (true) or an
+    /// immediate protocol error written to the connection (false).
+    fn enqueue_frame(
+        &self,
+        id: u64,
+        frame: Frame,
+        conn: &mut Conn,
+        queue: &Mutex<FairQueue<String>>,
+    ) -> bool {
+        let line = match frame {
+            Frame::TooLong => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.trace.count("server.errors", 1);
+                let err = RequestError::new(
+                    "too-large",
+                    format!("request exceeds the {}-byte limit", self.config.max_request_bytes),
+                );
+                conn.push_reply(&Reply::error(&RequestId::None, &err));
+                return false;
+            }
+            Frame::Line(bytes) => match String::from_utf8(bytes) {
+                Ok(line) => line,
+                Err(_) => {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    self.trace.count("server.errors", 1);
+                    let err = RequestError::new("bad-request", "request is not valid UTF-8");
+                    conn.push_reply(&Reply::error(&RequestId::None, &err));
+                    return false;
+                }
+            },
+        };
+        if line.trim().is_empty() {
+            return false; // blank lines keep NDJSON pipelines simple
+        }
+        match queue.lock().unwrap_or_else(|e| e.into_inner()).push(id, line) {
+            Ok(()) => true,
+            Err(PushError::QuotaExceeded) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.trace.count("server.errors", 1);
+                self.trace.count("server.quota-exceeded", 1);
+                let err = RequestError::new(
+                    "quota-exceeded",
+                    format!(
+                        "client already has {} requests queued or in flight; \
+                         wait for replies before sending more",
+                        self.config.client_quota
+                    ),
+                );
+                conn.push_reply(&Reply::error(&RequestId::None, &err));
+                false
+            }
+        }
+    }
+}
+
+/// The `busy` threshold: fair queuing absorbs pressure up to eight
+/// times the configured connection count before the daemon turns a
+/// connection away outright.
+fn hard_connection_cap(config: &ServerConfig) -> usize {
+    config.max_connections.saturating_mul(8).max(1)
+}
+
+/// Per-connection state owned by the event loop.
+struct Conn {
+    stream: TcpStream,
+    framer: LineFramer,
+    /// Bytes owed to the client; `written` of them are already out.
+    outbuf: Vec<u8>,
+    written: usize,
+    last_activity: Instant,
+    /// Peer closed its write side; serve what is pending, then close.
+    eof: bool,
+    /// Close once the output buffer drains (shutdown reply, idle reap).
+    closing: bool,
+    /// The socket failed; drop without further ceremony.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Conn {
+            stream,
+            framer: LineFramer::default(),
+            outbuf: Vec::new(),
+            written: 0,
+            last_activity: Instant::now(),
+            eof: false,
+            closing: false,
+            dead: false,
+        }
+    }
+
+    /// Drains everything the socket has to offer right now and returns
+    /// the complete frames it produced.
+    fn read_frames(&mut self, max_request_bytes: usize) -> Vec<Frame> {
+        let mut frames = Vec::new();
+        if self.eof || self.dead || self.closing {
+            return frames;
+        }
+        let mut buf = [0u8; 8192];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.eof = true;
+                    if let Some(frame) = self.framer.finish() {
+                        frames.push(frame);
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    self.last_activity = Instant::now();
+                    frames.extend(self.framer.feed(&buf[..n], max_request_bytes));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        frames
+    }
+
+    /// Appends one framed reply to the output buffer.
+    fn push_reply(&mut self, reply: &Reply) {
+        self.outbuf.extend_from_slice(reply.header.as_bytes());
+        self.outbuf.push(b'\n');
+        self.outbuf.extend_from_slice(reply.payload.as_bytes());
+    }
+
+    /// Writes as much buffered output as the socket accepts.
+    fn flush(&mut self) {
+        while self.written < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.written..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        if self.written == self.outbuf.len() && !self.outbuf.is_empty() {
+            self.outbuf.clear();
+            self.written = 0;
+        }
+    }
+
+    /// `true` when nothing buffered remains unwritten.
+    fn flushed(&self) -> bool {
+        self.written == self.outbuf.len()
     }
 }
 

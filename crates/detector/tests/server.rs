@@ -9,7 +9,9 @@
 //!   traffic must always produce structured errors, never a panic, a
 //!   dropped connection, or cross-client interference;
 //! * **lifecycle** — warm-cache behavior across requests, idle-timeout
-//!   reaping, connection-limit backpressure, and clean shutdown.
+//!   reaping (never while a request is queued or in flight), fair
+//!   queuing beyond `--max-connections` with `busy` only at the hard
+//!   cap, per-client quotas, fleet sharding, and clean shutdown.
 
 use std::io::{BufRead, BufReader, Write as _};
 use std::net::TcpStream;
@@ -367,23 +369,150 @@ fn idle_connections_are_reaped_with_a_timeout_error() {
     assert!(rest.is_empty(), "expected EOF, got {rest:?}");
 }
 
+/// `--max-connections` pressure degrades to fair queuing: with a limit
+/// of 1, seven *more* clients are still accepted and served, and
+/// `busy` only appears at the hard cap (8 × the limit).
 #[test]
-fn connections_over_the_limit_are_rejected_with_busy() {
+fn connections_beyond_the_limit_queue_and_busy_only_at_the_hard_cap() {
     let daemon = Daemon::start(&["--max-connections", "1"]);
-    let (mut reader1, mut writer1) = daemon.connect();
-    writer1.write_all(b"{\"op\":\"ping\",\"id\":1}\n").unwrap();
-    read_reply(&mut reader1); // connection 1 is definitely accepted
+    let mut clients = Vec::new();
+    for id in 1..=8 {
+        let (mut reader, mut writer) = daemon.connect();
+        writer.write_all(format!("{{\"op\":\"ping\",\"id\":{id}}}\n").as_bytes()).unwrap();
+        let (header, _) = read_reply(&mut reader);
+        assert_eq!(int_field(&header, "id"), id, "connection {id} must be served, not rejected");
+        assert_eq!(field(&header, "event"), &JsonNode::Str("pong".into()));
+        clients.push((reader, writer));
+    }
 
-    let (mut reader2, _writer2) = daemon.connect();
-    let (header, _) = read_reply(&mut reader2);
+    // The ninth connection crosses 8 × max_connections: busy, closed.
+    let (mut reader9, _writer9) = daemon.connect();
+    let (header, _) = read_reply(&mut reader9);
     assert_eq!(field(&header, "ok"), &JsonNode::Bool(false));
     let JsonNode::Obj(err) = field(&header, "error") else { panic!("no error object") };
     assert_eq!(field(err, "code"), &JsonNode::Str("busy".into()));
 
-    // The accepted client is unaffected by the rejection.
-    writer1.write_all(b"{\"op\":\"ping\",\"id\":2}\n").unwrap();
-    let (header, _) = read_reply(&mut reader1);
-    assert_eq!(int_field(&header, "id"), 2);
+    // Every queued client is unaffected by the rejection.
+    for (id, (reader, writer)) in clients.iter_mut().enumerate() {
+        writer.write_all(format!("{{\"op\":\"ping\",\"id\":{}}}\n", 100 + id).as_bytes()).unwrap();
+        let (header, _) = read_reply(reader);
+        assert_eq!(int_field(&header, "id"), 100 + id as i64);
+    }
+}
+
+/// Pipelining past `--client-quota` rejects the *excess request* with
+/// `quota-exceeded` — the connection survives and keeps serving.
+#[test]
+fn pipelining_past_the_client_quota_is_rejected_but_the_connection_survives() {
+    let daemon = Daemon::start(&["--client-quota", "1"]);
+    let (mut reader, mut writer) = daemon.connect();
+
+    // One write delivers both lines in one burst: the analyze fills the
+    // quota, so the ping behind it must bounce while the analyze is
+    // queued or in flight.
+    let burst = format!("{}{}", analyze_paths_request(1, EXAMPLES), "{\"op\":\"ping\",\"id\":2}\n");
+    writer.write_all(burst.as_bytes()).unwrap();
+
+    // The quota rejection is written immediately (before the analyze
+    // completes), so it arrives first.
+    let (header, _) = read_reply(&mut reader);
+    assert_eq!(field(&header, "ok"), &JsonNode::Bool(false));
+    let JsonNode::Obj(err) = field(&header, "error") else { panic!("no error object") };
+    assert_eq!(field(err, "code"), &JsonNode::Str("quota-exceeded".into()));
+
+    let (header, payload) = read_reply(&mut reader);
+    assert_eq!(int_field(&header, "id"), 1);
+    assert_eq!(field(&header, "ok"), &JsonNode::Bool(true));
+    assert!(!payload.is_empty(), "analyze still delivered its full envelope");
+
+    // The connection is still usable once the backlog drained.
+    writer.write_all(b"{\"op\":\"ping\",\"id\":3}\n").unwrap();
+    let (header, _) = read_reply(&mut reader);
+    assert_eq!(int_field(&header, "id"), 3);
+    assert_eq!(field(&header, "event"), &JsonNode::Str("pong".into()));
+}
+
+/// Regression test for the reap-vs-in-flight race: requests landing at
+/// (or replies straddling) the idle boundary must never produce a torn
+/// frame — every reply is complete, and the only thing allowed after
+/// the final full frame is the `idle-timeout` error and EOF.
+#[test]
+fn idle_reaping_never_tears_a_frame_at_the_timeout_boundary() {
+    let daemon = Daemon::start(&["--idle-timeout-secs", "1"]);
+    let (mut reader, mut writer) = daemon.connect();
+
+    // Requests spaced just under the timeout: each one must reset the
+    // idle clock, so the connection survives several boundary grazes.
+    for id in 1..=3 {
+        std::thread::sleep(Duration::from_millis(900));
+        writer.write_all(format!("{{\"op\":\"ping\",\"id\":{id}}}\n").as_bytes()).unwrap();
+        let (header, _) = read_reply(&mut reader);
+        assert_eq!(int_field(&header, "id"), id, "boundary-grazing request was served");
+    }
+
+    // Fire a real analysis and only start reading *after* the idle
+    // deadline has passed on the server: the reply must arrive whole
+    // (an in-flight or just-completed request is not "idle"), then the
+    // reaper closes with a complete error frame and EOF.
+    writer.write_all(analyze_paths_request(9, EXAMPLES).as_bytes()).unwrap();
+    std::thread::sleep(Duration::from_millis(1500));
+    let (header, payload) = read_reply(&mut reader);
+    assert_eq!(int_field(&header, "id"), 9);
+    assert_eq!(field(&header, "ok"), &JsonNode::Bool(true));
+    assert!(!payload.is_empty(), "the straddling reply arrived untorn");
+
+    let (header, _) = read_reply(&mut reader);
+    let JsonNode::Obj(err) = field(&header, "error") else { panic!("no error object") };
+    assert_eq!(field(err, "code"), &JsonNode::Str("idle-timeout".into()));
+    let mut rest = String::new();
+    reader.read_line(&mut rest).expect("EOF after timeout");
+    assert!(rest.is_empty(), "expected EOF, got {rest:?}");
+}
+
+/// Two sharded replicas over indexed backends split the warm state but
+/// serve byte-identical envelopes — each equal to one-shot `pncheck`.
+#[test]
+fn sharded_replicas_with_indexed_backends_serve_identical_envelopes() {
+    let (cli_json, _) = pncheck_output(&["--format", "json", EXAMPLES]);
+    let caches = [TempDir::new("shard0"), TempDir::new("shard1")];
+    for (replica, cache) in caches.iter().enumerate() {
+        let shard = format!("{replica}/2");
+        let daemon = Daemon::start(&[
+            "--shard",
+            &shard,
+            "--cache-backend",
+            "indexed",
+            "--cache-dir",
+            cache.0.to_str().unwrap(),
+        ]);
+        let (mut reader, mut writer) = daemon.connect();
+        writer.write_all(analyze_paths_request(1, EXAMPLES).as_bytes()).unwrap();
+        let (_, cold) = read_reply(&mut reader);
+        writer.write_all(analyze_paths_request(2, EXAMPLES).as_bytes()).unwrap();
+        let (_, warm) = read_reply(&mut reader);
+        assert_eq!(cold, cli_json, "shard {shard} cold envelope differs from pncheck");
+        assert_eq!(warm, cli_json, "shard {shard} warm envelope differs from pncheck");
+
+        // The stats payload advertises the fleet placement.
+        writer.write_all(b"{\"op\":\"stats\",\"id\":3}\n").unwrap();
+        let (_, stats) = read_reply(&mut reader);
+        let JsonNode::Obj(fields) = parse_json(stats.trim()).unwrap() else { panic!() };
+        let JsonNode::Obj(fleet) = field(&fields, "fleet").clone() else {
+            panic!("no fleet block: {stats}")
+        };
+        assert_eq!(field(&fleet, "shard"), &JsonNode::Str(shard.clone()));
+        assert_eq!(field(&fleet, "cache_backend"), &JsonNode::Str("indexed".into()));
+        let JsonNode::Obj(analysis) = field(&fields, "analysis").clone() else { panic!() };
+        assert_eq!(
+            int_field(&analysis, "fingerprint_lookups"),
+            int_field(&analysis, "fingerprint_hits") + int_field(&analysis, "fingerprint_misses"),
+            "stats snapshot must never be torn: {stats}"
+        );
+
+        writer.write_all(b"{\"op\":\"shutdown\",\"id\":4}\n").unwrap();
+        read_reply(&mut reader);
+        daemon.wait_clean(Duration::from_secs(10));
+    }
 }
 
 #[test]
